@@ -1,0 +1,42 @@
+//! Shared fixtures for the Pandia benchmarks.
+//!
+//! The benches quantify the paper's performance claims:
+//!
+//! * `predictor` — "Making predictions using Pandia takes a fraction of a
+//!   second per placement" (§6.1): per-placement prediction latency over
+//!   thread counts from 1 to the full 72-context X5-2, plus the cost of a
+//!   full placement-space search.
+//! * `pipeline` — the cost of generating machine descriptions (§3) and the
+//!   six profiling runs (§4) on the simulator.
+//! * `simulator` — ground-truth run latency, which bounds the wall-clock
+//!   cost of regenerating the paper's figures.
+//! * `placements` — canonical placement enumeration and canonicalization.
+
+use pandia_core::{describe_machine, MachineDescription, WorkloadDescription, WorkloadProfiler};
+use pandia_sim::SimMachine;
+use pandia_topology::MachineSpec;
+
+/// A ready-made X5-2 context: simulator, machine description, and a
+/// profiled CG description.
+pub fn x5_2_fixture() -> (SimMachine, MachineDescription, WorkloadDescription) {
+    let mut machine = SimMachine::new(MachineSpec::x5_2());
+    let md = describe_machine(&mut machine).expect("machine description");
+    let cg = pandia_workloads::by_name("CG").expect("CG registered");
+    let wd = WorkloadProfiler::new(&md)
+        .profile(&mut machine, &cg.behavior, cg.name)
+        .expect("profiling")
+        .description;
+    (machine, md, wd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds() {
+        let (_, md, wd) = x5_2_fixture();
+        assert_eq!(md.shape.total_contexts(), 72);
+        assert_eq!(wd.name, "CG");
+    }
+}

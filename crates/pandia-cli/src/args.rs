@@ -1,0 +1,349 @@
+//! Hand-rolled argument parsing for the `pandia` CLI.
+
+use pandia_topology::CanonicalPlacement;
+
+/// Usage text shown on parse errors and `pandiactl help`.
+pub const USAGE: &str = "\
+usage: pandiactl <command> [args]
+
+commands:
+  machines                         list machine presets
+  workloads                        list registered workloads
+  describe <machine> [-o FILE]     measure a machine description
+  profile <machine> <workload> [-o FILE]
+                                   run the six profiling runs
+  predict <machine> <workload> -p PLACEMENT
+                                   predict one placement, e.g. -p \"2,1|1\"
+  best <machine> <workload> [--tolerance F]
+                                   best + resource-saving placement
+  plan <machine> <workload> (--time T | --speedup S | --fraction F)
+                                   smallest placement meeting a target
+  explore <machine> <workload>     measured-vs-predicted curve (simulated)
+  coschedule <machine> <w1> <w2>   joint placement for two workloads
+  help                             show this message
+
+PLACEMENT syntax: per-socket groups separated by '|', per-core thread
+counts separated by ','. \"2,1|1\" = one core with 2 threads and one with
+1 on the first socket, one single-thread core on the second.";
+
+/// A capacity-planning target as parsed from the command line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanTarget {
+    /// `--time T`: finish within T seconds.
+    Time(f64),
+    /// `--speedup S`: achieve at least S x over single-thread.
+    Speedup(f64),
+    /// `--fraction F`: stay within F of peak performance.
+    Fraction(f64),
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `pandiactl machines`
+    Machines,
+    /// `pandiactl workloads`
+    Workloads,
+    /// `pandiactl describe <machine> [-o FILE]`
+    Describe {
+        /// Machine preset name.
+        machine: String,
+        /// Optional JSON output path.
+        output: Option<String>,
+    },
+    /// `pandiactl profile <machine> <workload> [-o FILE]`
+    Profile {
+        /// Machine preset name.
+        machine: String,
+        /// Workload name.
+        workload: String,
+        /// Optional JSON output path.
+        output: Option<String>,
+    },
+    /// `pandiactl predict <machine> <workload> -p PLACEMENT`
+    Predict {
+        /// Machine preset name.
+        machine: String,
+        /// Workload name.
+        workload: String,
+        /// The placement to predict.
+        placement: CanonicalPlacement,
+    },
+    /// `pandiactl best <machine> <workload> [--tolerance F]`
+    Best {
+        /// Machine preset name.
+        machine: String,
+        /// Workload name.
+        workload: String,
+        /// Resource-saving tolerance (fraction of peak).
+        tolerance: f64,
+    },
+    /// `pandiactl plan <machine> <workload> --time T`
+    Plan {
+        /// Machine preset name.
+        machine: String,
+        /// Workload name.
+        workload: String,
+        /// The performance target.
+        target: PlanTarget,
+    },
+    /// `pandiactl explore <machine> <workload>`
+    Explore {
+        /// Machine preset name.
+        machine: String,
+        /// Workload name.
+        workload: String,
+    },
+    /// `pandiactl coschedule <machine> <w1> <w2>`
+    CoSchedule {
+        /// Machine preset name.
+        machine: String,
+        /// First workload name.
+        first: String,
+        /// Second workload name.
+        second: String,
+    },
+    /// `pandiactl help`
+    Help,
+}
+
+/// Parses argv (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let command = it.next().ok_or_else(|| "missing command".to_string())?;
+    let rest: Vec<&String> = it.collect();
+    match command.as_str() {
+        "machines" => expect_empty(&rest).map(|()| Command::Machines),
+        "workloads" => expect_empty(&rest).map(|()| Command::Workloads),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "describe" => {
+            let (positional, options) = split_options(&rest)?;
+            let [machine] = positional_exactly::<1>(&positional, "describe <machine>")?;
+            Ok(Command::Describe { machine, output: option_value(&options, "-o")? })
+        }
+        "profile" => {
+            let (positional, options) = split_options(&rest)?;
+            let [machine, workload] =
+                positional_exactly::<2>(&positional, "profile <machine> <workload>")?;
+            Ok(Command::Profile { machine, workload, output: option_value(&options, "-o")? })
+        }
+        "predict" => {
+            let (positional, options) = split_options(&rest)?;
+            let [machine, workload] =
+                positional_exactly::<2>(&positional, "predict <machine> <workload>")?;
+            let spec = option_value(&options, "-p")?
+                .or(option_value(&options, "--placement")?)
+                .ok_or_else(|| "predict requires -p PLACEMENT".to_string())?;
+            Ok(Command::Predict { machine, workload, placement: parse_placement(&spec)? })
+        }
+        "best" => {
+            let (positional, options) = split_options(&rest)?;
+            let [machine, workload] =
+                positional_exactly::<2>(&positional, "best <machine> <workload>")?;
+            let tolerance = match option_value(&options, "--tolerance")? {
+                Some(v) => v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| (0.0..=1.0).contains(t))
+                    .ok_or_else(|| format!("invalid tolerance '{v}' (expected 0..1)"))?,
+                None => 0.95,
+            };
+            Ok(Command::Best { machine, workload, tolerance })
+        }
+        "plan" => {
+            let (positional, options) = split_options(&rest)?;
+            let [machine, workload] =
+                positional_exactly::<2>(&positional, "plan <machine> <workload>")?;
+            let parse_f = |v: &str, what: &str| {
+                v.parse::<f64>().map_err(|_| format!("invalid {what} '{v}'"))
+            };
+            let target = if let Some(t) = option_value(&options, "--time")? {
+                PlanTarget::Time(parse_f(&t, "time")?)
+            } else if let Some(s) = option_value(&options, "--speedup")? {
+                PlanTarget::Speedup(parse_f(&s, "speedup")?)
+            } else if let Some(f) = option_value(&options, "--fraction")? {
+                PlanTarget::Fraction(parse_f(&f, "fraction")?)
+            } else {
+                return Err("plan requires --time, --speedup or --fraction".to_string());
+            };
+            Ok(Command::Plan { machine, workload, target })
+        }
+        "explore" => {
+            let (positional, _) = split_options(&rest)?;
+            let [machine, workload] =
+                positional_exactly::<2>(&positional, "explore <machine> <workload>")?;
+            Ok(Command::Explore { machine, workload })
+        }
+        "coschedule" => {
+            let (positional, _) = split_options(&rest)?;
+            let [machine, first, second] =
+                positional_exactly::<3>(&positional, "coschedule <machine> <w1> <w2>")?;
+            Ok(Command::CoSchedule { machine, first, second })
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Parses the `"2,1|1"` placement syntax.
+pub fn parse_placement(spec: &str) -> Result<CanonicalPlacement, String> {
+    let mut sockets = Vec::new();
+    for socket_spec in spec.split('|') {
+        let socket_spec = socket_spec.trim();
+        if socket_spec.is_empty() {
+            sockets.push(Vec::new());
+            continue;
+        }
+        let mut occ = Vec::new();
+        for part in socket_spec.split(',') {
+            let n: u8 = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid per-core thread count '{part}'"))?;
+            occ.push(n);
+        }
+        sockets.push(occ);
+    }
+    let placement = CanonicalPlacement::new(sockets);
+    if placement.total_threads() == 0 {
+        return Err(format!("placement '{spec}' contains no threads"));
+    }
+    Ok(placement)
+}
+
+fn expect_empty(rest: &[&String]) -> Result<(), String> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unexpected argument '{}'", rest[0]))
+    }
+}
+
+/// Parsed `-flag value` pairs.
+type Options<'a> = Vec<(&'a String, &'a String)>;
+
+/// Splits arguments into positional values and `-flag value` pairs.
+fn split_options<'a>(
+    rest: &[&'a String],
+) -> Result<(Vec<&'a String>, Options<'a>), String> {
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i].starts_with('-') {
+            let value = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("option {} requires a value", rest[i]))?;
+            options.push((rest[i], *value));
+            i += 2;
+        } else {
+            positional.push(rest[i]);
+            i += 1;
+        }
+    }
+    Ok((positional, options))
+}
+
+fn option_value(options: &[(&String, &String)], flag: &str) -> Result<Option<String>, String> {
+    Ok(options.iter().find(|(f, _)| f.as_str() == flag).map(|(_, v)| (*v).clone()))
+}
+
+fn positional_exactly<const N: usize>(
+    positional: &[&String],
+    usage: &str,
+) -> Result<[String; N], String> {
+    if positional.len() != N {
+        return Err(format!("expected: pandiactl {usage}"));
+    }
+    let mut out = Vec::with_capacity(N);
+    for p in positional {
+        out.push((*p).clone());
+    }
+    Ok(out.try_into().expect("length checked"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(parse(&argv("machines")).unwrap(), Command::Machines);
+        assert_eq!(parse(&argv("workloads")).unwrap(), Command::Workloads);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_describe_with_output() {
+        let cmd = parse(&argv("describe x5-2 -o md.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Describe { machine: "x5-2".into(), output: Some("md.json".into()) }
+        );
+    }
+
+    #[test]
+    fn parses_predict_with_placement() {
+        let cmd = parse(&argv("predict x3-2 CG -p 2,1|1")).unwrap();
+        match cmd {
+            Command::Predict { machine, workload, placement } => {
+                assert_eq!(machine, "x3-2");
+                assert_eq!(workload, "CG");
+                assert_eq!(placement.total_threads(), 4);
+                assert_eq!(placement.sockets_used(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_best_with_default_tolerance() {
+        match parse(&argv("best x4-2 Swim")).unwrap() {
+            Command::Best { tolerance, .. } => assert_eq!(tolerance, 0.95),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("best x4-2 Swim --tolerance 0.8")).unwrap() {
+            Command::Best { tolerance, .. } => assert_eq!(tolerance, 0.8),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("best x4-2 Swim --tolerance 1.8")).is_err());
+    }
+
+    #[test]
+    fn placement_syntax_round_trips() {
+        let p = parse_placement("2,2,1|1").unwrap();
+        assert_eq!(p.total_threads(), 6);
+        assert_eq!(p.cores_used(), 4);
+        assert!(parse_placement("").is_err());
+        assert!(parse_placement("x|1").is_err());
+        // Normalization sorts within and across sockets.
+        assert_eq!(parse_placement("1,2|2").unwrap(), parse_placement("2|2,1").unwrap());
+    }
+
+    #[test]
+    fn parses_plan_targets() {
+        match parse(&argv("plan x3-2 CG --time 8.5")).unwrap() {
+            Command::Plan { target, .. } => assert_eq!(target, PlanTarget::Time(8.5)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("plan x3-2 CG --speedup 4")).unwrap() {
+            Command::Plan { target, .. } => assert_eq!(target, PlanTarget::Speedup(4.0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("plan x3-2 CG")).is_err(), "target required");
+        assert!(parse(&argv("plan x3-2 CG --time abc")).is_err());
+    }
+
+    #[test]
+    fn missing_and_unknown_arguments_error() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("describe")).is_err());
+        assert!(parse(&argv("predict x3-2 CG")).is_err(), "missing -p");
+        assert!(parse(&argv("machines extra")).is_err());
+        assert!(parse(&argv("describe x5-2 -o")).is_err(), "dangling option");
+    }
+}

@@ -1,0 +1,261 @@
+//! Command implementations for the `pandia` CLI.
+
+use pandia_core::{
+    describe_machine, predict, CoScheduler, MachineDescription, Objective, PandiaError,
+    PredictorConfig, Recommendation, WorkloadDescription, WorkloadProfiler,
+};
+use pandia_harness::{experiments::curves, metrics, report, MachineContext};
+use pandia_sim::SimMachine;
+use pandia_topology::{HasShape, MachineSpec, PlacementEnumerator};
+
+use crate::args::{Command, PlanTarget, USAGE};
+
+/// Executes a parsed command.
+pub fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Machines => {
+            println!("{:<22} {:>8} {:>12} {:>10} {:>9} {:>6}", "machine", "sockets", "cores/socket", "threads", "adaptive", "AVX");
+            for spec in MachineSpec::evaluation_machines() {
+                println!(
+                    "{:<22} {:>8} {:>12} {:>10} {:>9} {:>6}",
+                    spec.name,
+                    spec.sockets,
+                    spec.cores_per_socket,
+                    spec.total_contexts(),
+                    if spec.adaptive_llc { "yes" } else { "no" },
+                    if spec.has_avx { "yes" } else { "no" },
+                );
+            }
+            Ok(())
+        }
+        Command::Workloads => {
+            println!("{:<11} {:<10} {:<12} description", "workload", "suite", "set");
+            for w in pandia_workloads::all_workloads() {
+                println!(
+                    "{:<11} {:<10} {:<12} {}",
+                    w.name,
+                    format!("{:?}", w.suite),
+                    format!("{:?}", w.set),
+                    w.description
+                );
+            }
+            Ok(())
+        }
+        Command::Describe { machine, output } => {
+            let (_, description) = machine_context(&machine)?;
+            print_description(&description);
+            if let Some(path) = output {
+                std::fs::write(&path, description.to_json()?)?;
+                eprintln!("wrote {path}");
+            }
+            Ok(())
+        }
+        Command::Profile { machine, workload, output } => {
+            let (mut platform, description) = machine_context(&machine)?;
+            let entry = lookup_workload(&workload)?;
+            let profiler = WorkloadProfiler::new(&description);
+            let profile = profiler.profile(&mut platform, &entry.behavior, entry.name)?;
+            println!("workload {} on {}", entry.name, description.machine);
+            for run in &profile.runs {
+                println!("  run {}: {:<42} r = {:.4}", run.run, run.label, run.relative);
+            }
+            let d = &profile.description;
+            println!(
+                "  t1 = {:.2}s  p = {:.4}  os = {:.5}  l = {:.2}  b = {:.3}",
+                d.t1, d.parallel_fraction, d.inter_socket_overhead, d.load_balance, d.burstiness
+            );
+            println!(
+                "  demands: instr {:.2}, L1 {:.1}, L2 {:.1}, L3 {:.1}, DRAM {:?}",
+                d.demand.instr, d.demand.l1, d.demand.l2, d.demand.l3, d.demand.dram
+            );
+            if let Some(path) = output {
+                std::fs::write(&path, d.to_json()?)?;
+                eprintln!("wrote {path}");
+            }
+            Ok(())
+        }
+        Command::Predict { machine, workload, placement } => {
+            let (mut platform, description) = machine_context(&machine)?;
+            let wd = profile_on(&mut platform, &description, &workload)?;
+            let concrete = placement.instantiate(&description.shape())?;
+            let prediction =
+                predict(&description, &wd, &concrete, &PredictorConfig::default())?;
+            println!(
+                "{} on {} at {placement}: predicted speedup {:.2} (Amdahl bound {:.2}), time {:.2}s",
+                workload,
+                description.machine,
+                prediction.speedup,
+                prediction.amdahl_speedup,
+                prediction.predicted_time
+            );
+            let bottlenecks: std::collections::BTreeSet<String> = prediction
+                .threads
+                .iter()
+                .filter_map(|t| t.bottleneck.map(|b| b.label()))
+                .collect();
+            if bottlenecks.is_empty() {
+                println!("no resource is oversubscribed");
+            } else {
+                println!("bottlenecks: {}", bottlenecks.into_iter().collect::<Vec<_>>().join(", "));
+            }
+            Ok(())
+        }
+        Command::Best { machine, workload, tolerance } => {
+            let (mut platform, description) = machine_context(&machine)?;
+            let wd = profile_on(&mut platform, &description, &workload)?;
+            let candidates = PlacementEnumerator::new(&description).all();
+            let rec = Recommendation::analyze(
+                &description,
+                &wd,
+                &candidates,
+                tolerance,
+                &PredictorConfig::default(),
+            )?;
+            println!(
+                "best predicted: {} ({} threads, speedup {:.2})",
+                rec.best.placement, rec.best.n_threads, rec.best.speedup
+            );
+            println!(
+                "use multiple sockets: {}; use SMT: {}",
+                if rec.use_multiple_sockets { "yes" } else { "no" },
+                if rec.use_smt { "yes" } else { "no" },
+            );
+            match rec.resource_saving {
+                Some(saving) => println!(
+                    "within {:.0}% of peak with {} threads on {} cores: {}",
+                    100.0 * tolerance,
+                    saving.n_threads,
+                    saving.placement.cores_used(),
+                    saving.placement
+                ),
+                None => println!("no smaller placement stays within the tolerance"),
+            }
+            Ok(())
+        }
+        Command::Plan { machine, workload, target } => {
+            let (mut platform, description) = machine_context(&machine)?;
+            let wd = profile_on(&mut platform, &description, &workload)?;
+            let candidates = PlacementEnumerator::new(&description).all();
+            let target = match target {
+                PlanTarget::Time(t) => pandia_core::Target::MaxTime(t),
+                PlanTarget::Speedup(s) => pandia_core::Target::MinSpeedup(s),
+                PlanTarget::Fraction(f) => pandia_core::Target::FractionOfPeak(f),
+            };
+            let plan = pandia_core::plan(
+                &description,
+                &wd,
+                &candidates,
+                target,
+                &PredictorConfig::default(),
+            )?;
+            println!(
+                "best achievable: {} ({} threads, {:.2}s predicted)",
+                plan.best.placement, plan.best.n_threads, plan.best.predicted_time
+            );
+            match plan.placement {
+                Some(p) => println!(
+                    "target met by {} ({} threads on {} cores, {:.2}s predicted, {:.2}x headroom)",
+                    p.placement,
+                    p.n_threads,
+                    p.placement.cores_used(),
+                    p.predicted_time,
+                    plan.headroom.unwrap_or(1.0)
+                ),
+                None => println!("target is NOT achievable on this machine"),
+            }
+            Ok(())
+        }
+        Command::Explore { machine, workload } => {
+            let mut ctx = MachineContext::by_name(&machine)?;
+            let entry = lookup_workload(&workload)?;
+            let placements = ctx.enumerator().sampled(&ctx.spec, 8);
+            let curve = curves::workload_curve(&mut ctx, &entry, &placements)?;
+            println!("{}", report::ascii_curve(&curve, 100, 20));
+            let stats = metrics::error_stats(&curve);
+            println!(
+                "error: mean {:.2}%, median {:.2}%; best-placement gap {:.2}%",
+                stats.mean_error_pct,
+                stats.median_error_pct,
+                metrics::best_placement_gap(&curve)
+            );
+            Ok(())
+        }
+        Command::CoSchedule { machine, first, second } => {
+            let (mut platform, description) = machine_context(&machine)?;
+            let wd_a = profile_on(&mut platform, &description, &first)?;
+            let wd_b = profile_on(&mut platform, &description, &second)?;
+            let schedule = CoScheduler::new(&description)
+                .with_objective(Objective::Makespan)
+                .schedule(&[&wd_a, &wd_b])?;
+            println!("joint placement on {}:", description.machine);
+            for (a, p) in schedule.assignments.iter().zip(&schedule.predictions) {
+                println!(
+                    "  {:<10} {:>2} threads over sockets {:?}{}  predicted {:.2}s",
+                    a.workload,
+                    a.n_threads,
+                    a.threads_per_socket,
+                    if a.smt_packed { " (SMT packed)" } else { "" },
+                    p.predicted_time
+                );
+            }
+            Ok(())
+        }
+    }
+}
+
+fn machine_context(
+    name: &str,
+) -> Result<(SimMachine, MachineDescription), Box<dyn std::error::Error>> {
+    let spec = match name.to_ascii_lowercase().as_str() {
+        "x5-2" => MachineSpec::x5_2(),
+        "x4-2" => MachineSpec::x4_2(),
+        "x3-2" => MachineSpec::x3_2(),
+        "x2-4" => MachineSpec::x2_4(),
+        other => {
+            return Err(Box::new(PandiaError::Mismatch {
+                reason: format!("unknown machine '{other}' (try x5-2, x4-2, x3-2, x2-4)"),
+            }))
+        }
+    };
+    let mut platform = SimMachine::new(spec);
+    let description = describe_machine(&mut platform)?;
+    Ok((platform, description))
+}
+
+fn lookup_workload(name: &str) -> Result<pandia_workloads::WorkloadEntry, Box<dyn std::error::Error>> {
+    pandia_workloads::by_name(name).ok_or_else(|| {
+        Box::new(PandiaError::Mismatch {
+            reason: format!("unknown workload '{name}' (see `pandiactl workloads`)"),
+        }) as Box<dyn std::error::Error>
+    })
+}
+
+fn profile_on(
+    platform: &mut SimMachine,
+    description: &MachineDescription,
+    workload: &str,
+) -> Result<WorkloadDescription, Box<dyn std::error::Error>> {
+    let entry = lookup_workload(workload)?;
+    let profiler = WorkloadProfiler::new(description);
+    Ok(profiler.profile(platform, &entry.behavior, entry.name)?.description)
+}
+
+fn print_description(d: &MachineDescription) {
+    println!("machine description: {}", d.machine);
+    println!(
+        "  shape: {} sockets x {} cores x {} threads",
+        d.shape.sockets, d.shape.cores_per_socket, d.shape.threads_per_core
+    );
+    println!("  core instruction rate : {:>8.2}", d.capacities.core_issue);
+    println!("  SMT co-schedule factor: {:>8.2}", d.smt_coschedule_factor);
+    println!("  L1 bandwidth / core   : {:>8.1}", d.capacities.l1_per_core);
+    println!("  L2 bandwidth / core   : {:>8.1}", d.capacities.l2_per_core);
+    println!("  L3 bandwidth / link   : {:>8.1}", d.capacities.l3_per_link);
+    println!("  L3 aggregate / socket : {:>8.1}", d.capacities.l3_aggregate);
+    println!("  DRAM / socket         : {:>8.1}", d.capacities.dram_per_socket);
+    println!("  interconnect / link   : {:>8.1}", d.capacities.interconnect_per_link);
+}

@@ -1,0 +1,62 @@
+//! `pandiactl` — command-line front-end for the placement modeler.
+//!
+//! ```text
+//! pandiactl machines                          list machine presets
+//! pandiactl workloads                         list registered workloads
+//! pandiactl describe <machine> [-o FILE]      measure a machine description (§3)
+//! pandiactl profile <machine> <workload>      run the six profiling runs (§4)
+//! pandiactl predict <machine> <workload> -p "2,1|1"
+//!                                          predict one placement (§5)
+//! pandiactl best <machine> <workload> [--tolerance 0.95]
+//!                                          best + resource-saving placement
+//! pandiactl explore <machine> <workload>      measured-vs-predicted curve
+//! pandiactl coschedule <machine> <w1> <w2>    joint placement for two jobs
+//! ```
+//!
+//! Machines are simulated presets (`x5-2`, `x4-2`, `x3-2`, `x2-4`); on real
+//! hardware the same commands would drive a perf-event platform.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+/// Whether a panic payload is the broken-pipe panic `println!` raises
+/// when stdout is closed early (e.g. piping into `head`).
+fn is_broken_pipe(payload: &(dyn std::any::Any + Send)) -> bool {
+    let message = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("");
+    message.contains("Broken pipe")
+}
+
+fn main() -> ExitCode {
+    // Exiting because the reader closed the pipe is normal CLI behavior,
+    // not a crash: suppress the panic message and exit cleanly.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !is_broken_pipe(info.payload()) {
+            default_hook(info);
+        }
+    }));
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(command) => match std::panic::catch_unwind(|| commands::run(command)) {
+            Ok(Ok(())) => ExitCode::SUCCESS,
+            Ok(Err(e)) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+            Err(payload) if is_broken_pipe(payload.as_ref()) => ExitCode::SUCCESS,
+            Err(payload) => std::panic::resume_unwind(payload),
+        },
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!("\n{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! Multi-workload co-scheduling (the paper's §8 future work).
+//!
+//! "We believe Pandia's prediction of resource consumption as well as
+//! overall workload performance will let us handle cases with multiple
+//! workloads sharing a machine." This module realizes that: given several
+//! profiled workloads, [`predict_jobs`] estimates each one's performance
+//! under a *joint* placement (shared resource loads, per-job Amdahl and
+//! synchronization models), and [`CoScheduler`] searches joint placements
+//! for a good assignment.
+//!
+//! The search space of joint placements is enormous, so the scheduler
+//! explores a structured family: for each job, a per-socket thread budget
+//! drawn from a small template set (socket-exclusive, split, SMT-packed),
+//! composed so the jobs never overlap. This mirrors how operators actually
+//! carve up machines, and keeps the search transparent.
+
+use pandia_topology::{CtxId, HasShape, MachineShape, Placement};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    description::MachineDescription,
+    error::PandiaError,
+    predictor::{predict_jobs, Prediction, PredictorConfig},
+    workload_desc::WorkloadDescription,
+};
+
+/// How a joint placement assigns one job's threads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobAssignment {
+    /// Job name (from its workload description).
+    pub workload: String,
+    /// Thread count.
+    pub n_threads: usize,
+    /// Threads per socket.
+    pub threads_per_socket: Vec<usize>,
+    /// Whether the job packs two threads per core.
+    pub smt_packed: bool,
+}
+
+/// A complete co-scheduling decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoSchedule {
+    /// Per-job assignments, in input order.
+    pub assignments: Vec<JobAssignment>,
+    /// Per-job predictions under the joint placement.
+    pub predictions: Vec<Prediction>,
+    /// The objective value (lower is better).
+    pub objective: f64,
+    /// The concrete placements (disjoint), in input order.
+    pub placements: Vec<Placement>,
+}
+
+/// Objective for ranking joint placements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize the longest predicted completion time (makespan).
+    Makespan,
+    /// Minimize the sum of predicted completion times.
+    TotalTime,
+    /// Minimize the worst per-job slowdown relative to running alone on
+    /// the whole machine (fairness).
+    WorstSlowdown,
+}
+
+/// Searches joint placements for several workloads.
+///
+/// # Examples
+///
+/// ```
+/// use pandia_core::{CoScheduler, MachineDescription, WorkloadDescription};
+/// use pandia_topology::MachineShape;
+///
+/// let mut machine = MachineDescription::toy();
+/// machine.shape = MachineShape { sockets: 2, cores_per_socket: 4, threads_per_core: 2 };
+/// let mut job = WorkloadDescription::example();
+/// job.demand.dram = vec![5.0, 5.0]; // leave interconnect headroom
+/// let schedule = CoScheduler::new(&machine).schedule(&[&job, &job])?;
+/// assert_eq!(schedule.assignments.len(), 2);
+/// # Ok::<(), pandia_core::PandiaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoScheduler<'m> {
+    machine: &'m MachineDescription,
+    config: PredictorConfig,
+    objective: Objective,
+}
+
+impl<'m> CoScheduler<'m> {
+    /// Creates a scheduler against a machine description.
+    pub fn new(machine: &'m MachineDescription) -> Self {
+        Self { machine, config: PredictorConfig::default(), objective: Objective::Makespan }
+    }
+
+    /// Sets the objective.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Finds the best joint placement for the given jobs.
+    ///
+    /// Currently supports one to three jobs; the template family grows
+    /// combinatorially beyond that.
+    pub fn schedule(&self, jobs: &[&WorkloadDescription]) -> Result<CoSchedule, PandiaError> {
+        if jobs.is_empty() || jobs.len() > 3 {
+            return Err(PandiaError::Mismatch {
+                reason: format!("co-scheduler supports 1-3 jobs, got {}", jobs.len()),
+            });
+        }
+        let shape = self.machine.shape();
+        let per_job_options = job_templates(&shape, jobs.len());
+        // Solo reference times are placement-independent: compute them once
+        // rather than inside every candidate evaluation.
+        let solo_times = if self.objective == Objective::WorstSlowdown && jobs.len() > 1 {
+            let mut times = Vec::with_capacity(jobs.len());
+            for workload in jobs {
+                let solo = CoScheduler::new(self.machine)
+                    .with_objective(Objective::Makespan)
+                    .schedule(&[workload])?;
+                times.push(solo.predictions[0].predicted_time);
+            }
+            Some(times)
+        } else {
+            None
+        };
+        let mut best: Option<CoSchedule> = None;
+        // Cartesian product over each job's template options.
+        let mut idx = vec![0usize; jobs.len()];
+        loop {
+            if let Some(candidate) =
+                self.evaluate(jobs, &per_job_options, &idx, solo_times.as_deref())?
+            {
+                if best.as_ref().map(|b| candidate.objective < b.objective).unwrap_or(true) {
+                    best = Some(candidate);
+                }
+            }
+            // Advance the product counter.
+            let mut k = 0;
+            loop {
+                idx[k] += 1;
+                if idx[k] < per_job_options.len() {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+                if k == jobs.len() {
+                    return best.ok_or(PandiaError::Mismatch {
+                        reason: "no feasible joint placement found".into(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Predicts the jobs under explicit placements (no search).
+    pub fn predict_assignment(
+        &self,
+        jobs: &[(&WorkloadDescription, &Placement)],
+    ) -> Result<Vec<Prediction>, PandiaError> {
+        predict_jobs(self.machine, jobs, &self.config)
+    }
+
+    fn evaluate(
+        &self,
+        jobs: &[&WorkloadDescription],
+        options: &[Template],
+        idx: &[usize],
+        solo_times: Option<&[f64]>,
+    ) -> Result<Option<CoSchedule>, PandiaError> {
+        let shape = self.machine.shape();
+        // Materialize placements, tracking per-core occupancy to keep the
+        // jobs disjoint.
+        let mut slot_cursor = vec![0usize; shape.total_cores()];
+        let mut placements = Vec::with_capacity(jobs.len());
+        let mut assignments = Vec::with_capacity(jobs.len());
+        for (j, workload) in jobs.iter().enumerate() {
+            let template = &options[idx[j]];
+            match template.materialize(&shape, &mut slot_cursor) {
+                Some(placement) => {
+                    assignments.push(JobAssignment {
+                        workload: workload.name.clone(),
+                        n_threads: placement.n_threads(),
+                        threads_per_socket: placement.threads_per_socket(&shape),
+                        smt_packed: template.smt_packed,
+                    });
+                    placements.push(placement);
+                }
+                None => return Ok(None), // infeasible combination
+            }
+        }
+        let job_refs: Vec<(&WorkloadDescription, &Placement)> =
+            jobs.iter().copied().zip(placements.iter()).collect();
+        let predictions = predict_jobs(self.machine, &job_refs, &self.config)?;
+        let objective = match self.objective {
+            // Total time as a small tie-breaker: among equal makespans,
+            // prefer finishing the other jobs sooner.
+            Objective::Makespan => {
+                let makespan =
+                    predictions.iter().map(|p| p.predicted_time).fold(0.0_f64, f64::max);
+                let total: f64 = predictions.iter().map(|p| p.predicted_time).sum();
+                makespan + 1e-3 * total
+            }
+            Objective::TotalTime => predictions.iter().map(|p| p.predicted_time).sum(),
+            Objective::WorstSlowdown => {
+                // Relative to each job running alone on the machine with
+                // its own best template (precomputed by `schedule`).
+                let mut worst = 0.0_f64;
+                for (j, _) in jobs.iter().enumerate() {
+                    let solo_time = solo_times
+                        .and_then(|t| t.get(j).copied())
+                        .unwrap_or_else(|| predictions[j].predicted_time);
+                    let ratio = predictions[j].predicted_time / solo_time.max(1e-12);
+                    worst = worst.max(ratio);
+                }
+                worst
+            }
+        };
+        Ok(Some(CoSchedule { assignments, predictions, objective, placements }))
+    }
+}
+
+/// A per-job placement template: threads per socket plus SMT packing.
+#[derive(Debug, Clone, PartialEq)]
+struct Template {
+    threads_per_socket: Vec<usize>,
+    smt_packed: bool,
+}
+
+impl Template {
+    /// Lays the template's threads onto the machine, consuming hardware
+    /// contexts from `slot_cursor` (per-core next-free-slot counters).
+    /// Returns `None` when the template does not fit what is left.
+    fn materialize(&self, shape: &MachineShape, slot_cursor: &mut [usize]) -> Option<Placement> {
+        let snapshot: Vec<usize> = slot_cursor.to_vec();
+        let mut ctxs = Vec::new();
+        for (s, &want) in self.threads_per_socket.iter().enumerate() {
+            let mut placed = 0;
+            let per_core_budget = if self.smt_packed { shape.threads_per_core } else { 1 };
+            for c in 0..shape.cores_per_socket {
+                let core = s * shape.cores_per_socket + c;
+                while placed < want
+                    && slot_cursor[core] < per_core_budget.min(shape.threads_per_core)
+                {
+                    ctxs.push(CtxId(core * shape.threads_per_core + slot_cursor[core]));
+                    slot_cursor[core] += 1;
+                    placed += 1;
+                }
+                if placed == want {
+                    break;
+                }
+            }
+            if placed < want {
+                slot_cursor.copy_from_slice(&snapshot);
+                return None;
+            }
+        }
+        if ctxs.is_empty() {
+            slot_cursor.copy_from_slice(&snapshot);
+            return None;
+        }
+        debug_assert_eq!(self.threads_per_socket.len(), shape.sockets);
+        Placement::new(shape, ctxs).ok().or_else(|| {
+            slot_cursor.copy_from_slice(&snapshot);
+            None
+        })
+    }
+}
+
+/// The template family for each job: a ladder of thread counts, each
+/// either confined to one socket, split evenly, spread one-per-core, or
+/// SMT-packed.
+fn job_templates(shape: &MachineShape, n_jobs: usize) -> Vec<Template> {
+    let cores = shape.cores_per_socket;
+    let sockets = shape.sockets;
+    let mut out = Vec::new();
+    // Thread-count ladder: powers of two up to the whole machine, denser
+    // when few jobs compete.
+    let mut counts = vec![1usize, 2, 4];
+    let mut c = 8;
+    while c <= cores * sockets * shape.threads_per_core {
+        counts.push(c);
+        c *= 2;
+    }
+    counts.push(cores); // exactly one socket's cores
+    counts.push(cores * sockets); // one thread per core machine-wide
+    counts.sort_unstable();
+    counts.dedup();
+    let max_share =
+        if n_jobs > 1 { cores * sockets * shape.threads_per_core * 2 / (n_jobs + 1) } else { usize::MAX };
+
+    for &n in &counts {
+        if n > max_share {
+            continue;
+        }
+        // Confined to a single socket (the cursor decides which).
+        if n <= cores {
+            let mut per = vec![0; sockets];
+            per[0] = n;
+            out.push(Template { threads_per_socket: per, smt_packed: false });
+        }
+        if n <= cores * shape.threads_per_core {
+            let mut per = vec![0; sockets];
+            per[0] = n;
+            out.push(Template { threads_per_socket: per, smt_packed: true });
+        }
+        // Split evenly over all sockets.
+        if sockets > 1 && n.is_multiple_of(sockets) {
+            let share = n / sockets;
+            if share <= cores {
+                out.push(Template {
+                    threads_per_socket: vec![share; sockets],
+                    smt_packed: false,
+                });
+            }
+            if share <= cores * shape.threads_per_core {
+                out.push(Template { threads_per_socket: vec![share; sockets], smt_packed: true });
+            }
+        }
+    }
+    // Socket-rotated variants so two one-socket jobs can land on different
+    // sockets: handled implicitly by the cursor (it fills socket 0 first),
+    // so add explicit second-socket confinement.
+    if sockets > 1 {
+        let base: Vec<Template> = out.clone();
+        for t in base {
+            if t.threads_per_socket.iter().filter(|&&x| x > 0).count() == 1
+                && t.threads_per_socket[0] > 0
+            {
+                let mut rotated = vec![0; sockets];
+                rotated[sockets - 1] = t.threads_per_socket[0];
+                out.push(Template { threads_per_socket: rotated, smt_packed: t.smt_packed });
+            }
+        }
+    }
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandia_topology::DemandVector;
+
+    fn toy_machine() -> MachineDescription {
+        let mut m = MachineDescription::toy();
+        m.shape = MachineShape { sockets: 2, cores_per_socket: 4, threads_per_core: 2 };
+        m
+    }
+
+    fn cpu_job(name: &str) -> WorkloadDescription {
+        WorkloadDescription {
+            name: name.into(),
+            machine: "toy".into(),
+            t1: 100.0,
+            demand: DemandVector { instr: 6.0, l1: 0.0, l2: 0.0, l3: 0.0, dram: vec![0.5, 0.5] },
+            parallel_fraction: 0.99,
+            inter_socket_overhead: 0.002,
+            load_balance: 1.0,
+            burstiness: 0.1,
+        }
+    }
+
+    fn memory_job(name: &str) -> WorkloadDescription {
+        WorkloadDescription {
+            name: name.into(),
+            machine: "toy".into(),
+            t1: 100.0,
+            demand: DemandVector { instr: 1.0, l1: 0.0, l2: 0.0, l3: 0.0, dram: vec![30.0, 30.0] },
+            parallel_fraction: 0.99,
+            inter_socket_overhead: 0.002,
+            load_balance: 1.0,
+            burstiness: 0.1,
+        }
+    }
+
+    #[test]
+    fn single_job_schedule_behaves_like_best_placement() {
+        let m = toy_machine();
+        let job = cpu_job("cpu");
+        let schedule = CoScheduler::new(&m).schedule(&[&job]).unwrap();
+        assert_eq!(schedule.assignments.len(), 1);
+        // A CPU-bound job wants many threads.
+        assert!(schedule.assignments[0].n_threads >= 8, "{:?}", schedule.assignments[0]);
+    }
+
+    #[test]
+    fn two_jobs_get_disjoint_placements() {
+        let m = toy_machine();
+        let a = cpu_job("a");
+        let b = cpu_job("b");
+        let schedule = CoScheduler::new(&m).schedule(&[&a, &b]).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for placement in &schedule.placements {
+            for ctx in placement.contexts() {
+                assert!(seen.insert(*ctx), "context {ctx} assigned twice");
+            }
+        }
+        assert_eq!(schedule.predictions.len(), 2);
+    }
+
+    #[test]
+    fn memory_and_cpu_jobs_share_better_than_two_memory_jobs() {
+        // A memory hog pairs better with a CPU job than with another
+        // memory hog: the scheduler's predicted makespan should reflect
+        // that.
+        let m = toy_machine();
+        let scheduler = CoScheduler::new(&m);
+        let cpu = cpu_job("cpu");
+        let mem1 = memory_job("mem1");
+        let mem2 = memory_job("mem2");
+        let mixed = scheduler.schedule(&[&mem1, &cpu]).unwrap();
+        let clashing = scheduler.schedule(&[&mem1, &mem2]).unwrap();
+        assert!(
+            mixed.objective < clashing.objective,
+            "mixed {} should beat clashing {}",
+            mixed.objective,
+            clashing.objective
+        );
+    }
+
+    #[test]
+    fn coscheduled_jobs_predict_slower_than_solo() {
+        let m = toy_machine();
+        let shape = m.shape();
+        let a = memory_job("a");
+        let b = memory_job("b");
+        // Both jobs on 2 threads each, different sockets.
+        let pa = Placement::new(&shape, vec![CtxId(0), CtxId(2)]).unwrap();
+        let pb = Placement::new(&shape, vec![CtxId(8), CtxId(10)]).unwrap();
+        let joint = predict_jobs(
+            &m,
+            &[(&a, &pa), (&b, &pb)],
+            &PredictorConfig::default(),
+        )
+        .unwrap();
+        let solo =
+            predict_jobs(&m, &[(&a, &pa)], &PredictorConfig::default()).unwrap();
+        assert!(
+            joint[0].predicted_time >= solo[0].predicted_time - 1e-9,
+            "sharing DRAM must not speed job a up: joint {} vs solo {}",
+            joint[0].predicted_time,
+            solo[0].predicted_time
+        );
+    }
+
+    #[test]
+    fn overlapping_joint_placements_are_rejected() {
+        let m = toy_machine();
+        let shape = m.shape();
+        let a = cpu_job("a");
+        let b = cpu_job("b");
+        let pa = Placement::new(&shape, vec![CtxId(0)]).unwrap();
+        let pb = Placement::new(&shape, vec![CtxId(0)]).unwrap();
+        let err = predict_jobs(&m, &[(&a, &pa), (&b, &pb)], &PredictorConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, PandiaError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn too_many_jobs_rejected() {
+        let m = toy_machine();
+        let jobs: Vec<WorkloadDescription> =
+            (0..4).map(|i| cpu_job(&format!("j{i}"))).collect();
+        let refs: Vec<&WorkloadDescription> = jobs.iter().collect();
+        assert!(CoScheduler::new(&m).schedule(&refs).is_err());
+        assert!(CoScheduler::new(&m).schedule(&[]).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Machine descriptions: what Pandia knows about a machine.
+//!
+//! A [`MachineDescription`] is the output of the machine description
+//! generator (§3): the machine's structure (from the OS) combined with
+//! *measured* capacities (from stress runs). It is workload-independent
+//! and created once per machine. Figure 3 of the paper shows the toy
+//! instance used by the worked example, available here as
+//! [`MachineDescription::toy`].
+
+use serde::{Deserialize, Serialize};
+
+use pandia_topology::{CapacityProfile, HasShape, MachineShape, ResourceTable};
+
+use crate::error::PandiaError;
+
+/// The measured description of a machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineDescription {
+    /// Name of the machine this was measured on.
+    pub machine: String,
+    /// Structure reported by the operating system.
+    pub shape: MachineShape,
+    /// Measured capacities: per-core issue rate, cache link bandwidths
+    /// (with separate per-link and aggregate L3 limits), DRAM and
+    /// interconnect bandwidths.
+    pub capacities: CapacityProfile,
+    /// Measured ratio of a core's combined instruction throughput with two
+    /// co-scheduled threads to its single-thread throughput (§3.2); 1.0
+    /// means no front-end loss.
+    pub smt_coschedule_factor: f64,
+}
+
+impl HasShape for MachineDescription {
+    fn shape(&self) -> MachineShape {
+        self.shape
+    }
+}
+
+impl MachineDescription {
+    /// Builds the resource table used by the predictor from the measured
+    /// capacities.
+    pub fn resource_table(&self) -> ResourceTable {
+        ResourceTable::new(self.shape.sockets, self.shape.cores_per_socket, &self.capacities)
+    }
+
+    /// The toy machine of the paper's Figure 3: two dual-core sockets,
+    /// instruction throughput 10 per core, DRAM bandwidth 100 per socket,
+    /// interconnect bandwidth 50, no caches.
+    pub fn toy() -> Self {
+        const UNLIMITED: f64 = 1.0e12;
+        Self {
+            machine: "toy (Figure 3)".into(),
+            shape: MachineShape { sockets: 2, cores_per_socket: 2, threads_per_core: 1 },
+            capacities: CapacityProfile {
+                core_issue: 10.0,
+                l1_per_core: UNLIMITED,
+                l2_per_core: UNLIMITED,
+                l3_per_link: UNLIMITED,
+                l3_aggregate: UNLIMITED,
+                dram_per_socket: 100.0,
+                interconnect_per_link: 50.0,
+            },
+            smt_coschedule_factor: 1.0,
+        }
+    }
+
+    /// Validates the description's invariants.
+    pub fn validate(&self) -> Result<(), PandiaError> {
+        let bad = |what: &'static str, value: f64| PandiaError::Degenerate { what, value };
+        for (v, what) in [
+            (self.capacities.core_issue, "core issue rate"),
+            (self.capacities.l1_per_core, "L1 bandwidth"),
+            (self.capacities.l2_per_core, "L2 bandwidth"),
+            (self.capacities.l3_per_link, "L3 link bandwidth"),
+            (self.capacities.l3_aggregate, "L3 aggregate bandwidth"),
+            (self.capacities.dram_per_socket, "DRAM bandwidth"),
+        ] {
+            if v <= 0.0 || v.is_nan() {
+                return Err(bad(what, v));
+            }
+        }
+        if self.shape.sockets > 1
+            && (self.capacities.interconnect_per_link <= 0.0
+                || self.capacities.interconnect_per_link.is_nan())
+        {
+            return Err(bad("interconnect bandwidth", self.capacities.interconnect_per_link));
+        }
+        if !(0.0 < self.smt_coschedule_factor && self.smt_coschedule_factor <= 2.0) {
+            return Err(bad("SMT co-schedule factor", self.smt_coschedule_factor));
+        }
+        Ok(())
+    }
+
+    /// Serializes to JSON (descriptions are per-machine artifacts meant to
+    /// be saved and reused — the portability study of §6.1 relies on this).
+    pub fn to_json(&self) -> Result<String, PandiaError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Self, PandiaError> {
+        let d: Self = serde_json::from_str(s)?;
+        d.validate()?;
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_matches_figure_3() {
+        let d = MachineDescription::toy();
+        d.validate().unwrap();
+        let t = d.resource_table();
+        assert_eq!(t.total_cores(), 4);
+        assert_eq!(t.get(t.core_issue(pandia_topology::CoreId(0))).capacity, 10.0);
+        assert_eq!(t.get(t.dram(pandia_topology::SocketId(1))).capacity, 100.0);
+        assert_eq!(
+            t.get(t
+                .interconnect(pandia_topology::SocketId(0), pandia_topology::SocketId(1))
+                .unwrap())
+            .capacity,
+            50.0
+        );
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let d = MachineDescription::toy();
+        let s = d.to_json().unwrap();
+        let back = MachineDescription::from_json(&s).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut d = MachineDescription::toy();
+        d.capacities.dram_per_socket = 0.0;
+        assert!(d.validate().is_err());
+        let mut d = MachineDescription::toy();
+        d.smt_coschedule_factor = 0.0;
+        assert!(d.validate().is_err());
+        let mut d = MachineDescription::toy();
+        d.capacities.interconnect_per_link = -1.0;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn from_json_validates() {
+        let mut d = MachineDescription::toy();
+        d.capacities.core_issue = -5.0;
+        let s = serde_json::to_string(&d).unwrap();
+        assert!(MachineDescription::from_json(&s).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for Pandia operations.
+
+use core::fmt;
+
+use pandia_topology::{PlatformError, TopologyError};
+
+/// Errors raised while generating descriptions or making predictions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PandiaError {
+    /// A profiling or measurement run failed on the platform.
+    Platform(PlatformError),
+    /// A placement was invalid for the machine.
+    Topology(TopologyError),
+    /// The machine is too small for a profiling step (e.g. single-socket
+    /// machines cannot measure inter-socket overheads).
+    MachineTooSmall {
+        /// Which profiling step could not be performed.
+        step: &'static str,
+        /// Why the machine cannot support it.
+        reason: String,
+    },
+    /// A measured value was outside the range the model can use.
+    Degenerate {
+        /// Which quantity was degenerate.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The workload description and machine description disagree on
+    /// structure (e.g. numbers of memory nodes).
+    Mismatch {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// (De)serialization of a description failed.
+    Serde {
+        /// Error message from the serializer.
+        message: String,
+    },
+}
+
+impl fmt::Display for PandiaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Platform(e) => write!(f, "platform error: {e}"),
+            Self::Topology(e) => write!(f, "topology error: {e}"),
+            Self::MachineTooSmall { step, reason } => {
+                write!(f, "machine too small for {step}: {reason}")
+            }
+            Self::Degenerate { what, value } => {
+                write!(f, "degenerate measurement for {what}: {value}")
+            }
+            Self::Mismatch { reason } => write!(f, "description mismatch: {reason}"),
+            Self::Serde { message } => write!(f, "serialization error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PandiaError {}
+
+impl From<PlatformError> for PandiaError {
+    fn from(e: PlatformError) -> Self {
+        Self::Platform(e)
+    }
+}
+
+impl From<TopologyError> for PandiaError {
+    fn from(e: TopologyError) -> Self {
+        Self::Topology(e)
+    }
+}
+
+impl From<serde_json::Error> for PandiaError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Serde { message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PandiaError = TopologyError::EmptyPlacement.into();
+        assert!(e.to_string().contains("topology"));
+        let e: PandiaError =
+            PlatformError::Unsupported { reason: "requires AVX".into() }.into();
+        assert!(e.to_string().contains("AVX"));
+        let e = PandiaError::Degenerate { what: "t1", value: -1.0 };
+        assert!(e.to_string().contains("t1"));
+        let e = PandiaError::MachineTooSmall { step: "run 3", reason: "one socket".into() };
+        assert!(e.to_string().contains("run 3"));
+    }
+}

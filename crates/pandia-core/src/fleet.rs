@@ -1,0 +1,297 @@
+//! Rack-scale scheduling (§8 future work).
+//!
+//! "Finally, we aim to extend Pandia from scheduling a single workload on
+//! a single machine to the scheduling of multiple workloads on a
+//! rack-scale system." [`FleetScheduler`] does exactly that: given the
+//! machine descriptions of a rack and a queue of profiled workloads, it
+//! assigns each workload a machine and a placement.
+//!
+//! The algorithm is longest-processing-time-first over predicted times:
+//! jobs are sorted by their best-case predicted runtime (descending) and
+//! greedily assigned to whichever machine minimizes the rack's makespan,
+//! using [`CoScheduler`] to re-place all jobs sharing a machine whenever a
+//! new one lands there. Every decision is prediction-driven — nothing runs
+//! until the schedule is fixed.
+
+use pandia_topology::Placement;
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    coschedule::{CoScheduler, Objective},
+    description::MachineDescription,
+    error::PandiaError,
+    workload_desc::WorkloadDescription,
+};
+
+/// One job's assignment in the fleet schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetAssignment {
+    /// Job name.
+    pub workload: String,
+    /// Index of the machine in the input list.
+    pub machine_index: usize,
+    /// Machine name.
+    pub machine: String,
+    /// Thread count assigned.
+    pub n_threads: usize,
+    /// Predicted completion time on that machine under co-scheduling.
+    pub predicted_time: f64,
+}
+
+/// A complete fleet schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSchedule {
+    /// Per-job assignments, in input order.
+    pub assignments: Vec<FleetAssignment>,
+    /// Predicted makespan across the rack.
+    pub makespan: f64,
+    /// Concrete placements per job, in input order.
+    pub placements: Vec<Placement>,
+}
+
+/// Maximum jobs the co-scheduler will stack on one machine.
+const MAX_JOBS_PER_MACHINE: usize = 3;
+
+/// Schedules profiled workloads across a rack of machines.
+#[derive(Debug)]
+pub struct FleetScheduler<'m> {
+    machines: &'m [MachineDescription],
+}
+
+impl<'m> FleetScheduler<'m> {
+    /// Creates a scheduler over the rack's machine descriptions.
+    pub fn new(machines: &'m [MachineDescription]) -> Self {
+        Self { machines }
+    }
+
+    /// Assigns every job a machine and placement.
+    ///
+    /// Each job's description list must be usable on every machine (use
+    /// [`WorkloadDescription::retarget_sockets`] per machine, or supply
+    /// per-machine descriptions via [`Self::schedule_with`]).
+    pub fn schedule(&self, jobs: &[&WorkloadDescription]) -> Result<FleetSchedule, PandiaError> {
+        // Retarget each job's description to each machine's socket count.
+        let per_machine: Vec<Vec<WorkloadDescription>> = self
+            .machines
+            .iter()
+            .map(|m| jobs.iter().map(|j| j.retarget_sockets(m.shape.sockets)).collect())
+            .collect();
+        self.schedule_with(jobs, &per_machine)
+    }
+
+    /// Assigns jobs using per-machine descriptions: `descriptions[m][j]`
+    /// is job `j` as profiled (or retargeted) for machine `m`.
+    pub fn schedule_with(
+        &self,
+        jobs: &[&WorkloadDescription],
+        descriptions: &[Vec<WorkloadDescription>],
+    ) -> Result<FleetSchedule, PandiaError> {
+        if self.machines.is_empty() {
+            return Err(PandiaError::Mismatch { reason: "fleet has no machines".into() });
+        }
+        if jobs.is_empty() {
+            return Err(PandiaError::Mismatch { reason: "no jobs to schedule".into() });
+        }
+        if descriptions.len() != self.machines.len()
+            || descriptions.iter().any(|d| d.len() != jobs.len())
+        {
+            return Err(PandiaError::Mismatch {
+                reason: "descriptions must be indexed [machine][job]".into(),
+            });
+        }
+        let capacity = self.machines.len() * MAX_JOBS_PER_MACHINE;
+        if jobs.len() > capacity {
+            return Err(PandiaError::Mismatch {
+                reason: format!(
+                    "{} jobs exceed rack capacity of {capacity} ({} machines x {MAX_JOBS_PER_MACHINE})",
+                    jobs.len(),
+                    self.machines.len()
+                ),
+            });
+        }
+
+        // Longest-processing-time-first: order jobs by their best solo
+        // prediction on the *fastest* machine for that job.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        let mut solo_best = vec![f64::INFINITY; jobs.len()];
+        for (j, _) in jobs.iter().enumerate() {
+            for (m, machine) in self.machines.iter().enumerate() {
+                let schedule =
+                    CoScheduler::new(machine).schedule(&[&descriptions[m][j]])?;
+                solo_best[j] = solo_best[j].min(schedule.predictions[0].predicted_time);
+            }
+        }
+        order.sort_by(|&a, &b| {
+            solo_best[b].partial_cmp(&solo_best[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        // Greedy assignment: place each job on the machine that minimizes
+        // the resulting rack makespan, re-co-scheduling that machine's
+        // residents.
+        let mut resident: Vec<Vec<usize>> = vec![Vec::new(); self.machines.len()];
+        let mut machine_makespan = vec![0.0_f64; self.machines.len()];
+        let mut machine_schedules: Vec<Option<crate::coschedule::CoSchedule>> =
+            vec![None; self.machines.len()];
+        for &j in &order {
+            let mut best: Option<(usize, crate::coschedule::CoSchedule, f64)> = None;
+            for (m, machine) in self.machines.iter().enumerate() {
+                if resident[m].len() >= MAX_JOBS_PER_MACHINE {
+                    continue;
+                }
+                let mut members = resident[m].clone();
+                members.push(j);
+                let descs: Vec<&WorkloadDescription> =
+                    members.iter().map(|&k| &descriptions[m][k]).collect();
+                let schedule = CoScheduler::new(machine)
+                    .with_objective(Objective::Makespan)
+                    .schedule(&descs)?;
+                let new_makespan = schedule
+                    .predictions
+                    .iter()
+                    .map(|p| p.predicted_time)
+                    .fold(0.0_f64, f64::max);
+                let rack_makespan = machine_makespan
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &ms)| if k == m { new_makespan } else { ms })
+                    .fold(0.0_f64, f64::max);
+                if best
+                    .as_ref()
+                    .map(|(_, _, best_ms)| rack_makespan < *best_ms)
+                    .unwrap_or(true)
+                {
+                    best = Some((m, schedule, rack_makespan));
+                }
+            }
+            let (m, schedule, _) = best.ok_or(PandiaError::Mismatch {
+                reason: "no machine can host the job".into(),
+            })?;
+            resident[m].push(j);
+            machine_makespan[m] = schedule
+                .predictions
+                .iter()
+                .map(|p| p.predicted_time)
+                .fold(0.0_f64, f64::max);
+            machine_schedules[m] = Some(schedule);
+        }
+
+        // Assemble per-job assignments from the final machine schedules.
+        let mut assignments: Vec<Option<FleetAssignment>> = vec![None; jobs.len()];
+        let mut placements: Vec<Option<Placement>> = vec![None; jobs.len()];
+        for (m, schedule) in machine_schedules.iter().enumerate() {
+            let Some(schedule) = schedule else { continue };
+            for (slot, &j) in resident[m].iter().enumerate() {
+                assignments[j] = Some(FleetAssignment {
+                    workload: jobs[j].name.clone(),
+                    machine_index: m,
+                    machine: self.machines[m].machine.clone(),
+                    n_threads: schedule.assignments[slot].n_threads,
+                    predicted_time: schedule.predictions[slot].predicted_time,
+                });
+                placements[j] = Some(schedule.placements[slot].clone());
+            }
+        }
+        let assignments: Vec<FleetAssignment> =
+            assignments.into_iter().map(|a| a.expect("every job assigned")).collect();
+        let placements: Vec<Placement> =
+            placements.into_iter().map(|p| p.expect("every job placed")).collect();
+        let makespan = machine_makespan.iter().cloned().fold(0.0_f64, f64::max);
+        Ok(FleetSchedule { assignments, makespan, placements })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandia_topology::{DemandVector, MachineShape};
+
+    fn small_machine() -> MachineDescription {
+        let mut m = MachineDescription::toy();
+        m.machine = "small".into();
+        m.shape = MachineShape { sockets: 2, cores_per_socket: 2, threads_per_core: 2 };
+        m
+    }
+
+    fn big_machine() -> MachineDescription {
+        let mut m = MachineDescription::toy();
+        m.machine = "big".into();
+        m.shape = MachineShape { sockets: 2, cores_per_socket: 8, threads_per_core: 2 };
+        // Twice the memory bandwidth of the toy machine.
+        m.capacities.dram_per_socket = 200.0;
+        m.capacities.interconnect_per_link = 100.0;
+        m
+    }
+
+    fn job(name: &str, instr: f64, dram: f64, t1: f64) -> WorkloadDescription {
+        WorkloadDescription {
+            name: name.into(),
+            machine: "any".into(),
+            t1,
+            demand: DemandVector {
+                instr,
+                l1: 0.0,
+                l2: 0.0,
+                l3: 0.0,
+                dram: vec![dram / 2.0, dram / 2.0],
+            },
+            parallel_fraction: 0.99,
+            inter_socket_overhead: 0.002,
+            load_balance: 1.0,
+            burstiness: 0.1,
+        }
+    }
+
+    #[test]
+    fn heavy_job_lands_on_the_big_machine() {
+        let machines = [small_machine(), big_machine()];
+        let heavy = job("heavy", 6.0, 1.0, 400.0);
+        let light = job("light", 6.0, 1.0, 50.0);
+        let schedule =
+            FleetScheduler::new(&machines).schedule(&[&heavy, &light]).unwrap();
+        let heavy_assignment =
+            schedule.assignments.iter().find(|a| a.workload == "heavy").unwrap();
+        assert_eq!(heavy_assignment.machine, "big");
+        assert!(schedule.makespan > 0.0);
+    }
+
+    #[test]
+    fn jobs_spread_before_they_stack() {
+        // Two identical machines: equal jobs must use both rather than
+        // contend on one.
+        let machines = [small_machine(), small_machine()];
+        let a = job("a", 6.0, 1.0, 100.0);
+        let b = job("b", 6.0, 1.0, 100.0);
+        let schedule = FleetScheduler::new(&machines).schedule(&[&a, &b]).unwrap();
+        let m0 = schedule.assignments[0].machine_index;
+        let m1 = schedule.assignments[1].machine_index;
+        assert_ne!(m0, m1, "two equal jobs should use both machines");
+    }
+
+    #[test]
+    fn overflow_jobs_coschedule_on_one_machine() {
+        let machines = [small_machine()];
+        let jobs: Vec<WorkloadDescription> =
+            (0..3).map(|i| job(&format!("j{i}"), 4.0, 1.0, 60.0)).collect();
+        let refs: Vec<&WorkloadDescription> = jobs.iter().collect();
+        let schedule = FleetScheduler::new(&machines).schedule(&refs).unwrap();
+        assert_eq!(schedule.assignments.len(), 3);
+        // All on the single machine, with disjoint placements.
+        let mut seen = std::collections::HashSet::new();
+        for p in &schedule.placements {
+            for ctx in p.contexts() {
+                assert!(seen.insert(*ctx), "placements overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_and_empty_inputs_rejected() {
+        let machines = [small_machine()];
+        let jobs: Vec<WorkloadDescription> =
+            (0..4).map(|i| job(&format!("j{i}"), 4.0, 1.0, 60.0)).collect();
+        let refs: Vec<&WorkloadDescription> = jobs.iter().collect();
+        assert!(FleetScheduler::new(&machines).schedule(&refs).is_err());
+        assert!(FleetScheduler::new(&machines).schedule(&[]).is_err());
+        assert!(FleetScheduler::new(&[]).schedule(&[&jobs[0]]).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Pandia: contention-sensitive thread placement modeling.
+//!
+//! This crate implements the contribution of *“Pandia: comprehensive
+//! contention-sensitive thread placement”* (Goodman, Varisteas, Harris —
+//! EuroSys 2017): predicting the performance of an in-memory parallel
+//! workload over different thread counts and thread placements, from a
+//! machine description plus six profiling runs.
+//!
+//! The three components mirror the paper's Figure 2:
+//!
+//! * [`machine_gen`] — the **machine description generator** (§3): runs
+//!   stress applications through a [`pandia_topology::Platform`] and
+//!   measures link bandwidths (including both per-link and aggregate
+//!   last-level-cache limits) and core instruction rates, producing a
+//!   [`MachineDescription`].
+//! * [`profiler`] — the **workload description generator** (§4): executes
+//!   the six carefully-selected profiling runs and solves, step by step,
+//!   for the workload's single-thread demand vector `d`, parallel fraction
+//!   `p`, inter-socket overhead `os`, load-balancing factor `l`, and core
+//!   burstiness `b`, producing a [`WorkloadDescription`].
+//! * [`predictor`] — the **performance predictor** (§5): given both
+//!   descriptions and a proposed placement, iteratively estimates per-
+//!   thread slowdowns from resource contention, inter-socket
+//!   communication, and load imbalance, feeding thread utilizations back
+//!   between iterations until convergence, and combines the result with
+//!   Amdahl's law into a final speedup prediction.
+//!
+//! [`search`] builds placement-optimization conveniences on top: best
+//! placement, resource-saving placements, and socket/SMT recommendations.
+//!
+//! The crate deliberately depends only on the platform abstraction, never
+//! on the simulator: pointing it at real hardware means implementing
+//! [`pandia_topology::Platform`] with thread pinning and perf events.
+
+pub mod coschedule;
+pub mod description;
+pub mod error;
+pub mod fleet;
+pub mod machine_gen;
+pub mod online;
+pub mod planner;
+pub mod predictor;
+pub mod profiler;
+pub mod search;
+pub mod workload_desc;
+
+pub use coschedule::{CoSchedule, CoScheduler, JobAssignment, Objective};
+pub use description::MachineDescription;
+pub use error::PandiaError;
+pub use fleet::{FleetAssignment, FleetSchedule, FleetScheduler};
+pub use machine_gen::{describe_machine, MachineDescriptionGenerator, MachineGenConfig};
+pub use online::{OnlineConfig, OnlineController, OnlineReport};
+pub use planner::{plan, scaling_profile, CapacityPlan, ScalingPoint, Target};
+pub use predictor::{predict, predict_jobs, Prediction, PredictorConfig, ThreadPrediction};
+pub use profiler::{ProfileConfig, ProfileReport, RunRecord, WorkloadProfiler};
+pub use search::{
+    best_placement, placement_report, PlacementOutcome, PlacementReport, Recommendation,
+};
+pub use workload_desc::WorkloadDescription;

@@ -1,0 +1,192 @@
+//! The machine description generator (§3).
+//!
+//! Builds a [`MachineDescription`] for a platform by running stress
+//! applications and reading hardware counters — never by consulting data
+//! sheets or the platform's internal parameters ("for all of these
+//! measurements we use results obtained from workloads running on the
+//! machine itself", §3.1). All profiling runs fill otherwise-idle cores
+//! with a background load so measurements are taken at the all-cores-busy
+//! frequency (§6.3).
+//!
+//! Measurements, in order:
+//!
+//! * core instruction rate: one CPU stress thread (§3.2);
+//! * SMT co-schedule factor: two CPU stress threads packed on one core,
+//!   combined throughput relative to solo (§3.2);
+//! * L1, L2, per-link L3 bandwidth: one streaming thread sized for the
+//!   target level;
+//! * aggregate L3 bandwidth: one streaming thread per core of one socket —
+//!   on wide chips the cache cannot serve every link at full rate, and
+//!   both limits enter the description (§3.1);
+//! * DRAM bandwidth: a socket full of streaming threads over a dataset at
+//!   least 100x the LLC, placed locally;
+//! * interconnect bandwidth: streaming threads whose dataset is bound to a
+//!   remote socket.
+
+use pandia_topology::{
+    CanonicalPlacement, CapacityProfile, HasShape, Platform, RunRequest, StressKind,
+};
+
+use crate::{description::MachineDescription, error::PandiaError};
+
+/// Configuration for machine description generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineGenConfig {
+    /// Base seed for the measurement runs.
+    pub seed: u64,
+    /// Number of threads used to saturate DRAM/interconnect (defaults to a
+    /// full socket when `None`).
+    pub saturation_threads: Option<usize>,
+}
+
+impl Default for MachineGenConfig {
+    fn default() -> Self {
+        Self { seed: 0x3A11, saturation_threads: None }
+    }
+}
+
+/// Generates machine descriptions through the platform interface.
+#[derive(Debug, Clone, Default)]
+pub struct MachineDescriptionGenerator {
+    config: MachineGenConfig,
+}
+
+impl MachineDescriptionGenerator {
+    /// Creates a generator with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a generator with explicit configuration.
+    pub fn with_config(config: MachineGenConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the stress measurement suite and assembles the description.
+    pub fn generate<P: Platform>(
+        &self,
+        platform: &mut P,
+    ) -> Result<MachineDescription, PandiaError> {
+        let shape = platform.spec().shape();
+        let machine = platform.spec().name.clone();
+        let mut seed = self.config.seed;
+        let mut next_seed = move || {
+            seed = seed.wrapping_add(1);
+            seed
+        };
+
+        fn measure<P: Platform>(
+            platform: &mut P,
+            shape: &pandia_topology::MachineShape,
+            kind: StressKind,
+            placement: &CanonicalPlacement,
+            s: u64,
+        ) -> Result<pandia_topology::RunResult, PandiaError> {
+            let workload = platform.stress_workload(kind);
+            let concrete = placement.instantiate(shape)?;
+            let req = RunRequest::new(workload, concrete).with_seed(s);
+            Ok(platform.run(&req)?)
+        }
+
+        let one_thread = CanonicalPlacement::new(vec![vec![1]]);
+
+        // Core instruction rate (§3.2).
+        let r = measure(platform, &shape, StressKind::Cpu, &one_thread, next_seed())?;
+        let core_issue = rate(r.counters.instructions, r.elapsed, "core instruction rate")?;
+
+        // SMT co-schedule factor (§3.2).
+        let smt_coschedule_factor = if shape.threads_per_core >= 2 {
+            let packed_pair = CanonicalPlacement::new(vec![vec![2]]);
+            let r2 = measure(platform, &shape, StressKind::Cpu, &packed_pair, next_seed())?;
+            let combined = rate(r2.counters.instructions, r2.elapsed, "SMT throughput")?;
+            (combined / core_issue).clamp(0.1, 2.0)
+        } else {
+            1.0
+        };
+
+        // Private cache links: a single streaming thread per level.
+        let r = measure(platform, &shape, StressKind::L1, &one_thread, next_seed())?;
+        let l1_per_core = rate(r.counters.l1_bytes, r.elapsed, "L1 bandwidth")?;
+        let r = measure(platform, &shape, StressKind::L2, &one_thread, next_seed())?;
+        let l2_per_core = rate(r.counters.l2_bytes, r.elapsed, "L2 bandwidth")?;
+
+        // L3: per-link from one thread, aggregate from a full socket.
+        let r = measure(platform, &shape, StressKind::L3, &one_thread, next_seed())?;
+        let l3_per_link = rate(r.counters.l3_bytes, r.elapsed, "L3 link bandwidth")?;
+        let full_socket = CanonicalPlacement::new(vec![vec![1; shape.cores_per_socket]]);
+        let r = measure(platform, &shape, StressKind::L3, &full_socket, next_seed())?;
+        let l3_aggregate =
+            rate(r.counters.l3_bytes, r.elapsed, "L3 aggregate bandwidth")?.max(l3_per_link);
+
+        // DRAM channels: saturate one socket with local streaming.
+        let sat = self
+            .config
+            .saturation_threads
+            .unwrap_or(shape.cores_per_socket)
+            .clamp(1, shape.cores_per_socket);
+        let sat_placement = CanonicalPlacement::new(vec![vec![1; sat]]);
+        let r = measure(platform, &shape, StressKind::DramLocal, &sat_placement, next_seed())?;
+        let dram_per_socket = rate(
+            r.counters.dram_bytes.first().copied().unwrap_or(0.0),
+            r.elapsed,
+            "DRAM bandwidth",
+        )?;
+
+        // Interconnect: remote streaming from one socket.
+        let interconnect_per_link = if shape.sockets >= 2 {
+            let r =
+                measure(platform, &shape, StressKind::DramRemote, &sat_placement, next_seed())?;
+            rate(r.counters.interconnect_bytes, r.elapsed, "interconnect bandwidth")?
+        } else {
+            0.0
+        };
+
+        let description = MachineDescription {
+            machine,
+            shape,
+            capacities: CapacityProfile {
+                core_issue,
+                l1_per_core,
+                l2_per_core,
+                l3_per_link,
+                l3_aggregate,
+                dram_per_socket,
+                interconnect_per_link,
+            },
+            smt_coschedule_factor,
+        };
+        description.validate()?;
+        Ok(description)
+    }
+}
+
+/// Converts a counter total over a run into a rate, rejecting degenerate
+/// measurements.
+fn rate(total: f64, elapsed: f64, what: &'static str) -> Result<f64, PandiaError> {
+    if elapsed <= 0.0 || !elapsed.is_finite() {
+        return Err(PandiaError::Degenerate { what: "elapsed time", value: elapsed });
+    }
+    let r = total / elapsed;
+    if r <= 0.0 || !r.is_finite() {
+        return Err(PandiaError::Degenerate { what, value: r });
+    }
+    Ok(r)
+}
+
+/// Convenience: generate a description for a platform with defaults.
+pub fn describe_machine<P: Platform>(platform: &mut P) -> Result<MachineDescription, PandiaError> {
+    MachineDescriptionGenerator::new().generate(platform)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_rejects_degenerate_inputs() {
+        assert!(rate(10.0, 2.0, "x").is_ok());
+        assert!(rate(10.0, 0.0, "x").is_err());
+        assert!(rate(0.0, 2.0, "x").is_err());
+        assert!(rate(f64::NAN, 2.0, "x").is_err());
+    }
+}

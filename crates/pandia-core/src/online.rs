@@ -1,0 +1,208 @@
+//! Online placement control for iterative workloads (§8 future work).
+//!
+//! "Pandia could also be integrated into runtime systems to choose the
+//! placement of threads in parallel loops. In this scenario the workload
+//! description could be generated during the execution of early iterations
+//! of the loop."
+//!
+//! [`OnlineController`] realizes that: the workload is a loop of identical
+//! *episodes* (outer iterations). The controller spends its first six
+//! episodes executing the §4 profiling schedule — so the calibration work
+//! is real loop work, not thrown away — then predicts the best placement
+//! and runs every remaining episode there. The report compares the total
+//! time against the naive strategy of running every episode on the whole
+//! machine.
+
+use pandia_topology::{CanonicalPlacement, HasShape, Placement, Platform, RunRequest};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    description::MachineDescription,
+    error::PandiaError,
+    predictor::PredictorConfig,
+    profiler::{ProfileConfig, WorkloadProfiler},
+    search::best_placement,
+    workload_desc::WorkloadDescription,
+};
+
+/// Configuration of the online controller.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Profiling settings for the calibration episodes (repeats is forced
+    /// to 1: each profiling run is one real episode).
+    pub profile: ProfileConfig,
+    /// Predictor settings for placement selection.
+    pub predictor: PredictorConfig,
+    /// Candidate placements evaluated after calibration (defaults to the
+    /// machine's full canonical enumeration when empty).
+    pub candidates: Vec<CanonicalPlacement>,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            profile: ProfileConfig { repeats: 1, ..ProfileConfig::default() },
+            predictor: PredictorConfig::default(),
+            candidates: Vec::new(),
+        }
+    }
+}
+
+/// Outcome of steering one looped workload online.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineReport {
+    /// Episodes spent calibrating (the six profiling runs).
+    pub calibration_episodes: usize,
+    /// Wall time of the calibration episodes.
+    pub calibration_time: f64,
+    /// The placement chosen for the remaining episodes.
+    pub chosen_placement: CanonicalPlacement,
+    /// Episodes run at the chosen placement.
+    pub steady_episodes: usize,
+    /// Wall time of the steady episodes.
+    pub steady_time: f64,
+    /// Total wall time (calibration + steady).
+    pub total_time: f64,
+    /// Wall time the naive whole-machine strategy would have needed for
+    /// the same number of episodes.
+    pub naive_time: f64,
+    /// The workload description learned during calibration.
+    pub description: WorkloadDescription,
+}
+
+impl OnlineReport {
+    /// Speedup of online control over the naive whole-machine strategy.
+    pub fn speedup_vs_naive(&self) -> f64 {
+        self.naive_time / self.total_time.max(1e-12)
+    }
+}
+
+/// Steers an iterative workload: calibrate on early episodes, then place.
+#[derive(Debug, Clone)]
+pub struct OnlineController<'m> {
+    machine: &'m MachineDescription,
+    config: OnlineConfig,
+}
+
+impl<'m> OnlineController<'m> {
+    /// Creates a controller for a machine.
+    pub fn new(machine: &'m MachineDescription) -> Self {
+        Self { machine, config: OnlineConfig::default() }
+    }
+
+    /// Creates a controller with explicit configuration.
+    pub fn with_config(machine: &'m MachineDescription, config: OnlineConfig) -> Self {
+        Self { machine, config }
+    }
+
+    /// Runs `episodes` iterations of the workload, steering the placement
+    /// after the six calibration episodes.
+    ///
+    /// `episode` is one outer iteration of the loop (the platform workload
+    /// representing one episode's work). Requires `episodes >= 7` so there
+    /// is at least one steady episode to steer.
+    pub fn run<P: Platform>(
+        &self,
+        platform: &mut P,
+        episode: &P::Workload,
+        name: &str,
+        episodes: usize,
+    ) -> Result<OnlineReport, PandiaError> {
+        if episodes < 7 {
+            return Err(PandiaError::Mismatch {
+                reason: format!("online steering needs at least 7 episodes, got {episodes}"),
+            });
+        }
+        let shape = self.machine.shape();
+
+        // Calibration: the six profiling runs ARE the first six episodes.
+        let mut profile_config = self.config.profile.clone();
+        profile_config.repeats = 1;
+        let profiler = WorkloadProfiler::with_config(self.machine, profile_config);
+        let report = profiler.profile(platform, episode, name)?;
+        let calibration_episodes = report.runs.len();
+        let calibration_time = report.total_cost;
+
+        // Placement selection from the learned description.
+        let candidates = if self.config.candidates.is_empty() {
+            pandia_topology::PlacementEnumerator::new(&shape).all()
+        } else {
+            self.config.candidates.clone()
+        };
+        let choice = best_placement(
+            self.machine,
+            &report.description,
+            &candidates,
+            &self.config.predictor,
+        )?;
+        let chosen = choice.placement.instantiate(&shape)?;
+
+        // Steady state: run the remaining episodes at the chosen placement.
+        let steady_episodes = episodes - calibration_episodes;
+        let steady_time =
+            self.run_episodes(platform, episode, &chosen, steady_episodes, 0x0E11)?;
+
+        // Naive baseline: every episode on the whole machine.
+        let naive_placement = Placement::packed(&shape, shape.total_contexts())?;
+        let naive_time =
+            self.run_episodes(platform, episode, &naive_placement, episodes, 0x1A1E)?;
+
+        Ok(OnlineReport {
+            calibration_episodes,
+            calibration_time,
+            chosen_placement: choice.placement,
+            steady_episodes,
+            steady_time,
+            total_time: calibration_time + steady_time,
+            naive_time,
+            description: report.description,
+        })
+    }
+
+    fn run_episodes<P: Platform>(
+        &self,
+        platform: &mut P,
+        episode: &P::Workload,
+        placement: &Placement,
+        count: usize,
+        seed_base: u64,
+    ) -> Result<f64, PandiaError> {
+        let mut total = 0.0;
+        for k in 0..count {
+            let req = RunRequest::new(episode.clone(), placement.clone())
+                .with_seed(seed_base.wrapping_add(k as u64));
+            total += platform.run(&req)?.elapsed;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn too_few_episodes_rejected() {
+        let m = MachineDescription::toy();
+        let controller = OnlineController::new(&m);
+        // The platform is never touched when the episode count is too low;
+        // use a dummy that would fail loudly.
+        struct NoPlatform(pandia_topology::MachineSpec);
+        impl Platform for NoPlatform {
+            type Workload = ();
+            fn spec(&self) -> &pandia_topology::MachineSpec {
+                &self.0
+            }
+            fn stress_workload(&self, _: pandia_topology::StressKind) {}
+            fn run(
+                &mut self,
+                _: &RunRequest<()>,
+            ) -> Result<pandia_topology::RunResult, pandia_topology::PlatformError> {
+                panic!("must not run");
+            }
+        }
+        let mut p = NoPlatform(pandia_topology::MachineSpec::toy());
+        let err = controller.run(&mut p, &(), "loop", 3).unwrap_err();
+        assert!(err.to_string().contains("7 episodes"));
+    }
+}

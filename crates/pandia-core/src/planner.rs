@@ -1,0 +1,291 @@
+//! Capacity planning: resources needed to meet a performance target.
+//!
+//! The paper's introduction names this use case directly: "Pandia's
+//! results can be used both to predict the best thread allocation for a
+//! given workload, and to predict the resources needed for a workload to
+//! meet a specified performance target." Given a profiled workload and a
+//! target, [`plan`] finds the smallest placement predicted to meet it,
+//! and [`scaling_profile`] reports the best achievable time at each
+//! resource budget so operators can see the whole trade-off curve.
+
+use pandia_topology::CanonicalPlacement;
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    description::MachineDescription,
+    error::PandiaError,
+    predictor::{predict, PredictorConfig},
+    search::PlacementOutcome,
+    workload_desc::WorkloadDescription,
+};
+
+/// A performance target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Target {
+    /// Finish within this many seconds.
+    MaxTime(f64),
+    /// Achieve at least this speedup over the single-thread run.
+    MinSpeedup(f64),
+    /// Stay within this fraction of the best achievable performance
+    /// (e.g. `0.9` = at most 11% slower than the peak).
+    FractionOfPeak(f64),
+}
+
+/// The planner's answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityPlan {
+    /// The target that was planned for.
+    pub target: Target,
+    /// The smallest placement meeting the target, if any.
+    pub placement: Option<PlacementOutcome>,
+    /// The best achievable outcome over the candidate set (for context,
+    /// and the reference for [`Target::FractionOfPeak`]).
+    pub best: PlacementOutcome,
+    /// Predicted slack: `target_time / predicted_time` for the chosen
+    /// placement (> 1 means headroom), when a placement was found.
+    pub headroom: Option<f64>,
+}
+
+/// One point of the resource/performance trade-off curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Thread budget.
+    pub n_threads: usize,
+    /// Best predicted time using at most that many threads.
+    pub predicted_time: f64,
+    /// The placement achieving it.
+    pub placement: CanonicalPlacement,
+    /// Cores used by that placement.
+    pub cores_used: usize,
+    /// Sockets used by that placement.
+    pub sockets_used: usize,
+}
+
+/// Finds the smallest placement (threads, then cores) predicted to meet
+/// the target.
+///
+/// # Examples
+///
+/// ```
+/// use pandia_core::{plan, MachineDescription, PredictorConfig, Target, WorkloadDescription};
+/// use pandia_topology::PlacementEnumerator;
+///
+/// let machine = MachineDescription::toy();
+/// let mut workload = WorkloadDescription::example();
+/// workload.demand.dram = vec![10.0, 10.0];
+/// let candidates = PlacementEnumerator::new(&machine).all();
+/// let plan = plan(&machine, &workload, &candidates, Target::MinSpeedup(2.0),
+///     &PredictorConfig::default())?;
+/// assert!(plan.placement.is_some(), "2x is achievable on 4 cores");
+/// # Ok::<(), pandia_core::PandiaError>(())
+/// ```
+pub fn plan(
+    machine: &MachineDescription,
+    workload: &WorkloadDescription,
+    candidates: &[CanonicalPlacement],
+    target: Target,
+    config: &PredictorConfig,
+) -> Result<CapacityPlan, PandiaError> {
+    if candidates.is_empty() {
+        return Err(PandiaError::Mismatch { reason: "no candidate placements".into() });
+    }
+    let mut outcomes = Vec::with_capacity(candidates.len());
+    for canon in candidates {
+        let placement = canon.instantiate(machine)?;
+        let prediction = predict(machine, workload, &placement, config)?;
+        outcomes.push(PlacementOutcome {
+            placement: canon.clone(),
+            n_threads: prediction.n_threads,
+            speedup: prediction.speedup,
+            predicted_time: prediction.predicted_time,
+        });
+    }
+    let best = outcomes
+        .iter()
+        .min_by(|a, b| {
+            a.predicted_time
+                .partial_cmp(&b.predicted_time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .cloned()
+        .expect("non-empty outcomes");
+
+    let target_time = match target {
+        Target::MaxTime(t) => t,
+        Target::MinSpeedup(s) => {
+            if s <= 0.0 {
+                return Err(PandiaError::Degenerate { what: "target speedup", value: s });
+            }
+            workload.t1 / s
+        }
+        Target::FractionOfPeak(f) => {
+            if !(0.0 < f && f <= 1.0) {
+                return Err(PandiaError::Degenerate { what: "fraction of peak", value: f });
+            }
+            best.predicted_time / f
+        }
+    };
+    let placement = outcomes
+        .iter()
+        .filter(|o| o.predicted_time <= target_time)
+        .min_by_key(|o| (o.n_threads, o.placement.cores_used(), o.placement.sockets_used()))
+        .cloned();
+    let headroom = placement.as_ref().map(|p| target_time / p.predicted_time.max(1e-12));
+    Ok(CapacityPlan { target, placement, best, headroom })
+}
+
+/// The resource/performance trade-off: for each thread budget present in
+/// the candidate set, the best predicted outcome using at most that many
+/// threads.
+pub fn scaling_profile(
+    machine: &MachineDescription,
+    workload: &WorkloadDescription,
+    candidates: &[CanonicalPlacement],
+    config: &PredictorConfig,
+) -> Result<Vec<ScalingPoint>, PandiaError> {
+    let mut by_budget: std::collections::BTreeMap<usize, ScalingPoint> =
+        std::collections::BTreeMap::new();
+    for canon in candidates {
+        let placement = canon.instantiate(machine)?;
+        let prediction = predict(machine, workload, &placement, config)?;
+        let n = prediction.n_threads;
+        let point = ScalingPoint {
+            n_threads: n,
+            predicted_time: prediction.predicted_time,
+            placement: canon.clone(),
+            cores_used: canon.cores_used(),
+            sockets_used: canon.sockets_used(),
+        };
+        by_budget
+            .entry(n)
+            .and_modify(|existing| {
+                if point.predicted_time < existing.predicted_time {
+                    *existing = point.clone();
+                }
+            })
+            .or_insert(point);
+    }
+    // Make the curve cumulative: "at most n threads" is the running best.
+    let mut profile: Vec<ScalingPoint> = Vec::with_capacity(by_budget.len());
+    let mut running_best: Option<ScalingPoint> = None;
+    for (_, point) in by_budget {
+        let best = match &running_best {
+            Some(prev) if prev.predicted_time <= point.predicted_time => ScalingPoint {
+                n_threads: point.n_threads,
+                ..prev.clone()
+            },
+            _ => point.clone(),
+        };
+        running_best = Some(best.clone());
+        profile.push(best);
+    }
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandia_topology::{DemandVector, MachineShape};
+
+    fn machine() -> MachineDescription {
+        let mut m = MachineDescription::toy();
+        m.shape = MachineShape { sockets: 2, cores_per_socket: 4, threads_per_core: 1 };
+        m
+    }
+
+    fn workload() -> WorkloadDescription {
+        WorkloadDescription {
+            name: "planner".into(),
+            machine: "toy".into(),
+            t1: 100.0,
+            demand: DemandVector { instr: 6.0, l1: 0.0, l2: 0.0, l3: 0.0, dram: vec![2.0, 2.0] },
+            parallel_fraction: 0.98,
+            inter_socket_overhead: 0.002,
+            load_balance: 1.0,
+            burstiness: 0.1,
+        }
+    }
+
+    fn candidates() -> Vec<CanonicalPlacement> {
+        pandia_topology::PlacementEnumerator::new(&machine()).all()
+    }
+
+    #[test]
+    fn plan_meets_a_feasible_time_target() {
+        let m = machine();
+        let w = workload();
+        let plan =
+            plan(&m, &w, &candidates(), Target::MaxTime(30.0), &PredictorConfig::default())
+                .unwrap();
+        let chosen = plan.placement.expect("30s is feasible");
+        assert!(chosen.predicted_time <= 30.0);
+        assert!(plan.headroom.unwrap() >= 1.0);
+        // Minimality: one fewer thread must miss the target.
+        assert!(
+            chosen.n_threads <= plan.best.n_threads,
+            "planner should not use more threads than the best placement"
+        );
+    }
+
+    #[test]
+    fn plan_reports_infeasible_targets() {
+        let m = machine();
+        let w = workload();
+        let plan =
+            plan(&m, &w, &candidates(), Target::MaxTime(1.0), &PredictorConfig::default())
+                .unwrap();
+        assert!(plan.placement.is_none(), "1s is impossible for a 100s job on 8 cores");
+        assert!(plan.best.predicted_time > 1.0);
+    }
+
+    #[test]
+    fn speedup_and_fraction_targets_work() {
+        let m = machine();
+        let w = workload();
+        let config = PredictorConfig::default();
+        let by_speedup =
+            plan(&m, &w, &candidates(), Target::MinSpeedup(3.0), &config).unwrap();
+        let chosen = by_speedup.placement.expect("3x is feasible on 8 cores");
+        assert!(chosen.speedup >= 3.0 - 1e-9);
+        assert!(chosen.n_threads >= 3, "3x needs at least 3 threads");
+
+        let by_fraction =
+            plan(&m, &w, &candidates(), Target::FractionOfPeak(0.5), &config).unwrap();
+        let chosen = by_fraction.placement.expect("half of peak is feasible");
+        assert!(chosen.predicted_time <= by_fraction.best.predicted_time / 0.5 + 1e-9);
+        // Half of peak needs far fewer threads than the peak itself.
+        assert!(chosen.n_threads < by_fraction.best.n_threads);
+    }
+
+    #[test]
+    fn invalid_targets_error() {
+        let m = machine();
+        let w = workload();
+        let config = PredictorConfig::default();
+        assert!(plan(&m, &w, &candidates(), Target::MinSpeedup(0.0), &config).is_err());
+        assert!(plan(&m, &w, &candidates(), Target::FractionOfPeak(1.5), &config).is_err());
+        assert!(plan(&m, &w, &[], Target::MaxTime(10.0), &config).is_err());
+    }
+
+    #[test]
+    fn scaling_profile_is_monotone_nonincreasing() {
+        let m = machine();
+        let w = workload();
+        let profile =
+            scaling_profile(&m, &w, &candidates(), &PredictorConfig::default()).unwrap();
+        assert!(!profile.is_empty());
+        let mut prev = f64::INFINITY;
+        for point in &profile {
+            assert!(
+                point.predicted_time <= prev + 1e-9,
+                "profile must be non-increasing at n={}",
+                point.n_threads
+            );
+            prev = point.predicted_time;
+        }
+        // Budgets are strictly increasing.
+        for pair in profile.windows(2) {
+            assert!(pair[0].n_threads < pair[1].n_threads);
+        }
+    }
+}

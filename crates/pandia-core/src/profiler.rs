@@ -1,0 +1,472 @@
+//! The workload description generator: the six profiling runs of §4.
+//!
+//! | Run | Placement | Purpose |
+//! |-----|-----------|---------|
+//! | 1 | one thread | `t1` and the demand vector `d` (§4.1) |
+//! | 2 | `n₂` threads, one per core, one socket, no oversubscription | parallel fraction `p` (§4.2) |
+//! | 3 | the same `n₂` threads split across two sockets | inter-socket overhead `os` (§4.3) |
+//! | 4 | run 2 plus a CPU stressor besides *every* thread | uniform-slowdown point for `l` (§4.4) |
+//! | 5 | run 2 plus a CPU stressor besides *one* thread | load balancing factor `l` (§4.4) |
+//! | 6 | the `n₂` threads packed two per core | core burstiness `b` (§4.5) |
+//!
+//! Each step solves for exactly one new parameter such that the model
+//! *including that parameter* reproduces the measured run time ("we then
+//! extend the workload model so that `u_x = r_x / k_x` is predicted
+//! correctly with the inclusion of the results of the new step", §4.1).
+//! `p` and `l` have closed forms; `os` and `b` use the closed-form
+//! estimate as a bracket and refine it against the full predictor by
+//! bisection, which keeps the description self-consistent with the
+//! prediction machinery that will consume it.
+
+use pandia_topology::{
+    CanonicalPlacement, CtxId, DemandVector, HasShape, Placement, Platform, RunRequest,
+    StressKind,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    description::MachineDescription,
+    error::PandiaError,
+    predictor::{predict, PredictorConfig},
+    workload_desc::WorkloadDescription,
+};
+
+/// Configuration of the profiling procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileConfig {
+    /// Base seed for the profiling runs.
+    pub seed: u64,
+    /// Maximum fraction of any shared resource's capacity run 2 may
+    /// subscribe ("sufficiently low to avoid over-subscribing any
+    /// resources", §4.2).
+    pub headroom: f64,
+    /// Predictor settings used when solving for `os` and `b`.
+    pub predictor: PredictorConfig,
+    /// Bisection iterations for the `os`/`b` refinement.
+    pub solver_iterations: usize,
+    /// Number of repetitions of each profiling run; times are averaged to
+    /// suppress measurement noise (steps 3-5 solve for parameters from
+    /// small differences between runs).
+    pub repeats: usize,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x6A11,
+            headroom: 0.9,
+            predictor: PredictorConfig::default(),
+            solver_iterations: 40,
+            repeats: 3,
+        }
+    }
+}
+
+/// One recorded profiling run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Which of the six runs this is (1-based).
+    pub run: usize,
+    /// Short description of the placement.
+    pub label: String,
+    /// Measured execution time.
+    pub elapsed: f64,
+    /// Time relative to `t1`.
+    pub relative: f64,
+}
+
+/// The outcome of profiling: the description plus the raw evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// The generated workload description.
+    pub description: WorkloadDescription,
+    /// The six profiling runs (fewer on machines that cannot support all
+    /// steps, e.g. single-socket machines skip run 3).
+    pub runs: Vec<RunRecord>,
+    /// The thread count `n₂` used by runs 2-6.
+    pub n2: usize,
+    /// Total profiling cost in simulated seconds (compared against the
+    /// sweep baseline in §6.3).
+    pub total_cost: f64,
+}
+
+/// Generates workload descriptions by profiling through a platform.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfiler<'m> {
+    machine: &'m MachineDescription,
+    config: ProfileConfig,
+}
+
+impl<'m> WorkloadProfiler<'m> {
+    /// Creates a profiler against a measured machine description.
+    pub fn new(machine: &'m MachineDescription) -> Self {
+        Self { machine, config: ProfileConfig::default() }
+    }
+
+    /// Creates a profiler with explicit configuration.
+    pub fn with_config(machine: &'m MachineDescription, config: ProfileConfig) -> Self {
+        Self { machine, config }
+    }
+
+    /// Executes the six profiling runs and solves for the workload model.
+    pub fn profile<P: Platform>(
+        &self,
+        platform: &mut P,
+        workload: &P::Workload,
+        name: &str,
+    ) -> Result<ProfileReport, PandiaError> {
+        let shape = self.machine.shape();
+        let mut runs = Vec::with_capacity(6);
+        let mut seed = self.config.seed;
+        let mut next_seed = || {
+            seed = seed.wrapping_add(1);
+            seed
+        };
+
+        // --- Run 1: single-thread time and demands (§4.1). ---
+        let p1 = CanonicalPlacement::new(vec![vec![1]]).instantiate(&shape)?;
+        let (t1, r1) = self.timed(platform, RunRequest::new(workload.clone(), p1), next_seed())?;
+        if t1 <= 0.0 || !t1.is_finite() {
+            return Err(PandiaError::Degenerate { what: "t1", value: t1 });
+        }
+        // Counter *rates* come from the matching run's own elapsed time.
+        let tc = r1.elapsed;
+        let demand = DemandVector {
+            instr: r1.counters.instructions / tc,
+            l1: r1.counters.l1_bytes / tc,
+            l2: r1.counters.l2_bytes / tc,
+            l3: r1.counters.l3_bytes / tc,
+            dram: r1.counters.dram_bytes.iter().map(|b| b / tc).collect(),
+        };
+        runs.push(RunRecord { run: 1, label: "1 thread".into(), elapsed: t1, relative: 1.0 });
+
+        // Partial description, filled in step by step.
+        let mut desc = WorkloadDescription {
+            name: name.to_string(),
+            machine: self.machine.machine.clone(),
+            t1,
+            demand,
+            parallel_fraction: 1.0,
+            inter_socket_overhead: 0.0,
+            load_balance: 0.5,
+            burstiness: 0.0,
+        };
+
+        // --- Run 2: parallel fraction (§4.2). ---
+        let n2 = self.choose_n2(&desc);
+        let run2_placement = CanonicalPlacement::new(vec![vec![1; n2]]);
+        let p2 = run2_placement.instantiate(&shape)?;
+        let (r2, _) =
+            self.timed(platform, RunRequest::new(workload.clone(), p2.clone()), next_seed())?;
+        let rel2 = r2 / t1;
+        // u2 = 1 - p + p/n  =>  p = (1 - u2) / (1 - 1/n).
+        let p_fit = ((1.0 - rel2) / (1.0 - 1.0 / n2 as f64)).clamp(0.0, 1.0);
+        desc.parallel_fraction = p_fit;
+        runs.push(RunRecord {
+            run: 2,
+            label: format!("{n2} threads, 1/core, 1 socket"),
+            elapsed: r2,
+            relative: rel2,
+        });
+
+        // --- Run 3: inter-socket overhead (§4.3). ---
+        if shape.sockets >= 2 && n2 >= 2 {
+            let half = n2 / 2;
+            let split = CanonicalPlacement::new(vec![vec![1; half], vec![1; n2 - half]]);
+            let p3 = split.instantiate(&shape)?;
+            let (r3, _) =
+                self.timed(platform, RunRequest::new(workload.clone(), p3.clone()), next_seed())?;
+            let rel3 = r3 / t1;
+            desc.inter_socket_overhead = self.solve_parameter(
+                &desc,
+                &p3,
+                rel3,
+                |d, v| d.inter_socket_overhead = v,
+                // Closed-form estimate from §4.3 as the initial bracket.
+                |k3, f| ((rel3 / k3 - 1.0) * f / (n2 as f64 / 2.0)).max(0.0),
+            )?;
+            runs.push(RunRecord {
+                run: 3,
+                label: format!("{half}+{} threads across sockets", n2 - half),
+                elapsed: r3,
+                relative: rel3,
+            });
+        }
+
+        // --- Runs 4 & 5: load balancing factor (§4.4). ---
+        let stress_ctxs = self.stressor_contexts(&p2);
+        if !stress_ctxs.is_empty() {
+            // Run 4: every thread slowed.
+            let mut req4 = RunRequest::new(workload.clone(), p2.clone());
+            for &ctx in &stress_ctxs {
+                req4 = req4.with_stressor(StressKind::Cpu, ctx);
+            }
+            let (r4, _) = self.timed(platform, req4, next_seed())?;
+            let rel4 = r4 / t1;
+            runs.push(RunRecord {
+                run: 4,
+                label: "run 2 + stressor beside every thread".into(),
+                elapsed: r4,
+                relative: rel4,
+            });
+
+            // Run 5: one thread slowed.
+            let req5 = RunRequest::new(workload.clone(), p2.clone())
+                .with_stressor(StressKind::Cpu, stress_ctxs[0]);
+            let (r5, _) = self.timed(platform, req5, next_seed())?;
+            let rel5 = r5 / t1;
+            runs.push(RunRecord {
+                run: 5,
+                label: "run 2 + stressor beside one thread".into(),
+                elapsed: r5,
+                relative: rel5,
+            });
+
+            desc.load_balance = solve_load_balance(p_fit, n2, rel2, rel4, rel5);
+        }
+
+        // --- Run 6: core burstiness (§4.5). ---
+        if shape.threads_per_core >= 2 && n2 >= 2 {
+            let packed = CanonicalPlacement::new(vec![vec![2; n2 / 2]]);
+            let p6 = packed.instantiate(&shape)?;
+            let (r6, _) =
+                self.timed(platform, RunRequest::new(workload.clone(), p6.clone()), next_seed())?;
+            let rel6 = r6 / t1;
+            desc.burstiness = self.solve_parameter(
+                &desc,
+                &p6,
+                rel6,
+                |d, v| d.burstiness = v,
+                // Closed-form estimate from §4.5 as the initial bracket.
+                |k6, f| ((rel6 / k6 - 1.0) / f).max(0.0),
+            )?;
+            runs.push(RunRecord {
+                run: 6,
+                label: format!("{n2} threads packed on {} cores", n2 / 2),
+                elapsed: r6,
+                relative: rel6,
+            });
+        }
+
+        desc.validate()?;
+        let total_cost =
+            runs.iter().map(|r| r.elapsed).sum::<f64>() * self.config.repeats.max(1) as f64;
+        Ok(ProfileReport { description: desc, runs, n2, total_cost })
+    }
+
+    /// Executes one profiling run `repeats` times with distinct seeds and
+    /// returns the mean elapsed time plus the last result's counters.
+    fn timed<P: Platform>(
+        &self,
+        platform: &mut P,
+        mut request: RunRequest<P::Workload>,
+        seed: u64,
+    ) -> Result<(f64, pandia_topology::RunResult), PandiaError> {
+        let repeats = self.config.repeats.max(1);
+        let mut total = 0.0;
+        let mut last = None;
+        for k in 0..repeats {
+            request.seed = seed.wrapping_mul(1000).wrapping_add(k as u64);
+            let result = platform.run(&request)?;
+            total += result.elapsed;
+            last = Some(result);
+        }
+        let mean = total / repeats as f64;
+        Ok((mean, last.expect("repeats >= 1")))
+    }
+
+    /// Chooses the run-2 thread count: the largest even number of threads,
+    /// one per core on a single socket, that keeps every shared resource
+    /// under the headroom given the run-1 demands (§4.2).
+    fn choose_n2(&self, desc: &WorkloadDescription) -> usize {
+        let shape = self.machine.shape();
+        let caps = &self.machine.capacities;
+        let headroom = self.config.headroom;
+        let mut n = shape.cores_per_socket;
+        if n % 2 == 1 {
+            n -= 1;
+        }
+        let fits = |n: usize| -> bool {
+            let nf = n as f64;
+            if desc.demand.l3 * nf > headroom * caps.l3_aggregate {
+                return false;
+            }
+            for &node_demand in &desc.demand.dram {
+                if node_demand * nf > headroom * caps.dram_per_socket {
+                    return false;
+                }
+            }
+            // Threads sit on socket 0: everything destined elsewhere
+            // crosses one link per remote node.
+            if shape.sockets >= 2 {
+                for (node, &node_demand) in desc.demand.dram.iter().enumerate() {
+                    if node != 0 && node_demand * nf > headroom * caps.interconnect_per_link {
+                        return false;
+                    }
+                }
+            }
+            true
+        };
+        while n > 2 && !fits(n) {
+            n -= 2;
+        }
+        n.max(2).min(shape.cores_per_socket.max(2))
+    }
+
+    /// Contexts adjacent to each workload thread where a stressor can be
+    /// pinned: the sibling SMT slot where available, otherwise an idle
+    /// core on the same socket.
+    fn stressor_contexts(&self, placement: &Placement) -> Vec<CtxId> {
+        let shape = self.machine.shape();
+        let mut used: Vec<bool> = vec![false; shape.total_contexts()];
+        for &c in placement.contexts() {
+            used[c.0] = true;
+        }
+        let mut out = Vec::new();
+        if shape.threads_per_core >= 2 {
+            for &ctx in placement.contexts() {
+                let slot = ctx.0 % shape.threads_per_core;
+                let sibling = if slot + 1 < shape.threads_per_core {
+                    CtxId(ctx.0 + 1)
+                } else {
+                    CtxId(ctx.0 - 1)
+                };
+                if !used[sibling.0] {
+                    used[sibling.0] = true;
+                    out.push(sibling);
+                }
+            }
+            return out;
+        }
+        // No SMT: use idle cores on the same socket (best effort).
+        for &ctx in placement.contexts() {
+            let socket = shape.socket_of_ctx(ctx);
+            let found = (0..shape.cores_per_socket).find_map(|c| {
+                let cand = shape.ctx(socket, c, 0);
+                (!used[cand.0]).then_some(cand)
+            });
+            if let Some(cand) = found {
+                used[cand.0] = true;
+                out.push(cand);
+            }
+        }
+        out
+    }
+
+    /// Solves for one model parameter so the full predictor reproduces a
+    /// measured relative time: closed-form initial estimate, then
+    /// bisection refinement (the parameter only ever slows the predicted
+    /// time, so predicted time is monotone in it).
+    fn solve_parameter(
+        &self,
+        desc: &WorkloadDescription,
+        placement: &Placement,
+        measured_rel: f64,
+        set: impl Fn(&mut WorkloadDescription, f64),
+        initial: impl Fn(f64, f64) -> f64,
+    ) -> Result<f64, PandiaError> {
+        let rel_with = |v: f64| -> Result<f64, PandiaError> {
+            let mut d = desc.clone();
+            set(&mut d, v);
+            let pred = predict(self.machine, &d, placement, &self.config.predictor)?;
+            Ok(pred.relative_time(d.t1))
+        };
+        let k = rel_with(0.0)?;
+        if measured_rel <= k {
+            // The partial model already over-predicts the time: no room
+            // for an extra penalty.
+            return Ok(0.0);
+        }
+        let pred0 = {
+            let mut d = desc.clone();
+            set(&mut d, 0.0);
+            predict(self.machine, &d, placement, &self.config.predictor)?
+        };
+        let f = pred0.mean_utilization().max(1e-6);
+        let guess = initial(k, f).max(1e-6);
+        // Find an upper bracket.
+        let mut hi = guess;
+        let mut tries = 0;
+        while rel_with(hi)? < measured_rel && tries < 60 {
+            hi *= 2.0;
+            tries += 1;
+        }
+        let mut lo = 0.0;
+        for _ in 0..self.config.solver_iterations {
+            let mid = 0.5 * (lo + hi);
+            if rel_with(mid)? < measured_rel {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+}
+
+/// Closed-form solve for the load balancing factor from runs 2, 4 and 5
+/// (§4.4).
+///
+/// Run 4 slows every thread by the same factor `slow = r4/r2`, giving the
+/// penalty of uniform slowdown; run 5 slows one thread (`sl = r5/r2`).
+/// With `n-1` threads at `s_i = 1` and one at `s_i = slow`:
+///
+/// ```text
+/// s_lock = (1-p) + p·slow
+/// s_bal  = (1-p) + p·n / (n-1 + 1/slow)
+/// l = (sl - s_lock) / (s_bal - s_lock)
+/// ```
+pub fn solve_load_balance(p: f64, n: usize, rel2: f64, rel4: f64, rel5: f64) -> f64 {
+    let slow = rel4 / rel2;
+    if slow <= 1.02 {
+        // The stressor barely affected the workload; the experiment is
+        // uninformative, fall back to the neutral midpoint.
+        return 0.5;
+    }
+    let nf = n as f64;
+    let s_lock = (1.0 - p) + p * slow;
+    let s_bal = (1.0 - p) + p * nf / ((nf - 1.0) + 1.0 / slow);
+    let sl = rel5 / rel2;
+    if (s_bal - s_lock).abs() < 1e-9 {
+        return 0.5;
+    }
+    ((sl - s_lock) / (s_bal - s_lock)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_balance_extremes() {
+        // Uniform slowdown of 2x; n = 8, p = 1.
+        let p = 1.0;
+        let n = 8;
+        let rel2 = 0.125;
+        let rel4 = 0.25; // slow = 2
+        // Fully lock-step: one slowed thread stalls everyone: sl = s_lock = 2.
+        let l0 = solve_load_balance(p, n, rel2, rel2 * 2.0, rel2 * 2.0);
+        assert!(l0 < 0.05, "lock-step detected: {l0}");
+        // Fully balanced: sl = 8 / (7 + 0.5) = 1.0667.
+        let sbal = 8.0 / 7.5;
+        let l1 = solve_load_balance(p, n, rel2, rel4, rel2 * sbal);
+        assert!(l1 > 0.95, "balanced detected: {l1}");
+        // Halfway in between.
+        let mid = 0.5 * (2.0 + sbal);
+        let lh = solve_load_balance(p, n, rel2, rel4, rel2 * mid);
+        assert!((lh - 0.5).abs() < 0.05, "midpoint: {lh}");
+    }
+
+    #[test]
+    fn load_balance_uninformative_defaults_to_half() {
+        assert_eq!(solve_load_balance(0.9, 8, 0.2, 0.201, 0.2), 0.5);
+    }
+
+    #[test]
+    fn load_balance_clamps_to_unit_interval() {
+        let l = solve_load_balance(1.0, 8, 0.125, 0.25, 0.5);
+        assert!((0.0..=1.0).contains(&l));
+        let l = solve_load_balance(1.0, 8, 0.125, 0.25, 0.01);
+        assert!((0.0..=1.0).contains(&l));
+    }
+}

@@ -1,0 +1,179 @@
+//! Workload descriptions: the five-step model of §4 (Figure 4).
+
+use serde::{Deserialize, Serialize};
+
+use pandia_topology::DemandVector;
+
+use crate::error::PandiaError;
+
+/// The measured description of one workload on one machine.
+///
+/// The five properties correspond to the paper's Figure 4:
+///
+/// | Step | Property | Field |
+/// |------|----------|-------|
+/// | 1 | single-thread time and resource demands `d` | [`t1`](Self::t1), [`demand`](Self::demand) |
+/// | 2 | parallel fraction `p` | [`parallel_fraction`](Self::parallel_fraction) |
+/// | 3 | inter-socket overhead `os` | [`inter_socket_overhead`](Self::inter_socket_overhead) |
+/// | 4 | load balancing factor `l` | [`load_balance`](Self::load_balance) |
+/// | 5 | core burstiness `b` | [`burstiness`](Self::burstiness) |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadDescription {
+    /// Workload name.
+    pub name: String,
+    /// Machine the description was generated on (descriptions are ideally
+    /// regenerated per machine, but remain useful across similar machines —
+    /// §4 and the portability study of §6.1).
+    pub machine: String,
+    /// Single-thread execution time `t1` (reference for all relative
+    /// times).
+    pub t1: f64,
+    /// Single-thread resource demand rates, with DRAM demand per memory
+    /// node.
+    pub demand: DemandVector,
+    /// Fraction of the workload that runs in parallel (`p` in Amdahl's
+    /// law).
+    pub parallel_fraction: f64,
+    /// Additional latency relative to `t1` a thread incurs per thread on a
+    /// different socket (`os`).
+    pub inter_socket_overhead: f64,
+    /// Load-balancing factor `l ∈ [0, 1]`: 0 = lock-step (static work
+    /// distribution), 1 = fully dynamic rebalancing.
+    pub load_balance: f64,
+    /// Core burstiness `b`: the fractional extra time incurred when
+    /// co-locating threads on a core, per unit of thread utilization.
+    pub burstiness: f64,
+}
+
+impl WorkloadDescription {
+    /// The worked-example workload of the paper's Figure 4: demand `[7,
+    /// 40]` (instruction rate 7, DRAM bandwidth 40 to each socket), `p =
+    /// 0.9`, `os = 0.1`, `l = 0.5`, `b = 0.5`.
+    pub fn example() -> Self {
+        Self {
+            name: "worked-example".into(),
+            machine: "toy (Figure 3)".into(),
+            t1: 1000.0,
+            demand: DemandVector {
+                instr: 7.0,
+                l1: 0.0,
+                l2: 0.0,
+                l3: 0.0,
+                dram: vec![40.0, 40.0],
+            },
+            parallel_fraction: 0.9,
+            inter_socket_overhead: 0.1,
+            load_balance: 0.5,
+            burstiness: 0.5,
+        }
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), PandiaError> {
+        let bad = |what: &'static str, value: f64| PandiaError::Degenerate { what, value };
+        if self.t1 <= 0.0 || !self.t1.is_finite() {
+            return Err(bad("t1", self.t1));
+        }
+        if !(0.0..=1.0).contains(&self.parallel_fraction) {
+            return Err(bad("parallel fraction", self.parallel_fraction));
+        }
+        if !(0.0..=1.0).contains(&self.load_balance) {
+            return Err(bad("load balance factor", self.load_balance));
+        }
+        if self.inter_socket_overhead < 0.0 || !self.inter_socket_overhead.is_finite() {
+            return Err(bad("inter-socket overhead", self.inter_socket_overhead));
+        }
+        if self.burstiness < 0.0 || !self.burstiness.is_finite() {
+            return Err(bad("burstiness", self.burstiness));
+        }
+        for (v, what) in [
+            (self.demand.instr, "instruction demand"),
+            (self.demand.l1, "L1 demand"),
+            (self.demand.l2, "L2 demand"),
+            (self.demand.l3, "L3 demand"),
+            (self.demand.dram_total(), "DRAM demand"),
+        ] {
+            if v < 0.0 || !v.is_finite() {
+                return Err(bad(what, v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> Result<String, PandiaError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Deserializes from JSON, validating ranges.
+    pub fn from_json(s: &str) -> Result<Self, PandiaError> {
+        let d: Self = serde_json::from_str(s)?;
+        d.validate()?;
+        Ok(d)
+    }
+
+    /// Adapts this description's DRAM demand layout to a machine with
+    /// `sockets` memory nodes, preserving the total demand.
+    ///
+    /// Used by the portability study (§6.1): a description measured on one
+    /// machine can be tried on another with a different socket count.
+    pub fn retarget_sockets(&self, sockets: usize) -> Self {
+        if sockets == self.demand.dram.len() {
+            return self.clone();
+        }
+        let total = self.demand.dram_total();
+        let mut d = self.clone();
+        d.demand.dram = vec![total / sockets as f64; sockets];
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_matches_figure_4() {
+        let w = WorkloadDescription::example();
+        w.validate().unwrap();
+        assert_eq!(w.demand.instr, 7.0);
+        assert_eq!(w.demand.dram, vec![40.0, 40.0]);
+        assert_eq!(w.parallel_fraction, 0.9);
+        assert_eq!(w.inter_socket_overhead, 0.1);
+        assert_eq!(w.load_balance, 0.5);
+        assert_eq!(w.burstiness, 0.5);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let w = WorkloadDescription::example();
+        let s = w.to_json().unwrap();
+        assert_eq!(WorkloadDescription::from_json(&s).unwrap(), w);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        let mut w = WorkloadDescription::example();
+        w.parallel_fraction = 1.5;
+        assert!(w.validate().is_err());
+        let mut w = WorkloadDescription::example();
+        w.load_balance = -0.1;
+        assert!(w.validate().is_err());
+        let mut w = WorkloadDescription::example();
+        w.t1 = 0.0;
+        assert!(w.validate().is_err());
+        let mut w = WorkloadDescription::example();
+        w.burstiness = f64::NAN;
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn retarget_preserves_total_dram_demand() {
+        let w = WorkloadDescription::example();
+        let four = w.retarget_sockets(4);
+        assert_eq!(four.demand.dram.len(), 4);
+        assert!((four.demand.dram_total() - w.demand.dram_total()).abs() < 1e-12);
+        // Same socket count is a no-op.
+        assert_eq!(w.retarget_sockets(2), w);
+    }
+}

@@ -1,0 +1,386 @@
+//! End-to-end pipeline tests: machine description generation, workload
+//! profiling, and prediction accuracy, all against the ground-truth
+//! simulator.
+
+use pandia_core::{describe_machine, predict, PredictorConfig, WorkloadProfiler};
+use pandia_sim::{Behavior, BurstProfile, Scheduling, SimConfig, SimMachine};
+use pandia_topology::{
+    CanonicalPlacement, DataPlacement, HasShape, MachineSpec, Platform, RunRequest,
+};
+
+fn noiseless(spec: MachineSpec) -> SimMachine {
+    SimMachine::with_config(spec, SimConfig::noiseless())
+}
+
+#[test]
+fn machine_description_measures_real_capacities() {
+    let spec = MachineSpec::x3_2();
+    let mut platform = noiseless(spec.clone());
+    let md = describe_machine(&mut platform).expect("description generation");
+
+    // All profiling happens at the all-core boost frequency; core-clocked
+    // capacities should reflect that operating point.
+    let scale = spec.turbo.all_core_ghz / spec.turbo.nominal_ghz;
+    let close = |measured: f64, physical: f64, what: &str| {
+        let rel = (measured - physical).abs() / physical;
+        assert!(rel < 0.08, "{what}: measured {measured} vs physical {physical}");
+    };
+    // A single thread is ILP-limited below the core's full issue width;
+    // the measured "core rate" is that achievable single-thread rate.
+    close(
+        md.capacities.core_issue,
+        spec.core_ipc_rate * spec.single_thread_ilp * scale,
+        "core issue",
+    );
+    close(md.capacities.l1_per_core, spec.l1_bw_per_core * scale, "L1");
+    close(md.capacities.l2_per_core, spec.l2_bw_per_core * scale, "L2");
+    close(md.capacities.l3_per_link, spec.l3_bw_per_link, "L3 link");
+    close(md.capacities.l3_aggregate, spec.l3_bw_aggregate, "L3 aggregate");
+    close(md.capacities.dram_per_socket, spec.dram_bw_per_socket, "DRAM");
+    close(md.capacities.interconnect_per_link, spec.interconnect_bw_per_link, "interconnect");
+    // Two co-scheduled threads together exceed one thread's rate (SMT
+    // gain), up to the front-end-limited share of the full width.
+    close(
+        md.smt_coschedule_factor,
+        spec.smt_frontend_factor / spec.single_thread_ilp,
+        "SMT factor",
+    );
+    assert!(md.smt_coschedule_factor > 1.0, "SMT should add throughput");
+}
+
+#[test]
+fn machine_description_finds_aggregate_llc_limit_on_wide_chips() {
+    // On the 18-core X5-2, 18 links x 28 GB/s far exceeds the 320 GB/s the
+    // cache can sustain — the paper's §3.1 example.
+    let mut platform = noiseless(MachineSpec::x5_2());
+    let md = describe_machine(&mut platform).unwrap();
+    let links_total = md.capacities.l3_per_link * md.shape.cores_per_socket as f64;
+    assert!(
+        md.capacities.l3_aggregate < 0.8 * links_total,
+        "aggregate {} should be well below per-link total {links_total}",
+        md.capacities.l3_aggregate
+    );
+}
+
+/// A well-behaved CPU-plus-memory workload for profiling tests.
+fn test_behavior() -> Behavior {
+    Behavior {
+        name: "pipeline-test".into(),
+        total_work: 40.0,
+        seq_fraction: 0.02,
+        demand: pandia_sim::UnitDemand { instr: 4.0, l1: 10.0, l2: 4.0, l3: 2.0, dram: 4.0 },
+        working_set_mib: 4.0,
+        burst: BurstProfile::bursty(0.5, 1.6),
+        scheduling: Scheduling::Partial { dynamic_fraction: 0.6 },
+        comm_factor: 0.004,
+        intra_socket_comm: 0.15,
+        data_placement: DataPlacement::Interleave,
+        growth_per_thread: 0.0,
+        active_threads: None,
+        requires_avx: false,
+    }
+}
+
+#[test]
+fn profiler_recovers_sensible_model_parameters() {
+    let mut platform = noiseless(MachineSpec::x3_2());
+    let md = describe_machine(&mut platform).unwrap();
+    let profiler = WorkloadProfiler::new(&md);
+    let report = profiler.profile(&mut platform, &test_behavior(), "pipeline-test").unwrap();
+    let d = &report.description;
+
+    // Six runs on a 2-socket SMT machine.
+    assert_eq!(report.runs.len(), 6);
+    assert!(report.n2 >= 2 && report.n2.is_multiple_of(2));
+    // t1 close to total_work / all-core scale.
+    let scale = 3.3 / 2.9;
+    assert!((d.t1 - 40.0 / scale).abs() / d.t1 < 0.05, "t1 = {}", d.t1);
+    // Demand rates reflect the behavior's per-unit demands (as rates).
+    assert!((d.demand.instr - 4.0 * scale).abs() / (4.0 * scale) < 0.1);
+    assert!((d.demand.dram_total() - 4.0 * scale).abs() / (4.0 * scale) < 0.12);
+    // Interleaved data splits DRAM demand roughly evenly.
+    let ratio = d.demand.dram[0] / d.demand.dram_total();
+    assert!((ratio - 0.5).abs() < 0.05, "dram split {ratio}");
+    // The workload is almost fully parallel with light communication.
+    assert!(d.parallel_fraction > 0.9, "p = {}", d.parallel_fraction);
+    assert!(d.inter_socket_overhead >= 0.0 && d.inter_socket_overhead < 0.3);
+    assert!((0.0..=1.0).contains(&d.load_balance));
+    assert!(d.burstiness >= 0.0 && d.burstiness < 5.0, "b = {}", d.burstiness);
+}
+
+#[test]
+fn predictions_track_measurements_across_placements() {
+    let spec = MachineSpec::x3_2();
+    let mut platform = noiseless(spec.clone());
+    let md = describe_machine(&mut platform).unwrap();
+    let behavior = test_behavior();
+    let profiler = WorkloadProfiler::new(&md);
+    let wd = profiler.profile(&mut platform, &behavior, "pipeline-test").unwrap().description;
+
+    let candidates = [
+        CanonicalPlacement::new(vec![vec![1]]),
+        CanonicalPlacement::new(vec![vec![1, 1]]),
+        CanonicalPlacement::new(vec![vec![2, 2]]),
+        CanonicalPlacement::new(vec![vec![1, 1, 1, 1]]),
+        CanonicalPlacement::new(vec![vec![1, 1], vec![1, 1]]),
+        CanonicalPlacement::new(vec![vec![1; 8], vec![1; 8]]),
+        CanonicalPlacement::new(vec![vec![2; 8], vec![2; 8]]),
+        CanonicalPlacement::new(vec![vec![2; 4]]),
+    ];
+    let config = PredictorConfig::default();
+    let mut errors = Vec::new();
+    for c in &candidates {
+        let placement = c.instantiate(&md.shape()).unwrap();
+        let measured = platform
+            .run(&RunRequest::new(behavior.clone(), placement.clone()).with_seed(777))
+            .unwrap()
+            .elapsed;
+        let predicted = predict(&md, &wd, &placement, &config).unwrap().predicted_time;
+        let err = (predicted - measured).abs() / measured;
+        errors.push((c.clone(), err, predicted, measured));
+    }
+    let mean_err: f64 = errors.iter().map(|e| e.1).sum::<f64>() / errors.len() as f64;
+    assert!(
+        mean_err < 0.25,
+        "mean relative error {mean_err:.3} too high: {:#?}",
+        errors
+            .iter()
+            .map(|(c, e, p, m)| format!("{c} err={e:.3} pred={p:.2} meas={m:.2}"))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn profiling_is_cheaper_than_a_placement_sweep() {
+    // §6.3: constructing a description costs a fraction of sweeping
+    // packed/spread placements across all thread counts.
+    let spec = MachineSpec::x3_2();
+    let mut platform = noiseless(spec.clone());
+    let md = describe_machine(&mut platform).unwrap();
+    let behavior = test_behavior();
+    // Cost accounting compares single-run profiling against a single-run
+    // sweep, as the paper does (§6.3).
+    let config = pandia_core::ProfileConfig { repeats: 1, ..Default::default() };
+    let report = WorkloadProfiler::with_config(&md, config)
+        .profile(&mut platform, &behavior, "sweep-cost")
+        .unwrap();
+
+    let enumerator = pandia_topology::PlacementEnumerator::new(&spec);
+    let sweep = enumerator.sweep(&spec);
+    let mut sweep_cost = 0.0;
+    for c in &sweep {
+        let placement = c.instantiate(&spec).unwrap();
+        sweep_cost += platform
+            .run(&RunRequest::new(behavior.clone(), placement).with_seed(3))
+            .unwrap()
+            .elapsed;
+    }
+    assert!(
+        sweep_cost > 2.0 * report.total_cost,
+        "sweep {sweep_cost} should cost well over profiling {}",
+        report.total_cost
+    );
+}
+
+#[test]
+fn workload_descriptions_port_across_machines() {
+    // Profile on the X3-2, predict on the X5-2 (the §6.1 portability
+    // study). Accuracy degrades but predictions stay finite and ordered.
+    let mut x3 = noiseless(MachineSpec::x3_2());
+    let md3 = describe_machine(&mut x3).unwrap();
+    let behavior = test_behavior();
+    let wd3 = WorkloadProfiler::new(&md3).profile(&mut x3, &behavior, "port").unwrap().description;
+
+    let mut x5 = noiseless(MachineSpec::x5_2());
+    let md5 = describe_machine(&mut x5).unwrap();
+    let placement = CanonicalPlacement::new(vec![vec![1; 8], vec![1; 8]])
+        .instantiate(&md5.shape())
+        .unwrap();
+    let pred = predict(&md5, &wd3, &placement, &PredictorConfig::default()).unwrap();
+    assert!(pred.speedup.is_finite() && pred.speedup > 1.0);
+}
+
+/// The profiler's run-2 thread count respects resource headroom: a
+/// bandwidth-saturating workload gets a small n2.
+#[test]
+fn choose_n2_shrinks_for_bandwidth_hogs() {
+    let mut platform = noiseless(MachineSpec::x3_2());
+    let md = describe_machine(&mut platform).unwrap();
+
+    let mut hog = test_behavior();
+    hog.demand.dram = 12.0; // interleaved: 6 GB/s per node per thread
+    hog.name = "hog".into();
+    let hog_report = WorkloadProfiler::new(&md).profile(&mut platform, &hog, "hog").unwrap();
+
+    let mut light = test_behavior();
+    light.demand.dram = 0.5;
+    light.name = "light".into();
+    let light_report =
+        WorkloadProfiler::new(&md).profile(&mut platform, &light, "light").unwrap();
+
+    assert!(
+        hog_report.n2 < light_report.n2,
+        "bandwidth hog n2 {} should be below light n2 {}",
+        hog_report.n2,
+        light_report.n2
+    );
+    assert_eq!(light_report.n2, 8, "light workload spans the socket");
+}
+
+/// The load-balancing factor distinguishes static from dynamic workloads.
+#[test]
+fn fitted_load_balance_tracks_scheduling_discipline() {
+    let mut platform = noiseless(MachineSpec::x3_2());
+    let md = describe_machine(&mut platform).unwrap();
+
+    let mut static_wl = test_behavior();
+    static_wl.scheduling = Scheduling::Static;
+    static_wl.name = "staticwl".into();
+    let l_static = WorkloadProfiler::new(&md)
+        .profile(&mut platform, &static_wl, "staticwl")
+        .unwrap()
+        .description
+        .load_balance;
+
+    let mut dynamic_wl = test_behavior();
+    dynamic_wl.scheduling = Scheduling::Dynamic;
+    dynamic_wl.name = "dynwl".into();
+    let l_dynamic = WorkloadProfiler::new(&md)
+        .profile(&mut platform, &dynamic_wl, "dynwl")
+        .unwrap()
+        .description
+        .load_balance;
+
+    assert!(
+        l_dynamic > l_static + 0.3,
+        "dynamic l {l_dynamic} should clearly exceed static l {l_static}"
+    );
+    assert!(l_static < 0.4, "static workload detected: l = {l_static}");
+    assert!(l_dynamic > 0.7, "dynamic workload detected: l = {l_dynamic}");
+}
+
+/// The burstiness factor is positive for genuinely bursty compute and
+/// (near) zero for smooth compute.
+#[test]
+fn fitted_burstiness_tracks_demand_shape() {
+    let mut platform = noiseless(MachineSpec::x3_2());
+    let md = describe_machine(&mut platform).unwrap();
+
+    // High instruction demand so SMT co-location actually contends.
+    let mut smooth = test_behavior();
+    smooth.demand.instr = 7.0;
+    smooth.burst = BurstProfile::SMOOTH;
+    smooth.name = "smoothwl".into();
+    let b_smooth = WorkloadProfiler::new(&md)
+        .profile(&mut platform, &smooth, "smoothwl")
+        .unwrap()
+        .description
+        .burstiness;
+
+    let mut bursty = smooth.clone();
+    bursty.burst = BurstProfile::bursty(0.4, 2.2);
+    bursty.name = "burstywl".into();
+    let b_bursty = WorkloadProfiler::new(&md)
+        .profile(&mut platform, &bursty, "burstywl")
+        .unwrap()
+        .description
+        .burstiness;
+
+    assert!(
+        b_bursty > b_smooth,
+        "bursty workload should fit larger b: {b_bursty} vs {b_smooth}"
+    );
+}
+
+/// The fitted inter-socket overhead grows with the workload's
+/// communication intensity.
+#[test]
+fn fitted_inter_socket_overhead_tracks_communication() {
+    let mut platform = noiseless(MachineSpec::x3_2());
+    let md = describe_machine(&mut platform).unwrap();
+
+    let mut quiet = test_behavior();
+    quiet.comm_factor = 0.0;
+    quiet.name = "quiet".into();
+    let os_quiet = WorkloadProfiler::new(&md)
+        .profile(&mut platform, &quiet, "quiet")
+        .unwrap()
+        .description
+        .inter_socket_overhead;
+
+    let mut chatty = test_behavior();
+    chatty.comm_factor = 0.02;
+    chatty.name = "chatty".into();
+    let os_chatty = WorkloadProfiler::new(&md)
+        .profile(&mut platform, &chatty, "chatty")
+        .unwrap()
+        .description
+        .inter_socket_overhead;
+
+    assert!(
+        os_chatty > os_quiet + 0.002,
+        "chatty os {os_chatty} should exceed quiet os {os_quiet}"
+    );
+}
+
+/// Predicted times are monotone in the description's penalty parameters.
+#[test]
+fn predictions_are_monotone_in_model_parameters() {
+    let mut platform = noiseless(MachineSpec::x3_2());
+    let md = describe_machine(&mut platform).unwrap();
+    let wd = WorkloadProfiler::new(&md)
+        .profile(&mut platform, &test_behavior(), "mono")
+        .unwrap()
+        .description;
+    let config = PredictorConfig::default();
+    // Cross-socket placement with core sharing: every term is active.
+    let placement = CanonicalPlacement::new(vec![vec![2, 2], vec![2, 2]])
+        .instantiate(&md.shape())
+        .unwrap();
+    let time_with = |f: &dyn Fn(&mut pandia_core::WorkloadDescription)| {
+        let mut w = wd.clone();
+        f(&mut w);
+        predict(&md, &w, &placement, &config).unwrap().predicted_time
+    };
+    let base = time_with(&|_| {});
+    assert!(time_with(&|w| w.burstiness = wd.burstiness + 1.0) > base);
+    assert!(time_with(&|w| w.inter_socket_overhead = wd.inter_socket_overhead + 0.1) > base);
+    // Lower parallel fraction means slower predicted time.
+    assert!(time_with(&|w| w.parallel_fraction = 0.5) > base);
+}
+
+/// Online steering (§8): calibrating on early loop episodes and steering
+/// the rest beats naively running everything on the whole machine for a
+/// bandwidth-bound loop.
+#[test]
+fn online_controller_beats_naive_whole_machine() {
+    use pandia_core::OnlineController;
+
+    let mut platform = noiseless(MachineSpec::x3_2());
+    let md = describe_machine(&mut platform).unwrap();
+
+    // One episode of a bandwidth-bound loop body.
+    let mut episode = test_behavior();
+    episode.total_work = 6.0;
+    episode.demand.dram = 10.0;
+    // Chatty loop: over-threading costs real time, so steering pays.
+    episode.comm_factor = 0.02;
+    episode.name = "loop-episode".into();
+
+    let controller = OnlineController::new(&md);
+    let report = controller.run(&mut platform, &episode, "loop-episode", 150).unwrap();
+
+    assert_eq!(report.calibration_episodes, 6);
+    assert_eq!(report.steady_episodes, 144);
+    assert!(report.total_time > 0.0 && report.naive_time > 0.0);
+    // Bandwidth saturation means the whole machine is counterproductive;
+    // the steered placement must win overall despite calibration overhead.
+    assert!(
+        report.speedup_vs_naive() > 1.0,
+        "online {:.2}s should beat naive {:.2}s",
+        report.total_time,
+        report.naive_time
+    );
+    // The chosen placement uses a fraction of the machine.
+    assert!(report.chosen_placement.total_threads() < md.shape.total_contexts() / 2);
+}

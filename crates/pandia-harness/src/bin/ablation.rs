@@ -1,0 +1,26 @@
+//! Model-term ablation: prediction accuracy with each part of Pandia's
+//! model disabled in turn.
+//!
+//! `cargo run --release -p pandia-harness --bin ablation [machine]`
+
+use pandia_harness::{
+    experiments::{ablation, Coverage},
+    report, MachineContext,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| "x5-2".into());
+    let mut ctx = MachineContext::by_name(&machine)?;
+    // A representative subset spanning the contention spectrum keeps the
+    // ablation affordable; pass no names to cover everything.
+    let subset = ["EP", "CG", "MD", "IS", "FT", "Sort-Join", "Swim", "PageRank"];
+    let result = ablation::run(&mut ctx, Coverage::from_args(), &subset)?;
+    let text = ablation::render(&result);
+    print!("{text}");
+    let path = report::write_result(&format!("ablation_{machine}.txt"), &text)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

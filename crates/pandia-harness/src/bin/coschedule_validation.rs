@@ -1,0 +1,28 @@
+//! Validates the §8 co-scheduling extension: joint predictions vs joint
+//! measurements for workload pairs under several machine carve-ups.
+//!
+//! `cargo run --release -p pandia-harness --bin coschedule_validation [machine]`
+
+use pandia_harness::{experiments::coschedule_validation, report, MachineContext};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| "x4-2".into());
+    let mut ctx = MachineContext::by_name(&machine)?;
+    let pairs = [
+        ("CG", "EP"),
+        ("Swim", "EP"),
+        ("CG", "Swim"),
+        ("MD", "PageRank"),
+        ("IS", "BT"),
+        ("FT", "Wupwise"),
+    ];
+    let result = coschedule_validation::run(&mut ctx, &pairs)?;
+    let text = coschedule_validation::render(&result);
+    print!("{text}");
+    let path = report::write_result(&format!("coschedule_{machine}.txt"), &text)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Figure 1: measured vs predicted performance for MD on the X5-2 across
+//! the placement space.
+//!
+//! `cargo run --release -p pandia-harness --bin fig01_md [--quick]`
+
+use pandia_harness::{
+    experiments::{curves, Coverage},
+    metrics, report, MachineContext,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let coverage = Coverage::from_args();
+    let mut ctx = MachineContext::x5_2()?;
+    let placements = coverage.placements(&ctx);
+    eprintln!("MD on {} over {} placements", ctx.description.machine, placements.len());
+    let md = pandia_workloads::by_name("MD").expect("MD registered");
+    let curve = curves::workload_curve(&mut ctx, &md, &placements)?;
+
+    let stats = metrics::error_stats(&curve);
+    let gap = metrics::best_placement_gap(&curve);
+    println!("{}", report::ascii_curve(&curve, 100, 24));
+    println!(
+        "MD: mean error {:.2}%, median {:.2}%, offset median {:.2}%, best-placement gap {:.2}%",
+        stats.mean_error_pct, stats.median_error_pct, stats.median_offset_error_pct, gap
+    );
+    let path = report::write_result("fig01_md.csv", &report::curve_csv(&curve))?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Figure 10: measured vs predicted performance for every workload on the
+//! X5-2 (Figure 1 covers MD; this binary regenerates all 22 curves).
+//!
+//! `cargo run --release -p pandia-harness --bin fig10_curves [--quick] [machine]`
+
+use pandia_harness::{
+    experiments::{curves, runnable_workloads, Coverage},
+    metrics, report, MachineContext,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let coverage = Coverage::from_args();
+    let machine = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| "x5-2".into());
+    let mut ctx = MachineContext::by_name(&machine)?;
+    let placements = coverage.placements(&ctx);
+    let workloads = runnable_workloads(&ctx, pandia_workloads::paper_suite());
+    eprintln!(
+        "{} workloads on {} over {} placements",
+        workloads.len(),
+        ctx.description.machine,
+        placements.len()
+    );
+
+    let mut all_stats = Vec::new();
+    for w in &workloads {
+        let curve = curves::workload_curve(&mut ctx, w, &placements)?;
+        let stats = metrics::error_stats(&curve);
+        println!(
+            "{:<10} mean {:>6.2}%  median {:>6.2}%  gap {:>6.2}%",
+            w.name,
+            stats.mean_error_pct,
+            stats.median_error_pct,
+            metrics::best_placement_gap(&curve)
+        );
+        report::write_result(
+            &format!("fig10/{}_{}.csv", machine, w.name),
+            &report::curve_csv(&curve),
+        )?;
+        all_stats.push(stats);
+    }
+    let table = report::error_table(
+        &format!("Figure 10 curves on {}", ctx.description.machine),
+        &all_stats,
+    );
+    let path = report::write_result(&format!("fig10/{machine}_errors.txt"), &table)?;
+    eprintln!("wrote {} and per-workload CSVs", path.display());
+    Ok(())
+}

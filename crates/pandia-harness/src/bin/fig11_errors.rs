@@ -1,0 +1,72 @@
+//! Figure 11: per-workload error and offset-error statistics.
+//!
+//! * `fig11_errors x5-2` / `x4-2` / `x3-2` — panels a/b (same-machine
+//!   descriptions);
+//! * `fig11_errors portability` — panels c/d (X3-2 descriptions on the
+//!   X5-2 and vice versa).
+//!
+//! Add `--quick` for a fast low-coverage pass.
+
+use pandia_harness::{
+    experiments::{errors, runnable_workloads, Coverage},
+    report, MachineContext,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let coverage = Coverage::from_args();
+    let mode = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| "x5-2".into());
+
+    if mode == "portability" {
+        run_portability(coverage)
+    } else {
+        run_panel(&mode, coverage)
+    }
+}
+
+fn run_panel(machine: &str, coverage: Coverage) -> Result<(), Box<dyn std::error::Error>> {
+    let mut ctx = MachineContext::by_name(machine)?;
+    let placements = coverage.placements(&ctx);
+    let workloads = runnable_workloads(&ctx, pandia_workloads::paper_suite());
+    let bars = errors::error_bars(&mut ctx, &workloads, &placements)?;
+    let title = format!("Figure 11 — errors on {}", bars.title);
+    let table = report::error_table(&title, &bars.stats);
+    print!("{table}");
+    println!(
+        "summary: median error {:.2}%, median offset error {:.2}%, best-gap mean {:.2}% median {:.2}%",
+        bars.summary.median_error_pct,
+        bars.summary.median_offset_error_pct,
+        bars.summary.mean_best_gap_pct,
+        bars.summary.median_best_gap_pct
+    );
+    report::write_result(&format!("fig11/{machine}.txt"), &table)?;
+    report::write_result(&format!("fig11/{machine}.csv"), &report::error_csv(&bars.stats))?;
+    Ok(())
+}
+
+fn run_portability(coverage: Coverage) -> Result<(), Box<dyn std::error::Error>> {
+    // Panel c: X3-2 descriptions used on the X5-2.
+    // Panel d: X5-2 descriptions used on the X3-2.
+    for (src_name, dst_name, panel) in [("x3-2", "x5-2", "c"), ("x5-2", "x3-2", "d")] {
+        let mut src = MachineContext::by_name(src_name)?;
+        let mut dst = MachineContext::by_name(dst_name)?;
+        let placements = coverage.placements(&dst);
+        let workloads = runnable_workloads(&dst, pandia_workloads::paper_suite());
+        let bars = errors::portability(&mut src, &mut dst, &workloads, &placements)?;
+        let title = format!("Figure 11{panel} — {}", bars.title);
+        let table = report::error_table(&title, &bars.stats);
+        print!("{table}");
+        println!(
+            "summary: median error {:.2}%, median offset error {:.2}%\n",
+            bars.summary.median_error_pct, bars.summary.median_offset_error_pct
+        );
+        report::write_result(&format!("fig11/portability_{panel}.txt"), &table)?;
+        report::write_result(
+            &format!("fig11/portability_{panel}.csv"),
+            &report::error_csv(&bars.stats),
+        )?;
+    }
+    Ok(())
+}

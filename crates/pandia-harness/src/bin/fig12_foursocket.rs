@@ -1,0 +1,21 @@
+//! Figure 12: mean prediction errors on the four-socket Westmere X2-4,
+//! split into the 2-socket / 20-core / whole-machine placement classes.
+//!
+//! `cargo run --release -p pandia-harness --bin fig12_foursocket [--quick]`
+
+use pandia_harness::{
+    experiments::{four_socket, Coverage},
+    report, MachineContext,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let coverage = Coverage::from_args();
+    let mut ctx = MachineContext::x2_4()?;
+    eprintln!("running Figure 12 on {}", ctx.description.machine);
+    let result = four_socket::run(&mut ctx, coverage)?;
+    let text = four_socket::render(&result);
+    print!("{text}");
+    let path = report::write_result("fig12_foursocket.txt", &text)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Figure 13: the single-threaded NPO join (no scaling) and equake
+//! (growing total work) on the X3-2 and X5-2.
+//!
+//! `cargo run --release -p pandia-harness --bin fig13_limits [--quick]`
+
+use pandia_harness::{
+    experiments::{limits, Coverage},
+    metrics, report,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let coverage = Coverage::from_args();
+    let result = limits::run(coverage)?;
+
+    println!(
+        "13a  NPO single-threaded on X3-2: fitted parallel fraction {:.4} (no scaling detected)",
+        result.npo_single_parallel_fraction
+    );
+    for (label, curve, file) in [
+        ("13a NPO-1T/X3-2", &result.npo_single, "fig13a_npo1t_x3-2.csv"),
+        ("13b equake/X3-2", &result.equake_x3, "fig13b_equake_x3-2.csv"),
+        ("13c equake/X5-2", &result.equake_x5, "fig13c_equake_x5-2.csv"),
+    ] {
+        let stats = metrics::error_stats(curve);
+        println!(
+            "{label}: mean error {:.2}%, median {:.2}% over {} placements",
+            stats.mean_error_pct, stats.median_error_pct, stats.placements
+        );
+        println!("{}", report::ascii_curve(curve, 100, 16));
+        report::write_result(&format!("fig13/{file}"), &report::curve_csv(curve))?;
+    }
+    let eq_small = metrics::error_stats(&result.equake_x3).mean_error_pct;
+    let eq_large = metrics::error_stats(&result.equake_x5).mean_error_pct;
+    println!(
+        "equake violates the fixed-work assumption: mean error grows from {eq_small:.1}% \
+         (16-core X3-2) to {eq_large:.1}% (36-core X5-2)"
+    );
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Figure 14: Turbo Boost's effect on the instruction rate of a CPU-bound
+//! loop as threads are added (X5-2 / Xeon E5-2699 v3 by default).
+//!
+//! `cargo run --release -p pandia-harness --bin fig14_turbo [machine]`
+
+use pandia_harness::{experiments::turbo, report, MachineContext};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| "x5-2".into());
+    let mut ctx = MachineContext::by_name(&machine)?;
+    let result = turbo::run(&mut ctx)?;
+
+    let cores = ctx.description.shape.total_cores();
+    println!("Figure 14 on {} (instructions per unit time)", result.machine);
+    println!("{:>7} {:>16} {:>16} {:>16}", "threads", "boost", "boost+bg", "no boost");
+    let total = result.series[0].instr_rate.len();
+    for n in (0..total).step_by((total / 18).max(1)) {
+        println!(
+            "{:>7} {:>16.1} {:>16.1} {:>16.1}{}",
+            n + 1,
+            result.series[0].instr_rate[n],
+            result.series[1].instr_rate[n],
+            result.series[2].instr_rate[n],
+            if n + 1 == cores { "   <- all cores busy, SMT slots follow" } else { "" }
+        );
+    }
+    let path = report::write_result("fig14_turbo.csv", &turbo::csv(&result))?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Development probe: per-workload prediction accuracy at moderate
+//! coverage. Not a paper experiment — a fast health check for the whole
+//! pipeline (`cargo run --release -p pandia-harness --bin probe [machine]`).
+
+use pandia_harness::{
+    experiments::{curves, runnable_workloads},
+    metrics::{self},
+    MachineContext,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = std::env::args().nth(1).unwrap_or_else(|| "x3-2".into());
+    let mut ctx = match machine.as_str() {
+        "x5-2" => MachineContext::x5_2()?,
+        "x4-2" => MachineContext::x4_2()?,
+        "x2-4" => MachineContext::x2_4()?,
+        _ => MachineContext::x3_2()?,
+    };
+    let per_n: usize =
+        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let placements = ctx.enumerator().sampled(&ctx.spec, per_n);
+    eprintln!(
+        "machine {} — {} placements/workload",
+        ctx.description.machine,
+        placements.len()
+    );
+    let workloads = runnable_workloads(&ctx, pandia_workloads::paper_suite());
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6}  bottleneck-profile",
+        "workload", "mean%", "med%", "offm%", "offmed%", "bestgap%", "n*"
+    );
+    let mut med_all = Vec::new();
+    let mut gaps = Vec::new();
+    for w in &workloads {
+        let curve = curves::workload_curve(&mut ctx, w, &placements)?;
+        let stats = metrics::error_stats(&curve);
+        let gap = metrics::best_placement_gap(&curve);
+        let best = curve.measured_best_placement().unwrap();
+        println!(
+            "{:<10} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>9.2} {:>6}",
+            w.name,
+            stats.mean_error_pct,
+            stats.median_error_pct,
+            stats.mean_offset_error_pct,
+            stats.median_offset_error_pct,
+            gap,
+            best.n_threads,
+        );
+        med_all.push(stats.median_error_pct);
+        gaps.push(gap);
+    }
+    println!(
+        "== overall: median-of-medians {:.2}%  mean gap {:.2}%  median gap {:.2}%",
+        metrics::median(&mut med_all),
+        metrics::mean(&gaps),
+        metrics::median(&mut gaps),
+    );
+    Ok(())
+}

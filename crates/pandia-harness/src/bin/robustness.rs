@@ -1,0 +1,26 @@
+//! Robustness over random synthetic workloads (beyond the paper):
+//! `cargo run --release -p pandia-harness --bin robustness [machine] [per-archetype]`
+
+use pandia_harness::{
+    experiments::{robustness, Coverage},
+    report, MachineContext,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| "x4-2".into());
+    let per_archetype: usize = std::env::args()
+        .skip(2)
+        .find(|a| !a.starts_with('-'))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let mut ctx = MachineContext::by_name(&machine)?;
+    let result = robustness::run(&mut ctx, Coverage::from_args(), per_archetype, 0x5EED)?;
+    let text = robustness::render(&result);
+    print!("{text}");
+    let path = report::write_result(&format!("robustness_{machine}.txt"), &text)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

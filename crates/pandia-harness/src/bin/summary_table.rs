@@ -1,0 +1,37 @@
+//! §6.1 headline statistics: best-placement gaps, median errors and the
+//! peak-thread-count observation across the two-socket machines.
+//!
+//! `cargo run --release -p pandia-harness --bin summary_table [--quick]`
+
+use pandia_harness::{
+    experiments::{summary, Coverage},
+    report, MachineContext,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let coverage = Coverage::from_args();
+    let mut summaries = Vec::new();
+    let mut peaks_text = String::new();
+    for name in ["x5-2", "x4-2", "x3-2"] {
+        let mut ctx = MachineContext::by_name(name)?;
+        eprintln!("evaluating {}", ctx.description.machine);
+        let result = summary::evaluate_machine(&mut ctx, coverage)?;
+        let max_threads = ctx.description.shape.total_contexts();
+        let peaks = summary::peak_threads(&result, max_threads);
+        use std::fmt::Write as _;
+        let _ = writeln!(peaks_text, "\n{} (max {} threads):", ctx.description.machine, max_threads);
+        for (workload, best, _) in &peaks {
+            let _ = writeln!(
+                peaks_text,
+                "  {workload:<10} peak at {best:>3} threads{}",
+                if *best < max_threads { "  (below max)" } else { "" }
+            );
+        }
+        summaries.push(result.summary);
+    }
+    let table = report::summary_table(&summaries);
+    println!("{table}");
+    println!("{peaks_text}");
+    report::write_result("summary.txt", &format!("{table}\n{peaks_text}"))?;
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! §6.3 "Simple pattern exploration": the packed/spread sweep baseline,
+//! its machine-time cost relative to Pandia's profiling, and how often it
+//! finds the best placement.
+//!
+//! `cargo run --release -p pandia-harness --bin sweep_baseline [--quick] [machine]`
+
+use pandia_harness::{
+    experiments::{sweep, Coverage},
+    report, MachineContext,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let coverage = Coverage::from_args();
+    let machine = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| "x5-2".into());
+    let mut ctx = MachineContext::by_name(&machine)?;
+    let result = sweep::run(&mut ctx, coverage)?;
+    let text = sweep::render(&result);
+    print!("{text}");
+    let path = report::write_result(&format!("sweep_{machine}.txt"), &text)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

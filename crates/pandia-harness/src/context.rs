@@ -1,0 +1,109 @@
+//! Machine contexts: a simulated machine plus everything Pandia has
+//! learned about it.
+
+use pandia_core::{
+    describe_machine, MachineDescription, PandiaError, ProfileReport, WorkloadProfiler,
+};
+use pandia_sim::{Behavior, SimMachine};
+use pandia_topology::{MachineSpec, PlacementEnumerator};
+use pandia_workloads::WorkloadEntry;
+
+/// A simulated machine with its generated machine description.
+#[derive(Debug, Clone)]
+pub struct MachineContext {
+    /// The ground-truth platform.
+    pub platform: SimMachine,
+    /// The physical spec (used only for shape/name bookkeeping in the
+    /// harness; Pandia itself works from the description).
+    pub spec: MachineSpec,
+    /// Pandia's measured machine description.
+    pub description: MachineDescription,
+}
+
+impl MachineContext {
+    /// Builds a context for a spec: spins up the simulator and runs the
+    /// machine description generator.
+    pub fn new(spec: MachineSpec) -> Result<Self, PandiaError> {
+        let mut platform = SimMachine::new(spec.clone());
+        let description = describe_machine(&mut platform)?;
+        Ok(Self { platform, spec, description })
+    }
+
+    /// The two-socket Haswell X5-2 (72 hardware threads).
+    pub fn x5_2() -> Result<Self, PandiaError> {
+        Self::new(MachineSpec::x5_2())
+    }
+
+    /// The two-socket Ivy Bridge X4-2 (32 hardware threads).
+    pub fn x4_2() -> Result<Self, PandiaError> {
+        Self::new(MachineSpec::x4_2())
+    }
+
+    /// The two-socket Sandy Bridge X3-2 (32 hardware threads).
+    pub fn x3_2() -> Result<Self, PandiaError> {
+        Self::new(MachineSpec::x3_2())
+    }
+
+    /// The four-socket Westmere X2-4 (80 hardware threads).
+    pub fn x2_4() -> Result<Self, PandiaError> {
+        Self::new(MachineSpec::x2_4())
+    }
+
+    /// Looks up a machine preset by its model name (`"x5-2"`, `"x4-2"`,
+    /// `"x3-2"`, `"x2-4"`, case-insensitive).
+    pub fn by_name(name: &str) -> Result<Self, PandiaError> {
+        match name.to_ascii_lowercase().as_str() {
+            "x5-2" | "x5_2" | "haswell" => Self::x5_2(),
+            "x4-2" | "x4_2" | "ivybridge" | "ivy-bridge" => Self::x4_2(),
+            "x3-2" | "x3_2" | "sandybridge" | "sandy-bridge" => Self::x3_2(),
+            "x2-4" | "x2_4" | "westmere" => Self::x2_4(),
+            other => Err(PandiaError::Mismatch {
+                reason: format!("unknown machine preset '{other}'"),
+            }),
+        }
+    }
+
+    /// A placement enumerator for this machine.
+    pub fn enumerator(&self) -> PlacementEnumerator {
+        PlacementEnumerator::new(&self.spec)
+    }
+
+    /// Profiles one workload on this machine (the six runs of §4).
+    pub fn profile(&mut self, workload: &WorkloadEntry) -> Result<ProfileReport, PandiaError> {
+        let profiler = WorkloadProfiler::new(&self.description);
+        profiler.profile(&mut self.platform, &workload.behavior, workload.name)
+    }
+
+    /// Profiles a raw behavior under a given name.
+    pub fn profile_behavior(
+        &mut self,
+        behavior: &Behavior,
+        name: &str,
+    ) -> Result<ProfileReport, PandiaError> {
+        let profiler = WorkloadProfiler::new(&self.description);
+        profiler.profile(&mut self.platform, behavior, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_and_description_matches_shape() {
+        let ctx = MachineContext::x3_2().unwrap();
+        assert_eq!(ctx.description.shape.sockets, 2);
+        assert_eq!(ctx.description.shape.cores_per_socket, 8);
+        assert!(ctx.description.capacities.dram_per_socket > 0.0);
+    }
+
+    #[test]
+    fn profiling_through_context_works() {
+        let mut ctx = MachineContext::x3_2().unwrap();
+        let wl = pandia_workloads::by_name("EP").unwrap();
+        let report = ctx.profile(&wl).unwrap();
+        assert_eq!(report.description.name, "EP");
+        // EP is embarrassingly parallel: near-perfect fitted fraction.
+        assert!(report.description.parallel_fraction > 0.95);
+    }
+}

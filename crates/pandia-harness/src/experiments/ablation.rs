@@ -1,0 +1,165 @@
+//! Ablation study: how much does each part of Pandia's model contribute?
+//!
+//! The paper's model combines several terms — core burstiness `b` (§4.5),
+//! inter-socket overhead `os` (§4.3), the load-balancing interpolation `l`
+//! (§4.4), the SMT co-schedule factor (§3.2), and the aggregate L3 limit
+//! (§3.1). This experiment disables each term in turn (by zeroing or
+//! neutralizing the corresponding description entry — the predictor
+//! itself is untouched) and measures the change in prediction error.
+
+use pandia_core::{predict, MachineDescription, PredictorConfig, WorkloadDescription};
+use pandia_topology::CanonicalPlacement;
+use pandia_workloads::WorkloadEntry;
+
+use crate::{
+    context::MachineContext,
+    metrics::{error_stats, mean},
+    runner::{measure_curve, PlacementCurve},
+};
+
+use super::{runnable_workloads, Coverage, ExpResult};
+
+/// One model variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The full model.
+    Full,
+    /// Core burstiness disabled (`b = 0`).
+    NoBurstiness,
+    /// Inter-socket overhead disabled (`os = 0`).
+    NoInterSocket,
+    /// Load balancing forced fully dynamic (`l = 1`: no straggler drag).
+    NoLoadBalance,
+    /// SMT co-schedule factor neutralized (shared cores keep full issue
+    /// capacity).
+    NoSmtFactor,
+    /// Aggregate L3 limit removed (only per-link limits remain).
+    NoAggregateL3,
+}
+
+impl Variant {
+    /// All variants in report order.
+    pub const ALL: [Variant; 6] = [
+        Variant::Full,
+        Variant::NoBurstiness,
+        Variant::NoInterSocket,
+        Variant::NoLoadBalance,
+        Variant::NoSmtFactor,
+        Variant::NoAggregateL3,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Full => "full model",
+            Variant::NoBurstiness => "- burstiness (b=0)",
+            Variant::NoInterSocket => "- inter-socket (os=0)",
+            Variant::NoLoadBalance => "- load balance (l=1)",
+            Variant::NoSmtFactor => "- SMT factor",
+            Variant::NoAggregateL3 => "- aggregate L3 limit",
+        }
+    }
+
+    /// Applies the ablation to copies of the descriptions.
+    pub fn apply(
+        &self,
+        machine: &MachineDescription,
+        workload: &WorkloadDescription,
+    ) -> (MachineDescription, WorkloadDescription) {
+        let mut m = machine.clone();
+        let mut w = workload.clone();
+        match self {
+            Variant::Full => {}
+            Variant::NoBurstiness => w.burstiness = 0.0,
+            Variant::NoInterSocket => w.inter_socket_overhead = 0.0,
+            Variant::NoLoadBalance => w.load_balance = 1.0,
+            Variant::NoSmtFactor => m.smt_coschedule_factor = 1.0,
+            Variant::NoAggregateL3 => {
+                m.capacities.l3_aggregate =
+                    m.capacities.l3_per_link * m.shape.cores_per_socket as f64;
+            }
+        }
+        (m, w)
+    }
+}
+
+/// Mean error per variant, averaged over workloads.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// Machine name.
+    pub machine: String,
+    /// `(variant, mean-of-mean errors %, mean best-placement gap %)`.
+    pub rows: Vec<(Variant, f64, f64)>,
+}
+
+/// Runs the ablation on a machine over a workload subset.
+pub fn run(
+    ctx: &mut MachineContext,
+    coverage: Coverage,
+    workload_names: &[&str],
+) -> ExpResult<AblationResult> {
+    let placements = coverage.placements(ctx);
+    let all = runnable_workloads(ctx, pandia_workloads::paper_suite());
+    let workloads: Vec<WorkloadEntry> = all
+        .into_iter()
+        .filter(|w| workload_names.is_empty() || workload_names.contains(&w.name))
+        .collect();
+
+    // Profile once per workload; measured curves are reused across
+    // variants (only predictions change).
+    let mut profiled = Vec::new();
+    for w in &workloads {
+        let desc = ctx.profile(w)?.description;
+        let full_curve = measure_curve(
+            ctx,
+            &w.behavior,
+            &desc,
+            &placements,
+            &PredictorConfig::default(),
+        )?;
+        profiled.push((w.clone(), desc, full_curve));
+    }
+
+    let mut rows = Vec::new();
+    for variant in Variant::ALL {
+        let mut errors = Vec::new();
+        let mut gaps = Vec::new();
+        for (_, desc, full_curve) in &profiled {
+            let curve = repredict(ctx, variant, desc, full_curve, &placements)?;
+            errors.push(error_stats(&curve).mean_error_pct);
+            gaps.push(crate::metrics::best_placement_gap(&curve));
+        }
+        rows.push((variant, mean(&errors), mean(&gaps)));
+    }
+    Ok(AblationResult { machine: ctx.description.machine.clone(), rows })
+}
+
+/// Recomputes predictions under a variant, reusing measured times.
+fn repredict(
+    ctx: &MachineContext,
+    variant: Variant,
+    desc: &WorkloadDescription,
+    measured: &PlacementCurve,
+    placements: &[CanonicalPlacement],
+) -> ExpResult<PlacementCurve> {
+    let (m, w) = variant.apply(&ctx.description, desc);
+    let mut curve = measured.clone();
+    for (point, canon) in curve.points.iter_mut().zip(placements) {
+        let placement = canon.instantiate(&m.shape)?;
+        point.predicted =
+            predict(&m, &w, &placement, &PredictorConfig::default())?.predicted_time;
+    }
+    Ok(curve)
+}
+
+/// Renders the ablation table.
+pub fn render(result: &AblationResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Model ablation on {}", result.machine);
+    let _ = writeln!(out, "{:<24} {:>14} {:>16}", "variant", "mean error %", "mean best-gap %");
+    for (variant, err, gap) in &result.rows {
+        let _ = writeln!(out, "{:<24} {:>14.2} {:>16.2}", variant.label(), err, gap);
+    }
+    out
+}

@@ -1,0 +1,172 @@
+//! Validation of the multi-workload extension (beyond the paper).
+//!
+//! For pairs of workloads co-scheduled under several joint placements,
+//! compare each job's joint *prediction* with its joint *measurement* on
+//! the ground-truth simulator — the §8 claim quantified.
+
+use pandia_core::{predict_jobs, PredictorConfig, WorkloadDescription};
+use pandia_sim::Behavior;
+use pandia_topology::{HasShape, MultiRunRequest, Placement, Platform, SocketId};
+use serde::{Deserialize, Serialize};
+
+use crate::context::MachineContext;
+
+use super::ExpResult;
+
+/// One job's outcome within one joint placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointOutcome {
+    /// Pairing label, e.g. `"CG+EP"`.
+    pub pairing: String,
+    /// Joint-placement label.
+    pub layout: String,
+    /// Job name.
+    pub workload: String,
+    /// Predicted completion time under the joint placement.
+    pub predicted: f64,
+    /// Measured completion time under the joint placement.
+    pub measured: f64,
+    /// `|predicted - measured| / measured` in percent.
+    pub error_pct: f64,
+}
+
+/// Results over all pairings and layouts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoScheduleValidation {
+    /// Machine name.
+    pub machine: String,
+    /// Every (pairing, layout, job) outcome.
+    pub outcomes: Vec<JointOutcome>,
+}
+
+impl CoScheduleValidation {
+    /// Mean error across all outcomes.
+    pub fn mean_error_pct(&self) -> f64 {
+        crate::metrics::mean(&self.outcomes.iter().map(|o| o.error_pct).collect::<Vec<_>>())
+    }
+
+    /// Median error across all outcomes.
+    pub fn median_error_pct(&self) -> f64 {
+        crate::metrics::median(
+            &mut self.outcomes.iter().map(|o| o.error_pct).collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// The joint layouts exercised for each pair (per-socket carve-ups).
+fn layouts(ctx: &MachineContext) -> Vec<(String, Placement, Placement)> {
+    let shape = ctx.description.shape();
+    let cores = shape.cores_per_socket;
+    let socket = |s: usize, n: usize, slot: usize| {
+        Placement::new(
+            &shape,
+            (0..n).map(|c| shape.ctx(SocketId(s), c, slot)).collect::<Vec<_>>(),
+        )
+        .expect("socket placement fits")
+    };
+    let half = cores / 2;
+    vec![
+        // One socket each.
+        ("socket-each".to_string(), socket(0, cores, 0), socket(1, cores, 0)),
+        // Both share socket 0, half the cores each (second job uses the
+        // upper cores via SMT slot 0 of cores half..).
+        (
+            "split-socket0".to_string(),
+            socket(0, half, 0),
+            Placement::new(
+                &shape,
+                (half..cores)
+                    .map(|c| shape.ctx(SocketId(0), c, 0))
+                    .collect::<Vec<_>>(),
+            )
+            .expect("upper half fits"),
+        ),
+        // SMT siblings: job B on the second hardware thread of the same
+        // cores as job A.
+        ("smt-siblings".to_string(), socket(0, half, 0), socket(0, half, 1)),
+    ]
+}
+
+/// Runs the validation for the given workload pairs.
+pub fn run(
+    ctx: &mut MachineContext,
+    pairs: &[(&str, &str)],
+) -> ExpResult<CoScheduleValidation> {
+    let config = PredictorConfig::default();
+    let mut outcomes = Vec::new();
+    for &(a, b) in pairs {
+        let wa = pandia_workloads::by_name(a).unwrap_or_else(|| panic!("workload {a}"));
+        let wb = pandia_workloads::by_name(b).unwrap_or_else(|| panic!("workload {b}"));
+        let da = ctx.profile(&wa)?.description;
+        let db = ctx.profile(&wb)?.description;
+        for (layout, pa, pb) in layouts(ctx) {
+            outcomes.extend(validate_one(
+                ctx,
+                &config,
+                (&wa.behavior, &da, &pa),
+                (&wb.behavior, &db, &pb),
+                &format!("{a}+{b}"),
+                &layout,
+            )?);
+        }
+    }
+    Ok(CoScheduleValidation { machine: ctx.description.machine.clone(), outcomes })
+}
+
+fn validate_one(
+    ctx: &mut MachineContext,
+    config: &PredictorConfig,
+    a: (&Behavior, &WorkloadDescription, &Placement),
+    b: (&Behavior, &WorkloadDescription, &Placement),
+    pairing: &str,
+    layout: &str,
+) -> ExpResult<Vec<JointOutcome>> {
+    let (ba, da, pa) = a;
+    let (bb, db, pb) = b;
+    let predictions =
+        predict_jobs(&ctx.description, &[(da, pa), (db, pb)], config)?;
+    let measured = ctx.platform.run_multi(&MultiRunRequest::new(vec![
+        (ba.clone(), pa.clone()),
+        (bb.clone(), pb.clone()),
+    ]))?;
+    Ok(predictions
+        .iter()
+        .zip(&measured)
+        .zip([da.name.clone(), db.name.clone()])
+        .map(|((pred, meas), workload)| JointOutcome {
+            pairing: pairing.to_string(),
+            layout: layout.to_string(),
+            workload,
+            predicted: pred.predicted_time,
+            measured: meas.elapsed,
+            error_pct: 100.0 * (pred.predicted_time - meas.elapsed).abs() / meas.elapsed,
+        })
+        .collect())
+}
+
+/// Renders the validation as a text table.
+pub fn render(result: &CoScheduleValidation) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Co-scheduling validation on {} (paper §8 extension)", result.machine);
+    let _ = writeln!(
+        out,
+        "{:<12} {:<14} {:<10} {:>10} {:>10} {:>8}",
+        "pairing", "layout", "job", "predicted", "measured", "err%"
+    );
+    for o in &result.outcomes {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<14} {:<10} {:>10.3} {:>10.3} {:>8.2}",
+            o.pairing, o.layout, o.workload, o.predicted, o.measured, o.error_pct
+        );
+    }
+    let _ = writeln!(
+        out,
+        "mean error {:.2}%, median {:.2}% over {} outcomes",
+        result.mean_error_pct(),
+        result.median_error_pct(),
+        result.outcomes.len()
+    );
+    out
+}

@@ -1,0 +1,43 @@
+//! Figures 1 and 10: measured vs predicted performance across the
+//! placement space, per workload.
+
+use pandia_core::PredictorConfig;
+use pandia_topology::CanonicalPlacement;
+use pandia_workloads::WorkloadEntry;
+
+use crate::{
+    context::MachineContext,
+    runner::{measure_curve, PlacementCurve},
+};
+
+use super::ExpResult;
+
+/// Profiles a workload and produces its measured-vs-predicted curve over
+/// the given placements.
+pub fn workload_curve(
+    ctx: &mut MachineContext,
+    workload: &WorkloadEntry,
+    placements: &[CanonicalPlacement],
+) -> ExpResult<PlacementCurve> {
+    let profile = ctx.profile(workload)?;
+    measure_curve(
+        ctx,
+        &workload.behavior,
+        &profile.description,
+        placements,
+        &PredictorConfig::default(),
+    )
+}
+
+/// Runs the full Figure 1 + Figure 10 set: one curve per workload.
+pub fn all_curves(
+    ctx: &mut MachineContext,
+    workloads: &[WorkloadEntry],
+    placements: &[CanonicalPlacement],
+) -> ExpResult<Vec<PlacementCurve>> {
+    let mut curves = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        curves.push(workload_curve(ctx, w, placements)?);
+    }
+    Ok(curves)
+}

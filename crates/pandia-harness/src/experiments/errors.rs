@@ -1,0 +1,122 @@
+//! Figure 11: prediction error bars per workload, including the
+//! cross-machine portability study (11c/11d).
+
+use pandia_core::{predict, PredictorConfig, WorkloadDescription};
+use pandia_topology::{CanonicalPlacement, HasShape, Platform, RunRequest};
+use pandia_workloads::WorkloadEntry;
+
+use crate::{
+    context::MachineContext,
+    metrics::{error_stats, machine_summary, ErrorStats, MachineSummary},
+    runner::{measure_curve, CurvePoint, PlacementCurve},
+};
+
+use super::ExpResult;
+
+/// Error bars for one machine (one panel of Figure 11).
+#[derive(Debug, Clone)]
+pub struct ErrorBars {
+    /// Panel label, e.g. `"X5-2 (Haswell)"`.
+    pub title: String,
+    /// Per-workload statistics, in workload order.
+    pub stats: Vec<ErrorStats>,
+    /// The machine-level summary (§6.1 headline numbers).
+    pub summary: MachineSummary,
+    /// The underlying curves (reusable by other experiments).
+    pub curves: Vec<PlacementCurve>,
+}
+
+/// Profiles every workload on the machine and computes its error bars
+/// (Figure 11a/11b).
+pub fn error_bars(
+    ctx: &mut MachineContext,
+    workloads: &[WorkloadEntry],
+    placements: &[CanonicalPlacement],
+) -> ExpResult<ErrorBars> {
+    let mut curves = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        let profile = ctx.profile(w)?;
+        curves.push(measure_curve(
+            ctx,
+            &w.behavior,
+            &profile.description,
+            placements,
+            &PredictorConfig::default(),
+        )?);
+    }
+    finish(ctx.description.machine.clone(), curves)
+}
+
+/// The portability study (Figure 11c/11d): workload descriptions generated
+/// on `source` are used to predict performance on `target`, whose own
+/// measurements provide the ground truth.
+pub fn portability(
+    source: &mut MachineContext,
+    target: &mut MachineContext,
+    workloads: &[WorkloadEntry],
+    target_placements: &[CanonicalPlacement],
+) -> ExpResult<ErrorBars> {
+    let mut curves = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        let desc = source.profile(w)?.description;
+        let desc = adapt_description(&desc, target);
+        curves.push(measure_on(target, w, &desc, target_placements)?);
+    }
+    finish(
+        format!(
+            "{} descriptions on {}",
+            source.description.machine, target.description.machine
+        ),
+        curves,
+    )
+}
+
+/// Retargets a description's memory-node layout to the target machine.
+///
+/// The paper reuses descriptions otherwise unchanged: the absolute `t1`
+/// still belongs to the source machine, so absolute predicted times are
+/// not comparable across machines — only the normalized metrics this
+/// study computes are.
+fn adapt_description(
+    desc: &WorkloadDescription,
+    target: &MachineContext,
+) -> WorkloadDescription {
+    desc.retarget_sockets(target.description.shape.sockets)
+}
+
+fn measure_on(
+    ctx: &mut MachineContext,
+    workload: &WorkloadEntry,
+    desc: &WorkloadDescription,
+    placements: &[CanonicalPlacement],
+) -> ExpResult<PlacementCurve> {
+    let shape = ctx.description.shape();
+    let mut points = Vec::with_capacity(placements.len());
+    for canon in placements {
+        let placement = canon.instantiate(&shape)?;
+        let measured = ctx
+            .platform
+            .run(&RunRequest::new(workload.behavior.clone(), placement.clone()))?
+            .elapsed;
+        let predicted =
+            predict(&ctx.description, desc, &placement, &PredictorConfig::default())?
+                .predicted_time;
+        points.push(CurvePoint {
+            placement: canon.clone(),
+            n_threads: placement.n_threads(),
+            measured,
+            predicted,
+        });
+    }
+    Ok(PlacementCurve {
+        workload: workload.name.to_string(),
+        machine: ctx.description.machine.clone(),
+        points,
+    })
+}
+
+fn finish(title: String, curves: Vec<PlacementCurve>) -> ExpResult<ErrorBars> {
+    let stats = curves.iter().map(error_stats).collect();
+    let summary = machine_summary(&title, &curves);
+    Ok(ErrorBars { title, stats, summary, curves })
+}

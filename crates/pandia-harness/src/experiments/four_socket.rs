@@ -1,0 +1,96 @@
+//! Figure 12: mean prediction errors on the four-socket Westmere X2-4,
+//! split into three placement classes — at most two sockets active, at
+//! most 20 cores active, and the whole machine.
+
+use pandia_core::PredictorConfig;
+use pandia_topology::{CanonicalPlacement, PlacementClass};
+
+use crate::{
+    context::MachineContext,
+    metrics::{error_stats, ErrorStats},
+    runner::measure_curve,
+};
+
+use super::{runnable_workloads, Coverage, ExpResult};
+
+/// Results of the four-socket study: per-class, per-workload mean errors.
+#[derive(Debug, Clone)]
+pub struct FourSocketResult {
+    /// Class labels in figure order.
+    pub classes: Vec<String>,
+    /// `stats[class][workload]`.
+    pub stats: Vec<Vec<ErrorStats>>,
+}
+
+/// The paper's three placement classes on a 10-core-per-socket machine.
+pub fn classes() -> Vec<(String, PlacementClass)> {
+    vec![
+        ("2 Socket".to_string(), PlacementClass::TwoSocket),
+        ("20 Core".to_string(), PlacementClass::LimitedCores(20)),
+        ("Whole machine".to_string(), PlacementClass::WholeMachine),
+    ]
+}
+
+/// Runs the Figure 12 experiment on the X2-4 context.
+///
+/// Sort-Join is dropped automatically: it requires AVX, which the Westmere
+/// processors lack (§6.2).
+pub fn run(ctx: &mut MachineContext, coverage: Coverage) -> ExpResult<FourSocketResult> {
+    let workloads = runnable_workloads(ctx, pandia_workloads::paper_suite());
+    let base = coverage.placements(ctx);
+    let class_list = classes();
+    let per_class: Vec<Vec<CanonicalPlacement>> = class_list
+        .iter()
+        .map(|(_, class)| base.iter().filter(|p| class.contains(p)).cloned().collect())
+        .collect();
+
+    let mut stats: Vec<Vec<ErrorStats>> = vec![Vec::new(); class_list.len()];
+    for w in &workloads {
+        let desc = ctx.profile(w)?.description;
+        for (k, placements) in per_class.iter().enumerate() {
+            let curve = measure_curve(
+                ctx,
+                &w.behavior,
+                &desc,
+                placements,
+                &PredictorConfig::default(),
+            )?;
+            stats[k].push(error_stats(&curve));
+        }
+    }
+    Ok(FourSocketResult {
+        classes: class_list.into_iter().map(|(name, _)| name).collect(),
+        stats,
+    })
+}
+
+/// Renders the result as a per-workload table of mean errors per class.
+pub fn render(result: &FourSocketResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 12 — mean prediction errors on the 4-socket X2-4");
+    let _ = write!(out, "{:<12}", "workload");
+    for c in &result.classes {
+        let _ = write!(out, " {c:>14}");
+    }
+    let _ = writeln!(out);
+    if let Some(first) = result.stats.first() {
+        for (i, s) in first.iter().enumerate() {
+            let _ = write!(out, "{:<12}", s.workload);
+            for class_stats in &result.stats {
+                let _ = write!(out, " {:>13.2}%", class_stats[i].mean_error_pct);
+            }
+            let _ = writeln!(out);
+        }
+    }
+    // Class-level means, matching the figure's rightmost "Mean" group.
+    let _ = write!(out, "{:<12}", "Mean");
+    for class_stats in &result.stats {
+        let mean = crate::metrics::mean(
+            &class_stats.iter().map(|s| s.mean_error_pct).collect::<Vec<_>>(),
+        );
+        let _ = write!(out, " {mean:>13.2}%");
+    }
+    let _ = writeln!(out);
+    out
+}

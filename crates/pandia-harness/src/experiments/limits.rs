@@ -1,0 +1,81 @@
+//! Figure 13: Pandia at the edges of its assumptions.
+//!
+//! * 13a — a single-threaded version of the NPO join: only one thread is
+//!   active, so the workload does not scale; Pandia's profiling detects
+//!   the absence of scaling (the fitted parallel fraction collapses).
+//! * 13b/13c — equake, whose reduction step grows the total work with the
+//!   thread count, violating the fixed-work assumption: predictions stay
+//!   good on the 16-core X3-2 but visibly degrade on the 36-core X5-2.
+
+use pandia_core::PredictorConfig;
+use pandia_workloads::{equake, npo_single_threaded};
+
+use crate::{
+    context::MachineContext,
+    runner::{measure_curve, PlacementCurve},
+};
+
+use super::{Coverage, ExpResult};
+
+/// The three panels of Figure 13.
+#[derive(Debug, Clone)]
+pub struct LimitsResult {
+    /// 13a: NPO-1T on the X3-2.
+    pub npo_single: PlacementCurve,
+    /// The parallel fraction Pandia fitted for NPO-1T (expected ≈ 0).
+    pub npo_single_parallel_fraction: f64,
+    /// 13b: equake on the X3-2.
+    pub equake_x3: PlacementCurve,
+    /// 13c: equake on the X5-2.
+    pub equake_x5: PlacementCurve,
+}
+
+/// Runs all three panels.
+pub fn run(coverage: Coverage) -> ExpResult<LimitsResult> {
+    let config = PredictorConfig::default();
+
+    let mut x3 = MachineContext::x3_2()?;
+    let placements_x3 = coverage.placements(&x3);
+
+    let npo1 = npo_single_threaded();
+    let npo_profile = x3.profile(&npo1)?;
+    let npo_single = measure_curve(
+        &mut x3,
+        &npo1.behavior,
+        &npo_profile.description,
+        &placements_x3,
+        &config,
+    )?;
+
+    let eq = equake();
+    let eq_desc_x3 = x3.profile(&eq)?.description;
+    let equake_x3 = measure_curve(&mut x3, &eq.behavior, &eq_desc_x3, &placements_x3, &config)?;
+
+    let mut x5 = MachineContext::x5_2()?;
+    let placements_x5 = coverage.placements(&x5);
+    let eq_desc_x5 = x5.profile(&eq)?.description;
+    let equake_x5 = measure_curve(&mut x5, &eq.behavior, &eq_desc_x5, &placements_x5, &config)?;
+
+    Ok(LimitsResult {
+        npo_single,
+        npo_single_parallel_fraction: npo_profile.description.parallel_fraction,
+        equake_x3,
+        equake_x5,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::error_stats;
+
+    #[test]
+    #[ignore = "several minutes of simulation; run explicitly or via the fig13 binary"]
+    fn equake_errors_grow_with_machine_size() {
+        let r = run(Coverage::Quick).unwrap();
+        let small = error_stats(&r.equake_x3).mean_error_pct;
+        let large = error_stats(&r.equake_x5).mean_error_pct;
+        assert!(large > small, "x5-2 error {large} should exceed x3-2 error {small}");
+        assert!(r.npo_single_parallel_fraction < 0.2);
+    }
+}

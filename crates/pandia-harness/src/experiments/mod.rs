@@ -1,0 +1,87 @@
+//! One driver per paper figure/table.
+//!
+//! | Module | Reproduces |
+//! |--------|------------|
+//! | [`worked_example`] | Figures 3-9: the toy machine walk-through |
+//! | [`curves`] | Figure 1 (MD) and Figure 10 (remaining workloads) |
+//! | [`errors`] | Figure 11a-d: error/offset-error bars + portability |
+//! | [`four_socket`] | Figure 12: the X2-4 placement classes |
+//! | [`limits`] | Figure 13: NPO-1T and equake |
+//! | [`turbo`] | Figure 14: Turbo Boost instruction-rate curves |
+//! | [`sweep`] | §6.3's simple-pattern-exploration baseline |
+//! | [`summary`] | §6.1's headline statistics |
+//! | [`ablation`] | model-term ablation (beyond the paper) |
+//! | [`coschedule_validation`] | §8 co-scheduling extension, validated |
+//! | [`robustness`] | accuracy over random synthetic workloads |
+
+pub mod ablation;
+pub mod coschedule_validation;
+pub mod curves;
+pub mod errors;
+pub mod four_socket;
+pub mod limits;
+pub mod robustness;
+pub mod summary;
+pub mod sweep;
+pub mod turbo;
+pub mod worked_example;
+
+use pandia_core::PandiaError;
+use pandia_topology::CanonicalPlacement;
+
+use crate::context::MachineContext;
+
+/// How densely to sample the placement space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coverage {
+    /// A handful of placements per thread count — seconds per workload,
+    /// used by tests and `--quick` binaries.
+    Quick,
+    /// Matches the paper's coverage (~20% of the X5-2 space, exhaustive on
+    /// the smaller machines).
+    Paper,
+}
+
+impl Coverage {
+    /// Parses `--quick` style flags from argv.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick" || a == "-q") {
+            Coverage::Quick
+        } else {
+            Coverage::Paper
+        }
+    }
+
+    /// Placement candidates for a machine under this coverage.
+    pub fn placements(&self, ctx: &MachineContext) -> Vec<CanonicalPlacement> {
+        let e = ctx.enumerator();
+        match self {
+            Coverage::Quick => e.sampled(&ctx.spec, 3),
+            Coverage::Paper => {
+                // Exhaustive when the space is small, else sampled to the
+                // paper's density (~42/thread count ≈ 3000 on the X5-2).
+                if e.count() <= 2_500 {
+                    e.all()
+                } else {
+                    e.sampled(&ctx.spec, 42)
+                }
+            }
+        }
+    }
+}
+
+/// Filters the workload list to those runnable on a machine (drops AVX
+/// workloads on non-AVX machines, as the paper drops Sort-Join on the
+/// X2-4).
+pub fn runnable_workloads(
+    ctx: &MachineContext,
+    workloads: Vec<pandia_workloads::WorkloadEntry>,
+) -> Vec<pandia_workloads::WorkloadEntry> {
+    workloads
+        .into_iter()
+        .filter(|w| !w.behavior.requires_avx || ctx.spec.has_avx)
+        .collect()
+}
+
+/// Convenience alias for driver results.
+pub type ExpResult<T> = Result<T, PandiaError>;

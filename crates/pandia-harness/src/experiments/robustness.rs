@@ -1,0 +1,122 @@
+//! Robustness study (beyond the paper): prediction accuracy over
+//! randomly generated workloads.
+//!
+//! The paper's defense against overfitting is a 4/18 development/
+//! evaluation split of hand-picked benchmarks. Here we go further:
+//! sample synthetic workloads from archetype distributions nobody tuned
+//! the model against, profile each one, and measure prediction error over
+//! a placement sample. Per-archetype statistics show where the model
+//! generalizes and where it strains.
+
+use pandia_core::PredictorConfig;
+use pandia_workloads::{generate, Archetype};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    context::MachineContext,
+    metrics::{best_placement_gap, error_stats, mean, median},
+    runner::measure_curve,
+};
+
+use super::{Coverage, ExpResult};
+
+/// Accuracy over one archetype's sampled workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchetypeStats {
+    /// Archetype label.
+    pub archetype: String,
+    /// Number of sampled workloads.
+    pub samples: usize,
+    /// Mean of per-workload mean errors (%).
+    pub mean_error_pct: f64,
+    /// Median of per-workload median errors (%).
+    pub median_error_pct: f64,
+    /// Mean best-placement gap (%).
+    pub mean_gap_pct: f64,
+}
+
+/// Full robustness results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessResult {
+    /// Machine name.
+    pub machine: String,
+    /// Per-archetype statistics.
+    pub per_archetype: Vec<ArchetypeStats>,
+    /// Overall median of per-workload median errors (%).
+    pub overall_median_error_pct: f64,
+    /// Overall mean gap (%).
+    pub overall_mean_gap_pct: f64,
+}
+
+/// Runs the robustness study: `per_archetype` random workloads for each
+/// of the five archetypes.
+pub fn run(
+    ctx: &mut MachineContext,
+    coverage: Coverage,
+    per_archetype: usize,
+    seed: u64,
+) -> ExpResult<RobustnessResult> {
+    let placements = coverage.placements(ctx);
+    let config = PredictorConfig::default();
+    let mut per_archetype_stats = Vec::new();
+    let mut all_medians = Vec::new();
+    let mut all_gaps = Vec::new();
+    for archetype in Archetype::ALL {
+        let mut means = Vec::new();
+        let mut medians = Vec::new();
+        let mut gaps = Vec::new();
+        for k in 0..per_archetype {
+            let behavior = generate(archetype, seed.wrapping_add(k as u64));
+            let desc = ctx.profile_behavior(&behavior, &behavior.name.clone())?.description;
+            let curve = measure_curve(ctx, &behavior, &desc, &placements, &config)?;
+            let stats = error_stats(&curve);
+            means.push(stats.mean_error_pct);
+            medians.push(stats.median_error_pct);
+            gaps.push(best_placement_gap(&curve));
+        }
+        all_medians.extend(medians.clone());
+        all_gaps.extend(gaps.clone());
+        per_archetype_stats.push(ArchetypeStats {
+            archetype: format!("{archetype:?}"),
+            samples: per_archetype,
+            mean_error_pct: mean(&means),
+            median_error_pct: median(&mut medians),
+            mean_gap_pct: mean(&gaps),
+        });
+    }
+    Ok(RobustnessResult {
+        machine: ctx.description.machine.clone(),
+        per_archetype: per_archetype_stats,
+        overall_median_error_pct: median(&mut all_medians),
+        overall_mean_gap_pct: mean(&all_gaps),
+    })
+}
+
+/// Renders the robustness table.
+pub fn render(result: &RobustnessResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Robustness over random workloads on {} (beyond the paper)",
+        result.machine
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>12} {:>14} {:>10}",
+        "archetype", "samples", "mean err%", "median err%", "mean gap%"
+    );
+    for s in &result.per_archetype {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>12.2} {:>14.2} {:>10.2}",
+            s.archetype, s.samples, s.mean_error_pct, s.median_error_pct, s.mean_gap_pct
+        );
+    }
+    let _ = writeln!(
+        out,
+        "overall: median error {:.2}%, mean best-gap {:.2}%",
+        result.overall_median_error_pct, result.overall_mean_gap_pct
+    );
+    out
+}

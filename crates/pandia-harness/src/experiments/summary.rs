@@ -1,0 +1,44 @@
+//! §6.1 headline statistics across the two-socket machines: the gap
+//! between the fastest predicted and fastest measured placements, median
+//! errors, and the peak-thread-count observation.
+
+use crate::{
+    context::MachineContext,
+    metrics::{machine_summary, MachineSummary},
+    runner::PlacementCurve,
+};
+
+use super::{errors, runnable_workloads, Coverage, ExpResult};
+
+/// Summary plus supporting curves for one machine.
+#[derive(Debug, Clone)]
+pub struct MachineResult {
+    /// §6.1 headline numbers.
+    pub summary: MachineSummary,
+    /// The per-workload curves behind them.
+    pub curves: Vec<PlacementCurve>,
+}
+
+/// Runs the full evaluation on one machine and summarizes it.
+pub fn evaluate_machine(ctx: &mut MachineContext, coverage: Coverage) -> ExpResult<MachineResult> {
+    let workloads = runnable_workloads(ctx, pandia_workloads::paper_suite());
+    let placements = coverage.placements(ctx);
+    let bars = errors::error_bars(ctx, &workloads, &placements)?;
+    let summary = machine_summary(&ctx.description.machine, &bars.curves);
+    Ok(MachineResult { summary, curves: bars.curves })
+}
+
+/// Per-workload peak placements: workload name, best measured thread
+/// count, and the machine's maximum (the §6.1 observation that peaks move
+/// below the maximum thread count on larger machines; Sort-Join peaks at
+/// 32 threads on the X5-2).
+pub fn peak_threads(result: &MachineResult, max_threads: usize) -> Vec<(String, usize, usize)> {
+    result
+        .curves
+        .iter()
+        .map(|c| {
+            let best = c.measured_best_placement().map(|p| p.n_threads).unwrap_or(0);
+            (c.workload.clone(), best, max_threads)
+        })
+        .collect()
+}

@@ -1,0 +1,173 @@
+//! §6.3 "Simple pattern exploration": the sweep baseline.
+//!
+//! Instead of Pandia's six profiling runs, simply time a sweep of
+//! placements — each thread count packed as tightly as possible and
+//! spread as far as possible — and pick the best. The paper reports that
+//! the sweep costs 4-8x more machine time than building a workload
+//! description, finds the best placement on the small machines (21/22 on
+//! the X3-2, 20/22 on the X4-2) but only 8/22 on the larger X5-2.
+
+use pandia_core::{PandiaError, ProfileConfig, WorkloadProfiler};
+use pandia_topology::{CanonicalPlacement, HasShape, Platform, RunRequest};
+use pandia_workloads::WorkloadEntry;
+use serde::{Deserialize, Serialize};
+
+use crate::context::MachineContext;
+
+use super::{runnable_workloads, Coverage, ExpResult};
+
+/// Sweep-vs-Pandia comparison for one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// Workload name.
+    pub workload: String,
+    /// Machine time spent running the sweep.
+    pub sweep_cost: f64,
+    /// Machine time spent on Pandia's profiling runs (single run each, as
+    /// in the paper's §6.3 cost accounting).
+    pub profiling_cost: f64,
+    /// `sweep_cost / profiling_cost`.
+    pub cost_ratio: f64,
+    /// Best time observed within the sweep.
+    pub sweep_best: f64,
+    /// Best time observed over the full evaluated placement set.
+    pub global_best: f64,
+    /// Whether the sweep found (within measurement tolerance) the best
+    /// placement.
+    pub found_best: bool,
+}
+
+/// Results over all workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Machine name.
+    pub machine: String,
+    /// Per-workload outcomes.
+    pub outcomes: Vec<SweepOutcome>,
+}
+
+impl SweepResult {
+    /// Average cost ratio across workloads.
+    pub fn mean_cost_ratio(&self) -> f64 {
+        crate::metrics::mean(&self.outcomes.iter().map(|o| o.cost_ratio).collect::<Vec<_>>())
+    }
+
+    /// Number of workloads where the sweep found the best placement.
+    pub fn found_best_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.found_best).count()
+    }
+}
+
+/// Tolerance within which two measured times count as "the same
+/// placement quality" (covers measurement noise).
+const FOUND_TOLERANCE: f64 = 0.01;
+
+/// Runs the sweep baseline on one machine over the full paper suite.
+pub fn run(ctx: &mut MachineContext, coverage: Coverage) -> ExpResult<SweepResult> {
+    run_subset(ctx, coverage, &[])
+}
+
+/// Runs the sweep baseline restricted to the named workloads (empty =
+/// all).
+pub fn run_subset(
+    ctx: &mut MachineContext,
+    coverage: Coverage,
+    names: &[&str],
+) -> ExpResult<SweepResult> {
+    let workloads: Vec<WorkloadEntry> =
+        runnable_workloads(ctx, pandia_workloads::paper_suite())
+            .into_iter()
+            .filter(|w| names.is_empty() || names.contains(&w.name))
+            .collect();
+    let enumerator = ctx.enumerator();
+    let sweep_placements = enumerator.sweep(&ctx.spec);
+    let full_placements = coverage.placements(ctx);
+    let mut outcomes = Vec::with_capacity(workloads.len());
+    for w in &workloads {
+        outcomes.push(run_one(ctx, w, &sweep_placements, &full_placements)?);
+    }
+    Ok(SweepResult { machine: ctx.description.machine.clone(), outcomes })
+}
+
+fn run_one(
+    ctx: &mut MachineContext,
+    workload: &WorkloadEntry,
+    sweep_placements: &[CanonicalPlacement],
+    full_placements: &[CanonicalPlacement],
+) -> Result<SweepOutcome, PandiaError> {
+    let shape = ctx.description.shape();
+
+    // Pandia profiling cost (single-run accounting, §6.3).
+    let config = ProfileConfig { repeats: 1, ..ProfileConfig::default() };
+    let description = ctx.description.clone();
+    let profiler = WorkloadProfiler::with_config(&description, config);
+    let report = profiler.profile(&mut ctx.platform, &workload.behavior, workload.name)?;
+    let profiling_cost = report.total_cost;
+
+    // Sweep cost and best.
+    let mut sweep_cost = 0.0;
+    let mut sweep_best = f64::INFINITY;
+    for canon in sweep_placements {
+        let placement = canon.instantiate(&shape)?;
+        let t = ctx
+            .platform
+            .run(&RunRequest::new(workload.behavior.clone(), placement))?
+            .elapsed;
+        sweep_cost += t;
+        sweep_best = sweep_best.min(t);
+    }
+
+    // Global best over the evaluated placement set (sweep included).
+    let mut global_best = sweep_best;
+    for canon in full_placements {
+        let placement = canon.instantiate(&shape)?;
+        let t = ctx
+            .platform
+            .run(&RunRequest::new(workload.behavior.clone(), placement))?
+            .elapsed;
+        global_best = global_best.min(t);
+    }
+
+    Ok(SweepOutcome {
+        workload: workload.name.to_string(),
+        sweep_cost,
+        profiling_cost,
+        cost_ratio: sweep_cost / profiling_cost.max(1e-12),
+        sweep_best,
+        global_best,
+        found_best: sweep_best <= global_best * (1.0 + FOUND_TOLERANCE),
+    })
+}
+
+/// Renders the §6.3 comparison as a text table.
+pub fn render(result: &SweepResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Sweep baseline vs Pandia profiling on {}", result.machine);
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>8} {:>12} {:>12} {:>7}",
+        "workload", "sweep cost", "profile", "ratio", "sweep best", "global best", "found"
+    );
+    for o in &result.outcomes {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>12.2} {:>12.2} {:>8.2} {:>12.3} {:>12.3} {:>7}",
+            o.workload,
+            o.sweep_cost,
+            o.profiling_cost,
+            o.cost_ratio,
+            o.sweep_best,
+            o.global_best,
+            if o.found_best { "yes" } else { "no" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "mean cost ratio {:.2}x; sweep found the best placement for {}/{} workloads",
+        result.mean_cost_ratio(),
+        result.found_best_count(),
+        result.outcomes.len()
+    );
+    out
+}

@@ -1,0 +1,134 @@
+//! Figure 14: the effect of Turbo Boost on the instruction rate of a
+//! CPU-bound loop as threads are added (1-36 one per core, 37-72 filling
+//! the second SMT slots), under three configurations:
+//!
+//! * Turbo Boost enabled, no background load — frequency falls as cores
+//!   wake up;
+//! * Turbo Boost enabled, background load on otherwise-idle cores — the
+//!   chip is pinned at its all-core frequency (the profiling methodology);
+//! * Turbo Boost disabled — nominal frequency, slower than all-core boost
+//!   even when every core is busy.
+
+use pandia_core::PandiaError;
+use pandia_topology::{CtxId, Placement, Platform, RunRequest, StressKind};
+
+use crate::context::MachineContext;
+
+use super::ExpResult;
+
+/// One measured series of Figure 14.
+#[derive(Debug, Clone)]
+pub struct TurboSeries {
+    /// Configuration label.
+    pub label: String,
+    /// Instruction rate at each thread count (index 0 = 1 thread).
+    pub instr_rate: Vec<f64>,
+}
+
+/// All three series.
+#[derive(Debug, Clone)]
+pub struct TurboResult {
+    /// The machine the experiment ran on.
+    pub machine: String,
+    /// Series in figure order.
+    pub series: Vec<TurboSeries>,
+}
+
+/// The Figure 14 thread placement: threads 1..=cores go one per core
+/// (socket-major); beyond that the second SMT slot of each core fills in
+/// the same order.
+fn figure14_placement(ctx: &MachineContext, n: usize) -> Result<Placement, PandiaError> {
+    let shape = ctx.description.shape;
+    let cores = shape.total_cores();
+    let mut ctxs = Vec::with_capacity(n);
+    for t in 0..n {
+        let (core, slot) = if t < cores { (t, 0) } else { (t - cores, 1) };
+        ctxs.push(CtxId(core * shape.threads_per_core + slot));
+    }
+    Ok(Placement::new(&shape, ctxs)?)
+}
+
+/// Runs the Figure 14 experiment on a context (the paper uses the X5-2's
+/// Xeon E5-2699 v3).
+pub fn run(ctx: &mut MachineContext) -> ExpResult<TurboResult> {
+    let configs = [
+        ("Turbo Boost enabled, no background load", true, false),
+        ("Turbo Boost enabled, background load present", true, true),
+        ("Turbo Boost disabled, no background load", false, false),
+    ];
+    let max_threads = ctx.description.shape.total_contexts();
+    let workload = ctx.platform.stress_workload(StressKind::Cpu);
+    let mut series = Vec::new();
+    for (label, turbo, background) in configs {
+        let mut rates = Vec::with_capacity(max_threads);
+        for n in 1..=max_threads {
+            let placement = figure14_placement(ctx, n)?;
+            let mut req = RunRequest::new(workload.clone(), placement);
+            req.turbo = turbo;
+            req.fill_background = background;
+            req.seed = n as u64;
+            let result = ctx.platform.run(&req)?;
+            rates.push(result.counters.instructions / result.elapsed);
+        }
+        series.push(TurboSeries { label: label.to_string(), instr_rate: rates });
+    }
+    Ok(TurboResult { machine: ctx.description.machine.clone(), series })
+}
+
+/// Renders the three series as CSV.
+pub fn csv(result: &TurboResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "threads");
+    for s in &result.series {
+        let _ = write!(out, ",\"{}\"", s.label);
+    }
+    let _ = writeln!(out);
+    let n = result.series.first().map(|s| s.instr_rate.len()).unwrap_or(0);
+    for i in 0..n {
+        let _ = write!(out, "{}", i + 1);
+        for s in &result.series {
+            let _ = write!(out, ",{:.4}", s.instr_rate[i]);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure14_shape_holds_on_x3_2() {
+        // Use the smaller machine to keep the test fast; the qualitative
+        // shape is machine-independent.
+        let mut ctx = MachineContext::x3_2().unwrap();
+        let r = run(&mut ctx).unwrap();
+        assert_eq!(r.series.len(), 3);
+        let boost = &r.series[0].instr_rate;
+        let background = &r.series[1].instr_rate;
+        let disabled = &r.series[2].instr_rate;
+        let cores = ctx.description.shape.total_cores();
+
+        // With boost and an idle machine, a single thread runs faster than
+        // with background load or with boost disabled.
+        assert!(boost[0] > background[0] * 1.05, "single-thread boost visible");
+        assert!(background[0] > disabled[0] * 1.05, "all-core boost beats nominal");
+        // At full core occupancy, boost (any variant) still beats nominal.
+        assert!(boost[cores - 1] > disabled[cores - 1] * 1.05);
+        // With background fill, the rate is essentially linear in the
+        // thread count up to the core count.
+        let per_thread_1 = background[0];
+        let per_thread_full = background[cores - 1] / cores as f64;
+        assert!((per_thread_1 - per_thread_full).abs() / per_thread_1 < 0.05);
+        // The SMT region (threads > cores) gains less per thread.
+        let total = ctx.description.shape.total_contexts();
+        let smt_gain = boost[total - 1] - boost[cores - 1];
+        let core_gain = boost[cores - 1] - boost[0];
+        assert!(
+            smt_gain < core_gain * 0.5,
+            "SMT region gain {smt_gain} vs core region gain {core_gain}"
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Evaluation harness: reproduces every figure and table of the paper.
+//!
+//! The harness glues together the ground-truth simulator, the workload
+//! registry, and the Pandia library into the experiments of §6:
+//!
+//! * [`context::MachineContext`] — a simulated machine plus its generated
+//!   machine description and a profiled description of every workload
+//!   (the expensive artifacts, built once per machine).
+//! * [`runner`] — measured-versus-predicted placement curves (Figures 1,
+//!   10 and 13).
+//! * [`metrics`] — the error and offset-error statistics of §6.1
+//!   (Figures 11 and 12) and the best-placement gap.
+//! * [`experiments`] — one driver per figure/table; each binary in
+//!   `src/bin/` wraps one driver.
+//! * [`report`] — plain-text tables and CSV emission under `results/`.
+
+pub mod context;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use context::MachineContext;
+pub use metrics::{best_placement_gap, error_stats, ErrorStats};
+pub use runner::{measure_curve, CurvePoint, PlacementCurve};

@@ -1,0 +1,125 @@
+//! Smoke and semantics tests for the experiment drivers at quick coverage.
+
+use pandia_harness::{
+    experiments::{ablation, four_socket, sweep, worked_example, Coverage},
+    metrics, report, MachineContext,
+};
+
+#[test]
+fn coverage_quick_is_small_but_complete() {
+    let ctx = MachineContext::x3_2().unwrap();
+    let quick = Coverage::Quick.placements(&ctx);
+    // Every thread count represented, at most 3 placements each.
+    let max = ctx.description.shape.total_contexts();
+    let mut by_n = vec![0usize; max + 1];
+    for p in &quick {
+        by_n[p.total_threads()] += 1;
+    }
+    for (n, &count) in by_n.iter().enumerate().skip(1) {
+        assert!(count >= 1, "thread count {n} missing");
+        assert!(count <= 3);
+    }
+}
+
+#[test]
+fn coverage_paper_is_exhaustive_on_small_machines() {
+    let ctx = MachineContext::x3_2().unwrap();
+    let paper = Coverage::Paper.placements(&ctx);
+    assert_eq!(paper.len(), 1034, "X3-2 space is enumerated exhaustively");
+}
+
+#[test]
+fn worked_example_driver_round_trips() {
+    let ex = worked_example::run().unwrap();
+    assert!((ex.converged.speedup - 1.005).abs() < 0.02);
+    let text = worked_example::render(&ex);
+    assert!(text.contains("Worked example"));
+    assert!(text.contains("2.87") || text.contains("2.86"));
+}
+
+#[test]
+fn ablation_variants_modify_the_right_knob() {
+    let machine = pandia_core::MachineDescription::toy();
+    let workload = pandia_core::WorkloadDescription::example();
+    for variant in ablation::Variant::ALL {
+        let (m, w) = variant.apply(&machine, &workload);
+        match variant {
+            ablation::Variant::Full => {
+                assert_eq!(m, machine);
+                assert_eq!(w, workload);
+            }
+            ablation::Variant::NoBurstiness => assert_eq!(w.burstiness, 0.0),
+            ablation::Variant::NoInterSocket => assert_eq!(w.inter_socket_overhead, 0.0),
+            ablation::Variant::NoLoadBalance => assert_eq!(w.load_balance, 1.0),
+            ablation::Variant::NoSmtFactor => assert_eq!(m.smt_coschedule_factor, 1.0),
+            ablation::Variant::NoAggregateL3 => assert!(
+                m.capacities.l3_aggregate
+                    >= m.capacities.l3_per_link * m.shape.cores_per_socket as f64 - 1e-9
+            ),
+        }
+    }
+}
+
+#[test]
+fn four_socket_classes_nest() {
+    let classes = four_socket::classes();
+    assert_eq!(classes.len(), 3);
+    let ctx = MachineContext::x2_4().unwrap();
+    let placements = Coverage::Quick.placements(&ctx);
+    let counts: Vec<usize> = classes
+        .iter()
+        .map(|(_, class)| placements.iter().filter(|p| class.contains(p)).count())
+        .collect();
+    // 2-socket ⊆ whole machine; 20-core ⊆ whole machine.
+    assert!(counts[0] <= counts[2]);
+    assert!(counts[1] <= counts[2]);
+    assert_eq!(counts[2], placements.len());
+    assert!(counts[0] > 0 && counts[1] > 0);
+}
+
+#[test]
+fn sweep_driver_reports_costs_and_hits() {
+    let mut ctx = MachineContext::x3_2().unwrap();
+    let result =
+        sweep::run_subset(&mut ctx, Coverage::Quick, &["EP", "CG", "MD", "Swim"]).unwrap();
+    assert_eq!(result.outcomes.len(), 4);
+    for o in &result.outcomes {
+        assert!(o.sweep_cost > 0.0 && o.profiling_cost > 0.0);
+        assert!(o.sweep_best >= 0.0 && o.global_best <= o.sweep_best * 1.001);
+    }
+    // The sweep runs many more placements than six profiling runs.
+    assert!(result.mean_cost_ratio() > 1.0, "ratio {}", result.mean_cost_ratio());
+    let text = sweep::render(&result);
+    assert!(text.contains("mean cost ratio"));
+}
+
+#[test]
+fn error_stats_match_hand_computed_values() {
+    use pandia_harness::runner::{CurvePoint, PlacementCurve};
+    use pandia_topology::CanonicalPlacement;
+    // Two points; measured normalized = [0.5, 1.0], predicted = [1.0, 1.0]
+    // after normalization => errors = [100%, 0%].
+    let curve = PlacementCurve {
+        workload: "w".into(),
+        machine: "m".into(),
+        points: vec![
+            CurvePoint {
+                placement: CanonicalPlacement::new(vec![vec![1]]),
+                n_threads: 1,
+                measured: 20.0,
+                predicted: 10.0,
+            },
+            CurvePoint {
+                placement: CanonicalPlacement::new(vec![vec![1, 1]]),
+                n_threads: 2,
+                measured: 10.0,
+                predicted: 10.0,
+            },
+        ],
+    };
+    let stats = metrics::error_stats(&curve);
+    assert!((stats.mean_error_pct - 50.0).abs() < 1e-9);
+    assert!((stats.median_error_pct - 50.0).abs() < 1e-9);
+    let csv = report::curve_csv(&curve);
+    assert!(csv.contains("1.000000")); // normalized best
+}

@@ -1,0 +1,20 @@
+//! Debug: counter accuracy for a bursty workload.
+use pandia_sim::*;
+use pandia_topology::{MachineSpec, Placement, Platform, RunRequest};
+fn main() {
+    let spec = MachineSpec::x3_2();
+    let mut b = Behavior::compute("prop", 1.0, 0.1);
+    b.demand.dram = 7.626331417236557;
+    b.burst = BurstProfile::bursty(0.6502164873293792, 1.8548667064341005);
+    b.scheduling = Scheduling::Partial { dynamic_fraction: 0.0 };
+    b.intra_socket_comm = 0.1;
+    let mut m = SimMachine::with_config(spec.clone(), SimConfig::noiseless());
+    for n in [1usize, 2] {
+        let p = Placement::spread(&spec, n).unwrap();
+        let r = m.run(&RunRequest::new(b.clone(), p)).unwrap();
+        println!("n={n} elapsed={:.6} instr={:.6} (exp 0.1) dram={:.4} (exp 7.626) err={:.4}",
+            r.elapsed, r.counters.instructions,
+            r.counters.dram_bytes.iter().sum::<f64>(),
+            (r.counters.instructions-0.1).abs()/0.1);
+    }
+}

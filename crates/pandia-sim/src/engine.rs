@@ -1,0 +1,1153 @@
+//! The fluid execution engine.
+//!
+//! A run advances in *segments*. Within a segment every runnable entity
+//! (workload thread or stress kernel) has a fixed effective demand bundle
+//! (its per-unit demands, modulated by its burst phase and by cache-
+//! overflow spill) and the progress rates come from the max-min fair
+//! equilibrium of [`crate::equilibrium`]. Between segments, work advances,
+//! threads finish or draw from the shared pool, burst phases are redrawn,
+//! and the DVFS point and lock-queue state are updated.
+//!
+//! Synchronization ground truth:
+//!
+//! * a global critical-section lock is modeled as a hard fluid resource
+//!   (at most one lock-second per second in total) *plus* an M/M/1-style
+//!   queueing delay `ρ / (1 - ρ)` that stretches each thread's
+//!   critical-section time as the lock approaches saturation;
+//! * communication adds per-work-unit latency proportional to the number
+//!   and activity of peers, weighted by the machine's inter-socket latency
+//!   for peers on other sockets (the ground truth behind the paper's `os`).
+
+use pandia_topology::{
+    Counters, CoreId, CtxId, DataPlacement, MachineSpec, Placement, ResourceTable, RunResult,
+    SocketId, StressPin,
+};
+
+use crate::{
+    behavior::Behavior,
+    cache::SocketSpill,
+    dvfs::DvfsState,
+    equilibrium::{self, EntityDemand},
+    rng,
+    stress,
+    trace::{RunTrace, TraceSegment},
+};
+
+/// Tunables of the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Fraction of the remaining runtime covered by each segment (smaller
+    /// = finer burst interleaving, slower simulation).
+    pub segment_fraction: f64,
+    /// Minimum number of segments the bulk of the run is divided into.
+    /// Burst phases are redrawn per segment, so this bounds the sampling
+    /// error of bursty workloads' measured times and counters: segments
+    /// are capped at `1/min_segments` of the initial time-to-finish
+    /// estimate, keeping them equal-length until the geometric tail.
+    pub min_segments: usize,
+    /// Fixed-point rounds per segment for the lock-queue/communication
+    /// feedback.
+    pub relaxation_rounds: usize,
+    /// Standard deviation of the multiplicative measurement noise.
+    pub noise_sigma: f64,
+    /// Lock utilization at which the queueing delay is clamped.
+    pub max_lock_rho: f64,
+    /// Hard cap on segments, as a runaway guard.
+    pub max_segments: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            segment_fraction: 0.12,
+            min_segments: 150,
+            relaxation_rounds: 2,
+            noise_sigma: 0.004,
+            max_lock_rho: 0.98,
+            max_segments: 20_000,
+        }
+    }
+}
+
+/// Everything the engine needs for one run.
+#[derive(Debug)]
+pub struct RunInputs<'a> {
+    /// Machine being simulated.
+    pub spec: &'a MachineSpec,
+    /// Workload to execute.
+    pub behavior: &'a Behavior,
+    /// Workload thread pinning.
+    pub placement: &'a Placement,
+    /// Co-scheduled stress kernels.
+    pub stressors: &'a [StressPin],
+    /// Pin all sockets at the all-core frequency (profiling methodology).
+    pub fill_background: bool,
+    /// Turbo Boost enabled.
+    pub turbo: bool,
+    /// Data placement override.
+    pub data_placement: Option<DataPlacement>,
+    /// Noise/burst seed.
+    pub seed: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EntityClass {
+    /// Workload thread with the given thread index.
+    Worker(usize),
+    /// Infinite-work stress kernel.
+    Stressor,
+}
+
+struct Entity {
+    class: EntityClass,
+    /// Owning workload group (`usize::MAX` for stressors).
+    group: usize,
+    core: CoreId,
+    socket: SocketId,
+    behavior: Behavior,
+    /// Fraction of DRAM traffic destined to each socket.
+    dram_split: Vec<f64>,
+    /// Remaining statically assigned work (workers only).
+    private_work: f64,
+    /// Work completed so far (indexes the burst-phase sequence).
+    work_done: f64,
+    busy_time: f64,
+    finished: bool,
+}
+
+impl Entity {
+    fn is_worker(&self) -> bool {
+        matches!(self.class, EntityClass::Worker(_))
+    }
+}
+
+/// Computes each thread's DRAM traffic split across sockets.
+fn dram_split(
+    policy: DataPlacement,
+    spec: &MachineSpec,
+    own_socket: SocketId,
+    threads_per_socket: &[usize],
+    total_threads: usize,
+) -> Vec<f64> {
+    let s = spec.sockets;
+    match policy {
+        DataPlacement::Interleave => vec![1.0 / s as f64; s],
+        DataPlacement::Node(k) => {
+            let mut v = vec![0.0; s];
+            v[k.min(s - 1)] = 1.0;
+            v
+        }
+        DataPlacement::FirstTouch => {
+            if total_threads == 0 {
+                let mut v = vec![0.0; s];
+                v[own_socket.0] = 1.0;
+                return v;
+            }
+            threads_per_socket.iter().map(|&t| t as f64 / total_threads as f64).collect()
+        }
+        DataPlacement::ThreadLocal => {
+            let mut v = vec![0.0; s];
+            v[own_socket.0] = 1.0;
+            v
+        }
+        DataPlacement::RemoteNeighbor => {
+            let mut v = vec![0.0; s];
+            v[(own_socket.0 + 1) % s] = 1.0;
+            v
+        }
+    }
+}
+
+/// Burst-phase draw for an entity in a segment: a golden-ratio
+/// low-discrepancy sequence with a per-entity random offset.
+///
+/// The sequence equidistributes each thread's duty cycle with `O(1/N)`
+/// error over `N` segments, while phase *overlap* between threads still
+/// varies with the seed. Phases modulate *instantaneous demand* only;
+/// counters charge each completed work unit its average demand, as a
+/// hardware counter would.
+fn burst_draw(seed: u64, entity: usize, segment: usize) -> f64 {
+    const PHI_CONJUGATE: f64 = 0.618_033_988_749_895;
+    let offset = rng::unit_f64(rng::mix(seed, entity as u64, 0, 0xB));
+    (offset + segment as f64 * PHI_CONJUGATE).fract()
+}
+
+/// One co-scheduled workload: a behavior plus its thread pinning.
+#[derive(Debug)]
+pub struct GroupInput<'a> {
+    /// The workload to run.
+    pub behavior: &'a Behavior,
+    /// Its thread placement (must not overlap other groups).
+    pub placement: &'a Placement,
+    /// Data placement override for this group.
+    pub data_placement: Option<DataPlacement>,
+}
+
+/// Everything the engine needs for a multi-workload run.
+#[derive(Debug)]
+pub struct MultiRunInputs<'a> {
+    /// Machine being simulated.
+    pub spec: &'a MachineSpec,
+    /// The co-scheduled workloads.
+    pub groups: &'a [GroupInput<'a>],
+    /// Co-scheduled stress kernels.
+    pub stressors: &'a [StressPin],
+    /// Pin all sockets at the all-core frequency (profiling methodology).
+    pub fill_background: bool,
+    /// Turbo Boost enabled.
+    pub turbo: bool,
+    /// Noise/burst seed.
+    pub seed: u64,
+}
+
+/// Executes one run and returns its measured result.
+pub fn run(inputs: &RunInputs<'_>, config: &EngineConfig) -> RunResult {
+    let group = GroupInput {
+        behavior: inputs.behavior,
+        placement: inputs.placement,
+        data_placement: inputs.data_placement,
+    };
+    let multi = MultiRunInputs {
+        spec: inputs.spec,
+        groups: std::slice::from_ref(&group),
+        stressors: inputs.stressors,
+        fill_background: inputs.fill_background,
+        turbo: inputs.turbo,
+        seed: inputs.seed,
+    };
+    run_multi(&multi, config).pop().expect("one group in, one result out")
+}
+
+/// Per-group bookkeeping during a multi-workload run.
+struct GroupState {
+    total_work: f64,
+    pool: f64,
+    pool_capable: bool,
+    workers: usize,
+    counters: Counters,
+    finish_time: Option<f64>,
+}
+
+/// Executes several workloads concurrently and returns one result per
+/// group, in input order.
+///
+/// Groups share every machine resource but have independent critical
+/// sections, work pools, counters, and completion times (a group's
+/// entities go idle once its work is done, freeing resources for the
+/// rest). This is the ground truth for the multi-workload co-scheduling
+/// extension the paper's §8 anticipates.
+pub fn run_multi(inputs: &MultiRunInputs<'_>, config: &EngineConfig) -> Vec<RunResult> {
+    run_multi_impl(inputs, config, None)
+}
+
+/// Like [`run_multi`], additionally recording a per-segment [`RunTrace`].
+pub fn run_multi_traced(
+    inputs: &MultiRunInputs<'_>,
+    config: &EngineConfig,
+) -> (Vec<RunResult>, RunTrace) {
+    let mut trace = RunTrace::default();
+    let results = run_multi_impl(inputs, config, Some(&mut trace));
+    (results, trace)
+}
+
+fn run_multi_impl(
+    inputs: &MultiRunInputs<'_>,
+    config: &EngineConfig,
+    mut trace: Option<&mut RunTrace>,
+) -> Vec<RunResult> {
+    let spec = inputs.spec;
+    let n_groups = inputs.groups.len();
+    let mut entities: Vec<Entity> = Vec::new();
+    let mut groups: Vec<GroupState> = Vec::with_capacity(n_groups);
+
+    for (g, group) in inputs.groups.iter().enumerate() {
+        let behavior = group.behavior;
+        let n_threads = group.placement.n_threads();
+        let workers = behavior.workers_of(n_threads);
+        let total_work = behavior.work_for_threads(workers);
+        let policy = group.data_placement.unwrap_or(behavior.data_placement);
+        let threads_per_socket = group.placement.threads_per_socket(spec);
+        let dyn_frac = behavior.scheduling.dynamic_fraction();
+        let static_share =
+            if workers > 0 { total_work * (1.0 - dyn_frac) / workers as f64 } else { 0.0 };
+        for (t, &ctx) in group.placement.contexts().iter().enumerate() {
+            let socket = spec.socket_of_ctx(ctx);
+            let is_active = t < workers;
+            entities.push(Entity {
+                class: EntityClass::Worker(t),
+                group: g,
+                core: spec.core_of_ctx(ctx),
+                socket,
+                behavior: behavior.clone(),
+                dram_split: dram_split(policy, spec, socket, &threads_per_socket, n_threads),
+                private_work: if is_active { static_share } else { 0.0 },
+                work_done: 0.0,
+                busy_time: 0.0,
+                finished: !is_active,
+            });
+        }
+        groups.push(GroupState {
+            total_work,
+            pool: total_work * dyn_frac,
+            pool_capable: dyn_frac > 0.0,
+            workers,
+            counters: Counters { dram_bytes: vec![0.0; spec.sockets], ..Counters::default() },
+            finish_time: None,
+        });
+    }
+    for pin in inputs.stressors {
+        let ctx = pin.ctx;
+        let socket = spec.socket_of_ctx(ctx);
+        let sb = stress::behavior(spec, pin.kind);
+        let split = dram_split(sb.data_placement, spec, socket, &[], 0);
+        entities.push(Entity {
+            class: EntityClass::Stressor,
+            group: usize::MAX,
+            core: spec.core_of_ctx(ctx),
+            socket,
+            behavior: sb,
+            dram_split: split,
+            private_work: 0.0,
+            work_done: 0.0,
+            busy_time: 0.0,
+            finished: false,
+        });
+    }
+
+    let table = ResourceTable::from_spec(spec);
+    // One critical-section lock per group, appended after the hardware
+    // resources.
+    let lock_base = table.len();
+    let n_resources = table.len() + n_groups;
+
+    let mut elapsed = 0.0_f64;
+    let mut prev_rates: Vec<f64> = vec![1.0; entities.len()];
+    let mut segment: usize = 0;
+    let mut quantum = f64::INFINITY;
+    let mut capacities = vec![0.0_f64; n_resources];
+    let mut demands: Vec<EntityDemand> = Vec::new();
+    let mut runnable: Vec<usize> = Vec::new();
+    let mut group_remaining = vec![0.0_f64; n_groups];
+
+    loop {
+        // Remaining work per group (private shares plus pool).
+        for (g, gs) in groups.iter().enumerate() {
+            group_remaining[g] = gs.pool;
+        }
+        for e in &entities {
+            if e.is_worker() {
+                group_remaining[e.group] += e.private_work;
+            }
+        }
+        // Which entities run this segment?
+        runnable.clear();
+        for (i, e) in entities.iter().enumerate() {
+            let has_work = match e.class {
+                EntityClass::Worker(_) => {
+                    !e.finished
+                        && (e.private_work > 0.0
+                            || (groups[e.group].pool_capable && groups[e.group].pool > 0.0))
+                }
+                EntityClass::Stressor => true,
+            };
+            if has_work {
+                runnable.push(i);
+            }
+        }
+        let remaining: f64 = group_remaining.iter().sum();
+        if remaining <= 0.0 || runnable.iter().all(|&i| !entities[i].is_worker()) {
+            break;
+        }
+        if segment >= config.max_segments {
+            break;
+        }
+
+        // DVFS point from the cores that are actually busy.
+        let mut active_cores = vec![0usize; spec.sockets];
+        let mut core_occupancy = vec![0u32; spec.total_cores()];
+        for &i in &runnable {
+            core_occupancy[entities[i].core.0] += 1;
+        }
+        for (c, &occ) in core_occupancy.iter().enumerate() {
+            if occ > 0 {
+                active_cores[spec.socket_of_core(CoreId(c)).0] += 1;
+            }
+        }
+        let dvfs =
+            DvfsState::compute(spec, &active_cores, inputs.turbo, inputs.fill_background);
+
+        // Cache spill per socket from resident working sets.
+        let mut socket_ws = vec![0.0_f64; spec.sockets];
+        let mut socket_residents = vec![0usize; spec.sockets];
+        for &i in &runnable {
+            socket_ws[entities[i].socket.0] += entities[i].behavior.working_set_mib;
+            socket_residents[entities[i].socket.0] += 1;
+        }
+        let spill = SocketSpill::compute(&socket_ws, spec.l3_mib, spec.adaptive_llc);
+        // Non-adaptive caches additionally thrash under many concurrent
+        // streams: spilled traffic is amplified with socket occupancy
+        // (conflict misses and dead-block re-fetches). Adaptive insertion
+        // policies suppress this — the paper's §2.2/§6.2 contrast.
+        let thrash: Vec<f64> = socket_residents
+            .iter()
+            .map(|&r| {
+                if spec.adaptive_llc {
+                    1.0
+                } else {
+                    1.0 + 0.35 * r.saturating_sub(1) as f64 / spec.cores_per_socket as f64
+                }
+            })
+            .collect();
+
+        // Burst phase multipliers for this segment, plus the latency
+        // interference from co-resident bursting peers: thread i pays
+        // `smt_burst_collision * (m_j - 1)` per work unit for every SMT
+        // sibling j currently in its high-demand phase (the ground truth
+        // behind the paper's b, §2.3).
+        let multipliers: Vec<f64> = runnable
+            .iter()
+            .map(|&i| entities[i].behavior.burst.multiplier(burst_draw(inputs.seed, i, segment)))
+            .collect();
+        let mut interference = vec![0.0_f64; runnable.len()];
+        if spec.smt_burst_collision > 0.0 {
+            for (k, &i) in runnable.iter().enumerate() {
+                for (k2, &j) in runnable.iter().enumerate() {
+                    if k2 != k && entities[j].core == entities[i].core {
+                        interference[k] +=
+                            (multipliers[k2] - 1.0).max(0.0) * spec.smt_burst_collision;
+                    }
+                }
+            }
+        }
+
+        // Capacities for this segment: frequency-scaled core-side entries,
+        // SMT front-end factor on shared cores, plus the per-group locks.
+        for (slot, res) in capacities.iter_mut().zip(table.resources()) {
+            *slot = res.capacity;
+        }
+        for (c, &occ) in core_occupancy.iter().enumerate() {
+            let scale = dvfs.scale_for_core(spec, CoreId(c));
+            let smt = if occ >= 2 { spec.smt_frontend_factor } else { 1.0 };
+            let issue = table.core_issue(CoreId(c));
+            capacities[issue.0] = table.get(issue).capacity * scale * smt;
+            let l1 = table.l1(CoreId(c));
+            capacities[l1.0] = table.get(l1).capacity * scale;
+            let l2 = table.l2(CoreId(c));
+            capacities[l2.0] = table.get(l2).capacity * scale;
+        }
+        for g in 0..n_groups {
+            capacities[lock_base + g] = 1.0;
+        }
+
+        // Build demand bundles (burst- and spill-adjusted).
+        demands.clear();
+        let mut instr_demands: Vec<f64> = Vec::with_capacity(runnable.len());
+        for (k, &i) in runnable.iter().enumerate() {
+            let e = &entities[i];
+            let m = multipliers[k];
+            let d = e.behavior.demand;
+            let spill_frac = spill.per_socket[e.socket.0] * thrash[e.socket.0];
+            let extra_dram = d.l3 * spill_frac;
+            let mut sparse: Vec<(usize, f64)> = Vec::with_capacity(10);
+            let push = |v: &mut Vec<(usize, f64)>, id: pandia_topology::ResourceId, amt: f64| {
+                if amt > 0.0 {
+                    v.push((id.0, amt));
+                }
+            };
+            push(&mut sparse, table.core_issue(e.core), d.instr * m);
+            push(&mut sparse, table.l1(e.core), d.l1 * m);
+            push(&mut sparse, table.l2(e.core), d.l2 * m);
+            if d.l3 > 0.0 {
+                push(&mut sparse, table.l3_link(e.core), d.l3 * m);
+                push(&mut sparse, table.l3_aggregate(e.socket), d.l3 * m);
+            }
+            let dram_total = (d.dram + extra_dram) * m;
+            if dram_total > 0.0 {
+                for (node, &frac) in e.dram_split.iter().enumerate() {
+                    if frac <= 0.0 {
+                        continue;
+                    }
+                    let node_id = SocketId(node);
+                    push(&mut sparse, table.dram(node_id), dram_total * frac);
+                    if node_id != e.socket {
+                        if let Some(link) = table.interconnect(e.socket, node_id) {
+                            push(&mut sparse, link, dram_total * frac);
+                        }
+                    }
+                }
+            }
+            if e.is_worker() && e.behavior.seq_fraction > 0.0 {
+                sparse.push((lock_base + e.group, e.behavior.seq_fraction));
+            }
+            instr_demands.push(d.instr * m);
+            demands.push(EntityDemand { demands: sparse, max_rate: 1.0 });
+        }
+
+        // Relaxation rounds: lock queueing + communication latency feed
+        // back into intrinsic rates.
+        let mut rates: Vec<f64> = runnable.iter().map(|&i| prev_rates[i]).collect();
+        let mut last_loads: Vec<f64> = Vec::new();
+        for _ in 0..config.relaxation_rounds {
+            // Per-group lock utilization from the latest rates.
+            let mut rho = vec![0.0_f64; n_groups];
+            for (k, &i) in runnable.iter().enumerate() {
+                let e = &entities[i];
+                if e.is_worker() && e.behavior.seq_fraction > 0.0 {
+                    rho[e.group] += rates[k] * e.behavior.seq_fraction;
+                }
+            }
+            let queue_delay: Vec<f64> = rho
+                .iter()
+                .map(|&r| {
+                    let r = r.min(config.max_lock_rho);
+                    r / (1.0 - r)
+                })
+                .collect();
+
+            for (k, &i) in runnable.iter().enumerate() {
+                let e = &entities[i];
+                let scale = dvfs.scale_for_core(spec, e.core);
+                let max_rate = if e.is_worker() {
+                    // Communication latency: per unit, pay for each active
+                    // *same-group* peer weighted by its progress.
+                    let mut comm = 0.0;
+                    if e.behavior.comm_factor > 0.0 {
+                        for (k2, &j) in runnable.iter().enumerate() {
+                            if j == i
+                                || !entities[j].is_worker()
+                                || entities[j].group != e.group
+                            {
+                                continue;
+                            }
+                            let peer_weight = (rates[k2] / scale.max(1e-9)).min(1.0);
+                            let lat = if entities[j].socket == e.socket {
+                                e.behavior.intra_socket_comm
+                            } else {
+                                1.0
+                            } * spec.interconnect_latency;
+                            comm += e.behavior.comm_factor * lat * peer_weight;
+                        }
+                    }
+                    let queue = e.behavior.seq_fraction * queue_delay[e.group];
+                    scale / (1.0 + queue + comm + interference[k])
+                } else {
+                    scale / (1.0 + interference[k])
+                };
+                // A single thread cannot sustain more than the ILP share of
+                // its core's issue width (SMT pairs jointly can, via the
+                // shared issue resource).
+                let max_rate = if instr_demands[k] > 0.0 {
+                    let ilp_cap =
+                        spec.single_thread_ilp * spec.core_ipc_rate * scale / instr_demands[k];
+                    max_rate.min(ilp_cap)
+                } else {
+                    max_rate
+                };
+                demands[k].max_rate = max_rate;
+            }
+            let alloc = equilibrium::solve(&demands, &capacities);
+            rates = alloc.rates;
+            last_loads = alloc.loads;
+        }
+
+        // Segment length: cover a fraction of the remaining runtime of the
+        // group closest to finishing, so completion times stay sharp.
+        let mut group_rate = vec![0.0_f64; n_groups];
+        for (k, &i) in runnable.iter().enumerate() {
+            let e = &entities[i];
+            if e.is_worker() {
+                group_rate[e.group] += rates[k];
+            }
+        }
+        let mut min_ttf = f64::INFINITY;
+        let mut total_rate = 0.0;
+        for g in 0..n_groups {
+            if group_remaining[g] > 0.0 && group_rate[g] > 1e-12 {
+                min_ttf = min_ttf.min(group_remaining[g] / group_rate[g]);
+            }
+            total_rate += group_rate[g];
+        }
+        if total_rate <= 1e-12 || !min_ttf.is_finite() {
+            // Deadlock guard: nothing is progressing (should not happen).
+            break;
+        }
+        // Segments are equal-length (a fixed quantum derived from the
+        // first segment's time-to-finish estimate) until the geometric
+        // tail takes over; once a group's residue is negligible, close it
+        // out exactly.
+        if segment == 0 {
+            quantum = min_ttf / config.min_segments.max(1) as f64;
+        }
+        let closing = (0..n_groups).any(|g| {
+            group_remaining[g] > 0.0
+                && group_remaining[g] <= groups[g].total_work * 1e-3
+                && group_rate[g] > 1e-12
+        });
+        let dt = if closing {
+            min_ttf
+        } else {
+            (min_ttf * config.segment_fraction).min(quantum)
+        };
+
+        if let Some(trace) = trace.as_deref_mut() {
+            // Hottest *hardware* resource this segment (locks excluded).
+            let hottest = last_loads
+                .iter()
+                .take(table.len())
+                .enumerate()
+                .map(|(r, &load)| (r, load / capacities[r].max(1e-12)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .filter(|&(_, util)| util > 0.0)
+                .map(|(r, util)| {
+                    (table.get(pandia_topology::ResourceId(r)).kind, util.min(1.0))
+                });
+            trace.segments.push(TraceSegment {
+                start: elapsed,
+                dt,
+                group_rates: group_rate.clone(),
+                hottest,
+                runnable: runnable.len(),
+            });
+        }
+
+        // Progress work and accumulate counters.
+        let mut pool_draw = vec![0.0_f64; n_groups];
+        for (k, &i) in runnable.iter().enumerate() {
+            let e = &mut entities[i];
+            if !e.is_worker() {
+                continue;
+            }
+            let progress = rates[k] * dt;
+            let from_private = progress.min(e.private_work);
+            e.private_work -= from_private;
+            let from_pool =
+                if groups[e.group].pool_capable { progress - from_private } else { 0.0 };
+            pool_draw[e.group] += from_pool;
+            e.busy_time += dt;
+
+            // Counters charge each completed work unit its *average*
+            // demand: bursts redistribute traffic in time, but the bytes a
+            // unit of work needs are fixed, which is what a hardware
+            // counter integrates.
+            let moved = from_private + from_pool;
+            e.work_done += moved;
+            let d = e.behavior.demand;
+            let counters = &mut groups[e.group].counters;
+            counters.instructions += d.instr * moved;
+            counters.l1_bytes += d.l1 * moved;
+            counters.l2_bytes += d.l2 * moved;
+            counters.l3_bytes += d.l3 * moved;
+            let spill_frac = spill.per_socket[e.socket.0] * thrash[e.socket.0];
+            let dram_total = (d.dram + d.l3 * spill_frac) * moved;
+            for (node, &frac) in e.dram_split.iter().enumerate() {
+                counters.dram_bytes[node] += dram_total * frac;
+                if node != e.socket.0 {
+                    counters.interconnect_bytes += dram_total * frac;
+                }
+            }
+        }
+        // Reconcile the shared pools: over-draw in the fluid model simply
+        // means a pool drained partway through the segment.
+        for (g, gs) in groups.iter_mut().enumerate() {
+            gs.pool = (gs.pool - pool_draw[g]).max(0.0);
+            if gs.pool <= 1e-12 {
+                gs.pool = 0.0;
+            }
+        }
+        // Mark finished workers and completed groups.
+        for &i in &runnable {
+            let e = &mut entities[i];
+            if !e.is_worker() {
+                continue;
+            }
+            let gs = &groups[e.group];
+            if e.private_work <= 1e-12 && (gs.pool <= 1e-12 || !gs.pool_capable) {
+                e.private_work = 0.0;
+                e.finished = true;
+            }
+        }
+        elapsed += dt;
+        for (g, gs) in groups.iter_mut().enumerate() {
+            if gs.finish_time.is_none() {
+                let done = gs.workers == 0
+                    || (gs.pool <= 0.0
+                        && entities
+                            .iter()
+                            .filter(|e| e.is_worker() && e.group == g)
+                            .all(|e| e.finished));
+                if done {
+                    gs.finish_time = Some(elapsed);
+                }
+            }
+        }
+
+        // Persist rates for the next segment's relaxation bootstrap.
+        for (k, &i) in runnable.iter().enumerate() {
+            prev_rates[i] = rates[k];
+        }
+        segment += 1;
+    }
+
+    // Assemble per-group results with seeded measurement noise.
+    inputs
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(g, group)| {
+            let gs = &groups[g];
+            let placement_hash = group
+                .placement
+                .contexts()
+                .iter()
+                .fold(g as u64, |acc, c| rng::splitmix64(acc ^ (c.0 as u64 + 0x51)));
+            let noise_h = rng::mix(
+                inputs.seed,
+                rng::hash_str(&group.behavior.name),
+                placement_hash,
+                0xE,
+            );
+            let noise = 1.0 + config.noise_sigma * rng::gaussian_f64(noise_h);
+            let raw = gs.finish_time.unwrap_or(elapsed);
+            let group_elapsed = (raw * noise).max(f64::MIN_POSITIVE);
+            let per_thread_busy = entities
+                .iter()
+                .filter(|e| e.is_worker() && e.group == g)
+                .map(|e| {
+                    if group_elapsed > 0.0 {
+                        (e.busy_time / group_elapsed).min(1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            RunResult {
+                elapsed: group_elapsed,
+                counters: gs.counters.clone(),
+                per_thread_busy,
+            }
+        })
+        .collect()
+}
+
+/// Convenience: the context a stress kernel would use to saturate a
+/// resource "near" a given core (same core, next SMT slot when available).
+pub fn sibling_ctx(spec: &MachineSpec, ctx: CtxId) -> Option<CtxId> {
+    if spec.threads_per_core < 2 {
+        return None;
+    }
+    let slot = ctx.0 % spec.threads_per_core;
+    if slot + 1 < spec.threads_per_core {
+        Some(CtxId(ctx.0 + 1))
+    } else {
+        Some(CtxId(ctx.0 - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandia_topology::{Placement, StressKind};
+
+    fn run_simple(
+        spec: &MachineSpec,
+        behavior: &Behavior,
+        placement: &Placement,
+        seed: u64,
+    ) -> RunResult {
+        let inputs = RunInputs {
+            spec,
+            behavior,
+            placement,
+            stressors: &[],
+            fill_background: true,
+            turbo: true,
+            data_placement: None,
+            seed,
+        };
+        run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() })
+    }
+
+    #[test]
+    fn solo_compute_run_takes_total_work_over_scale() {
+        let spec = MachineSpec::x5_2();
+        // Modest demand: far from any capacity.
+        let b = Behavior::compute("t", 50.0, 1.0);
+        let p = Placement::spread(&spec, 1).unwrap();
+        let r = run_simple(&spec, &b, &p, 1);
+        // With fill_background the scale is all-core/nominal = 2.8/2.3.
+        let expect = 50.0 / (2.8 / 2.3);
+        assert!((r.elapsed - expect).abs() / expect < 0.01, "elapsed {}", r.elapsed);
+        assert!((r.per_thread_busy[0] - 1.0).abs() < 1e-6);
+        // Counters: instructions = work * rate demand.
+        assert!((r.counters.instructions - 50.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn dynamic_scaling_is_near_linear_without_contention() {
+        let spec = MachineSpec::x5_2();
+        let b = Behavior::compute("lin", 100.0, 1.0);
+        let t1 = run_simple(&spec, &b, &Placement::spread(&spec, 1).unwrap(), 2).elapsed;
+        let t8 = run_simple(&spec, &b, &Placement::spread(&spec, 8).unwrap(), 2).elapsed;
+        let speedup = t1 / t8;
+        assert!((speedup - 8.0).abs() < 0.4, "speedup {speedup}");
+    }
+
+    #[test]
+    fn critical_sections_limit_scaling() {
+        let spec = MachineSpec::x5_2();
+        let mut b = Behavior::compute("amdahl", 100.0, 1.0);
+        b.seq_fraction = 0.10;
+        let t1 = run_simple(&spec, &b, &Placement::spread(&spec, 1).unwrap(), 3).elapsed;
+        let t16 = run_simple(&spec, &b, &Placement::spread(&spec, 16).unwrap(), 3).elapsed;
+        let speedup = t1 / t16;
+        // Hard Amdahl bound is 10; queueing keeps it clearly below 16 and
+        // clearly above a serial run.
+        assert!(speedup < 10.0, "speedup {speedup}");
+        assert!(speedup > 3.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn dram_saturation_caps_throughput() {
+        let spec = MachineSpec::x5_2();
+        let mut b = Behavior::compute("membound", 50.0, 0.5);
+        b.demand.dram = 20.0;
+        b.data_placement = DataPlacement::ThreadLocal;
+        let t1 = run_simple(&spec, &b, &Placement::spread(&spec, 1).unwrap(), 4).elapsed;
+        // 8 threads on one socket demand 160 GB/s of a 62 GB/s node.
+        let canon =
+            pandia_topology::CanonicalPlacement::new(vec![vec![1; 8]]);
+        let p8 = canon.instantiate(&spec).unwrap();
+        let t8 = run_simple(&spec, &b, &p8, 4).elapsed;
+        let speedup = t1 / t8;
+        assert!(speedup < 3.5, "bandwidth-bound speedup should cap: {speedup}");
+        assert!(speedup > 2.0, "but should still beat serial: {speedup}");
+    }
+
+    use crate::behavior::Scheduling;
+
+    #[test]
+    fn static_scheduling_waits_for_stragglers() {
+        let spec = MachineSpec::x5_2();
+        // Two threads, one sharing a core with a CPU stressor.
+        let base = Behavior::compute("straggler", 60.0, 6.0);
+        let p = Placement::spread(&spec, 2).unwrap();
+        let stress =
+            [StressPin { kind: StressKind::Cpu, ctx: sibling_ctx(&spec, p.contexts()[0]).unwrap() }];
+        let run_with = |sched| {
+            let behavior = Behavior { scheduling: sched, ..base.clone() };
+            let inputs = RunInputs {
+                spec: &spec,
+                behavior: &behavior,
+                placement: &p,
+                stressors: &stress,
+                fill_background: true,
+                turbo: true,
+                data_placement: None,
+                seed: 5,
+            };
+            run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() })
+        };
+        let t_static = run_with(Scheduling::Static).elapsed;
+        let t_dynamic = run_with(Scheduling::Dynamic).elapsed;
+        assert!(
+            t_static > t_dynamic * 1.1,
+            "static {t_static} should trail dynamic {t_dynamic}"
+        );
+    }
+
+    #[test]
+    fn smt_sharing_is_slower_than_separate_cores() {
+        let spec = MachineSpec::x5_2();
+        // Instruction demand near the core limit.
+        let b = Behavior::compute("cpu", 40.0, 8.0);
+        let spread = Placement::spread(&spec, 2).unwrap();
+        let packed = Placement::packed(&spec, 2).unwrap();
+        let t_spread = run_simple(&spec, &b, &spread, 6).elapsed;
+        let t_packed = run_simple(&spec, &b, &packed, 6).elapsed;
+        assert!(
+            t_packed > t_spread * 1.3,
+            "SMT sharing {t_packed} vs separate cores {t_spread}"
+        );
+    }
+
+    #[test]
+    fn cross_socket_communication_costs_time() {
+        let spec = MachineSpec::x5_2();
+        let mut b = Behavior::compute("comm", 60.0, 1.0);
+        b.comm_factor = 0.02;
+        b.intra_socket_comm = 0.1;
+        // 8 threads one socket vs 4+4 across sockets.
+        let same = pandia_topology::CanonicalPlacement::new(vec![vec![1; 8]])
+            .instantiate(&spec)
+            .unwrap();
+        let split = pandia_topology::CanonicalPlacement::new(vec![vec![1; 4], vec![1; 4]])
+            .instantiate(&spec)
+            .unwrap();
+        let t_same = run_simple(&spec, &b, &same, 7).elapsed;
+        let t_split = run_simple(&spec, &b, &split, 7).elapsed;
+        assert!(t_split > t_same * 1.05, "split {t_split} vs same {t_same}");
+    }
+
+    #[test]
+    fn equake_growth_hurts_large_thread_counts() {
+        let spec = MachineSpec::x5_2();
+        let mut b = Behavior::compute("equake", 60.0, 1.0);
+        b.growth_per_thread = 0.03;
+        let t1 = run_simple(&spec, &b, &Placement::spread(&spec, 1).unwrap(), 8).elapsed;
+        let t36 = run_simple(&spec, &b, &Placement::spread(&spec, 36).unwrap(), 8).elapsed;
+        let speedup = t1 / t36;
+        // Work more than doubles at 36 threads; speedup well below 36.
+        assert!(speedup < 36.0 / 2.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn inactive_threads_do_no_work() {
+        let spec = MachineSpec::x5_2();
+        let mut b = Behavior::compute("npo1", 30.0, 1.0);
+        b.active_threads = Some(1);
+        let p = Placement::spread(&spec, 4).unwrap();
+        let r = run_simple(&spec, &b, &p, 9);
+        assert!((r.per_thread_busy[0] - 1.0).abs() < 1e-6);
+        for t in 1..4 {
+            assert_eq!(r.per_thread_busy[t], 0.0);
+        }
+        // Time matches a solo run.
+        let solo = run_simple(&spec, &b, &Placement::spread(&spec, 1).unwrap(), 9);
+        assert!((r.elapsed - solo.elapsed).abs() / solo.elapsed < 0.02);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let spec = MachineSpec::x3_2();
+        // High enough instruction demand that overlapping burst phases on
+        // shared cores actually contend (and thus depend on the seed).
+        let mut b = Behavior::compute("det", 40.0, 5.0);
+        b.burst = crate::behavior::BurstProfile::bursty(0.4, 2.0);
+        let p = Placement::packed(&spec, 6).unwrap();
+        let a = run_simple(&spec, &b, &p, 42);
+        let b2 = run_simple(&spec, &b, &p, 42);
+        assert_eq!(a.elapsed, b2.elapsed);
+        assert_eq!(a.counters, b2.counters);
+        let c = run_simple(&spec, &b, &p, 43);
+        assert_ne!(a.elapsed, c.elapsed);
+    }
+
+    #[test]
+    fn counters_account_for_all_work() {
+        let spec = MachineSpec::x3_2();
+        let mut b = Behavior::compute("cnt", 25.0, 1.5);
+        b.demand.l2 = 3.0;
+        b.demand.dram = 2.0;
+        let p = Placement::spread(&spec, 4).unwrap();
+        let r = run_simple(&spec, &b, &p, 10);
+        assert!((r.counters.instructions - 25.0 * 1.5).abs() < 0.4);
+        assert!((r.counters.l2_bytes - 25.0 * 3.0).abs() < 0.8);
+        let dram_total: f64 = r.counters.dram_bytes.iter().sum();
+        assert!((dram_total - 25.0 * 2.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn interleaved_data_crosses_interconnect() {
+        let spec = MachineSpec::x3_2();
+        let mut b = Behavior::compute("remote", 20.0, 0.5);
+        b.demand.dram = 4.0;
+        b.data_placement = DataPlacement::Interleave;
+        let p = Placement::spread(&spec, 1).unwrap();
+        let r = run_simple(&spec, &b, &p, 11);
+        // Half the traffic goes to the remote socket and crosses the link.
+        let dram_total: f64 = r.counters.dram_bytes.iter().sum();
+        assert!((r.counters.interconnect_bytes / dram_total - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn sibling_ctx_pairs_within_core() {
+        let spec = MachineSpec::x5_2();
+        assert_eq!(sibling_ctx(&spec, CtxId(0)), Some(CtxId(1)));
+        assert_eq!(sibling_ctx(&spec, CtxId(1)), Some(CtxId(0)));
+        assert_eq!(sibling_ctx(&spec, CtxId(7)), Some(CtxId(6)));
+        let toy = MachineSpec::toy();
+        assert_eq!(sibling_ctx(&toy, CtxId(0)), None);
+    }
+
+    #[test]
+    fn lock_saturation_bounds_speedup_at_inverse_seq() {
+        let spec = MachineSpec::x5_2();
+        let mut b = Behavior::compute("locky", 80.0, 0.5);
+        b.seq_fraction = 0.25; // hard bound: speedup <= 4
+        let t1 = run_simple(&spec, &b, &Placement::spread(&spec, 1).unwrap(), 21).elapsed;
+        let t36 = run_simple(&spec, &b, &Placement::spread(&spec, 36).unwrap(), 21).elapsed;
+        let speedup = t1 / t36;
+        assert!(speedup <= 4.0 + 0.1, "lock-bound speedup {speedup}");
+        assert!(speedup > 2.0, "still parallelizes some: {speedup}");
+    }
+
+    #[test]
+    fn node_bound_data_loads_one_memory_node() {
+        let spec = MachineSpec::x3_2();
+        let mut b = Behavior::compute("node0", 20.0, 0.2);
+        b.demand.dram = 5.0;
+        b.data_placement = DataPlacement::Node(1);
+        let p = Placement::spread(&spec, 2).unwrap();
+        let r = run_simple(&spec, &b, &p, 22);
+        assert!(r.counters.dram_bytes[0] < 1e-9);
+        assert!(r.counters.dram_bytes[1] > 0.0);
+        // Threads sit on socket 0, data on node 1: everything crosses.
+        assert!((r.counters.interconnect_bytes - r.counters.dram_bytes[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_touch_spreads_data_with_the_threads() {
+        let spec = MachineSpec::x3_2();
+        let mut b = Behavior::compute("ft", 20.0, 0.2);
+        b.demand.dram = 5.0;
+        b.data_placement = DataPlacement::FirstTouch;
+        // 3 threads on socket 0, 1 on socket 1 => 75/25 data split.
+        let canon = pandia_topology::CanonicalPlacement::new(vec![vec![1, 1, 1], vec![1]]);
+        let p = canon.instantiate(&spec).unwrap();
+        let r = run_simple(&spec, &b, &p, 23);
+        let total: f64 = r.counters.dram_bytes.iter().sum();
+        let share0 = r.counters.dram_bytes[0] / total;
+        assert!((share0 - 0.75).abs() < 0.02, "share0 = {share0}");
+    }
+
+    #[test]
+    fn non_adaptive_thrash_amplifies_spilled_traffic() {
+        // Same workload/placement on an adaptive vs a cliff machine: the
+        // cliff machine moves more DRAM bytes once several threads share
+        // the socket.
+        let mut b = Behavior::compute("spilly", 30.0, 0.5);
+        b.demand.l3 = 5.0;
+        b.demand.dram = 1.0;
+        b.working_set_mib = 40.0;
+        let mut adaptive = MachineSpec::x2_4();
+        adaptive.adaptive_llc = true;
+        let cliff = MachineSpec::x2_4();
+        let p = Placement::spread(&cliff, 8).unwrap();
+        let r_adaptive = run_simple(&adaptive, &b, &p, 24);
+        let r_cliff = run_simple(&cliff, &b, &p, 24);
+        let dram_a: f64 = r_adaptive.counters.dram_bytes.iter().sum();
+        let dram_c: f64 = r_cliff.counters.dram_bytes.iter().sum();
+        assert!(
+            dram_c > 1.3 * dram_a,
+            "cliff machine should thrash: adaptive {dram_a} vs cliff {dram_c}"
+        );
+    }
+
+    #[test]
+    fn burst_amplitude_saturating_capacity_slows_the_run() {
+        // A workload whose high phase exceeds DRAM capacity runs slower
+        // than its smooth-demand twin, even at two threads.
+        let spec = MachineSpec::x3_2();
+        let mut smooth = Behavior::compute("smooth", 30.0, 0.2);
+        smooth.demand.dram = 30.0;
+        smooth.data_placement = DataPlacement::ThreadLocal;
+        let mut bursty = smooth.clone();
+        bursty.name = "burstyx".into();
+        bursty.burst = crate::behavior::BurstProfile::bursty(0.4, 2.4); // high phase: 72 GB/s > 48
+        let p = Placement::spread(&spec, 1).unwrap();
+        let t_smooth = run_simple(&spec, &smooth, &p, 25).elapsed;
+        let t_bursty = run_simple(&spec, &bursty, &p, 25).elapsed;
+        assert!(
+            t_bursty > t_smooth * 1.05,
+            "bursty {t_bursty} should trail smooth {t_smooth}"
+        );
+    }
+
+    #[test]
+    fn stressors_slow_the_workload_but_not_its_counters() {
+        let spec = MachineSpec::x3_2();
+        let b = Behavior::compute("meek", 20.0, 6.0);
+        let p = Placement::spread(&spec, 1).unwrap();
+        let alone = run_simple(&spec, &b, &p, 26);
+        let sibling = sibling_ctx(&spec, p.contexts()[0]).unwrap();
+        let inputs = RunInputs {
+            spec: &spec,
+            behavior: &b,
+            placement: &p,
+            stressors: &[StressPin { kind: StressKind::Cpu, ctx: sibling }],
+            fill_background: true,
+            turbo: true,
+            data_placement: None,
+            seed: 26,
+        };
+        let stressed = run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() });
+        assert!(stressed.elapsed > alone.elapsed * 1.2, "SMT stressor slows the run");
+        // Workload counters exclude the stressor's traffic.
+        assert!(
+            (stressed.counters.instructions - alone.counters.instructions).abs()
+                / alone.counters.instructions
+                < 0.02
+        );
+    }
+
+    #[test]
+    fn turbo_makes_small_counts_faster_without_background_fill() {
+        let spec = MachineSpec::x5_2();
+        let b = Behavior::compute("solo", 20.0, 6.0);
+        let p = Placement::spread(&spec, 1).unwrap();
+        let mk = |fill: bool, turbo: bool| {
+            let inputs = RunInputs {
+                spec: &spec,
+                behavior: &b,
+                placement: &p,
+                stressors: &[],
+                fill_background: fill,
+                turbo,
+                data_placement: None,
+                seed: 27,
+            };
+            run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() }).elapsed
+        };
+        let idle_machine = mk(false, true);
+        let filled = mk(true, true);
+        let no_boost = mk(false, false);
+        assert!(idle_machine < filled, "single-core boost beats all-core point");
+        assert!(filled < no_boost, "all-core boost beats nominal");
+    }
+
+    #[test]
+    fn partial_scheduling_interpolates_between_static_and_dynamic() {
+        let spec = MachineSpec::x5_2();
+        let base = Behavior::compute("partial", 60.0, 6.0);
+        let p = Placement::spread(&spec, 2).unwrap();
+        let stress =
+            [StressPin { kind: StressKind::Cpu, ctx: sibling_ctx(&spec, p.contexts()[0]).unwrap() }];
+        let time_for = |sched| {
+            let behavior = Behavior { scheduling: sched, ..base.clone() };
+            let inputs = RunInputs {
+                spec: &spec,
+                behavior: &behavior,
+                placement: &p,
+                stressors: &stress,
+                fill_background: true,
+                turbo: true,
+                data_placement: None,
+                seed: 28,
+            };
+            run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() }).elapsed
+        };
+        let t_static = time_for(Scheduling::Static);
+        // Mostly-static: the slowed thread's private share dominates, so
+        // the run lands between the extremes.
+        let t_mostly_static = time_for(Scheduling::Partial { dynamic_fraction: 0.1 });
+        let t_dynamic = time_for(Scheduling::Dynamic);
+        assert!(
+            t_dynamic < t_mostly_static && t_mostly_static < t_static,
+            "{t_dynamic} < {t_mostly_static} < {t_static}"
+        );
+    }
+
+    #[test]
+    fn remote_neighbor_wraps_around_socket_ring() {
+        let spec = MachineSpec::x2_4();
+        let mut b = Behavior::compute("ring", 10.0, 0.2);
+        b.demand.dram = 3.0;
+        b.data_placement = DataPlacement::RemoteNeighbor;
+        // One thread on the last socket: its data lands on socket 0.
+        let ctx = spec.ctx(pandia_topology::SocketId(3), 0, 0);
+        let p = Placement::new(&spec, vec![ctx]).unwrap();
+        let r = run_simple(&spec, &b, &p, 29);
+        assert!(r.counters.dram_bytes[0] > 0.0);
+        assert!(r.counters.dram_bytes[3] < 1e-9);
+    }
+}

@@ -1,0 +1,106 @@
+//! Deterministic pseudo-randomness for the simulator.
+//!
+//! Everything stochastic in a simulated run (burst phase draws and
+//! measurement noise) must be a pure function of the run's seed and the
+//! entity/segment involved, so that identical [`pandia_topology::RunRequest`]s
+//! reproduce identical results regardless of evaluation order. A stateless
+//! SplitMix64 hash gives exactly that.
+
+/// SplitMix64 finalizer: maps any 64-bit value to a well-mixed 64-bit value.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combines a seed with up to three stream coordinates into one hash.
+pub fn mix(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(a ^ splitmix64(b ^ splitmix64(c))))
+}
+
+/// Uniform value in `[0, 1)` derived from a hash.
+pub fn unit_f64(h: u64) -> f64 {
+    // Use the top 53 bits for a dyadic rational in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard-normal-ish value derived from a hash via the sum of three
+/// uniforms (Irwin–Hall, variance-corrected). Bounded in `[-3, 3]`, which
+/// conveniently clips measurement-noise outliers.
+pub fn gaussian_f64(h: u64) -> f64 {
+    let u1 = unit_f64(splitmix64(h ^ 0x1));
+    let u2 = unit_f64(splitmix64(h ^ 0x2));
+    let u3 = unit_f64(splitmix64(h ^ 0x3));
+    // Sum of 3 uniforms has mean 1.5, variance 3/12; rescale to unit
+    // variance: (s - 1.5) / sqrt(0.25) = (s - 1.5) * 2.
+    (u1 + u2 + u3 - 1.5) * 2.0
+}
+
+/// Stable 64-bit hash of a string (FNV-1a), for deriving per-workload seeds.
+pub fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+        // Consecutive inputs should not map to close outputs.
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert!(a.abs_diff(b) > 1 << 32);
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        for i in 0..1000u64 {
+            let v = unit_f64(splitmix64(i));
+            assert!((0.0..1.0).contains(&v), "value {v} out of range");
+        }
+    }
+
+    #[test]
+    fn unit_f64_mean_is_near_half() {
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|i| unit_f64(splitmix64(i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_is_bounded_and_centered() {
+        let n = 10_000u64;
+        let vals: Vec<f64> = (0..n).map(|i| gaussian_f64(splitmix64(i))).collect();
+        assert!(vals.iter().all(|v| v.abs() <= 3.0));
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn mix_depends_on_every_coordinate() {
+        let base = mix(1, 2, 3, 4);
+        assert_ne!(base, mix(9, 2, 3, 4));
+        assert_ne!(base, mix(1, 9, 3, 4));
+        assert_ne!(base, mix(1, 2, 9, 4));
+        assert_ne!(base, mix(1, 2, 3, 9));
+        assert_eq!(base, mix(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn hash_str_distinguishes_names() {
+        assert_ne!(hash_str("CG"), hash_str("BT"));
+        assert_eq!(hash_str("MD"), hash_str("MD"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Stress kernels: synthetic behaviors that saturate one resource each.
+//!
+//! These are the simulator-side equivalents of the paper's stress
+//! applications (§3.1–§3.2): optimized loops that stream over an array
+//! sized for the targeted level of the hierarchy, or spin on independent
+//! integer operations to saturate instruction issue. The machine
+//! description generator runs them at increasing thread counts and reads
+//! the achieved rates from counters.
+
+use pandia_topology::{DataPlacement, MachineSpec, StressKind};
+
+use crate::behavior::{Behavior, BurstProfile, Scheduling, UnitDemand};
+
+/// Nominal work for a stress kernel used *as a workload* (when
+/// co-scheduled as a stressor the engine treats it as infinite).
+const STRESS_WORK: f64 = 50.0;
+
+/// Builds the stress behavior of the given kind, sized for the machine.
+pub fn behavior(spec: &MachineSpec, kind: StressKind) -> Behavior {
+    let (name, demand, ws_mib, placement) = match kind {
+        StressKind::Cpu => (
+            "stress-cpu",
+            // Per-unit demand equal to the nominal issue rate: the kernel
+            // saturates the core exactly, at any frequency (§3.2).
+            UnitDemand { instr: spec.core_ipc_rate, ..UnitDemand::ZERO },
+            0.02,
+            DataPlacement::ThreadLocal,
+        ),
+        StressKind::L1 => (
+            "stress-l1",
+            UnitDemand {
+                instr: 0.25 * spec.core_ipc_rate,
+                l1: spec.l1_bw_per_core,
+                ..UnitDemand::ZERO
+            },
+            0.8 * spec.l1_kib / 1024.0,
+            DataPlacement::ThreadLocal,
+        ),
+        StressKind::L2 => (
+            "stress-l2",
+            UnitDemand {
+                instr: 0.12 * spec.core_ipc_rate,
+                l1: 0.2 * spec.l1_bw_per_core,
+                l2: spec.l2_bw_per_core,
+                ..UnitDemand::ZERO
+            },
+            0.8 * spec.l2_kib / 1024.0,
+            DataPlacement::ThreadLocal,
+        ),
+        StressKind::L3 => (
+            "stress-l3",
+            UnitDemand {
+                instr: 0.08 * spec.core_ipc_rate,
+                l1: 0.1 * spec.l1_bw_per_core,
+                l3: spec.l3_bw_per_link,
+                ..UnitDemand::ZERO
+            },
+            // Sized so a full socket of stress threads almost fills the
+            // shared cache without spilling ("almost fill the storage at
+            // the far end of the link", §3.1).
+            0.8 * spec.l3_mib / spec.cores_per_socket.max(1) as f64,
+            DataPlacement::ThreadLocal,
+        ),
+        StressKind::DramLocal => (
+            "stress-dram-local",
+            UnitDemand {
+                instr: 0.05 * spec.core_ipc_rate,
+                dram: spec.dram_bw_per_socket / 2.0,
+                ..UnitDemand::ZERO
+            },
+            // At least 100x the LLC so essentially every access misses.
+            100.0 * spec.l3_mib.max(1.0),
+            DataPlacement::ThreadLocal,
+        ),
+        StressKind::DramRemote => (
+            "stress-dram-remote",
+            UnitDemand {
+                instr: 0.05 * spec.core_ipc_rate,
+                dram: spec.interconnect_bw_per_link.max(1.0) / 2.0,
+                ..UnitDemand::ZERO
+            },
+            100.0 * spec.l3_mib.max(1.0),
+            DataPlacement::RemoteNeighbor,
+        ),
+    };
+    Behavior {
+        name: name.to_string(),
+        total_work: STRESS_WORK,
+        seq_fraction: 0.0,
+        demand,
+        working_set_mib: ws_mib,
+        burst: BurstProfile::SMOOTH,
+        scheduling: Scheduling::Dynamic,
+        comm_factor: 0.0,
+        intra_socket_comm: 0.0,
+        data_placement: placement,
+        growth_per_thread: 0.0,
+        active_threads: None,
+        requires_avx: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_build_valid_behaviors() {
+        let spec = MachineSpec::x5_2();
+        for kind in StressKind::ALL {
+            let b = behavior(&spec, kind);
+            b.validate().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn cpu_stress_demands_exactly_the_nominal_issue_rate() {
+        let spec = MachineSpec::x5_2();
+        let b = behavior(&spec, StressKind::Cpu);
+        assert_eq!(b.demand.instr, spec.core_ipc_rate);
+        assert_eq!(b.demand.dram, 0.0);
+        assert_eq!(b.demand.l3, 0.0);
+    }
+
+    #[test]
+    fn cache_stressors_fit_their_level() {
+        let spec = MachineSpec::x5_2();
+        let l1 = behavior(&spec, StressKind::L1);
+        assert!(l1.working_set_mib * 1024.0 < spec.l1_kib);
+        let l3 = behavior(&spec, StressKind::L3);
+        // A full socket of L3 stress threads must not spill.
+        assert!(l3.working_set_mib * spec.cores_per_socket as f64 <= spec.l3_mib);
+    }
+
+    #[test]
+    fn dram_stressors_miss_the_cache_and_target_the_right_node() {
+        let spec = MachineSpec::x3_2();
+        let local = behavior(&spec, StressKind::DramLocal);
+        assert!(local.working_set_mib >= 100.0 * spec.l3_mib);
+        assert_eq!(local.data_placement, DataPlacement::ThreadLocal);
+        let remote = behavior(&spec, StressKind::DramRemote);
+        assert_eq!(remote.data_placement, DataPlacement::RemoteNeighbor);
+        // A couple of threads suffice to saturate the targeted resource.
+        assert!(2.0 * local.demand.dram >= spec.dram_bw_per_socket);
+        assert!(2.0 * remote.demand.dram >= spec.interconnect_bw_per_link);
+    }
+}

@@ -1,0 +1,194 @@
+//! Run tracing: per-segment observability for simulated runs.
+//!
+//! A [`RunTrace`] records, for every segment of a run, the wall-clock
+//! span, each group's aggregate progress rate, and the utilization of the
+//! most loaded resources. Traces answer the questions the aggregate
+//! [`pandia_topology::RunResult`] cannot: *when* did contention bite,
+//! which resource was hot, and how did rates shift as groups finished.
+
+use pandia_topology::ResourceKind;
+use serde::{Deserialize, Serialize};
+
+/// One recorded segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSegment {
+    /// Segment start time.
+    pub start: f64,
+    /// Segment length.
+    pub dt: f64,
+    /// Aggregate progress rate per workload group (work units per second).
+    pub group_rates: Vec<f64>,
+    /// The most utilized resource and its utilization in `[0, 1]`.
+    pub hottest: Option<(ResourceKind, f64)>,
+    /// Number of runnable entities.
+    pub runnable: usize,
+}
+
+/// A complete per-segment trace of one run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Recorded segments in time order.
+    pub segments: Vec<TraceSegment>,
+}
+
+impl RunTrace {
+    /// Total traced time.
+    pub fn total_time(&self) -> f64 {
+        self.segments.iter().map(|s| s.dt).sum()
+    }
+
+    /// Time-weighted mean utilization of the hottest resource.
+    pub fn mean_peak_utilization(&self) -> f64 {
+        let total = self.total_time();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.segments
+            .iter()
+            .map(|s| s.hottest.map(|(_, u)| u).unwrap_or(0.0) * s.dt)
+            .sum::<f64>()
+            / total
+    }
+
+    /// The resource that was hottest for the most time.
+    pub fn dominant_bottleneck(&self) -> Option<ResourceKind> {
+        use std::collections::HashMap;
+        let mut time_by_resource: HashMap<ResourceKind, f64> = HashMap::new();
+        for s in &self.segments {
+            if let Some((kind, util)) = s.hottest {
+                if util > 0.5 {
+                    *time_by_resource.entry(kind).or_insert(0.0) += s.dt;
+                }
+            }
+        }
+        time_by_resource
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(kind, _)| kind)
+    }
+
+    /// Renders an ASCII timeline: one row per group showing its progress
+    /// rate over time (normalized to the run's peak rate), plus a row for
+    /// peak resource utilization.
+    pub fn ascii_timeline(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.segments.is_empty() {
+            let _ = writeln!(out, "(empty trace)");
+            return out;
+        }
+        let total = self.total_time();
+        let n_groups = self.segments.iter().map(|s| s.group_rates.len()).max().unwrap_or(0);
+        let peak_rate = self
+            .segments
+            .iter()
+            .flat_map(|s| s.group_rates.iter())
+            .cloned()
+            .fold(0.0_f64, f64::max)
+            .max(1e-12);
+        let ramp = [b' ', b'.', b':', b'-', b'=', b'+', b'*', b'#'];
+        let sample = |value_at: &dyn Fn(&TraceSegment) -> f64, col: usize| -> u8 {
+            let t = (col as f64 + 0.5) / width as f64 * total;
+            let mut acc = 0.0;
+            for s in &self.segments {
+                if t < acc + s.dt {
+                    let v = value_at(s).clamp(0.0, 1.0);
+                    let idx = (v * (ramp.len() - 1) as f64).round() as usize;
+                    return ramp[idx.min(ramp.len() - 1)];
+                }
+                acc += s.dt;
+            }
+            b' '
+        };
+        for g in 0..n_groups {
+            let row: Vec<u8> = (0..width)
+                .map(|c| {
+                    sample(
+                        &|s: &TraceSegment| {
+                            s.group_rates.get(g).copied().unwrap_or(0.0) / peak_rate
+                        },
+                        c,
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "group {g} rate |{}|", String::from_utf8_lossy(&row));
+        }
+        let row: Vec<u8> = (0..width)
+            .map(|c| sample(&|s: &TraceSegment| s.hottest.map(|(_, u)| u).unwrap_or(0.0), c))
+            .collect();
+        let _ = writeln!(out, "peak util    |{}|", String::from_utf8_lossy(&row));
+        let _ = writeln!(out, "              0{}{:.2}s", " ".repeat(width.saturating_sub(8)), total);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandia_topology::{CoreId, SocketId};
+
+    fn segment(start: f64, dt: f64, rate: f64, util: f64) -> TraceSegment {
+        TraceSegment {
+            start,
+            dt,
+            group_rates: vec![rate],
+            hottest: Some((ResourceKind::Dram(SocketId(0)), util)),
+            runnable: 4,
+        }
+    }
+
+    #[test]
+    fn totals_and_means() {
+        let trace = RunTrace {
+            segments: vec![segment(0.0, 1.0, 2.0, 0.5), segment(1.0, 3.0, 1.0, 1.0)],
+        };
+        assert!((trace.total_time() - 4.0).abs() < 1e-12);
+        // Time-weighted: (0.5*1 + 1.0*3) / 4 = 0.875.
+        assert!((trace.mean_peak_utilization() - 0.875).abs() < 1e-12);
+        assert_eq!(trace.dominant_bottleneck(), Some(ResourceKind::Dram(SocketId(0))));
+    }
+
+    #[test]
+    fn dominant_bottleneck_requires_pressure() {
+        let trace = RunTrace { segments: vec![segment(0.0, 1.0, 1.0, 0.2)] };
+        assert_eq!(trace.dominant_bottleneck(), None);
+    }
+
+    #[test]
+    fn timeline_renders_rows_for_groups_and_utilization() {
+        let trace = RunTrace {
+            segments: vec![
+                TraceSegment {
+                    start: 0.0,
+                    dt: 1.0,
+                    group_rates: vec![2.0, 1.0],
+                    hottest: Some((ResourceKind::CoreIssue(CoreId(0)), 0.9)),
+                    runnable: 3,
+                },
+                TraceSegment {
+                    start: 1.0,
+                    dt: 1.0,
+                    group_rates: vec![0.0, 1.0],
+                    hottest: None,
+                    runnable: 1,
+                },
+            ],
+        };
+        let art = trace.ascii_timeline(20);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4); // 2 groups + util + axis
+        assert!(lines[0].starts_with("group 0"));
+        assert!(lines[2].starts_with("peak util"));
+        // Group 0 goes quiet in the second half.
+        let row0 = lines[0];
+        assert!(row0.trim_end().len() < row0.len() || row0.contains(' '));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let trace = RunTrace::default();
+        assert!(trace.ascii_timeline(10).contains("empty"));
+        assert_eq!(trace.mean_peak_utilization(), 0.0);
+        assert_eq!(trace.dominant_bottleneck(), None);
+    }
+}

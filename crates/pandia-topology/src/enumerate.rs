@@ -1,0 +1,348 @@
+//! Enumeration of canonical placements.
+//!
+//! The paper evaluates each workload over the space of distinct thread
+//! placements, sorted by total thread count and then by per-core occupancy
+//! (Figure 1's x-axis). On a homogeneous machine the distinct placements
+//! are exactly the [`CanonicalPlacement`] equivalence classes: a multiset of
+//! per-socket core-occupancy multisets.
+//!
+//! Enumeration is exhaustive for the two-socket machines (about 18k classes
+//! on the X5-2, about 1k on the X3-2/X4-2). For the four-socket X2-4 the
+//! space is close to a million classes, so — like the paper, which covered
+//! ~20% of placements on its largest machine — deterministic stride
+//! subsampling per thread count is provided.
+
+use crate::{
+    placement::{CanonicalPlacement, Placement},
+    spec::{HasShape, MachineShape},
+};
+
+/// Which part of the placement space a placement belongs to, for the
+/// four-socket study of §6.2 (Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementClass {
+    /// At most two sockets are active.
+    TwoSocket,
+    /// At most `n` distinct cores are active (the paper uses 20, matching
+    /// the core count of two sockets), over any number of sockets.
+    LimitedCores(usize),
+    /// Any placement over the whole machine.
+    WholeMachine,
+}
+
+impl PlacementClass {
+    /// Whether a canonical placement falls inside this class.
+    pub fn contains(&self, p: &CanonicalPlacement) -> bool {
+        match self {
+            Self::TwoSocket => p.sockets_used() <= 2,
+            Self::LimitedCores(n) => p.cores_used() <= *n,
+            Self::WholeMachine => true,
+        }
+    }
+}
+
+/// Enumerates canonical placements for one machine.
+#[derive(Debug, Clone)]
+pub struct PlacementEnumerator {
+    sockets: usize,
+    /// All possible single-socket occupancy vectors (descending), sorted
+    /// descending, *excluding* the empty socket.
+    socket_options: Vec<Vec<u8>>,
+}
+
+impl PlacementEnumerator {
+    /// Builds an enumerator for a machine.
+    pub fn new(shape: &impl HasShape) -> Self {
+        let spec: MachineShape = shape.shape();
+        let mut socket_options =
+            socket_partitions(spec.cores_per_socket, spec.threads_per_core as u8);
+        socket_options.sort_by(|a, b| b.cmp(a));
+        Self { sockets: spec.sockets, socket_options }
+    }
+
+    /// Total number of canonical placements (any thread count ≥ 1),
+    /// computed without materializing them.
+    pub fn count(&self) -> u64 {
+        // Multisets of size ≤ sockets from the non-empty options: recurse
+        // over option indices with monotone non-decreasing index.
+        fn rec(options: usize, slots: usize, start: usize, memo: &mut Vec<Vec<Option<u64>>>) -> u64 {
+            if slots == 0 {
+                return 1;
+            }
+            if let Some(v) = memo[slots][start] {
+                return v;
+            }
+            // Either stop here (all remaining sockets empty) or pick option
+            // `i >= start` for the next socket.
+            let mut total = 1; // stop: remaining sockets empty
+            for i in start..options {
+                total += rec(options, slots - 1, i, memo);
+            }
+            memo[slots][start] = Some(total);
+            total
+        }
+        let n_opt = self.socket_options.len();
+        let mut memo = vec![vec![None; n_opt + 1]; self.sockets + 1];
+        // Subtract 1 for the all-empty machine.
+        rec(n_opt, self.sockets, 0, &mut memo) - 1
+    }
+
+    /// Every canonical placement with at least one thread, sorted by
+    /// [`CanonicalPlacement::sort_key`].
+    ///
+    /// Materializes the full space — use [`Self::sampled`] on machines where
+    /// [`Self::count`] is large.
+    pub fn all(&self) -> Vec<CanonicalPlacement> {
+        let mut out = Vec::new();
+        let mut current: Vec<Vec<u8>> = Vec::new();
+        self.gen_rec(0, usize::MAX, &mut current, &mut |p| out.push(p));
+        sort_placements(&mut out);
+        out
+    }
+
+    /// Every canonical placement with exactly `n` threads, sorted.
+    pub fn for_threads(&self, n: usize) -> Vec<CanonicalPlacement> {
+        let mut out = Vec::new();
+        let mut current: Vec<Vec<u8>> = Vec::new();
+        self.gen_rec(0, n, &mut current, &mut |p| {
+            if p.total_threads() == n {
+                out.push(p);
+            }
+        });
+        sort_placements(&mut out);
+        out
+    }
+
+    /// A deterministic subsample: for each thread count, at most `per_n`
+    /// placements taken by even stride through that count's sorted list.
+    ///
+    /// This mirrors the paper's partial coverage of the X5-2 placement space
+    /// (§6.1) while remaining reproducible.
+    pub fn sampled(&self, shape: &impl HasShape, per_n: usize) -> Vec<CanonicalPlacement> {
+        let spec: MachineShape = shape.shape();
+        let mut out = Vec::new();
+        for n in 1..=spec.total_contexts() {
+            let all_n = self.for_threads(n);
+            if all_n.len() <= per_n {
+                out.extend(all_n);
+            } else {
+                for i in 0..per_n {
+                    let idx = i * all_n.len() / per_n;
+                    out.push(all_n[idx].clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The §6.3 "simple sweep" baseline: for each thread count `1..=max`,
+    /// the packed placement and the spread placement.
+    pub fn sweep(&self, shape: &impl HasShape) -> Vec<CanonicalPlacement> {
+        let spec: MachineShape = shape.shape();
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for n in 1..=spec.total_contexts() {
+            if let Ok(p) = Placement::packed(&spec, n) {
+                let c = p.canonicalize(&spec);
+                if seen.insert(c.clone()) {
+                    out.push(c);
+                }
+            }
+            if let Ok(p) = Placement::spread(&spec, n) {
+                let c = p.canonicalize(&spec);
+                if seen.insert(c.clone()) {
+                    out.push(c);
+                }
+            }
+        }
+        sort_placements(&mut out);
+        out
+    }
+
+    fn gen_rec(
+        &self,
+        start: usize,
+        remaining: usize,
+        current: &mut Vec<Vec<u8>>,
+        emit: &mut impl FnMut(CanonicalPlacement),
+    ) {
+        if !current.is_empty() {
+            let total: usize =
+                current.iter().flat_map(|s| s.iter()).map(|&v| v as usize).sum();
+            if remaining == usize::MAX || total <= remaining {
+                emit(CanonicalPlacement { sockets: current.clone() });
+            }
+        }
+        if current.len() == self.sockets {
+            return;
+        }
+        let used: usize = current.iter().flat_map(|s| s.iter()).map(|&v| v as usize).sum();
+        for i in start..self.socket_options.len() {
+            let opt = &self.socket_options[i];
+            let opt_total: usize = opt.iter().map(|&v| v as usize).sum();
+            if remaining != usize::MAX && used + opt_total > remaining {
+                continue;
+            }
+            current.push(opt.clone());
+            self.gen_rec(i, remaining, current, emit);
+            current.pop();
+        }
+    }
+}
+
+/// Sorts placements by the figure ordering: total threads, then pattern.
+pub fn sort_placements(placements: &mut [CanonicalPlacement]) {
+    placements.sort_by_key(|p| p.sort_key());
+}
+
+/// All non-empty descending occupancy vectors for one socket: parts in
+/// `1..=max_part`, at most `cores` parts.
+fn socket_partitions(cores: usize, max_part: u8) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    fn rec(cores_left: usize, max_part: u8, current: &mut Vec<u8>, out: &mut Vec<Vec<u8>>) {
+        if !current.is_empty() {
+            out.push(current.clone());
+        }
+        if cores_left == 0 {
+            return;
+        }
+        let bound = current.last().copied().unwrap_or(max_part);
+        for part in (1..=bound).rev() {
+            current.push(part);
+            rec(cores_left - 1, max_part, current, out);
+            current.pop();
+        }
+    }
+    rec(cores, max_part, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MachineSpec;
+
+    #[test]
+    fn socket_partitions_small_case() {
+        // 2 cores, up to 2 threads each: [1], [2], [1,1], [2,1], [2,2].
+        let mut parts = socket_partitions(2, 2);
+        parts.sort();
+        assert_eq!(parts, vec![vec![1], vec![1, 1], vec![2], vec![2, 1], vec![2, 2]]);
+    }
+
+    #[test]
+    fn toy_machine_enumeration_is_complete() {
+        let spec = MachineSpec::toy();
+        let e = PlacementEnumerator::new(&spec);
+        let all = e.all();
+        // Toy: 2 sockets x 2 cores x 1 thread. Socket options: [1], [1,1].
+        // Multisets over 2 sockets (incl. one empty socket):
+        // {[1]}, {[1,1]}, {[1],[1]}, {[1,1],[1]}, {[1,1],[1,1]} => 5.
+        assert_eq!(all.len(), 5);
+        assert_eq!(e.count(), 5);
+        // Sorted by total thread count.
+        let totals: Vec<usize> = all.iter().map(|p| p.total_threads()).collect();
+        let mut sorted = totals.clone();
+        sorted.sort_unstable();
+        assert_eq!(totals, sorted);
+    }
+
+    #[test]
+    fn count_matches_materialized_for_x3_2() {
+        let spec = MachineSpec::x3_2();
+        let e = PlacementEnumerator::new(&spec);
+        let all = e.all();
+        assert_eq!(all.len() as u64, e.count());
+        // Per-socket (a,b) with a+b<=8 minus empty = 44 options; unordered
+        // pairs incl. empty = 45*46/2 - 1 = 1034.
+        assert_eq!(all.len(), 1034);
+    }
+
+    #[test]
+    fn x5_2_count_is_tractable() {
+        let e = PlacementEnumerator::new(&MachineSpec::x5_2());
+        // (a,b) with a+b<=18 => 190 incl. empty; C(190+1,2) - 1 = 18144.
+        assert_eq!(e.count(), 18144);
+    }
+
+    #[test]
+    fn x2_4_count_without_materializing() {
+        let e = PlacementEnumerator::new(&MachineSpec::x2_4());
+        // 65 non-empty per-socket options; multisets over 4 sockets:
+        // C(66+3,4) - 1 = 864500... computed by DP, just sanity-bound it.
+        let c = e.count();
+        assert!(c > 500_000 && c < 1_000_000, "count = {c}");
+    }
+
+    #[test]
+    fn for_threads_returns_only_that_count() {
+        let spec = MachineSpec::x3_2();
+        let e = PlacementEnumerator::new(&spec);
+        let p4 = e.for_threads(4);
+        assert!(p4.iter().all(|p| p.total_threads() == 4));
+        // Check a few expected members.
+        assert!(p4.contains(&CanonicalPlacement::new(vec![vec![1, 1, 1, 1]])));
+        assert!(p4.contains(&CanonicalPlacement::new(vec![vec![2, 2]])));
+        assert!(p4.contains(&CanonicalPlacement::new(vec![vec![2], vec![1, 1]])));
+        // No duplicates.
+        let mut dedup = p4.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), p4.len());
+    }
+
+    #[test]
+    fn all_placements_instantiate_on_their_machine() {
+        let spec = MachineSpec::x3_2();
+        let e = PlacementEnumerator::new(&spec);
+        for c in e.all() {
+            let p = c.instantiate(&spec).expect("enumerated placement must fit");
+            assert_eq!(p.canonicalize(&spec), c);
+        }
+    }
+
+    #[test]
+    fn sampled_respects_per_n_budget() {
+        let spec = MachineSpec::x5_2();
+        let e = PlacementEnumerator::new(&spec);
+        let sample = e.sampled(&spec, 10);
+        assert!(sample.len() <= 10 * spec.total_contexts());
+        // Every thread count up to 72 is represented.
+        let mut counts = vec![0usize; spec.total_contexts() + 1];
+        for p in &sample {
+            counts[p.total_threads()] += 1;
+        }
+        for (n, &count) in counts.iter().enumerate().skip(1) {
+            assert!(count >= 1, "thread count {n} missing from sample");
+            assert!(count <= 10);
+        }
+    }
+
+    #[test]
+    fn sweep_contains_packed_and_spread_extremes() {
+        let spec = MachineSpec::x3_2();
+        let e = PlacementEnumerator::new(&spec);
+        let sweep = e.sweep(&spec);
+        // 4 threads packed => [2,2] on one socket; spread => 1x4 on one socket.
+        assert!(sweep.contains(&CanonicalPlacement::new(vec![vec![2, 2]])));
+        assert!(sweep.contains(&CanonicalPlacement::new(vec![vec![1, 1, 1, 1]])));
+        // Sweep is much smaller than the full space.
+        assert!(sweep.len() < 2 * spec.total_contexts() + 2);
+        // No duplicates.
+        let mut set = std::collections::HashSet::new();
+        for p in &sweep {
+            assert!(set.insert(p.clone()));
+        }
+    }
+
+    #[test]
+    fn placement_classes_partition_sensibly() {
+        let p = CanonicalPlacement::new(vec![vec![1, 1], vec![1], vec![1]]);
+        assert!(!PlacementClass::TwoSocket.contains(&p));
+        assert!(PlacementClass::LimitedCores(4).contains(&p));
+        assert!(!PlacementClass::LimitedCores(3).contains(&p));
+        assert!(PlacementClass::WholeMachine.contains(&p));
+        let q = CanonicalPlacement::new(vec![vec![2, 2, 2], vec![1]]);
+        assert!(PlacementClass::TwoSocket.contains(&q));
+    }
+}

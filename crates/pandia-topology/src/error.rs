@@ -1,0 +1,69 @@
+//! Error types shared across the workspace substrate.
+
+use core::fmt;
+
+/// Errors raised when constructing or interrogating machine topologies and
+/// placements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A machine specification had a zero-sized dimension or non-positive
+    /// capacity.
+    InvalidSpec {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A placement referenced a hardware context outside the machine.
+    ContextOutOfRange {
+        /// The offending context id.
+        ctx: usize,
+        /// Number of hardware contexts in the machine.
+        total: usize,
+    },
+    /// A placement pinned more software threads to one context than allowed.
+    ContextOversubscribed {
+        /// The oversubscribed context id.
+        ctx: usize,
+    },
+    /// A placement contained no threads.
+    EmptyPlacement,
+    /// A canonical placement did not fit the machine (too many cores used on
+    /// a socket, too many threads on a core, or too many sockets).
+    CanonicalMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidSpec { reason } => write!(f, "invalid machine spec: {reason}"),
+            Self::ContextOutOfRange { ctx, total } => {
+                write!(f, "hardware context {ctx} out of range (machine has {total})")
+            }
+            Self::ContextOversubscribed { ctx } => {
+                write!(f, "hardware context {ctx} pinned more than once")
+            }
+            Self::EmptyPlacement => write!(f, "placement contains no threads"),
+            Self::CanonicalMismatch { reason } => {
+                write!(f, "canonical placement does not fit machine: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TopologyError::ContextOutOfRange { ctx: 99, total: 72 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("72"));
+        let e = TopologyError::InvalidSpec { reason: "zero cores".into() };
+        assert!(e.to_string().contains("zero cores"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Strongly typed identifiers for hardware components and model entities.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a processor socket (chip) within a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SocketId(pub usize);
+
+/// Identifier of a physical core, global across the machine.
+///
+/// Cores are numbered socket-major: core `c` on socket `s` of a machine with
+/// `k` cores per socket has global id `s * k + c`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub usize);
+
+/// Identifier of a hardware context (SMT thread slot), global across the
+/// machine.
+///
+/// Contexts are numbered core-major: slot `t` of global core `c` on a
+/// machine with `m` threads per core has global id `c * m + t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CtxId(pub usize);
+
+/// Index of a software thread within a workload (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(pub usize);
+
+/// Index into a [`crate::ResourceTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResourceId(pub usize);
+
+macro_rules! impl_display {
+    ($($ty:ident => $prefix:literal),* $(,)?) => {
+        $(
+            impl core::fmt::Display for $ty {
+                fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                    write!(f, concat!($prefix, "{}"), self.0)
+                }
+            }
+        )*
+    };
+}
+
+impl_display! {
+    SocketId => "socket",
+    CoreId => "core",
+    CtxId => "ctx",
+    ThreadId => "thread",
+    ResourceId => "res",
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(SocketId(1).to_string(), "socket1");
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(CtxId(7).to_string(), "ctx7");
+        assert_eq!(ThreadId(0).to_string(), "thread0");
+        assert_eq!(ResourceId(12).to_string(), "res12");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(CtxId(1) < CtxId(2));
+        assert!(SocketId(0) < SocketId(1));
+    }
+}

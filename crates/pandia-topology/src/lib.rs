@@ -1,0 +1,47 @@
+//! Machine topology, resources, placements, and the platform abstraction.
+//!
+//! This crate is the shared substrate of the Pandia workspace. It defines:
+//!
+//! * [`MachineSpec`] — the physical structure and capacities of a
+//!   cache-coherent multi-socket machine, with presets for the four Intel
+//!   Xeon systems evaluated in the paper (`X5-2`, `X4-2`, `X3-2`, `X2-4`)
+//!   plus the two-socket toy machine used in the paper's worked example
+//!   (Figure 3).
+//! * [`ResourceTable`] — the flat table of contended resources derived from
+//!   a spec: per-core issue capacity, per-core cache links, per-socket
+//!   last-level-cache aggregate bandwidth, per-socket DRAM channels, and the
+//!   fully connected inter-socket interconnect.
+//! * [`Placement`] — an assignment of software threads to hardware contexts,
+//!   together with the canonical enumeration order used on the x-axis of the
+//!   paper's Figures 1 and 10.
+//! * [`DemandVector`] — a workload's per-thread demand for each resource
+//!   class, and the routing of those demands onto concrete resources.
+//! * [`Platform`] — the trait through which Pandia's description generators
+//!   and predictor observe a machine (run a workload under a placement and
+//!   read back time and counters). The ground-truth simulator implements it;
+//!   a perf-event backend for real hardware could implement it equally.
+//!
+//! All bandwidths and rates use consistent abstract units (the paper, §3,
+//! notes that only consistency matters, not absolute scale). The presets use
+//! GB/s for bandwidths and giga-instructions/s for instruction rates.
+
+pub mod demand;
+pub mod enumerate;
+pub mod error;
+pub mod ids;
+pub mod placement;
+pub mod platform;
+pub mod resource;
+pub mod spec;
+
+pub use demand::DemandVector;
+pub use enumerate::{PlacementClass, PlacementEnumerator};
+pub use error::TopologyError;
+pub use ids::{CoreId, CtxId, ResourceId, SocketId, ThreadId};
+pub use placement::{CanonicalPlacement, HwContext, Placement};
+pub use platform::{
+    Counters, DataPlacement, JobRequest, MultiRunRequest, Platform, PlatformError, RunRequest,
+    RunResult, StressKind, StressPin,
+};
+pub use resource::{CapacityProfile, Resource, ResourceKind, ResourceTable};
+pub use spec::{HasShape, MachineShape, MachineSpec, TurboCurve};

@@ -1,0 +1,313 @@
+//! The platform abstraction: how Pandia observes a machine.
+//!
+//! Pandia's machine description generator (§3) and workload description
+//! generator (§4) only ever *run things and read counters*. The
+//! [`Platform`] trait captures exactly that capability. In this workspace it
+//! is implemented by the ground-truth simulator; on real hardware it would
+//! be implemented with thread pinning plus perf events, with no change to
+//! the core library.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    error::TopologyError,
+    ids::CtxId,
+    placement::Placement,
+    spec::MachineSpec,
+};
+
+/// Synthetic stress kernels used to saturate one resource at a time
+/// (paper §3: "a collection of stress applications designed to saturate
+/// different resources in the machine").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StressKind {
+    /// Integer ALU loop over an L1-resident dataset: saturates instruction
+    /// issue without memory traffic (§3.2).
+    Cpu,
+    /// Linear streaming over an array sized to almost fill the L1.
+    L1,
+    /// Streaming over an array sized to almost fill the L2.
+    L2,
+    /// Streaming over an array sized to almost fill the shared L3.
+    L3,
+    /// Streaming over an array at least 100x the LLC, placed on the local
+    /// socket: saturates local DRAM channels (§3.1).
+    DramLocal,
+    /// Streaming over a DRAM-sized array placed on a *remote* socket:
+    /// saturates an interconnect link.
+    DramRemote,
+}
+
+impl StressKind {
+    /// All stress kinds in measurement order.
+    pub const ALL: [StressKind; 6] = [
+        StressKind::Cpu,
+        StressKind::L1,
+        StressKind::L2,
+        StressKind::L3,
+        StressKind::DramLocal,
+        StressKind::DramRemote,
+    ];
+}
+
+/// Where a workload's data lives, mirroring `numactl` policies (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataPlacement {
+    /// Pages striped round-robin over every memory node: each thread's DRAM
+    /// traffic is split evenly across all sockets.
+    Interleave,
+    /// All pages on one node.
+    Node(usize),
+    /// Pages local to the socket of the thread that first touches them
+    /// during a parallel initialization: shared data ends up spread over
+    /// the *occupied* sockets in proportion to the threads on each, and
+    /// every thread's DRAM traffic follows that split.
+    FirstTouch,
+    /// Each thread's pages are local to its own socket (perfectly
+    /// partitioned data).
+    ThreadLocal,
+    /// Each thread's pages are bound to a *remote* socket (used by the
+    /// interconnect stress kernel).
+    RemoteNeighbor,
+}
+
+/// A stress application co-scheduled on one hardware context alongside the
+/// workload (used by profiling Runs 4 and 5, §4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StressPin {
+    /// Which stress kernel to run.
+    pub kind: StressKind,
+    /// The hardware context it is pinned to.
+    pub ctx: CtxId,
+}
+
+/// A request to execute a workload once under a given placement.
+#[derive(Debug, Clone)]
+pub struct RunRequest<W> {
+    /// The workload to execute.
+    pub workload: W,
+    /// Thread pinning for the workload's software threads.
+    pub placement: Placement,
+    /// Stress applications co-scheduled on other contexts.
+    pub stressors: Vec<StressPin>,
+    /// Fill otherwise-idle cores with a core-local background spinner so
+    /// that measurements are taken at the all-cores-busy frequency
+    /// (paper §6.3, "Power management").
+    pub fill_background: bool,
+    /// Whether Turbo Boost is enabled for this run.
+    pub turbo: bool,
+    /// Overrides the workload's default data placement when set.
+    pub data_placement: Option<DataPlacement>,
+    /// Seed for the run's measurement noise; identical requests with
+    /// identical seeds reproduce identical results.
+    pub seed: u64,
+}
+
+impl<W> RunRequest<W> {
+    /// A plain run: no stressors, background fill on, turbo on, default
+    /// data placement, seed 0.
+    pub fn new(workload: W, placement: Placement) -> Self {
+        Self {
+            workload,
+            placement,
+            stressors: Vec::new(),
+            fill_background: true,
+            turbo: true,
+            data_placement: None,
+            seed: 0,
+        }
+    }
+
+    /// Adds a co-scheduled stressor.
+    pub fn with_stressor(mut self, kind: StressKind, ctx: CtxId) -> Self {
+        self.stressors.push(StressPin { kind, ctx });
+        self
+    }
+
+    /// Sets the noise seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Aggregate hardware-counter readings for one run.
+///
+/// Byte counts are totals over the run; dividing by the elapsed time yields
+/// the rates Pandia uses as demands (§4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Counters {
+    /// Instructions retired by workload threads.
+    pub instructions: f64,
+    /// Bytes transferred over L1 links.
+    pub l1_bytes: f64,
+    /// Bytes transferred over L2 links.
+    pub l2_bytes: f64,
+    /// Bytes transferred over L3 links.
+    pub l3_bytes: f64,
+    /// Bytes transferred from each socket's DRAM, indexed by socket.
+    pub dram_bytes: Vec<f64>,
+    /// Bytes crossing the inter-socket interconnect (all links summed).
+    pub interconnect_bytes: f64,
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Wall-clock execution time in abstract seconds.
+    pub elapsed: f64,
+    /// Counter readings for the workload's threads.
+    pub counters: Counters,
+    /// Fraction of the run each workload thread spent busy (1.0 = always).
+    pub per_thread_busy: Vec<f64>,
+}
+
+/// Errors from platform execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// The workload cannot run on this machine (e.g. requires AVX).
+    Unsupported {
+        /// Why the workload cannot run.
+        reason: String,
+    },
+    /// The placement was invalid for the machine.
+    Placement(TopologyError),
+    /// A stressor was pinned onto a context already used by the workload.
+    StressorCollision {
+        /// The contested context.
+        ctx: usize,
+    },
+}
+
+impl core::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Unsupported { reason } => write!(f, "workload unsupported: {reason}"),
+            Self::Placement(e) => write!(f, "invalid placement: {e}"),
+            Self::StressorCollision { ctx } => {
+                write!(f, "stressor pinned to occupied context {ctx}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<TopologyError> for PlatformError {
+    fn from(e: TopologyError) -> Self {
+        Self::Placement(e)
+    }
+}
+
+/// One job of a co-scheduled multi-workload run.
+#[derive(Debug, Clone)]
+pub struct JobRequest<W> {
+    /// The workload to execute.
+    pub workload: W,
+    /// Thread pinning for this job (must not overlap other jobs).
+    pub placement: Placement,
+    /// Data placement override for this job.
+    pub data_placement: Option<DataPlacement>,
+}
+
+/// A request to execute several workloads concurrently.
+#[derive(Debug, Clone)]
+pub struct MultiRunRequest<W> {
+    /// The co-scheduled jobs.
+    pub jobs: Vec<JobRequest<W>>,
+    /// Fill otherwise-idle cores with background spinners.
+    pub fill_background: bool,
+    /// Whether Turbo Boost is enabled.
+    pub turbo: bool,
+    /// Seed for measurement noise.
+    pub seed: u64,
+}
+
+impl<W> MultiRunRequest<W> {
+    /// A plain multi-run over `(workload, placement)` pairs.
+    pub fn new(jobs: Vec<(W, Placement)>) -> Self {
+        Self {
+            jobs: jobs
+                .into_iter()
+                .map(|(workload, placement)| JobRequest {
+                    workload,
+                    placement,
+                    data_placement: None,
+                })
+                .collect(),
+            fill_background: true,
+            turbo: true,
+            seed: 0,
+        }
+    }
+}
+
+/// A machine that can execute workloads under explicit placements and
+/// report execution time plus counters.
+pub trait Platform {
+    /// The platform's workload representation.
+    type Workload: Clone;
+
+    /// The structural description of the machine (socket/core/thread
+    /// counts). Capacities in the spec are *not* consulted by Pandia; it
+    /// measures them itself.
+    fn spec(&self) -> &MachineSpec;
+
+    /// Returns a runnable stress kernel of the given kind, sized for this
+    /// machine.
+    fn stress_workload(&self, kind: StressKind) -> Self::Workload;
+
+    /// Executes one run.
+    fn run(&mut self, req: &RunRequest<Self::Workload>) -> Result<RunResult, PlatformError>;
+
+    /// Executes several workloads concurrently, returning one result per
+    /// job in input order.
+    ///
+    /// The default implementation reports the capability as unsupported;
+    /// platforms that can co-schedule (the simulator, or pinned threads on
+    /// real hardware) override it.
+    fn run_multi(
+        &mut self,
+        req: &MultiRunRequest<Self::Workload>,
+    ) -> Result<Vec<RunResult>, PlatformError> {
+        let _ = req;
+        Err(PlatformError::Unsupported {
+            reason: "this platform does not support co-scheduled runs".to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::CtxId;
+
+    #[test]
+    fn run_request_builder_composes() {
+        let spec = MachineSpec::toy();
+        let placement = Placement::spread(&spec, 2).unwrap();
+        let req = RunRequest::new("wl", placement)
+            .with_stressor(StressKind::Cpu, CtxId(3))
+            .with_seed(42);
+        assert_eq!(req.stressors.len(), 1);
+        assert_eq!(req.stressors[0].kind, StressKind::Cpu);
+        assert_eq!(req.seed, 42);
+        assert!(req.fill_background);
+        assert!(req.turbo);
+    }
+
+    #[test]
+    fn platform_error_displays() {
+        let e = PlatformError::Unsupported { reason: "requires AVX".into() };
+        assert!(e.to_string().contains("AVX"));
+        let e: PlatformError = TopologyError::EmptyPlacement.into();
+        assert!(matches!(e, PlatformError::Placement(_)));
+        let e = PlatformError::StressorCollision { ctx: 5 };
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn stress_kinds_enumerate_all() {
+        assert_eq!(StressKind::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,330 @@
+//! Contended resources of a machine and their capacities.
+//!
+//! Both the ground-truth simulator and the Pandia predictor reason about a
+//! machine as a flat table of rate-capacity resources. The simulator builds
+//! the table from the *physical* [`MachineSpec`]; the predictor builds it
+//! from the *measured* machine description (paper §3). Sharing the table
+//! structure guarantees the two sides speak the same routing language while
+//! keeping their capacity numbers independent.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    ids::{CoreId, ResourceId, SocketId},
+    spec::MachineSpec,
+};
+
+/// The kind (and location) of a contended resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Instruction issue capacity of one core.
+    CoreIssue(CoreId),
+    /// Private L1 data bandwidth of one core.
+    L1(CoreId),
+    /// Private L2 bandwidth of one core.
+    L2(CoreId),
+    /// Bandwidth of one core's link into the shared L3.
+    L3Link(CoreId),
+    /// Aggregate bandwidth the shared L3 of one socket can sustain across
+    /// all of its links (paper §3.1: both the per-link and the aggregate
+    /// limit are part of the machine description).
+    L3Aggregate(SocketId),
+    /// DRAM channel bandwidth of one socket's memory.
+    Dram(SocketId),
+    /// An inter-socket interconnect link, identified by its unordered-pair
+    /// index (see [`MachineSpec::link_index`]).
+    Interconnect(usize),
+}
+
+impl ResourceKind {
+    /// Short human-readable label, e.g. `"L3agg(socket0)"`.
+    pub fn label(&self) -> String {
+        match self {
+            Self::CoreIssue(c) => format!("issue({c})"),
+            Self::L1(c) => format!("L1({c})"),
+            Self::L2(c) => format!("L2({c})"),
+            Self::L3Link(c) => format!("L3link({c})"),
+            Self::L3Aggregate(s) => format!("L3agg({s})"),
+            Self::Dram(s) => format!("DRAM({s})"),
+            Self::Interconnect(l) => format!("link({l})"),
+        }
+    }
+}
+
+/// One contended resource: its kind and its sustainable rate capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Resource {
+    /// What and where this resource is.
+    pub kind: ResourceKind,
+    /// Sustainable rate in the workspace's consistent units.
+    pub capacity: f64,
+}
+
+/// Scalar capacities from which a [`ResourceTable`] is laid out.
+///
+/// This is the schema of a *measured* machine description as well: the
+/// Pandia machine description generator produces one of these from stress
+/// runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityProfile {
+    /// Per-core instruction issue rate.
+    pub core_issue: f64,
+    /// Per-core L1 bandwidth.
+    pub l1_per_core: f64,
+    /// Per-core L2 bandwidth.
+    pub l2_per_core: f64,
+    /// Per-core L3 link bandwidth.
+    pub l3_per_link: f64,
+    /// Per-socket aggregate L3 bandwidth.
+    pub l3_aggregate: f64,
+    /// Per-socket DRAM bandwidth.
+    pub dram_per_socket: f64,
+    /// Per-link interconnect bandwidth.
+    pub interconnect_per_link: f64,
+}
+
+impl CapacityProfile {
+    /// Capacity profile of a physical spec at a given core frequency (GHz).
+    ///
+    /// Core-clocked capacities (issue, L1, L2) scale with frequency; uncore
+    /// capacities do not.
+    pub fn of_spec_at(spec: &MachineSpec, ghz: f64) -> Self {
+        let scale = ghz / spec.turbo.nominal_ghz;
+        Self {
+            core_issue: spec.core_ipc_rate * scale,
+            l1_per_core: spec.l1_bw_per_core * scale,
+            l2_per_core: spec.l2_bw_per_core * scale,
+            l3_per_link: spec.l3_bw_per_link,
+            l3_aggregate: spec.l3_bw_aggregate,
+            dram_per_socket: spec.dram_bw_per_socket,
+            interconnect_per_link: spec.interconnect_bw_per_link,
+        }
+    }
+}
+
+/// Flat table of every contended resource in a machine.
+///
+/// Layout (contiguous ranges, in order): core issue, L1, L2, L3 link (one
+/// each per core), then L3 aggregate and DRAM (one each per socket), then
+/// one entry per interconnect link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceTable {
+    sockets: usize,
+    cores_per_socket: usize,
+    resources: Vec<Resource>,
+}
+
+impl ResourceTable {
+    /// Builds the table for a machine shape with the given capacities.
+    pub fn new(sockets: usize, cores_per_socket: usize, caps: &CapacityProfile) -> Self {
+        let total_cores = sockets * cores_per_socket;
+        let links = sockets * sockets.saturating_sub(1) / 2;
+        let mut resources = Vec::with_capacity(4 * total_cores + 2 * sockets + links);
+        for c in 0..total_cores {
+            resources.push(Resource { kind: ResourceKind::CoreIssue(CoreId(c)), capacity: caps.core_issue });
+        }
+        for c in 0..total_cores {
+            resources.push(Resource { kind: ResourceKind::L1(CoreId(c)), capacity: caps.l1_per_core });
+        }
+        for c in 0..total_cores {
+            resources.push(Resource { kind: ResourceKind::L2(CoreId(c)), capacity: caps.l2_per_core });
+        }
+        for c in 0..total_cores {
+            resources.push(Resource { kind: ResourceKind::L3Link(CoreId(c)), capacity: caps.l3_per_link });
+        }
+        for s in 0..sockets {
+            resources.push(Resource {
+                kind: ResourceKind::L3Aggregate(SocketId(s)),
+                capacity: caps.l3_aggregate,
+            });
+        }
+        for s in 0..sockets {
+            resources.push(Resource { kind: ResourceKind::Dram(SocketId(s)), capacity: caps.dram_per_socket });
+        }
+        for l in 0..links {
+            resources.push(Resource {
+                kind: ResourceKind::Interconnect(l),
+                capacity: caps.interconnect_per_link,
+            });
+        }
+        Self { sockets, cores_per_socket, resources }
+    }
+
+    /// Builds the table for a spec with capacities at nominal frequency.
+    pub fn from_spec(spec: &MachineSpec) -> Self {
+        Self::new(
+            spec.sockets,
+            spec.cores_per_socket,
+            &CapacityProfile::of_spec_at(spec, spec.turbo.nominal_ghz),
+        )
+    }
+
+    /// Number of sockets covered by the table.
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Number of cores per socket covered by the table.
+    pub fn cores_per_socket(&self) -> usize {
+        self.cores_per_socket
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// All resources in table order.
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
+    /// Number of resources in the table.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Whether the table is empty (never true for a valid machine).
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// Resource by id.
+    pub fn get(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.0]
+    }
+
+    /// Mutable capacity access (used by the simulator to apply DVFS).
+    pub fn set_capacity(&mut self, id: ResourceId, capacity: f64) {
+        self.resources[id.0].capacity = capacity;
+    }
+
+    /// Id of a core's issue resource.
+    pub fn core_issue(&self, core: CoreId) -> ResourceId {
+        ResourceId(core.0)
+    }
+
+    /// Id of a core's L1 resource.
+    pub fn l1(&self, core: CoreId) -> ResourceId {
+        ResourceId(self.total_cores() + core.0)
+    }
+
+    /// Id of a core's L2 resource.
+    pub fn l2(&self, core: CoreId) -> ResourceId {
+        ResourceId(2 * self.total_cores() + core.0)
+    }
+
+    /// Id of a core's L3 link resource.
+    pub fn l3_link(&self, core: CoreId) -> ResourceId {
+        ResourceId(3 * self.total_cores() + core.0)
+    }
+
+    /// Id of a socket's aggregate L3 resource.
+    pub fn l3_aggregate(&self, socket: SocketId) -> ResourceId {
+        ResourceId(4 * self.total_cores() + socket.0)
+    }
+
+    /// Id of a socket's DRAM resource.
+    pub fn dram(&self, socket: SocketId) -> ResourceId {
+        ResourceId(4 * self.total_cores() + self.sockets + socket.0)
+    }
+
+    /// Id of the interconnect link between two distinct sockets.
+    pub fn interconnect(&self, a: SocketId, b: SocketId) -> Option<ResourceId> {
+        if a == b || self.sockets < 2 {
+            return None;
+        }
+        let (lo, hi) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        let before: usize = (0..lo).map(|s| self.sockets - 1 - s).sum();
+        Some(ResourceId(4 * self.total_cores() + 2 * self.sockets + before + (hi - lo - 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ResourceTable {
+        ResourceTable::from_spec(&MachineSpec::x3_2())
+    }
+
+    #[test]
+    fn table_has_expected_size() {
+        let t = table();
+        // 16 cores * 4 + 2 sockets * 2 + 1 link.
+        assert_eq!(t.len(), 16 * 4 + 4 + 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn index_helpers_agree_with_kinds() {
+        let t = table();
+        for c in 0..t.total_cores() {
+            assert_eq!(t.get(t.core_issue(CoreId(c))).kind, ResourceKind::CoreIssue(CoreId(c)));
+            assert_eq!(t.get(t.l1(CoreId(c))).kind, ResourceKind::L1(CoreId(c)));
+            assert_eq!(t.get(t.l2(CoreId(c))).kind, ResourceKind::L2(CoreId(c)));
+            assert_eq!(t.get(t.l3_link(CoreId(c))).kind, ResourceKind::L3Link(CoreId(c)));
+        }
+        for s in 0..2 {
+            assert_eq!(
+                t.get(t.l3_aggregate(SocketId(s))).kind,
+                ResourceKind::L3Aggregate(SocketId(s))
+            );
+            assert_eq!(t.get(t.dram(SocketId(s))).kind, ResourceKind::Dram(SocketId(s)));
+        }
+        let link = t.interconnect(SocketId(0), SocketId(1)).unwrap();
+        assert_eq!(t.get(link).kind, ResourceKind::Interconnect(0));
+        assert!(t.interconnect(SocketId(0), SocketId(0)).is_none());
+    }
+
+    #[test]
+    fn four_socket_interconnect_indices_unique_and_symmetric() {
+        let t = ResourceTable::from_spec(&MachineSpec::x2_4());
+        let mut ids = Vec::new();
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                let id = t.interconnect(SocketId(a), SocketId(b)).unwrap();
+                assert_eq!(id, t.interconnect(SocketId(b), SocketId(a)).unwrap());
+                ids.push(id.0);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 6);
+        // All ids are interconnect-kind entries.
+        for &i in &ids {
+            assert!(matches!(t.get(ResourceId(i)).kind, ResourceKind::Interconnect(_)));
+        }
+    }
+
+    #[test]
+    fn toy_machine_matches_figure_3() {
+        let t = ResourceTable::from_spec(&MachineSpec::toy());
+        assert_eq!(t.get(t.core_issue(CoreId(0))).capacity, 10.0);
+        assert_eq!(t.get(t.dram(SocketId(0))).capacity, 100.0);
+        assert_eq!(t.get(t.interconnect(SocketId(0), SocketId(1)).unwrap()).capacity, 50.0);
+    }
+
+    #[test]
+    fn frequency_scales_core_clocked_capacities_only() {
+        let spec = MachineSpec::x5_2();
+        let nominal = CapacityProfile::of_spec_at(&spec, 2.3);
+        let boosted = CapacityProfile::of_spec_at(&spec, 3.6);
+        assert!(boosted.core_issue > nominal.core_issue);
+        assert!(boosted.l1_per_core > nominal.l1_per_core);
+        assert_eq!(boosted.dram_per_socket, nominal.dram_per_socket);
+        assert_eq!(boosted.interconnect_per_link, nominal.interconnect_per_link);
+        let ratio = boosted.core_issue / nominal.core_issue;
+        assert!((ratio - 3.6 / 2.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let t = table();
+        let mut labels: Vec<String> = t.resources().iter().map(|r| r.kind.label()).collect();
+        let before = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), before);
+    }
+}

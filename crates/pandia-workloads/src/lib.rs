@@ -1,0 +1,29 @@
+//! Behavioral specifications of the paper's evaluation workloads.
+//!
+//! The paper evaluates Pandia on 22 workloads: the NAS parallel benchmarks
+//! (NPB), SPEC OMP workloads, in-memory graph analytics (PageRank over
+//! Callisto-RTS), and main-memory hash-join operators from Balkesen et
+//! al. — split into a 4-workload *development* set studied while building
+//! Pandia (BT, CG, IS, MD) and an 18-workload *evaluation* set (§6).
+//!
+//! We do not ship the benchmark binaries; we ship their *behaviors*: each
+//! entry parameterizes the ground-truth simulator with the workload's
+//! externally observable characteristics — instruction and memory-
+//! bandwidth intensity, working-set size, burstiness, scheduling
+//! discipline, communication intensity, and critical-section density —
+//! chosen to reflect the qualitative classes the paper reports (EP scales
+//! near-perfectly, Swim/CG are bandwidth-bound, FT communicates heavily,
+//! Sort-Join requires AVX and peaks below the maximum thread count on
+//! large machines, equake violates the fixed-work assumption, and so on).
+//!
+//! Nothing in this crate is visible to Pandia: the library only ever
+//! observes these workloads through platform runs.
+
+pub mod generator;
+pub mod registry;
+
+pub use generator::{generate, generate_batch, Archetype};
+pub use registry::{
+    all_workloads, by_name, development_set, equake, evaluation_set, npo_single_threaded,
+    paper_suite, EvalSet, Suite, WorkloadEntry,
+};

@@ -1,0 +1,669 @@
+//! The workload registry: 22 paper workloads plus the two special cases
+//! of §6.3 (equake and single-threaded NPO).
+
+use pandia_sim::{Behavior, BurstProfile, Scheduling, UnitDemand};
+use pandia_topology::DataPlacement;
+
+/// Benchmark suite a workload comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// NAS parallel benchmarks.
+    Npb,
+    /// SPEC OMP workloads.
+    SpecOmp,
+    /// In-memory graph analytics (Callisto-RTS).
+    Graph,
+    /// Main-memory join operators (Balkesen et al.).
+    Join,
+    /// Additional experiments from §6.3.
+    Extra,
+}
+
+/// Whether a workload belongs to the development or evaluation set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvalSet {
+    /// Studied in detail while developing Pandia (BT, CG, IS, MD).
+    Development,
+    /// Added purely for evaluation.
+    Evaluation,
+    /// §6.3 special cases outside the 22-workload suite.
+    Extra,
+}
+
+/// One registered workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadEntry {
+    /// Short name as used in the paper's figures.
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: Suite,
+    /// Development/evaluation split.
+    pub set: EvalSet,
+    /// One-line description (matches the figure captions).
+    pub description: &'static str,
+    /// The ground-truth behavior driving the simulator.
+    pub behavior: Behavior,
+}
+
+/// Compact constructor for workload behaviors.
+#[expect(clippy::too_many_arguments)]
+fn behavior(
+    name: &str,
+    total_work: f64,
+    seq: f64,
+    demand: UnitDemand,
+    ws_mib: f64,
+    burst: BurstProfile,
+    dynamic_fraction: f64,
+    comm: f64,
+    data: DataPlacement,
+) -> Behavior {
+    Behavior {
+        name: name.to_string(),
+        total_work,
+        seq_fraction: seq,
+        demand,
+        working_set_mib: ws_mib,
+        burst,
+        scheduling: match dynamic_fraction {
+            f if f <= 0.0 => Scheduling::Static,
+            f if f >= 1.0 => Scheduling::Dynamic,
+            f => Scheduling::Partial { dynamic_fraction: f },
+        },
+        comm_factor: comm,
+        intra_socket_comm: 0.08,
+        data_placement: data,
+        growth_per_thread: 0.0,
+        active_threads: None,
+        requires_avx: false,
+    }
+}
+
+fn d(instr: f64, l1: f64, l2: f64, l3: f64, dram: f64) -> UnitDemand {
+    UnitDemand { instr, l1, l2, l3, dram }
+}
+
+/// The full 22-workload suite of §6, development set first.
+pub fn paper_suite() -> Vec<WorkloadEntry> {
+    // The paper controls memory placement with numactl during profiling
+    // (§3.1) and its worked example measures DRAM demand "to each socket"
+    // — i.e. interleaved data. The suite follows that methodology; the
+    // Figure 13a experiment (NPO-1T) keeps first-touch placement to probe
+    // memory-placement sensitivity.
+    use DataPlacement::Interleave;
+    let e = |name, suite, set, description, behavior| WorkloadEntry {
+        name,
+        suite,
+        set,
+        description,
+        behavior,
+    };
+    vec![
+        // --- Development set (studied while building Pandia). ---
+        e(
+            "BT",
+            Suite::Npb,
+            EvalSet::Development,
+            "Block tri-diagonal solver (NPB)",
+            behavior(
+                "BT",
+                45.0,
+                0.005,
+                d(6.5, 30.0, 8.0, 3.0, 2.5),
+                40.0,
+                BurstProfile::bursty(0.8, 1.2),
+                0.2,
+                0.002,
+                Interleave,
+            ),
+        ),
+        e(
+            "CG",
+            Suite::Npb,
+            EvalSet::Development,
+            "Conjugate gradient (NPB)",
+            behavior(
+                "CG",
+                35.0,
+                0.008,
+                d(2.2, 18.0, 8.0, 6.0, 7.5),
+                120.0,
+                BurstProfile::bursty(0.6, 1.3),
+                0.3,
+                0.005,
+                Interleave,
+            ),
+        ),
+        e(
+            "IS",
+            Suite::Npb,
+            EvalSet::Development,
+            "Integer sort (NPB)",
+            behavior(
+                "IS",
+                20.0,
+                0.010,
+                d(1.8, 14.0, 6.0, 5.0, 9.0),
+                200.0,
+                BurstProfile::bursty(0.45, 1.7),
+                0.5,
+                0.004,
+                Interleave,
+            ),
+        ),
+        e(
+            "MD",
+            Suite::SpecOmp,
+            EvalSet::Development,
+            "Molecular dynamics simulation",
+            behavior(
+                "MD",
+                50.0,
+                0.004,
+                d(7.5, 35.0, 6.0, 2.0, 1.2),
+                15.0,
+                BurstProfile::bursty(0.85, 1.1),
+                0.25,
+                0.006,
+                Interleave,
+            ),
+        ),
+        // --- Evaluation set. ---
+        e(
+            "Applu",
+            Suite::SpecOmp,
+            EvalSet::Evaluation,
+            "Parabolic/elliptic PDE solver (OMP)",
+            behavior(
+                "Applu",
+                40.0,
+                0.006,
+                d(5.0, 26.0, 9.0, 3.5, 4.0),
+                80.0,
+                BurstProfile::bursty(0.75, 1.25),
+                0.1,
+                0.003,
+                Interleave,
+            ),
+        ),
+        e(
+            "Apsi",
+            Suite::SpecOmp,
+            EvalSet::Evaluation,
+            "Meteorology: pollutant distribution (OMP)",
+            behavior(
+                "Apsi",
+                38.0,
+                0.010,
+                d(4.5, 22.0, 7.0, 2.5, 3.0),
+                60.0,
+                BurstProfile::bursty(0.8, 1.2),
+                0.2,
+                0.002,
+                Interleave,
+            ),
+        ),
+        e(
+            "Art",
+            Suite::SpecOmp,
+            EvalSet::Evaluation,
+            "Neural network simulation (OMP)",
+            behavior(
+                "Art",
+                30.0,
+                0.005,
+                d(3.8, 20.0, 12.0, 8.0, 2.0),
+                30.0,
+                BurstProfile::bursty(0.7, 1.3),
+                0.4,
+                0.002,
+                Interleave,
+            ),
+        ),
+        e(
+            "Bwaves",
+            Suite::SpecOmp,
+            EvalSet::Evaluation,
+            "Blast wave simulation (OMP)",
+            behavior(
+                "Bwaves",
+                42.0,
+                0.004,
+                d(3.0, 16.0, 7.0, 5.0, 8.5),
+                250.0,
+                BurstProfile::bursty(0.8, 1.15),
+                0.15,
+                0.003,
+                Interleave,
+            ),
+        ),
+        e(
+            "EP",
+            Suite::Npb,
+            EvalSet::Evaluation,
+            "Embarrassingly parallel (NPB)",
+            behavior(
+                "EP",
+                30.0,
+                0.001,
+                d(8.0, 20.0, 1.0, 0.1, 0.05),
+                0.5,
+                BurstProfile::SMOOTH,
+                1.0,
+                0.0002,
+                Interleave,
+            ),
+        ),
+        e(
+            "FMA-3D",
+            Suite::SpecOmp,
+            EvalSet::Evaluation,
+            "Finite-element crash simulation (OMP)",
+            behavior(
+                "FMA-3D",
+                48.0,
+                0.012,
+                d(5.5, 24.0, 8.0, 3.0, 3.5),
+                90.0,
+                BurstProfile::bursty(0.7, 1.3),
+                0.3,
+                0.004,
+                Interleave,
+            ),
+        ),
+        e(
+            "FT",
+            Suite::Npb,
+            EvalSet::Evaluation,
+            "Discrete 3D fast Fourier transform (NPB)",
+            behavior(
+                "FT",
+                36.0,
+                0.006,
+                d(3.5, 18.0, 8.0, 5.0, 6.5),
+                180.0,
+                BurstProfile::bursty(0.55, 1.5),
+                0.4,
+                0.009,
+                Interleave,
+            ),
+        ),
+        e(
+            "LU",
+            Suite::Npb,
+            EvalSet::Evaluation,
+            "Lower-upper Gauss-Seidel solver (NPB)",
+            behavior(
+                "LU",
+                44.0,
+                0.008,
+                d(5.8, 28.0, 9.0, 3.5, 3.8),
+                70.0,
+                BurstProfile::bursty(0.75, 1.2),
+                0.1,
+                0.004,
+                Interleave,
+            ),
+        ),
+        e(
+            "MG",
+            Suite::Npb,
+            EvalSet::Evaluation,
+            "Multi-grid on a sequence of meshes (NPB)",
+            behavior(
+                "MG",
+                32.0,
+                0.007,
+                d(3.2, 17.0, 8.0, 5.5, 7.0),
+                150.0,
+                BurstProfile::bursty(0.65, 1.3),
+                0.2,
+                0.006,
+                Interleave,
+            ),
+        ),
+        e(
+            "NPO",
+            Suite::Join,
+            EvalSet::Evaluation,
+            "No partitioning, optimized hash join",
+            behavior(
+                "NPO",
+                25.0,
+                0.015,
+                d(2.5, 15.0, 7.0, 7.0, 8.0),
+                300.0,
+                BurstProfile::bursty(0.6, 1.3),
+                0.9,
+                0.002,
+                Interleave,
+            ),
+        ),
+        e(
+            "PRH",
+            Suite::Join,
+            EvalSet::Evaluation,
+            "Parallel radix histogram hash join",
+            behavior(
+                "PRH",
+                26.0,
+                0.020,
+                d(3.0, 16.0, 7.0, 6.0, 7.5),
+                250.0,
+                BurstProfile::bursty(0.5, 1.6),
+                0.8,
+                0.003,
+                Interleave,
+            ),
+        ),
+        e(
+            "PRHO",
+            Suite::Join,
+            EvalSet::Evaluation,
+            "Parallel radix histogram optimized hash join",
+            behavior(
+                "PRHO",
+                24.0,
+                0.015,
+                d(3.2, 17.0, 7.5, 6.0, 7.0),
+                250.0,
+                BurstProfile::bursty(0.5, 1.55),
+                0.85,
+                0.003,
+                Interleave,
+            ),
+        ),
+        e(
+            "PRO",
+            Suite::Join,
+            EvalSet::Evaluation,
+            "Parallel radix optimized hash join",
+            behavior(
+                "PRO",
+                24.0,
+                0.012,
+                d(3.4, 18.0, 8.0, 5.5, 6.5),
+                220.0,
+                BurstProfile::bursty(0.55, 1.5),
+                0.85,
+                0.003,
+                Interleave,
+            ),
+        ),
+        e(
+            "PageRank",
+            Suite::Graph,
+            EvalSet::Evaluation,
+            "In-memory parallel PageRank (Callisto-RTS)",
+            behavior(
+                "PageRank",
+                34.0,
+                0.003,
+                d(2.0, 14.0, 7.0, 8.0, 8.5),
+                400.0,
+                BurstProfile::bursty(0.6, 1.4),
+                1.0,
+                0.005,
+                Interleave,
+            ),
+        ),
+        e(
+            "Sort-Join",
+            Suite::Join,
+            EvalSet::Evaluation,
+            "In-memory sort-join (AVX)",
+            {
+                let mut b = behavior(
+                    "Sort-Join",
+                    28.0,
+                    0.010,
+                    d(8.5, 60.0, 15.0, 5.0, 5.5),
+                    200.0,
+                    BurstProfile::bursty(0.7, 1.3),
+                    0.9,
+                    0.003,
+                    Interleave,
+                );
+                b.requires_avx = true;
+                b
+            },
+        ),
+        e(
+            "SP",
+            Suite::Npb,
+            EvalSet::Evaluation,
+            "Scalar penta-diagonal solver (NPB)",
+            behavior(
+                "SP",
+                40.0,
+                0.006,
+                d(4.8, 24.0, 9.0, 4.0, 5.0),
+                100.0,
+                BurstProfile::bursty(0.7, 1.3),
+                0.15,
+                0.004,
+                Interleave,
+            ),
+        ),
+        e(
+            "Swim",
+            Suite::SpecOmp,
+            EvalSet::Evaluation,
+            "Shallow water modeling (OMP)",
+            behavior(
+                "Swim",
+                35.0,
+                0.003,
+                d(2.4, 15.0, 8.0, 6.0, 9.5),
+                350.0,
+                BurstProfile::bursty(0.8, 1.2),
+                0.2,
+                0.002,
+                Interleave,
+            ),
+        ),
+        e(
+            "Wupwise",
+            Suite::SpecOmp,
+            EvalSet::Evaluation,
+            "Wuppertal Wilson fermion solver (OMP)",
+            behavior(
+                "Wupwise",
+                46.0,
+                0.005,
+                d(6.0, 28.0, 8.0, 2.5, 3.0),
+                50.0,
+                BurstProfile::bursty(0.8, 1.2),
+                0.35,
+                0.003,
+                Interleave,
+            ),
+        ),
+    ]
+}
+
+/// Equake: a reduction step grows the total work with the thread count,
+/// violating the fixed-work assumption (§6.3, Figure 13b-c).
+pub fn equake() -> WorkloadEntry {
+    let mut b = behavior(
+        "equake",
+        38.0,
+        0.010,
+        d(4.0, 20.0, 8.0, 3.0, 3.5),
+        80.0,
+        BurstProfile::bursty(0.75, 1.25),
+        0.3,
+        0.003,
+        DataPlacement::Interleave,
+    );
+    b.growth_per_thread = 0.04;
+    WorkloadEntry {
+        name: "equake",
+        suite: Suite::Extra,
+        set: EvalSet::Extra,
+        description: "Earthquake simulation with a growing reduction step (OMP)",
+        behavior: b,
+    }
+}
+
+/// Single-threaded NPO: one thread is active, the others stay idle after
+/// initialization (§6.3, Figure 13a).
+pub fn npo_single_threaded() -> WorkloadEntry {
+    let base = paper_suite().into_iter().find(|w| w.name == "NPO").expect("NPO registered");
+    let mut b = base.behavior;
+    b.name = "NPO-1T".into();
+    b.active_threads = Some(1);
+    b.data_placement = DataPlacement::FirstTouch;
+    WorkloadEntry {
+        name: "NPO-1T",
+        suite: Suite::Extra,
+        set: EvalSet::Extra,
+        description: "NPO hash join with a single active thread",
+        behavior: b,
+    }
+}
+
+/// All workloads including the §6.3 extras.
+pub fn all_workloads() -> Vec<WorkloadEntry> {
+    let mut v = paper_suite();
+    v.push(equake());
+    v.push(npo_single_threaded());
+    v
+}
+
+/// The four development workloads.
+pub fn development_set() -> Vec<WorkloadEntry> {
+    paper_suite().into_iter().filter(|w| w.set == EvalSet::Development).collect()
+}
+
+/// The eighteen evaluation workloads.
+pub fn evaluation_set() -> Vec<WorkloadEntry> {
+    paper_suite().into_iter().filter(|w| w.set == EvalSet::Evaluation).collect()
+}
+
+/// Looks up a workload by its figure name (case-insensitive).
+pub fn by_name(name: &str) -> Option<WorkloadEntry> {
+    all_workloads().into_iter().find(|w| w.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandia_topology::MachineSpec;
+
+    #[test]
+    fn suite_has_exactly_22_workloads() {
+        assert_eq!(paper_suite().len(), 22);
+        assert_eq!(development_set().len(), 4);
+        assert_eq!(evaluation_set().len(), 18);
+        assert_eq!(all_workloads().len(), 24);
+    }
+
+    #[test]
+    fn development_set_matches_paper() {
+        let names: Vec<&str> = development_set().iter().map(|w| w.name).collect();
+        assert_eq!(names, vec!["BT", "CG", "IS", "MD"]);
+    }
+
+    #[test]
+    fn names_are_unique_and_behaviors_valid() {
+        let all = all_workloads();
+        let mut names: Vec<&str> = all.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate workload names");
+        for w in &all {
+            w.behavior.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_eq!(w.behavior.name, w.name);
+        }
+    }
+
+    #[test]
+    fn behaviors_are_distinct() {
+        // NPO-1T intentionally shares NPO's demands; compare the paper
+        // suite only.
+        let all = paper_suite();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.behavior.demand, b.behavior.demand, "{} vs {}", a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn sort_join_requires_avx_and_only_sort_join() {
+        for w in all_workloads() {
+            assert_eq!(w.behavior.requires_avx, w.name == "Sort-Join", "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn equake_violates_fixed_work_assumption() {
+        let e = equake();
+        assert!(e.behavior.growth_per_thread > 0.0);
+        assert!(e.behavior.work_for_threads(36) > 2.0 * e.behavior.total_work);
+        // Every paper-suite workload keeps total work constant.
+        for w in paper_suite() {
+            assert_eq!(w.behavior.growth_per_thread, 0.0, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn npo_1t_has_one_active_thread() {
+        let w = npo_single_threaded();
+        assert_eq!(w.behavior.active_threads, Some(1));
+        assert_eq!(w.behavior.workers_of(16), 1);
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert!(by_name("swim").is_some());
+        assert!(by_name("SWIM").is_some());
+        assert!(by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn solo_demands_fit_the_smallest_evaluated_machine() {
+        // Every workload must be runnable by one thread without exceeding
+        // per-core capacities on the machines it runs on (otherwise the
+        // "solo demand" framing is meaningless).
+        for spec in MachineSpec::evaluation_machines() {
+            for w in all_workloads() {
+                if w.behavior.requires_avx && !spec.has_avx {
+                    continue;
+                }
+                let demand = &w.behavior.demand;
+                assert!(
+                    demand.instr <= spec.core_ipc_rate * 1.0,
+                    "{} instruction demand {} exceeds a core of {}",
+                    w.name,
+                    demand.instr,
+                    spec.name
+                );
+                assert!(demand.l1 <= spec.l1_bw_per_core, "{} L1 on {}", w.name, spec.name);
+                assert!(
+                    demand.dram <= spec.dram_bw_per_socket,
+                    "{} DRAM on {}",
+                    w.name,
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_bound_and_compute_bound_classes_exist() {
+        // The suite must span the contention spectrum for the evaluation
+        // to be meaningful.
+        let all = paper_suite();
+        let bandwidth_bound =
+            all.iter().filter(|w| w.behavior.demand.dram >= 7.0).count();
+        let compute_bound = all
+            .iter()
+            .filter(|w| w.behavior.demand.instr >= 6.0 && w.behavior.demand.dram <= 3.0)
+            .count();
+        assert!(bandwidth_bound >= 5, "bandwidth-bound workloads: {bandwidth_bound}");
+        assert!(compute_bound >= 3, "compute-bound workloads: {compute_bound}");
+    }
+}

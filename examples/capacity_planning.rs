@@ -1,0 +1,57 @@
+//! Capacity planning: how many resources does a workload actually need?
+//!
+//! The paper's introduction motivates using Pandia "to identify
+//! opportunities for reducing resource consumption where additional
+//! resources are not matched by additional performance — for instance,
+//! limiting a workload to a small number of cores when its scaling is
+//! poor." This example asks, for several workloads: what is the smallest
+//! placement predicted to stay within 95% (and 80%) of peak performance?
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use pandia::prelude::*;
+
+fn main() -> Result<(), PandiaError> {
+    let mut machine = SimMachine::new(MachineSpec::x5_2());
+    let description = describe_machine(&mut machine)?;
+    let candidates = PlacementEnumerator::new(&description).all();
+    let config = PredictorConfig::default();
+
+    println!(
+        "{:<10} {:>5} {:>22} {:>22}",
+        "workload", "peak", "95%-of-peak needs", "80%-of-peak needs"
+    );
+    for name in ["EP", "CG", "Swim", "PageRank", "Sort-Join", "MD"] {
+        let workload = by_name(name).expect("registered workload");
+        let profiler = WorkloadProfiler::new(&description);
+        let wd = profiler.profile(&mut machine, &workload.behavior, workload.name)?.description;
+        let report = placement_report(&description, &wd, &candidates, &config)?;
+        let best = report.best().expect("non-empty candidates");
+        let row = |fraction: f64| -> String {
+            match report.resource_saving(fraction) {
+                Some(o) => format!(
+                    "{} thr / {} cores / {} skt",
+                    o.n_threads,
+                    o.placement.cores_used(),
+                    o.placement.sockets_used()
+                ),
+                None => "-".to_string(),
+            }
+        };
+        println!(
+            "{:<10} {:>4}t {:>22} {:>22}",
+            name,
+            best.n_threads,
+            row(0.95),
+            row(0.80)
+        );
+    }
+    println!(
+        "\nBandwidth-bound workloads saturate a socket's memory channels with a handful of\n\
+         threads: most of the machine can be reclaimed at almost no cost. Compute-bound\n\
+         workloads (EP) genuinely need every core."
+    );
+    Ok(())
+}

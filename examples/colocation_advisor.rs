@@ -1,0 +1,60 @@
+//! Placement advisor: sockets or not? SMT or not?
+//!
+//! For each workload this example derives the §1 decisions from a single
+//! profiling pass: whether the workload benefits from spanning multiple
+//! processor sockets, whether it benefits from using both SMT slots per
+//! core, and what the resource-saving allocation is.
+//!
+//! ```sh
+//! cargo run --release --example colocation_advisor [machine]
+//! ```
+
+use pandia::core::Recommendation;
+use pandia::prelude::*;
+
+fn main() -> Result<(), PandiaError> {
+    let machine_name = std::env::args().nth(1).unwrap_or_else(|| "x4-2".into());
+    let spec = match machine_name.as_str() {
+        "x5-2" => MachineSpec::x5_2(),
+        "x3-2" => MachineSpec::x3_2(),
+        "x2-4" => MachineSpec::x2_4(),
+        _ => MachineSpec::x4_2(),
+    };
+    let mut machine = SimMachine::new(spec);
+    let description = describe_machine(&mut machine)?;
+    println!("advising placements on {}\n", description.machine);
+    let candidates = PlacementEnumerator::new(&description).all();
+
+    println!(
+        "{:<10} {:>14} {:>8} {:>6} {:>24}",
+        "workload", "best placement", "sockets", "SMT", "resource-saving (95%)"
+    );
+    for entry in paper_suite() {
+        if entry.behavior.requires_avx && !machine.spec().has_avx {
+            continue;
+        }
+        let profiler = WorkloadProfiler::new(&description);
+        let wd = profiler.profile(&mut machine, &entry.behavior, entry.name)?.description;
+        let rec = Recommendation::analyze(
+            &description,
+            &wd,
+            &candidates,
+            0.95,
+            &PredictorConfig::default(),
+        )?;
+        let saving = rec
+            .resource_saving
+            .as_ref()
+            .map(|o| format!("{} threads on {} cores", o.n_threads, o.placement.cores_used()))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<10} {:>13}t {:>8} {:>6} {:>24}",
+            entry.name,
+            rec.best.n_threads,
+            if rec.use_multiple_sockets { "both" } else { "one" },
+            if rec.use_smt { "yes" } else { "no" },
+            saving
+        );
+    }
+    Ok(())
+}

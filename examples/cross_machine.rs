@@ -1,0 +1,70 @@
+//! Cross-machine portability: profile once, predict elsewhere.
+//!
+//! The paper observes (§4, §6.1) that workload descriptions remain useful
+//! across broadly similar machines. This example profiles workloads on a
+//! Sandy Bridge X3-2 and uses the descriptions to choose placements on a
+//! Haswell X5-2 — then checks how good those choices actually are on the
+//! target machine.
+//!
+//! ```sh
+//! cargo run --release --example cross_machine
+//! ```
+
+use pandia::prelude::*;
+
+fn main() -> Result<(), PandiaError> {
+    // Profile on the source machine.
+    let mut source = SimMachine::new(MachineSpec::x3_2());
+    let source_desc = describe_machine(&mut source)?;
+
+    // Predict and verify on the target machine.
+    let mut target = SimMachine::new(MachineSpec::x5_2());
+    let target_desc = describe_machine(&mut target)?;
+    let candidates = PlacementEnumerator::new(&target_desc).all();
+    let config = PredictorConfig::default();
+
+    println!(
+        "profiled on {}, placing on {}\n",
+        source_desc.machine, target_desc.machine
+    );
+    println!(
+        "{:<10} {:>16} {:>12} {:>14}",
+        "workload", "chosen threads", "measured", "vs target-best"
+    );
+    for name in ["CG", "EP", "Swim", "FT", "MD"] {
+        let entry = by_name(name).expect("registered");
+        let profiler = WorkloadProfiler::new(&source_desc);
+        let ported = profiler
+            .profile(&mut source, &entry.behavior, entry.name)?
+            .description
+            .retarget_sockets(target_desc.shape.sockets);
+
+        let choice = best_placement(&target_desc, &ported, &candidates, &config)?;
+        let shape = target_desc.shape;
+        let t_choice = target
+            .run(&RunRequest::new(
+                entry.behavior.clone(),
+                choice.placement.instantiate(&shape)?,
+            ))?
+            .elapsed;
+
+        // Ground truth: the actual best over a placement sample.
+        let sample = PlacementEnumerator::new(&target_desc).sampled(&shape, 8);
+        let mut best = f64::INFINITY;
+        for canon in &sample {
+            let t = target
+                .run(&RunRequest::new(entry.behavior.clone(), canon.instantiate(&shape)?))?
+                .elapsed;
+            best = best.min(t);
+        }
+        println!(
+            "{:<10} {:>15}t {:>11.2}s {:>+13.1}%",
+            name,
+            choice.n_threads,
+            t_choice,
+            100.0 * (t_choice - best) / best
+        );
+    }
+    println!("\nDescriptions transfer imperfectly but still make useful decisions (§6.1).");
+    Ok(())
+}

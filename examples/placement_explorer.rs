@@ -1,0 +1,48 @@
+//! Placement explorer: a terminal rendition of the paper's Figure 1 for
+//! any workload and machine — measured vs predicted performance across
+//! the placement space.
+//!
+//! ```sh
+//! cargo run --release --example placement_explorer [workload] [machine]
+//! ```
+
+use pandia::harness::{
+    experiments::curves, metrics, report, MachineContext,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload_name = std::env::args().nth(1).unwrap_or_else(|| "MD".into());
+    let machine_name = std::env::args().nth(2).unwrap_or_else(|| "x3-2".into());
+
+    let mut ctx = MachineContext::by_name(&machine_name)?;
+    let workload = pandia::workloads::by_name(&workload_name)
+        .unwrap_or_else(|| panic!("unknown workload '{workload_name}'"));
+    let placements = ctx.enumerator().sampled(&ctx.spec, 12);
+    eprintln!(
+        "{} on {}: measuring + predicting {} placements...",
+        workload.name,
+        ctx.description.machine,
+        placements.len()
+    );
+
+    let curve = curves::workload_curve(&mut ctx, &workload, &placements)?;
+    println!("{}", report::ascii_curve(&curve, 110, 24));
+
+    let stats = metrics::error_stats(&curve);
+    let gap = metrics::best_placement_gap(&curve);
+    let best_measured = curve.measured_best_placement().expect("non-empty curve");
+    let best_predicted = curve.predicted_best_placement().expect("non-empty curve");
+    println!(
+        "prediction error: mean {:.2}%, median {:.2}% (offset median {:.2}%)",
+        stats.mean_error_pct, stats.median_error_pct, stats.median_offset_error_pct
+    );
+    println!(
+        "fastest measured:  {} ({} threads, {:.2}s)",
+        best_measured.placement, best_measured.n_threads, best_measured.measured
+    );
+    println!(
+        "fastest predicted: {} ({} threads) — actually measures {:.2}s ({:+.2}% vs best)",
+        best_predicted.placement, best_predicted.n_threads, best_predicted.measured, gap
+    );
+    Ok(())
+}

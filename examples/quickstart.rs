@@ -1,0 +1,72 @@
+//! Quickstart: describe a machine, profile a workload, predict the best
+//! placement, and verify the choice against the (simulated) ground truth.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pandia::prelude::*;
+
+fn main() -> Result<(), PandiaError> {
+    // The platform: a simulated 2-socket Haswell (X5-2, 72 hardware
+    // threads). On real hardware this would be a perf-events-backed
+    // implementation of the same `Platform` trait.
+    let mut machine = SimMachine::new(MachineSpec::x5_2());
+
+    // Step 1 (paper §3): build the machine description by running stress
+    // kernels and reading counters.
+    let description = describe_machine(&mut machine)?;
+    println!("machine: {}", description.machine);
+    println!(
+        "  measured: core {:.1} Gips, L3 {:.0}/link {:.0}/socket GB/s, DRAM {:.0} GB/s, \
+         interconnect {:.0} GB/s, SMT x{:.2}",
+        description.capacities.core_issue,
+        description.capacities.l3_per_link,
+        description.capacities.l3_aggregate,
+        description.capacities.dram_per_socket,
+        description.capacities.interconnect_per_link,
+        description.smt_coschedule_factor,
+    );
+
+    // Step 2 (paper §4): profile the CG benchmark with the six runs.
+    let workload = by_name("CG").expect("CG is in the registry");
+    let profiler = WorkloadProfiler::new(&description);
+    let profile = profiler.profile(&mut machine, &workload.behavior, workload.name)?;
+    let wd = &profile.description;
+    println!("\nworkload: {} ({})", workload.name, workload.description);
+    println!(
+        "  t1 = {:.1}s, p = {:.4}, os = {:.5}, l = {:.2}, b = {:.3}",
+        wd.t1, wd.parallel_fraction, wd.inter_socket_overhead, wd.load_balance, wd.burstiness
+    );
+    for run in &profile.runs {
+        println!("  run {}: {:<40} r = {:.4}", run.run, run.label, run.relative);
+    }
+
+    // Step 3 (paper §5): predict over every distinct placement and pick
+    // the best — no further measurements needed.
+    let candidates = PlacementEnumerator::new(&description).all();
+    println!("\npredicting {} candidate placements...", candidates.len());
+    let best = best_placement(&description, wd, &candidates, &PredictorConfig::default())?;
+    println!(
+        "best predicted: {} with {} threads, predicted speedup {:.2}",
+        best.placement, best.n_threads, best.speedup
+    );
+
+    // Verify: run the predicted-best placement and the naive
+    // every-hardware-thread placement for comparison.
+    let shape = description.shape();
+    let chosen = best.placement.instantiate(&shape)?;
+    let t_chosen = machine
+        .run(&RunRequest::new(workload.behavior.clone(), chosen))?
+        .elapsed;
+    let full = Placement::packed(&shape, shape.total_contexts())?;
+    let t_full = machine.run(&RunRequest::new(workload.behavior.clone(), full))?.elapsed;
+    println!("\nmeasured: chosen placement {t_chosen:.2}s vs all-72-threads {t_full:.2}s");
+    if t_chosen < t_full {
+        println!(
+            "Pandia's placement is {:.1}% faster than naively using the whole machine.",
+            100.0 * (t_full - t_chosen) / t_full
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Rack-scale scheduling: placing a queue of jobs across machines.
+//!
+//! The paper's final ambition (§8) is to move "from scheduling a single
+//! workload on a single machine to the scheduling of multiple workloads on
+//! a rack-scale system". This example owns a small rack — one Haswell
+//! X5-2 and one Sandy Bridge X3-2 — profiles a queue of four jobs on each
+//! machine, asks the fleet scheduler for an assignment, and verifies the
+//! schedule by running every machine's jobs concurrently on the simulator.
+//!
+//! ```sh
+//! cargo run --release --example rack_scheduler
+//! ```
+
+use pandia::prelude::*;
+
+fn main() -> Result<(), PandiaError> {
+    // The rack: two machines with their own descriptions.
+    let mut machines =
+        [SimMachine::new(MachineSpec::x5_2()), SimMachine::new(MachineSpec::x3_2())];
+    let descriptions: Vec<MachineDescription> =
+        machines.iter_mut().map(describe_machine).collect::<Result<_, _>>()?;
+
+    // The queue: heavy and light, bandwidth- and compute-bound.
+    let queue = ["CG", "EP", "Swim", "MD"];
+    println!("scheduling {queue:?} over:");
+    for d in &descriptions {
+        println!("  {}", d.machine);
+    }
+
+    // Profile every job on every machine (descriptions are per-machine,
+    // §4: "ideally it will be regenerated when moving to different
+    // hardware").
+    let mut per_machine: Vec<Vec<WorkloadDescription>> = Vec::new();
+    for (machine, description) in machines.iter_mut().zip(&descriptions) {
+        let profiler = WorkloadProfiler::new(description);
+        let descs: Result<Vec<_>, _> = queue
+            .iter()
+            .map(|name| {
+                let entry = by_name(name).expect("registered workload");
+                profiler
+                    .profile(machine, &entry.behavior, entry.name)
+                    .map(|r| r.description)
+            })
+            .collect();
+        per_machine.push(descs?);
+    }
+
+    // Schedule.
+    let job_refs: Vec<&WorkloadDescription> = per_machine[0].iter().collect();
+    let schedule = FleetScheduler::new(&descriptions).schedule_with(&job_refs, &per_machine)?;
+    println!("\nassignments (predicted makespan {:.2}s):", schedule.makespan);
+    for a in &schedule.assignments {
+        println!(
+            "  {:<6} -> {:<22} {:>2} threads, predicted {:.2}s",
+            a.workload, a.machine, a.n_threads, a.predicted_time
+        );
+    }
+
+    // Verify: run each machine's share concurrently on the ground truth.
+    println!("\nverifying against the simulator:");
+    let mut measured_makespan = 0.0_f64;
+    for (m, machine) in machines.iter_mut().enumerate() {
+        let jobs: Vec<(Behavior, Placement)> = schedule
+            .assignments
+            .iter()
+            .zip(&schedule.placements)
+            .filter(|(a, _)| a.machine_index == m)
+            .map(|(a, p)| (by_name(&a.workload).unwrap().behavior, p.clone()))
+            .collect();
+        if jobs.is_empty() {
+            continue;
+        }
+        let names: Vec<String> = schedule
+            .assignments
+            .iter()
+            .filter(|a| a.machine_index == m)
+            .map(|a| a.workload.clone())
+            .collect();
+        let results = machine.run_multi(&MultiRunRequest::new(jobs)).map_err(PandiaError::from)?;
+        for (name, result) in names.iter().zip(&results) {
+            println!("  {:<6} on {:<22} measured {:.2}s", name, descriptions[m].machine, result.elapsed);
+            measured_makespan = measured_makespan.max(result.elapsed);
+        }
+    }
+    println!(
+        "\nmeasured rack makespan {measured_makespan:.2}s vs predicted {:.2}s ({:+.1}%)",
+        schedule.makespan,
+        100.0 * (schedule.makespan - measured_makespan) / measured_makespan
+    );
+    Ok(())
+}

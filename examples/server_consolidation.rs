@@ -1,0 +1,84 @@
+//! Server consolidation: co-scheduling two analytics jobs on one machine.
+//!
+//! The paper closes with this exact ambition (§8): "We believe Pandia's
+//! prediction of resource consumption as well as overall workload
+//! performance will let us handle cases with multiple workloads sharing a
+//! machine." This example profiles a bandwidth-bound job (Swim) and a
+//! compute-bound job (EP), asks the co-scheduler for a joint placement,
+//! and verifies the decision against the simulated ground truth —
+//! including the naive alternative of giving each job one socket.
+//!
+//! ```sh
+//! cargo run --release --example server_consolidation
+//! ```
+
+use pandia::core::{CoScheduler, Objective};
+use pandia::prelude::*;
+use pandia::topology::MultiRunRequest;
+
+fn main() -> Result<(), PandiaError> {
+    let mut machine = SimMachine::new(MachineSpec::x5_2());
+    let description = describe_machine(&mut machine)?;
+    println!("consolidating on {}\n", description.machine);
+
+    // Profile both jobs (six runs each).
+    let swim = by_name("Swim").unwrap();
+    let ep = by_name("EP").unwrap();
+    let profiler = WorkloadProfiler::new(&description);
+    let wd_swim = profiler.profile(&mut machine, &swim.behavior, swim.name)?.description;
+    let wd_ep = profiler.profile(&mut machine, &ep.behavior, ep.name)?.description;
+
+    // Ask the co-scheduler for a joint placement.
+    let schedule = CoScheduler::new(&description)
+        .with_objective(Objective::Makespan)
+        .schedule(&[&wd_swim, &wd_ep])?;
+    for (a, p) in schedule.assignments.iter().zip(&schedule.predictions) {
+        println!(
+            "{:<6} -> {:>2} threads over sockets {:?}{}  (predicted {:.2}s)",
+            a.workload,
+            a.n_threads,
+            a.threads_per_socket,
+            if a.smt_packed { ", SMT packed" } else { "" },
+            p.predicted_time
+        );
+    }
+
+    // Verify against ground truth.
+    let measure = |machine: &mut SimMachine, placements: [Placement; 2]| {
+        let [ps, pe] = placements;
+        machine
+            .run_multi(&MultiRunRequest::new(vec![
+                (swim.behavior.clone(), ps),
+                (ep.behavior.clone(), pe),
+            ]))
+            .map(|rs| (rs[0].elapsed, rs[1].elapsed))
+    };
+    let (t_swim, t_ep) = measure(
+        &mut machine,
+        [schedule.placements[0].clone(), schedule.placements[1].clone()],
+    )?;
+    println!("\nmeasured under Pandia's placement: Swim {t_swim:.2}s, EP {t_ep:.2}s");
+
+    // The obvious alternative: one socket each.
+    let shape = description.shape();
+    let socket = |s: usize, n: usize| {
+        Placement::new(
+            &shape,
+            (0..n).map(|c| shape.ctx(pandia::topology::SocketId(s), c, 0)).collect(),
+        )
+        .expect("socket placement")
+    };
+    let (n_swim, n_ep) = (shape.cores_per_socket, shape.cores_per_socket);
+    let (alt_swim, alt_ep) = measure(&mut machine, [socket(0, n_swim), socket(1, n_ep)])?;
+    println!("measured one-socket-each baseline: Swim {alt_swim:.2}s, EP {alt_ep:.2}s");
+
+    let makespan = t_swim.max(t_ep);
+    let alt_makespan = alt_swim.max(alt_ep);
+    println!(
+        "\nmakespan: Pandia {:.2}s vs baseline {:.2}s ({:+.1}%)",
+        makespan,
+        alt_makespan,
+        100.0 * (makespan - alt_makespan) / alt_makespan
+    );
+    Ok(())
+}

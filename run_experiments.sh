@@ -1,0 +1,24 @@
+#!/bin/bash
+# Regenerates every figure/table of the paper at full coverage.
+set -x
+cd /root/repo
+mkdir -p results
+B=target/release
+$B/worked_example             > results/log_worked_example.txt 2>&1
+$B/fig14_turbo x5-2           > results/log_fig14.txt 2>&1
+$B/fig01_md                   > results/log_fig01.txt 2>&1
+$B/fig11_errors x3-2          > results/log_fig11_x3-2.txt 2>&1
+$B/fig11_errors x4-2          > results/log_fig11_x4-2.txt 2>&1
+$B/fig11_errors x5-2          > results/log_fig11_x5-2.txt 2>&1
+$B/fig10_curves x5-2          > results/log_fig10.txt 2>&1
+$B/fig11_errors portability   > results/log_fig11_portability.txt 2>&1
+$B/fig13_limits               > results/log_fig13.txt 2>&1
+$B/sweep_baseline x3-2        > results/log_sweep_x3-2.txt 2>&1
+$B/sweep_baseline x4-2        > results/log_sweep_x4-2.txt 2>&1
+$B/sweep_baseline x5-2        > results/log_sweep_x5-2.txt 2>&1
+$B/ablation x5-2              > results/log_ablation.txt 2>&1
+$B/coschedule_validation x4-2  > results/log_coschedule.txt 2>&1
+$B/robustness x4-2 8           > results/log_robustness.txt 2>&1
+$B/fig12_foursocket           > results/log_fig12.txt 2>&1
+$B/summary_table              > results/log_summary.txt 2>&1
+echo ALL_EXPERIMENTS_DONE

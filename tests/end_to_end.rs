@@ -1,0 +1,236 @@
+//! Workspace-level integration tests: the full Pandia pipeline driving
+//! real registry workloads on simulated machines.
+
+use pandia::prelude::*;
+
+/// Machine description → profiling → prediction → decision, on the X4-2.
+#[test]
+fn full_pipeline_makes_good_decisions() {
+    let mut machine = SimMachine::new(MachineSpec::x4_2());
+    let description = describe_machine(&mut machine).expect("machine description");
+
+    let workload = by_name("CG").unwrap();
+    let profiler = WorkloadProfiler::new(&description);
+    let wd = profiler
+        .profile(&mut machine, &workload.behavior, workload.name)
+        .expect("profiling")
+        .description;
+
+    // CG is bandwidth-bound: the fitted description must reflect heavy
+    // DRAM demand and near-full parallelism.
+    assert!(wd.parallel_fraction > 0.9, "p = {}", wd.parallel_fraction);
+    assert!(wd.demand.dram_total() > 3.0 * wd.demand.instr / 4.0);
+
+    // Choose a placement from predictions only.
+    let candidates = PlacementEnumerator::new(&description).all();
+    let best =
+        best_placement(&description, &wd, &candidates, &PredictorConfig::default()).unwrap();
+
+    // Verify the decision: the chosen placement must be within 15% of the
+    // best of a measured placement sample.
+    let shape = description.shape();
+    let t_chosen = machine
+        .run(&RunRequest::new(workload.behavior.clone(), best.placement.instantiate(&shape).unwrap()))
+        .unwrap()
+        .elapsed;
+    let sample = PlacementEnumerator::new(&description).sampled(&shape, 4);
+    let mut t_best = f64::INFINITY;
+    for canon in &sample {
+        let t = machine
+            .run(&RunRequest::new(workload.behavior.clone(), canon.instantiate(&shape).unwrap()))
+            .unwrap()
+            .elapsed;
+        t_best = t_best.min(t);
+    }
+    let gap = (t_chosen - t_best) / t_best;
+    assert!(gap < 0.15, "chosen placement {:.3}s vs best {:.3}s (gap {:.1}%)", t_chosen, t_best, 100.0 * gap);
+}
+
+/// The §1 headline: Pandia identifies when *not* to use the whole machine.
+#[test]
+fn detects_poor_scaling_and_recommends_fewer_resources() {
+    let mut machine = SimMachine::new(MachineSpec::x4_2());
+    let description = describe_machine(&mut machine).unwrap();
+    let swim = by_name("Swim").unwrap();
+    let profiler = WorkloadProfiler::new(&description);
+    let wd = profiler.profile(&mut machine, &swim.behavior, swim.name).unwrap().description;
+    let candidates = PlacementEnumerator::new(&description).all();
+    let report =
+        placement_report(&description, &wd, &candidates, &PredictorConfig::default()).unwrap();
+    let saving = report.resource_saving(0.9).expect("a resource-saving placement exists");
+    // Swim saturates memory bandwidth: a few threads reach 90% of peak.
+    assert!(
+        saving.n_threads <= description.shape.total_contexts() / 2,
+        "Swim should not need most of the machine: {saving:?}"
+    );
+}
+
+/// Descriptions survive a JSON round trip and remain usable.
+#[test]
+fn descriptions_round_trip_through_json() {
+    let mut machine = SimMachine::new(MachineSpec::x3_2());
+    let description = describe_machine(&mut machine).unwrap();
+    let md_json = description.to_json().unwrap();
+    let description2 = MachineDescription::from_json(&md_json).unwrap();
+    assert_eq!(description, description2);
+
+    let ep = by_name("EP").unwrap();
+    let wd = WorkloadProfiler::new(&description)
+        .profile(&mut machine, &ep.behavior, ep.name)
+        .unwrap()
+        .description;
+    let wd_json = wd.to_json().unwrap();
+    let wd2 = WorkloadDescription::from_json(&wd_json).unwrap();
+    assert_eq!(wd, wd2);
+
+    // The deserialized pair predicts identically to the original.
+    let placement = Placement::spread(&description.shape(), 4).unwrap();
+    let a = predict(&description, &wd, &placement, &PredictorConfig::default()).unwrap();
+    let b = predict(&description2, &wd2, &placement, &PredictorConfig::default()).unwrap();
+    assert_eq!(a.speedup, b.speedup);
+}
+
+/// Profiling honours platform errors: Sort-Join cannot be profiled on the
+/// Westmere machine.
+#[test]
+fn avx_workload_fails_cleanly_on_westmere() {
+    let mut machine = SimMachine::new(MachineSpec::x2_4());
+    let description = describe_machine(&mut machine).unwrap();
+    let sj = by_name("Sort-Join").unwrap();
+    let err = WorkloadProfiler::new(&description)
+        .profile(&mut machine, &sj.behavior, sj.name)
+        .unwrap_err();
+    assert!(err.to_string().contains("AVX"), "unexpected error: {err}");
+}
+
+/// Equal work, different placements: predictions order the classic
+/// trade-offs correctly for a compute-bound workload.
+#[test]
+fn predictor_orders_compute_bound_placement_tradeoffs() {
+    let mut machine = SimMachine::new(MachineSpec::x4_2());
+    let description = describe_machine(&mut machine).unwrap();
+    let ep = by_name("EP").unwrap();
+    let wd = WorkloadProfiler::new(&description)
+        .profile(&mut machine, &ep.behavior, ep.name)
+        .unwrap()
+        .description;
+    let config = PredictorConfig::default();
+    let shape = description.shape();
+    let time_of = |canon: &CanonicalPlacement| {
+        predict(&description, &wd, &canon.instantiate(&shape).unwrap(), &config)
+            .unwrap()
+            .predicted_time
+    };
+    // More cores beat fewer.
+    let two = time_of(&CanonicalPlacement::new(vec![vec![1, 1]]));
+    let eight = time_of(&CanonicalPlacement::new(vec![vec![1; 8]]));
+    assert!(eight < two);
+    // Separate cores beat SMT sharing at equal thread count.
+    let spread4 = time_of(&CanonicalPlacement::new(vec![vec![1, 1, 1, 1]]));
+    let packed4 = time_of(&CanonicalPlacement::new(vec![vec![2, 2]]));
+    assert!(spread4 <= packed4 * 1.001, "spread {spread4} vs packed {packed4}");
+}
+
+/// Co-scheduling (the §8 extension): joint predictions track joint
+/// measurements, and the scheduler's pairing decision is validated by the
+/// simulator.
+#[test]
+fn coscheduling_predictions_track_joint_measurements() {
+    use pandia::core::predict_jobs;
+    use pandia::topology::MultiRunRequest;
+
+    let mut machine = SimMachine::new(MachineSpec::x4_2());
+    let description = describe_machine(&mut machine).unwrap();
+    let profiler = WorkloadProfiler::new(&description);
+
+    let cg = by_name("CG").unwrap();
+    let ep = by_name("EP").unwrap();
+    let wd_cg = profiler.profile(&mut machine, &cg.behavior, cg.name).unwrap().description;
+    let wd_ep = profiler.profile(&mut machine, &ep.behavior, ep.name).unwrap().description;
+
+    // CG on socket 0 (6 threads), EP on socket 1 (8 threads).
+    let shape = description.shape();
+    let p_cg = CanonicalPlacement::new(vec![vec![1; 6]]).instantiate(&shape).unwrap();
+    let p_ep = Placement::new(
+        &shape,
+        (0..8).map(|c| shape.ctx(pandia::topology::SocketId(1), c, 0)).collect(),
+    )
+    .unwrap();
+
+    let predictions = predict_jobs(
+        &description,
+        &[(&wd_cg, &p_cg), (&wd_ep, &p_ep)],
+        &PredictorConfig::default(),
+    )
+    .unwrap();
+
+    let measured = machine
+        .run_multi(&MultiRunRequest::new(vec![
+            (cg.behavior.clone(), p_cg.clone()),
+            (ep.behavior.clone(), p_ep.clone()),
+        ]))
+        .unwrap();
+
+    for (label, pred, meas) in [
+        ("CG", &predictions[0], &measured[0]),
+        ("EP", &predictions[1], &measured[1]),
+    ] {
+        let err = (pred.predicted_time - meas.elapsed).abs() / meas.elapsed;
+        assert!(
+            err < 0.30,
+            "{label}: joint prediction {:.2} vs measurement {:.2} (err {:.1}%)",
+            pred.predicted_time,
+            meas.elapsed,
+            100.0 * err
+        );
+    }
+}
+
+/// The co-scheduler's preferred pairing beats a bad pairing on the
+/// simulator, not just in its own objective.
+#[test]
+fn coscheduler_decision_verified_by_ground_truth() {
+    use pandia::core::{CoScheduler, Objective};
+    use pandia::topology::MultiRunRequest;
+
+    let mut machine = SimMachine::new(MachineSpec::x4_2());
+    let description = describe_machine(&mut machine).unwrap();
+    let profiler = WorkloadProfiler::new(&description);
+    let swim = by_name("Swim").unwrap();
+    let ep = by_name("EP").unwrap();
+    let wd_swim =
+        profiler.profile(&mut machine, &swim.behavior, swim.name).unwrap().description;
+    let wd_ep = profiler.profile(&mut machine, &ep.behavior, ep.name).unwrap().description;
+
+    let schedule = CoScheduler::new(&description)
+        .with_objective(Objective::Makespan)
+        .schedule(&[&wd_swim, &wd_ep])
+        .unwrap();
+
+    // Measure the chosen joint placement.
+    let chosen = machine
+        .run_multi(&MultiRunRequest::new(vec![
+            (swim.behavior.clone(), schedule.placements[0].clone()),
+            (ep.behavior.clone(), schedule.placements[1].clone()),
+        ]))
+        .unwrap();
+    let chosen_makespan = chosen.iter().map(|r| r.elapsed).fold(0.0_f64, f64::max);
+
+    // A deliberately bad joint placement: both jobs SMT-packed onto the
+    // same few cores' worth of contexts on one socket.
+    let shape = description.shape();
+    let bad_swim = Placement::new(&shape, (0..6).map(CtxId).collect()).unwrap();
+    let bad_ep = Placement::new(&shape, (6..14).map(CtxId).collect()).unwrap();
+    let bad = machine
+        .run_multi(&MultiRunRequest::new(vec![
+            (swim.behavior.clone(), bad_swim),
+            (ep.behavior.clone(), bad_ep),
+        ]))
+        .unwrap();
+    let bad_makespan = bad.iter().map(|r| r.elapsed).fold(0.0_f64, f64::max);
+
+    assert!(
+        chosen_makespan < bad_makespan,
+        "scheduler's placement ({chosen_makespan:.2}) should beat the packed one ({bad_makespan:.2})"
+    );
+}

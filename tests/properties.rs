@@ -1,0 +1,179 @@
+//! Property-based tests over the simulator, the predictor, and the
+//! placement machinery.
+
+use pandia::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small but varied workload behavior.
+fn arb_behavior() -> impl Strategy<Value = Behavior> {
+    (
+        1.0..50.0_f64,                       // total_work
+        0.0..0.2_f64,                        // seq_fraction
+        0.1..8.0_f64,                        // instr
+        0.0..40.0_f64,                       // l1
+        0.0..8.0_f64,                        // l3
+        0.0..9.0_f64,                        // dram
+        0.1..400.0_f64,                      // working set MiB
+        0.2..1.0_f64,                        // burst duty
+        1.0..2.0_f64,                        // burst amplitude
+        0.0..1.0_f64,                        // dynamic fraction
+        0.0..0.01_f64,                       // comm factor
+    )
+        .prop_map(
+            |(work, seq, instr, l1, l3, dram, ws, duty, amp, dynf, comm)| Behavior {
+                name: "prop".into(),
+                total_work: work,
+                seq_fraction: seq,
+                demand: UnitDemand { instr, l1, l2: l1 * 0.3, l3, dram },
+                working_set_mib: ws,
+                burst: BurstProfile::bursty(duty, amp),
+                scheduling: Scheduling::Partial { dynamic_fraction: dynf },
+                comm_factor: comm,
+                intra_socket_comm: 0.1,
+                data_placement: DataPlacement::Interleave,
+                growth_per_thread: 0.0,
+                active_threads: None,
+                requires_avx: false,
+            },
+        )
+}
+
+/// Strategy: a valid canonical placement for the X3-2 (2 sockets, 8 cores,
+/// 2 SMT).
+fn arb_placement() -> impl Strategy<Value = CanonicalPlacement> {
+    proptest::collection::vec(proptest::collection::vec(1u8..=2, 1..=8), 1..=2)
+        .prop_map(CanonicalPlacement::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Simulated runs always terminate with positive time, never move more
+    /// bytes than the work implies, and speed up at most linearly.
+    #[test]
+    fn simulator_invariants(behavior in arb_behavior(), canon in arb_placement()) {
+        let spec = MachineSpec::x3_2();
+        let mut machine = SimMachine::with_config(spec.clone(), SimConfig::noiseless());
+        let placement = canon.instantiate(&spec).unwrap();
+        let n = placement.n_threads();
+        let result = machine
+            .run(&RunRequest::new(behavior.clone(), placement.clone()))
+            .unwrap();
+        prop_assert!(result.elapsed > 0.0 && result.elapsed.is_finite());
+
+        // Counters account for exactly the workload's demands (within the
+        // final-segment rounding of the fluid model).
+        let expected_instr = behavior.total_work * behavior.demand.instr;
+        if expected_instr > 0.0 {
+            let rel = (result.counters.instructions - expected_instr).abs() / expected_instr;
+            prop_assert!(rel < 0.05, "instr counter off by {rel}");
+        }
+
+        // Speedup vs a solo run is bounded by thread count times the
+        // frequency advantage (none here: background fill pins frequency).
+        let solo = machine
+            .run(&RunRequest::new(behavior.clone(), Placement::spread(&spec, 1).unwrap()))
+            .unwrap()
+            .elapsed;
+        let speedup = solo / result.elapsed;
+        prop_assert!(speedup <= n as f64 * 1.05, "superlinear speedup {speedup} at n={n}");
+
+        // Busy fractions are valid and thread count matches.
+        prop_assert_eq!(result.per_thread_busy.len(), n);
+        for &busy in &result.per_thread_busy {
+            prop_assert!((0.0..=1.0).contains(&busy));
+        }
+    }
+
+    /// Determinism: identical requests produce identical results.
+    #[test]
+    fn simulator_is_deterministic(behavior in arb_behavior(), canon in arb_placement()) {
+        let spec = MachineSpec::x3_2();
+        let mut machine = SimMachine::new(spec.clone());
+        let placement = canon.instantiate(&spec).unwrap();
+        let req = RunRequest::new(behavior, placement).with_seed(99);
+        let a = machine.run(&req).unwrap();
+        let b = machine.run(&req).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Predictor invariants hold for arbitrary valid descriptions.
+    #[test]
+    fn predictor_invariants(
+        canon in arb_placement(),
+        p in 0.0..1.0_f64,
+        os in 0.0..0.3_f64,
+        l in 0.0..1.0_f64,
+        b in 0.0..2.0_f64,
+        instr in 0.1..12.0_f64,
+        dram in 0.0..30.0_f64,
+    ) {
+        let mut machine = SimMachine::new(MachineSpec::x3_2());
+        let description = describe_machine(&mut machine).unwrap();
+        let wd = WorkloadDescription {
+            name: "prop".into(),
+            machine: description.machine.clone(),
+            t1: 100.0,
+            demand: DemandVector {
+                instr,
+                l1: 0.0,
+                l2: 0.0,
+                l3: 0.0,
+                dram: vec![dram / 2.0, dram / 2.0],
+            },
+            parallel_fraction: p,
+            inter_socket_overhead: os,
+            load_balance: l,
+            burstiness: b,
+        };
+        let placement = canon.instantiate(&description).unwrap();
+        let pred = predict(&description, &wd, &placement, &PredictorConfig::default()).unwrap();
+        prop_assert!(pred.speedup > 0.0 && pred.speedup.is_finite());
+        prop_assert!(pred.speedup <= pred.amdahl_speedup + 1e-9);
+        prop_assert!(pred.amdahl_speedup <= placement.n_threads() as f64 + 1e-9);
+        for t in &pred.threads {
+            prop_assert!(t.slowdown >= 1.0 - 1e-9);
+            prop_assert!(t.utilization > 0.0 && t.utilization <= 1.0 + 1e-9);
+            prop_assert!(t.communication_penalty >= -1e-12);
+            prop_assert!(t.load_balance_penalty >= -1e-9);
+        }
+        // Resource loads never blow past physical meaning.
+        for load in &pred.resource_loads {
+            prop_assert!(load.is_finite() && *load >= 0.0);
+        }
+    }
+
+    /// Canonicalization is idempotent and instantiation round-trips.
+    #[test]
+    fn placement_canonicalization_round_trips(canon in arb_placement()) {
+        let spec = MachineSpec::x3_2();
+        let placement = canon.instantiate(&spec).unwrap();
+        let again = placement.canonicalize(&spec);
+        prop_assert_eq!(&again, &canon);
+        let placement2 = again.instantiate(&spec).unwrap();
+        prop_assert_eq!(placement.n_threads(), placement2.n_threads());
+    }
+
+    /// Measured demand rates scale with utilization consistently: scaling a
+    /// demand vector then routing equals routing then scaling.
+    #[test]
+    fn demand_scaling_commutes_with_routing(f in 0.01..1.0_f64) {
+        let spec = MachineSpec::x3_2();
+        let table = pandia::topology::ResourceTable::from_spec(&spec);
+        let d = DemandVector {
+            instr: 3.0, l1: 10.0, l2: 4.0, l3: 2.0, dram: vec![1.5, 2.5],
+        };
+        let mut routed_then_scaled = Vec::new();
+        d.route(&spec, &table, CtxId(0), &mut routed_then_scaled);
+        for (_, v) in &mut routed_then_scaled {
+            *v *= f;
+        }
+        let mut scaled_then_routed = Vec::new();
+        d.scaled(f).route(&spec, &table, CtxId(0), &mut scaled_then_routed);
+        prop_assert_eq!(routed_then_scaled.len(), scaled_then_routed.len());
+        for ((r1, v1), (r2, v2)) in routed_then_scaled.iter().zip(&scaled_then_routed) {
+            prop_assert_eq!(r1, r2);
+            prop_assert!((v1 - v2).abs() < 1e-12);
+        }
+    }
+}
