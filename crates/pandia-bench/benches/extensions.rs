@@ -1,85 +1,63 @@
 //! Benchmarks for the §8 extensions: joint prediction, co-schedule
 //! search, fleet assignment, and capacity planning.
 
-// The criterion macros generate an undocumented main function.
-#![allow(missing_docs)]
-
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use pandia_bench::timing::Group;
 use pandia_bench::x5_2_fixture;
 use pandia_core::{
     plan, predict_jobs, scaling_profile, CoScheduler, FleetScheduler, PredictorConfig, Target,
 };
 use pandia_topology::{HasShape, Placement, PlacementEnumerator, SocketId};
 
-fn joint_prediction(c: &mut Criterion) {
+fn joint_prediction() {
     let (_, md, wd) = x5_2_fixture();
     let shape = md.shape();
     let config = PredictorConfig::default();
-    let pa = Placement::new(
-        &shape,
-        (0..12).map(|c| shape.ctx(SocketId(0), c, 0)).collect::<Vec<_>>(),
-    )
-    .unwrap();
-    let pb = Placement::new(
-        &shape,
-        (0..12).map(|c| shape.ctx(SocketId(1), c, 0)).collect::<Vec<_>>(),
-    )
-    .unwrap();
-    c.bench_function("predict_jobs_pair_24_threads", |b| {
-        b.iter(|| {
-            predict_jobs(black_box(&md), &[(&wd, &pa), (&wd, &pb)], &config).unwrap()
-        })
+    let pa = Placement::new(&shape, (0..12).map(|c| shape.ctx(SocketId(0), c, 0)).collect::<Vec<_>>())
+        .unwrap();
+    let pb = Placement::new(&shape, (0..12).map(|c| shape.ctx(SocketId(1), c, 0)).collect::<Vec<_>>())
+        .unwrap();
+    let group = Group::new("joint_prediction");
+    group.bench("predict_jobs_pair_24_threads", || {
+        predict_jobs(black_box(&md), &[(&wd, &pa), (&wd, &pb)], &config).unwrap()
     });
 }
 
-fn coschedule_search(c: &mut Criterion) {
+fn coschedule_search() {
     let (_, md, wd) = x5_2_fixture();
-    let mut group = c.benchmark_group("coschedule_search");
-    group.sample_size(10);
-    group.bench_function("two_jobs_x5-2", |b| {
-        let scheduler = CoScheduler::new(&md);
-        b.iter(|| scheduler.schedule(black_box(&[&wd, &wd])).unwrap())
-    });
-    group.finish();
+    let scheduler = CoScheduler::new(&md);
+    let group = Group::new("coschedule_search");
+    group.bench("two_jobs_x5-2", || scheduler.schedule(black_box(&[&wd, &wd])).unwrap());
 }
 
-fn fleet_assignment(c: &mut Criterion) {
+fn fleet_assignment() {
     let (_, md, wd) = x5_2_fixture();
     let machines = vec![md.clone(), md.clone()];
-    let mut group = c.benchmark_group("fleet_assignment");
-    group.sample_size(10);
-    group.bench_function("four_jobs_two_machines", |b| {
-        let scheduler = FleetScheduler::new(&machines);
-        b.iter(|| scheduler.schedule(black_box(&[&wd, &wd, &wd, &wd])).unwrap())
+    let scheduler = FleetScheduler::new(&machines);
+    let group = Group::new("fleet_assignment");
+    group.bench("four_jobs_two_machines", || {
+        scheduler.schedule(black_box(&[&wd, &wd, &wd, &wd])).unwrap()
     });
-    group.finish();
 }
 
-fn capacity_planning(c: &mut Criterion) {
+fn capacity_planning() {
     let (_, md, wd) = x5_2_fixture();
     let candidates = PlacementEnumerator::new(&md).sampled(&md.shape(), 8);
     let config = PredictorConfig::default();
-    let mut group = c.benchmark_group("capacity_planning");
-    group.sample_size(10);
-    group.bench_function(format!("plan_over_{}_placements", candidates.len()), |b| {
-        b.iter(|| {
-            plan(
-                black_box(&md),
-                &wd,
-                &candidates,
-                Target::FractionOfPeak(0.9),
-                &config,
-            )
-            .unwrap()
-        })
+    let group = Group::new("capacity_planning");
+    group.bench(&format!("plan_over_{}_placements", candidates.len()), || {
+        plan(black_box(&md), &wd, &candidates, Target::FractionOfPeak(0.9), &config).unwrap()
     });
-    group.bench_function("scaling_profile", |b| {
-        b.iter(|| scaling_profile(black_box(&md), &wd, &candidates, &config).unwrap())
+    group.bench("scaling_profile", || {
+        scaling_profile(black_box(&md), &wd, &candidates, &config).unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(benches, joint_prediction, coschedule_search, fleet_assignment, capacity_planning);
-criterion_main!(benches);
+/// Runs the §8 extension benches.
+fn main() {
+    joint_prediction();
+    coschedule_search();
+    fleet_assignment();
+    capacity_planning();
+}

@@ -1,50 +1,40 @@
 //! Description-generation costs: the machine description (§3, once per
 //! machine) and the six-run workload profiling (§4, once per workload).
 
-// The criterion macros generate an undocumented main function.
-#![allow(missing_docs)]
-
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use pandia_bench::timing::Group;
 use pandia_core::{describe_machine, ProfileConfig, WorkloadProfiler};
 use pandia_sim::SimMachine;
 use pandia_topology::MachineSpec;
 
-fn machine_description(c: &mut Criterion) {
-    let mut group = c.benchmark_group("machine_description");
-    group.sample_size(20);
+fn machine_description() {
+    let group = Group::new("machine_description");
     for spec in [MachineSpec::x3_2(), MachineSpec::x5_2()] {
         let name = spec.name.clone();
-        group.bench_function(name, |b| {
-            let mut machine = SimMachine::new(spec.clone());
-            b.iter(|| describe_machine(black_box(&mut machine)).unwrap())
-        });
+        let mut machine = SimMachine::new(spec.clone());
+        group.bench(&name, || describe_machine(black_box(&mut machine)).unwrap());
     }
-    group.finish();
 }
 
-fn workload_profiling(c: &mut Criterion) {
+fn workload_profiling() {
     let mut machine = SimMachine::new(MachineSpec::x3_2());
     let md = describe_machine(&mut machine).unwrap();
-    let mut group = c.benchmark_group("six_run_profiling");
-    group.sample_size(10);
+    let group = Group::new("six_run_profiling");
     for name in ["EP", "CG", "MD"] {
         let entry = pandia_workloads::by_name(name).unwrap();
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let profiler = WorkloadProfiler::with_config(
-                    &md,
-                    ProfileConfig { repeats: 1, ..ProfileConfig::default() },
-                );
-                profiler
-                    .profile(black_box(&mut machine), &entry.behavior, entry.name)
-                    .unwrap()
-            })
+        group.bench(name, || {
+            let profiler = WorkloadProfiler::with_config(
+                &md,
+                ProfileConfig { repeats: 1, ..ProfileConfig::default() },
+            );
+            profiler.profile(black_box(&mut machine), &entry.behavior, entry.name).unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, machine_description, workload_profiling);
-criterion_main!(benches);
+/// Runs the description-pipeline benches.
+fn main() {
+    machine_description();
+    workload_profiling();
+}

@@ -1,46 +1,34 @@
 //! Placement machinery: enumerating the canonical placement spaces of the
 //! evaluation machines and canonicalizing concrete placements.
 
-// The criterion macros generate an undocumented main function.
-#![allow(missing_docs)]
-
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use pandia_bench::timing::Group;
 use pandia_topology::{MachineSpec, Placement, PlacementEnumerator};
 
-fn enumeration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("placement_enumeration");
-    group.sample_size(20);
+fn enumeration() {
+    let group = Group::new("placement_enumeration");
     let x3 = MachineSpec::x3_2();
-    group.bench_function("x3-2_exhaustive_1034", |b| {
-        let e = PlacementEnumerator::new(&x3);
-        b.iter(|| black_box(e.all()))
-    });
+    let e3 = PlacementEnumerator::new(&x3);
+    group.bench("x3-2_exhaustive_1034", || black_box(e3.all()));
     let x5 = MachineSpec::x5_2();
-    group.bench_function("x5-2_count_18144", |b| {
-        let e = PlacementEnumerator::new(&x5);
-        b.iter(|| black_box(e.count()))
-    });
-    group.bench_function("x5-2_sampled_per_n_42", |b| {
-        let e = PlacementEnumerator::new(&x5);
-        b.iter(|| black_box(e.sampled(&x5, 42)))
-    });
+    let e5 = PlacementEnumerator::new(&x5);
+    group.bench("x5-2_count_18144", || black_box(e5.count()));
+    group.bench("x5-2_sampled_per_n_42", || black_box(e5.sampled(&x5, 42)));
     let x2 = MachineSpec::x2_4();
-    group.bench_function("x2-4_count_864k", |b| {
-        let e = PlacementEnumerator::new(&x2);
-        b.iter(|| black_box(e.count()))
-    });
-    group.finish();
+    let e2 = PlacementEnumerator::new(&x2);
+    group.bench("x2-4_count_864k", || black_box(e2.count()));
 }
 
-fn canonicalization(c: &mut Criterion) {
+fn canonicalization() {
     let spec = MachineSpec::x5_2();
     let placement = Placement::packed(&spec, 72).unwrap();
-    c.bench_function("canonicalize_72_threads", |b| {
-        b.iter(|| black_box(placement.canonicalize(&spec)))
-    });
+    let group = Group::new("canonicalize");
+    group.bench("72_threads", || black_box(placement.canonicalize(&spec)));
 }
 
-criterion_group!(benches, enumeration, canonicalization);
-criterion_main!(benches);
+/// Runs the placement-machinery benches.
+fn main() {
+    enumeration();
+    canonicalization();
+}

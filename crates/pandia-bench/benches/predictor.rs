@@ -2,47 +2,41 @@
 //! a second per placement" (ours should be microseconds), and the cost of
 //! searching the whole placement space of the X5-2.
 
-// The criterion macros generate an undocumented main function.
-#![allow(missing_docs)]
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use pandia_bench::timing::Group;
 use pandia_bench::x5_2_fixture;
 use pandia_core::{placement_report, predict, PredictorConfig};
 use pandia_topology::{Placement, PlacementEnumerator};
 
-fn per_placement(c: &mut Criterion) {
+fn per_placement() {
     let (_, md, wd) = x5_2_fixture();
     let config = PredictorConfig::default();
-    let mut group = c.benchmark_group("predict_one_placement");
+    let group = Group::new("predict_one_placement");
     for n in [1usize, 8, 18, 36, 72] {
         let placement = if n <= 36 {
             Placement::spread(&md.shape, n).unwrap()
         } else {
             Placement::packed(&md.shape, n).unwrap()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(n), &placement, |b, p| {
-            b.iter(|| predict(black_box(&md), black_box(&wd), p, &config).unwrap())
+        group.bench(&n.to_string(), || {
+            predict(black_box(&md), black_box(&wd), &placement, &config).unwrap()
         });
     }
-    group.finish();
 }
 
-fn search_space(c: &mut Criterion) {
+fn search_space() {
     let (_, md, wd) = x5_2_fixture();
     let config = PredictorConfig::default();
     // The sampled space matching the paper's coverage density.
     let candidates = PlacementEnumerator::new(&md).sampled(&md.shape, 8);
-    let mut group = c.benchmark_group("search_placement_space");
-    group.sample_size(10);
-    group.bench_function(format!("{}_placements", candidates.len()), |b| {
-        b.iter(|| placement_report(black_box(&md), black_box(&wd), &candidates, &config).unwrap())
+    let group = Group::new("search_placement_space");
+    group.bench(&format!("{}_placements", candidates.len()), || {
+        placement_report(black_box(&md), black_box(&wd), &candidates, &config).unwrap()
     });
-    group.finish();
 }
 
-fn iteration_convergence(c: &mut Criterion) {
+fn iteration_convergence() {
     // Worked-example prediction (saturated interconnect: needs several
     // iterations) vs an uncontended one (converges immediately).
     let machine = {
@@ -54,19 +48,24 @@ fn iteration_convergence(c: &mut Criterion) {
     let saturated = pandia_core::WorkloadDescription::example();
     let mut light = saturated.clone();
     light.demand.dram = vec![5.0, 5.0];
-    let placement =
-        Placement::new(&machine, vec![pandia_topology::CtxId(0), pandia_topology::CtxId(1), pandia_topology::CtxId(4)])
-            .unwrap();
+    let placement = Placement::new(
+        &machine,
+        vec![pandia_topology::CtxId(0), pandia_topology::CtxId(1), pandia_topology::CtxId(4)],
+    )
+    .unwrap();
     let config = PredictorConfig::default();
-    let mut group = c.benchmark_group("predictor_convergence");
-    group.bench_function("saturated_worked_example", |b| {
-        b.iter(|| predict(&machine, black_box(&saturated), &placement, &config).unwrap())
+    let group = Group::new("predictor_convergence");
+    group.bench("saturated_worked_example", || {
+        predict(&machine, black_box(&saturated), &placement, &config).unwrap()
     });
-    group.bench_function("uncontended", |b| {
-        b.iter(|| predict(&machine, black_box(&light), &placement, &config).unwrap())
+    group.bench("uncontended", || {
+        predict(&machine, black_box(&light), &placement, &config).unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(benches, per_placement, search_space, iteration_convergence);
-criterion_main!(benches);
+/// Runs the predictor-latency benches.
+fn main() {
+    per_placement();
+    search_space();
+    iteration_convergence();
+}

@@ -2,49 +2,33 @@
 //! bounds the wall-clock cost of regenerating the paper's figures
 //! (≈ 70 000 runs for the full X5-2 study).
 
-// The criterion macros generate an undocumented main function.
-#![allow(missing_docs)]
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use pandia_bench::timing::Group;
 use pandia_sim::SimMachine;
 use pandia_topology::{MachineSpec, Placement, Platform, RunRequest};
 
-fn run_latency(c: &mut Criterion) {
+fn run_latency() {
     let mut machine = SimMachine::new(MachineSpec::x5_2());
     let cg = pandia_workloads::by_name("CG").unwrap().behavior;
     let ep = pandia_workloads::by_name("EP").unwrap().behavior;
-    let mut group = c.benchmark_group("simulated_run");
+    let group = Group::new("simulated_run");
     for n in [1usize, 18, 72] {
         let placement = if n <= 36 {
             Placement::spread(machine.spec(), n).unwrap()
         } else {
             Placement::packed(machine.spec(), n).unwrap()
         };
-        group.bench_with_input(
-            BenchmarkId::new("CG_bandwidth_bound", n),
-            &placement,
-            |b, p| {
-                b.iter(|| {
-                    machine
-                        .run(black_box(&RunRequest::new(cg.clone(), p.clone())))
-                        .unwrap()
-                })
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("EP_compute_bound", n), &placement, |b, p| {
-            b.iter(|| {
-                machine
-                    .run(black_box(&RunRequest::new(ep.clone(), p.clone())))
-                    .unwrap()
-            })
+        group.bench(&format!("CG_bandwidth_bound/{n}"), || {
+            machine.run(black_box(&RunRequest::new(cg.clone(), placement.clone()))).unwrap()
+        });
+        group.bench(&format!("EP_compute_bound/{n}"), || {
+            machine.run(black_box(&RunRequest::new(ep.clone(), placement.clone()))).unwrap()
         });
     }
-    group.finish();
 }
 
-fn equilibrium_solver(c: &mut Criterion) {
+fn equilibrium_solver() {
     use pandia_sim::equilibrium::{solve, EntityDemand};
     // 72 entities over ~150 resources, each touching 8 — the X5-2 shape.
     let entities: Vec<EntityDemand> = (0..72)
@@ -54,10 +38,12 @@ fn equilibrium_solver(c: &mut Criterion) {
         })
         .collect();
     let caps: Vec<f64> = (0..150).map(|r| 40.0 + (r % 7) as f64 * 10.0).collect();
-    c.bench_function("equilibrium_72x150", |b| {
-        b.iter(|| solve(black_box(&entities), black_box(&caps)))
-    });
+    let group = Group::new("equilibrium");
+    group.bench("72x150", || solve(black_box(&entities), black_box(&caps)));
 }
 
-criterion_group!(benches, run_latency, equilibrium_solver);
-criterion_main!(benches);
+/// Runs the simulator benches.
+fn main() {
+    run_latency();
+    equilibrium_solver();
+}

@@ -12,6 +12,8 @@
 //!   cost of regenerating the paper's figures.
 //! * `placements` — canonical placement enumeration and canonicalization.
 
+pub mod timing;
+
 use pandia_core::{describe_machine, MachineDescription, WorkloadDescription, WorkloadProfiler};
 use pandia_sim::SimMachine;
 use pandia_topology::MachineSpec;

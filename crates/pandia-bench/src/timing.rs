@@ -1,0 +1,67 @@
+//! A tiny wall-clock benchmark runner.
+//!
+//! The build environment is offline, so the benches cannot pull in
+//! criterion; this module provides the small slice the suite needs:
+//! per-case warmup, adaptive iteration counts, and a median/mean report
+//! on stdout. Benches stay `harness = false` binaries with a plain
+//! `main`, so `cargo bench` runs them unchanged.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring each case.
+const TARGET: Duration = Duration::from_millis(300);
+
+/// A named group of benchmark cases, printed as `group/case`.
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Starts a group with the given name.
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name}");
+        Self { name: name.to_string() }
+    }
+
+    /// Measures one case: runs `f` repeatedly for roughly
+    /// [`TARGET`] and reports the per-iteration median and mean.
+    pub fn bench<T>(&self, case: &str, mut f: impl FnMut() -> T) -> Duration {
+        // Warm up and estimate the per-iteration cost.
+        let start = Instant::now();
+        black_box(f());
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / estimate.as_nanos()).clamp(1, 10_000) as usize;
+
+        let mut samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(f());
+            samples.push(t.elapsed());
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{}/{case}: median {} | mean {} | {iters} iters",
+            self.name,
+            fmt_duration(median),
+            fmt_duration(mean)
+        );
+        median
+    }
+}
+
+/// Formats a duration with a unit suited to its magnitude.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}

@@ -4,7 +4,12 @@ use pandia_topology::CanonicalPlacement;
 
 /// Usage text shown on parse errors and `pandiactl help`.
 pub const USAGE: &str = "\
-usage: pandiactl <command> [args]
+usage: pandiactl [--jobs N] [--no-cache] <command> [args]
+
+global options:
+  --jobs N, -j N   worker threads for placement sweeps (default: all
+                   hardware threads; results are identical for any N)
+  --no-cache       disable prediction memoization
 
 commands:
   machines                         list machine presets
@@ -35,6 +40,56 @@ pub enum PlanTarget {
     Speedup(f64),
     /// `--fraction F`: stay within F of peak performance.
     Fraction(f64),
+}
+
+/// Global execution flags, shared by every command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecFlags {
+    /// Worker threads for placement sweeps (`None` = all hardware
+    /// threads).
+    pub jobs: Option<usize>,
+    /// Whether prediction memoization is enabled.
+    pub cache: bool,
+}
+
+impl Default for ExecFlags {
+    fn default() -> Self {
+        Self { jobs: None, cache: true }
+    }
+}
+
+/// Strips the global `--jobs N` / `-j N` / `--no-cache` flags out of
+/// argv before command parsing (the command parsers treat every `-flag`
+/// as taking a value, so global flags must come out first).
+pub fn extract_exec_flags(argv: &[String]) -> Result<(Vec<String>, ExecFlags), String> {
+    let mut flags = ExecFlags::default();
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--jobs" | "-j" => {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("option {} requires a value", argv[i]))?;
+                let jobs = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("invalid worker count '{value}' (expected >= 1)"))?;
+                flags.jobs = Some(jobs);
+                i += 2;
+            }
+            "--no-cache" => {
+                flags.cache = false;
+                i += 1;
+            }
+            _ => {
+                rest.push(argv[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Ok((rest, flags))
 }
 
 /// A parsed CLI invocation.
@@ -335,6 +390,25 @@ mod tests {
         }
         assert!(parse(&argv("plan x3-2 CG")).is_err(), "target required");
         assert!(parse(&argv("plan x3-2 CG --time abc")).is_err());
+    }
+
+    #[test]
+    fn extracts_global_exec_flags_anywhere_in_argv() {
+        let (rest, flags) = extract_exec_flags(&argv("--jobs 4 best x4-2 Swim")).unwrap();
+        assert_eq!(flags, ExecFlags { jobs: Some(4), cache: true });
+        assert_eq!(parse(&rest).unwrap(), parse(&argv("best x4-2 Swim")).unwrap());
+
+        let (rest, flags) =
+            extract_exec_flags(&argv("plan x3-2 CG --time 8.5 -j 2 --no-cache")).unwrap();
+        assert_eq!(flags, ExecFlags { jobs: Some(2), cache: false });
+        assert!(matches!(parse(&rest).unwrap(), Command::Plan { .. }));
+
+        let (_, flags) = extract_exec_flags(&argv("machines")).unwrap();
+        assert_eq!(flags, ExecFlags::default());
+
+        assert!(extract_exec_flags(&argv("best x4-2 Swim --jobs")).is_err());
+        assert!(extract_exec_flags(&argv("--jobs zero machines")).is_err());
+        assert!(extract_exec_flags(&argv("--jobs 0 machines")).is_err());
     }
 
     #[test]

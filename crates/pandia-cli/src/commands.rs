@@ -1,8 +1,10 @@
 //! Command implementations for the `pandia` CLI.
 
+use std::time::Instant;
+
 use pandia_core::{
-    describe_machine, predict, CoScheduler, MachineDescription, Objective, PandiaError,
-    PredictorConfig, Recommendation, WorkloadDescription, WorkloadProfiler,
+    describe_machine, predict, CoScheduler, ExecContext, MachineDescription, Objective,
+    PandiaError, PredictorConfig, Recommendation, WorkloadDescription, WorkloadProfiler,
 };
 use pandia_harness::{experiments::curves, metrics, report, MachineContext};
 use pandia_sim::SimMachine;
@@ -10,8 +12,21 @@ use pandia_topology::{HasShape, MachineSpec, PlacementEnumerator};
 
 use crate::args::{Command, PlanTarget, USAGE};
 
-/// Executes a parsed command.
-pub fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
+/// Prints a sweep's wall time and cache statistics to stderr.
+fn report_sweep(exec: &ExecContext, stage: &str, candidates: usize, start: Instant) {
+    let stats = exec.cache_stats();
+    eprintln!(
+        "{stage}: {candidates} candidates in {:.3}s (jobs={}; cache {} hits / {} misses, {:.1}% hit rate)",
+        start.elapsed().as_secs_f64(),
+        exec.jobs(),
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate()
+    );
+}
+
+/// Executes a parsed command under an execution context.
+pub fn run(command: Command, exec: &ExecContext) -> Result<(), Box<dyn std::error::Error>> {
     match command {
         Command::Help => {
             println!("{USAGE}");
@@ -108,13 +123,16 @@ pub fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             let (mut platform, description) = machine_context(&machine)?;
             let wd = profile_on(&mut platform, &description, &workload)?;
             let candidates = PlacementEnumerator::new(&description).all();
-            let rec = Recommendation::analyze(
+            let start = Instant::now();
+            let rec = Recommendation::analyze_with(
+                exec,
                 &description,
                 &wd,
                 &candidates,
                 tolerance,
                 &PredictorConfig::default(),
             )?;
+            report_sweep(exec, "placement sweep", candidates.len(), start);
             println!(
                 "best predicted: {} ({} threads, speedup {:.2})",
                 rec.best.placement, rec.best.n_threads, rec.best.speedup
@@ -145,13 +163,16 @@ pub fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 PlanTarget::Speedup(s) => pandia_core::Target::MinSpeedup(s),
                 PlanTarget::Fraction(f) => pandia_core::Target::FractionOfPeak(f),
             };
-            let plan = pandia_core::plan(
+            let start = Instant::now();
+            let plan = pandia_core::plan_with(
+                exec,
                 &description,
                 &wd,
                 &candidates,
                 target,
                 &PredictorConfig::default(),
             )?;
+            report_sweep(exec, "planning sweep", candidates.len(), start);
             println!(
                 "best achievable: {} ({} threads, {:.2}s predicted)",
                 plan.best.placement, plan.best.n_threads, plan.best.predicted_time
@@ -170,10 +191,12 @@ pub fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             Ok(())
         }
         Command::Explore { machine, workload } => {
-            let mut ctx = MachineContext::by_name(&machine)?;
+            let ctx = MachineContext::by_name(&machine)?;
             let entry = lookup_workload(&workload)?;
             let placements = ctx.enumerator().sampled(&ctx.spec, 8);
-            let curve = curves::workload_curve(&mut ctx, &entry, &placements)?;
+            let start = Instant::now();
+            let curve = curves::workload_curve_with(exec, &ctx, &entry, &placements)?;
+            report_sweep(exec, "explore sweep", placements.len(), start);
             println!("{}", report::ascii_curve(&curve, 100, 20));
             let stats = metrics::error_stats(&curve);
             println!(
@@ -188,9 +211,12 @@ pub fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             let (mut platform, description) = machine_context(&machine)?;
             let wd_a = profile_on(&mut platform, &description, &first)?;
             let wd_b = profile_on(&mut platform, &description, &second)?;
+            let start = Instant::now();
             let schedule = CoScheduler::new(&description)
                 .with_objective(Objective::Makespan)
+                .with_exec(exec.clone())
                 .schedule(&[&wd_a, &wd_b])?;
+            report_sweep(exec, "co-schedule search", 2, start);
             println!("joint placement on {}:", description.machine);
             for (a, p) in schedule.assignments.iter().zip(&schedule.predictions) {
                 println!(

@@ -43,8 +43,21 @@ fn main() -> ExitCode {
     }));
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (argv, flags) = match args::extract_exec_flags(&argv) {
+        Ok(extracted) => extracted,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!("\n{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let exec = match flags.jobs {
+        Some(jobs) => pandia_core::ExecContext::new(jobs),
+        None => pandia_core::ExecContext::auto(),
+    }
+    .with_cache(flags.cache);
     match args::parse(&argv) {
-        Ok(command) => match std::panic::catch_unwind(|| commands::run(command)) {
+        Ok(command) => match std::panic::catch_unwind(|| commands::run(command, &exec)) {
             Ok(Ok(())) => ExitCode::SUCCESS,
             Ok(Err(e)) => {
                 eprintln!("error: {e}");

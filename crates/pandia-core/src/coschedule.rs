@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use crate::{
     description::MachineDescription,
     error::PandiaError,
+    exec::{ExecContext, JointSession},
     predictor::{predict_jobs, Prediction, PredictorConfig},
     workload_desc::WorkloadDescription,
 };
@@ -83,17 +84,31 @@ pub struct CoScheduler<'m> {
     machine: &'m MachineDescription,
     config: PredictorConfig,
     objective: Objective,
+    exec: ExecContext,
 }
 
 impl<'m> CoScheduler<'m> {
     /// Creates a scheduler against a machine description.
     pub fn new(machine: &'m MachineDescription) -> Self {
-        Self { machine, config: PredictorConfig::default(), objective: Objective::Makespan }
+        Self {
+            machine,
+            config: PredictorConfig::default(),
+            objective: Objective::Makespan,
+            exec: ExecContext::serial(),
+        }
     }
 
     /// Sets the objective.
     pub fn with_objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
+        self
+    }
+
+    /// Sets the execution context: joint candidates are evaluated across
+    /// its workers and memoized in its cache. The chosen schedule is
+    /// identical to the serial search.
+    pub fn with_exec(mut self, exec: ExecContext) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -116,6 +131,7 @@ impl<'m> CoScheduler<'m> {
             for workload in jobs {
                 let solo = CoScheduler::new(self.machine)
                     .with_objective(Objective::Makespan)
+                    .with_exec(self.exec.clone())
                     .schedule(&[workload])?;
                 times.push(solo.predictions[0].predicted_time);
             }
@@ -123,18 +139,15 @@ impl<'m> CoScheduler<'m> {
         } else {
             None
         };
-        let mut best: Option<CoSchedule> = None;
-        // Cartesian product over each job's template options.
+        // Materialize the cartesian product over each job's template
+        // options, in counter order, then evaluate the candidates across
+        // the execution context's workers. Scanning the results in input
+        // order and keeping the first *strictly* lower objective picks
+        // the same schedule the serial loop would.
+        let mut combos: Vec<Vec<usize>> = Vec::new();
         let mut idx = vec![0usize; jobs.len()];
-        loop {
-            if let Some(candidate) =
-                self.evaluate(jobs, &per_job_options, &idx, solo_times.as_deref())?
-            {
-                if best.as_ref().map(|b| candidate.objective < b.objective).unwrap_or(true) {
-                    best = Some(candidate);
-                }
-            }
-            // Advance the product counter.
+        'product: loop {
+            combos.push(idx.clone());
             let mut k = 0;
             loop {
                 idx[k] += 1;
@@ -144,12 +157,23 @@ impl<'m> CoScheduler<'m> {
                 idx[k] = 0;
                 k += 1;
                 if k == jobs.len() {
-                    return best.ok_or(PandiaError::Mismatch {
-                        reason: "no feasible joint placement found".into(),
-                    });
+                    break 'product;
                 }
             }
         }
+        let session = JointSession::new(&self.exec, self.machine, &self.config, jobs)?;
+        let evaluated = self.exec.parallel_map(&combos, |combo| {
+            self.evaluate(jobs, &per_job_options, combo, solo_times.as_deref(), &session)
+        });
+        let mut best: Option<CoSchedule> = None;
+        for candidate in evaluated {
+            if let Some(candidate) = candidate? {
+                if best.as_ref().map(|b| candidate.objective < b.objective).unwrap_or(true) {
+                    best = Some(candidate);
+                }
+            }
+        }
+        best.ok_or(PandiaError::Mismatch { reason: "no feasible joint placement found".into() })
     }
 
     /// Predicts the jobs under explicit placements (no search).
@@ -166,6 +190,7 @@ impl<'m> CoScheduler<'m> {
         options: &[Template],
         idx: &[usize],
         solo_times: Option<&[f64]>,
+        session: &JointSession<'_>,
     ) -> Result<Option<CoSchedule>, PandiaError> {
         let shape = self.machine.shape();
         // Materialize placements, tracking per-core occupancy to keep the
@@ -190,7 +215,7 @@ impl<'m> CoScheduler<'m> {
         }
         let job_refs: Vec<(&WorkloadDescription, &Placement)> =
             jobs.iter().copied().zip(placements.iter()).collect();
-        let predictions = predict_jobs(self.machine, &job_refs, &self.config)?;
+        let predictions = session.predict_jobs(&job_refs)?;
         let objective = match self.objective {
             // Total time as a small tie-breaker: among equal makespans,
             // prefer finishing the other jobs sooner.

@@ -1,0 +1,596 @@
+//! Parallel placement evaluation with a memoizing prediction cache.
+//!
+//! The paper's search-based use cases (§1, §6.1) evaluate the predictor
+//! over *sets* of candidate placements: the best-placement search, the
+//! capacity planner's trade-off curves, and the co-scheduler's joint
+//! template sweep. Each evaluation is independent and pure — a
+//! prediction depends only on the machine description, the workload
+//! description, the concrete placement, and the predictor tunables — so
+//! the sweep is embarrassingly parallel and memoizable.
+//!
+//! This module provides both pieces:
+//!
+//! * [`ExecContext`] — a worker-pool handle (scoped threads, no
+//!   dependencies) whose [`ExecContext::parallel_map`] fans a slice of
+//!   work items across a configurable number of workers and returns the
+//!   results **in input order**. With one worker it degenerates to a
+//!   plain serial loop; outputs are bit-identical regardless of the
+//!   worker count.
+//! * [`PredictionCache`] — a sharded, thread-safe memo table keyed by a
+//!   stable fingerprint of (machine description, workload description,
+//!   placement contexts, predictor config). Repeated sweeps over
+//!   overlapping candidate sets (e.g. `plan` followed by
+//!   `scaling_profile`) hit the cache instead of re-running the
+//!   fixed-point iteration.
+//!
+//! [`PredictSession`] and [`JointSession`] bind the two together for
+//! single-workload and co-scheduled predictions respectively: they hash
+//! the sweep-invariant inputs once, then extend the fingerprint with
+//! each placement's context list per call.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pandia_topology::Placement;
+
+use crate::{
+    description::MachineDescription,
+    error::PandiaError,
+    predictor::{predict, predict_jobs, Prediction, PredictorConfig},
+    workload_desc::WorkloadDescription,
+};
+
+/// A 128-bit streaming fingerprint built from two independent 64-bit
+/// hashes (FNV-1a and a multiply-rotate mix), used as the cache key.
+///
+/// Not cryptographic — collision resistance only needs to be good enough
+/// that distinct (machine, workload, placement, config) tuples within one
+/// process do not collide, and 128 bits of independent state makes an
+/// accidental collision vanishingly unlikely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint {
+    a: u64,
+    b: u64,
+}
+
+impl Fingerprint {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    const MIX_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+    const MIX_MULT: u64 = 0x2545_f491_4f6c_dd1d;
+
+    /// Starts an empty fingerprint.
+    pub fn new() -> Self {
+        Self { a: Self::FNV_OFFSET, b: Self::MIX_SEED }
+    }
+
+    /// Feeds raw bytes into both hash streams.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(Self::FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(Self::MIX_MULT).rotate_left(17);
+        }
+    }
+
+    /// Feeds a string, framed with a terminator so `("ab", "c")` and
+    /// `("a", "bc")` hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0xff]);
+    }
+
+    /// Feeds one integer (little-endian).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write(&(v as u64).to_le_bytes());
+    }
+
+    /// The combined 128-bit key.
+    pub fn key(&self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Hit/miss counters and current size of a [`PredictionCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a stored prediction.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when the cache was never
+    /// consulted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Number of independently locked shards; a power of two so the key can
+/// be reduced with a mask.
+const SHARD_COUNT: usize = 16;
+
+/// A sharded, thread-safe memo table from prediction fingerprints to
+/// prediction results.
+///
+/// Values are stored as `Vec<Prediction>` so single-workload predictions
+/// (length 1) and joint co-schedule predictions (one per job) share one
+/// table. Sharding keeps lock contention negligible when many workers
+/// look up predictions concurrently.
+#[derive(Debug)]
+pub struct PredictionCache {
+    shards: [Mutex<HashMap<u128, Vec<Prediction>>>; SHARD_COUNT],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PredictionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<HashMap<u128, Vec<Prediction>>> {
+        &self.shards[(key as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// Looks a key up, counting the hit or miss.
+    pub fn lookup(&self, key: u128) -> Option<Vec<Prediction>> {
+        let found = self.shard(key).lock().expect("prediction cache poisoned").get(&key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stores predictions under a key.
+    pub fn store(&self, key: u128, predictions: Vec<Prediction>) {
+        self.shard(key).lock().expect("prediction cache poisoned").insert(key, predictions);
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("prediction cache poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current hit/miss counters and size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+impl Default for PredictionCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Execution settings for placement sweeps: how many workers to fan
+/// evaluations across, and whether to memoize predictions.
+///
+/// Cloning an `ExecContext` shares its cache (the cache sits behind an
+/// [`Arc`]), so a context can be handed to several sweeps and they will
+/// reuse each other's predictions.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    jobs: usize,
+    cache: Option<Arc<PredictionCache>>,
+}
+
+impl ExecContext {
+    /// A parallel context with `jobs` workers and a fresh cache.
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1), cache: Some(Arc::new(PredictionCache::new())) }
+    }
+
+    /// The serial context: one worker, no cache. Every `*_with` entry
+    /// point run under this context behaves exactly like its legacy
+    /// serial counterpart.
+    pub fn serial() -> Self {
+        Self { jobs: 1, cache: None }
+    }
+
+    /// A parallel context sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::new(jobs)
+    }
+
+    /// Sets the worker count (minimum 1).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Enables (fresh cache) or disables memoization.
+    pub fn with_cache(mut self, enabled: bool) -> Self {
+        self.cache = if enabled { Some(Arc::new(PredictionCache::new())) } else { None };
+        self
+    }
+
+    /// A one-worker context sharing this context's cache, for nested
+    /// stages that must not multiply the thread count.
+    pub fn sequential(&self) -> Self {
+        Self { jobs: 1, cache: self.cache.clone() }
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The cache, when memoization is enabled.
+    pub fn cache(&self) -> Option<&PredictionCache> {
+        self.cache.as_deref()
+    }
+
+    /// Cache statistics (all zeros when memoization is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_deref().map(PredictionCache::stats).unwrap_or_default()
+    }
+
+    /// Applies `f` to every item, fanning the work across the configured
+    /// workers, and returns the results in input order.
+    ///
+    /// Workers pull items off a shared atomic counter, so the dynamic
+    /// schedule balances uneven item costs; results are stitched back by
+    /// index, so the output is identical to `items.iter().map(f)` no
+    /// matter how many workers run.
+    pub fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.jobs.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(&f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let f = &f;
+            let next = &next;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            out.push((i, f(&items[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("exec worker panicked")).collect()
+        });
+        let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+        results.resize_with(items.len(), || None);
+        for (i, r) in chunks.into_iter().flatten() {
+            results[i] = Some(r);
+        }
+        results.into_iter().map(|r| r.expect("every index visited")).collect()
+    }
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+/// A memoizing prediction session for one (machine, workload, config)
+/// triple.
+///
+/// The sweep-invariant inputs are serialized and hashed once at
+/// construction; each [`PredictSession::predict`] call extends that
+/// prefix with the placement's concrete context list. With memoization
+/// disabled this is a zero-cost wrapper around [`predict`].
+pub struct PredictSession<'a> {
+    machine: &'a MachineDescription,
+    workload: &'a WorkloadDescription,
+    config: &'a PredictorConfig,
+    cache: Option<&'a PredictionCache>,
+    prefix: Fingerprint,
+}
+
+impl<'a> PredictSession<'a> {
+    /// Binds a session to an execution context and the sweep inputs.
+    pub fn new(
+        exec: &'a ExecContext,
+        machine: &'a MachineDescription,
+        workload: &'a WorkloadDescription,
+        config: &'a PredictorConfig,
+    ) -> Result<Self, PandiaError> {
+        let cache = exec.cache();
+        let mut prefix = Fingerprint::new();
+        if cache.is_some() {
+            prefix.write_str(&serde_json::to_string(machine)?);
+            prefix.write_str(&serde_json::to_string(workload)?);
+            prefix.write_str(&serde_json::to_string(config)?);
+        }
+        Ok(Self { machine, workload, config, cache, prefix })
+    }
+
+    /// Predicts one placement, consulting the cache first.
+    pub fn predict(&self, placement: &Placement) -> Result<Prediction, PandiaError> {
+        let Some(cache) = self.cache else {
+            return predict(self.machine, self.workload, placement, self.config);
+        };
+        let mut fp = self.prefix;
+        for ctx in placement.contexts() {
+            fp.write_usize(ctx.0);
+        }
+        let key = fp.key();
+        if let Some(mut hit) = cache.lookup(key) {
+            if let Some(p) = hit.pop() {
+                return Ok(p);
+            }
+        }
+        let prediction = predict(self.machine, self.workload, placement, self.config)?;
+        cache.store(key, vec![prediction.clone()]);
+        Ok(prediction)
+    }
+}
+
+/// A memoizing session for joint (co-scheduled) predictions over a fixed
+/// job list.
+///
+/// The machine, predictor config, and every job's workload description
+/// are hashed into the prefix at construction, **in order**; each
+/// [`JointSession::predict_jobs`] call must pass the same workloads in
+/// the same order and extends the prefix with the per-job placements.
+pub struct JointSession<'a> {
+    machine: &'a MachineDescription,
+    config: &'a PredictorConfig,
+    cache: Option<&'a PredictionCache>,
+    prefix: Fingerprint,
+}
+
+impl<'a> JointSession<'a> {
+    /// Binds a session to an execution context, machine, config, and an
+    /// ordered job list.
+    pub fn new(
+        exec: &'a ExecContext,
+        machine: &'a MachineDescription,
+        config: &'a PredictorConfig,
+        jobs: &[&WorkloadDescription],
+    ) -> Result<Self, PandiaError> {
+        let cache = exec.cache();
+        let mut prefix = Fingerprint::new();
+        if cache.is_some() {
+            prefix.write_str(&serde_json::to_string(machine)?);
+            prefix.write_str(&serde_json::to_string(config)?);
+            prefix.write_usize(jobs.len());
+            for workload in jobs {
+                prefix.write_str(&serde_json::to_string(*workload)?);
+            }
+        }
+        Ok(Self { machine, config, cache, prefix })
+    }
+
+    /// Predicts the jobs under the given placements, consulting the
+    /// cache first. The workloads must match the list the session was
+    /// created with, in the same order.
+    pub fn predict_jobs(
+        &self,
+        jobs: &[(&WorkloadDescription, &Placement)],
+    ) -> Result<Vec<Prediction>, PandiaError> {
+        let Some(cache) = self.cache else {
+            return predict_jobs(self.machine, jobs, self.config);
+        };
+        let mut fp = self.prefix;
+        for (_, placement) in jobs {
+            fp.write_usize(usize::MAX); // placement frame separator
+            for ctx in placement.contexts() {
+                fp.write_usize(ctx.0);
+            }
+        }
+        let key = fp.key();
+        if let Some(hit) = cache.lookup(key) {
+            return Ok(hit);
+        }
+        let predictions = predict_jobs(self.machine, jobs, self.config)?;
+        cache.store(key, predictions.clone());
+        Ok(predictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandia_topology::{CtxId, MachineShape};
+
+    fn machine() -> MachineDescription {
+        let mut m = MachineDescription::toy();
+        m.shape = MachineShape { sockets: 2, cores_per_socket: 2, threads_per_core: 2 };
+        m
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for jobs in [1, 2, 4, 7] {
+            let exec = ExecContext::new(jobs);
+            let out = exec.parallel_map(&items, |&i| i * i);
+            let expected: Vec<usize> = items.iter().map(|&i| i * i).collect();
+            assert_eq!(out, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_tiny_inputs() {
+        let exec = ExecContext::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(exec.parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(exec.parallel_map(&[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn fingerprints_separate_framing_and_values() {
+        let mut a = Fingerprint::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fingerprint::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.key(), b.key(), "string framing must matter");
+
+        let mut c = Fingerprint::new();
+        c.write_usize(1);
+        c.write_usize(2);
+        let mut d = Fingerprint::new();
+        d.write_usize(2);
+        d.write_usize(1);
+        assert_ne!(c.key(), d.key(), "order must matter");
+        assert_eq!(Fingerprint::new().key(), Fingerprint::default().key());
+    }
+
+    #[test]
+    fn distinct_inputs_get_distinct_cache_keys() {
+        // Fingerprint sanity: different configs, workloads, and
+        // placements must not collide on any pair of keys.
+        let exec = ExecContext::new(1);
+        let m = machine();
+        let w1 = WorkloadDescription::example();
+        let mut w2 = w1.clone();
+        w2.parallel_fraction = 0.5;
+        let c1 = PredictorConfig::default();
+        let c2 = PredictorConfig { tolerance: 1e-3, ..PredictorConfig::default() };
+        let shape = m.shape;
+        let p1 = Placement::new(&shape, vec![CtxId(0)]).unwrap();
+        let p2 = Placement::new(&shape, vec![CtxId(1)]).unwrap();
+
+        let mut keys = Vec::new();
+        for (w, c, p) in [(&w1, &c1, &p1), (&w2, &c1, &p1), (&w1, &c2, &p1), (&w1, &c1, &p2)] {
+            let session = PredictSession::new(&exec, &m, w, c).unwrap();
+            let mut fp = session.prefix;
+            for ctx in p.contexts() {
+                fp.write_usize(ctx.0);
+            }
+            keys.push(fp.key());
+        }
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "inputs {i} and {j} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let exec = ExecContext::new(1);
+        let m = machine();
+        let w = WorkloadDescription::example();
+        let config = PredictorConfig::default();
+        let shape = m.shape;
+        let placement = Placement::new(&shape, vec![CtxId(0), CtxId(4)]).unwrap();
+
+        let session = PredictSession::new(&exec, &m, &w, &config).unwrap();
+        let cold = session.predict(&placement).unwrap();
+        let warm = session.predict(&placement).unwrap();
+        assert_eq!(cold, warm, "cached prediction must be identical");
+
+        let stats = exec.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_cache_context_bypasses_memoization() {
+        let exec = ExecContext::new(2).with_cache(false);
+        assert!(exec.cache().is_none());
+        let m = machine();
+        let w = WorkloadDescription::example();
+        let config = PredictorConfig::default();
+        let shape = m.shape;
+        let placement = Placement::new(&shape, vec![CtxId(0)]).unwrap();
+
+        let session = PredictSession::new(&exec, &m, &w, &config).unwrap();
+        session.predict(&placement).unwrap();
+        session.predict(&placement).unwrap();
+        let stats = exec.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn sequential_clone_shares_the_cache() {
+        let exec = ExecContext::new(4);
+        let inner = exec.sequential();
+        assert_eq!(inner.jobs(), 1);
+        let m = machine();
+        let w = WorkloadDescription::example();
+        let config = PredictorConfig::default();
+        let shape = m.shape;
+        let placement = Placement::new(&shape, vec![CtxId(0)]).unwrap();
+
+        let outer_session = PredictSession::new(&exec, &m, &w, &config).unwrap();
+        outer_session.predict(&placement).unwrap();
+        let inner_session = PredictSession::new(&inner, &m, &w, &config).unwrap();
+        inner_session.predict(&placement).unwrap();
+        assert_eq!(exec.cache_stats().hits, 1, "inner context must see the outer entry");
+    }
+
+    #[test]
+    fn joint_session_caches_whole_prediction_vectors() {
+        let exec = ExecContext::new(1);
+        let m = machine();
+        let a = WorkloadDescription::example();
+        let b = WorkloadDescription::example();
+        let config = PredictorConfig::default();
+        let shape = m.shape;
+        let pa = Placement::new(&shape, vec![CtxId(0)]).unwrap();
+        let pb = Placement::new(&shape, vec![CtxId(4)]).unwrap();
+
+        let session = JointSession::new(&exec, &m, &config, &[&a, &b]).unwrap();
+        let cold = session.predict_jobs(&[(&a, &pa), (&b, &pb)]).unwrap();
+        let warm = session.predict_jobs(&[(&a, &pa), (&b, &pb)]).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(cold.len(), 2);
+        let stats = exec.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        // Swapping the placements is a different joint candidate.
+        session.predict_jobs(&[(&a, &pb), (&b, &pa)]).unwrap();
+        assert_eq!(exec.cache_stats().misses, 2);
+    }
+}

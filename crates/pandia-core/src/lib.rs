@@ -35,6 +35,7 @@
 pub mod coschedule;
 pub mod description;
 pub mod error;
+pub mod exec;
 pub mod fleet;
 pub mod machine_gen;
 pub mod online;
@@ -47,13 +48,15 @@ pub mod workload_desc;
 pub use coschedule::{CoSchedule, CoScheduler, JobAssignment, Objective};
 pub use description::MachineDescription;
 pub use error::PandiaError;
+pub use exec::{CacheStats, ExecContext, JointSession, PredictSession, PredictionCache};
 pub use fleet::{FleetAssignment, FleetSchedule, FleetScheduler};
 pub use machine_gen::{describe_machine, MachineDescriptionGenerator, MachineGenConfig};
 pub use online::{OnlineConfig, OnlineController, OnlineReport};
-pub use planner::{plan, scaling_profile, CapacityPlan, ScalingPoint, Target};
+pub use planner::{plan, plan_with, scaling_profile, scaling_profile_with, CapacityPlan, ScalingPoint, Target};
 pub use predictor::{predict, predict_jobs, Prediction, PredictorConfig, ThreadPrediction};
 pub use profiler::{ProfileConfig, ProfileReport, RunRecord, WorkloadProfiler};
 pub use search::{
-    best_placement, placement_report, PlacementOutcome, PlacementReport, Recommendation,
+    best_placement, best_placement_with, placement_report, placement_report_with,
+    PlacementOutcome, PlacementReport, Recommendation,
 };
 pub use workload_desc::WorkloadDescription;

@@ -14,8 +14,9 @@ use serde::{Deserialize, Serialize};
 use crate::{
     description::MachineDescription,
     error::PandiaError,
-    predictor::{predict, PredictorConfig},
-    search::PlacementOutcome,
+    exec::ExecContext,
+    predictor::PredictorConfig,
+    search::{placement_report_with, PlacementOutcome},
     workload_desc::WorkloadDescription,
 };
 
@@ -86,20 +87,24 @@ pub fn plan(
     target: Target,
     config: &PredictorConfig,
 ) -> Result<CapacityPlan, PandiaError> {
+    plan_with(&ExecContext::serial(), machine, workload, candidates, target, config)
+}
+
+/// [`plan`] under an execution context: candidate evaluations fan across
+/// the context's workers and reuse its prediction cache. The plan is
+/// bit-identical to the serial one.
+pub fn plan_with(
+    exec: &ExecContext,
+    machine: &MachineDescription,
+    workload: &WorkloadDescription,
+    candidates: &[CanonicalPlacement],
+    target: Target,
+    config: &PredictorConfig,
+) -> Result<CapacityPlan, PandiaError> {
     if candidates.is_empty() {
         return Err(PandiaError::Mismatch { reason: "no candidate placements".into() });
     }
-    let mut outcomes = Vec::with_capacity(candidates.len());
-    for canon in candidates {
-        let placement = canon.instantiate(machine)?;
-        let prediction = predict(machine, workload, &placement, config)?;
-        outcomes.push(PlacementOutcome {
-            placement: canon.clone(),
-            n_threads: prediction.n_threads,
-            speedup: prediction.speedup,
-            predicted_time: prediction.predicted_time,
-        });
-    }
+    let outcomes = placement_report_with(exec, machine, workload, candidates, config)?.outcomes;
     let best = outcomes
         .iter()
         .min_by(|a, b| {
@@ -143,18 +148,29 @@ pub fn scaling_profile(
     candidates: &[CanonicalPlacement],
     config: &PredictorConfig,
 ) -> Result<Vec<ScalingPoint>, PandiaError> {
+    scaling_profile_with(&ExecContext::serial(), machine, workload, candidates, config)
+}
+
+/// [`scaling_profile`] under an execution context; the profile is
+/// bit-identical to the serial one.
+pub fn scaling_profile_with(
+    exec: &ExecContext,
+    machine: &MachineDescription,
+    workload: &WorkloadDescription,
+    candidates: &[CanonicalPlacement],
+    config: &PredictorConfig,
+) -> Result<Vec<ScalingPoint>, PandiaError> {
+    let outcomes = placement_report_with(exec, machine, workload, candidates, config)?.outcomes;
     let mut by_budget: std::collections::BTreeMap<usize, ScalingPoint> =
         std::collections::BTreeMap::new();
-    for canon in candidates {
-        let placement = canon.instantiate(machine)?;
-        let prediction = predict(machine, workload, &placement, config)?;
-        let n = prediction.n_threads;
+    for outcome in outcomes {
+        let n = outcome.n_threads;
         let point = ScalingPoint {
             n_threads: n,
-            predicted_time: prediction.predicted_time,
-            placement: canon.clone(),
-            cores_used: canon.cores_used(),
-            sockets_used: canon.sockets_used(),
+            predicted_time: outcome.predicted_time,
+            placement: outcome.placement.clone(),
+            cores_used: outcome.placement.cores_used(),
+            sockets_used: outcome.placement.sockets_used(),
         };
         by_budget
             .entry(n)

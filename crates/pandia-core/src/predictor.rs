@@ -30,13 +30,14 @@
 //! range seen on the first iteration (§5.4).
 
 use pandia_topology::{HasShape, Placement, ResourceId, ResourceKind, ThreadId};
+use serde::{Deserialize, Serialize};
 
 use crate::{
     description::MachineDescription, error::PandiaError, workload_desc::WorkloadDescription,
 };
 
 /// Tunables of the prediction iteration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PredictorConfig {
     /// Convergence threshold on the max change of any thread utilization.
     pub tolerance: f64,

@@ -254,6 +254,31 @@ impl<'m> WorkloadProfiler<'m> {
         Ok(ProfileReport { description: desc, runs, n2, total_cost })
     }
 
+    /// Profiles several workloads, fanning them across an execution
+    /// context's workers. Each worker profiles against its own clone of
+    /// `platform`, so the per-workload reports are identical to calling
+    /// [`WorkloadProfiler::profile`] serially in input order.
+    ///
+    /// The six runs *within* one workload stay sequential — each solves
+    /// a parameter the next run depends on — so the parallelism here is
+    /// across workloads, which is how the harness sweeps use it.
+    pub fn profile_many<P>(
+        &self,
+        exec: &crate::exec::ExecContext,
+        platform: &P,
+        workloads: &[(P::Workload, String)],
+    ) -> Result<Vec<ProfileReport>, PandiaError>
+    where
+        P: Platform + Clone + Sync,
+        P::Workload: Sync,
+    {
+        let reports = exec.parallel_map(workloads, |(workload, name)| {
+            let mut local = platform.clone();
+            self.profile(&mut local, workload, name)
+        });
+        reports.into_iter().collect()
+    }
+
     /// Executes one profiling run `repeats` times with distinct seeds and
     /// returns the mean elapsed time plus the last result's counters.
     fn timed<P: Platform>(

@@ -13,7 +13,8 @@ use serde::{Deserialize, Serialize};
 use crate::{
     description::MachineDescription,
     error::PandiaError,
-    predictor::{predict, PredictorConfig},
+    exec::{ExecContext, PredictSession},
+    predictor::PredictorConfig,
     workload_desc::WorkloadDescription,
 };
 
@@ -57,22 +58,46 @@ impl PlacementReport {
 }
 
 /// Evaluates the predictor over a set of candidate placements.
+///
+/// Serial convenience for [`placement_report_with`] under
+/// [`ExecContext::serial`].
 pub fn placement_report(
     machine: &MachineDescription,
     workload: &WorkloadDescription,
     candidates: &[CanonicalPlacement],
     config: &PredictorConfig,
 ) -> Result<PlacementReport, PandiaError> {
-    let mut outcomes = Vec::with_capacity(candidates.len());
-    for c in candidates {
+    placement_report_with(&ExecContext::serial(), machine, workload, candidates, config)
+}
+
+/// Evaluates the predictor over a set of candidate placements, fanning
+/// the evaluations across the context's workers and memoizing through
+/// its cache.
+///
+/// The report is bit-identical to [`placement_report`] regardless of the
+/// worker count: outcomes keep the input order, and each prediction is a
+/// pure function of the sweep inputs.
+pub fn placement_report_with(
+    exec: &ExecContext,
+    machine: &MachineDescription,
+    workload: &WorkloadDescription,
+    candidates: &[CanonicalPlacement],
+    config: &PredictorConfig,
+) -> Result<PlacementReport, PandiaError> {
+    let session = PredictSession::new(exec, machine, workload, config)?;
+    let evaluated = exec.parallel_map(candidates, |c| -> Result<PlacementOutcome, PandiaError> {
         let placement = c.instantiate(machine)?;
-        let pred = predict(machine, workload, &placement, config)?;
-        outcomes.push(PlacementOutcome {
+        let pred = session.predict(&placement)?;
+        Ok(PlacementOutcome {
             placement: c.clone(),
             n_threads: pred.n_threads,
             speedup: pred.speedup,
             predicted_time: pred.predicted_time,
-        });
+        })
+    });
+    let mut outcomes = Vec::with_capacity(evaluated.len());
+    for outcome in evaluated {
+        outcomes.push(outcome?);
     }
     Ok(PlacementReport { outcomes })
 }
@@ -84,7 +109,18 @@ pub fn best_placement(
     candidates: &[CanonicalPlacement],
     config: &PredictorConfig,
 ) -> Result<PlacementOutcome, PandiaError> {
-    let report = placement_report(machine, workload, candidates, config)?;
+    best_placement_with(&ExecContext::serial(), machine, workload, candidates, config)
+}
+
+/// Finds the best-predicted placement using an execution context.
+pub fn best_placement_with(
+    exec: &ExecContext,
+    machine: &MachineDescription,
+    workload: &WorkloadDescription,
+    candidates: &[CanonicalPlacement],
+    config: &PredictorConfig,
+) -> Result<PlacementOutcome, PandiaError> {
+    let report = placement_report_with(exec, machine, workload, candidates, config)?;
     report.best().cloned().ok_or(PandiaError::Mismatch {
         reason: "no candidate placements supplied".into(),
     })
@@ -116,7 +152,19 @@ impl Recommendation {
         tolerance: f64,
         config: &PredictorConfig,
     ) -> Result<Self, PandiaError> {
-        let report = placement_report(machine, workload, candidates, config)?;
+        Self::analyze_with(&ExecContext::serial(), machine, workload, candidates, tolerance, config)
+    }
+
+    /// Analyzes a candidate set using an execution context.
+    pub fn analyze_with(
+        exec: &ExecContext,
+        machine: &MachineDescription,
+        workload: &WorkloadDescription,
+        candidates: &[CanonicalPlacement],
+        tolerance: f64,
+        config: &PredictorConfig,
+    ) -> Result<Self, PandiaError> {
+        let report = placement_report_with(exec, machine, workload, candidates, config)?;
         let best = report
             .best()
             .cloned()

@@ -1,20 +1,27 @@
 //! Figure 1: measured vs predicted performance for MD on the X5-2 across
 //! the placement space.
 //!
-//! `cargo run --release -p pandia-harness --bin fig01_md [--quick]`
+//! `cargo run --release -p pandia-harness --bin fig01_md [--quick]
+//! [--jobs N] [--no-cache]`
 
 use pandia_harness::{
-    experiments::{curves, Coverage},
+    experiments::{curves, exec_from_args, Coverage},
     metrics, report, MachineContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let coverage = Coverage::from_args();
-    let mut ctx = MachineContext::x5_2()?;
+    let exec = exec_from_args();
+    let ctx = MachineContext::x5_2()?;
     let placements = coverage.placements(&ctx);
-    eprintln!("MD on {} over {} placements", ctx.description.machine, placements.len());
+    eprintln!(
+        "MD on {} over {} placements (jobs={})",
+        ctx.description.machine,
+        placements.len(),
+        exec.jobs()
+    );
     let md = pandia_workloads::by_name("MD").expect("MD registered");
-    let curve = curves::workload_curve(&mut ctx, &md, &placements)?;
+    let curve = curves::workload_curve_with(&exec, &ctx, &md, &placements)?;
 
     let stats = metrics::error_stats(&curve);
     let gap = metrics::best_placement_gap(&curve);

@@ -1,32 +1,35 @@
 //! Figure 10: measured vs predicted performance for every workload on the
 //! X5-2 (Figure 1 covers MD; this binary regenerates all 22 curves).
 //!
-//! `cargo run --release -p pandia-harness --bin fig10_curves [--quick] [machine]`
+//! `cargo run --release -p pandia-harness --bin fig10_curves [--quick]
+//! [--jobs N] [--no-cache] [machine]`
+
+use std::time::Instant;
 
 use pandia_harness::{
-    experiments::{curves, runnable_workloads, Coverage},
+    experiments::{curves, exec_from_args, positional_args, runnable_workloads, Coverage},
     metrics, report, MachineContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let coverage = Coverage::from_args();
-    let machine = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with('-'))
-        .unwrap_or_else(|| "x5-2".into());
-    let mut ctx = MachineContext::by_name(&machine)?;
+    let exec = exec_from_args();
+    let machine = positional_args().into_iter().next().unwrap_or_else(|| "x5-2".into());
+    let ctx = MachineContext::by_name(&machine)?;
     let placements = coverage.placements(&ctx);
     let workloads = runnable_workloads(&ctx, pandia_workloads::paper_suite());
     eprintln!(
-        "{} workloads on {} over {} placements",
+        "{} workloads on {} over {} placements (jobs={})",
         workloads.len(),
         ctx.description.machine,
-        placements.len()
+        placements.len(),
+        exec.jobs()
     );
 
+    let start = Instant::now();
     let mut all_stats = Vec::new();
     for w in &workloads {
-        let curve = curves::workload_curve(&mut ctx, w, &placements)?;
+        let curve = curves::workload_curve_with(&exec, &ctx, w, &placements)?;
         let stats = metrics::error_stats(&curve);
         println!(
             "{:<10} mean {:>6.2}%  median {:>6.2}%  gap {:>6.2}%",
@@ -41,6 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         all_stats.push(stats);
     }
+    let cache = exec.cache_stats();
+    eprintln!(
+        "curves: {:.2}s wall (cache {} hits / {} misses, {:.1}% hit rate)",
+        start.elapsed().as_secs_f64(),
+        cache.hits,
+        cache.misses,
+        100.0 * cache.hit_rate()
+    );
     let table = report::error_table(
         &format!("Figure 10 curves on {}", ctx.description.machine),
         &all_stats,

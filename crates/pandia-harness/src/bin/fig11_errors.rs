@@ -5,32 +5,54 @@
 //! * `fig11_errors portability` — panels c/d (X3-2 descriptions on the
 //!   X5-2 and vice versa).
 //!
-//! Add `--quick` for a fast low-coverage pass.
+//! Add `--quick` for a fast low-coverage pass, `--jobs N` to set the
+//! worker count (default: all hardware threads; the written results are
+//! bit-identical for every value), and `--no-cache` to disable
+//! prediction memoization.
 
+use std::time::Instant;
+
+use pandia_core::ExecContext;
 use pandia_harness::{
-    experiments::{errors, runnable_workloads, Coverage},
+    experiments::{errors, exec_from_args, positional_args, runnable_workloads, Coverage},
     report, MachineContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let coverage = Coverage::from_args();
-    let mode = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with('-'))
-        .unwrap_or_else(|| "x5-2".into());
+    let exec = exec_from_args();
+    let mode = positional_args().into_iter().next().unwrap_or_else(|| "x5-2".into());
 
     if mode == "portability" {
-        run_portability(coverage)
+        run_portability(coverage, &exec)
     } else {
-        run_panel(&mode, coverage)
+        run_panel(&mode, coverage, &exec)
     }
 }
 
-fn run_panel(machine: &str, coverage: Coverage) -> Result<(), Box<dyn std::error::Error>> {
-    let mut ctx = MachineContext::by_name(machine)?;
+fn report_exec(exec: &ExecContext, stage: &str, start: Instant) {
+    let stats = exec.cache_stats();
+    eprintln!(
+        "{stage}: {:.2}s wall (jobs={}; cache {} hits / {} misses, {:.1}% hit rate)",
+        start.elapsed().as_secs_f64(),
+        exec.jobs(),
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate()
+    );
+}
+
+fn run_panel(
+    machine: &str,
+    coverage: Coverage,
+    exec: &ExecContext,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = MachineContext::by_name(machine)?;
     let placements = coverage.placements(&ctx);
     let workloads = runnable_workloads(&ctx, pandia_workloads::paper_suite());
-    let bars = errors::error_bars(&mut ctx, &workloads, &placements)?;
+    let start = Instant::now();
+    let bars = errors::error_bars_with(exec, &ctx, &workloads, &placements)?;
+    report_exec(exec, &format!("error sweep on {machine}"), start);
     let title = format!("Figure 11 — errors on {}", bars.title);
     let table = report::error_table(&title, &bars.stats);
     print!("{table}");
@@ -46,15 +68,20 @@ fn run_panel(machine: &str, coverage: Coverage) -> Result<(), Box<dyn std::error
     Ok(())
 }
 
-fn run_portability(coverage: Coverage) -> Result<(), Box<dyn std::error::Error>> {
+fn run_portability(
+    coverage: Coverage,
+    exec: &ExecContext,
+) -> Result<(), Box<dyn std::error::Error>> {
     // Panel c: X3-2 descriptions used on the X5-2.
     // Panel d: X5-2 descriptions used on the X3-2.
     for (src_name, dst_name, panel) in [("x3-2", "x5-2", "c"), ("x5-2", "x3-2", "d")] {
-        let mut src = MachineContext::by_name(src_name)?;
-        let mut dst = MachineContext::by_name(dst_name)?;
+        let src = MachineContext::by_name(src_name)?;
+        let dst = MachineContext::by_name(dst_name)?;
         let placements = coverage.placements(&dst);
         let workloads = runnable_workloads(&dst, pandia_workloads::paper_suite());
-        let bars = errors::portability(&mut src, &mut dst, &workloads, &placements)?;
+        let start = Instant::now();
+        let bars = errors::portability_with(exec, &src, &dst, &workloads, &placements)?;
+        report_exec(exec, &format!("portability {src_name} -> {dst_name}"), start);
         let title = format!("Figure 11{panel} — {}", bars.title);
         let table = report::error_table(&title, &bars.stats);
         print!("{table}");

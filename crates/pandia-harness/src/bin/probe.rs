@@ -3,21 +3,22 @@
 //! pipeline (`cargo run --release -p pandia-harness --bin probe [machine]`).
 
 use pandia_harness::{
-    experiments::{curves, runnable_workloads},
+    experiments::{curves, exec_from_args, positional_args, runnable_workloads},
     metrics::{self},
     MachineContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let machine = std::env::args().nth(1).unwrap_or_else(|| "x3-2".into());
-    let mut ctx = match machine.as_str() {
+    let exec = exec_from_args();
+    let positional = positional_args();
+    let machine = positional.first().cloned().unwrap_or_else(|| "x3-2".into());
+    let ctx = match machine.as_str() {
         "x5-2" => MachineContext::x5_2()?,
         "x4-2" => MachineContext::x4_2()?,
         "x2-4" => MachineContext::x2_4()?,
         _ => MachineContext::x3_2()?,
     };
-    let per_n: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let per_n: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
     let placements = ctx.enumerator().sampled(&ctx.spec, per_n);
     eprintln!(
         "machine {} — {} placements/workload",
@@ -32,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut med_all = Vec::new();
     let mut gaps = Vec::new();
     for w in &workloads {
-        let curve = curves::workload_curve(&mut ctx, w, &placements)?;
+        let curve = curves::workload_curve_with(&exec, &ctx, w, &placements)?;
         let stats = metrics::error_stats(&curve);
         let gap = metrics::best_placement_gap(&curve);
         let best = curve.measured_best_placement().unwrap();

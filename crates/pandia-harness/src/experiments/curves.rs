@@ -1,13 +1,13 @@
 //! Figures 1 and 10: measured vs predicted performance across the
 //! placement space, per workload.
 
-use pandia_core::PredictorConfig;
+use pandia_core::{ExecContext, PredictorConfig};
 use pandia_topology::CanonicalPlacement;
 use pandia_workloads::WorkloadEntry;
 
 use crate::{
     context::MachineContext,
-    runner::{measure_curve, PlacementCurve},
+    runner::{measure_curve_with, PlacementCurve},
 };
 
 use super::ExpResult;
@@ -19,9 +19,22 @@ pub fn workload_curve(
     workload: &WorkloadEntry,
     placements: &[CanonicalPlacement],
 ) -> ExpResult<PlacementCurve> {
-    let profile = ctx.profile(workload)?;
-    measure_curve(
-        ctx,
+    workload_curve_with(&ExecContext::serial(), ctx, workload, placements)
+}
+
+/// [`workload_curve`] under an execution context (profiling stays
+/// sequential; the curve's placements fan across the workers).
+pub fn workload_curve_with(
+    exec: &ExecContext,
+    ctx: &MachineContext,
+    workload: &WorkloadEntry,
+    placements: &[CanonicalPlacement],
+) -> ExpResult<PlacementCurve> {
+    let mut local = ctx.clone();
+    let profile = local.profile(workload)?;
+    measure_curve_with(
+        exec,
+        &local,
         &workload.behavior,
         &profile.description,
         placements,
@@ -35,9 +48,19 @@ pub fn all_curves(
     workloads: &[WorkloadEntry],
     placements: &[CanonicalPlacement],
 ) -> ExpResult<Vec<PlacementCurve>> {
-    let mut curves = Vec::with_capacity(workloads.len());
-    for w in workloads {
-        curves.push(workload_curve(ctx, w, placements)?);
-    }
-    Ok(curves)
+    all_curves_with(&ExecContext::serial(), ctx, workloads, placements)
+}
+
+/// [`all_curves`] under an execution context, parallel across workloads;
+/// bit-identical to the serial sweep.
+pub fn all_curves_with(
+    exec: &ExecContext,
+    ctx: &MachineContext,
+    workloads: &[WorkloadEntry],
+    placements: &[CanonicalPlacement],
+) -> ExpResult<Vec<PlacementCurve>> {
+    let inner = exec.sequential();
+    let evaluated = exec
+        .parallel_map(workloads, |w| workload_curve_with(&inner, ctx, w, placements));
+    evaluated.into_iter().collect()
 }

@@ -1,14 +1,14 @@
 //! Figure 11: prediction error bars per workload, including the
 //! cross-machine portability study (11c/11d).
 
-use pandia_core::{predict, PredictorConfig, WorkloadDescription};
+use pandia_core::{ExecContext, PredictSession, PredictorConfig, WorkloadDescription};
 use pandia_topology::{CanonicalPlacement, HasShape, Platform, RunRequest};
 use pandia_workloads::WorkloadEntry;
 
 use crate::{
     context::MachineContext,
     metrics::{error_stats, machine_summary, ErrorStats, MachineSummary},
-    runner::{measure_curve, CurvePoint, PlacementCurve},
+    runner::{measure_curve_with, CurvePoint, PlacementCurve},
 };
 
 use super::ExpResult;
@@ -33,16 +33,37 @@ pub fn error_bars(
     workloads: &[WorkloadEntry],
     placements: &[CanonicalPlacement],
 ) -> ExpResult<ErrorBars> {
-    let mut curves = Vec::with_capacity(workloads.len());
-    for w in workloads {
-        let profile = ctx.profile(w)?;
-        curves.push(measure_curve(
-            ctx,
+    error_bars_with(&ExecContext::serial(), ctx, workloads, placements)
+}
+
+/// [`error_bars`] under an execution context: workloads are profiled and
+/// measured across its workers, each against its own clone of the
+/// machine context. The result is bit-identical to the serial sweep.
+///
+/// The inner per-workload curve runs on a one-worker view of the context
+/// (sharing its cache) so the thread count stays bounded by `jobs`.
+pub fn error_bars_with(
+    exec: &ExecContext,
+    ctx: &MachineContext,
+    workloads: &[WorkloadEntry],
+    placements: &[CanonicalPlacement],
+) -> ExpResult<ErrorBars> {
+    let inner = exec.sequential();
+    let evaluated = exec.parallel_map(workloads, |w| -> ExpResult<PlacementCurve> {
+        let mut local = ctx.clone();
+        let profile = local.profile(w)?;
+        measure_curve_with(
+            &inner,
+            &local,
             &w.behavior,
             &profile.description,
             placements,
             &PredictorConfig::default(),
-        )?);
+        )
+    });
+    let mut curves = Vec::with_capacity(evaluated.len());
+    for curve in evaluated {
+        curves.push(curve?);
     }
     finish(ctx.description.machine.clone(), curves)
 }
@@ -56,11 +77,28 @@ pub fn portability(
     workloads: &[WorkloadEntry],
     target_placements: &[CanonicalPlacement],
 ) -> ExpResult<ErrorBars> {
-    let mut curves = Vec::with_capacity(workloads.len());
-    for w in workloads {
-        let desc = source.profile(w)?.description;
+    portability_with(&ExecContext::serial(), source, target, workloads, target_placements)
+}
+
+/// [`portability`] under an execution context, parallel across workloads;
+/// bit-identical to the serial study.
+pub fn portability_with(
+    exec: &ExecContext,
+    source: &MachineContext,
+    target: &MachineContext,
+    workloads: &[WorkloadEntry],
+    target_placements: &[CanonicalPlacement],
+) -> ExpResult<ErrorBars> {
+    let inner = exec.sequential();
+    let evaluated = exec.parallel_map(workloads, |w| -> ExpResult<PlacementCurve> {
+        let mut local_source = source.clone();
+        let desc = local_source.profile(w)?.description;
         let desc = adapt_description(&desc, target);
-        curves.push(measure_on(target, w, &desc, target_placements)?);
+        measure_on(&inner, target, w, &desc, target_placements)
+    });
+    let mut curves = Vec::with_capacity(evaluated.len());
+    for curve in evaluated {
+        curves.push(curve?);
     }
     finish(
         format!(
@@ -85,28 +123,32 @@ fn adapt_description(
 }
 
 fn measure_on(
-    ctx: &mut MachineContext,
+    exec: &ExecContext,
+    ctx: &MachineContext,
     workload: &WorkloadEntry,
     desc: &WorkloadDescription,
     placements: &[CanonicalPlacement],
 ) -> ExpResult<PlacementCurve> {
     let shape = ctx.description.shape();
-    let mut points = Vec::with_capacity(placements.len());
-    for canon in placements {
+    let config = PredictorConfig::default();
+    let session = PredictSession::new(exec, &ctx.description, desc, &config)?;
+    let evaluated = exec.parallel_map(placements, |canon| -> ExpResult<CurvePoint> {
         let placement = canon.instantiate(&shape)?;
-        let measured = ctx
-            .platform
+        let mut platform = ctx.platform.clone();
+        let measured = platform
             .run(&RunRequest::new(workload.behavior.clone(), placement.clone()))?
             .elapsed;
-        let predicted =
-            predict(&ctx.description, desc, &placement, &PredictorConfig::default())?
-                .predicted_time;
-        points.push(CurvePoint {
+        let predicted = session.predict(&placement)?.predicted_time;
+        Ok(CurvePoint {
             placement: canon.clone(),
             n_threads: placement.n_threads(),
             measured,
             predicted,
-        });
+        })
+    });
+    let mut points = Vec::with_capacity(evaluated.len());
+    for point in evaluated {
+        points.push(point?);
     }
     Ok(PlacementCurve {
         workload: workload.name.to_string(),

@@ -26,7 +26,7 @@ pub mod sweep;
 pub mod turbo;
 pub mod worked_example;
 
-use pandia_core::PandiaError;
+use pandia_core::{ExecContext, PandiaError};
 use pandia_topology::CanonicalPlacement;
 
 use crate::context::MachineContext;
@@ -68,6 +68,51 @@ impl Coverage {
             }
         }
     }
+}
+
+/// Builds an [`ExecContext`] from `--jobs N` / `--no-cache` style argv
+/// flags, shared by the experiment binaries.
+///
+/// Defaults to one worker per available hardware thread with memoization
+/// on; experiment outputs are bit-identical for every worker count, so
+/// the flags only trade wall-clock time.
+pub fn exec_from_args() -> ExecContext {
+    let args: Vec<String> = std::env::args().collect();
+    let mut jobs =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut cache = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" | "-j" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    jobs = v.max(1);
+                    i += 1;
+                }
+            }
+            "--no-cache" => cache = false,
+            _ => {}
+        }
+        i += 1;
+    }
+    ExecContext::new(jobs).with_cache(cache)
+}
+
+/// Positional argv values with the shared experiment flags (`--quick`,
+/// `-q`, `--jobs N`, `-j N`, `--no-cache`) stripped out.
+pub fn positional_args() -> Vec<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" | "-j" => i += 1, // skip the flag's value too
+            a if a.starts_with('-') => {}
+            a => positional.push(a.to_string()),
+        }
+        i += 1;
+    }
+    positional
 }
 
 /// Filters the workload list to those runnable on a machine (drops AVX

@@ -1,6 +1,6 @@
 //! Measured-versus-predicted placement curves (Figures 1, 10, 13).
 
-use pandia_core::{predict, PandiaError, PredictorConfig, WorkloadDescription};
+use pandia_core::{ExecContext, PandiaError, PredictSession, PredictorConfig, WorkloadDescription};
 use pandia_sim::Behavior;
 use pandia_topology::{CanonicalPlacement, HasShape, Platform, RunRequest};
 use serde::{Deserialize, Serialize};
@@ -82,22 +82,40 @@ pub fn measure_curve(
     placements: &[CanonicalPlacement],
     config: &PredictorConfig,
 ) -> Result<PlacementCurve, PandiaError> {
+    measure_curve_with(&ExecContext::serial(), ctx, behavior, description, placements, config)
+}
+
+/// [`measure_curve`] under an execution context: placements are measured
+/// and predicted across its workers (each worker runs its own clone of
+/// the simulator, whose runs are pure functions of the request), and
+/// predictions are memoized in its cache. The curve is bit-identical to
+/// the serial one.
+pub fn measure_curve_with(
+    exec: &ExecContext,
+    ctx: &MachineContext,
+    behavior: &Behavior,
+    description: &WorkloadDescription,
+    placements: &[CanonicalPlacement],
+    config: &PredictorConfig,
+) -> Result<PlacementCurve, PandiaError> {
     let shape = ctx.description.shape();
-    let mut points = Vec::with_capacity(placements.len());
-    for canon in placements {
+    let session = PredictSession::new(exec, &ctx.description, description, config)?;
+    let evaluated = exec.parallel_map(placements, |canon| -> Result<CurvePoint, PandiaError> {
         let placement = canon.instantiate(&shape)?;
-        let measured = ctx
-            .platform
-            .run(&RunRequest::new(behavior.clone(), placement.clone()))?
-            .elapsed;
-        let predicted =
-            predict(&ctx.description, description, &placement, config)?.predicted_time;
-        points.push(CurvePoint {
+        let mut platform = ctx.platform.clone();
+        let measured =
+            platform.run(&RunRequest::new(behavior.clone(), placement.clone()))?.elapsed;
+        let predicted = session.predict(&placement)?.predicted_time;
+        Ok(CurvePoint {
             placement: canon.clone(),
             n_threads: placement.n_threads(),
             measured,
             predicted,
-        });
+        })
+    });
+    let mut points = Vec::with_capacity(evaluated.len());
+    for point in evaluated {
+        points.push(point?);
     }
     Ok(PlacementCurve {
         workload: description.name.clone(),

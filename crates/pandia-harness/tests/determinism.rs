@@ -1,0 +1,47 @@
+//! Determinism regression test for the parallel execution layer: the
+//! Figure 11 experiment must serialize to exactly the same bytes no
+//! matter how many worker threads evaluate it, and no matter whether
+//! the prediction cache is enabled, cold, or warm.
+
+use pandia_core::ExecContext;
+use pandia_harness::experiments::errors::error_bars_with;
+use pandia_harness::MachineContext;
+
+#[test]
+fn fig11_is_byte_identical_across_jobs_and_cache() {
+    let ctx = MachineContext::x3_2().expect("machine context");
+    let workloads: Vec<_> = ["EP", "CG"]
+        .iter()
+        .map(|n| pandia_workloads::by_name(n).expect("registered workload"))
+        .collect();
+    let placements = ctx.enumerator().sampled(&ctx.spec, 3);
+
+    let serial = ExecContext::serial();
+    let baseline = error_bars_with(&serial, &ctx, &workloads, &placements).expect("serial run");
+    let baseline_json = serde_json::to_string(&baseline.curves).expect("serialize");
+
+    for jobs in [1, 4] {
+        for cache in [true, false] {
+            let exec = ExecContext::new(jobs).with_cache(cache);
+            // Two passes over the same context: the second one exercises
+            // warm-cache lookups when the cache is enabled.
+            for pass in ["cold", "warm"] {
+                let result =
+                    error_bars_with(&exec, &ctx, &workloads, &placements).expect("parallel run");
+                let json = serde_json::to_string(&result.curves).expect("serialize");
+                assert_eq!(
+                    json, baseline_json,
+                    "jobs={jobs}, cache={cache}, {pass} pass diverged from serial output"
+                );
+                assert_eq!(result.title, baseline.title);
+                assert_eq!(result.stats.len(), baseline.stats.len());
+            }
+            let stats = exec.cache_stats();
+            if cache {
+                assert!(stats.hits > 0, "warm pass produced no cache hits: {stats:?}");
+            } else {
+                assert_eq!(stats.hits + stats.misses, 0, "disabled cache was consulted");
+            }
+        }
+    }
+}

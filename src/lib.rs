@@ -54,11 +54,13 @@ pub use pandia_workloads as workloads;
 /// Commonly used items, importable with `use pandia::prelude::*`.
 pub mod prelude {
     pub use pandia_core::{
-        best_placement, describe_machine, placement_report, predict, predict_jobs, CoSchedule,
-        CoScheduler, FleetAssignment, FleetSchedule, FleetScheduler, MachineDescription,
+        best_placement, best_placement_with, describe_machine, placement_report,
+        placement_report_with, predict, predict_jobs, CacheStats, CoSchedule, CoScheduler,
+        ExecContext, FleetAssignment, FleetSchedule, FleetScheduler, MachineDescription,
         MachineDescriptionGenerator, Objective, OnlineConfig, OnlineController, OnlineReport,
-        PandiaError, PlacementOutcome, PlacementReport, Prediction, PredictorConfig,
-        ProfileConfig, ProfileReport, Recommendation, WorkloadDescription, WorkloadProfiler,
+        PandiaError, PlacementOutcome, PlacementReport, PredictSession, Prediction,
+        PredictionCache, PredictorConfig, ProfileConfig, ProfileReport, Recommendation,
+        WorkloadDescription, WorkloadProfiler,
     };
     pub use pandia_sim::{Behavior, BurstProfile, Scheduling, SimConfig, SimMachine, UnitDemand};
     pub use pandia_topology::{

@@ -1,0 +1,392 @@
+//! Vendored minimal stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of serde it actually uses. The model
+//! is deliberately simple: serialization converts a type to a [`Value`]
+//! tree (JSON data model, object keys in insertion order) and
+//! deserialization converts a [`Value`] back. The `serde_json` vendored
+//! crate handles text.
+//!
+//! Supported by the derive macros (re-exported from `serde_derive`):
+//! structs with named fields, tuple/newtype structs (newtype is
+//! transparent, like real serde), and enums with unit variants
+//! (serialized as a string), tuple variants (`{"Name": value}` /
+//! `{"Name": [values…]}`) and struct variants (`{"Name": {…}}`) —
+//! matching serde's externally-tagged default. `#[serde(...)]`
+//! attributes and generic types are not supported.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-model value tree.
+///
+/// Object members are kept as a vector of `(key, value)` pairs so field
+/// order is preserved exactly as written, which keeps serialized output
+/// byte-stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: integers keep full 64-bit precision, everything else is
+/// an `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Value {
+    /// A short name for the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Null => "null",
+            Self::Bool(_) => "boolean",
+            Self::Number(_) => "number",
+            Self::String(_) => "string",
+            Self::Array(_) => "array",
+            Self::Object(_) => "object",
+        }
+    }
+
+    /// The object members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Self::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Self::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as an `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Number(Number::PosInt(n)) => Some(*n as f64),
+            Self::Number(Number::NegInt(n)) => Some(*n as f64),
+            Self::Number(Number::Float(x)) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] cannot be converted to the requested
+/// type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// A deserialization error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// "expected X while deserializing T, found Y".
+    pub fn expected(what: &str, ty: &str, found: &Value) -> Self {
+        Self::new(format!("expected {what} while deserializing {ty}, found {}", found.kind()))
+    }
+
+    /// An enum payload named a variant the type does not have.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        Self::new(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl core::fmt::Display for DeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be converted to a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Converts a [`Value`] back to `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Helper used by derived code: expects `v` to be an object.
+pub fn expect_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], DeError> {
+    v.as_object().ok_or_else(|| DeError::expected("object", ty, v))
+}
+
+/// Helper used by derived code: expects `v` to be an array of exactly
+/// `len` elements.
+pub fn expect_array<'a>(v: &'a Value, len: usize, ty: &str) -> Result<&'a [Value], DeError> {
+    let items = v.as_array().ok_or_else(|| DeError::expected("array", ty, v))?;
+    if items.len() != len {
+        return Err(DeError::new(format!(
+            "expected array of {len} elements while deserializing {ty}, found {}",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+/// Helper used by derived code: looks up a field in an object's members.
+pub fn get_field<'a>(
+    fields: &'a [(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<&'a Value, DeError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}` while deserializing {ty}")))
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("boolean", "bool", v)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(Number::PosInt(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!(
+                            "integer {n} out of range for {}", stringify!($t)))),
+                    _ => Err(DeError::expected("unsigned integer", stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::Number(Number::PosInt(n as u64))
+                } else {
+                    Value::Number(Number::NegInt(n))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let out_of_range =
+                    |n: &dyn core::fmt::Display| DeError::new(format!(
+                        "integer {n} out of range for {}", stringify!($t)));
+                match v {
+                    Value::Number(Number::PosInt(n)) => {
+                        <$t>::try_from(*n).map_err(|_| out_of_range(n))
+                    }
+                    Value::Number(Number::NegInt(n)) => {
+                        <$t>::try_from(*n).map_err(|_| out_of_range(n))
+                    }
+                    _ => Err(DeError::expected("integer", stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::Float(*self))
+        } else {
+            // Matches serde_json: non-finite floats become null.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", "f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", "String", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", "Vec", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            _ => T::from_value(v).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = expect_array(v, 2, "tuple")?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = expect_array(v, 3, "tuple")?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?, C::from_value(&items[2])?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&7u64.to_value()).unwrap(), 7);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<f64> = vec![1.0, 2.5];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<usize> = None;
+        assert_eq!(Option::<usize>::from_value(&o.to_value()).unwrap(), None);
+        let t = (3usize, 0.5f64);
+        assert_eq!(<(usize, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn integral_floats_cross_round_trip() {
+        // An f64 may come back from JSON as an integer token; f64's
+        // Deserialize must accept it exactly.
+        assert_eq!(f64::from_value(&Value::Number(Number::PosInt(1_000_000_000_000))).unwrap(),
+            1.0e12);
+    }
+
+    #[test]
+    fn range_checks() {
+        assert!(u8::from_value(&Value::Number(Number::PosInt(256))).is_err());
+        assert!(usize::from_value(&Value::Number(Number::NegInt(-1))).is_err());
+    }
+}

@@ -1,0 +1,428 @@
+//! Vendored minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! macros for the vendored `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro` (no `syn`/`quote`, since the
+//! build environment is offline). The parser walks the item's token
+//! stream and supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields;
+//! * tuple structs (a 1-field newtype serializes transparently as its
+//!   inner value, matching real serde);
+//! * enums with unit variants (serialized as the variant-name string),
+//!   tuple variants (`{"Name": value}` for one field, `{"Name": [..]}`
+//!   for several) and struct variants (`{"Name": {..}}`) — serde's
+//!   externally-tagged default.
+//!
+//! Generics and `#[serde(...)]` attributes are rejected at expansion
+//! time rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a struct's or enum variant's fields.
+enum Fields {
+    /// No fields (`struct S;` or a unit variant).
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields; only the arity matters.
+    Tuple(usize),
+}
+
+/// A parsed `struct` or `enum` item.
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Derives `serde::Serialize` (value-based: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (value-based: `fn from_value(&Value)`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes_and_visibility(&tokens, 0);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (deriving on `{name}`)");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream(), &name))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+            };
+            Item::Enum { name: name.clone(), variants: parse_variants(body, &name) }
+        }
+        other => panic!("serde_derive: cannot derive on `{other}` items"),
+    }
+}
+
+/// Skips outer attributes (`#[...]`, including expanded doc comments) and
+/// a `pub` / `pub(...)` visibility prefix, returning the next index.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                match tokens.get(i + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 2,
+                    _ => panic!("serde_derive: malformed attribute"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists (struct bodies and struct
+/// variants), returning the field names in order.
+fn parse_named_fields(stream: TokenStream, ty: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes_and_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name in `{ty}`, found {other}"),
+        };
+        names.push(field);
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field in `{ty}`, found {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth
+        // zero. Parenthesized/bracketed types are single `Group` tokens,
+        // so only `<`/`>` need depth tracking.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Counts the fields of a tuple struct / tuple variant by splitting its
+/// parenthesized body on top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_token_since_comma = true;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_token_since_comma = false;
+            }
+            _ => saw_token_since_comma = true,
+        }
+    }
+    // Tolerate a trailing comma.
+    if !saw_token_since_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parses an enum body into `(variant name, fields)` pairs.
+fn parse_variants(stream: TokenStream, ty: &str) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes_and_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name in `{ty}`, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream(), ty))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive: explicit discriminants are not supported in `{ty}`");
+        }
+        variants.push((name, fields));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let pushes: String = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((String::from(\"{f}\"), \
+                         serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, serde::Value)> = Vec::new();\n{pushes}\
+                 serde::Value::Object(fields)"
+            )
+        }
+        Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("serde::Serialize::to_value(&self.{k})")).collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => format!(
+                "Self::{v} => serde::Value::String(String::from(\"{v}\")),\n"
+            ),
+            Fields::Tuple(1) => format!(
+                "Self::{v}(f0) => serde::Value::Object(vec![(String::from(\"{v}\"), \
+                 serde::Serialize::to_value(f0))]),\n"
+            ),
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let items: Vec<String> =
+                    binders.iter().map(|b| format!("serde::Serialize::to_value({b})")).collect();
+                format!(
+                    "Self::{v}({}) => serde::Value::Object(vec![(String::from(\"{v}\"), \
+                     serde::Value::Array(vec![{}]))]),\n",
+                    binders.join(", "),
+                    items.join(", ")
+                )
+            }
+            Fields::Named(field_names) => {
+                let binders = field_names.join(", ");
+                let pairs: Vec<String> = field_names
+                    .iter()
+                    .map(|f| {
+                        format!("(String::from(\"{f}\"), serde::Serialize::to_value({f}))")
+                    })
+                    .collect();
+                format!(
+                    "Self::{v} {{ {binders} }} => serde::Value::Object(vec![(\
+                     String::from(\"{v}\"), serde::Value::Object(vec![{}]))]),\n",
+                    pairs.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> serde::Value {{\n\
+                match self {{\n{arms}}}\n\
+            }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!(
+            "match v {{\n\
+                serde::Value::Null => Ok(Self),\n\
+                _ => Err(serde::DeError::expected(\"null\", \"{name}\", v)),\n\
+             }}"
+        ),
+        Fields::Named(names) => {
+            let inits: String = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(\
+                         serde::get_field(fields, \"{f}\", \"{name}\")?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let fields = serde::expect_object(v, \"{name}\")?;\n\
+                 Ok(Self {{\n{inits}}})"
+            )
+        }
+        Fields::Tuple(1) => "Ok(Self(serde::Deserialize::from_value(v)?))".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = serde::expect_array(v, {n}, \"{name}\")?;\n\
+                 Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+            fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("\"{v}\" => Ok(Self::{v}),\n"))
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter_map(|(v, fields)| match fields {
+            Fields::Unit => None,
+            Fields::Tuple(1) => Some(format!(
+                "\"{v}\" => Ok(Self::{v}(serde::Deserialize::from_value(inner)?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{\n\
+                        let items = serde::expect_array(inner, {n}, \"{name}::{v}\")?;\n\
+                        Ok(Self::{v}({}))\n\
+                     }}\n",
+                    items.join(", ")
+                ))
+            }
+            Fields::Named(field_names) => {
+                let inits: String = field_names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: serde::Deserialize::from_value(\
+                             serde::get_field(fields, \"{f}\", \"{name}::{v}\")?)?,\n"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{\n\
+                        let fields = serde::expect_object(inner, \"{name}::{v}\")?;\n\
+                        Ok(Self::{v} {{\n{inits}}})\n\
+                     }}\n"
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+            fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                match v {{\n\
+                    serde::Value::String(s) => match s.as_str() {{\n\
+                        {unit_arms}\
+                        other => Err(serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                    }},\n\
+                    serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                        let (variant, inner) = &pairs[0];\n\
+                        let _ = inner;\n\
+                        match variant.as_str() {{\n\
+                            {data_arms}\
+                            other => Err(serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                        }}\n\
+                    }}\n\
+                    _ => Err(serde::DeError::expected(\"enum payload\", \"{name}\", v)),\n\
+                }}\n\
+            }}\n\
+         }}\n"
+    )
+}
