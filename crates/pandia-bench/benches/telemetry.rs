@@ -1,0 +1,54 @@
+//! Telemetry overhead: the cost of instrumentation hooks.
+//!
+//! The instrumentation layer promises near-zero cost while disabled (one
+//! relaxed atomic load per hook) and cheap recording while enabled. This
+//! bench measures both states, plus the end-to-end effect on a simulator
+//! run — the hottest instrumented path.
+//!
+//! Ordering matters: the global recorder cannot be uninstalled, so all
+//! disabled-state cases run before [`pandia_obs::install`].
+
+use std::hint::black_box;
+
+use pandia_bench::timing::Group;
+use pandia_sim::SimMachine;
+use pandia_topology::{MachineSpec, Placement, Platform, RunRequest};
+
+fn main() {
+    let mut machine = SimMachine::new(MachineSpec::x5_2());
+    let cg = pandia_workloads::by_name("CG").expect("CG registered").behavior;
+    let placement = Placement::packed(machine.spec(), 8).expect("placement fits");
+    let run_once = move |machine: &mut SimMachine| {
+        machine
+            .run(&RunRequest::new(cg.clone(), placement.clone()))
+            .expect("simulated run")
+    };
+
+    let off = Group::new("telemetry-off");
+    off.bench("count", || pandia_obs::count("bench.counter", 1));
+    off.bench("gauge", || pandia_obs::gauge("bench.gauge", 1.0));
+    off.bench("observe", || pandia_obs::observe("bench.histogram", 1.0));
+    off.bench("span", || pandia_obs::span("bench", "span"));
+    let baseline = off.bench("sim-run", || black_box(run_once(&mut machine)));
+
+    pandia_obs::install();
+
+    let on = Group::new("telemetry-on");
+    on.bench("count", || pandia_obs::count("bench.counter", 1));
+    on.bench("gauge", || pandia_obs::gauge("bench.gauge", 1.0));
+    on.bench("observe", || pandia_obs::observe("bench.histogram", 1.0));
+    on.bench("span", || pandia_obs::span("bench", "span"));
+    let instrumented = on.bench("sim-run", || black_box(run_once(&mut machine)));
+
+    let delta = instrumented.as_secs_f64() - baseline.as_secs_f64();
+    println!(
+        "\nsim-run median delta with telemetry on: {:+.1}µs ({:+.2}%)",
+        delta * 1e6,
+        100.0 * delta / baseline.as_secs_f64().max(1e-12)
+    );
+
+    let recorder = pandia_obs::global().expect("recorder installed");
+    let export = Group::new("telemetry-export");
+    export.bench("chrome-trace-json", || black_box(recorder.chrome_trace_json().len()));
+    export.bench("metrics-jsonl", || black_box(recorder.metrics_jsonl().len()));
+}

@@ -4,12 +4,18 @@ use pandia_topology::CanonicalPlacement;
 
 /// Usage text shown on parse errors and `pandiactl help`.
 pub const USAGE: &str = "\
-usage: pandiactl [--jobs N] [--no-cache] <command> [args]
+usage: pandiactl [--jobs N] [--no-cache] [--quiet]
+                 [--trace-out FILE] [--metrics-out FILE] <command> [args]
 
 global options:
-  --jobs N, -j N   worker threads for placement sweeps (default: all
-                   hardware threads; results are identical for any N)
-  --no-cache       disable prediction memoization
+  --jobs N, -j N     worker threads for placement sweeps (default: all
+                     hardware threads; results are identical for any N)
+  --no-cache         disable prediction memoization
+  --quiet            suppress stderr progress notes (timings, cache
+                     stats, 'wrote ...' lines); results are unaffected
+  --trace-out FILE   write a Chrome trace-event JSON (chrome://tracing,
+                     Perfetto) of the run's spans when the command exits
+  --metrics-out FILE write the metrics registry as JSONL on exit
 
 commands:
   machines                         list machine presets
@@ -43,34 +49,44 @@ pub enum PlanTarget {
 }
 
 /// Global execution flags, shared by every command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecFlags {
     /// Worker threads for placement sweeps (`None` = all hardware
     /// threads).
     pub jobs: Option<usize>,
     /// Whether prediction memoization is enabled.
     pub cache: bool,
+    /// Whether stderr progress notes are suppressed (`--quiet`).
+    pub quiet: bool,
+    /// Chrome trace-event JSON output path (`--trace-out FILE`).
+    pub trace_out: Option<String>,
+    /// Metrics-registry JSONL output path (`--metrics-out FILE`).
+    pub metrics_out: Option<String>,
 }
 
 impl Default for ExecFlags {
     fn default() -> Self {
-        Self { jobs: None, cache: true }
+        Self { jobs: None, cache: true, quiet: false, trace_out: None, metrics_out: None }
     }
 }
 
-/// Strips the global `--jobs N` / `-j N` / `--no-cache` flags out of
-/// argv before command parsing (the command parsers treat every `-flag`
-/// as taking a value, so global flags must come out first).
+/// Strips the global `--jobs N` / `-j N` / `--no-cache` / `--quiet` /
+/// `--trace-out FILE` / `--metrics-out FILE` flags out of argv before
+/// command parsing (the command parsers treat every `-flag` as taking a
+/// value, so global flags must come out first).
 pub fn extract_exec_flags(argv: &[String]) -> Result<(Vec<String>, ExecFlags), String> {
     let mut flags = ExecFlags::default();
     let mut rest = Vec::with_capacity(argv.len());
     let mut i = 0;
+    let value_of = |argv: &[String], i: usize| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("option {} requires a value", argv[i]))
+    };
     while i < argv.len() {
         match argv[i].as_str() {
             "--jobs" | "-j" => {
-                let value = argv
-                    .get(i + 1)
-                    .ok_or_else(|| format!("option {} requires a value", argv[i]))?;
+                let value = value_of(argv, i)?;
                 let jobs = value
                     .parse::<usize>()
                     .ok()
@@ -82,6 +98,18 @@ pub fn extract_exec_flags(argv: &[String]) -> Result<(Vec<String>, ExecFlags), S
             "--no-cache" => {
                 flags.cache = false;
                 i += 1;
+            }
+            "--quiet" => {
+                flags.quiet = true;
+                i += 1;
+            }
+            "--trace-out" => {
+                flags.trace_out = Some(value_of(argv, i)?);
+                i += 2;
+            }
+            "--metrics-out" => {
+                flags.metrics_out = Some(value_of(argv, i)?);
+                i += 2;
             }
             _ => {
                 rest.push(argv[i].clone());
@@ -395,12 +423,12 @@ mod tests {
     #[test]
     fn extracts_global_exec_flags_anywhere_in_argv() {
         let (rest, flags) = extract_exec_flags(&argv("--jobs 4 best x4-2 Swim")).unwrap();
-        assert_eq!(flags, ExecFlags { jobs: Some(4), cache: true });
+        assert_eq!(flags, ExecFlags { jobs: Some(4), ..ExecFlags::default() });
         assert_eq!(parse(&rest).unwrap(), parse(&argv("best x4-2 Swim")).unwrap());
 
         let (rest, flags) =
             extract_exec_flags(&argv("plan x3-2 CG --time 8.5 -j 2 --no-cache")).unwrap();
-        assert_eq!(flags, ExecFlags { jobs: Some(2), cache: false });
+        assert_eq!(flags, ExecFlags { jobs: Some(2), cache: false, ..ExecFlags::default() });
         assert!(matches!(parse(&rest).unwrap(), Command::Plan { .. }));
 
         let (_, flags) = extract_exec_flags(&argv("machines")).unwrap();
@@ -409,6 +437,28 @@ mod tests {
         assert!(extract_exec_flags(&argv("best x4-2 Swim --jobs")).is_err());
         assert!(extract_exec_flags(&argv("--jobs zero machines")).is_err());
         assert!(extract_exec_flags(&argv("--jobs 0 machines")).is_err());
+    }
+
+    #[test]
+    fn extracts_telemetry_and_quiet_flags() {
+        let (rest, flags) = extract_exec_flags(&argv(
+            "--quiet --trace-out trace.json best x4-2 Swim --metrics-out m.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(
+            flags,
+            ExecFlags {
+                quiet: true,
+                trace_out: Some("trace.json".into()),
+                metrics_out: Some("m.jsonl".into()),
+                ..ExecFlags::default()
+            }
+        );
+        assert_eq!(parse(&rest).unwrap(), parse(&argv("best x4-2 Swim")).unwrap());
+
+        // Values are required.
+        assert!(extract_exec_flags(&argv("machines --trace-out")).is_err());
+        assert!(extract_exec_flags(&argv("machines --metrics-out")).is_err());
     }
 
     #[test]

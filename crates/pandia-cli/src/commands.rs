@@ -12,21 +12,41 @@ use pandia_topology::{HasShape, MachineSpec, PlacementEnumerator};
 
 use crate::args::{Command, PlanTarget, USAGE};
 
-/// Prints a sweep's wall time and cache statistics to stderr.
-fn report_sweep(exec: &ExecContext, stage: &str, candidates: usize, start: Instant) {
+/// Records a sweep's wall time and cache statistics into the telemetry
+/// registry, and prints them to stderr unless `quiet`.
+fn report_sweep(exec: &ExecContext, stage: &str, candidates: usize, start: Instant, quiet: bool) {
+    let wall = start.elapsed().as_secs_f64();
     let stats = exec.cache_stats();
-    eprintln!(
-        "{stage}: {candidates} candidates in {:.3}s (jobs={}; cache {} hits / {} misses, {:.1}% hit rate)",
-        start.elapsed().as_secs_f64(),
-        exec.jobs(),
-        stats.hits,
-        stats.misses,
-        100.0 * stats.hit_rate()
-    );
+    pandia_obs::observe("cli.sweep_wall_ms", wall * 1e3);
+    pandia_obs::gauge("exec.jobs", exec.jobs() as f64);
+    if !quiet {
+        eprintln!(
+            "{stage}: {candidates} candidates in {wall:.3}s (jobs={}; cache {} hits / {} misses, {:.1}% hit rate)",
+            exec.jobs(),
+            stats.hits,
+            stats.misses,
+            100.0 * stats.hit_rate()
+        );
+    }
+}
+
+/// Prints a "wrote FILE" stderr note unless `quiet`.
+fn note_wrote(path: &str, quiet: bool) {
+    if !quiet {
+        eprintln!("wrote {path}");
+    }
 }
 
 /// Executes a parsed command under an execution context.
-pub fn run(command: Command, exec: &ExecContext) -> Result<(), Box<dyn std::error::Error>> {
+///
+/// `quiet` silences the stderr progress notes (sweep timings, cache
+/// stats, "wrote ..." lines); stdout results are unaffected.
+pub fn run(
+    command: Command,
+    exec: &ExecContext,
+    quiet: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let _span = pandia_obs::span("cli", "run").arg("command", command_name(&command));
     match command {
         Command::Help => {
             println!("{USAGE}");
@@ -65,7 +85,7 @@ pub fn run(command: Command, exec: &ExecContext) -> Result<(), Box<dyn std::erro
             print_description(&description);
             if let Some(path) = output {
                 std::fs::write(&path, description.to_json()?)?;
-                eprintln!("wrote {path}");
+                note_wrote(&path, quiet);
             }
             Ok(())
         }
@@ -89,7 +109,7 @@ pub fn run(command: Command, exec: &ExecContext) -> Result<(), Box<dyn std::erro
             );
             if let Some(path) = output {
                 std::fs::write(&path, d.to_json()?)?;
-                eprintln!("wrote {path}");
+                note_wrote(&path, quiet);
             }
             Ok(())
         }
@@ -132,7 +152,7 @@ pub fn run(command: Command, exec: &ExecContext) -> Result<(), Box<dyn std::erro
                 tolerance,
                 &PredictorConfig::default(),
             )?;
-            report_sweep(exec, "placement sweep", candidates.len(), start);
+            report_sweep(exec, "placement sweep", candidates.len(), start, quiet);
             println!(
                 "best predicted: {} ({} threads, speedup {:.2})",
                 rec.best.placement, rec.best.n_threads, rec.best.speedup
@@ -172,7 +192,7 @@ pub fn run(command: Command, exec: &ExecContext) -> Result<(), Box<dyn std::erro
                 target,
                 &PredictorConfig::default(),
             )?;
-            report_sweep(exec, "planning sweep", candidates.len(), start);
+            report_sweep(exec, "planning sweep", candidates.len(), start, quiet);
             println!(
                 "best achievable: {} ({} threads, {:.2}s predicted)",
                 plan.best.placement, plan.best.n_threads, plan.best.predicted_time
@@ -196,7 +216,7 @@ pub fn run(command: Command, exec: &ExecContext) -> Result<(), Box<dyn std::erro
             let placements = ctx.enumerator().sampled(&ctx.spec, 8);
             let start = Instant::now();
             let curve = curves::workload_curve_with(exec, &ctx, &entry, &placements)?;
-            report_sweep(exec, "explore sweep", placements.len(), start);
+            report_sweep(exec, "explore sweep", placements.len(), start, quiet);
             println!("{}", report::ascii_curve(&curve, 100, 20));
             let stats = metrics::error_stats(&curve);
             println!(
@@ -216,7 +236,7 @@ pub fn run(command: Command, exec: &ExecContext) -> Result<(), Box<dyn std::erro
                 .with_objective(Objective::Makespan)
                 .with_exec(exec.clone())
                 .schedule(&[&wd_a, &wd_b])?;
-            report_sweep(exec, "co-schedule search", 2, start);
+            report_sweep(exec, "co-schedule search", 2, start, quiet);
             println!("joint placement on {}:", description.machine);
             for (a, p) in schedule.assignments.iter().zip(&schedule.predictions) {
                 println!(
@@ -230,6 +250,22 @@ pub fn run(command: Command, exec: &ExecContext) -> Result<(), Box<dyn std::erro
             }
             Ok(())
         }
+    }
+}
+
+/// Stable command label used to tag the top-level CLI span.
+fn command_name(command: &Command) -> &'static str {
+    match command {
+        Command::Help => "help",
+        Command::Machines => "machines",
+        Command::Workloads => "workloads",
+        Command::Describe { .. } => "describe",
+        Command::Profile { .. } => "profile",
+        Command::Predict { .. } => "predict",
+        Command::Best { .. } => "best",
+        Command::Plan { .. } => "plan",
+        Command::Explore { .. } => "explore",
+        Command::CoSchedule { .. } => "coschedule",
     }
 }
 

@@ -51,13 +51,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Installs the global recorder when either sink flag was given and
+    // writes the files when dropped at the end of `main`; without the
+    // flags telemetry stays off and the guard is inert.
+    let _telemetry = pandia_harness::experiments::TelemetryGuard::new(
+        flags.trace_out.clone(),
+        flags.metrics_out.clone(),
+        flags.quiet,
+    );
     let exec = match flags.jobs {
         Some(jobs) => pandia_core::ExecContext::new(jobs),
         None => pandia_core::ExecContext::auto(),
     }
     .with_cache(flags.cache);
+    let quiet = flags.quiet;
     match args::parse(&argv) {
-        Ok(command) => match std::panic::catch_unwind(|| commands::run(command, &exec)) {
+        Ok(command) => match std::panic::catch_unwind(|| commands::run(command, &exec, quiet)) {
             Ok(Ok(())) => ExitCode::SUCCESS,
             Ok(Err(e)) => {
                 eprintln!("error: {e}");

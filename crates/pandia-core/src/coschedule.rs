@@ -117,6 +117,7 @@ impl<'m> CoScheduler<'m> {
     /// Currently supports one to three jobs; the template family grows
     /// combinatorially beyond that.
     pub fn schedule(&self, jobs: &[&WorkloadDescription]) -> Result<CoSchedule, PandiaError> {
+        let _span = pandia_obs::span("coschedule", "schedule").arg("jobs", jobs.len());
         if jobs.is_empty() || jobs.len() > 3 {
             return Err(PandiaError::Mismatch {
                 reason: format!("co-scheduler supports 1-3 jobs, got {}", jobs.len()),

@@ -153,13 +153,16 @@ impl PredictionCache {
         &self.shards[(key as usize) & (SHARD_COUNT - 1)]
     }
 
-    /// Looks a key up, counting the hit or miss.
+    /// Looks a key up, counting the hit or miss (both locally and, when
+    /// telemetry is on, in the global metrics registry).
     pub fn lookup(&self, key: u128) -> Option<Vec<Prediction>> {
         let found = self.shard(key).lock().expect("prediction cache poisoned").get(&key).cloned();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            pandia_obs::count("predict.cache.hits", 1);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            pandia_obs::count("predict.cache.misses", 1);
         }
         found
     }
@@ -277,15 +280,23 @@ impl ExecContext {
     {
         let workers = self.jobs.min(items.len());
         if workers <= 1 {
+            let _span = pandia_obs::span("exec", "parallel_map")
+                .arg("items", items.len())
+                .arg("workers", 1usize);
             return items.iter().map(&f).collect();
         }
+        let _span = pandia_obs::span("exec", "parallel_map")
+            .arg("items", items.len())
+            .arg("workers", workers);
+        pandia_obs::gauge("exec.queue_depth", items.len() as f64);
         let next = AtomicUsize::new(0);
         let chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
             let f = &f;
             let next = &next;
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     scope.spawn(move || {
+                        let _wspan = pandia_obs::span("exec", "worker").arg("worker", w);
                         let mut out = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -294,6 +305,7 @@ impl ExecContext {
                             }
                             out.push((i, f(&items[i])));
                         }
+                        pandia_obs::observe("exec.worker_tasks", out.len() as f64);
                         out
                     })
                 })

@@ -67,6 +67,8 @@ impl MachineDescriptionGenerator {
         &self,
         platform: &mut P,
     ) -> Result<MachineDescription, PandiaError> {
+        let _span = pandia_obs::span("machine_gen", "generate")
+            .arg("machine", platform.spec().name.as_str());
         let shape = platform.spec().shape();
         let machine = platform.spec().name.clone();
         let mut seed = self.config.seed;

@@ -101,6 +101,9 @@ pub fn plan_with(
     target: Target,
     config: &PredictorConfig,
 ) -> Result<CapacityPlan, PandiaError> {
+    let _span = pandia_obs::span("planner", "plan")
+        .arg("workload", workload.name.as_str())
+        .arg("candidates", candidates.len());
     if candidates.is_empty() {
         return Err(PandiaError::Mismatch { reason: "no candidate placements".into() });
     }
@@ -160,6 +163,9 @@ pub fn scaling_profile_with(
     candidates: &[CanonicalPlacement],
     config: &PredictorConfig,
 ) -> Result<Vec<ScalingPoint>, PandiaError> {
+    let _span = pandia_obs::span("planner", "scaling_profile")
+        .arg("workload", workload.name.as_str())
+        .arg("candidates", candidates.len());
     let outcomes = placement_report_with(exec, machine, workload, candidates, config)?.outcomes;
     let mut by_budget: std::collections::BTreeMap<usize, ScalingPoint> =
         std::collections::BTreeMap::new();

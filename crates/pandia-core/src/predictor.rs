@@ -151,6 +151,10 @@ pub fn predict_jobs(
     jobs: &[(&WorkloadDescription, &Placement)],
     config: &PredictorConfig,
 ) -> Result<Vec<Prediction>, PandiaError> {
+    let _span = pandia_obs::span("predictor", "predict_jobs")
+        .arg("jobs", jobs.len())
+        .arg("threads", jobs.iter().map(|(_, p)| p.contexts().len()).sum::<usize>());
+    pandia_obs::count("predict.evals", 1);
     machine.validate()?;
     if jobs.is_empty() {
         return Ok(Vec::new());

@@ -115,6 +115,7 @@ impl<'m> WorkloadProfiler<'m> {
         workload: &P::Workload,
         name: &str,
     ) -> Result<ProfileReport, PandiaError> {
+        let _span = pandia_obs::span("profiler", "profile").arg("workload", name);
         let shape = self.machine.shape();
         let mut runs = Vec::with_capacity(6);
         let mut seed = self.config.seed;

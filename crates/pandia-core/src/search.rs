@@ -84,6 +84,9 @@ pub fn placement_report_with(
     candidates: &[CanonicalPlacement],
     config: &PredictorConfig,
 ) -> Result<PlacementReport, PandiaError> {
+    let _span = pandia_obs::span("search", "placement_report")
+        .arg("workload", workload.name.as_str())
+        .arg("candidates", candidates.len());
     let session = PredictSession::new(exec, machine, workload, config)?;
     let evaluated = exec.parallel_map(candidates, |c| -> Result<PlacementOutcome, PandiaError> {
         let placement = c.instantiate(machine)?;
@@ -120,6 +123,9 @@ pub fn best_placement_with(
     candidates: &[CanonicalPlacement],
     config: &PredictorConfig,
 ) -> Result<PlacementOutcome, PandiaError> {
+    let _span = pandia_obs::span("search", "best_placement")
+        .arg("workload", workload.name.as_str())
+        .arg("candidates", candidates.len());
     let report = placement_report_with(exec, machine, workload, candidates, config)?;
     report.best().cloned().ok_or(PandiaError::Mismatch {
         reason: "no candidate placements supplied".into(),
@@ -164,6 +170,9 @@ impl Recommendation {
         tolerance: f64,
         config: &PredictorConfig,
     ) -> Result<Self, PandiaError> {
+        let _span = pandia_obs::span("search", "analyze")
+            .arg("workload", workload.name.as_str())
+            .arg("candidates", candidates.len());
         let report = placement_report_with(exec, machine, workload, candidates, config)?;
         let best = report
             .best()

@@ -4,11 +4,13 @@
 //! `cargo run --release -p pandia-harness --bin ablation [machine]`
 
 use pandia_harness::{
-    experiments::{ablation, Coverage},
+    experiments::{ablation, quiet_from_args, telemetry_from_args, Coverage},
     report, MachineContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
+    let quiet = quiet_from_args();
     let machine = std::env::args()
         .skip(1)
         .find(|a| !a.starts_with('-'))
@@ -21,6 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let text = ablation::render(&result);
     print!("{text}");
     let path = report::write_result(&format!("ablation_{machine}.txt"), &text)?;
-    eprintln!("wrote {}", path.display());
+    if !quiet {
+        eprintln!("wrote {}", path.display());
+    }
     Ok(())
 }

@@ -3,9 +3,14 @@
 //!
 //! `cargo run --release -p pandia-harness --bin coschedule_validation [machine]`
 
-use pandia_harness::{experiments::coschedule_validation, report, MachineContext};
+use pandia_harness::{
+    experiments::{coschedule_validation, quiet_from_args, telemetry_from_args},
+    report, MachineContext,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
+    let quiet = quiet_from_args();
     let machine = std::env::args()
         .skip(1)
         .find(|a| !a.starts_with('-'))
@@ -23,6 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let text = coschedule_validation::render(&result);
     print!("{text}");
     let path = report::write_result(&format!("coschedule_{machine}.txt"), &text)?;
-    eprintln!("wrote {}", path.display());
+    if !quiet {
+        eprintln!("wrote {}", path.display());
+    }
     Ok(())
 }

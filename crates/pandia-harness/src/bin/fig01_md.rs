@@ -5,21 +5,25 @@
 //! [--jobs N] [--no-cache]`
 
 use pandia_harness::{
-    experiments::{curves, exec_from_args, Coverage},
+    experiments::{curves, exec_from_args, quiet_from_args, telemetry_from_args, Coverage},
     metrics, report, MachineContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
+    let quiet = quiet_from_args();
     let coverage = Coverage::from_args();
     let exec = exec_from_args();
     let ctx = MachineContext::x5_2()?;
     let placements = coverage.placements(&ctx);
-    eprintln!(
-        "MD on {} over {} placements (jobs={})",
-        ctx.description.machine,
-        placements.len(),
-        exec.jobs()
-    );
+    if !quiet {
+        eprintln!(
+            "MD on {} over {} placements (jobs={})",
+            ctx.description.machine,
+            placements.len(),
+            exec.jobs()
+        );
+    }
     let md = pandia_workloads::by_name("MD").expect("MD registered");
     let curve = curves::workload_curve_with(&exec, &ctx, &md, &placements)?;
 
@@ -31,6 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.mean_error_pct, stats.median_error_pct, stats.median_offset_error_pct, gap
     );
     let path = report::write_result("fig01_md.csv", &report::curve_csv(&curve))?;
-    eprintln!("wrote {}", path.display());
+    if !quiet {
+        eprintln!("wrote {}", path.display());
+    }
     Ok(())
 }

@@ -7,24 +7,31 @@
 use std::time::Instant;
 
 use pandia_harness::{
-    experiments::{curves, exec_from_args, positional_args, runnable_workloads, Coverage},
+    experiments::{
+        curves, exec_from_args, positional_args, quiet_from_args, report_exec,
+        runnable_workloads, telemetry_from_args, Coverage,
+    },
     metrics, report, MachineContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
+    let quiet = quiet_from_args();
     let coverage = Coverage::from_args();
     let exec = exec_from_args();
     let machine = positional_args().into_iter().next().unwrap_or_else(|| "x5-2".into());
     let ctx = MachineContext::by_name(&machine)?;
     let placements = coverage.placements(&ctx);
     let workloads = runnable_workloads(&ctx, pandia_workloads::paper_suite());
-    eprintln!(
-        "{} workloads on {} over {} placements (jobs={})",
-        workloads.len(),
-        ctx.description.machine,
-        placements.len(),
-        exec.jobs()
-    );
+    if !quiet {
+        eprintln!(
+            "{} workloads on {} over {} placements (jobs={})",
+            workloads.len(),
+            ctx.description.machine,
+            placements.len(),
+            exec.jobs()
+        );
+    }
 
     let start = Instant::now();
     let mut all_stats = Vec::new();
@@ -44,19 +51,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         all_stats.push(stats);
     }
-    let cache = exec.cache_stats();
-    eprintln!(
-        "curves: {:.2}s wall (cache {} hits / {} misses, {:.1}% hit rate)",
-        start.elapsed().as_secs_f64(),
-        cache.hits,
-        cache.misses,
-        100.0 * cache.hit_rate()
-    );
+    report_exec(&exec, "curves", start, quiet);
     let table = report::error_table(
         &format!("Figure 10 curves on {}", ctx.description.machine),
         &all_stats,
     );
     let path = report::write_result(&format!("fig10/{machine}_errors.txt"), &table)?;
-    eprintln!("wrote {} and per-workload CSVs", path.display());
+    if !quiet {
+        eprintln!("wrote {} and per-workload CSVs", path.display());
+    }
     Ok(())
 }

@@ -7,52 +7,47 @@
 //!
 //! Add `--quick` for a fast low-coverage pass, `--jobs N` to set the
 //! worker count (default: all hardware threads; the written results are
-//! bit-identical for every value), and `--no-cache` to disable
-//! prediction memoization.
+//! bit-identical for every value), `--no-cache` to disable prediction
+//! memoization, `--quiet` to silence stderr progress, and
+//! `--trace-out FILE` / `--metrics-out FILE` to capture telemetry.
 
 use std::time::Instant;
 
 use pandia_core::ExecContext;
 use pandia_harness::{
-    experiments::{errors, exec_from_args, positional_args, runnable_workloads, Coverage},
+    experiments::{
+        errors, exec_from_args, positional_args, quiet_from_args, report_exec,
+        runnable_workloads, telemetry_from_args, Coverage,
+    },
     report, MachineContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
+    let quiet = quiet_from_args();
     let coverage = Coverage::from_args();
     let exec = exec_from_args();
     let mode = positional_args().into_iter().next().unwrap_or_else(|| "x5-2".into());
 
     if mode == "portability" {
-        run_portability(coverage, &exec)
+        run_portability(coverage, &exec, quiet)
     } else {
-        run_panel(&mode, coverage, &exec)
+        run_panel(&mode, coverage, &exec, quiet)
     }
-}
-
-fn report_exec(exec: &ExecContext, stage: &str, start: Instant) {
-    let stats = exec.cache_stats();
-    eprintln!(
-        "{stage}: {:.2}s wall (jobs={}; cache {} hits / {} misses, {:.1}% hit rate)",
-        start.elapsed().as_secs_f64(),
-        exec.jobs(),
-        stats.hits,
-        stats.misses,
-        100.0 * stats.hit_rate()
-    );
 }
 
 fn run_panel(
     machine: &str,
     coverage: Coverage,
     exec: &ExecContext,
+    quiet: bool,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let ctx = MachineContext::by_name(machine)?;
     let placements = coverage.placements(&ctx);
     let workloads = runnable_workloads(&ctx, pandia_workloads::paper_suite());
     let start = Instant::now();
     let bars = errors::error_bars_with(exec, &ctx, &workloads, &placements)?;
-    report_exec(exec, &format!("error sweep on {machine}"), start);
+    report_exec(exec, &format!("error sweep on {machine}"), start, quiet);
     let title = format!("Figure 11 — errors on {}", bars.title);
     let table = report::error_table(&title, &bars.stats);
     print!("{table}");
@@ -71,6 +66,7 @@ fn run_panel(
 fn run_portability(
     coverage: Coverage,
     exec: &ExecContext,
+    quiet: bool,
 ) -> Result<(), Box<dyn std::error::Error>> {
     // Panel c: X3-2 descriptions used on the X5-2.
     // Panel d: X5-2 descriptions used on the X3-2.
@@ -81,7 +77,7 @@ fn run_portability(
         let workloads = runnable_workloads(&dst, pandia_workloads::paper_suite());
         let start = Instant::now();
         let bars = errors::portability_with(exec, &src, &dst, &workloads, &placements)?;
-        report_exec(exec, &format!("portability {src_name} -> {dst_name}"), start);
+        report_exec(exec, &format!("portability {src_name} -> {dst_name}"), start, quiet);
         let title = format!("Figure 11{panel} — {}", bars.title);
         let table = report::error_table(&title, &bars.stats);
         print!("{table}");

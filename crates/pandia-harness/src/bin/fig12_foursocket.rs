@@ -4,18 +4,24 @@
 //! `cargo run --release -p pandia-harness --bin fig12_foursocket [--quick]`
 
 use pandia_harness::{
-    experiments::{four_socket, Coverage},
+    experiments::{four_socket, quiet_from_args, telemetry_from_args, Coverage},
     report, MachineContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
+    let quiet = quiet_from_args();
     let coverage = Coverage::from_args();
     let mut ctx = MachineContext::x2_4()?;
-    eprintln!("running Figure 12 on {}", ctx.description.machine);
+    if !quiet {
+        eprintln!("running Figure 12 on {}", ctx.description.machine);
+    }
     let result = four_socket::run(&mut ctx, coverage)?;
     let text = four_socket::render(&result);
     print!("{text}");
     let path = report::write_result("fig12_foursocket.txt", &text)?;
-    eprintln!("wrote {}", path.display());
+    if !quiet {
+        eprintln!("wrote {}", path.display());
+    }
     Ok(())
 }

@@ -4,11 +4,12 @@
 //! `cargo run --release -p pandia-harness --bin fig13_limits [--quick]`
 
 use pandia_harness::{
-    experiments::{limits, Coverage},
+    experiments::{limits, telemetry_from_args, Coverage},
     metrics, report,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
     let coverage = Coverage::from_args();
     let result = limits::run(coverage)?;
 

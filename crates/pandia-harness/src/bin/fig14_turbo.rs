@@ -3,9 +3,14 @@
 //!
 //! `cargo run --release -p pandia-harness --bin fig14_turbo [machine]`
 
-use pandia_harness::{experiments::turbo, report, MachineContext};
+use pandia_harness::{
+    experiments::{quiet_from_args, telemetry_from_args, turbo},
+    report, MachineContext,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
+    let quiet = quiet_from_args();
     let machine = std::env::args()
         .skip(1)
         .find(|a| !a.starts_with('-'))
@@ -28,6 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let path = report::write_result("fig14_turbo.csv", &turbo::csv(&result))?;
-    eprintln!("wrote {}", path.display());
+    if !quiet {
+        eprintln!("wrote {}", path.display());
+    }
     Ok(())
 }

@@ -3,12 +3,17 @@
 //! pipeline (`cargo run --release -p pandia-harness --bin probe [machine]`).
 
 use pandia_harness::{
-    experiments::{curves, exec_from_args, positional_args, runnable_workloads},
+    experiments::{
+        curves, exec_from_args, positional_args, quiet_from_args, runnable_workloads,
+        telemetry_from_args,
+    },
     metrics::{self},
     MachineContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
+    let quiet = quiet_from_args();
     let exec = exec_from_args();
     let positional = positional_args();
     let machine = positional.first().cloned().unwrap_or_else(|| "x3-2".into());
@@ -20,11 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let per_n: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
     let placements = ctx.enumerator().sampled(&ctx.spec, per_n);
-    eprintln!(
-        "machine {} — {} placements/workload",
-        ctx.description.machine,
-        placements.len()
-    );
+    if !quiet {
+        eprintln!(
+            "machine {} — {} placements/workload",
+            ctx.description.machine,
+            placements.len()
+        );
+    }
     let workloads = runnable_workloads(&ctx, pandia_workloads::paper_suite());
     println!(
         "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6}  bottleneck-profile",

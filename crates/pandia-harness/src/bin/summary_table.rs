@@ -4,17 +4,21 @@
 //! `cargo run --release -p pandia-harness --bin summary_table [--quick]`
 
 use pandia_harness::{
-    experiments::{summary, Coverage},
+    experiments::{quiet_from_args, summary, telemetry_from_args, Coverage},
     report, MachineContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
+    let quiet = quiet_from_args();
     let coverage = Coverage::from_args();
     let mut summaries = Vec::new();
     let mut peaks_text = String::new();
     for name in ["x5-2", "x4-2", "x3-2"] {
         let mut ctx = MachineContext::by_name(name)?;
-        eprintln!("evaluating {}", ctx.description.machine);
+        if !quiet {
+            eprintln!("evaluating {}", ctx.description.machine);
+        }
         let result = summary::evaluate_machine(&mut ctx, coverage)?;
         let max_threads = ctx.description.shape.total_contexts();
         let peaks = summary::peak_threads(&result, max_threads);

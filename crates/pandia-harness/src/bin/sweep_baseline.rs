@@ -5,11 +5,13 @@
 //! `cargo run --release -p pandia-harness --bin sweep_baseline [--quick] [machine]`
 
 use pandia_harness::{
-    experiments::{sweep, Coverage},
+    experiments::{quiet_from_args, sweep, telemetry_from_args, Coverage},
     report, MachineContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
+    let quiet = quiet_from_args();
     let coverage = Coverage::from_args();
     let machine = std::env::args()
         .skip(1)
@@ -20,6 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let text = sweep::render(&result);
     print!("{text}");
     let path = report::write_result(&format!("sweep_{machine}.txt"), &text)?;
-    eprintln!("wrote {}", path.display());
+    if !quiet {
+        eprintln!("wrote {}", path.display());
+    }
     Ok(())
 }

@@ -1,13 +1,17 @@
 //! Reproduces the paper's worked example (Figures 3-9).
 
-use pandia_harness::experiments::worked_example;
+use pandia_harness::experiments::{quiet_from_args, telemetry_from_args, worked_example};
 use pandia_harness::report;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
+    let quiet = quiet_from_args();
     let example = worked_example::run()?;
     let text = worked_example::render(&example);
     print!("{text}");
     let path = report::write_result("worked_example.txt", &text)?;
-    eprintln!("wrote {}", path.display());
+    if !quiet {
+        eprintln!("wrote {}", path.display());
+    }
     Ok(())
 }

@@ -98,6 +98,7 @@ pub fn run(
     coverage: Coverage,
     workload_names: &[&str],
 ) -> ExpResult<AblationResult> {
+    let _span = pandia_obs::span("harness", "ablation");
     let placements = coverage.placements(ctx);
     let all = runnable_workloads(ctx, pandia_workloads::paper_suite());
     let workloads: Vec<WorkloadEntry> = all

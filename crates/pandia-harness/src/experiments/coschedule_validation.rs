@@ -92,6 +92,7 @@ pub fn run(
     ctx: &mut MachineContext,
     pairs: &[(&str, &str)],
 ) -> ExpResult<CoScheduleValidation> {
+    let _span = pandia_obs::span("harness", "coschedule_validation");
     let config = PredictorConfig::default();
     let mut outcomes = Vec::new();
     for &(a, b) in pairs {

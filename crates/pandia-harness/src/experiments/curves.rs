@@ -59,6 +59,7 @@ pub fn all_curves_with(
     workloads: &[WorkloadEntry],
     placements: &[CanonicalPlacement],
 ) -> ExpResult<Vec<PlacementCurve>> {
+    let _span = pandia_obs::span("harness", "all_curves").arg("workloads", workloads.len());
     let inner = exec.sequential();
     let evaluated = exec
         .parallel_map(workloads, |w| workload_curve_with(&inner, ctx, w, placements));

@@ -48,6 +48,7 @@ pub fn error_bars_with(
     workloads: &[WorkloadEntry],
     placements: &[CanonicalPlacement],
 ) -> ExpResult<ErrorBars> {
+    let _span = pandia_obs::span("harness", "error_bars").arg("workloads", workloads.len());
     let inner = exec.sequential();
     let evaluated = exec.parallel_map(workloads, |w| -> ExpResult<PlacementCurve> {
         let mut local = ctx.clone();
@@ -89,6 +90,7 @@ pub fn portability_with(
     workloads: &[WorkloadEntry],
     target_placements: &[CanonicalPlacement],
 ) -> ExpResult<ErrorBars> {
+    let _span = pandia_obs::span("harness", "portability").arg("workloads", workloads.len());
     let inner = exec.sequential();
     let evaluated = exec.parallel_map(workloads, |w| -> ExpResult<PlacementCurve> {
         let mut local_source = source.clone();

@@ -36,6 +36,7 @@ pub fn classes() -> Vec<(String, PlacementClass)> {
 /// Sort-Join is dropped automatically: it requires AVX, which the Westmere
 /// processors lack (§6.2).
 pub fn run(ctx: &mut MachineContext, coverage: Coverage) -> ExpResult<FourSocketResult> {
+    let _span = pandia_obs::span("harness", "four_socket");
     let workloads = runnable_workloads(ctx, pandia_workloads::paper_suite());
     let base = coverage.placements(ctx);
     let class_list = classes();

@@ -32,6 +32,7 @@ pub struct LimitsResult {
 
 /// Runs all three panels.
 pub fn run(coverage: Coverage) -> ExpResult<LimitsResult> {
+    let _span = pandia_obs::span("harness", "limits");
     let config = PredictorConfig::default();
 
     let mut x3 = MachineContext::x3_2()?;

@@ -98,21 +98,141 @@ pub fn exec_from_args() -> ExecContext {
     ExecContext::new(jobs).with_cache(cache)
 }
 
+/// Whether `--quiet` was passed: silences the binaries' stderr progress
+/// notes (wall times, cache stats, "wrote ..." lines) so piped stderr is
+/// clean. Result files are unaffected.
+pub fn quiet_from_args() -> bool {
+    std::env::args().any(|a| a == "--quiet")
+}
+
+/// A flush-on-drop handle for the telemetry sinks, built by
+/// [`telemetry_from_args`]. While it lives, telemetry is recording (when
+/// either output flag was given); when it drops — normally at the end of
+/// `main` — the requested sink files are written.
+#[derive(Debug, Default)]
+pub struct TelemetryGuard {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    quiet: bool,
+}
+
+impl TelemetryGuard {
+    /// Builds a guard from already-parsed sink paths and, when either is
+    /// present, installs the global telemetry recorder. Used by front-ends
+    /// (like the CLI) that parse their own flags instead of calling
+    /// [`telemetry_from_args`].
+    pub fn new(trace_out: Option<String>, metrics_out: Option<String>, quiet: bool) -> Self {
+        let guard = TelemetryGuard { trace_out, metrics_out, quiet };
+        if guard.active() {
+            pandia_obs::install();
+        }
+        guard
+    }
+
+    /// Whether any telemetry sink was requested.
+    pub fn active(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Writes the requested sink files now (normally done on drop).
+    /// Idempotent: each file is written at most once.
+    pub fn flush(&mut self) {
+        let Some(recorder) = pandia_obs::global() else { return };
+        for (path, contents) in [
+            (self.trace_out.take(), recorder.chrome_trace_json()),
+            (self.metrics_out.take(), recorder.metrics_jsonl()),
+        ] {
+            let Some(path) = path else { continue };
+            match std::fs::write(&path, contents) {
+                Ok(()) => {
+                    if !self.quiet {
+                        eprintln!("wrote {path}");
+                    }
+                }
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+    }
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Parses `--trace-out FILE` / `--metrics-out FILE` from argv and, when
+/// either is present, installs the global telemetry recorder. Returns the
+/// guard that writes the files when dropped; bind it in `main`:
+///
+/// ```no_run
+/// let _telemetry = pandia_harness::experiments::telemetry_from_args();
+/// ```
+///
+/// Without the flags telemetry stays off and the guard does nothing.
+pub fn telemetry_from_args() -> TelemetryGuard {
+    let args: Vec<String> = std::env::args().collect();
+    let mut trace_out = None;
+    let mut metrics_out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace-out" => {
+                if let Some(v) = args.get(i + 1) {
+                    trace_out = Some(v.clone());
+                    i += 1;
+                }
+            }
+            "--metrics-out" => {
+                if let Some(v) = args.get(i + 1) {
+                    metrics_out = Some(v.clone());
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    TelemetryGuard::new(trace_out, metrics_out, quiet_from_args())
+}
+
 /// Positional argv values with the shared experiment flags (`--quick`,
-/// `-q`, `--jobs N`, `-j N`, `--no-cache`) stripped out.
+/// `-q`, `--quiet`, `--jobs N`, `-j N`, `--no-cache`, `--trace-out FILE`,
+/// `--metrics-out FILE`) stripped out.
 pub fn positional_args() -> Vec<String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--jobs" | "-j" => i += 1, // skip the flag's value too
+            // Skip these flags' value arguments too.
+            "--jobs" | "-j" | "--trace-out" | "--metrics-out" => i += 1,
             a if a.starts_with('-') => {}
             a => positional.push(a.to_string()),
         }
         i += 1;
     }
     positional
+}
+
+/// Reports a stage's wall time and cache statistics: always into the
+/// telemetry registry, and to stderr unless `quiet`. Shared by the
+/// experiment binaries (the stderr line used to be an unconditional
+/// `eprintln!` in each).
+pub fn report_exec(exec: &ExecContext, stage: &str, start: std::time::Instant, quiet: bool) {
+    let wall = start.elapsed().as_secs_f64();
+    let stats = exec.cache_stats();
+    pandia_obs::observe("harness.stage_wall_ms", wall * 1e3);
+    pandia_obs::gauge("exec.jobs", exec.jobs() as f64);
+    if !quiet {
+        eprintln!(
+            "{stage}: {wall:.2}s wall (jobs={}; cache {} hits / {} misses, {:.1}% hit rate)",
+            exec.jobs(),
+            stats.hits,
+            stats.misses,
+            100.0 * stats.hit_rate()
+        );
+    }
 }
 
 /// Filters the workload list to those runnable on a machine (drops AVX

@@ -56,6 +56,7 @@ pub fn run(
     per_archetype: usize,
     seed: u64,
 ) -> ExpResult<RobustnessResult> {
+    let _span = pandia_obs::span("harness", "robustness");
     let placements = coverage.placements(ctx);
     let config = PredictorConfig::default();
     let mut per_archetype_stats = Vec::new();

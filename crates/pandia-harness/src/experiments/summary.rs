@@ -21,6 +21,7 @@ pub struct MachineResult {
 
 /// Runs the full evaluation on one machine and summarizes it.
 pub fn evaluate_machine(ctx: &mut MachineContext, coverage: Coverage) -> ExpResult<MachineResult> {
+    let _span = pandia_obs::span("harness", "summary");
     let workloads = runnable_workloads(ctx, pandia_workloads::paper_suite());
     let placements = coverage.placements(ctx);
     let bars = errors::error_bars(ctx, &workloads, &placements)?;

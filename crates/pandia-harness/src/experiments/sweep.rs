@@ -74,6 +74,7 @@ pub fn run_subset(
     coverage: Coverage,
     names: &[&str],
 ) -> ExpResult<SweepResult> {
+    let _span = pandia_obs::span("harness", "sweep");
     let workloads: Vec<WorkloadEntry> =
         runnable_workloads(ctx, pandia_workloads::paper_suite())
             .into_iter()

@@ -51,6 +51,7 @@ fn figure14_placement(ctx: &MachineContext, n: usize) -> Result<Placement, Pandi
 /// Runs the Figure 14 experiment on a context (the paper uses the X5-2's
 /// Xeon E5-2699 v3).
 pub fn run(ctx: &mut MachineContext) -> ExpResult<TurboResult> {
+    let _span = pandia_obs::span("harness", "turbo");
     let configs = [
         ("Turbo Boost enabled, no background load", true, false),
         ("Turbo Boost enabled, background load present", true, true),

@@ -36,6 +36,7 @@ pub fn example_placement(machine: &MachineDescription) -> ExpResult<Placement> {
 
 /// Runs the worked example.
 pub fn run() -> ExpResult<WorkedExample> {
+    let _span = pandia_obs::span("harness", "worked_example");
     let machine = example_machine();
     let workload = WorkloadDescription::example();
     let placement = example_placement(&machine)?;

@@ -184,6 +184,64 @@ mod tests {
     }
 
     #[test]
+    fn median_edge_cases() {
+        // Single element: the median is that element.
+        assert_eq!(median(&mut [7.5]), 7.5);
+        assert_eq!(mean(&[7.5]), 7.5);
+        // Even length: midpoint of the two central elements.
+        assert_eq!(median(&mut [1.0, 2.0]), 1.5);
+        // Tied values: ties collapse to the tied value, odd or even.
+        assert_eq!(median(&mut [3.0, 3.0, 3.0]), 3.0);
+        assert_eq!(median(&mut [2.0, 3.0, 3.0, 9.0]), 3.0);
+        assert_eq!(mean(&[3.0, 3.0, 3.0]), 3.0);
+        // Unsorted input with duplicates straddling the midpoint.
+        assert_eq!(median(&mut [5.0, 1.0, 5.0, 1.0]), 3.0);
+    }
+
+    #[test]
+    fn error_stats_on_empty_curve() {
+        let c = curve(vec![]);
+        let s = error_stats(&c);
+        assert_eq!(s.placements, 0);
+        assert_eq!(s.mean_error_pct, 0.0);
+        assert_eq!(s.median_error_pct, 0.0);
+        assert_eq!(s.mean_offset_error_pct, 0.0);
+        assert_eq!(s.median_offset_error_pct, 0.0);
+        assert_eq!(best_placement_gap(&c), 0.0);
+    }
+
+    #[test]
+    fn error_stats_on_single_point_curve() {
+        // One placement: normalization makes measured == predicted == 1,
+        // so every error is zero and the decision gap is trivially zero.
+        let c = curve(vec![(4.0, 8.0)]);
+        let s = error_stats(&c);
+        assert_eq!(s.placements, 1);
+        assert!(s.mean_error_pct < 1e-9);
+        assert!(s.median_error_pct < 1e-9);
+        assert_eq!(best_placement_gap(&c), 0.0);
+    }
+
+    #[test]
+    fn error_stats_with_tied_measurements() {
+        // Two placements measuring identically: whichever Pandia picks,
+        // the decision gap is zero even when predictions disagree.
+        let c = curve(vec![(5.0, 9.0), (5.0, 2.0)]);
+        assert_eq!(best_placement_gap(&c), 0.0);
+        let s = error_stats(&c);
+        assert_eq!(s.placements, 2);
+        assert!(s.mean_error_pct.is_finite());
+    }
+
+    #[test]
+    fn machine_summary_on_no_curves() {
+        let s = machine_summary("empty", &[]);
+        assert_eq!(s.mean_best_gap_pct, 0.0);
+        assert_eq!(s.median_best_gap_pct, 0.0);
+        assert_eq!(s.frac_peak_below_max_threads, 0.0);
+    }
+
+    #[test]
     fn perfect_predictions_have_zero_error() {
         let c = curve(vec![(10.0, 10.0), (5.0, 5.0), (2.5, 2.5)]);
         let s = error_stats(&c);

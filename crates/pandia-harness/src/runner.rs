@@ -98,6 +98,9 @@ pub fn measure_curve_with(
     placements: &[CanonicalPlacement],
     config: &PredictorConfig,
 ) -> Result<PlacementCurve, PandiaError> {
+    let _span = pandia_obs::span("harness", "measure_curve")
+        .arg("workload", description.name.as_str())
+        .arg("placements", placements.len());
     let shape = ctx.description.shape();
     let session = PredictSession::new(exec, &ctx.description, description, config)?;
     let evaluated = exec.parallel_map(placements, |canon| -> Result<CurvePoint, PandiaError> {

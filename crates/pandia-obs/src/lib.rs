@@ -1,0 +1,124 @@
+//! Unified telemetry for the Pandia pipeline: spans, a metrics registry,
+//! and Chrome-trace export.
+//!
+//! Pandia's own premise is explaining *where* time goes under contention,
+//! and this crate applies that premise to the pipeline itself. It provides
+//! a single, dependency-free instrumentation layer shared by the
+//! simulator, the predictor, the placement search, and the evaluation
+//! harness:
+//!
+//! * [`Recorder`] — a thread-safe holder of **counters**, **gauges**, and
+//!   fixed-bucket **histograms**, plus begin/end **spans** carrying
+//!   logical sequence numbers and wall-clock durations.
+//! * Sinks — [`Recorder::chrome_trace_json`] renders the recorded spans
+//!   and counters as a Chrome trace-event file (openable in
+//!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)), and
+//!   [`Recorder::metrics_jsonl`] / [`Recorder::events_jsonl`] stream the
+//!   registry and the raw span events as JSON Lines.
+//! * A process-global recorder — [`install`] turns telemetry on;
+//!   the free functions [`count`], [`gauge`], [`observe`], and [`span`]
+//!   are **no-ops costing one relaxed atomic load** until it is
+//!   installed, so instrumented hot paths stay effectively free in
+//!   ordinary runs.
+//!
+//! Telemetry is strictly *off by default* and writes only to its own
+//! sinks: enabling it must never change result files, which is asserted
+//! end-to-end by the workspace's `tests/telemetry.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use pandia_obs::Recorder;
+//!
+//! let recorder = Recorder::new();
+//! {
+//!     let _outer = recorder.span("search", "placement_report").arg("candidates", 42u64);
+//!     recorder.add("predict.cache.misses", 1);
+//!     recorder.observe("predict.eval_us", 180.0);
+//! }
+//! let trace = recorder.chrome_trace_json();
+//! assert!(trace.contains("placement_report"));
+//! ```
+
+mod recorder;
+mod sink;
+
+pub use recorder::{
+    ArgValue, Counter, HistogramSnapshot, MetricsSnapshot, Recorder, Span, SpanEvent, Track,
+    HISTOGRAM_BUCKET_BOUNDS,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Installs (or returns) the process-global recorder and enables the
+/// free-function instrumentation helpers.
+///
+/// Idempotent: the first call creates the recorder, later calls return
+/// the same instance. There is deliberately no uninstall — a process run
+/// either records telemetry or does not.
+pub fn install() -> &'static Recorder {
+    let recorder = GLOBAL.get_or_init(Recorder::new);
+    ENABLED.store(true, Ordering::Release);
+    recorder
+}
+
+/// Whether the global recorder is installed. This is the fast gate every
+/// instrumentation helper checks first: one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The global recorder, when telemetry has been [`install`]ed.
+#[inline]
+pub fn global() -> Option<&'static Recorder> {
+    if enabled() {
+        GLOBAL.get()
+    } else {
+        None
+    }
+}
+
+/// Adds `n` to the named global counter (no-op when telemetry is off).
+#[inline]
+pub fn count(name: &str, n: u64) {
+    if let Some(r) = global() {
+        r.add(name, n);
+    }
+}
+
+/// Sets the named global gauge (no-op when telemetry is off).
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if let Some(r) = global() {
+        r.gauge_set(name, value);
+    }
+}
+
+/// Records one observation into the named global histogram (no-op when
+/// telemetry is off).
+#[inline]
+pub fn observe(name: &str, value: f64) {
+    if let Some(r) = global() {
+        r.observe(name, value);
+    }
+}
+
+/// Opens a span on the global recorder. Returns a guard that records the
+/// span on drop; when telemetry is off the guard is inert.
+///
+/// ```
+/// let _span = pandia_obs::span("predictor", "predict");
+/// // ... timed work ...
+/// ```
+#[inline]
+pub fn span(cat: &'static str, name: &str) -> Span {
+    match global() {
+        Some(r) => r.span(cat, name),
+        None => Span::inert(),
+    }
+}

@@ -1,0 +1,580 @@
+//! The [`Recorder`]: thread-safe counters, gauges, histograms, and spans.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Upper bounds of the fixed histogram buckets (powers of two). Every
+/// histogram shares this bucketing, which keeps merging and export
+/// trivial: observation `v` lands in the first bucket with `v <= bound`,
+/// and anything beyond the last bound lands in the overflow bucket.
+pub const HISTOGRAM_BUCKET_BOUNDS: [f64; 41] = {
+    let mut bounds = [0.0; 41];
+    let mut i = 0;
+    while i < 41 {
+        bounds[i] = (1u64 << i) as f64;
+        i += 1;
+    }
+    bounds
+};
+
+/// Number of counts a histogram stores: one per bound plus overflow.
+const HISTOGRAM_SLOTS: usize = HISTOGRAM_BUCKET_BOUNDS.len() + 1;
+
+/// Default cap on stored span events; beyond it spans are counted as
+/// dropped rather than growing memory without bound.
+const DEFAULT_MAX_EVENTS: usize = 1 << 18;
+
+/// A value attached to a span's `args` map.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A string argument.
+    Str(String),
+    /// A float argument.
+    F64(f64),
+    /// An unsigned integer argument.
+    U64(u64),
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+/// Which timeline a span lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Track {
+    /// Real wall-clock time of the pipeline itself.
+    Wall,
+    /// Simulated time inside the fluid engine (used when bridging
+    /// `pandia-sim`'s `RunTrace` segments into the trace file).
+    Sim,
+}
+
+/// One completed span, ready for export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Category (trace-viewer lane grouping): `"sim"`, `"predictor"`, ...
+    pub cat: &'static str,
+    /// Human-readable span name.
+    pub name: String,
+    /// Logical sequence number, assigned when the span *begins*. Spans
+    /// can therefore be ordered by creation even when wall durations
+    /// overlap across threads.
+    pub seq: u64,
+    /// Small dense id of the recording thread (`Track::Wall`) or of the
+    /// virtual sim-time lane (`Track::Sim`).
+    pub tid: u32,
+    /// The timeline this span belongs to.
+    pub track: Track,
+    /// Start timestamp in microseconds (since recorder creation for wall
+    /// spans; simulated microseconds for sim spans).
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Attached key/value arguments.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Per-bucket counts, aligned with [`HISTOGRAM_BUCKET_BOUNDS`] plus a
+    /// final overflow slot.
+    pub counts: Vec<u64>,
+}
+
+/// Point-in-time view of the whole metrics registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name (sorted).
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name (sorted).
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms by name (sorted).
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Spans recorded so far.
+    pub spans: u64,
+    /// Spans dropped because the event buffer was full.
+    pub dropped_spans: u64,
+}
+
+struct HistogramCell {
+    counts: [AtomicU64; HISTOGRAM_SLOTS],
+    count: AtomicU64,
+    /// Sum stored as `f64` bits, updated with a CAS loop.
+    sum_bits: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn observe(&self, value: f64) {
+        let slot = HISTOGRAM_BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(HISTOGRAM_SLOTS - 1);
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    seq: AtomicU64,
+    events: Mutex<Vec<SpanEvent>>,
+    max_events: usize,
+    dropped: AtomicU64,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+    tids: Mutex<Vec<std::thread::ThreadId>>,
+}
+
+/// A thread-safe telemetry recorder.
+///
+/// Cloning is cheap and shares all state, so one recorder can be handed
+/// to worker threads. Most instrumentation goes through the process
+/// global (see [`crate::install`]); direct instances are mainly for
+/// tests and embedding.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.metrics_snapshot();
+        f.debug_struct("Recorder")
+            .field("counters", &snap.counters.len())
+            .field("gauges", &snap.gauges.len())
+            .field("histograms", &snap.histograms.len())
+            .field("spans", &snap.spans)
+            .finish()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// Creates an empty recorder with the default span-event cap.
+    pub fn new() -> Self {
+        Self::with_max_events(DEFAULT_MAX_EVENTS)
+    }
+
+    /// Creates an empty recorder that stores at most `max_events` spans;
+    /// further spans are dropped (and counted as dropped).
+    pub fn with_max_events(max_events: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                seq: AtomicU64::new(0),
+                events: Mutex::new(Vec::new()),
+                max_events: max_events.max(1),
+                dropped: AtomicU64::new(0),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                tids: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Microseconds elapsed since this recorder was created.
+    pub fn now_us(&self) -> f64 {
+        self.inner.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// A clonable handle to the named counter, registering it on first
+    /// use. Handles skip the registry lock on every increment, for hot
+    /// paths that add to the same counter many times.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.inner.counters.lock().expect("counter registry poisoned");
+        let cell = counters.entry(name.to_string()).or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Arc::clone(cell))
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut gauges = self.inner.gauges.lock().expect("gauge registry poisoned");
+        let cell = gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())));
+        cell.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Records one observation into the named fixed-bucket histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        let cell = {
+            let mut histograms =
+                self.inner.histograms.lock().expect("histogram registry poisoned");
+            Arc::clone(
+                histograms.entry(name.to_string()).or_insert_with(|| Arc::new(HistogramCell::new())),
+            )
+        };
+        cell.observe(value);
+    }
+
+    /// Opens a wall-clock span; the returned guard records it on drop.
+    pub fn span(&self, cat: &'static str, name: &str) -> Span {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        Span {
+            state: Some(SpanState {
+                recorder: self.clone(),
+                cat,
+                name: name.to_string(),
+                seq,
+                start: Instant::now(),
+                start_us: self.now_us(),
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    /// Records a completed span with explicit timestamps, for bridging
+    /// external timelines (e.g. simulated time) into the trace. The
+    /// raw span's `tid` selects the lane within its track; its `seq`
+    /// field is ignored and replaced with the next logical sequence
+    /// number.
+    pub fn record_span_at(&self, raw: SpanEvent) {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        self.push_event(SpanEvent { seq, ..raw });
+    }
+
+    /// The small dense id of the calling thread.
+    pub fn current_tid(&self) -> u32 {
+        let id = std::thread::current().id();
+        let mut tids = self.inner.tids.lock().expect("tid registry poisoned");
+        match tids.iter().position(|&t| t == id) {
+            Some(pos) => pos as u32,
+            None => {
+                tids.push(id);
+                (tids.len() - 1) as u32
+            }
+        }
+    }
+
+    fn push_event(&self, event: SpanEvent) {
+        let mut events = self.inner.events.lock().expect("event buffer poisoned");
+        if events.len() >= self.inner.max_events {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            events.push(event);
+        }
+    }
+
+    /// The recorded span events, ordered by logical sequence number.
+    pub fn span_events(&self) -> Vec<SpanEvent> {
+        let mut events = self.inner.events.lock().expect("event buffer poisoned").clone();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Spans dropped because the event buffer was full.
+    pub fn dropped_spans(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time snapshot of every registered metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(name, cell)| (name.clone(), f64::from_bits(cell.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.snapshot()))
+            .collect();
+        let spans = self.inner.events.lock().expect("event buffer poisoned").len() as u64;
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+            dropped_spans: self.dropped_spans(),
+        }
+    }
+}
+
+struct SpanState {
+    recorder: Recorder,
+    cat: &'static str,
+    name: String,
+    seq: u64,
+    start: Instant,
+    start_us: f64,
+    args: Vec<(String, ArgValue)>,
+}
+
+/// An open span. Records itself (name, category, sequence number, wall
+/// duration, args) into its recorder when dropped. Inert spans — from
+/// [`crate::span`] while telemetry is off — cost nothing on drop.
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+#[derive(Debug)]
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+impl std::fmt::Debug for SpanState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanState").field("cat", &self.cat).field("name", &self.name).finish()
+    }
+}
+
+impl Span {
+    /// A span that records nothing.
+    pub fn inert() -> Self {
+        Self { state: None }
+    }
+
+    /// Whether this span will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Attaches a key/value argument (no-op on inert spans).
+    pub fn arg(mut self, key: &str, value: impl Into<ArgValue>) -> Self {
+        if let Some(state) = self.state.as_mut() {
+            state.args.push((key.to_string(), value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else { return };
+        let tid = state.recorder.current_tid();
+        let event = SpanEvent {
+            cat: state.cat,
+            name: state.name,
+            seq: state.seq,
+            tid,
+            track: Track::Wall,
+            ts_us: state.start_us,
+            dur_us: state.start.elapsed().as_secs_f64() * 1e6,
+            args: state.args,
+        };
+        state.recorder.push_event(event);
+    }
+}
+
+/// A registered counter handle; increments are a single atomic add.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_histograms_register_and_accumulate() {
+        let r = Recorder::new();
+        r.add("a.hits", 2);
+        r.add("a.hits", 3);
+        let handle = r.counter("a.hits");
+        handle.add(5);
+        assert_eq!(handle.get(), 10);
+        r.gauge_set("depth", 4.5);
+        r.gauge_set("depth", 2.0);
+        r.observe("lat", 3.0);
+        r.observe("lat", 1000.0);
+        r.observe("lat", 1e30); // overflow bucket
+
+        let snap = r.metrics_snapshot();
+        assert_eq!(snap.counters, vec![("a.hits".to_string(), 10)]);
+        assert_eq!(snap.gauges, vec![("depth".to_string(), 2.0)]);
+        let (name, hist) = &snap.histograms[0];
+        assert_eq!(name, "lat");
+        assert_eq!(hist.count, 3);
+        assert!((hist.sum - (3.0 + 1000.0 + 1e30)).abs() / 1e30 < 1e-12);
+        // 3.0 lands at bound 4 (index 2), 1000.0 at bound 1024 (index 10).
+        assert_eq!(hist.counts[2], 1);
+        assert_eq!(hist.counts[10], 1);
+        assert_eq!(hist.counts[HISTOGRAM_SLOTS - 1], 1);
+    }
+
+    #[test]
+    fn spans_carry_sequence_numbers_and_durations() {
+        let r = Recorder::new();
+        {
+            let _outer = r.span("search", "outer").arg("candidates", 7u64);
+            let _inner = r.span("predictor", "inner");
+        }
+        let events = r.span_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "outer");
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert!(events.iter().all(|e| e.dur_us >= 0.0));
+        assert_eq!(events[0].args, vec![("candidates".to_string(), ArgValue::U64(7))]);
+        // Inner drops first but the outer keeps its earlier sequence slot.
+        assert_eq!(events[1].name, "inner");
+    }
+
+    #[test]
+    fn event_cap_drops_and_counts() {
+        let r = Recorder::with_max_events(2);
+        for i in 0..5 {
+            let _s = r.span("t", &format!("s{i}"));
+        }
+        assert_eq!(r.span_events().len(), 2);
+        assert_eq!(r.dropped_spans(), 3);
+        assert_eq!(r.metrics_snapshot().dropped_spans, 3);
+    }
+
+    #[test]
+    fn inert_spans_record_nothing() {
+        let r = Recorder::new();
+        {
+            let s = Span::inert().arg("k", "v");
+            assert!(!s.is_recording());
+        }
+        assert!(r.span_events().is_empty());
+    }
+
+    #[test]
+    fn sim_track_spans_keep_explicit_timestamps() {
+        let r = Recorder::new();
+        r.record_span_at(SpanEvent {
+            cat: "sim",
+            name: "segment".to_string(),
+            seq: 0,
+            tid: 3,
+            track: Track::Sim,
+            ts_us: 125.0,
+            dur_us: 500.0,
+            args: vec![("runnable".into(), ArgValue::U64(4))],
+        });
+        let events = r.span_events();
+        assert_eq!(events[0].track, Track::Sim);
+        assert_eq!(events[0].tid, 3);
+        assert_eq!(events[0].ts_us, 125.0);
+        assert_eq!(events[0].dur_us, 500.0);
+    }
+
+    #[test]
+    fn tids_are_dense_and_stable_per_thread() {
+        let r = Recorder::new();
+        let t0 = r.current_tid();
+        assert_eq!(t0, r.current_tid());
+        let r2 = r.clone();
+        let other = std::thread::spawn(move || r2.current_tid()).join().unwrap();
+        assert_ne!(t0, other);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = Recorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = r.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        r.add("c", 1);
+                        r.observe("h", 2.0);
+                    }
+                });
+            }
+        });
+        let snap = r.metrics_snapshot();
+        assert_eq!(snap.counters[0].1, 4000);
+        let hist = &snap.histograms[0].1;
+        assert_eq!(hist.count, 4000);
+        assert!((hist.sum - 8000.0).abs() < 1e-9);
+    }
+}

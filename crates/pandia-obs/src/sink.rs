@@ -1,0 +1,356 @@
+//! Export sinks: Chrome trace-event JSON and JSON Lines streams.
+//!
+//! The serializers here are hand-rolled (the crate is dependency-free by
+//! design); outputs are plain JSON that `chrome://tracing`, Perfetto, and
+//! any JSON parser accept.
+
+use crate::recorder::{ArgValue, Recorder, Track, HISTOGRAM_BUCKET_BOUNDS};
+
+/// Schema tag written into every trace file's `otherData`.
+pub const TRACE_SCHEMA: &str = "pandia-trace-v1";
+/// Schema tag written into the first line of every metrics JSONL file.
+pub const METRICS_SCHEMA: &str = "pandia-metrics-v1";
+/// Schema tag written into the first line of every events JSONL file.
+pub const EVENTS_SCHEMA: &str = "pandia-events-v1";
+
+/// Chrome trace-event `pid` used for wall-clock spans.
+const PID_WALL: u32 = 1;
+/// Chrome trace-event `pid` used for simulated-time spans.
+const PID_SIM: u32 = 2;
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_value(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+/// Formats an `f64` as a JSON number. JSON has no NaN/infinity, so
+/// non-finite values degrade to `0`.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push('0');
+    }
+}
+
+fn push_args_object(out: &mut String, args: &[(String, ArgValue)]) {
+    out.push('{');
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_value(out, key);
+        out.push(':');
+        match value {
+            ArgValue::Str(s) => push_str_value(out, s),
+            ArgValue::F64(v) => push_f64(out, *v),
+            ArgValue::U64(v) => out.push_str(&format!("{v}")),
+        }
+    }
+    out.push('}');
+}
+
+fn track_pid(track: Track) -> u32 {
+    match track {
+        Track::Wall => PID_WALL,
+        Track::Sim => PID_SIM,
+    }
+}
+
+impl Recorder {
+    /// Renders everything recorded so far as a Chrome trace-event JSON
+    /// document, openable in `chrome://tracing` or Perfetto.
+    ///
+    /// Layout: wall-clock spans live under pid 1 ("pandia (wall clock)"),
+    /// one lane per recording thread; simulated-time spans (bridged from
+    /// `RunTrace`) live under pid 2 ("pandia (simulated time)"). Each span
+    /// is a complete `"ph":"X"` event whose args carry the logical
+    /// sequence number; every counter becomes a `"ph":"C"` event holding
+    /// its final value.
+    pub fn chrome_trace_json(&self) -> String {
+        let events = self.span_events();
+        let snapshot = self.metrics_snapshot();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let mut emit_sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push(',');
+            }
+        };
+
+        for (pid, label) in
+            [(PID_WALL, "pandia (wall clock)"), (PID_SIM, "pandia (simulated time)")]
+        {
+            emit_sep(&mut out);
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            ));
+        }
+
+        let mut lanes: Vec<(u32, u32)> = events.iter().map(|e| (track_pid(e.track), e.tid)).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        for (pid, tid) in lanes {
+            let kind = if pid == PID_SIM { "lane" } else { "thread" };
+            emit_sep(&mut out);
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{kind} {tid}\"}}}}"
+            ));
+        }
+
+        let mut end_ts = 0.0f64;
+        for event in &events {
+            emit_sep(&mut out);
+            out.push_str(&format!(
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"cat\":",
+                track_pid(event.track),
+                event.tid
+            ));
+            push_str_value(&mut out, event.cat);
+            out.push_str(",\"name\":");
+            push_str_value(&mut out, &event.name);
+            out.push_str(",\"ts\":");
+            push_f64(&mut out, event.ts_us);
+            out.push_str(",\"dur\":");
+            push_f64(&mut out, event.dur_us);
+            out.push_str(",\"args\":");
+            let mut args = Vec::with_capacity(event.args.len() + 1);
+            args.push(("seq".to_string(), ArgValue::U64(event.seq)));
+            args.extend(event.args.iter().cloned());
+            push_args_object(&mut out, &args);
+            out.push('}');
+            if event.track == Track::Wall {
+                end_ts = end_ts.max(event.ts_us + event.dur_us);
+            }
+        }
+
+        for (name, value) in &snapshot.counters {
+            emit_sep(&mut out);
+            out.push_str(&format!("{{\"ph\":\"C\",\"pid\":{PID_WALL},\"tid\":0,\"name\":"));
+            push_str_value(&mut out, name);
+            out.push_str(",\"ts\":");
+            push_f64(&mut out, end_ts);
+            out.push_str(&format!(",\"args\":{{\"value\":{value}}}}}"));
+        }
+
+        out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"pandia-obs\",");
+        out.push_str(&format!(
+            "\"schema\":\"{TRACE_SCHEMA}\",\"spans\":{},\"dropped_spans\":{}}}}}",
+            snapshot.spans, snapshot.dropped_spans
+        ));
+        out
+    }
+
+    /// Renders the metrics registry as JSON Lines: a meta line tagged
+    /// [`METRICS_SCHEMA`] (carrying the shared histogram bucket bounds),
+    /// then one line per counter, gauge, and histogram, and a final
+    /// span-bookkeeping line.
+    pub fn metrics_jsonl(&self) -> String {
+        let snapshot = self.metrics_snapshot();
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!("{{\"schema\":\"{METRICS_SCHEMA}\",\"bucket_bounds\":["));
+        for (i, bound) in HISTOGRAM_BUCKET_BOUNDS.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_f64(&mut out, *bound);
+        }
+        out.push_str("]}\n");
+        for (name, value) in &snapshot.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            push_str_value(&mut out, name);
+            out.push_str(&format!(",\"value\":{value}}}\n"));
+        }
+        for (name, value) in &snapshot.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            push_str_value(&mut out, name);
+            out.push_str(",\"value\":");
+            push_f64(&mut out, *value);
+            out.push_str("}\n");
+        }
+        for (name, hist) in &snapshot.histograms {
+            out.push_str("{\"type\":\"histogram\",\"name\":");
+            push_str_value(&mut out, name);
+            out.push_str(&format!(",\"count\":{},\"sum\":", hist.count));
+            push_f64(&mut out, hist.sum);
+            out.push_str(",\"counts\":[");
+            for (i, count) in hist.counts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{count}"));
+            }
+            out.push_str("]}\n");
+        }
+        out.push_str(&format!(
+            "{{\"type\":\"spans\",\"recorded\":{},\"dropped\":{}}}\n",
+            snapshot.spans, snapshot.dropped_spans
+        ));
+        out
+    }
+
+    /// Renders the raw span events as JSON Lines: a meta line tagged
+    /// [`EVENTS_SCHEMA`], then one line per span in logical-sequence
+    /// order.
+    pub fn events_jsonl(&self) -> String {
+        let events = self.span_events();
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!("{{\"schema\":\"{EVENTS_SCHEMA}\"}}\n"));
+        for event in &events {
+            out.push_str("{\"type\":\"span\",\"cat\":");
+            push_str_value(&mut out, event.cat);
+            out.push_str(",\"name\":");
+            push_str_value(&mut out, &event.name);
+            let track = match event.track {
+                Track::Wall => "wall",
+                Track::Sim => "sim",
+            };
+            out.push_str(&format!(
+                ",\"seq\":{},\"track\":\"{track}\",\"tid\":{},\"ts_us\":",
+                event.seq, event.tid
+            ));
+            push_f64(&mut out, event.ts_us);
+            out.push_str(",\"dur_us\":");
+            push_f64(&mut out, event.dur_us);
+            out.push_str(",\"args\":");
+            push_args_object(&mut out, &event.args);
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use serde::Value;
+
+    fn sample_recorder() -> Recorder {
+        let r = Recorder::new();
+        {
+            let _span = r.span("search", "placement_report").arg("candidates", 42u64);
+            let _inner = r.span("predictor", "predict").arg("job", "stream\"44");
+        }
+        r.record_span_at(crate::SpanEvent {
+            cat: "sim",
+            name: "segment".to_string(),
+            seq: 0,
+            tid: 0,
+            track: Track::Sim,
+            ts_us: 0.0,
+            dur_us: 1.5e6,
+            args: vec![],
+        });
+        r.add("predict.cache.hits", 7);
+        r.add("predict.cache.misses", 3);
+        r.gauge_set("exec.jobs", 4.0);
+        r.observe("predict.eval_us", 123.0);
+        r
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_shape() {
+        let r = sample_recorder();
+        let parsed = serde_json::from_str::<Value>(&r.chrome_trace_json()).expect("valid JSON");
+        let obj = parsed.as_object().expect("top-level object");
+        let events = obj
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v.as_array().expect("array"))
+            .expect("traceEvents");
+        let phase = |e: &Value, want: &str| {
+            e.as_object()
+                .and_then(|o| o.iter().find(|(k, _)| k == "ph"))
+                .and_then(|(_, v)| v.as_str().map(|s| s == want))
+                .unwrap_or(false)
+        };
+        assert!(events.iter().any(|e| phase(e, "M")));
+        assert!(events.iter().any(|e| phase(e, "X")));
+        assert!(events.iter().any(|e| phase(e, "C")));
+        let cats: Vec<_> = events
+            .iter()
+            .filter_map(|e| e.as_object())
+            .filter_map(|o| o.iter().find(|(k, _)| k == "cat"))
+            .filter_map(|(_, v)| v.as_str().map(str::to_string))
+            .collect();
+        for cat in ["search", "predictor", "sim"] {
+            assert!(cats.iter().any(|c| c == cat), "missing cat {cat}");
+        }
+        let trace = r.chrome_trace_json();
+        assert!(trace.contains("predict.cache.hits"));
+        assert!(trace.contains(TRACE_SCHEMA));
+        // The quote in the span arg must have been escaped.
+        assert!(trace.contains("stream\\\"44"));
+    }
+
+    #[test]
+    fn metrics_jsonl_lines_each_parse() {
+        let r = sample_recorder();
+        let jsonl = r.metrics_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines.len() >= 5, "meta + 2 counters + gauge + histogram + spans");
+        for line in &lines {
+            serde_json::from_str::<Value>(line).expect("every line parses");
+        }
+        assert!(lines[0].contains(METRICS_SCHEMA));
+        assert!(lines[0].contains("bucket_bounds"));
+        assert!(jsonl.contains("\"type\":\"counter\""));
+        assert!(jsonl.contains("\"type\":\"gauge\""));
+        assert!(jsonl.contains("\"type\":\"histogram\""));
+        assert!(jsonl.contains("\"type\":\"spans\""));
+    }
+
+    #[test]
+    fn events_jsonl_lines_each_parse_in_seq_order() {
+        let r = sample_recorder();
+        let jsonl = r.events_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].contains(EVENTS_SCHEMA));
+        let mut last_seq = -1i64;
+        for line in &lines[1..] {
+            let parsed = serde_json::from_str::<Value>(line).expect("line parses");
+            let seq = parsed
+                .as_object()
+                .and_then(|o| o.iter().find(|(k, _)| k == "seq"))
+                .and_then(|(_, v)| v.as_f64())
+                .expect("seq field") as i64;
+            assert!(seq > last_seq, "events out of order");
+            last_seq = seq;
+        }
+        assert_eq!(lines.len(), 1 + 3);
+    }
+
+    #[test]
+    fn non_finite_values_degrade_to_zero() {
+        let r = Recorder::new();
+        r.gauge_set("bad", f64::NAN);
+        let jsonl = r.metrics_jsonl();
+        for line in jsonl.lines() {
+            serde_json::from_str::<Value>(line).expect("line parses despite NaN gauge");
+        }
+        assert!(jsonl.contains("\"name\":\"bad\",\"value\":0"));
+    }
+}

@@ -688,6 +688,14 @@ fn run_multi_impl(
         segment += 1;
     }
 
+    // Aggregate telemetry once per run, outside the segment loop, so the
+    // hot path carries no per-segment instrumentation.
+    if pandia_obs::enabled() {
+        pandia_obs::count("sim.segments", segment as u64);
+        pandia_obs::observe("sim.segments_per_run", segment as f64);
+        pandia_obs::observe("sim.entities_per_run", entities.len() as f64);
+    }
+
     // Assemble per-group results with seeded measurement noise.
     inputs
         .groups

@@ -37,4 +37,4 @@ pub mod trace;
 
 pub use behavior::{Behavior, BurstProfile, Scheduling, UnitDemand};
 pub use machine::{SimConfig, SimMachine};
-pub use trace::{RunTrace, TraceSegment};
+pub use trace::{RunTrace, TraceSegment, DEFAULT_BOTTLENECK_UTIL};

@@ -139,6 +139,10 @@ impl Platform for SimMachine {
     }
 
     fn run(&mut self, req: &RunRequest<Behavior>) -> Result<RunResult, PlatformError> {
+        let _span = pandia_obs::span("sim", "run")
+            .arg("workload", req.workload.name.as_str())
+            .arg("threads", req.placement.contexts().len());
+        pandia_obs::count("sim.runs", 1);
         if req.workload.requires_avx && !self.spec.has_avx {
             return Err(PlatformError::Unsupported {
                 reason: format!(
@@ -186,6 +190,8 @@ impl Platform for SimMachine {
         &mut self,
         req: &MultiRunRequest<Behavior>,
     ) -> Result<Vec<RunResult>, PlatformError> {
+        let _span = pandia_obs::span("sim", "run_multi").arg("jobs", req.jobs.len());
+        pandia_obs::count("sim.multi_runs", 1);
         self.validate_multi(req)?;
         let groups: Vec<GroupInput<'_>> = req
             .jobs

@@ -9,6 +9,13 @@
 use pandia_topology::ResourceKind;
 use serde::{Deserialize, Serialize};
 
+/// Default utilization cutoff for [`RunTrace::dominant_bottleneck`]: a
+/// resource only counts as a bottleneck in segments where its
+/// utilization exceeds this fraction of capacity. Below it, the
+/// "hottest" resource is merely the least idle one, not a constraint on
+/// progress.
+pub const DEFAULT_BOTTLENECK_UTIL: f64 = 0.5;
+
 /// One recorded segment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceSegment {
@@ -50,13 +57,30 @@ impl RunTrace {
             / total
     }
 
-    /// The resource that was hottest for the most time.
+    /// The resource that was hottest for the most time, counting only
+    /// segments where its utilization exceeded
+    /// [`DEFAULT_BOTTLENECK_UTIL`]. Shorthand for
+    /// [`dominant_bottleneck_above`](Self::dominant_bottleneck_above)
+    /// with the default threshold.
     pub fn dominant_bottleneck(&self) -> Option<ResourceKind> {
+        self.dominant_bottleneck_above(DEFAULT_BOTTLENECK_UTIL)
+    }
+
+    /// The resource that was hottest for the most time, counting only
+    /// segments where its utilization strictly exceeded `min_util`.
+    ///
+    /// The threshold keeps lightly loaded segments from voting: every
+    /// segment has *some* hottest resource, but a resource at 10%
+    /// utilization is not limiting anything. Pass `0.0` to rank purely by
+    /// hottest-time regardless of pressure, or a higher value (e.g.
+    /// `0.9`) to isolate saturation. Returns `None` when no segment
+    /// clears the threshold.
+    pub fn dominant_bottleneck_above(&self, min_util: f64) -> Option<ResourceKind> {
         use std::collections::HashMap;
         let mut time_by_resource: HashMap<ResourceKind, f64> = HashMap::new();
         for s in &self.segments {
             if let Some((kind, util)) = s.hottest {
-                if util > 0.5 {
+                if util > min_util {
                     *time_by_resource.entry(kind).or_insert(0.0) += s.dt;
                 }
             }
@@ -65,6 +89,40 @@ impl RunTrace {
             .into_iter()
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(kind, _)| kind)
+    }
+
+    /// Bridges this trace into the global telemetry recorder (no-op when
+    /// telemetry is off): each segment becomes a span on the
+    /// simulated-time track ([`pandia_obs::Track::Sim`]), named after its
+    /// hottest resource and carrying utilization/runnable/rate args.
+    /// `lane` selects the sim-track lane, letting concurrent runs land in
+    /// separate rows of the trace viewer; `label` names the run in each
+    /// span's args. Simulated seconds are scaled to trace microseconds.
+    pub fn emit_telemetry(&self, lane: u32, label: &str) {
+        let Some(recorder) = pandia_obs::global() else { return };
+        for s in &self.segments {
+            let name = match s.hottest {
+                Some((kind, _)) => format!("{kind:?}"),
+                None => "idle".to_string(),
+            };
+            let mut args = vec![
+                ("run".to_string(), pandia_obs::ArgValue::from(label.to_string())),
+                ("runnable".to_string(), pandia_obs::ArgValue::from(s.runnable)),
+            ];
+            if let Some((_, util)) = s.hottest {
+                args.push(("util".to_string(), pandia_obs::ArgValue::from(util)));
+            }
+            recorder.record_span_at(pandia_obs::SpanEvent {
+                cat: "sim",
+                name,
+                seq: 0,
+                tid: lane,
+                track: pandia_obs::Track::Sim,
+                ts_us: s.start * 1e6,
+                dur_us: s.dt * 1e6,
+                args,
+            });
+        }
     }
 
     /// Renders an ASCII timeline: one row per group showing its progress
@@ -152,6 +210,79 @@ mod tests {
     fn dominant_bottleneck_requires_pressure() {
         let trace = RunTrace { segments: vec![segment(0.0, 1.0, 1.0, 0.2)] };
         assert_eq!(trace.dominant_bottleneck(), None);
+    }
+
+    #[test]
+    fn dominant_bottleneck_threshold_is_tunable() {
+        let trace = RunTrace { segments: vec![segment(0.0, 1.0, 1.0, 0.2)] };
+        // The 0.2-util segment is invisible at the default threshold but
+        // counts once the caller lowers it.
+        assert_eq!(
+            trace.dominant_bottleneck_above(0.1),
+            Some(ResourceKind::Dram(SocketId(0)))
+        );
+        assert_eq!(trace.dominant_bottleneck_above(0.2), None, "strict comparison");
+        // Raising the threshold can also change which resource wins: DRAM
+        // is hot longer at low util, core issue is hotter but brief.
+        let mixed = RunTrace {
+            segments: vec![
+                segment(0.0, 3.0, 1.0, 0.6),
+                TraceSegment {
+                    start: 3.0,
+                    dt: 1.0,
+                    group_rates: vec![1.0],
+                    hottest: Some((ResourceKind::CoreIssue(CoreId(0)), 0.95)),
+                    runnable: 1,
+                },
+            ],
+        };
+        assert_eq!(mixed.dominant_bottleneck(), Some(ResourceKind::Dram(SocketId(0))));
+        assert_eq!(
+            mixed.dominant_bottleneck_above(0.9),
+            Some(ResourceKind::CoreIssue(CoreId(0)))
+        );
+    }
+
+    #[test]
+    fn helpers_on_empty_trace() {
+        let trace = RunTrace::default();
+        assert_eq!(trace.total_time(), 0.0);
+        assert_eq!(trace.mean_peak_utilization(), 0.0);
+        assert_eq!(trace.dominant_bottleneck(), None);
+        assert_eq!(trace.dominant_bottleneck_above(0.0), None);
+    }
+
+    #[test]
+    fn helpers_on_single_segment() {
+        let trace = RunTrace { segments: vec![segment(0.0, 2.0, 1.0, 0.7)] };
+        assert!((trace.total_time() - 2.0).abs() < 1e-12);
+        assert!((trace.mean_peak_utilization() - 0.7).abs() < 1e-12);
+        assert_eq!(trace.dominant_bottleneck(), Some(ResourceKind::Dram(SocketId(0))));
+    }
+
+    #[test]
+    fn mean_peak_utilization_treats_idle_segments_as_zero() {
+        let trace = RunTrace {
+            segments: vec![
+                segment(0.0, 1.0, 1.0, 0.8),
+                TraceSegment {
+                    start: 1.0,
+                    dt: 1.0,
+                    group_rates: vec![0.0],
+                    hottest: None,
+                    runnable: 0,
+                },
+            ],
+        };
+        assert!((trace.mean_peak_utilization() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emit_telemetry_without_recorder_is_a_noop() {
+        // Telemetry is off in unit tests; this must not panic or record.
+        let trace = RunTrace { segments: vec![segment(0.0, 1.0, 1.0, 0.9)] };
+        trace.emit_telemetry(0, "noop");
+        assert!(pandia_obs::global().is_none());
     }
 
     #[test]

@@ -93,10 +93,12 @@ impl PlacementEnumerator {
     /// Materializes the full space — use [`Self::sampled`] on machines where
     /// [`Self::count`] is large.
     pub fn all(&self) -> Vec<CanonicalPlacement> {
+        let _span = pandia_obs::span("topology", "enumerate_all");
         let mut out = Vec::new();
         let mut current: Vec<Vec<u8>> = Vec::new();
         self.gen_rec(0, usize::MAX, &mut current, &mut |p| out.push(p));
         sort_placements(&mut out);
+        pandia_obs::count("topology.placements_enumerated", out.len() as u64);
         out
     }
 

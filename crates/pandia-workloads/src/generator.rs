@@ -65,6 +65,7 @@ impl Rng {
 ///
 /// The same `(archetype, seed)` pair always yields the same behavior.
 pub fn generate(archetype: Archetype, seed: u64) -> Behavior {
+    pandia_obs::count("workloads.generated", 1);
     let mut rng = Rng::new(seed ^ (archetype as u64).wrapping_mul(0xA5A5_A5A5));
     let name = format!("gen-{archetype:?}-{seed}");
     let (demand, ws, burst, comm, seq) = match archetype {

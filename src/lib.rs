@@ -15,7 +15,9 @@
 //!   six-run workload profiler (§4), and the iterative performance
 //!   predictor (§5);
 //! * [`harness`] — the evaluation harness regenerating every figure and
-//!   table of §6.
+//!   table of §6;
+//! * [`obs`] — the unified telemetry layer (spans, metrics registry,
+//!   Chrome-trace export) instrumenting all of the above.
 //!
 //! # Quickstart
 //!
@@ -47,6 +49,7 @@
 
 pub use pandia_core as core;
 pub use pandia_harness as harness;
+pub use pandia_obs as obs;
 pub use pandia_sim as sim;
 pub use pandia_topology as topology;
 pub use pandia_workloads as workloads;

@@ -1,0 +1,98 @@
+//! Workspace-level telemetry acceptance test.
+//!
+//! Verifies the tentpole guarantees of the instrumentation layer in one
+//! process: results are byte-identical with telemetry off and on, nothing
+//! is recorded while the recorder is not installed, and an instrumented
+//! placement sweep produces a valid Chrome trace with spans from the
+//! simulator, predictor, and search layers plus cache counters.
+//!
+//! Everything lives in a single `#[test]` because installing the global
+//! recorder is one-way: the telemetry-off phase must run first.
+
+use pandia_core::{best_placement_with, ExecContext, PredictorConfig};
+use pandia_harness::{experiments::curves, MachineContext};
+
+/// One deterministic placement sweep: a measured-vs-predicted curve plus
+/// a best-placement search, serialized to JSON. A fresh [`ExecContext`]
+/// per call keeps the prediction cache state identical across runs.
+fn sweep_json() -> String {
+    let ctx = MachineContext::by_name("x3-2").expect("x3-2 preset");
+    let entry = pandia_workloads::by_name("CG").expect("CG registered");
+    let placements = ctx.enumerator().sampled(&ctx.spec, 3);
+    let exec = ExecContext::new(2).with_cache(true);
+    let curve = curves::workload_curve_with(&exec, &ctx, &entry, &placements)
+        .expect("placement sweep");
+    // Re-searching the same candidates hits the prediction cache, so the
+    // instrumented run records both cache hits and misses.
+    let mut local = ctx.clone();
+    let profile = local.profile(&entry).expect("profiling");
+    let best = best_placement_with(
+        &exec,
+        &ctx.description,
+        &profile.description,
+        &placements,
+        &PredictorConfig::default(),
+    )
+    .expect("best placement");
+    format!(
+        "{}\n{}",
+        serde_json::to_string(&curve).expect("curve serializes"),
+        serde_json::to_string(&best).expect("prediction serializes")
+    )
+}
+
+#[test]
+fn telemetry_is_invisible_when_off_and_complete_when_on() {
+    // Phase 1 — telemetry off: no recorder exists, and the sweep must not
+    // create one as a side effect.
+    assert!(!pandia_obs::enabled(), "telemetry must start disabled");
+    assert!(pandia_obs::global().is_none(), "no recorder before install()");
+    let off = sweep_json();
+    assert!(pandia_obs::global().is_none(), "sweep must not install telemetry");
+
+    // Determinism baseline: the sweep itself is byte-stable.
+    assert_eq!(off, sweep_json(), "sweep must be deterministic");
+
+    // Phase 2 — telemetry on: identical pipeline, recorder installed.
+    let recorder = pandia_obs::install();
+    assert_eq!(recorder.span_events().len(), 0, "fresh recorder starts empty");
+    let on = sweep_json();
+
+    // The headline guarantee: results are byte-identical either way.
+    assert_eq!(off, on, "telemetry must not perturb results");
+
+    // The trace must be valid JSON covering the instrumented layers.
+    let trace = recorder.chrome_trace_json();
+    serde_json::from_str::<serde_json::Value>(&trace).expect("trace parses as JSON");
+    for needle in [
+        "\"traceEvents\"",
+        "pandia-trace-v1",
+        "\"cat\":\"sim\"",
+        "\"cat\":\"predictor\"",
+        "\"cat\":\"search\"",
+        "\"cat\":\"exec\"",
+        "predict.cache.hits",
+        "predict.cache.misses",
+    ] {
+        assert!(trace.contains(needle), "trace missing {needle}");
+    }
+
+    // The metrics export carries the same counters, line by line.
+    let metrics = recorder.metrics_jsonl();
+    let mut lines = metrics.lines();
+    let header = lines.next().expect("metrics header line");
+    serde_json::from_str::<serde_json::Value>(header).expect("header parses");
+    assert!(header.contains("pandia-metrics-v1"));
+    let mut saw_hits = false;
+    let mut saw_misses = false;
+    for line in lines {
+        serde_json::from_str::<serde_json::Value>(line).expect("metrics line parses");
+        saw_hits |= line.contains("predict.cache.hits");
+        saw_misses |= line.contains("predict.cache.misses");
+    }
+    assert!(saw_hits, "metrics missing predict.cache.hits");
+    assert!(saw_misses, "metrics missing predict.cache.misses");
+
+    // And spans were actually recorded.
+    assert!(!recorder.span_events().is_empty(), "instrumented run records spans");
+}

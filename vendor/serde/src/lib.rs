@@ -178,6 +178,18 @@ pub fn get_field<'a>(
         .ok_or_else(|| DeError::new(format!("missing field `{name}` while deserializing {ty}")))
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -10,7 +10,8 @@
 //! recovers every bit of every finite `f64`. Non-finite floats
 //! serialize as `null` (matching the real serde_json).
 
-use serde::{Deserialize, Number, Serialize, Value};
+use serde::{Deserialize, Number, Serialize};
+pub use serde::Value;
 
 /// Error produced by JSON (de)serialization.
 #[derive(Debug, Clone, PartialEq)]
