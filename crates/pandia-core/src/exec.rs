@@ -30,7 +30,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use pandia_topology::Placement;
 
@@ -156,7 +156,7 @@ impl PredictionCache {
     /// Looks a key up, counting the hit or miss (both locally and, when
     /// telemetry is on, in the global metrics registry).
     pub fn lookup(&self, key: u128) -> Option<Vec<Prediction>> {
-        let found = self.shard(key).lock().expect("prediction cache poisoned").get(&key).cloned();
+        let found = self.shard(key).lock().unwrap_or_else(PoisonError::into_inner).get(&key).cloned();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             pandia_obs::count("predict.cache.hits", 1);
@@ -169,14 +169,14 @@ impl PredictionCache {
 
     /// Stores predictions under a key.
     pub fn store(&self, key: u128, predictions: Vec<Prediction>) {
-        self.shard(key).lock().expect("prediction cache poisoned").insert(key, predictions);
+        self.shard(key).lock().unwrap_or_else(PoisonError::into_inner).insert(key, predictions);
     }
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("prediction cache poisoned").len())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 

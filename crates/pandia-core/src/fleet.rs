@@ -121,9 +121,7 @@ impl<'m> FleetScheduler<'m> {
                 solo_best[j] = solo_best[j].min(schedule.predictions[0].predicted_time);
             }
         }
-        order.sort_by(|&a, &b| {
-            solo_best[b].partial_cmp(&solo_best[a]).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| solo_best[b].total_cmp(&solo_best[a]));
 
         // Greedy assignment: place each job on the machine that minimizes
         // the resulting rack makespan, re-co-scheduling that machine's
@@ -191,10 +189,22 @@ impl<'m> FleetScheduler<'m> {
                 placements[j] = Some(schedule.placements[slot].clone());
             }
         }
-        let assignments: Vec<FleetAssignment> =
-            assignments.into_iter().map(|a| a.expect("every job assigned")).collect();
-        let placements: Vec<Placement> =
-            placements.into_iter().map(|p| p.expect("every job placed")).collect();
+        let assignments: Vec<FleetAssignment> = assignments
+            .into_iter()
+            .map(|a| {
+                a.ok_or_else(|| PandiaError::Mismatch {
+                    reason: "fleet schedule left a job unassigned".into(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let placements: Vec<Placement> = placements
+            .into_iter()
+            .map(|p| {
+                p.ok_or_else(|| PandiaError::Mismatch {
+                    reason: "fleet schedule left a job unplaced".into(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let makespan = machine_makespan.iter().cloned().fold(0.0_f64, f64::max);
         Ok(FleetSchedule { assignments, makespan, placements })
     }

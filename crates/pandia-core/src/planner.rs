@@ -110,13 +110,11 @@ pub fn plan_with(
     let outcomes = placement_report_with(exec, machine, workload, candidates, config)?.outcomes;
     let best = outcomes
         .iter()
-        .min_by(|a, b| {
-            a.predicted_time
-                .partial_cmp(&b.predicted_time)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        .min_by(|a, b| a.predicted_time.total_cmp(&b.predicted_time))
         .cloned()
-        .expect("non-empty outcomes");
+        .ok_or_else(|| PandiaError::Mismatch {
+            reason: "placement report produced no outcomes".into(),
+        })?;
 
     let target_time = match target {
         Target::MaxTime(t) => t,

@@ -134,7 +134,9 @@ pub fn predict(
     config: &PredictorConfig,
 ) -> Result<Prediction, PandiaError> {
     let mut results = predict_jobs(machine, &[(workload, placement)], config)?;
-    Ok(results.pop().expect("one job in, one prediction out"))
+    results.pop().ok_or_else(|| PandiaError::Mismatch {
+        reason: "predict_jobs returned no prediction for a single job".into(),
+    })
 }
 
 /// Predicts the performance of several workloads co-scheduled on one
@@ -219,11 +221,16 @@ pub fn predict_jobs(
         });
     }
     let total = routes.len();
-    let shares_core: Vec<bool> = (0..total)
-        .map(|t| {
-            let core = shape.core_of_ctx(ctx_of_flat(jobs, t)).0;
-            per_core[core] >= 2
+    // Flat context list across jobs, in the same order as `routes`.
+    let flat_ctxs: Vec<pandia_topology::CtxId> = jobs
+        .iter()
+        .flat_map(|(_, placement)| {
+            (0..placement.n_threads()).map(|i| placement.ctx_of(ThreadId(i)))
         })
+        .collect();
+    let shares_core: Vec<bool> = flat_ctxs
+        .iter()
+        .map(|&ctx| per_core[shape.core_of_ctx(ctx).0] >= 2)
         .collect();
 
     // Effective capacities: the measured SMT co-schedule factor shrinks the
@@ -386,19 +393,6 @@ pub fn predict_jobs(
         });
     }
     Ok(results)
-}
-
-/// Context of flat thread index `t` across the job list.
-fn ctx_of_flat(jobs: &[(&WorkloadDescription, &Placement)], t: usize) -> pandia_topology::CtxId {
-    let mut offset = 0;
-    for (_, placement) in jobs {
-        let n = placement.n_threads();
-        if t < offset + n {
-            return placement.ctx_of(ThreadId(t - offset));
-        }
-        offset += n;
-    }
-    unreachable!("flat thread index {t} out of range");
 }
 
 #[cfg(test)]

@@ -298,7 +298,11 @@ impl<'m> WorkloadProfiler<'m> {
             last = Some(result);
         }
         let mean = total / repeats as f64;
-        Ok((mean, last.expect("repeats >= 1")))
+        let last = last.ok_or(PandiaError::Degenerate {
+            what: "profiling repeats",
+            value: repeats as f64,
+        })?;
+        Ok((mean, last))
     }
 
     /// Chooses the run-2 thread count: the largest even number of threads,

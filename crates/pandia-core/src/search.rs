@@ -43,7 +43,7 @@ impl PlacementReport {
     pub fn best(&self) -> Option<&PlacementOutcome> {
         self.outcomes
             .iter()
-            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
     }
 
     /// The smallest placement (fewest threads, then fewest cores) whose

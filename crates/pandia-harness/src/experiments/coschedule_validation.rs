@@ -4,7 +4,7 @@
 //! compare each job's joint *prediction* with its joint *measurement* on
 //! the ground-truth simulator — the §8 claim quantified.
 
-use pandia_core::{predict_jobs, PredictorConfig, WorkloadDescription};
+use pandia_core::{predict_jobs, PandiaError, PredictorConfig, WorkloadDescription};
 use pandia_sim::Behavior;
 use pandia_topology::{HasShape, MultiRunRequest, Placement, Platform, SocketId};
 use serde::{Deserialize, Serialize};
@@ -54,7 +54,7 @@ impl CoScheduleValidation {
 }
 
 /// The joint layouts exercised for each pair (per-socket carve-ups).
-fn layouts(ctx: &MachineContext) -> Vec<(String, Placement, Placement)> {
+fn layouts(ctx: &MachineContext) -> ExpResult<Vec<(String, Placement, Placement)>> {
     let shape = ctx.description.shape();
     let cores = shape.cores_per_socket;
     let socket = |s: usize, n: usize, slot: usize| {
@@ -62,29 +62,27 @@ fn layouts(ctx: &MachineContext) -> Vec<(String, Placement, Placement)> {
             &shape,
             (0..n).map(|c| shape.ctx(SocketId(s), c, slot)).collect::<Vec<_>>(),
         )
-        .expect("socket placement fits")
     };
     let half = cores / 2;
-    vec![
+    Ok(vec![
         // One socket each.
-        ("socket-each".to_string(), socket(0, cores, 0), socket(1, cores, 0)),
+        ("socket-each".to_string(), socket(0, cores, 0)?, socket(1, cores, 0)?),
         // Both share socket 0, half the cores each (second job uses the
         // upper cores via SMT slot 0 of cores half..).
         (
             "split-socket0".to_string(),
-            socket(0, half, 0),
+            socket(0, half, 0)?,
             Placement::new(
                 &shape,
                 (half..cores)
                     .map(|c| shape.ctx(SocketId(0), c, 0))
                     .collect::<Vec<_>>(),
-            )
-            .expect("upper half fits"),
+            )?,
         ),
         // SMT siblings: job B on the second hardware thread of the same
         // cores as job A.
-        ("smt-siblings".to_string(), socket(0, half, 0), socket(0, half, 1)),
-    ]
+        ("smt-siblings".to_string(), socket(0, half, 0)?, socket(0, half, 1)?),
+    ])
 }
 
 /// Runs the validation for the given workload pairs.
@@ -96,11 +94,15 @@ pub fn run(
     let config = PredictorConfig::default();
     let mut outcomes = Vec::new();
     for &(a, b) in pairs {
-        let wa = pandia_workloads::by_name(a).unwrap_or_else(|| panic!("workload {a}"));
-        let wb = pandia_workloads::by_name(b).unwrap_or_else(|| panic!("workload {b}"));
+        let wa = pandia_workloads::by_name(a).ok_or_else(|| PandiaError::Mismatch {
+            reason: format!("unknown workload {a}"),
+        })?;
+        let wb = pandia_workloads::by_name(b).ok_or_else(|| PandiaError::Mismatch {
+            reason: format!("unknown workload {b}"),
+        })?;
         let da = ctx.profile(&wa)?.description;
         let db = ctx.profile(&wb)?.description;
-        for (layout, pa, pb) in layouts(ctx) {
+        for (layout, pa, pb) in layouts(ctx)? {
             outcomes.extend(validate_one(
                 ctx,
                 &config,

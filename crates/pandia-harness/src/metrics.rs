@@ -38,7 +38,7 @@ pub fn median(values: &mut [f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    values.sort_by(|a, b| a.total_cmp(b));
     let n = values.len();
     if n % 2 == 1 {
         values[n / 2]

@@ -60,14 +60,14 @@ impl PlacementCurve {
     pub fn predicted_best_placement(&self) -> Option<&CurvePoint> {
         self.points
             .iter()
-            .min_by(|a, b| a.predicted.partial_cmp(&b.predicted).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| a.predicted.total_cmp(&b.predicted))
     }
 
     /// The placement that actually ran fastest.
     pub fn measured_best_placement(&self) -> Option<&CurvePoint> {
         self.points
             .iter()
-            .min_by(|a, b| a.measured.partial_cmp(&b.measured).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| a.measured.total_cmp(&b.measured))
     }
 }
 

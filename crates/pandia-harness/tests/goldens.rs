@@ -1,0 +1,73 @@
+//! Byte-identity regression for the figure 10 / figure 11 result files.
+//!
+//! The paper's error figures are only meaningful if the prediction
+//! pipeline is bit-reproducible: a change that perturbs comparator
+//! semantics (e.g. swapping `partial_cmp(..).unwrap_or(Equal)` for
+//! `f64::total_cmp`) or map iteration order must not move a single byte
+//! of the emitted CSVs. The goldens under `tests/goldens/` were captured
+//! before the `total_cmp` migration; this test regenerates the same
+//! artifacts through the library APIs and compares bytes.
+//!
+//! To re-bless after an *intentional* output change:
+//! `PANDIA_BLESS_GOLDENS=1 cargo test -p pandia-harness --test goldens`
+
+use std::path::PathBuf;
+
+use pandia_core::ExecContext;
+use pandia_harness::experiments::{curves, errors};
+use pandia_harness::{report, MachineContext};
+
+/// Workloads covered by the golden capture: a memory-bound, a
+/// CPU-bound, and a lock-heavy representative keep the comparators'
+/// tie-breaking behavior exercised without a full-suite sweep.
+const WORKLOADS: [&str; 3] = ["CG", "EP", "MD"];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+fn check_or_bless(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("PANDIA_BLESS_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden files live in a dir"))
+            .expect("create goldens dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e} (re-bless with PANDIA_BLESS_GOLDENS=1)", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "{name} diverged from the pre-migration capture: fig10/fig11 outputs must stay byte-identical"
+    );
+}
+
+#[test]
+fn fig10_fig11_outputs_are_byte_identical_to_goldens() {
+    let ctx = MachineContext::by_name("x3-2").expect("x3-2 preset");
+    // Same candidate set as the binaries' `--quick` coverage.
+    let placements = ctx.enumerator().sampled(&ctx.spec, 3);
+    let exec = ExecContext::new(2).with_cache(true);
+    let workloads: Vec<_> = WORKLOADS
+        .iter()
+        .map(|n| pandia_workloads::by_name(n).expect("registered workload"))
+        .collect();
+
+    // Figure 10: one measured-vs-predicted curve CSV per workload.
+    for w in &workloads {
+        let curve = curves::workload_curve_with(&exec, &ctx, w, &placements)
+            .expect("placement sweep");
+        check_or_bless(
+            &format!("fig10_x3-2_{}.csv", w.name),
+            &report::curve_csv(&curve),
+        );
+    }
+
+    // Figure 11: per-workload error bars, both the human table and the CSV.
+    let bars = errors::error_bars_with(&exec, &ctx, &workloads, &placements)
+        .expect("error sweep");
+    let title = format!("Figure 11 — errors on {}", bars.title);
+    check_or_bless("fig11_x3-2.txt", &report::error_table(&title, &bars.stats));
+    check_or_bless("fig11_x3-2.csv", &report::error_csv(&bars.stats));
+}

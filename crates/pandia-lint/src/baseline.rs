@@ -1,0 +1,103 @@
+//! The P1 baseline file (`lint-baseline.toml`): per-file counts of
+//! panic-capable call sites. A tiny hand-rolled parser keeps the crate
+//! dependency-free; the grammar is a strict subset of TOML — one `[p1]`
+//! table of `"path" = count` entries.
+
+use std::collections::BTreeMap;
+
+/// Parsed baseline: workspace-relative path → allowed panic-site count.
+pub type Baseline = BTreeMap<String, u32>;
+
+/// Parses baseline file contents. Returns an error message naming the
+/// offending line on malformed input.
+pub fn parse(contents: &str) -> Result<Baseline, String> {
+    let mut baseline = Baseline::new();
+    let mut in_p1 = false;
+    for (idx, raw) in contents.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_p1 = line == "[p1]";
+            if !in_p1 {
+                return Err(format!(
+                    "line {}: unknown baseline section `{line}` (only [p1] is defined)",
+                    idx + 1
+                ));
+            }
+            continue;
+        }
+        if !in_p1 {
+            return Err(format!("line {}: entry outside the [p1] section", idx + 1));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `\"path\" = count`", idx + 1));
+        };
+        let key = key.trim();
+        let path = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("line {}: path must be double-quoted", idx + 1))?;
+        let count: u32 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: count must be a non-negative integer", idx + 1))?;
+        if baseline.insert(path.to_string(), count).is_some() {
+            return Err(format!("line {}: duplicate entry for `{path}`", idx + 1));
+        }
+    }
+    Ok(baseline)
+}
+
+/// Serializes a baseline back to the canonical file format (sorted by
+/// path, zero-count entries dropped).
+pub fn serialize(baseline: &Baseline) -> String {
+    let mut out = String::from(
+        "# pandia-lint P1 baseline: per-file counts of panic-capable call sites\n\
+         # (`.unwrap()`, `.expect(..)`, `panic!`, `unreachable!`, `todo!`,\n\
+         # `unimplemented!`) in non-test library code. The ratchet only goes\n\
+         # down: `check` fails when a file exceeds its entry, and lowered counts\n\
+         # should be committed via `cargo run -p pandia-lint -- check --update-baseline`.\n\
+         \n[p1]\n",
+    );
+    for (path, count) in baseline {
+        if *count > 0 {
+            out.push_str(&format!("\"{path}\" = {count}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::new();
+        b.insert("crates/a/src/lib.rs".into(), 3);
+        b.insert("crates/b/src/x.rs".into(), 1);
+        b.insert("crates/c/src/zero.rs".into(), 0);
+        let text = serialize(&b);
+        let parsed = parse(&text).expect("canonical form parses");
+        assert_eq!(parsed.get("crates/a/src/lib.rs"), Some(&3));
+        assert_eq!(parsed.get("crates/b/src/x.rs"), Some(&1));
+        assert_eq!(parsed.get("crates/c/src/zero.rs"), None, "zero entries dropped");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("[p1]\nnot-quoted = 3\n").is_err());
+        assert!(parse("[p1]\n\"a\" = -1\n").is_err());
+        assert!(parse("[other]\n").is_err());
+        assert!(parse("\"a\" = 1\n").is_err(), "entry before [p1]");
+        assert!(parse("[p1]\n\"a\" = 1\n\"a\" = 2\n").is_err(), "duplicate");
+    }
+
+    #[test]
+    fn tolerates_comments_and_blanks() {
+        let parsed = parse("# header\n\n[p1]\n# note\n\"a\" = 2\n").expect("parses");
+        assert_eq!(parsed.get("a"), Some(&2));
+    }
+}

@@ -1,0 +1,512 @@
+//! A small Rust lexer: just enough to strip comments and string/char
+//! literals so token-level rules never fire on text inside them.
+//!
+//! The lexer understands line comments, nested block comments, regular
+//! strings with escapes, byte strings, raw strings/raw byte strings with
+//! any number of `#`s, raw identifiers (`r#type`), char literals vs.
+//! lifetimes, and float vs. integer literals. `lint:` directives in line
+//! comments are surfaced separately so the rule layer can apply
+//! exemptions.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// Punctuation. Multi-character operators that the rules care about
+    /// (`::`, `==`, `!=`, `->`) are combined into one token.
+    Punct,
+    /// An integer literal (including hex/octal/binary).
+    Int,
+    /// A float literal (has a fractional part, an exponent, or an
+    /// `f32`/`f64` suffix).
+    Float,
+    /// A string, byte-string, or raw-string literal (contents dropped).
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Token classification.
+    pub kind: TokKind,
+    /// Token text (empty for string/char literals).
+    pub text: String,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A `// lint: ...` directive found in a line comment.
+#[derive(Debug, Clone)]
+pub struct LintComment {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Directive text after `lint:`, trimmed.
+    pub text: String,
+}
+
+/// Output of [`lex`]: the token stream plus any lint directives.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Significant tokens, in source order.
+    pub tokens: Vec<Tok>,
+    /// `// lint:` directives, in source order.
+    pub lint_comments: Vec<LintComment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes Rust source into significant tokens, stripping comments and
+/// literal contents. Unterminated constructs are tolerated: the lexer
+/// consumes to end-of-input rather than erroring, since the build is the
+/// authority on syntax.
+pub fn lex(src: &str) -> LexOutput {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = LexOutput::default();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    // Advances over `chars[j]`, tracking newlines; returns j + 1.
+    macro_rules! bump {
+        ($j:expr) => {{
+            if chars[$j] == '\n' {
+                line += 1;
+            }
+            $j + 1
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+
+        // Whitespace.
+        if c.is_whitespace() {
+            i = bump!(i);
+            continue;
+        }
+
+        // Line comment (also doc comments `///`, `//!`).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start_line = line;
+            let mut j = i + 2;
+            let mut text = String::new();
+            while j < n && chars[j] != '\n' {
+                text.push(chars[j]);
+                j += 1;
+            }
+            let trimmed = text.trim_start_matches(['/', '!']).trim();
+            if let Some(rest) = trimmed.strip_prefix("lint:") {
+                out.lint_comments
+                    .push(LintComment { line: start_line, text: rest.trim().to_string() });
+            }
+            i = j;
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    j = bump!(j);
+                    j += 1;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j = bump!(j);
+                }
+            }
+            i = j;
+            continue;
+        }
+
+        // Raw identifiers and raw (byte) strings: r#type, r"..", r#".."#,
+        // br#".."#, b"..", b'x'.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            let mut saw_b_prefix = false;
+            if c == 'b' && j < n && chars[j] == 'r' {
+                saw_b_prefix = true;
+                j += 1;
+            }
+            let raw = c == 'r' || saw_b_prefix;
+            if raw {
+                // Count hashes after the `r`.
+                let mut hashes = 0;
+                let mut k = j;
+                while k < n && chars[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && chars[k] == '"' {
+                    // Raw string: scan for `"` followed by `hashes` hashes.
+                    let start_line = line;
+                    let mut m = bump!(k);
+                    'scan: while m < n {
+                        if chars[m] == '"' {
+                            let mut h = 0;
+                            while h < hashes && m + 1 + h < n && chars[m + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                m += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        m = bump!(m);
+                    }
+                    out.tokens.push(Tok {
+                        line: start_line,
+                        kind: TokKind::Str,
+                        text: String::new(),
+                    });
+                    i = m;
+                    continue;
+                }
+                if hashes > 0 && !saw_b_prefix && k < n && is_ident_start(chars[k]) {
+                    // Raw identifier `r#type`: lex as the plain identifier.
+                    let start_line = line;
+                    let mut m = k;
+                    let mut text = String::new();
+                    while m < n && is_ident_continue(chars[m]) {
+                        text.push(chars[m]);
+                        m += 1;
+                    }
+                    out.tokens.push(Tok { line: start_line, kind: TokKind::Ident, text });
+                    i = m;
+                    continue;
+                }
+                // Not a raw construct after all — fall through to ident.
+            }
+            if c == 'b' && i + 1 < n && (chars[i + 1] == '"' || chars[i + 1] == '\'') {
+                // Byte string / byte literal: delegate to the quote logic
+                // by skipping the `b` prefix.
+                i += 1;
+                continue;
+            }
+        }
+
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            let mut j = bump!(i);
+            while j < n {
+                match chars[j] {
+                    '\\' => {
+                        j = bump!(j);
+                        if j < n {
+                            j = bump!(j);
+                        }
+                    }
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j = bump!(j),
+                }
+            }
+            out.tokens.push(Tok { line: start_line, kind: TokKind::Str, text: String::new() });
+            i = j;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let start_line = line;
+            if i + 1 < n && chars[i + 1] == '\\' {
+                // Escaped char literal: skip to the closing quote.
+                let mut j = i + 2;
+                if j < n {
+                    j = bump!(j); // the escaped character itself
+                }
+                // Multi-char escapes (\x41, \u{..}) run to the quote.
+                while j < n && chars[j] != '\'' && chars[j] != '\n' {
+                    j += 1;
+                }
+                if j < n && chars[j] == '\'' {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Char,
+                    text: String::new(),
+                });
+                i = j;
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' {
+                // Plain char literal 'x' (including '_' and unicode).
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Char,
+                    text: String::new(),
+                });
+                i += 3;
+                continue;
+            }
+            // Lifetime: consume the identifier after the quote.
+            let mut j = i + 1;
+            let mut text = String::from("'");
+            while j < n && is_ident_continue(chars[j]) {
+                text.push(chars[j]);
+                j += 1;
+            }
+            out.tokens.push(Tok { line: start_line, kind: TokKind::Lifetime, text });
+            i = j;
+            continue;
+        }
+
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start_line = line;
+            let mut j = i;
+            let mut text = String::new();
+            let mut is_float = false;
+            while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                text.push(chars[j]);
+                j += 1;
+            }
+            // Fractional part: a `.` followed by a digit (not `..` and not
+            // a method call like `1.max(2)`).
+            if j + 1 < n && chars[j] == '.' && chars[j + 1].is_ascii_digit() {
+                is_float = true;
+                text.push('.');
+                j += 1;
+                while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+            } else if j < n
+                && chars[j] == '.'
+                && (j + 1 >= n || (chars[j + 1] != '.' && !is_ident_start(chars[j + 1])))
+            {
+                // Trailing-dot float like `1.`.
+                is_float = true;
+                text.push('.');
+                j += 1;
+            }
+            // Exponent (only meaningful outside hex literals).
+            if !text.starts_with("0x")
+                && !text.starts_with("0X")
+                && (text.contains('e') || text.contains('E'))
+                && text
+                    .chars()
+                    .next()
+                    .map(|first| first.is_ascii_digit())
+                    .unwrap_or(false)
+            {
+                // `1e3` was consumed above as alphanumerics; treat a bare
+                // exponent as float, and absorb a following `+`/`-` digits
+                // (for `1.5e-3` the `-3` is still pending).
+                is_float = true;
+                if (text.ends_with('e') || text.ends_with('E'))
+                    && j + 1 < n
+                    && (chars[j] == '+' || chars[j] == '-')
+                    && chars[j + 1].is_ascii_digit()
+                {
+                    text.push(chars[j]);
+                    j += 1;
+                    while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                }
+            }
+            if text.ends_with("f32") || text.ends_with("f64") {
+                is_float = true;
+            }
+            out.tokens.push(Tok {
+                line: start_line,
+                kind: if is_float { TokKind::Float } else { TokKind::Int },
+                text,
+            });
+            i = j;
+            continue;
+        }
+
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start_line = line;
+            let mut j = i;
+            let mut text = String::new();
+            while j < n && is_ident_continue(chars[j]) {
+                text.push(chars[j]);
+                j += 1;
+            }
+            out.tokens.push(Tok { line: start_line, kind: TokKind::Ident, text });
+            i = j;
+            continue;
+        }
+
+        // Punctuation: combine the pairs the rules match on.
+        let start_line = line;
+        let pair: Option<&str> = if i + 1 < n {
+            match (c, chars[i + 1]) {
+                (':', ':') => Some("::"),
+                ('=', '=') => Some("=="),
+                ('!', '=') => Some("!="),
+                ('-', '>') => Some("->"),
+                ('=', '>') => Some("=>"),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(p) = pair {
+            out.tokens.push(Tok { line: start_line, kind: TokKind::Punct, text: p.to_string() });
+            i += 2;
+        } else {
+            out.tokens
+                .push(Tok { line: start_line, kind: TokKind::Punct, text: c.to_string() });
+            i = bump!(i);
+        }
+    }
+
+    out
+}
+
+/// Removes test-only code from a token stream: any item annotated
+/// `#[test]` or with a `#[cfg(...)]` attribute whose argument list
+/// mentions `test` (covers `#[cfg(test)]` and `#[cfg(all(test, ...))]`),
+/// including the conventional `#[cfg(test)] mod tests { ... }` block.
+pub fn strip_test_code(tokens: Vec<Tok>) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    let n = tokens.len();
+    while i < n {
+        if tokens[i].is_punct("#") && i + 1 < n && tokens[i + 1].is_punct("[") {
+            if let Some((attr_end, is_test)) = parse_attribute(&tokens, i) {
+                if is_test {
+                    // Skip any further attributes, then the item itself.
+                    let mut j = attr_end;
+                    while j < n
+                        && tokens[j].is_punct("#")
+                        && j + 1 < n
+                        && tokens[j + 1].is_punct("[")
+                    {
+                        match parse_attribute(&tokens, j) {
+                            Some((end, _)) => j = end,
+                            None => break,
+                        }
+                    }
+                    i = skip_item(&tokens, j);
+                    continue;
+                }
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Parses the attribute starting at `#` token index `start`. Returns the
+/// index one past the closing `]` and whether the attribute gates test
+/// code (`#[test]`, `#[cfg(test)]`, `#[cfg(any(test, ...))]`, ...).
+fn parse_attribute(tokens: &[Tok], start: usize) -> Option<(usize, bool)> {
+    let n = tokens.len();
+    if start + 1 >= n || !tokens[start].is_punct("#") || !tokens[start + 1].is_punct("[") {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut is_cfg = false;
+    let mut mentions_test = false;
+    let mut mentions_not = false;
+    let mut is_bare_test = false;
+    let mut j = start + 1;
+    while j < n {
+        let t = &tokens[j];
+        if t.is_punct("[") || t.is_punct("(") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("]") || t.is_punct(")") || t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                // The `]` that closes the attribute. `#[cfg(not(test))]`
+                // gates *production* code, so `not` neutralizes `test`.
+                let gates_test = is_bare_test || (is_cfg && mentions_test && !mentions_not);
+                return Some((j + 1, gates_test));
+            }
+        } else if t.kind == TokKind::Ident {
+            if depth == 1 && t.text == "cfg" {
+                is_cfg = true;
+            }
+            if depth == 1 && t.text == "test" {
+                is_bare_test = true;
+            }
+            if depth >= 2 && t.text == "test" {
+                mentions_test = true;
+            }
+            if depth >= 2 && t.text == "not" {
+                mentions_not = true;
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Returns the index one past the item starting at `start`: either the
+/// first `;` at nesting depth zero or the close of the first top-level
+/// `{ ... }` block, whichever comes first.
+fn skip_item(tokens: &[Tok], start: usize) -> usize {
+    let n = tokens.len();
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < n {
+        let t = &tokens[j];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct("{") {
+            depth += 1;
+            if depth == 1 {
+                // Entering the item body: consume to its close.
+                let mut k = j + 1;
+                let mut body_depth = 1usize;
+                while k < n && body_depth > 0 {
+                    let u = &tokens[k];
+                    if u.is_punct("{") || u.is_punct("(") || u.is_punct("[") {
+                        body_depth += 1;
+                    } else if u.is_punct("}") || u.is_punct(")") || u.is_punct("]") {
+                        body_depth -= 1;
+                    }
+                    k += 1;
+                }
+                return k;
+            }
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(";") && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    n
+}

@@ -1,0 +1,114 @@
+//! `pandia-lint` — workspace invariant checker.
+//!
+//! Pandia's predictor/simulator contract is *bit-reproducibility*: the
+//! same inputs must produce the same result files on every run, worker
+//! count, and machine. The invariants that guarantee this used to live
+//! in prose and reviewer vigilance; this crate makes them mechanical.
+//!
+//! A small Rust lexer ([`lexer`]) strips comments and string literals
+//! (including raw strings and nested block comments) and drops
+//! `#[cfg(test)]` items, then token-level rules ([`rules`]) run per file
+//! under a path-derived scope ([`walker`]):
+//!
+//! | Rule | Checks | Where |
+//! |------|--------|-------|
+//! | D1 | no iteration over `HashMap`/`HashSet` | result-producing crates |
+//! | D2 | no `Instant`/`SystemTime`/`thread::current`/`env::*` reads | result-producing crates |
+//! | N1 | no `partial_cmp(..).unwrap_or(Equal)`, no `==`/`!=` on float literals | result crates + harness |
+//! | P1 | panic sites (`unwrap`/`expect`/`panic!`/...) ≤ committed baseline | all library crates |
+//!
+//! D1/D2/N1 violations are errors unless exempted in place with a
+//! `// lint:` comment carrying a reason. P1 is a ratchet against
+//! `lint-baseline.toml` ([`baseline`]): counts may only go down.
+//!
+//! Run it as `cargo run -p pandia-lint -- check` (see [`run_check`]).
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walker;
+
+use std::fs;
+use std::path::Path;
+
+use report::{Finding, Report, Rule};
+
+/// Result of a full workspace check.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// Findings and statistics.
+    pub report: Report,
+    /// When `--update-baseline` was requested: the new baseline file
+    /// contents to write.
+    pub updated_baseline: Option<String>,
+}
+
+/// Checks the workspace rooted at `root` against the baseline at
+/// `baseline_path`.
+///
+/// A missing baseline file is treated as all-zero (every panic site is a
+/// finding), which is also how new files enter the ratchet. With
+/// `update_baseline`, the outcome carries regenerated baseline contents
+/// reflecting current counts; increases are flagged loudly by the caller
+/// but not blocked here — `check` without the flag is the gate.
+pub fn run_check(
+    root: &Path,
+    baseline_path: &Path,
+    update_baseline: bool,
+) -> Result<CheckOutcome, String> {
+    let baseline = if baseline_path.exists() {
+        let contents = fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+        baseline::parse(&contents)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?
+    } else {
+        baseline::Baseline::new()
+    };
+
+    let files = walker::collect(root)?;
+    let mut report = Report { files_checked: files.len(), ..Report::default() };
+
+    for file in &files {
+        let src = fs::read_to_string(&file.abs_path)
+            .map_err(|e| format!("cannot read {}: {e}", file.abs_path.display()))?;
+        let file_report = rules::check_source(&file.rel_path, &src, file.scope);
+        report.findings.extend(file_report.findings);
+        if file.scope.p1 && file_report.p1_count > 0 {
+            report.p1_counts.insert(file.rel_path.clone(), file_report.p1_count);
+        }
+        if file.scope.p1 {
+            let allowed = baseline.get(&file.rel_path).copied().unwrap_or(0);
+            let actual = file_report.p1_count;
+            if actual > allowed {
+                report.findings.push(Finding::new(
+                    Rule::P1,
+                    &file.rel_path,
+                    file_report.p1_first_line.max(1),
+                    format!(
+                        "{actual} panic sites (unwrap/expect/panic!/...) but the baseline \
+                         allows {allowed}; handle the error via Result instead — the \
+                         ratchet only goes down"
+                    ),
+                ));
+            } else if actual < allowed {
+                report.ratchet_slack.push((file.rel_path.clone(), actual, allowed));
+            }
+        }
+    }
+
+    // Baseline entries for files that no longer exist (or left scope) are
+    // slack too: they should be dropped on the next update.
+    for (path, &allowed) in &baseline {
+        if allowed > 0 && !files.iter().any(|f| &f.rel_path == path) {
+            report.ratchet_slack.push((path.clone(), 0, allowed));
+        }
+    }
+
+    report.findings.sort_by(|a, b| {
+        a.file.cmp(&b.file).then(a.line.cmp(&b.line)).then(a.rule.cmp(&b.rule))
+    });
+
+    let updated_baseline = update_baseline.then(|| baseline::serialize(&report.p1_counts));
+    Ok(CheckOutcome { report, updated_baseline })
+}

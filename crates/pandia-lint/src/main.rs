@@ -1,0 +1,112 @@
+//! CLI entry point: `cargo run -p pandia-lint -- check [flags]`.
+//!
+//! Flags:
+//!
+//! * `--root DIR` — workspace root (default: current directory).
+//! * `--baseline FILE` — P1 baseline path (default: `<root>/lint-baseline.toml`).
+//! * `--update-baseline` — rewrite the baseline from current counts.
+//! * `--format human|json` — output format (default: human).
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pandia-lint check [--root DIR] [--baseline FILE] \
+                     [--update-baseline] [--format human|json]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("pandia-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses arguments and runs the check; `Ok(true)` means no findings.
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut format_json = false;
+    let mut subcommand: Option<&str> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" if subcommand.is_none() => subcommand = Some("check"),
+            "--root" => {
+                i += 1;
+                let dir = args.get(i).ok_or_else(|| format!("--root needs a value\n{USAGE}"))?;
+                root = PathBuf::from(dir);
+            }
+            "--baseline" => {
+                i += 1;
+                let file =
+                    args.get(i).ok_or_else(|| format!("--baseline needs a value\n{USAGE}"))?;
+                baseline = Some(PathBuf::from(file));
+            }
+            "--update-baseline" => update_baseline = true,
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("json") => format_json = true,
+                    Some("human") => format_json = false,
+                    _ => return Err(format!("--format must be `human` or `json`\n{USAGE}")),
+                }
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if subcommand != Some("check") {
+        return Err(USAGE.to_string());
+    }
+
+    let baseline_path = baseline.unwrap_or_else(|| root.join("lint-baseline.toml"));
+    let outcome = pandia_lint::run_check(&root, &baseline_path, update_baseline)?;
+
+    if let Some(contents) = &outcome.updated_baseline {
+        // Warn loudly when an update would *raise* a count: the ratchet is
+        // meant to go down, and `check` (the CI gate) fails on increases.
+        for f in &outcome.report.findings {
+            if f.rule == pandia_lint::report::Rule::P1 {
+                eprintln!(
+                    "pandia-lint: warning: raising baseline for {} ({})",
+                    f.file, f.message
+                );
+            }
+        }
+        std::fs::write(&baseline_path, contents)
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        eprintln!("pandia-lint: wrote {}", baseline_path.display());
+    }
+
+    if format_json {
+        print!("{}", outcome.report.render_json());
+    } else {
+        print!("{}", outcome.report.render_human());
+    }
+
+    // With --update-baseline the P1 findings were just absorbed into the
+    // new baseline; only non-P1 findings still fail the run.
+    let clean = if update_baseline {
+        outcome
+            .report
+            .findings
+            .iter()
+            .all(|f| f.rule == pandia_lint::report::Rule::P1)
+    } else {
+        !outcome.report.has_findings()
+    };
+    Ok(clean)
+}

@@ -1,0 +1,152 @@
+//! Findings and output formatting (human-readable and JSON).
+
+use std::collections::BTreeMap;
+
+/// Which rule a finding belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Hash-collection iteration order in result-producing crates.
+    D1,
+    /// Ambient nondeterminism (wall clock, thread id, environment).
+    D2,
+    /// NaN-unsafe float comparisons.
+    N1,
+    /// Panic-hygiene ratchet (unwrap/expect/panicking macros).
+    P1,
+    /// A malformed `// lint:` directive.
+    Directive,
+}
+
+impl Rule {
+    /// Stable short name used in output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::N1 => "N1",
+            Rule::P1 => "P1",
+            Rule::Directive => "LINT",
+        }
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding for `rule` at `file:line`.
+    pub fn new(rule: Rule, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Self { rule, file: file.to_string(), line, message: message.into() }
+    }
+
+    /// Creates a malformed-directive finding.
+    pub fn directive(file: &str, line: u32, message: impl Into<String>) -> Self {
+        Self::new(Rule::Directive, file, line, message)
+    }
+}
+
+/// The full result of a workspace check.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, ordered by file then line.
+    pub findings: Vec<Finding>,
+    /// Per-file P1 counts (files with zero sites omitted).
+    pub p1_counts: BTreeMap<String, u32>,
+    /// Files that now sit *below* their baseline entry, as
+    /// `(file, count, baseline)` — candidates for `--update-baseline`.
+    pub ratchet_slack: Vec<(String, u32, u32)>,
+    /// Number of files checked.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Whether the check should fail.
+    pub fn has_findings(&self) -> bool {
+        !self.findings.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!("{}:{}: [{}] {}\n", f.file, f.line, f.rule.name(), f.message));
+        }
+        for (file, count, baseline) in &self.ratchet_slack {
+            out.push_str(&format!(
+                "note: {file} has {count} panic sites, below its baseline of {baseline} — \
+                 run with --update-baseline to ratchet down\n"
+            ));
+        }
+        let p1_total: u32 = self.p1_counts.values().sum();
+        out.push_str(&format!(
+            "pandia-lint: {} files checked, {} findings, {} panic sites across {} files\n",
+            self.files_checked,
+            self.findings.len(),
+            p1_total,
+            self.p1_counts.len(),
+        ));
+        out
+    }
+
+    /// Renders the machine-readable report (`--format json`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"pandia-lint-v1\",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"file\":{},\"line\":{},\"message\":{}}}",
+                f.rule.name(),
+                json_string(&f.file),
+                f.line,
+                json_string(&f.message),
+            ));
+        }
+        out.push_str("],\"p1\":{");
+        for (i, (file, count)) in self.p1_counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(file), count));
+        }
+        let p1_total: u32 = self.p1_counts.values().sum();
+        out.push_str(&format!(
+            "}},\"summary\":{{\"files_checked\":{},\"findings\":{},\"p1_total\":{}}}}}",
+            self.files_checked,
+            self.findings.len(),
+            p1_total,
+        ));
+        out.push('\n');
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

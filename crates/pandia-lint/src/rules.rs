@@ -1,0 +1,465 @@
+//! The rule passes: D1 (hash-iteration determinism), D2 (ambient
+//! nondeterminism sources), N1 (NaN-unsafe float comparisons), and P1
+//! (panic-site counting for the baseline ratchet).
+//!
+//! All rules run over the lexed token stream with test-only code already
+//! stripped (see [`crate::lexer::strip_test_code`]), so string literals,
+//! comments, and `#[cfg(test)]` modules can never trigger a finding.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, strip_test_code, LintComment, Tok, TokKind};
+use crate::report::{Finding, Rule};
+
+/// Which rules apply to a file, derived from its crate and role by
+/// [`crate::walker`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileScope {
+    /// D1: forbid iteration-order-dependent hash-collection constructs.
+    pub d1: bool,
+    /// D2: forbid wall-clock/thread-id/environment reads.
+    pub d2: bool,
+    /// N1: forbid NaN-swallowing float comparisons.
+    pub n1: bool,
+    /// P1: count panic-capable call sites against the baseline.
+    pub p1: bool,
+}
+
+/// Exemptions parsed from `// lint:` directives in one file.
+#[derive(Debug, Default)]
+struct Exemptions {
+    /// Lines on which `// lint: sorted` suppresses D1 (the directive's
+    /// own line and the line after it).
+    sorted_lines: Vec<u32>,
+    /// Per-rule line exemptions from `// lint: allow(RULE): reason`.
+    allow_lines: BTreeMap<Rule, Vec<u32>>,
+    /// Whole-file exemptions from `// lint: allow-file(RULE): reason`.
+    allow_file: Vec<Rule>,
+}
+
+impl Exemptions {
+    fn exempts(&self, rule: Rule, line: u32) -> bool {
+        if self.allow_file.contains(&rule) {
+            return true;
+        }
+        if rule == Rule::D1 && self.sorted_lines.iter().any(|&l| l == line || l + 1 == line) {
+            return true;
+        }
+        self.allow_lines
+            .get(&rule)
+            .is_some_and(|lines| lines.iter().any(|&l| l == line || l + 1 == line))
+    }
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Rule findings (D1/D2/N1 violations plus malformed directives).
+    pub findings: Vec<Finding>,
+    /// Number of panic-capable call sites (P1), if the rule applies.
+    pub p1_count: u32,
+    /// Line of the first P1 site, for pointing ratchet failures somewhere.
+    pub p1_first_line: u32,
+}
+
+/// Lints one file's source text under the given scope.
+pub fn check_source(path: &str, src: &str, scope: FileScope) -> FileReport {
+    let lexed = lex(src);
+    let tokens = strip_test_code(lexed.tokens);
+    let mut report = FileReport::default();
+    let exemptions = parse_directives(path, &lexed.lint_comments, &mut report.findings);
+
+    if scope.d1 {
+        rule_d1(path, &tokens, &exemptions, &mut report.findings);
+    }
+    if scope.d2 {
+        rule_d2(path, &tokens, &exemptions, &mut report.findings);
+    }
+    if scope.n1 {
+        rule_n1(path, &tokens, &exemptions, &mut report.findings);
+    }
+    if scope.p1 {
+        let (count, first_line) = rule_p1(&tokens);
+        report.p1_count = count;
+        report.p1_first_line = first_line;
+    }
+    report
+}
+
+/// Parses `// lint:` directives, reporting malformed ones as findings.
+fn parse_directives(
+    path: &str,
+    comments: &[LintComment],
+    findings: &mut Vec<Finding>,
+) -> Exemptions {
+    let mut ex = Exemptions::default();
+    for c in comments {
+        let text = c.text.trim();
+        if text == "sorted" {
+            ex.sorted_lines.push(c.line);
+            continue;
+        }
+        let (file_scoped, rest) = match text.strip_prefix("allow-file(") {
+            Some(rest) => (true, rest),
+            None => match text.strip_prefix("allow(") {
+                Some(rest) => (false, rest),
+                None => {
+                    findings.push(Finding::directive(
+                        path,
+                        c.line,
+                        format!(
+                            "unknown lint directive `{text}` (expected `sorted`, \
+                             `allow(RULE): reason`, or `allow-file(RULE): reason`)"
+                        ),
+                    ));
+                    continue;
+                }
+            },
+        };
+        let Some(close) = rest.find(')') else {
+            findings.push(Finding::directive(path, c.line, "unclosed `(` in lint directive"));
+            continue;
+        };
+        let (rule_list, after) = rest.split_at(close);
+        let reason = after[1..].trim_start_matches(':').trim();
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for name in rule_list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match name {
+                "D1" => rules.push(Rule::D1),
+                "D2" => rules.push(Rule::D2),
+                "N1" => rules.push(Rule::N1),
+                "P1" => {
+                    findings.push(Finding::directive(
+                        path,
+                        c.line,
+                        "P1 is governed by the baseline ratchet, not exemption comments \
+                         (lower lint-baseline.toml instead)",
+                    ));
+                    bad = true;
+                }
+                other => {
+                    findings.push(Finding::directive(
+                        path,
+                        c.line,
+                        format!("unknown rule `{other}` in lint directive"),
+                    ));
+                    bad = true;
+                }
+            }
+        }
+        if bad {
+            continue;
+        }
+        if rules.is_empty() {
+            findings.push(Finding::directive(path, c.line, "empty rule list in lint directive"));
+            continue;
+        }
+        if reason.is_empty() {
+            findings.push(Finding::directive(
+                path,
+                c.line,
+                "lint exemption requires a reason (e.g. `// lint: allow(N1): values are \
+                 utilizations in [0, 1], never NaN`)",
+            ));
+            continue;
+        }
+        for rule in rules {
+            if file_scoped {
+                ex.allow_file.push(rule);
+            } else {
+                ex.allow_lines.entry(rule).or_default().push(c.line);
+            }
+        }
+    }
+    ex
+}
+
+/// Iteration-producing methods on hash collections.
+const HASH_ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// D1: flags iteration-order-dependent constructs on local bindings of
+/// `HashMap`/`HashSet`. Membership operations (`get`, `insert`,
+/// `contains_key`, `entry`, `len`, ...) are fine; anything that walks the
+/// collection must either move to an order-stable container (`BTreeMap`,
+/// first-seen `Vec`) or carry a `// lint: sorted` exemption next to an
+/// explicit sort.
+fn rule_d1(path: &str, tokens: &[Tok], ex: &Exemptions, findings: &mut Vec<Finding>) {
+    let tracked = hash_bindings(tokens);
+    if tracked.is_empty() {
+        return;
+    }
+    let n = tokens.len();
+    for i in 0..n {
+        let t = &tokens[i];
+        // `map.keys()` / `map.drain()` / ... on a tracked binding.
+        if t.kind == TokKind::Ident
+            && tracked.contains(&t.text)
+            && i + 2 < n
+            && tokens[i + 1].is_punct(".")
+            && tokens[i + 2].kind == TokKind::Ident
+            && HASH_ITER_METHODS.contains(&tokens[i + 2].text.as_str())
+            && i + 3 < n
+            && tokens[i + 3].is_punct("(")
+        {
+            let line = tokens[i + 2].line;
+            if !ex.exempts(Rule::D1, line) {
+                findings.push(Finding::new(
+                    Rule::D1,
+                    path,
+                    line,
+                    format!(
+                        "iteration over hash collection `{}` via `.{}()` has \
+                         nondeterministic order; use BTreeMap/sorted Vec or sort the \
+                         result and annotate `// lint: sorted`",
+                        t.text, tokens[i + 2].text
+                    ),
+                ));
+            }
+        }
+        // `for x in map` / `for x in &map` / `for x in &mut map`.
+        if t.is_ident("for") && (i + 1 >= n || !tokens[i + 1].is_punct("<")) {
+            if let Some(in_idx) = find_loop_in(tokens, i) {
+                let mut j = in_idx + 1;
+                while j < n && (tokens[j].is_punct("&") || tokens[j].is_ident("mut")) {
+                    j += 1;
+                }
+                if j < n
+                    && tokens[j].kind == TokKind::Ident
+                    && tracked.contains(&tokens[j].text)
+                    && j + 1 < n
+                    && tokens[j + 1].is_punct("{")
+                {
+                    let line = tokens[j].line;
+                    if !ex.exempts(Rule::D1, line) {
+                        findings.push(Finding::new(
+                            Rule::D1,
+                            path,
+                            line,
+                            format!(
+                                "`for .. in {}` iterates a hash collection in \
+                                 nondeterministic order",
+                                tokens[j].text
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Local identifiers bound to `HashMap`/`HashSet` in `let` statements
+/// (`use` declarations never bind values, so they are skipped by
+/// construction: a `use` statement contains no `let`).
+fn hash_bindings(tokens: &[Tok]) -> Vec<String> {
+    let mut tracked = Vec::new();
+    let n = tokens.len();
+    let mut i = 0;
+    while i < n {
+        if tokens[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < n && tokens[j].is_ident("mut") {
+                j += 1;
+            }
+            if j < n && tokens[j].kind == TokKind::Ident {
+                let name = tokens[j].text.clone();
+                // Scan this statement (to the `;` at relative depth 0) for
+                // a hash-collection constructor or annotation.
+                let mut depth = 0usize;
+                let mut k = j + 1;
+                while k < n {
+                    let t = &tokens[k];
+                    if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                        depth += 1;
+                    } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    } else if t.is_punct(";") && depth == 0 {
+                        break;
+                    } else if t.kind == TokKind::Ident
+                        && (t.text == "HashMap" || t.text == "HashSet")
+                    {
+                        tracked.push(name.clone());
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    tracked
+}
+
+/// For a `for` at index `i`, finds the matching `in` at the same nesting
+/// depth before the loop body opens.
+fn find_loop_in(tokens: &[Tok], i: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct("{") && depth == 0 {
+            return None;
+        } else if t.is_ident("in") && depth == 0 {
+            return Some(j);
+        } else if t.is_punct(";") {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Environment-reading functions in `std::env`.
+const ENV_READS: [&str; 6] = ["var", "var_os", "vars", "vars_os", "args", "args_os"];
+
+/// D2: flags ambient-nondeterminism reads — wall clocks, thread ids, and
+/// process environment — in result-producing crates. Prediction and
+/// simulation results must be pure functions of their inputs; timing and
+/// configuration belong in `pandia-obs`, `pandia-harness`, or the CLI.
+fn rule_d2(path: &str, tokens: &[Tok], ex: &Exemptions, findings: &mut Vec<Finding>) {
+    let n = tokens.len();
+    for i in 0..n {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let message = if t.text == "Instant" || t.text == "SystemTime" {
+            Some(format!(
+                "`{}` reads the wall clock; result-producing code must be a pure \
+                 function of its inputs (move timing to pandia-obs or the harness)",
+                t.text
+            ))
+        } else if t.text == "thread"
+            && i + 2 < n
+            && tokens[i + 1].is_punct("::")
+            && tokens[i + 2].is_ident("current")
+        {
+            Some("`thread::current()` leaks scheduler state into results".to_string())
+        } else if t.text == "env"
+            && i + 2 < n
+            && tokens[i + 1].is_punct("::")
+            && tokens[i + 2].kind == TokKind::Ident
+            && ENV_READS.contains(&tokens[i + 2].text.as_str())
+        {
+            Some(format!(
+                "`env::{}` makes results depend on ambient process state; read \
+                 configuration in the harness or CLI and pass it down",
+                tokens[i + 2].text
+            ))
+        } else {
+            None
+        };
+        if let Some(message) = message {
+            if !ex.exempts(Rule::D2, t.line) {
+                findings.push(Finding::new(Rule::D2, path, t.line, message));
+            }
+        }
+    }
+}
+
+/// N1: flags NaN-swallowing float comparisons — the
+/// `partial_cmp(..).unwrap_or(Ordering::Equal)` idiom (which silently
+/// treats NaN as equal to everything, corrupting sorts and extrema) and
+/// `==`/`!=` against float literals. Use `f64::total_cmp`, or exempt the
+/// line with a comment stating why NaN is impossible.
+fn rule_n1(path: &str, tokens: &[Tok], ex: &Exemptions, findings: &mut Vec<Finding>) {
+    let n = tokens.len();
+    for i in 0..n {
+        let t = &tokens[i];
+        if t.is_ident("partial_cmp") {
+            // Look ahead for `.unwrap_or(.. Equal ..)`.
+            let window_end = n.min(i + 24);
+            let mut j = i + 1;
+            while j < window_end {
+                if tokens[j].is_ident("unwrap_or") {
+                    let inner_end = n.min(j + 10);
+                    if tokens[j + 1..inner_end].iter().any(|u| u.is_ident("Equal"))
+                        && !ex.exempts(Rule::N1, t.line)
+                    {
+                        findings.push(Finding::new(
+                            Rule::N1,
+                            path,
+                            t.line,
+                            "`partial_cmp(..).unwrap_or(Ordering::Equal)` treats NaN as \
+                             equal to everything, silently corrupting sorts and extrema; \
+                             use `f64::total_cmp` (or exempt with a reason NaN cannot \
+                             occur)",
+                        ));
+                    }
+                    break;
+                }
+                j += 1;
+            }
+        }
+        if t.is_punct("==") || t.is_punct("!=") {
+            let float_operand = (i > 0 && tokens[i - 1].kind == TokKind::Float)
+                || (i + 1 < n && tokens[i + 1].kind == TokKind::Float);
+            if float_operand && !ex.exempts(Rule::N1, t.line) {
+                findings.push(Finding::new(
+                    Rule::N1,
+                    path,
+                    t.line,
+                    format!(
+                        "`{}` against a float literal is exact bit comparison (NaN-unsafe \
+                         and rounding-fragile); compare with a tolerance or `total_cmp`, \
+                         or exempt with a reason",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Macros whose expansion aborts the computation.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// P1: counts panic-capable call sites (`.unwrap()`, `.expect(..)`, and
+/// the panicking macros). Assertions (`assert!`, `debug_assert!`) are
+/// deliberately not counted: they document invariants rather than skip
+/// error handling.
+fn rule_p1(tokens: &[Tok]) -> (u32, u32) {
+    let n = tokens.len();
+    let mut count = 0u32;
+    let mut first_line = 0u32;
+    for i in 0..n {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_site = ((t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && tokens[i - 1].is_punct(".")
+            && i + 1 < n
+            && tokens[i + 1].is_punct("("))
+            || (PANIC_MACROS.contains(&t.text.as_str())
+                && i + 1 < n
+                && tokens[i + 1].is_punct("!"));
+        if is_site {
+            count += 1;
+            if first_line == 0 {
+                first_line = t.line;
+            }
+        }
+    }
+    (count, first_line)
+}

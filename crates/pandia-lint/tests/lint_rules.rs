@@ -1,0 +1,399 @@
+//! Self-tests: lexer edge cases, seeded violations for every rule class,
+//! exemption handling, and the baseline ratchet end-to-end.
+
+use pandia_lint::lexer::{lex, TokKind};
+use pandia_lint::report::Rule;
+use pandia_lint::rules::{check_source, FileScope};
+
+/// Scope with every rule on, as in result-producing crates.
+const ALL: FileScope = FileScope { d1: true, d2: true, n1: true, p1: true };
+
+fn findings_of(src: &str, scope: FileScope) -> Vec<(Rule, u32)> {
+    check_source("test.rs", src, scope).findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+fn p1_count(src: &str) -> u32 {
+    check_source("test.rs", src, ALL).p1_count
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[test]
+fn lexer_strips_raw_strings() {
+    // Rule tokens inside raw strings must not produce findings; the
+    // closing quote of `r#"..."#` must be found past the inner `"`.
+    let out = lex(r####"let x = r#"let m = HashMap::new(); m.iter() " still raw"#; x"####);
+    let idents: Vec<&str> = out
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(idents, ["let", "x", "x"], "raw string contents leaked: {idents:?}");
+}
+
+#[test]
+fn lexer_handles_nested_block_comments() {
+    let out = lex("let a = 1; /* outer /* inner HashMap */ still comment */ let b = 2;");
+    let idents: Vec<&str> = out
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(idents, ["let", "a", "let", "b"]);
+}
+
+#[test]
+fn lexer_handles_string_escapes_and_comment_markers_in_strings() {
+    // The escaped quote must not close the string; the `//` inside the
+    // string must not start a comment that eats the rest of the line.
+    let out = lex(r#"let s = "escaped \" quote // not a comment"; let t = 3;"#);
+    let idents: Vec<&str> = out
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(idents, ["let", "s", "let", "t"]);
+    assert!(out.lint_comments.is_empty(), "string contents parsed as a comment");
+}
+
+#[test]
+fn lexer_distinguishes_chars_lifetimes_and_floats() {
+    let out = lex("fn f<'a>(x: &'a str) { let c = '\\''; let d = 'x'; let y = 1.5e-3; let z = 10; let w = 2f64; }");
+    let kinds: Vec<TokKind> = out.tokens.iter().map(|t| t.kind).collect();
+    assert!(kinds.contains(&TokKind::Lifetime));
+    assert_eq!(kinds.iter().filter(|&&k| k == TokKind::Char).count(), 2);
+    let floats: Vec<&str> = out
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Float)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(floats, ["1.5e-3", "2f64"]);
+    assert!(out.tokens.iter().any(|t| t.kind == TokKind::Int && t.text == "10"));
+}
+
+#[test]
+fn lexer_does_not_mistake_ranges_or_method_calls_for_floats() {
+    let out = lex("for i in 0..10 { let x = 1.max(2); }");
+    assert!(
+        !out.tokens.iter().any(|t| t.kind == TokKind::Float),
+        "`0..10` or `1.max(2)` mislexed as float"
+    );
+}
+
+#[test]
+fn lexer_surfaces_lint_directives() {
+    let out = lex("let a = 1; // lint: sorted\n// lint: allow(N1): util is in [0,1]\n// plain comment\n");
+    let texts: Vec<&str> = out.lint_comments.iter().map(|c| c.text.as_str()).collect();
+    assert_eq!(texts, ["sorted", "allow(N1): util is in [0,1]"]);
+    assert_eq!(out.lint_comments[0].line, 1);
+    assert_eq!(out.lint_comments[1].line, 2);
+}
+
+#[test]
+fn strip_test_code_removes_cfg_test_modules_and_test_fns() {
+    let src = "
+        fn prod() { x.unwrap(); }
+        #[cfg(test)]
+        mod tests {
+            fn helper() { y.unwrap(); z.unwrap(); }
+        }
+        #[test]
+        fn standalone() { w.unwrap(); }
+        #[cfg(not(test))]
+        fn also_prod() { v.unwrap(); }
+    ";
+    assert_eq!(p1_count(src), 2, "only prod() and also_prod() sites count");
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_flags_hash_map_iteration() {
+    let src = "
+        use std::collections::HashMap;
+        fn f() {
+            let mut m: HashMap<u32, f64> = HashMap::new();
+            for (k, v) in &m { body(k, v); }
+            let best = m.iter().max();
+            let ks = m.keys().collect::<Vec<_>>();
+        }
+    ";
+    let found = findings_of(src, ALL);
+    assert_eq!(
+        found.iter().filter(|(r, _)| *r == Rule::D1).count(),
+        3,
+        "for-loop, .iter(), and .keys() should each fire: {found:?}"
+    );
+}
+
+#[test]
+fn d1_flags_hash_set_drain_but_not_membership() {
+    let src = "
+        fn f() {
+            let mut seen = std::collections::HashSet::new();
+            seen.insert(1);
+            if seen.contains(&1) { g(); }
+            let n = seen.len();
+            for x in seen.drain() { h(x); }
+        }
+    ";
+    let d1: Vec<_> = findings_of(src, ALL).into_iter().filter(|(r, _)| *r == Rule::D1).collect();
+    assert_eq!(d1.len(), 1, "only drain() should fire: {d1:?}");
+}
+
+#[test]
+fn d1_ignores_btree_map_and_untracked_bindings() {
+    let src = "
+        fn f() {
+            let mut m = std::collections::BTreeMap::new();
+            for (k, v) in &m { body(k, v); }
+            let v = m.iter().count();
+        }
+    ";
+    assert!(findings_of(src, ALL).is_empty(), "BTreeMap iteration is deterministic");
+}
+
+#[test]
+fn d1_sorted_exemption_suppresses() {
+    let src = "
+        fn f() {
+            let mut m = std::collections::HashMap::new();
+            // lint: sorted
+            let mut pairs: Vec<_> = m.iter().collect();
+            pairs.sort();
+        }
+    ";
+    assert!(findings_of(src, ALL).is_empty(), "`// lint: sorted` must exempt the next line");
+}
+
+#[test]
+fn d1_allow_file_suppresses_whole_file() {
+    let src = "
+        // lint: allow-file(D1): this module sorts all iteration results before use
+        fn f() {
+            let mut m = std::collections::HashMap::new();
+            for (k, v) in &m { body(k, v); }
+            let v = m.values().sum::<f64>();
+        }
+    ";
+    assert!(findings_of(src, ALL).is_empty());
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_flags_clock_thread_and_env_reads() {
+    let src = "
+        fn f() {
+            let t0 = std::time::Instant::now();
+            let wall = std::time::SystemTime::now();
+            let id = std::thread::current().id();
+            let dir = std::env::var(\"PANDIA_RESULTS_DIR\");
+        }
+    ";
+    let d2 = findings_of(src, ALL).into_iter().filter(|(r, _)| *r == Rule::D2).count();
+    assert_eq!(d2, 4);
+}
+
+#[test]
+fn d2_exemption_and_scope() {
+    let exempt = "
+        fn f() {
+            // lint: allow(D2): coarse wall-clock only feeds a progress message
+            let t0 = std::time::Instant::now();
+        }
+    ";
+    assert!(findings_of(exempt, ALL).is_empty());
+    // Out of scope (e.g. pandia-obs): no D2 findings at all.
+    let scope = FileScope { d1: false, d2: false, n1: false, p1: true };
+    let src = "fn f() { let t0 = std::time::Instant::now(); }";
+    assert!(findings_of(src, scope).is_empty());
+}
+
+// ---------------------------------------------------------------- N1
+
+#[test]
+fn n1_flags_nan_swallowing_comparator() {
+    let src = "
+        fn f(xs: &mut [f64]) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        }
+    ";
+    let found = findings_of(src, ALL);
+    assert_eq!(found.iter().filter(|(r, _)| *r == Rule::N1).count(), 1, "{found:?}");
+}
+
+#[test]
+fn n1_flags_float_literal_equality() {
+    let src = "fn f(x: f64) -> bool { x == 0.0 || x != 1.5 }";
+    let n1 = findings_of(src, ALL).into_iter().filter(|(r, _)| *r == Rule::N1).count();
+    assert_eq!(n1, 2);
+}
+
+#[test]
+fn n1_accepts_total_cmp_and_integer_equality() {
+    let src = "
+        fn f(xs: &mut [f64], n: usize) -> bool {
+            xs.sort_by(|a, b| a.total_cmp(b));
+            n == 0
+        }
+    ";
+    assert!(findings_of(src, ALL).is_empty());
+}
+
+#[test]
+fn n1_exemption_requires_reason() {
+    let with_reason = "
+        fn f(x: f64) -> bool {
+            // lint: allow(N1): x is a segment count scaled by 1.0, never NaN
+            x == 0.0
+        }
+    ";
+    assert!(findings_of(with_reason, ALL).is_empty());
+
+    let without_reason = "
+        fn f(x: f64) -> bool {
+            // lint: allow(N1)
+            x == 0.0
+        }
+    ";
+    let found = findings_of(without_reason, ALL);
+    assert!(
+        found.iter().any(|(r, _)| *r == Rule::Directive),
+        "reasonless exemption must be rejected: {found:?}"
+    );
+    assert!(
+        found.iter().any(|(r, _)| *r == Rule::N1),
+        "rejected exemption must not suppress the finding: {found:?}"
+    );
+}
+
+// ---------------------------------------------------------------- P1
+
+#[test]
+fn p1_counts_panic_sites() {
+    let src = "
+        fn f(x: Option<u32>) -> u32 {
+            let a = x.unwrap();
+            let b = x.expect(\"present\");
+            if a > b { panic!(\"impossible\"); }
+            match a { 0 => todo!(), 1 => unreachable!(), _ => a }
+        }
+    ";
+    assert_eq!(p1_count(src), 5);
+}
+
+#[test]
+fn p1_ignores_unwrap_or_family_and_strings() {
+    let src = "
+        fn f(x: Option<u32>) -> u32 {
+            let msg = \"please unwrap() this\"; // and .expect( too
+            x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()
+        }
+    ";
+    assert_eq!(p1_count(src), 0);
+}
+
+// ------------------------------------------------------- directives
+
+#[test]
+fn unknown_directives_and_p1_exemptions_are_findings() {
+    let unknown = "// lint: alow(D1): typo\nfn f() {}";
+    assert!(findings_of(unknown, ALL).iter().any(|(r, _)| *r == Rule::Directive));
+
+    let p1_exempt = "// lint: allow(P1): please\nfn f() {}";
+    assert!(findings_of(p1_exempt, ALL).iter().any(|(r, _)| *r == Rule::Directive));
+
+    let unknown_rule = "// lint: allow(Z9): what\nfn f() {}";
+    assert!(findings_of(unknown_rule, ALL).iter().any(|(r, _)| *r == Rule::Directive));
+}
+
+// ------------------------------------------------- baseline ratchet
+
+/// Builds a throwaway workspace with one result-crate source file and
+/// runs the full `run_check` against an optional baseline.
+fn run_in_temp_workspace(
+    source: &str,
+    baseline: Option<&str>,
+    update: bool,
+) -> (pandia_lint::CheckOutcome, std::path::PathBuf) {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static UNIQUE: AtomicU32 = AtomicU32::new(0);
+    let root = std::env::temp_dir().join(format!(
+        "pandia-lint-test-{}-{}",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let src_dir = root.join("crates/pandia-sim/src");
+    std::fs::create_dir_all(&src_dir).expect("create temp workspace");
+    std::fs::write(src_dir.join("lib.rs"), source).expect("write source");
+    let baseline_path = root.join("lint-baseline.toml");
+    if let Some(contents) = baseline {
+        std::fs::write(&baseline_path, contents).expect("write baseline");
+    }
+    let outcome =
+        pandia_lint::run_check(&root, &baseline_path, update).expect("run_check succeeds");
+    (outcome, root)
+}
+
+#[test]
+fn ratchet_fails_above_baseline_and_passes_at_or_below() {
+    let two_sites = "fn f(x: Option<u32>) { x.unwrap(); x.unwrap(); }\n";
+
+    // No baseline: both sites are findings.
+    let (outcome, root) = run_in_temp_workspace(two_sites, None, false);
+    assert!(outcome.report.findings.iter().any(|f| f.rule == Rule::P1));
+    std::fs::remove_dir_all(root).ok();
+
+    // Baseline matches: clean.
+    let (outcome, root) =
+        run_in_temp_workspace(two_sites, Some("[p1]\n\"crates/pandia-sim/src/lib.rs\" = 2\n"), false);
+    assert!(!outcome.report.has_findings(), "{:?}", outcome.report.findings);
+    assert!(outcome.report.ratchet_slack.is_empty());
+    std::fs::remove_dir_all(root).ok();
+
+    // Baseline higher: clean, but slack is reported for the ratchet.
+    let (outcome, root) =
+        run_in_temp_workspace(two_sites, Some("[p1]\n\"crates/pandia-sim/src/lib.rs\" = 3\n"), false);
+    assert!(!outcome.report.has_findings());
+    assert_eq!(
+        outcome.report.ratchet_slack,
+        vec![("crates/pandia-sim/src/lib.rs".to_string(), 2, 3)]
+    );
+    std::fs::remove_dir_all(root).ok();
+
+    // Baseline lower: the ratchet rejects the increase.
+    let (outcome, root) =
+        run_in_temp_workspace(two_sites, Some("[p1]\n\"crates/pandia-sim/src/lib.rs\" = 1\n"), false);
+    assert!(outcome.report.findings.iter().any(|f| f.rule == Rule::P1));
+    std::fs::remove_dir_all(root).ok();
+}
+
+#[test]
+fn update_baseline_writes_current_counts() {
+    let src = "fn f(x: Option<u32>) { x.unwrap(); }\n";
+    let (outcome, root) = run_in_temp_workspace(src, None, true);
+    let new_baseline = outcome.updated_baseline.expect("update requested");
+    let parsed = pandia_lint::baseline::parse(&new_baseline).expect("regenerated parses");
+    assert_eq!(parsed.get("crates/pandia-sim/src/lib.rs"), Some(&1));
+    std::fs::remove_dir_all(root).ok();
+}
+
+#[test]
+fn json_output_is_escaped_and_schema_tagged() {
+    let src = "fn f() { let m = std::collections::HashMap::new(); let v = m.iter().count(); }\n";
+    let report = check_source("dir/with \"quotes\".rs", src, ALL);
+    let full = pandia_lint::report::Report {
+        findings: report.findings,
+        files_checked: 1,
+        ..Default::default()
+    };
+    let json = full.render_json();
+    assert!(json.starts_with("{\"schema\":\"pandia-lint-v1\""));
+    assert!(json.contains("\\\"quotes\\\""), "path quotes must be escaped: {json}");
+    assert!(json.contains("\"rule\":\"D1\""));
+}

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Upper bounds of the fixed histogram buckets (powers of two). Every
@@ -250,7 +250,7 @@ impl Recorder {
     /// use. Handles skip the registry lock on every increment, for hot
     /// paths that add to the same counter many times.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut counters = self.inner.counters.lock().expect("counter registry poisoned");
+        let mut counters = self.inner.counters.lock().unwrap_or_else(PoisonError::into_inner);
         let cell = counters.entry(name.to_string()).or_insert_with(|| Arc::new(AtomicU64::new(0)));
         Counter(Arc::clone(cell))
     }
@@ -262,7 +262,7 @@ impl Recorder {
 
     /// Sets the named gauge to `value`.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        let mut gauges = self.inner.gauges.lock().expect("gauge registry poisoned");
+        let mut gauges = self.inner.gauges.lock().unwrap_or_else(PoisonError::into_inner);
         let cell = gauges
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())));
@@ -273,7 +273,7 @@ impl Recorder {
     pub fn observe(&self, name: &str, value: f64) {
         let cell = {
             let mut histograms =
-                self.inner.histograms.lock().expect("histogram registry poisoned");
+                self.inner.histograms.lock().unwrap_or_else(PoisonError::into_inner);
             Arc::clone(
                 histograms.entry(name.to_string()).or_insert_with(|| Arc::new(HistogramCell::new())),
             )
@@ -310,7 +310,7 @@ impl Recorder {
     /// The small dense id of the calling thread.
     pub fn current_tid(&self) -> u32 {
         let id = std::thread::current().id();
-        let mut tids = self.inner.tids.lock().expect("tid registry poisoned");
+        let mut tids = self.inner.tids.lock().unwrap_or_else(PoisonError::into_inner);
         match tids.iter().position(|&t| t == id) {
             Some(pos) => pos as u32,
             None => {
@@ -321,7 +321,7 @@ impl Recorder {
     }
 
     fn push_event(&self, event: SpanEvent) {
-        let mut events = self.inner.events.lock().expect("event buffer poisoned");
+        let mut events = self.inner.events.lock().unwrap_or_else(PoisonError::into_inner);
         if events.len() >= self.inner.max_events {
             self.inner.dropped.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -331,7 +331,7 @@ impl Recorder {
 
     /// The recorded span events, ordered by logical sequence number.
     pub fn span_events(&self) -> Vec<SpanEvent> {
-        let mut events = self.inner.events.lock().expect("event buffer poisoned").clone();
+        let mut events = self.inner.events.lock().unwrap_or_else(PoisonError::into_inner).clone();
         events.sort_by_key(|e| e.seq);
         events
     }
@@ -347,7 +347,7 @@ impl Recorder {
             .inner
             .counters
             .lock()
-            .expect("counter registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
             .collect();
@@ -355,7 +355,7 @@ impl Recorder {
             .inner
             .gauges
             .lock()
-            .expect("gauge registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(name, cell)| (name.clone(), f64::from_bits(cell.load(Ordering::Relaxed))))
             .collect();
@@ -363,11 +363,11 @@ impl Recorder {
             .inner
             .histograms
             .lock()
-            .expect("histogram registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(name, cell)| (name.clone(), cell.snapshot()))
             .collect();
-        let spans = self.inner.events.lock().expect("event buffer poisoned").len() as u64;
+        let spans = self.inner.events.lock().unwrap_or_else(PoisonError::into_inner).len() as u64;
         MetricsSnapshot {
             counters,
             gauges,

@@ -596,7 +596,7 @@ fn run_multi_impl(
                 .take(table.len())
                 .enumerate()
                 .map(|(r, &load)| (r, load / capacities[r].max(1e-12)))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
                 .filter(|&(_, util)| util > 0.0)
                 .map(|(r, util)| {
                     (table.get(pandia_topology::ResourceId(r)).kind, util.min(1.0))

@@ -71,7 +71,10 @@ impl SimMachine {
             seed: req.seed,
         };
         let (mut results, trace) = self.run_multi_traced(&jobs)?;
-        Ok((results.pop().expect("one job"), trace))
+        let result = results.pop().ok_or_else(|| PlatformError::Internal {
+            reason: "multi-run returned no result for a single job".into(),
+        })?;
+        Ok((result, trace))
     }
 
     /// Runs several workloads concurrently while recording a trace.

@@ -76,18 +76,23 @@ impl RunTrace {
     /// `0.9`) to isolate saturation. Returns `None` when no segment
     /// clears the threshold.
     pub fn dominant_bottleneck_above(&self, min_util: f64) -> Option<ResourceKind> {
-        use std::collections::HashMap;
-        let mut time_by_resource: HashMap<ResourceKind, f64> = HashMap::new();
+        // First-seen-ordered accumulation: segment order is deterministic,
+        // so ties in hottest-time resolve the same way on every run (a
+        // HashMap here would let iteration order pick the winner).
+        let mut time_by_resource: Vec<(ResourceKind, f64)> = Vec::new();
         for s in &self.segments {
             if let Some((kind, util)) = s.hottest {
                 if util > min_util {
-                    *time_by_resource.entry(kind).or_insert(0.0) += s.dt;
+                    match time_by_resource.iter_mut().find(|(k, _)| *k == kind) {
+                        Some((_, t)) => *t += s.dt,
+                        None => time_by_resource.push((kind, s.dt)),
+                    }
                 }
             }
         }
         time_by_resource
             .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(kind, _)| kind)
     }
 

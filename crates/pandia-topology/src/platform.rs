@@ -177,6 +177,12 @@ pub enum PlatformError {
         /// The contested context.
         ctx: usize,
     },
+    /// A platform implementation violated its own contract (e.g. returned
+    /// fewer results than jobs submitted).
+    Internal {
+        /// What the implementation got wrong.
+        reason: String,
+    },
 }
 
 impl core::fmt::Display for PlatformError {
@@ -187,6 +193,7 @@ impl core::fmt::Display for PlatformError {
             Self::StressorCollision { ctx } => {
                 write!(f, "stressor pinned to occupied context {ctx}")
             }
+            Self::Internal { reason } => write!(f, "platform contract violation: {reason}"),
         }
     }
 }
