@@ -16,6 +16,12 @@ global options:
   --trace-out FILE   write a Chrome trace-event JSON (chrome://tracing,
                      Perfetto) of the run's spans when the command exits
   --metrics-out FILE write the metrics registry as JSONL on exit
+  --faults F         inject simulator faults at intensity F in [0,1]
+                     during workload profiling runs (transient failures,
+                     counter dropout, interference bursts, noise regimes)
+  --robust           profile with the robust measurement pipeline:
+                     bounded retries, median/MAD outlier rejection, and
+                     closed-form solver fallback
 
 commands:
   machines                         list machine presets
@@ -49,7 +55,7 @@ pub enum PlanTarget {
 }
 
 /// Global execution flags, shared by every command.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecFlags {
     /// Worker threads for placement sweeps (`None` = all hardware
     /// threads).
@@ -62,11 +68,25 @@ pub struct ExecFlags {
     pub trace_out: Option<String>,
     /// Metrics-registry JSONL output path (`--metrics-out FILE`).
     pub metrics_out: Option<String>,
+    /// Fault-injection intensity for profiling runs (`--faults F`,
+    /// 0 = none).
+    pub faults: f64,
+    /// Whether profiling uses the robust measurement pipeline
+    /// (`--robust`).
+    pub robust: bool,
 }
 
 impl Default for ExecFlags {
     fn default() -> Self {
-        Self { jobs: None, cache: true, quiet: false, trace_out: None, metrics_out: None }
+        Self {
+            jobs: None,
+            cache: true,
+            quiet: false,
+            trace_out: None,
+            metrics_out: None,
+            faults: 0.0,
+            robust: false,
+        }
     }
 }
 
@@ -110,6 +130,22 @@ pub fn extract_exec_flags(argv: &[String]) -> Result<(Vec<String>, ExecFlags), S
             "--metrics-out" => {
                 flags.metrics_out = Some(value_of(argv, i)?);
                 i += 2;
+            }
+            "--faults" => {
+                let value = value_of(argv, i)?;
+                let intensity = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| (0.0..=1.0).contains(f))
+                    .ok_or_else(|| {
+                        format!("invalid fault intensity '{value}' (expected 0..1)")
+                    })?;
+                flags.faults = intensity;
+                i += 2;
+            }
+            "--robust" => {
+                flags.robust = true;
+                i += 1;
             }
             _ => {
                 rest.push(argv[i].clone());
@@ -459,6 +495,23 @@ mod tests {
         // Values are required.
         assert!(extract_exec_flags(&argv("machines --trace-out")).is_err());
         assert!(extract_exec_flags(&argv("machines --metrics-out")).is_err());
+    }
+
+    #[test]
+    fn extracts_fault_and_robustness_flags() {
+        let (rest, flags) =
+            extract_exec_flags(&argv("--faults 0.4 --robust profile x3-2 CG")).unwrap();
+        assert_eq!(flags.faults, 0.4);
+        assert!(flags.robust);
+        assert!(matches!(parse(&rest).unwrap(), Command::Profile { .. }));
+
+        let (_, flags) = extract_exec_flags(&argv("machines")).unwrap();
+        assert_eq!(flags.faults, 0.0);
+        assert!(!flags.robust);
+
+        assert!(extract_exec_flags(&argv("--faults 1.5 machines")).is_err());
+        assert!(extract_exec_flags(&argv("--faults nope machines")).is_err());
+        assert!(extract_exec_flags(&argv("machines --faults")).is_err());
     }
 
     #[test]

@@ -4,13 +4,34 @@ use std::time::Instant;
 
 use pandia_core::{
     describe_machine, predict, CoScheduler, ExecContext, MachineDescription, Objective,
-    PandiaError, PredictorConfig, Recommendation, WorkloadDescription, WorkloadProfiler,
+    PandiaError, PredictorConfig, ProfileConfig, Recommendation, RobustnessPolicy,
+    WorkloadDescription, WorkloadProfiler,
 };
 use pandia_harness::{experiments::curves, metrics, report, MachineContext};
-use pandia_sim::SimMachine;
+use pandia_sim::{FaultPlan, SimConfig, SimMachine};
 use pandia_topology::{HasShape, MachineSpec, PlacementEnumerator};
 
 use crate::args::{Command, PlanTarget, USAGE};
+
+/// How the CLI profiles workloads: fault injection on the simulated
+/// platform and the measurement-pipeline policy (`--faults`/`--robust`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProfileOpts {
+    /// Fault-injection intensity in [0, 1] (0 = clean machine).
+    pub faults: f64,
+    /// Whether to profile with [`RobustnessPolicy::robust`].
+    pub robust: bool,
+}
+
+impl ProfileOpts {
+    fn policy(&self) -> RobustnessPolicy {
+        if self.robust {
+            RobustnessPolicy::robust()
+        } else {
+            RobustnessPolicy::naive()
+        }
+    }
+}
 
 /// Records a sweep's wall time and cache statistics into the telemetry
 /// registry, and prints them to stderr unless `quiet`.
@@ -45,6 +66,7 @@ pub fn run(
     command: Command,
     exec: &ExecContext,
     quiet: bool,
+    opts: ProfileOpts,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let _span = pandia_obs::span("cli", "run").arg("command", command_name(&command));
     match command {
@@ -81,7 +103,7 @@ pub fn run(
             Ok(())
         }
         Command::Describe { machine, output } => {
-            let (_, description) = machine_context(&machine)?;
+            let (_, description) = machine_context(&machine, opts)?;
             print_description(&description);
             if let Some(path) = output {
                 std::fs::write(&path, description.to_json()?)?;
@@ -90,9 +112,9 @@ pub fn run(
             Ok(())
         }
         Command::Profile { machine, workload, output } => {
-            let (mut platform, description) = machine_context(&machine)?;
+            let (mut platform, description) = machine_context(&machine, opts)?;
             let entry = lookup_workload(&workload)?;
-            let profiler = WorkloadProfiler::new(&description);
+            let profiler = WorkloadProfiler::with_config(&description, profile_config(opts));
             let profile = profiler.profile(&mut platform, &entry.behavior, entry.name)?;
             println!("workload {} on {}", entry.name, description.machine);
             for run in &profile.runs {
@@ -107,6 +129,19 @@ pub fn run(
                 "  demands: instr {:.2}, L1 {:.1}, L2 {:.1}, L3 {:.1}, DRAM {:?}",
                 d.demand.instr, d.demand.l1, d.demand.l2, d.demand.l3, d.demand.dram
             );
+            let audit = &profile.audit;
+            if !audit.is_clean() {
+                println!(
+                    "  audit: {} attempts, {} retries, {} lost repeats, {} degenerate, \
+                     {} outliers rejected, {} solver fallbacks",
+                    audit.attempts,
+                    audit.retries,
+                    audit.lost_repeats,
+                    audit.degenerate_repeats,
+                    audit.outliers_rejected,
+                    audit.fallbacks
+                );
+            }
             if let Some(path) = output {
                 std::fs::write(&path, d.to_json()?)?;
                 note_wrote(&path, quiet);
@@ -114,8 +149,8 @@ pub fn run(
             Ok(())
         }
         Command::Predict { machine, workload, placement } => {
-            let (mut platform, description) = machine_context(&machine)?;
-            let wd = profile_on(&mut platform, &description, &workload)?;
+            let (mut platform, description) = machine_context(&machine, opts)?;
+            let wd = profile_on(&mut platform, &description, &workload, opts)?;
             let concrete = placement.instantiate(&description.shape())?;
             let prediction =
                 predict(&description, &wd, &concrete, &PredictorConfig::default())?;
@@ -140,8 +175,8 @@ pub fn run(
             Ok(())
         }
         Command::Best { machine, workload, tolerance } => {
-            let (mut platform, description) = machine_context(&machine)?;
-            let wd = profile_on(&mut platform, &description, &workload)?;
+            let (mut platform, description) = machine_context(&machine, opts)?;
+            let wd = profile_on(&mut platform, &description, &workload, opts)?;
             let candidates = PlacementEnumerator::new(&description).all();
             let start = Instant::now();
             let rec = Recommendation::analyze_with(
@@ -175,8 +210,8 @@ pub fn run(
             Ok(())
         }
         Command::Plan { machine, workload, target } => {
-            let (mut platform, description) = machine_context(&machine)?;
-            let wd = profile_on(&mut platform, &description, &workload)?;
+            let (mut platform, description) = machine_context(&machine, opts)?;
+            let wd = profile_on(&mut platform, &description, &workload, opts)?;
             let candidates = PlacementEnumerator::new(&description).all();
             let target = match target {
                 PlanTarget::Time(t) => pandia_core::Target::MaxTime(t),
@@ -228,9 +263,9 @@ pub fn run(
             Ok(())
         }
         Command::CoSchedule { machine, first, second } => {
-            let (mut platform, description) = machine_context(&machine)?;
-            let wd_a = profile_on(&mut platform, &description, &first)?;
-            let wd_b = profile_on(&mut platform, &description, &second)?;
+            let (mut platform, description) = machine_context(&machine, opts)?;
+            let wd_a = profile_on(&mut platform, &description, &first, opts)?;
+            let wd_b = profile_on(&mut platform, &description, &second, opts)?;
             let start = Instant::now();
             let schedule = CoScheduler::new(&description)
                 .with_objective(Objective::Makespan)
@@ -271,6 +306,7 @@ fn command_name(command: &Command) -> &'static str {
 
 fn machine_context(
     name: &str,
+    opts: ProfileOpts,
 ) -> Result<(SimMachine, MachineDescription), Box<dyn std::error::Error>> {
     let spec = match name.to_ascii_lowercase().as_str() {
         "x5-2" => MachineSpec::x5_2(),
@@ -283,9 +319,26 @@ fn machine_context(
             }))
         }
     };
-    let mut platform = SimMachine::new(spec);
-    let description = describe_machine(&mut platform)?;
+    // The machine description is always measured on a clean machine — in
+    // practice it is generated once when the machine is commissioned.
+    // `--faults` only afflicts the platform handed back for workload
+    // profiling.
+    let mut clean = SimMachine::new(spec.clone());
+    let description = describe_machine(&mut clean)?;
+    let platform = if opts.faults > 0.0 {
+        SimMachine::with_config(
+            spec,
+            SimConfig::default().with_faults(FaultPlan::with_intensity(opts.faults)),
+        )
+    } else {
+        clean
+    };
     Ok((platform, description))
+}
+
+/// Profiling configuration for the CLI's `--faults`/`--robust` options.
+fn profile_config(opts: ProfileOpts) -> ProfileConfig {
+    ProfileConfig { robustness: opts.policy(), ..ProfileConfig::default() }
 }
 
 fn lookup_workload(name: &str) -> Result<pandia_workloads::WorkloadEntry, Box<dyn std::error::Error>> {
@@ -300,9 +353,10 @@ fn profile_on(
     platform: &mut SimMachine,
     description: &MachineDescription,
     workload: &str,
+    opts: ProfileOpts,
 ) -> Result<WorkloadDescription, Box<dyn std::error::Error>> {
     let entry = lookup_workload(workload)?;
-    let profiler = WorkloadProfiler::new(description);
+    let profiler = WorkloadProfiler::with_config(description, profile_config(opts));
     Ok(profiler.profile(platform, &entry.behavior, entry.name)?.description)
 }
 

@@ -65,8 +65,11 @@ fn main() -> ExitCode {
     }
     .with_cache(flags.cache);
     let quiet = flags.quiet;
+    let opts = commands::ProfileOpts { faults: flags.faults, robust: flags.robust };
     match args::parse(&argv) {
-        Ok(command) => match std::panic::catch_unwind(|| commands::run(command, &exec, quiet)) {
+        Ok(command) => match std::panic::catch_unwind(|| {
+            commands::run(command, &exec, quiet, opts)
+        }) {
             Ok(Ok(())) => ExitCode::SUCCESS,
             Ok(Err(e)) => {
                 eprintln!("error: {e}");

@@ -39,6 +39,14 @@ pub enum PandiaError {
     },
 }
 
+impl PandiaError {
+    /// Whether this error came from a transient platform fault, i.e. the
+    /// failed run may succeed if re-issued (typically with a fresh seed).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::Platform(p) if p.is_transient())
+    }
+}
+
 impl fmt::Display for PandiaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -290,7 +290,7 @@ impl ExecContext {
             .arg("workers", workers);
         pandia_obs::gauge("exec.queue_depth", items.len() as f64);
         let next = AtomicUsize::new(0);
-        let chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let mut pairs: Vec<(usize, R)> = std::thread::scope(|scope| {
             let f = &f;
             let next = &next;
             let handles: Vec<_> = (0..workers)
@@ -310,14 +310,20 @@ impl ExecContext {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("exec worker panicked")).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(out) => out,
+                    // A worker panic is a bug in `f`; surface the original
+                    // payload on the caller's thread instead of masking it.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
         });
-        let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
-        results.resize_with(items.len(), || None);
-        for (i, r) in chunks.into_iter().flatten() {
-            results[i] = Some(r);
-        }
-        results.into_iter().map(|r| r.expect("every index visited")).collect()
+        // Every index 0..items.len() appears exactly once across the
+        // workers' chunks, so sorting by index restores serial order.
+        pairs.sort_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, r)| r).collect()
     }
 }
 

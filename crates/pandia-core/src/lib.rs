@@ -51,10 +51,13 @@ pub use error::PandiaError;
 pub use exec::{CacheStats, ExecContext, JointSession, PredictSession, PredictionCache};
 pub use fleet::{FleetAssignment, FleetSchedule, FleetScheduler};
 pub use machine_gen::{describe_machine, MachineDescriptionGenerator, MachineGenConfig};
-pub use online::{OnlineConfig, OnlineController, OnlineReport};
+pub use online::{DriftPolicy, OnlineConfig, OnlineController, OnlineReport};
 pub use planner::{plan, plan_with, scaling_profile, scaling_profile_with, CapacityPlan, ScalingPoint, Target};
 pub use predictor::{predict, predict_jobs, Prediction, PredictorConfig, ThreadPrediction};
-pub use profiler::{ProfileConfig, ProfileReport, RunRecord, WorkloadProfiler};
+pub use profiler::{
+    measure_with_policy, ProfileAudit, ProfileConfig, ProfileReport, RobustnessPolicy,
+    RunRecord, WorkloadProfiler,
+};
 pub use search::{
     best_placement, best_placement_with, placement_report, placement_report_with,
     PlacementOutcome, PlacementReport, Recommendation,

@@ -36,6 +36,9 @@ pub struct OnlineConfig {
     /// Candidate placements evaluated after calibration (defaults to the
     /// machine's full canonical enumeration when empty).
     pub candidates: Vec<CanonicalPlacement>,
+    /// When to conclude the learned description has gone stale and
+    /// re-profile. Disabled by default.
+    pub drift: DriftPolicy,
 }
 
 impl Default for OnlineConfig {
@@ -44,7 +47,41 @@ impl Default for OnlineConfig {
             profile: ProfileConfig { repeats: 1, ..ProfileConfig::default() },
             predictor: PredictorConfig::default(),
             candidates: Vec::new(),
+            drift: DriftPolicy::default(),
         }
+    }
+}
+
+/// Drift detection for the steady phase: when observed episode times
+/// deviate from the prediction for several *consecutive* episodes, the
+/// description no longer explains the machine (a co-tenant arrived, the
+/// working set grew) and the controller spends a few episodes
+/// re-profiling instead of continuing to steer on a stale model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftPolicy {
+    /// Whether drift detection is active at all.
+    pub enabled: bool,
+    /// Relative deviation `|observed - predicted| / predicted` beyond
+    /// which an episode counts as drifted.
+    pub tolerance: f64,
+    /// Consecutive drifted episodes required to trigger a re-profile
+    /// (one outlier episode is noise, a run of them is a regime change).
+    pub consecutive: usize,
+    /// Hard cap on re-profiling rounds, so a permanently noisy platform
+    /// cannot consume the whole episode budget calibrating.
+    pub max_reprofiles: usize,
+}
+
+impl Default for DriftPolicy {
+    fn default() -> Self {
+        Self { enabled: false, tolerance: 0.3, consecutive: 3, max_reprofiles: 1 }
+    }
+}
+
+impl DriftPolicy {
+    /// A reactive policy with the default thresholds enabled.
+    pub fn reactive() -> Self {
+        Self { enabled: true, ..Self::default() }
     }
 }
 
@@ -68,6 +105,11 @@ pub struct OnlineReport {
     pub naive_time: f64,
     /// The workload description learned during calibration.
     pub description: WorkloadDescription,
+    /// Steady episodes whose observed time deviated beyond the drift
+    /// tolerance.
+    pub drift_episodes: usize,
+    /// Times the controller re-profiled after sustained drift.
+    pub reprofiles: usize,
 }
 
 impl OnlineReport {
@@ -118,10 +160,11 @@ impl<'m> OnlineController<'m> {
         // Calibration: the six profiling runs ARE the first six episodes.
         let mut profile_config = self.config.profile.clone();
         profile_config.repeats = 1;
-        let profiler = WorkloadProfiler::with_config(self.machine, profile_config);
+        let profiler = WorkloadProfiler::with_config(self.machine, profile_config.clone());
         let report = profiler.profile(platform, episode, name)?;
-        let calibration_episodes = report.runs.len();
-        let calibration_time = report.total_cost;
+        let mut calibration_episodes = report.runs.len();
+        let mut calibration_time = report.total_cost;
+        let mut description = report.description;
 
         // Placement selection from the learned description.
         let candidates = if self.config.candidates.is_empty() {
@@ -129,18 +172,70 @@ impl<'m> OnlineController<'m> {
         } else {
             self.config.candidates.clone()
         };
-        let choice = best_placement(
-            self.machine,
-            &report.description,
-            &candidates,
-            &self.config.predictor,
-        )?;
-        let chosen = choice.placement.instantiate(&shape)?;
+        let mut choice =
+            best_placement(self.machine, &description, &candidates, &self.config.predictor)?;
+        let mut chosen = choice.placement.instantiate(&shape)?;
+        let mut predicted = choice.predicted_time;
 
-        // Steady state: run the remaining episodes at the chosen placement.
-        let steady_episodes = episodes - calibration_episodes;
-        let steady_time =
-            self.run_episodes(platform, episode, &chosen, steady_episodes, 0x0E11)?;
+        // Steady state: run the remaining episodes at the chosen
+        // placement, watching each one for drift against the prediction.
+        // A sustained run of drifted episodes means the description has
+        // gone stale; spend the next few episodes re-profiling. With the
+        // (default) disabled policy this loop is the plain episode loop.
+        let drift = &self.config.drift;
+        let mut steady_budget = episodes - calibration_episodes;
+        let mut steady_episodes = 0usize;
+        let mut steady_time = 0.0;
+        let mut drift_streak = 0usize;
+        let mut drift_episodes = 0usize;
+        let mut reprofiles = 0usize;
+        let mut seed_k: u64 = 0;
+        while steady_episodes < steady_budget {
+            let req = RunRequest::new(episode.clone(), chosen.clone())
+                .with_seed(0x0E11_u64.wrapping_add(seed_k));
+            seed_k += 1;
+            let observed = platform.run(&req)?.elapsed;
+            steady_time += observed;
+            steady_episodes += 1;
+            if !drift.enabled || predicted <= 0.0 {
+                continue;
+            }
+            if (observed - predicted).abs() / predicted > drift.tolerance {
+                drift_streak += 1;
+                drift_episodes += 1;
+            } else {
+                drift_streak = 0;
+            }
+            let remaining = steady_budget - steady_episodes;
+            if drift_streak >= drift.consecutive.max(1)
+                && reprofiles < drift.max_reprofiles
+                && remaining >= 7
+            {
+                // Re-profile on a fresh seed; the profiling runs consume
+                // episodes from the steady budget, like calibration did.
+                let mut recal_config = profile_config.clone();
+                recal_config.seed = recal_config
+                    .seed
+                    .wrapping_add((reprofiles as u64 + 1).wrapping_mul(0x9E37_79B9));
+                let recal = WorkloadProfiler::with_config(self.machine, recal_config)
+                    .profile(platform, episode, name)?;
+                calibration_episodes += recal.runs.len();
+                calibration_time += recal.total_cost;
+                steady_budget -= recal.runs.len();
+                description = recal.description;
+                choice = best_placement(
+                    self.machine,
+                    &description,
+                    &candidates,
+                    &self.config.predictor,
+                )?;
+                chosen = choice.placement.instantiate(&shape)?;
+                predicted = choice.predicted_time;
+                reprofiles += 1;
+                drift_streak = 0;
+                pandia_obs::count("online.reprofiles", 1);
+            }
+        }
 
         // Naive baseline: every episode on the whole machine.
         let naive_placement = Placement::packed(&shape, shape.total_contexts())?;
@@ -155,7 +250,9 @@ impl<'m> OnlineController<'m> {
             steady_time,
             total_time: calibration_time + steady_time,
             naive_time,
-            description: report.description,
+            description,
+            drift_episodes,
+            reprofiles,
         })
     }
 

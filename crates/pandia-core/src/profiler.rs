@@ -48,6 +48,10 @@ pub struct ProfileConfig {
     /// suppress measurement noise (steps 3-5 solve for parameters from
     /// small differences between runs).
     pub repeats: usize,
+    /// How hostile measurements are survived (retries, outlier rejection,
+    /// solver fallback). Defaults to [`RobustnessPolicy::naive`], which
+    /// reproduces the historical pipeline bit-for-bit.
+    pub robustness: RobustnessPolicy,
 }
 
 impl Default for ProfileConfig {
@@ -58,7 +62,95 @@ impl Default for ProfileConfig {
             predictor: PredictorConfig::default(),
             solver_iterations: 40,
             repeats: 3,
+            robustness: RobustnessPolicy::default(),
         }
+    }
+}
+
+/// Policy governing how the measurement pipeline survives a hostile
+/// platform (lost runs, dropped counters, interference bursts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessPolicy {
+    /// Attempts budgeted per profiling repeat (1 = never retry).
+    /// Retries are deterministic — attempt `a` remixes `a` into the
+    /// repeat's seed — and immediate: no wall-clock backoff, because the
+    /// platform's fault schedule is a function of the seed, not of time.
+    pub max_attempts: usize,
+    /// Aggregate repeats with median + MAD outlier rejection instead of
+    /// the bare mean, and repair counters by channel-wise medians across
+    /// repeats (a channel zeroed by dropout in one repeat is outvoted).
+    pub robust_aggregation: bool,
+    /// Repeats farther than this many normal-scaled MADs from the median
+    /// are rejected (only with `robust_aggregation`).
+    pub mad_threshold: f64,
+    /// When the `os`/`b` bracket search diverges or the solved value is
+    /// non-finite, degrade to the clamped closed-form estimate instead of
+    /// propagating a runaway parameter.
+    pub clamp_fallback: bool,
+}
+
+impl Default for RobustnessPolicy {
+    fn default() -> Self {
+        Self::naive()
+    }
+}
+
+impl RobustnessPolicy {
+    /// The historical pipeline: no retries, plain mean, no fallback.
+    pub fn naive() -> Self {
+        Self {
+            max_attempts: 1,
+            robust_aggregation: false,
+            mad_threshold: 3.5,
+            clamp_fallback: false,
+        }
+    }
+
+    /// The hardened pipeline: bounded retries, median + MAD aggregation,
+    /// closed-form fallback.
+    pub fn robust() -> Self {
+        Self {
+            max_attempts: 4,
+            robust_aggregation: true,
+            mad_threshold: 3.5,
+            clamp_fallback: true,
+        }
+    }
+}
+
+/// Ledger of everything the measurement pipeline survived while
+/// profiling one workload, so no retry, rejection, or degradation is
+/// silent. Totals mirror the `profiler.*` telemetry counters.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProfileAudit {
+    /// Platform runs attempted, including retries.
+    pub attempts: usize,
+    /// Retries issued after transient faults.
+    pub retries: usize,
+    /// Repeats abandoned because the retry budget ran out.
+    pub lost_repeats: usize,
+    /// Repeats dropped for degenerate (non-finite or non-positive) times.
+    pub degenerate_repeats: usize,
+    /// Repeats rejected as MAD outliers.
+    pub outliers_rejected: usize,
+    /// Parameter solves that fell back to the closed-form estimate.
+    pub fallbacks: usize,
+    /// Human-readable record of each degradation, in order.
+    pub events: Vec<String>,
+}
+
+impl ProfileAudit {
+    fn event(&mut self, msg: String) {
+        self.events.push(msg);
+    }
+
+    /// Whether profiling completed without any fault handling at all.
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0
+            && self.lost_repeats == 0
+            && self.degenerate_repeats == 0
+            && self.outliers_rejected == 0
+            && self.fallbacks == 0
     }
 }
 
@@ -88,6 +180,9 @@ pub struct ProfileReport {
     /// Total profiling cost in simulated seconds (compared against the
     /// sweep baseline in §6.3).
     pub total_cost: f64,
+    /// Everything the measurement pipeline survived (retries, rejected
+    /// outliers, degraded solves). Empty under a clean platform.
+    pub audit: ProfileAudit,
 }
 
 /// Generates workload descriptions by profiling through a platform.
@@ -118,6 +213,7 @@ impl<'m> WorkloadProfiler<'m> {
         let _span = pandia_obs::span("profiler", "profile").arg("workload", name);
         let shape = self.machine.shape();
         let mut runs = Vec::with_capacity(6);
+        let mut audit = ProfileAudit::default();
         let mut seed = self.config.seed;
         let mut next_seed = || {
             seed = seed.wrapping_add(1);
@@ -126,7 +222,13 @@ impl<'m> WorkloadProfiler<'m> {
 
         // --- Run 1: single-thread time and demands (§4.1). ---
         let p1 = CanonicalPlacement::new(vec![vec![1]]).instantiate(&shape)?;
-        let (t1, r1) = self.timed(platform, RunRequest::new(workload.clone(), p1), next_seed())?;
+        let (t1, r1) = self.timed(
+            platform,
+            RunRequest::new(workload.clone(), p1),
+            next_seed(),
+            "run 1",
+            &mut audit,
+        )?;
         if t1 <= 0.0 || !t1.is_finite() {
             return Err(PandiaError::Degenerate { what: "t1", value: t1 });
         }
@@ -157,8 +259,13 @@ impl<'m> WorkloadProfiler<'m> {
         let n2 = self.choose_n2(&desc);
         let run2_placement = CanonicalPlacement::new(vec![vec![1; n2]]);
         let p2 = run2_placement.instantiate(&shape)?;
-        let (r2, _) =
-            self.timed(platform, RunRequest::new(workload.clone(), p2.clone()), next_seed())?;
+        let (r2, _) = self.timed(
+            platform,
+            RunRequest::new(workload.clone(), p2.clone()),
+            next_seed(),
+            "run 2",
+            &mut audit,
+        )?;
         let rel2 = r2 / t1;
         // u2 = 1 - p + p/n  =>  p = (1 - u2) / (1 - 1/n).
         let p_fit = ((1.0 - rel2) / (1.0 - 1.0 / n2 as f64)).clamp(0.0, 1.0);
@@ -175,13 +282,18 @@ impl<'m> WorkloadProfiler<'m> {
             let half = n2 / 2;
             let split = CanonicalPlacement::new(vec![vec![1; half], vec![1; n2 - half]]);
             let p3 = split.instantiate(&shape)?;
-            let (r3, _) =
-                self.timed(platform, RunRequest::new(workload.clone(), p3.clone()), next_seed())?;
+            let (r3, _) = self.timed(
+                platform,
+                RunRequest::new(workload.clone(), p3.clone()),
+                next_seed(),
+                "run 3",
+                &mut audit,
+            )?;
             let rel3 = r3 / t1;
             desc.inter_socket_overhead = self.solve_parameter(
                 &desc,
-                &p3,
-                rel3,
+                SolveTarget { placement: &p3, measured_rel: rel3, what: "inter-socket overhead" },
+                &mut audit,
                 |d, v| d.inter_socket_overhead = v,
                 // Closed-form estimate from §4.3 as the initial bracket.
                 |k3, f| ((rel3 / k3 - 1.0) * f / (n2 as f64 / 2.0)).max(0.0),
@@ -202,7 +314,7 @@ impl<'m> WorkloadProfiler<'m> {
             for &ctx in &stress_ctxs {
                 req4 = req4.with_stressor(StressKind::Cpu, ctx);
             }
-            let (r4, _) = self.timed(platform, req4, next_seed())?;
+            let (r4, _) = self.timed(platform, req4, next_seed(), "run 4", &mut audit)?;
             let rel4 = r4 / t1;
             runs.push(RunRecord {
                 run: 4,
@@ -214,7 +326,7 @@ impl<'m> WorkloadProfiler<'m> {
             // Run 5: one thread slowed.
             let req5 = RunRequest::new(workload.clone(), p2.clone())
                 .with_stressor(StressKind::Cpu, stress_ctxs[0]);
-            let (r5, _) = self.timed(platform, req5, next_seed())?;
+            let (r5, _) = self.timed(platform, req5, next_seed(), "run 5", &mut audit)?;
             let rel5 = r5 / t1;
             runs.push(RunRecord {
                 run: 5,
@@ -230,13 +342,18 @@ impl<'m> WorkloadProfiler<'m> {
         if shape.threads_per_core >= 2 && n2 >= 2 {
             let packed = CanonicalPlacement::new(vec![vec![2; n2 / 2]]);
             let p6 = packed.instantiate(&shape)?;
-            let (r6, _) =
-                self.timed(platform, RunRequest::new(workload.clone(), p6.clone()), next_seed())?;
+            let (r6, _) = self.timed(
+                platform,
+                RunRequest::new(workload.clone(), p6.clone()),
+                next_seed(),
+                "run 6",
+                &mut audit,
+            )?;
             let rel6 = r6 / t1;
             desc.burstiness = self.solve_parameter(
                 &desc,
-                &p6,
-                rel6,
+                SolveTarget { placement: &p6, measured_rel: rel6, what: "burstiness" },
+                &mut audit,
                 |d, v| d.burstiness = v,
                 // Closed-form estimate from §4.5 as the initial bracket.
                 |k6, f| ((rel6 / k6 - 1.0) / f).max(0.0),
@@ -252,7 +369,7 @@ impl<'m> WorkloadProfiler<'m> {
         desc.validate()?;
         let total_cost =
             runs.iter().map(|r| r.elapsed).sum::<f64>() * self.config.repeats.max(1) as f64;
-        Ok(ProfileReport { description: desc, runs, n2, total_cost })
+        Ok(ProfileReport { description: desc, runs, n2, total_cost, audit })
     }
 
     /// Profiles several workloads, fanning them across an execution
@@ -281,28 +398,86 @@ impl<'m> WorkloadProfiler<'m> {
     }
 
     /// Executes one profiling run `repeats` times with distinct seeds and
-    /// returns the mean elapsed time plus the last result's counters.
+    /// aggregates the elapsed times under the configured
+    /// [`RobustnessPolicy`]: the plain mean of the valid repeats by
+    /// default, median + MAD outlier rejection (then the mean of the
+    /// survivors) under [`RobustnessPolicy::robust`].
+    ///
+    /// Degenerate repeats — non-finite or non-positive times — never
+    /// poison the aggregate: they are dropped and recorded in the audit
+    /// regardless of policy. The representative [`RunResult`] is the last
+    /// valid repeat under the naive policy (historical behavior); the
+    /// robust policy instead returns the aggregate time with channel-wise
+    /// median counters across the surviving repeats.
     fn timed<P: Platform>(
         &self,
         platform: &mut P,
         mut request: RunRequest<P::Workload>,
         seed: u64,
+        label: &str,
+        audit: &mut ProfileAudit,
     ) -> Result<(f64, pandia_topology::RunResult), PandiaError> {
         let repeats = self.config.repeats.max(1);
-        let mut total = 0.0;
-        let mut last = None;
+        let policy = &self.config.robustness;
+        let mut samples: Vec<(f64, pandia_topology::RunResult)> = Vec::with_capacity(repeats);
+        let mut last_transient = None;
         for k in 0..repeats {
-            request.seed = seed.wrapping_mul(1000).wrapping_add(k as u64);
-            let result = platform.run(&request)?;
-            total += result.elapsed;
-            last = Some(result);
+            let rep_seed = seed.wrapping_mul(1000).wrapping_add(k as u64);
+            match measure_with_policy(platform, &mut request, rep_seed, policy, audit) {
+                Ok(result) => {
+                    if result.elapsed.is_finite() && result.elapsed > 0.0 {
+                        samples.push((result.elapsed, result));
+                    } else {
+                        audit.degenerate_repeats += 1;
+                        pandia_obs::count("profiler.degenerate_repeats", 1);
+                        audit.event(format!(
+                            "{label}: repeat {k} returned degenerate time {}",
+                            result.elapsed
+                        ));
+                    }
+                }
+                Err(e) if e.is_transient() => {
+                    audit.lost_repeats += 1;
+                    audit.event(format!(
+                        "{label}: repeat {k} abandoned after {} attempts ({e})",
+                        policy.max_attempts.max(1)
+                    ));
+                    last_transient = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
         }
-        let mean = total / repeats as f64;
-        let last = last.ok_or(PandiaError::Degenerate {
-            what: "profiling repeats",
-            value: repeats as f64,
-        })?;
-        Ok((mean, last))
+        if samples.is_empty() {
+            // Every repeat was lost or degenerate: nothing to degrade to.
+            return Err(match last_transient {
+                Some(e) => e,
+                None => PandiaError::Degenerate {
+                    what: "profiling repeats",
+                    value: repeats as f64,
+                },
+            });
+        }
+        let kept: Vec<usize> = if policy.robust_aggregation && samples.len() >= 3 {
+            let times: Vec<f64> = samples.iter().map(|(t, _)| *t).collect();
+            mad_inliers(&times, policy.mad_threshold)
+        } else {
+            (0..samples.len()).collect()
+        };
+        let rejected = samples.len() - kept.len();
+        if rejected > 0 {
+            audit.outliers_rejected += rejected;
+            pandia_obs::count("profiler.outliers_rejected", rejected as u64);
+            audit.event(format!("{label}: rejected {rejected} outlier repeat(s)"));
+        }
+        let mean = kept.iter().map(|&i| samples[i].0).sum::<f64>() / kept.len() as f64;
+        let result = if policy.robust_aggregation {
+            robust_result(&samples, &kept, mean)
+        } else {
+            // Historical behavior: the last repeat speaks for the run.
+            let (_, result) = samples.swap_remove(samples.len() - 1);
+            result
+        };
+        Ok((mean, result))
     }
 
     /// Chooses the run-2 thread count: the largest even number of threads,
@@ -387,14 +562,20 @@ impl<'m> WorkloadProfiler<'m> {
     /// measured relative time: closed-form initial estimate, then
     /// bisection refinement (the parameter only ever slows the predicted
     /// time, so predicted time is monotone in it).
+    ///
+    /// Under [`RobustnessPolicy::robust`], a diverged bracket search or a
+    /// non-finite solution degrades to the clamped closed-form estimate
+    /// and is recorded in the audit, instead of handing downstream
+    /// predictions a runaway parameter.
     fn solve_parameter(
         &self,
         desc: &WorkloadDescription,
-        placement: &Placement,
-        measured_rel: f64,
+        target: SolveTarget<'_>,
+        audit: &mut ProfileAudit,
         set: impl Fn(&mut WorkloadDescription, f64),
         initial: impl Fn(f64, f64) -> f64,
     ) -> Result<f64, PandiaError> {
+        let SolveTarget { placement, measured_rel, what } = target;
         let rel_with = |v: f64| -> Result<f64, PandiaError> {
             let mut d = desc.clone();
             set(&mut d, v);
@@ -414,12 +595,31 @@ impl<'m> WorkloadProfiler<'m> {
         };
         let f = pred0.mean_utilization().max(1e-6);
         let guess = initial(k, f).max(1e-6);
+        let fallback = |audit: &mut ProfileAudit, why: &str| {
+            let clamped = guess.min(PARAM_FALLBACK_CAP);
+            audit.fallbacks += 1;
+            pandia_obs::count("profiler.fallbacks", 1);
+            audit.event(format!(
+                "{what}: {why}; degrading to clamped closed-form estimate {clamped}"
+            ));
+            clamped
+        };
+        if self.config.robustness.clamp_fallback
+            && !(measured_rel.is_finite() && guess.is_finite())
+        {
+            return Ok(fallback(audit, "non-finite measurement or estimate"));
+        }
         // Find an upper bracket.
         let mut hi = guess;
         let mut tries = 0;
         while rel_with(hi)? < measured_rel && tries < 60 {
             hi *= 2.0;
             tries += 1;
+        }
+        if self.config.robustness.clamp_fallback && (tries >= 60 || !hi.is_finite()) {
+            // No finite value of the parameter explains the measurement;
+            // bisection against this bracket would chase the runaway end.
+            return Ok(fallback(audit, "bracket search diverged"));
         }
         let mut lo = 0.0;
         for _ in 0..self.config.solver_iterations {
@@ -430,8 +630,153 @@ impl<'m> WorkloadProfiler<'m> {
                 hi = mid;
             }
         }
-        Ok(0.5 * (lo + hi))
+        let solved = 0.5 * (lo + hi);
+        if self.config.robustness.clamp_fallback && !solved.is_finite() {
+            return Ok(fallback(audit, "bisection produced a non-finite value"));
+        }
+        Ok(solved)
     }
+}
+
+/// Hard ceiling on a parameter recovered by clamp-and-fallback: both
+/// `os` and `b` are order-one quantities, so anything beyond this is a
+/// corrupted measurement, not a workload property.
+const PARAM_FALLBACK_CAP: f64 = 5.0;
+
+/// One parameter-solve target: the profiling run whose measured relative
+/// time the solved parameter must reproduce.
+struct SolveTarget<'a> {
+    placement: &'a Placement,
+    measured_rel: f64,
+    what: &'static str,
+}
+
+/// Runs one request under a retry policy. Attempt `a` deterministically
+/// remixes `a` into the repeat seed (attempt 0 uses the seed unchanged,
+/// keeping the retry-free pipeline bit-identical) and there is no
+/// wall-clock backoff: on a platform whose faults are seed-scheduled,
+/// waiting buys nothing — a fresh seed does.
+///
+/// Transient platform faults consume budgeted attempts; any other error
+/// propagates immediately. Every retry is counted in `audit` and on the
+/// `profiler.retries` telemetry counter.
+pub fn measure_with_policy<P: Platform>(
+    platform: &mut P,
+    request: &mut RunRequest<P::Workload>,
+    seed: u64,
+    policy: &RobustnessPolicy,
+    audit: &mut ProfileAudit,
+) -> Result<pandia_topology::RunResult, PandiaError> {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..max_attempts {
+        request.seed = retry_seed(seed, attempt);
+        audit.attempts += 1;
+        match platform.run(request) {
+            Ok(result) => return Ok(result),
+            Err(e) => {
+                let e = PandiaError::from(e);
+                if !e.is_transient() {
+                    return Err(e);
+                }
+                if attempt + 1 < max_attempts {
+                    audit.retries += 1;
+                    pandia_obs::count("profiler.retries", 1);
+                    audit.event(format!(
+                        "retry {}/{} after {e}",
+                        attempt + 1,
+                        max_attempts - 1
+                    ));
+                }
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(match last_err {
+        Some(e) => e,
+        None => PandiaError::Degenerate { what: "retry budget", value: max_attempts as f64 },
+    })
+}
+
+/// Seed for retry `attempt` of a repeat: attempt 0 is the repeat seed
+/// unchanged; later attempts pass through a splitmix64-style finalizer so
+/// the platform draws an independent fault schedule.
+fn retry_seed(base: u64, attempt: usize) -> u64 {
+    if attempt == 0 {
+        return base;
+    }
+    let mut z = base ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Median of a non-empty slice (NaN-safe total order).
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Indices of the samples within `threshold` normal-scaled MADs of the
+/// median. A (near-)zero MAD means the repeats agree to within float
+/// granularity, in which case everything is kept.
+fn mad_inliers(times: &[f64], threshold: f64) -> Vec<usize> {
+    let med = median(times);
+    let devs: Vec<f64> = times.iter().map(|t| (t - med).abs()).collect();
+    // 1.4826 scales the MAD to the standard deviation of a normal.
+    let scale = 1.4826 * median(&devs);
+    if scale.is_nan() || scale <= med.abs() * 1e-12 {
+        return (0..times.len()).collect();
+    }
+    times
+        .iter()
+        .enumerate()
+        .filter(|&(_, t)| (t - med).abs() <= threshold * scale)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Representative result under robust aggregation: the surviving repeat
+/// whose time is closest to the aggregate provides the structure, its
+/// elapsed time becomes the aggregate itself (so counter-rate conversion
+/// uses the robust time), and every counter channel takes the median
+/// across the surviving repeats — one dropout-zeroed repeat is outvoted.
+fn robust_result(
+    samples: &[(f64, pandia_topology::RunResult)],
+    kept: &[usize],
+    mean: f64,
+) -> pandia_topology::RunResult {
+    let mut rep = kept[0];
+    for &i in kept {
+        if (samples[i].0 - mean).abs() < (samples[rep].0 - mean).abs() {
+            rep = i;
+        }
+    }
+    let channel = |get: &dyn Fn(&pandia_topology::Counters) -> f64| -> f64 {
+        let vals: Vec<f64> = kept.iter().map(|&i| get(&samples[i].1.counters)).collect();
+        median(&vals)
+    };
+    let mut result = samples[rep].1.clone();
+    result.elapsed = mean;
+    result.counters.instructions = channel(&|c| c.instructions);
+    result.counters.l1_bytes = channel(&|c| c.l1_bytes);
+    result.counters.l2_bytes = channel(&|c| c.l2_bytes);
+    result.counters.l3_bytes = channel(&|c| c.l3_bytes);
+    result.counters.interconnect_bytes = channel(&|c| c.interconnect_bytes);
+    for node in 0..result.counters.dram_bytes.len() {
+        let vals: Vec<f64> = kept
+            .iter()
+            .map(|&i| samples[i].1.counters.dram_bytes.get(node).copied().unwrap_or(0.0))
+            .collect();
+        result.counters.dram_bytes[node] = median(&vals);
+    }
+    result
 }
 
 /// Closed-form solve for the load balancing factor from runs 2, 4 and 5

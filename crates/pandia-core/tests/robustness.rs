@@ -1,0 +1,133 @@
+//! Robustness-layer integration tests: the hardened measurement
+//! pipeline against a fault-injecting platform.
+//!
+//! Three properties must hold end to end:
+//!
+//! 1. a zero-rate fault plan plus the default (naive) policy is
+//!    *invisible* — reports match the plain clean-machine pipeline
+//!    field for field;
+//! 2. fault handling is fully deterministic — the same seed replays the
+//!    same storm, the same retries, and the same learned description;
+//! 3. the robust policy actually buys something — retries recover
+//!    repeats the naive policy loses, and the audit accounts for every
+//!    attempt.
+
+use pandia_core::{
+    describe_machine, ProfileConfig, ProfileReport, RobustnessPolicy, WorkloadProfiler,
+};
+use pandia_sim::{Behavior, BurstProfile, FaultPlan, Scheduling, SimConfig, SimMachine};
+use pandia_topology::{DataPlacement, MachineSpec};
+
+/// A well-behaved CPU-plus-memory workload for profiling tests.
+fn test_behavior() -> Behavior {
+    Behavior {
+        name: "robustness-test".into(),
+        total_work: 40.0,
+        seq_fraction: 0.02,
+        demand: pandia_sim::UnitDemand { instr: 4.0, l1: 10.0, l2: 4.0, l3: 2.0, dram: 4.0 },
+        working_set_mib: 4.0,
+        burst: BurstProfile::bursty(0.5, 1.6),
+        scheduling: Scheduling::Partial { dynamic_fraction: 0.6 },
+        comm_factor: 0.004,
+        intra_socket_comm: 0.15,
+        data_placement: DataPlacement::Interleave,
+        growth_per_thread: 0.0,
+        active_threads: None,
+        requires_avx: false,
+    }
+}
+
+/// Profiles the test behavior on a platform built with `faults`, using
+/// `config`, retrying the whole profile never (errors propagate).
+fn profile_with(faults: FaultPlan, config: ProfileConfig) -> ProfileReport {
+    let spec = MachineSpec::x3_2();
+    let mut clean = SimMachine::new(spec.clone());
+    let md = describe_machine(&mut clean).expect("machine description");
+    let mut platform =
+        SimMachine::with_config(spec, SimConfig::default().with_faults(faults));
+    WorkloadProfiler::with_config(&md, config)
+        .profile(&mut platform, &test_behavior(), "robustness-test")
+        .expect("profiling completes")
+}
+
+#[test]
+fn zero_rate_fault_plan_and_default_policy_are_invisible() {
+    let spec = MachineSpec::x3_2();
+    let mut plain = SimMachine::new(spec.clone());
+    let md = describe_machine(&mut plain).expect("machine description");
+    let baseline = WorkloadProfiler::new(&md)
+        .profile(&mut plain, &test_behavior(), "robustness-test")
+        .expect("clean profiling");
+
+    let gated = profile_with(FaultPlan::none(), ProfileConfig::default());
+
+    // Field-for-field identity, not approximate agreement: the fault
+    // gates must not consume a single RNG draw when every rate is zero,
+    // and the default policy must aggregate exactly as before.
+    assert_eq!(gated, baseline, "FaultPlan::none() must be a strict no-op");
+    assert!(baseline.audit.is_clean());
+    assert_eq!(baseline.audit.attempts, baseline.runs.len() * 3, "3 repeats per run");
+}
+
+#[test]
+fn fault_handling_is_deterministic_per_seed() {
+    let config = ProfileConfig {
+        seed: 0xF00D,
+        robustness: RobustnessPolicy::robust(),
+        ..ProfileConfig::default()
+    };
+    let first = profile_with(FaultPlan::with_intensity(0.6), config.clone());
+    let second = profile_with(FaultPlan::with_intensity(0.6), config);
+
+    assert_eq!(first, second, "same seed must replay the same storm and recovery");
+    assert!(
+        !first.audit.is_clean(),
+        "intensity 0.6 should force fault handling: {:?}",
+        first.audit
+    );
+
+    // A different seed meets a different storm: the audit trail should
+    // not be frozen (the description may or may not coincide).
+    let other = profile_with(
+        FaultPlan::with_intensity(0.6),
+        ProfileConfig {
+            seed: 0xBEEF,
+            robustness: RobustnessPolicy::robust(),
+            ..ProfileConfig::default()
+        },
+    );
+    assert_ne!(
+        (first.audit.attempts, first.audit.retries, &first.description),
+        (other.audit.attempts, other.audit.retries, &other.description),
+        "different seeds should see different fault schedules"
+    );
+}
+
+#[test]
+fn robust_policy_retries_where_naive_loses_repeats() {
+    let naive = profile_with(
+        FaultPlan::with_intensity(0.6),
+        ProfileConfig { robustness: RobustnessPolicy::naive(), ..ProfileConfig::default() },
+    );
+    let robust = profile_with(
+        FaultPlan::with_intensity(0.6),
+        ProfileConfig { robustness: RobustnessPolicy::robust(), ..ProfileConfig::default() },
+    );
+
+    // The naive policy never retries, so every transient costs a repeat.
+    assert_eq!(naive.audit.retries, 0);
+    assert!(naive.audit.lost_repeats > 0, "naive audit: {:?}", naive.audit);
+    // The robust policy spends retries instead of losing repeats.
+    assert!(robust.audit.retries > 0, "robust audit: {:?}", robust.audit);
+    assert_eq!(robust.audit.lost_repeats, 0, "robust audit: {:?}", robust.audit);
+    // Attempts reconcile: every retry is an extra attempt on top of the
+    // planned repeats (runs × 3), and nothing is double-counted.
+    assert_eq!(
+        robust.audit.attempts,
+        robust.runs.len() * 3 + robust.audit.retries,
+        "robust audit: {:?}",
+        robust.audit
+    );
+    // Every degradation left a human-readable event behind.
+    assert!(robust.audit.events.len() >= robust.audit.retries);
+}

@@ -1,0 +1,49 @@
+//! Figure 15 (beyond the paper): profiling accuracy under fault
+//! injection, naive vs. robust measurement pipelines.
+//!
+//! `cargo run --release -p pandia-harness --bin fig15_chaos [--quick]
+//! [--jobs N] [--no-cache] [machine] [trials]`
+
+use std::time::Instant;
+
+use pandia_harness::{
+    experiments::{
+        chaos, exec_from_args, positional_args, quiet_from_args, report_exec,
+        telemetry_from_args, Coverage,
+    },
+    report, MachineContext,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
+    let quiet = quiet_from_args();
+    let coverage = Coverage::from_args();
+    let exec = exec_from_args();
+    let positional = positional_args();
+    let machine = positional.first().cloned().unwrap_or_else(|| "x3-2".into());
+    let trials: usize =
+        positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
+    let mut ctx = MachineContext::by_name(&machine)?;
+    if !quiet {
+        eprintln!(
+            "chaos sweep on {}: {} intensities × 2 policies, {} trials each (jobs={})",
+            ctx.description.machine,
+            chaos::INTENSITIES.len(),
+            trials,
+            exec.jobs()
+        );
+    }
+
+    let start = Instant::now();
+    let result = chaos::run(&exec, &mut ctx, coverage, trials, 0xC4A0)?;
+    report_exec(&exec, "chaos", start, quiet);
+
+    let text = chaos::render(&result);
+    print!("{text}");
+    report::write_result(&format!("fig15/{machine}_chaos.csv"), &chaos::to_csv(&result))?;
+    let path = report::write_result(&format!("fig15/{machine}_chaos.txt"), &text)?;
+    if !quiet {
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -13,8 +13,10 @@
 //! | [`ablation`] | model-term ablation (beyond the paper) |
 //! | [`coschedule_validation`] | §8 co-scheduling extension, validated |
 //! | [`robustness`] | accuracy over random synthetic workloads |
+//! | [`chaos`] | Figure 15: profiling under fault injection |
 
 pub mod ablation;
+pub mod chaos;
 pub mod coschedule_validation;
 pub mod curves;
 pub mod errors;

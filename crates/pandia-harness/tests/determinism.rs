@@ -5,6 +5,7 @@
 
 use pandia_core::ExecContext;
 use pandia_harness::experiments::errors::error_bars_with;
+use pandia_harness::experiments::{chaos, Coverage};
 use pandia_harness::MachineContext;
 
 #[test]
@@ -44,4 +45,51 @@ fn fig11_is_byte_identical_across_jobs_and_cache() {
             }
         }
     }
+}
+
+/// The chaos sweep injects faults, retries, and rejects outliers — all
+/// of which must still be a pure function of the seed. The same sweep on
+/// 1 and 4 workers must serialize to the same bytes, and every fault the
+/// pipeline survives must be visible in the cell audits. (The accuracy
+/// headline — robust beating naive at high intensity — needs the full
+/// 3-trial sweep and is asserted by the CI chaos smoke job instead.)
+#[test]
+fn chaos_sweep_is_byte_identical_across_jobs() {
+    let baseline_json;
+    {
+        let mut ctx = MachineContext::x3_2().expect("machine context");
+        let exec = ExecContext::new(1).with_cache(true);
+        let result = chaos::run(&exec, &mut ctx, Coverage::Quick, 1, 0xC4A0)
+            .expect("chaos sweep, jobs=1");
+        baseline_json = serde_json::to_string(&result).expect("serialize");
+
+        // Fault handling is observable, not silent: under faults the
+        // naive cells lose repeats and the robust cells spend retries.
+        let naive_faulted: Vec<_> = result
+            .cells
+            .iter()
+            .filter(|c| c.intensity > 0.5 && c.policy == "naive")
+            .collect();
+        let robust_faulted: Vec<_> = result
+            .cells
+            .iter()
+            .filter(|c| c.intensity > 0.5 && c.policy == "robust")
+            .collect();
+        assert!(!naive_faulted.is_empty() && !robust_faulted.is_empty());
+        for c in &naive_faulted {
+            assert!(c.lost_repeats > 0, "naive cell lost nothing: {c:?}");
+            assert_eq!(c.retries, 0, "naive cell retried: {c:?}");
+        }
+        for c in &robust_faulted {
+            assert!(c.retries > 0, "robust cell never retried: {c:?}");
+            assert_eq!(c.lost_repeats, 0, "robust cell lost a repeat: {c:?}");
+        }
+    }
+
+    let mut ctx = MachineContext::x3_2().expect("machine context");
+    let exec = ExecContext::new(4).with_cache(true);
+    let result =
+        chaos::run(&exec, &mut ctx, Coverage::Quick, 1, 0xC4A0).expect("chaos sweep, jobs=4");
+    let json = serde_json::to_string(&result).expect("serialize");
+    assert_eq!(json, baseline_json, "jobs=4 chaos sweep diverged from jobs=1");
 }

@@ -16,6 +16,7 @@ use std::path::PathBuf;
 use pandia_core::ExecContext;
 use pandia_harness::experiments::{curves, errors};
 use pandia_harness::{report, MachineContext};
+use pandia_sim::{FaultPlan, SimConfig, SimMachine};
 
 /// Workloads covered by the golden capture: a memory-bound, a
 /// CPU-bound, and a lock-heavy representative keep the comparators'
@@ -69,5 +70,37 @@ fn fig10_fig11_outputs_are_byte_identical_to_goldens() {
         .expect("error sweep");
     let title = format!("Figure 11 — errors on {}", bars.title);
     check_or_bless("fig11_x3-2.txt", &report::error_table(&title, &bars.stats));
+    check_or_bless("fig11_x3-2.csv", &report::error_csv(&bars.stats));
+}
+
+/// The robustness layer must be invisible when disarmed: a platform
+/// carrying an explicit zero-rate [`FaultPlan`] and the default (naive)
+/// [`pandia_core::RobustnessPolicy`] must reproduce the pre-robustness
+/// goldens byte for byte — the fault gates may not consume a single RNG
+/// draw and the default aggregation path may not move a bit.
+#[test]
+fn zero_fault_plan_leaves_goldens_byte_identical() {
+    let mut ctx = MachineContext::by_name("x3-2").expect("x3-2 preset");
+    ctx.platform = SimMachine::with_config(
+        ctx.spec.clone(),
+        SimConfig::default().with_faults(FaultPlan::none()),
+    );
+    let placements = ctx.enumerator().sampled(&ctx.spec, 3);
+    let exec = ExecContext::new(2).with_cache(true);
+    let workloads: Vec<_> = WORKLOADS
+        .iter()
+        .map(|n| pandia_workloads::by_name(n).expect("registered workload"))
+        .collect();
+
+    for w in &workloads {
+        let curve = curves::workload_curve_with(&exec, &ctx, w, &placements)
+            .expect("placement sweep");
+        check_or_bless(
+            &format!("fig10_x3-2_{}.csv", w.name),
+            &report::curve_csv(&curve),
+        );
+    }
+    let bars = errors::error_bars_with(&exec, &ctx, &workloads, &placements)
+        .expect("error sweep");
     check_or_bless("fig11_x3-2.csv", &report::error_csv(&bars.stats));
 }

@@ -21,7 +21,10 @@ pub enum TokKind {
     /// A float literal (has a fractional part, an exponent, or an
     /// `f32`/`f64` suffix).
     Float,
-    /// A string, byte-string, or raw-string literal (contents dropped).
+    /// A string, byte-string, or raw-string literal. The contents are
+    /// retained verbatim (escapes unprocessed) so literal-aware rules
+    /// like S1 can inspect them; rules matching identifiers are
+    /// unaffected because they check the token kind.
     Str,
     /// A character or byte literal.
     Char,
@@ -36,7 +39,8 @@ pub struct Tok {
     pub line: u32,
     /// Token classification.
     pub kind: TokKind,
-    /// Token text (empty for string/char literals).
+    /// Token text (literal contents for strings, empty for char
+    /// literals).
     pub text: String,
 }
 
@@ -168,6 +172,7 @@ pub fn lex(src: &str) -> LexOutput {
                     // Raw string: scan for `"` followed by `hashes` hashes.
                     let start_line = line;
                     let mut m = bump!(k);
+                    let mut text = String::new();
                     'scan: while m < n {
                         if chars[m] == '"' {
                             let mut h = 0;
@@ -179,13 +184,10 @@ pub fn lex(src: &str) -> LexOutput {
                                 break 'scan;
                             }
                         }
+                        text.push(chars[m]);
                         m = bump!(m);
                     }
-                    out.tokens.push(Tok {
-                        line: start_line,
-                        kind: TokKind::Str,
-                        text: String::new(),
-                    });
+                    out.tokens.push(Tok { line: start_line, kind: TokKind::Str, text });
                     i = m;
                     continue;
                 }
@@ -216,11 +218,14 @@ pub fn lex(src: &str) -> LexOutput {
         if c == '"' {
             let start_line = line;
             let mut j = bump!(i);
+            let mut text = String::new();
             while j < n {
                 match chars[j] {
                     '\\' => {
+                        text.push(chars[j]);
                         j = bump!(j);
                         if j < n {
+                            text.push(chars[j]);
                             j = bump!(j);
                         }
                     }
@@ -228,10 +233,13 @@ pub fn lex(src: &str) -> LexOutput {
                         j += 1;
                         break;
                     }
-                    _ => j = bump!(j),
+                    other => {
+                        text.push(other);
+                        j = bump!(j);
+                    }
                 }
             }
-            out.tokens.push(Tok { line: start_line, kind: TokKind::Str, text: String::new() });
+            out.tokens.push(Tok { line: start_line, kind: TokKind::Str, text });
             i = j;
             continue;
         }

@@ -16,6 +16,7 @@
 //! | D2 | no `Instant`/`SystemTime`/`thread::current`/`env::*` reads | result-producing crates |
 //! | N1 | no `partial_cmp(..).unwrap_or(Equal)`, no `==`/`!=` on float literals | result crates + harness |
 //! | P1 | panic sites (`unwrap`/`expect`/`panic!`/...) ≤ committed baseline | all library crates |
+//! | S1 | `span("layer", ..)` literals name a registered telemetry layer | all library crates |
 //!
 //! D1/D2/N1 violations are errors unless exempted in place with a
 //! `// lint:` comment carrying a reason. P1 is a ratchet against

@@ -13,6 +13,8 @@ pub enum Rule {
     N1,
     /// Panic-hygiene ratchet (unwrap/expect/panicking macros).
     P1,
+    /// Unknown telemetry span layer literal.
+    S1,
     /// A malformed `// lint:` directive.
     Directive,
 }
@@ -25,6 +27,7 @@ impl Rule {
             Rule::D2 => "D2",
             Rule::N1 => "N1",
             Rule::P1 => "P1",
+            Rule::S1 => "S1",
             Rule::Directive => "LINT",
         }
     }

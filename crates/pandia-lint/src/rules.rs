@@ -23,6 +23,8 @@ pub struct FileScope {
     pub n1: bool,
     /// P1: count panic-capable call sites against the baseline.
     pub p1: bool,
+    /// S1: require `span("layer", ..)` literals to name a known layer.
+    pub s1: bool,
 }
 
 /// Exemptions parsed from `// lint:` directives in one file.
@@ -83,6 +85,9 @@ pub fn check_source(path: &str, src: &str, scope: FileScope) -> FileReport {
         report.p1_count = count;
         report.p1_first_line = first_line;
     }
+    if scope.s1 {
+        rule_s1(path, &tokens, &exemptions, &mut report.findings);
+    }
     report
 }
 
@@ -129,6 +134,7 @@ fn parse_directives(
                 "D1" => rules.push(Rule::D1),
                 "D2" => rules.push(Rule::D2),
                 "N1" => rules.push(Rule::N1),
+                "S1" => rules.push(Rule::S1),
                 "P1" => {
                     findings.push(Finding::directive(
                         path,
@@ -423,6 +429,62 @@ fn rule_n1(path: &str, tokens: &[Tok], ex: &Exemptions, findings: &mut Vec<Findi
                          and rounding-fragile); compare with a tolerance or `total_cmp`, \
                          or exempt with a reason",
                         t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Layer names registered for `pandia_obs::span(layer, ..)`. The layer
+/// string groups spans in Chrome traces and the summary table; a typo
+/// does not fail anything at runtime — the spans just land in an orphan
+/// category nobody looks at. Keep in sync with the telemetry section of
+/// DESIGN.md when adding a layer.
+const KNOWN_SPAN_LAYERS: [&str; 13] = [
+    "bench",
+    "cli",
+    "coschedule",
+    "exec",
+    "harness",
+    "machine_gen",
+    "planner",
+    "predictor",
+    "profiler",
+    "search",
+    "sim",
+    "topology",
+    "workloads",
+];
+
+/// S1: every `span("layer", ..)` call with a literal first argument must
+/// name a layer from [`KNOWN_SPAN_LAYERS`]. Non-literal layer arguments
+/// are out of scope (there are none in the workspace today; the API
+/// takes `&'static str` to discourage them).
+fn rule_s1(path: &str, tokens: &[Tok], ex: &Exemptions, findings: &mut Vec<Finding>) {
+    let n = tokens.len();
+    for i in 0..n {
+        let t = &tokens[i];
+        if !t.is_ident("span") {
+            continue;
+        }
+        // A call site: `span` `(` followed by a string literal. Skips
+        // definitions (`fn span(layer: ...)`) and calls whose layer is
+        // not a literal, neither of which has a Str token there.
+        if i + 2 < n && tokens[i + 1].is_punct("(") && tokens[i + 2].kind == TokKind::Str {
+            let layer = tokens[i + 2].text.as_str();
+            let line = tokens[i + 2].line;
+            if !KNOWN_SPAN_LAYERS.contains(&layer) && !ex.exempts(Rule::S1, line) {
+                findings.push(Finding::new(
+                    Rule::S1,
+                    path,
+                    line,
+                    format!(
+                        "span layer \"{layer}\" is not a known telemetry layer; typoed \
+                         layers silently orphan their spans in traces — use one of \
+                         [{}] or register the new layer in KNOWN_SPAN_LAYERS \
+                         (crates/pandia-lint/src/rules.rs)",
+                        KNOWN_SPAN_LAYERS.join(", ")
                     ),
                 ));
             }

@@ -4,11 +4,13 @@
 //! Scope policy (see DESIGN.md "Invariants enforced by pandia-lint"):
 //!
 //! * **Result-producing crates** (`pandia-sim`, `pandia-core`,
-//!   `pandia-topology`, `pandia-workloads`): all rules (D1, D2, N1, P1).
-//! * **`pandia-harness`**: N1 + P1 — its reports feed the figures, but it
-//!   legitimately reads clocks and the environment.
-//! * **`pandia-obs`**, **`pandia-lint`**, and the facade `src/`: P1 only
-//!   (the recorder *is* the sanctioned home for wall-clock reads).
+//!   `pandia-topology`, `pandia-workloads`): all rules (D1, D2, N1, P1,
+//!   S1).
+//! * **`pandia-harness`**: N1 + P1 + S1 — its reports feed the figures,
+//!   but it legitimately reads clocks and the environment.
+//! * **`pandia-obs`**, **`pandia-lint`**, and the facade `src/`: P1 and
+//!   S1 only (the recorder *is* the sanctioned home for wall-clock
+//!   reads).
 //! * **Skipped entirely**: `pandia-cli` and `pandia-bench` (bin/bench
 //!   crates may panic on bad input), `src/bin/` subtrees, `tests/`,
 //!   `examples/`, `benches/`, and `vendor/`.
@@ -40,11 +42,11 @@ pub struct LintFile {
 /// the crate is out of scope.
 fn crate_scope(name: &str) -> Option<FileScope> {
     if RESULT_CRATES.contains(&name) {
-        Some(FileScope { d1: true, d2: true, n1: true, p1: true })
+        Some(FileScope { d1: true, d2: true, n1: true, p1: true, s1: true })
     } else if name == "pandia-harness" {
-        Some(FileScope { d1: false, d2: false, n1: true, p1: true })
+        Some(FileScope { d1: false, d2: false, n1: true, p1: true, s1: true })
     } else if PANIC_ONLY_CRATES.contains(&name) {
-        Some(FileScope { d1: false, d2: false, n1: false, p1: true })
+        Some(FileScope { d1: false, d2: false, n1: false, p1: true, s1: true })
     } else {
         None
     }
@@ -78,7 +80,7 @@ pub fn collect(root: &Path) -> Result<Vec<LintFile>, String> {
     // The facade package's own sources (src/lib.rs and friends).
     let facade_src = root.join("src");
     if facade_src.is_dir() {
-        let scope = FileScope { d1: false, d2: false, n1: false, p1: true };
+        let scope = FileScope { d1: false, d2: false, n1: false, p1: true, s1: true };
         walk_sources(&facade_src, root, scope, &mut files)?;
     }
 

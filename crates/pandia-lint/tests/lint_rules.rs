@@ -6,7 +6,7 @@ use pandia_lint::report::Rule;
 use pandia_lint::rules::{check_source, FileScope};
 
 /// Scope with every rule on, as in result-producing crates.
-const ALL: FileScope = FileScope { d1: true, d2: true, n1: true, p1: true };
+const ALL: FileScope = FileScope { d1: true, d2: true, n1: true, p1: true, s1: true };
 
 fn findings_of(src: &str, scope: FileScope) -> Vec<(Rule, u32)> {
     check_source("test.rs", src, scope).findings.iter().map(|f| (f.rule, f.line)).collect()
@@ -209,7 +209,7 @@ fn d2_exemption_and_scope() {
     ";
     assert!(findings_of(exempt, ALL).is_empty());
     // Out of scope (e.g. pandia-obs): no D2 findings at all.
-    let scope = FileScope { d1: false, d2: false, n1: false, p1: true };
+    let scope = FileScope { d1: false, d2: false, n1: false, p1: true, s1: false };
     let src = "fn f() { let t0 = std::time::Instant::now(); }";
     assert!(findings_of(src, scope).is_empty());
 }
@@ -296,6 +296,51 @@ fn p1_ignores_unwrap_or_family_and_strings() {
         }
     ";
     assert_eq!(p1_count(src), 0);
+}
+
+// ---------------------------------------------------------------- S1
+
+#[test]
+fn s1_flags_unknown_span_layers_and_accepts_known_ones() {
+    let src = "
+        fn f() {
+            let _a = pandia_obs::span(\"sim\", \"run\");
+            let _b = pandia_obs::span(\"predictr\", \"predict\");
+            let _c = pandia_obs::span(\"harness\", \"sweep\").arg(\"n\", 3u64);
+        }
+    ";
+    let s1: Vec<_> = findings_of(src, ALL).into_iter().filter(|(r, _)| *r == Rule::S1).collect();
+    assert_eq!(s1.len(), 1, "only the typoed layer should fire: {s1:?}");
+}
+
+#[test]
+fn s1_ignores_definitions_and_non_literal_layers() {
+    let src = "
+        pub fn span(layer: &'static str, name: &str) -> Guard { make(layer, name) }
+        fn g(layer: &'static str) {
+            let _s = pandia_obs::span(layer, \"dynamic\");
+        }
+    ";
+    assert!(findings_of(src, ALL).is_empty(), "no literal layer, nothing to check");
+}
+
+#[test]
+fn s1_exemption_and_test_code() {
+    let exempt = "
+        fn f() {
+            // lint: allow(S1): experimental layer, promoted to the registry when it sticks
+            let _s = pandia_obs::span(\"scratch\", \"probe\");
+        }
+    ";
+    assert!(findings_of(exempt, ALL).is_empty());
+
+    let test_only = "
+        #[cfg(test)]
+        mod tests {
+            fn t() { let _s = pandia_obs::span(\"t\", \"s0\"); }
+        }
+    ";
+    assert!(findings_of(test_only, ALL).is_empty(), "test code is stripped before S1");
 }
 
 // ------------------------------------------------------- directives

@@ -28,6 +28,7 @@ use crate::{
     cache::SocketSpill,
     dvfs::DvfsState,
     equilibrium::{self, EntityDemand},
+    fault::{FaultPlan, SimError},
     rng,
     stress,
     trace::{RunTrace, TraceSegment},
@@ -54,6 +55,9 @@ pub struct EngineConfig {
     pub max_lock_rho: f64,
     /// Hard cap on segments, as a runaway guard.
     pub max_segments: usize,
+    /// Deterministic fault-injection schedule. The default plan injects
+    /// nothing and is byte-identical to an engine without the fault layer.
+    pub faults: FaultPlan,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +69,7 @@ impl Default for EngineConfig {
             noise_sigma: 0.004,
             max_lock_rho: 0.98,
             max_segments: 20_000,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -201,7 +206,7 @@ pub struct MultiRunInputs<'a> {
 }
 
 /// Executes one run and returns its measured result.
-pub fn run(inputs: &RunInputs<'_>, config: &EngineConfig) -> RunResult {
+pub fn run(inputs: &RunInputs<'_>, config: &EngineConfig) -> Result<RunResult, SimError> {
     let group = GroupInput {
         behavior: inputs.behavior,
         placement: inputs.placement,
@@ -215,7 +220,9 @@ pub fn run(inputs: &RunInputs<'_>, config: &EngineConfig) -> RunResult {
         turbo: inputs.turbo,
         seed: inputs.seed,
     };
-    run_multi(&multi, config).pop().expect("one group in, one result out")
+    run_multi(&multi, config)?.pop().ok_or_else(|| SimError::Internal {
+        reason: "one group in, no result out".into(),
+    })
 }
 
 /// Per-group bookkeeping during a multi-workload run.
@@ -236,7 +243,10 @@ struct GroupState {
 /// entities go idle once its work is done, freeing resources for the
 /// rest). This is the ground truth for the multi-workload co-scheduling
 /// extension the paper's §8 anticipates.
-pub fn run_multi(inputs: &MultiRunInputs<'_>, config: &EngineConfig) -> Vec<RunResult> {
+pub fn run_multi(
+    inputs: &MultiRunInputs<'_>,
+    config: &EngineConfig,
+) -> Result<Vec<RunResult>, SimError> {
     run_multi_impl(inputs, config, None)
 }
 
@@ -244,17 +254,25 @@ pub fn run_multi(inputs: &MultiRunInputs<'_>, config: &EngineConfig) -> Vec<RunR
 pub fn run_multi_traced(
     inputs: &MultiRunInputs<'_>,
     config: &EngineConfig,
-) -> (Vec<RunResult>, RunTrace) {
+) -> Result<(Vec<RunResult>, RunTrace), SimError> {
     let mut trace = RunTrace::default();
-    let results = run_multi_impl(inputs, config, Some(&mut trace));
-    (results, trace)
+    let results = run_multi_impl(inputs, config, Some(&mut trace))?;
+    Ok((results, trace))
 }
 
 fn run_multi_impl(
     inputs: &MultiRunInputs<'_>,
     config: &EngineConfig,
     mut trace: Option<&mut RunTrace>,
-) -> Vec<RunResult> {
+) -> Result<Vec<RunResult>, SimError> {
+    // Transient faults kill the whole measurement window before any
+    // result is produced; a retry with a fresh seed re-draws the schedule.
+    if config.faults.transient_faults(inputs.seed) {
+        if pandia_obs::enabled() {
+            pandia_obs::count("sim.faults_injected", 1);
+        }
+        return Err(SimError::TransientFault { seed: inputs.seed });
+    }
     let spec = inputs.spec;
     let n_groups = inputs.groups.len();
     let mut entities: Vec<Entity> = Vec::new();
@@ -696,8 +714,13 @@ fn run_multi_impl(
         pandia_obs::observe("sim.entities_per_run", entities.len() as f64);
     }
 
-    // Assemble per-group results with seeded measurement noise.
-    inputs
+    // Assemble per-group results with seeded measurement noise plus any
+    // injected measurement corruption. With the default (empty) fault
+    // plan every injected factor is exactly 1.0 and no channel is zeroed,
+    // so the arithmetic below is bit-identical to the fault-free engine.
+    let faults = &config.faults;
+    let mut faults_injected = 0u64;
+    let results: Vec<RunResult> = inputs
         .groups
         .iter()
         .enumerate()
@@ -708,15 +731,25 @@ fn run_multi_impl(
                 .contexts()
                 .iter()
                 .fold(g as u64, |acc, c| rng::splitmix64(acc ^ (c.0 as u64 + 0x51)));
+            let group_hash =
+                rng::splitmix64(rng::hash_str(&group.behavior.name) ^ placement_hash);
             let noise_h = rng::mix(
                 inputs.seed,
                 rng::hash_str(&group.behavior.name),
                 placement_hash,
                 0xE,
             );
-            let noise = 1.0 + config.noise_sigma * rng::gaussian_f64(noise_h);
+            let regime = faults.noise_regime_factor(inputs.seed, group_hash);
+            let burst = faults.interference_multiplier(inputs.seed, group_hash);
+            if regime > 1.0 {
+                faults_injected += 1;
+            }
+            if burst > 1.0 {
+                faults_injected += 1;
+            }
+            let noise = 1.0 + config.noise_sigma * regime * rng::gaussian_f64(noise_h);
             let raw = gs.finish_time.unwrap_or(elapsed);
-            let group_elapsed = (raw * noise).max(f64::MIN_POSITIVE);
+            let group_elapsed = (raw * noise * burst).max(f64::MIN_POSITIVE);
             let per_thread_busy = entities
                 .iter()
                 .filter(|e| e.is_worker() && e.group == g)
@@ -728,14 +761,62 @@ fn run_multi_impl(
                     }
                 })
                 .collect();
-            RunResult {
-                elapsed: group_elapsed,
-                counters: gs.counters.clone(),
-                per_thread_busy,
-            }
+            let mut counters = gs.counters.clone();
+            faults_injected +=
+                apply_counter_dropout(faults, inputs.seed, group_hash, &mut counters);
+            RunResult { elapsed: group_elapsed, counters, per_thread_busy }
         })
-        .collect()
+        .collect();
+    if faults_injected > 0 && pandia_obs::enabled() {
+        pandia_obs::count("sim.faults_injected", faults_injected);
+    }
+    Ok(results)
 }
+
+/// Zeroes counter channels the fault plan drops for this run, returning
+/// how many channels were lost. Channel indices are part of the
+/// deterministic schedule (see [`crate::fault::DROPOUT_CHANNELS`]).
+fn apply_counter_dropout(
+    plan: &FaultPlan,
+    seed: u64,
+    group_hash: u64,
+    counters: &mut Counters,
+) -> u64 {
+    if plan.dropout_rate <= 0.0 {
+        return 0;
+    }
+    let mut dropped = 0;
+    if plan.drops_channel(seed, group_hash, 0) {
+        counters.instructions = 0.0;
+        dropped += 1;
+    }
+    if plan.drops_channel(seed, group_hash, 1) {
+        counters.l1_bytes = 0.0;
+        dropped += 1;
+    }
+    if plan.drops_channel(seed, group_hash, 2) {
+        counters.l2_bytes = 0.0;
+        dropped += 1;
+    }
+    if plan.drops_channel(seed, group_hash, 3) {
+        counters.l3_bytes = 0.0;
+        dropped += 1;
+    }
+    if plan.drops_channel(seed, group_hash, 4) {
+        for b in &mut counters.dram_bytes {
+            *b = 0.0;
+        }
+        dropped += 1;
+    }
+    if plan.drops_channel(seed, group_hash, 5) {
+        counters.interconnect_bytes = 0.0;
+        dropped += 1;
+    }
+    dropped
+}
+
+// The dropout gates above must cover exactly the advertised channels.
+const _: () = assert!(crate::fault::DROPOUT_CHANNELS == 6);
 
 /// Convenience: the context a stress kernel would use to saturate a
 /// resource "near" a given core (same core, next SMT slot when available).
@@ -772,7 +853,7 @@ mod tests {
             data_placement: None,
             seed,
         };
-        run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() })
+        run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() }).expect("fault-free run")
     }
 
     #[test]
@@ -853,7 +934,7 @@ mod tests {
                 data_placement: None,
                 seed: 5,
             };
-            run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() })
+            run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() }).expect("fault-free run")
         };
         let t_static = run_with(Scheduling::Static).elapsed;
         let t_dynamic = run_with(Scheduling::Dynamic).elapsed;
@@ -1078,7 +1159,7 @@ mod tests {
             data_placement: None,
             seed: 26,
         };
-        let stressed = run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() });
+        let stressed = run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() }).expect("fault-free run");
         assert!(stressed.elapsed > alone.elapsed * 1.2, "SMT stressor slows the run");
         // Workload counters exclude the stressor's traffic.
         assert!(
@@ -1104,7 +1185,7 @@ mod tests {
                 data_placement: None,
                 seed: 27,
             };
-            run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() }).elapsed
+            run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() }).expect("fault-free run").elapsed
         };
         let idle_machine = mk(false, true);
         let filled = mk(true, true);
@@ -1132,7 +1213,7 @@ mod tests {
                 data_placement: None,
                 seed: 28,
             };
-            run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() }).elapsed
+            run(&inputs, &EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() }).expect("fault-free run").elapsed
         };
         let t_static = time_for(Scheduling::Static);
         // Mostly-static: the slowed thread's private share dominates, so
@@ -1143,6 +1224,90 @@ mod tests {
             t_dynamic < t_mostly_static && t_mostly_static < t_static,
             "{t_dynamic} < {t_mostly_static} < {t_static}"
         );
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_byte_identical() {
+        // A plan whose rates are all zero must not perturb a run even when
+        // its scale knobs are extreme: the draws are gated on the rates.
+        let spec = MachineSpec::x3_2();
+        let mut b = Behavior::compute("ident", 30.0, 4.0);
+        b.burst = crate::behavior::BurstProfile::bursty(0.4, 2.0);
+        let p = Placement::packed(&spec, 4).unwrap();
+        let inputs = RunInputs {
+            spec: &spec,
+            behavior: &b,
+            placement: &p,
+            stressors: &[],
+            fill_background: true,
+            turbo: true,
+            data_placement: None,
+            seed: 99,
+        };
+        let clean = run(&inputs, &EngineConfig::default()).expect("fault-free run");
+        let zero_plan = FaultPlan {
+            transient_rate: 0.0,
+            dropout_rate: 0.0,
+            interference_rate: 0.0,
+            interference_scale: 1e9,
+            high_noise_rate: 0.0,
+            high_noise_factor: 1e9,
+        };
+        let gated = run(
+            &inputs,
+            &EngineConfig { faults: zero_plan, ..EngineConfig::default() },
+        )
+        .expect("zero-rate plan injects nothing");
+        assert_eq!(clean, gated);
+    }
+
+    #[test]
+    fn fault_schedules_are_deterministic_and_seed_dependent() {
+        let spec = MachineSpec::x3_2();
+        let b = Behavior::compute("chaos", 10.0, 1.0);
+        let p = Placement::spread(&spec, 2).unwrap();
+        let config = EngineConfig {
+            faults: FaultPlan::with_intensity(0.8),
+            ..EngineConfig::default()
+        };
+        let mut transients = 0;
+        let mut dropouts = 0;
+        let mut bursts = 0;
+        for seed in 0..60u64 {
+            let inputs = RunInputs {
+                spec: &spec,
+                behavior: &b,
+                placement: &p,
+                stressors: &[],
+                fill_background: true,
+                turbo: true,
+                data_placement: None,
+                seed,
+            };
+            let first = run(&inputs, &config);
+            let second = run(&inputs, &config);
+            assert_eq!(first, second, "identical seeds must replay the schedule");
+            match first {
+                Err(SimError::TransientFault { seed: s }) => {
+                    assert_eq!(s, seed);
+                    transients += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+                Ok(r) => {
+                    if r.counters.instructions == 0.0 {
+                        dropouts += 1;
+                    }
+                    let clean = run(&inputs, &EngineConfig::default())
+                        .expect("fault-free run");
+                    if r.elapsed > clean.elapsed * 1.05 {
+                        bursts += 1;
+                    }
+                }
+            }
+        }
+        assert!(transients > 0, "no transient faults in 60 seeds");
+        assert!(dropouts > 0, "no counter dropouts in 60 seeds");
+        assert!(bursts > 0, "no interference bursts in 60 seeds");
     }
 
     #[test]

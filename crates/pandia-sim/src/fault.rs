@@ -1,0 +1,248 @@
+//! Seeded, deterministic fault injection for the simulator.
+//!
+//! Real counter pipelines are noisy and lossy: perf-event multiplexing
+//! drops channels, co-tenants inject interference bursts, thermal events
+//! shift the noise floor, and occasionally a measurement window is lost
+//! outright. A [`FaultPlan`] makes the simulated platform hostile in
+//! exactly these ways so the measurement *consumers* (the profiler, the
+//! online controller) can be hardened and tested against them.
+//!
+//! Every fault decision is a pure function of the run seed and a fault
+//! salt, drawn through the stateless [`crate::rng`] hashes. That gives two
+//! properties the test suite relies on:
+//!
+//! * identical seeds reproduce identical fault schedules, independent of
+//!   evaluation order or worker count;
+//! * a plan with every rate at zero ([`FaultPlan::none`], the default)
+//!   is *byte-identical* to a simulator without the fault layer — the
+//!   draws are hashes, not stream consumption, so skipping them perturbs
+//!   nothing.
+
+use crate::rng;
+
+/// Stream salt separating fault draws from burst/noise draws.
+pub(crate) const FAULT_SALT: u64 = 0xFA17_FA17_FA17_FA17;
+
+/// Per-run fault channels a [`FaultPlan`] can zero out.
+///
+/// Indices feed the dropout hash, so the set and order are part of the
+/// deterministic schedule.
+pub(crate) const DROPOUT_CHANNELS: usize = 6;
+
+/// Deterministic fault-injection schedule for simulated runs.
+///
+/// All rates are probabilities in `[0, 1]` evaluated independently per
+/// run (and per group for multi-workload runs). The default plan injects
+/// nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that a run aborts with [`SimError::TransientFault`]
+    /// before producing any result.
+    pub transient_rate: f64,
+    /// Probability that each counter channel of a group's result reads
+    /// zero (counter multiplexing dropped it for the whole window).
+    pub dropout_rate: f64,
+    /// Probability that a group's elapsed time is inflated by an
+    /// interference burst.
+    pub interference_rate: f64,
+    /// Maximum extra slowdown of an interference burst: the sampled
+    /// multiplier is `1 + u * interference_scale` with `u` uniform.
+    pub interference_scale: f64,
+    /// Probability that a run lands in the heteroscedastic high-noise
+    /// regime, where measurement noise is amplified.
+    pub high_noise_rate: f64,
+    /// Noise-sigma amplification inside the high-noise regime.
+    pub high_noise_factor: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, byte-identical to the pre-fault engine.
+    pub fn none() -> Self {
+        Self {
+            transient_rate: 0.0,
+            dropout_rate: 0.0,
+            interference_rate: 0.0,
+            interference_scale: 1.5,
+            high_noise_rate: 0.0,
+            high_noise_factor: 12.0,
+        }
+    }
+
+    /// A plan scaled by a single intensity knob in `[0, 1]`, used by the
+    /// chaos sweeps: all four fault families grow together.
+    pub fn with_intensity(intensity: f64) -> Self {
+        let i = intensity.clamp(0.0, 1.0);
+        Self {
+            // Keep outright run loss rarer than corruption: a lost run is
+            // retryable, a corrupted one silently poisons the model.
+            transient_rate: 0.15 * i,
+            dropout_rate: 0.20 * i,
+            interference_rate: 0.35 * i,
+            interference_scale: 1.5,
+            high_noise_rate: 0.40 * i,
+            high_noise_factor: 12.0,
+        }
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn is_none(&self) -> bool {
+        self.transient_rate <= 0.0
+            && self.dropout_rate <= 0.0
+            && self.interference_rate <= 0.0
+            && self.high_noise_rate <= 0.0
+    }
+
+    /// Whether the run as a whole is lost to a transient fault.
+    pub(crate) fn transient_faults(&self, seed: u64) -> bool {
+        self.transient_rate > 0.0
+            && rng::unit_f64(rng::mix(seed, FAULT_SALT, 0x7F, 0x1)) < self.transient_rate
+    }
+
+    /// Whether counter channel `channel` of group `group_hash` drops out.
+    pub(crate) fn drops_channel(&self, seed: u64, group_hash: u64, channel: u64) -> bool {
+        self.dropout_rate > 0.0
+            && rng::unit_f64(rng::mix(seed ^ FAULT_SALT, group_hash, channel, 0x2))
+                < self.dropout_rate
+    }
+
+    /// Elapsed-time multiplier from an interference burst (1.0 = none).
+    pub(crate) fn interference_multiplier(&self, seed: u64, group_hash: u64) -> f64 {
+        if self.interference_rate <= 0.0 {
+            return 1.0;
+        }
+        let gate = rng::mix(seed ^ FAULT_SALT, group_hash, 0xB0, 0x3);
+        if rng::unit_f64(gate) >= self.interference_rate {
+            return 1.0;
+        }
+        let draw = rng::mix(seed ^ FAULT_SALT, group_hash, 0xB1, 0x4);
+        1.0 + self.interference_scale.max(0.0) * rng::unit_f64(draw)
+    }
+
+    /// Noise-sigma multiplier for the (possibly high-noise) regime.
+    pub(crate) fn noise_regime_factor(&self, seed: u64, group_hash: u64) -> f64 {
+        if self.high_noise_rate > 0.0
+            && rng::unit_f64(rng::mix(seed ^ FAULT_SALT, group_hash, 0xC0, 0x5))
+                < self.high_noise_rate
+        {
+            self.high_noise_factor.max(1.0)
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Errors raised by the simulation engine itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The run was lost to an injected transient fault; retrying with a
+    /// fresh seed re-draws the schedule.
+    TransientFault {
+        /// The seed whose fault schedule killed the run.
+        seed: u64,
+    },
+    /// The engine violated its own contract (e.g. produced a different
+    /// number of results than groups submitted).
+    Internal {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::TransientFault { seed } => {
+                write!(f, "injected transient fault for seed {seed:#x}")
+            }
+            Self::Internal { reason } => write!(f, "engine contract violation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<SimError> for pandia_topology::PlatformError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::TransientFault { seed } => pandia_topology::PlatformError::Transient {
+                reason: format!("injected transient fault for seed {seed:#x}"),
+            },
+            SimError::Internal { reason } => {
+                pandia_topology::PlatformError::Internal { reason }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        for seed in 0..200u64 {
+            assert!(!plan.transient_faults(seed));
+            assert!(!plan.drops_channel(seed, 7, 3));
+            assert_eq!(plan.interference_multiplier(seed, 7), 1.0);
+            assert_eq!(plan.noise_regime_factor(seed, 7), 1.0);
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let plan = FaultPlan::with_intensity(0.6);
+        for seed in 0..500u64 {
+            assert_eq!(plan.transient_faults(seed), plan.transient_faults(seed));
+            assert_eq!(
+                plan.interference_multiplier(seed, 3),
+                plan.interference_multiplier(seed, 3)
+            );
+            assert_eq!(plan.drops_channel(seed, 3, 1), plan.drops_channel(seed, 3, 1));
+        }
+    }
+
+    #[test]
+    fn rates_are_hit_approximately() {
+        let plan = FaultPlan::with_intensity(1.0);
+        let n = 20_000u64;
+        let transients = (0..n).filter(|&s| plan.transient_faults(s)).count() as f64;
+        assert!((transients / n as f64 - plan.transient_rate).abs() < 0.01);
+        let drops = (0..n).filter(|&s| plan.drops_channel(s, 1, 0)).count() as f64;
+        assert!((drops / n as f64 - plan.dropout_rate).abs() < 0.01);
+        let bursts =
+            (0..n).filter(|&s| plan.interference_multiplier(s, 1) > 1.0).count() as f64;
+        assert!((bursts / n as f64 - plan.interference_rate).abs() < 0.01);
+    }
+
+    #[test]
+    fn interference_multiplier_is_bounded() {
+        let plan = FaultPlan::with_intensity(1.0);
+        for seed in 0..2000u64 {
+            let m = plan.interference_multiplier(seed, 0);
+            assert!((1.0..=1.0 + plan.interference_scale).contains(&m));
+        }
+    }
+
+    #[test]
+    fn intensity_zero_is_none() {
+        assert!(FaultPlan::with_intensity(0.0).is_none());
+        assert!(!FaultPlan::with_intensity(0.3).is_none());
+    }
+
+    #[test]
+    fn errors_map_to_platform_errors() {
+        let e: pandia_topology::PlatformError = SimError::TransientFault { seed: 7 }.into();
+        assert!(e.is_transient());
+        let e: pandia_topology::PlatformError =
+            SimError::Internal { reason: "x".into() }.into();
+        assert!(!e.is_transient());
+    }
+}

@@ -30,11 +30,13 @@ pub mod cache;
 pub mod dvfs;
 pub mod engine;
 pub mod equilibrium;
+pub mod fault;
 pub mod machine;
 pub mod rng;
 pub mod stress;
 pub mod trace;
 
 pub use behavior::{Behavior, BurstProfile, Scheduling, UnitDemand};
+pub use fault::{FaultPlan, SimError};
 pub use machine::{SimConfig, SimMachine};
 pub use trace::{RunTrace, TraceSegment, DEFAULT_BOTTLENECK_UTIL};

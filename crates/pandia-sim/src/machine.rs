@@ -30,6 +30,12 @@ impl SimConfig {
     pub fn noiseless() -> Self {
         Self { engine: EngineConfig { noise_sigma: 0.0, ..EngineConfig::default() } }
     }
+
+    /// Returns this configuration with the given fault-injection plan.
+    pub fn with_faults(mut self, faults: crate::fault::FaultPlan) -> Self {
+        self.engine.faults = faults;
+        self
+    }
 }
 
 /// A simulated machine implementing the platform interface.
@@ -100,7 +106,7 @@ impl SimMachine {
             turbo: req.turbo,
             seed: req.seed,
         };
-        Ok(engine::run_multi_traced(&inputs, &self.config.engine))
+        engine::run_multi_traced(&inputs, &self.config.engine).map_err(PlatformError::from)
     }
 
     fn validate_multi(&self, req: &MultiRunRequest<Behavior>) -> Result<(), PlatformError> {
@@ -186,7 +192,7 @@ impl Platform for SimMachine {
             data_placement: req.data_placement,
             seed: req.seed,
         };
-        Ok(engine::run(&inputs, &self.config.engine))
+        engine::run(&inputs, &self.config.engine).map_err(PlatformError::from)
     }
 
     fn run_multi(
@@ -213,7 +219,7 @@ impl Platform for SimMachine {
             turbo: req.turbo,
             seed: req.seed,
         };
-        Ok(engine::run_multi(&inputs, &self.config.engine))
+        engine::run_multi(&inputs, &self.config.engine).map_err(PlatformError::from)
     }
 }
 

@@ -183,6 +183,21 @@ pub enum PlatformError {
         /// What the implementation got wrong.
         reason: String,
     },
+    /// The run failed for a reason expected to clear on retry (a counter
+    /// multiplexing glitch, a perf-event buffer overflow, an interrupted
+    /// measurement window). Callers may re-issue the request, typically
+    /// with a fresh seed.
+    Transient {
+        /// What went wrong with this attempt.
+        reason: String,
+    },
+}
+
+impl PlatformError {
+    /// Whether retrying the same request (with a fresh seed) may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::Transient { .. })
+    }
 }
 
 impl core::fmt::Display for PlatformError {
@@ -194,6 +209,7 @@ impl core::fmt::Display for PlatformError {
                 write!(f, "stressor pinned to occupied context {ctx}")
             }
             Self::Internal { reason } => write!(f, "platform contract violation: {reason}"),
+            Self::Transient { reason } => write!(f, "transient platform fault: {reason}"),
         }
     }
 }

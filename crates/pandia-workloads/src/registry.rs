@@ -83,6 +83,28 @@ fn d(instr: f64, l1: f64, l2: f64, l3: f64, dram: f64) -> UnitDemand {
     UnitDemand { instr, l1, l2, l3, dram }
 }
 
+/// The NPO hash join entry, shared between [`paper_suite`] and the
+/// single-threaded §6.3 variant in [`npo_single_threaded`].
+fn npo_entry() -> WorkloadEntry {
+    WorkloadEntry {
+        name: "NPO",
+        suite: Suite::Join,
+        set: EvalSet::Evaluation,
+        description: "No partitioning, optimized hash join",
+        behavior: behavior(
+            "NPO",
+            25.0,
+            0.015,
+            d(2.5, 15.0, 7.0, 7.0, 8.0),
+            300.0,
+            BurstProfile::bursty(0.6, 1.3),
+            0.9,
+            0.002,
+            DataPlacement::Interleave,
+        ),
+    }
+}
+
 /// The full 22-workload suite of §6, development set first.
 pub fn paper_suite() -> Vec<WorkloadEntry> {
     // The paper controls memory placement with numactl during profiling
@@ -322,23 +344,7 @@ pub fn paper_suite() -> Vec<WorkloadEntry> {
                 Interleave,
             ),
         ),
-        e(
-            "NPO",
-            Suite::Join,
-            EvalSet::Evaluation,
-            "No partitioning, optimized hash join",
-            behavior(
-                "NPO",
-                25.0,
-                0.015,
-                d(2.5, 15.0, 7.0, 7.0, 8.0),
-                300.0,
-                BurstProfile::bursty(0.6, 1.3),
-                0.9,
-                0.002,
-                Interleave,
-            ),
-        ),
+        npo_entry(),
         e(
             "PRH",
             Suite::Join,
@@ -509,8 +515,7 @@ pub fn equake() -> WorkloadEntry {
 /// Single-threaded NPO: one thread is active, the others stay idle after
 /// initialization (§6.3, Figure 13a).
 pub fn npo_single_threaded() -> WorkloadEntry {
-    let base = paper_suite().into_iter().find(|w| w.name == "NPO").expect("NPO registered");
-    let mut b = base.behavior;
+    let mut b = npo_entry().behavior;
     b.name = "NPO-1T".into();
     b.active_threads = Some(1);
     b.data_placement = DataPlacement::FirstTouch;

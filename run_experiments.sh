@@ -21,4 +21,5 @@ $B/coschedule_validation x4-2  > results/log_coschedule.txt 2>&1
 $B/robustness x4-2 8           > results/log_robustness.txt 2>&1
 $B/fig12_foursocket           > results/log_fig12.txt 2>&1
 $B/summary_table              > results/log_summary.txt 2>&1
+$B/fig15_chaos x3-2 3          > results/log_fig15_chaos.txt 2>&1
 echo ALL_EXPERIMENTS_DONE
