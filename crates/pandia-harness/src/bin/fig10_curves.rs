@@ -2,7 +2,11 @@
 //! X5-2 (Figure 1 covers MD; this binary regenerates all 22 curves).
 //!
 //! `cargo run --release -p pandia-harness --bin fig10_curves [--quick]
-//! [--jobs N] [--no-cache] [machine]`
+//! [--jobs N] [--no-cache] [--naive-sim] [machine]`
+//!
+//! `--naive-sim` disables the simulator's incremental fast path (solve
+//! reuse + steady-segment coalescing) so CI can assert both engine paths
+//! emit byte-identical results.
 
 use std::time::Instant;
 
@@ -13,14 +17,22 @@ use pandia_harness::{
     },
     metrics, report, MachineContext,
 };
+use pandia_sim::{SimConfig, SimMachine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _telemetry = telemetry_from_args();
     let quiet = quiet_from_args();
     let coverage = Coverage::from_args();
     let exec = exec_from_args();
+    let naive = std::env::args().any(|a| a == "--naive-sim");
     let machine = positional_args().into_iter().next().unwrap_or_else(|| "x5-2".into());
-    let ctx = MachineContext::by_name(&machine)?;
+    let mut ctx = MachineContext::by_name(&machine)?;
+    if naive {
+        ctx.platform = SimMachine::with_config(
+            ctx.spec.clone(),
+            SimConfig::default().with_incremental(false),
+        );
+    }
     let placements = coverage.placements(&ctx);
     let workloads = runnable_workloads(&ctx, pandia_workloads::paper_suite());
     if !quiet {

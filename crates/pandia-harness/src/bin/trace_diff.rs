@@ -1,0 +1,73 @@
+//! Diff two `--trace-out` captures of the same experiment.
+//!
+//! `cargo run --release -p pandia-harness --bin trace_diff -- \
+//!     BASELINE.json CANDIDATE.json [--fail-above PCT]`
+//!
+//! Spans are paired by their stable sequence numbers and aggregated into
+//! per-phase wall-time deltas (see `pandia_harness::tracediff`). With
+//! `--fail-above PCT` the exit code turns red when any phase slowed down
+//! by more than the threshold, so CI can gate on it.
+//!
+//! Exit codes: 0 = within threshold (or no threshold), 1 = a phase
+//! regressed past `--fail-above`, 2 = usage or input error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pandia_harness::tracediff;
+
+fn parse_args() -> Result<(PathBuf, PathBuf, Option<f64>), String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut fail_above: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--fail-above" {
+            let value = args
+                .next()
+                .ok_or_else(|| "--fail-above requires a percentage".to_string())?;
+            let pct = value
+                .parse::<f64>()
+                .map_err(|e| format!("--fail-above {value}: {e}"))?;
+            fail_above = Some(pct);
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag {arg}"));
+        } else {
+            paths.push(PathBuf::from(arg));
+        }
+    }
+    match <[PathBuf; 2]>::try_from(paths) {
+        Ok([base, cand]) => Ok((base, cand, fail_above)),
+        Err(_) => {
+            Err("usage: trace_diff BASELINE.json CANDIDATE.json [--fail-above PCT]".into())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let (base, cand, fail_above) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("trace_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diff = match tracediff::diff_trace_files(&base, &cand) {
+        Ok(diff) => diff,
+        Err(e) => {
+            eprintln!("trace_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", diff.render());
+    if let Some(threshold) = fail_above {
+        let worst = diff.worst_regression_pct();
+        if worst > threshold {
+            eprintln!(
+                "trace_diff: worst regression {worst:.1}% exceeds --fail-above {threshold}%"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("worst regression {worst:.1}% within --fail-above {threshold}%");
+    }
+    ExitCode::SUCCESS
+}

@@ -8,6 +8,8 @@
 //!   good on the 16-core X3-2 but visibly degrade on the 36-core X5-2.
 
 use pandia_core::PredictorConfig;
+use pandia_sim::Behavior;
+use pandia_topology::{CanonicalPlacement, RunRequest};
 use pandia_workloads::{equake, npo_single_threaded};
 
 use crate::{
@@ -16,6 +18,29 @@ use crate::{
 };
 
 use super::{Coverage, ExpResult};
+
+/// Re-runs one representative placement with segment tracing and bridges
+/// the result onto the telemetry sim-time track (lane per panel). A no-op
+/// unless telemetry is installed, so ordinary runs pay nothing and the
+/// emitted result files never change.
+fn emit_sim_trace(
+    ctx: &mut MachineContext,
+    behavior: &Behavior,
+    placements: &[CanonicalPlacement],
+    lane: u32,
+    label: &str,
+) -> ExpResult<()> {
+    if !pandia_obs::enabled() {
+        return Ok(());
+    }
+    let Some(canonical) = placements.last() else {
+        return Ok(());
+    };
+    let placement = canonical.instantiate(&ctx.spec)?;
+    let (_, trace) = ctx.platform.run_traced(&RunRequest::new(behavior.clone(), placement))?;
+    trace.emit_telemetry(lane, label);
+    Ok(())
+}
 
 /// The three panels of Figure 13.
 #[derive(Debug, Clone)]
@@ -48,14 +73,18 @@ pub fn run(coverage: Coverage) -> ExpResult<LimitsResult> {
         &config,
     )?;
 
+    emit_sim_trace(&mut x3, &npo1.behavior, &placements_x3, 0, "fig13a npo-1t x3-2")?;
+
     let eq = equake();
     let eq_desc_x3 = x3.profile(&eq)?.description;
     let equake_x3 = measure_curve(&mut x3, &eq.behavior, &eq_desc_x3, &placements_x3, &config)?;
+    emit_sim_trace(&mut x3, &eq.behavior, &placements_x3, 1, "fig13b equake x3-2")?;
 
     let mut x5 = MachineContext::x5_2()?;
     let placements_x5 = coverage.placements(&x5);
     let eq_desc_x5 = x5.profile(&eq)?.description;
     let equake_x5 = measure_curve(&mut x5, &eq.behavior, &eq_desc_x5, &placements_x5, &config)?;
+    emit_sim_trace(&mut x5, &eq.behavior, &placements_x5, 2, "fig13c equake x5-2")?;
 
     Ok(LimitsResult {
         npo_single,

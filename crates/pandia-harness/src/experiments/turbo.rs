@@ -60,7 +60,7 @@ pub fn run(ctx: &mut MachineContext) -> ExpResult<TurboResult> {
     let max_threads = ctx.description.shape.total_contexts();
     let workload = ctx.platform.stress_workload(StressKind::Cpu);
     let mut series = Vec::new();
-    for (label, turbo, background) in configs {
+    for (lane, (label, turbo, background)) in configs.into_iter().enumerate() {
         let mut rates = Vec::with_capacity(max_threads);
         for n in 1..=max_threads {
             let placement = figure14_placement(ctx, n)?;
@@ -70,6 +70,17 @@ pub fn run(ctx: &mut MachineContext) -> ExpResult<TurboResult> {
             req.seed = n as u64;
             let result = ctx.platform.run(&req)?;
             rates.push(result.counters.instructions / result.elapsed);
+        }
+        // With telemetry installed, re-run the fully-occupied point with
+        // segment tracing and bridge it onto the sim-time track, one lane
+        // per configuration. Result files are unaffected.
+        if pandia_obs::enabled() {
+            let mut req = RunRequest::new(workload.clone(), figure14_placement(ctx, max_threads)?);
+            req.turbo = turbo;
+            req.fill_background = background;
+            req.seed = max_threads as u64;
+            let (_, trace) = ctx.platform.run_traced(&req)?;
+            trace.emit_telemetry(lane as u32, label);
         }
         series.push(TurboSeries { label: label.to_string(), instr_rate: rates });
     }

@@ -13,13 +13,17 @@
 //! * [`experiments`] — one driver per figure/table; each binary in
 //!   `src/bin/` wraps one driver.
 //! * [`report`] — plain-text tables and CSV emission under `results/`.
+//! * [`tracediff`] — span-by-span diffing of two `--trace-out` captures
+//!   (the `trace_diff` binary), for catching wall-time regressions.
 
 pub mod context;
 pub mod experiments;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod tracediff;
 
 pub use context::MachineContext;
 pub use metrics::{best_placement_gap, error_stats, ErrorStats};
 pub use runner::{measure_curve, CurvePoint, PlacementCurve};
+pub use tracediff::{diff_trace_files, diff_traces, PhaseDelta, TraceDiff};

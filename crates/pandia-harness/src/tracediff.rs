@@ -1,0 +1,220 @@
+//! Diffing two Chrome-trace captures of the same experiment.
+//!
+//! Span sequence numbers are stable across runs of the same experiment
+//! (they count spans in logical creation order), so two `--trace-out`
+//! captures taken at different commits can be paired span-by-span and
+//! aggregated into per-phase wall-time deltas. This is the perf-regression
+//! view the telemetry layer was built for: a regression shows up as a
+//! positive delta on the phase that slowed down, in review rather than
+//! after merge.
+//!
+//! Only wall-clock spans (Chrome trace `pid` 1) participate; the pid-2
+//! simulated-time track describes the modeled machine, not harness
+//! performance. Spans are paired by `(seq, cat, name)` — a sequence
+//! number whose identity changed between captures means the two runs
+//! diverged structurally and the span is reported as unmatched instead
+//! of being compared.
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+
+/// One wall-clock span extracted from a capture.
+struct WallSpan {
+    cat: String,
+    name: String,
+    dur_us: f64,
+}
+
+/// Aggregated wall time of one phase (a `cat/name` span identity) across
+/// both captures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDelta {
+    /// Phase label, `cat/name`.
+    pub phase: String,
+    /// Matched span pairs aggregated into this row.
+    pub spans: usize,
+    /// Total wall time in the baseline capture, microseconds.
+    pub base_us: f64,
+    /// Total wall time in the candidate capture, microseconds.
+    pub cand_us: f64,
+}
+
+impl PhaseDelta {
+    /// Absolute wall-time delta (candidate minus baseline), microseconds.
+    pub fn delta_us(&self) -> f64 {
+        self.cand_us - self.base_us
+    }
+
+    /// Relative delta in percent of the baseline. A phase with no
+    /// measurable baseline time reports zero rather than an infinity.
+    pub fn delta_pct(&self) -> f64 {
+        if self.base_us > 0.0 {
+            100.0 * (self.cand_us - self.base_us) / self.base_us
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The result of diffing two captures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDiff {
+    /// Per-phase aggregates, in phase-label order.
+    pub phases: Vec<PhaseDelta>,
+    /// Span pairs matched by `(seq, cat, name)`.
+    pub matched: usize,
+    /// Spans present only in the baseline capture (or whose identity
+    /// changed).
+    pub only_base: usize,
+    /// Spans present only in the candidate capture (or whose identity
+    /// changed).
+    pub only_cand: usize,
+}
+
+impl TraceDiff {
+    /// The largest per-phase slowdown in percent, zero when every phase
+    /// held steady or improved.
+    pub fn worst_regression_pct(&self) -> f64 {
+        self.phases.iter().map(PhaseDelta::delta_pct).fold(0.0, f64::max)
+    }
+
+    /// Renders the diff as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .phases
+            .iter()
+            .map(|p| p.phase.len())
+            .chain(std::iter::once("phase".len()))
+            .max()
+            .unwrap_or(5);
+        out.push_str(&format!(
+            "{:<width$}  {:>6}  {:>14}  {:>14}  {:>12}  {:>8}\n",
+            "phase", "spans", "baseline(ms)", "candidate(ms)", "delta(ms)", "delta%"
+        ));
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<width$}  {:>6}  {:>14.3}  {:>14.3}  {:>+12.3}  {:>+7.1}%\n",
+                p.phase,
+                p.spans,
+                p.base_us / 1000.0,
+                p.cand_us / 1000.0,
+                p.delta_us() / 1000.0,
+                p.delta_pct(),
+            ));
+        }
+        out.push_str(&format!(
+            "matched {} span pair(s); {} only in baseline; {} only in candidate\n",
+            self.matched, self.only_base, self.only_cand
+        ));
+        out
+    }
+}
+
+/// Looks up a member of a JSON object value by key.
+fn field<'a>(value: &'a Value, name: &str) -> Option<&'a Value> {
+    value.as_object()?.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// The value as a non-negative integer, if it is one.
+fn as_u64(value: &Value) -> Option<u64> {
+    match value {
+        Value::Number(serde::Number::PosInt(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Extracts the wall-clock spans of a capture, keyed by sequence number.
+fn wall_spans(doc: &Value, label: &str) -> Result<BTreeMap<u64, WallSpan>, String> {
+    if doc.as_object().is_none() {
+        return Err(format!("{label}: not a JSON object"));
+    }
+    let schema = field(doc, "otherData")
+        .and_then(|o| field(o, "schema"))
+        .and_then(Value::as_str)
+        .unwrap_or("<missing>");
+    if schema != pandia_obs::TRACE_SCHEMA {
+        return Err(format!(
+            "{label}: schema {schema:?}, expected {:?} (is this a --trace-out capture?)",
+            pandia_obs::TRACE_SCHEMA
+        ));
+    }
+    let events = field(doc, "traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{label}: missing traceEvents array"))?;
+    let mut spans = BTreeMap::new();
+    for event in events {
+        if field(event, "ph").and_then(Value::as_str) != Some("X") {
+            continue;
+        }
+        if field(event, "pid").and_then(as_u64) != Some(1) {
+            continue;
+        }
+        let Some(seq) = field(event, "args").and_then(|a| field(a, "seq")).and_then(as_u64)
+        else {
+            continue;
+        };
+        spans.insert(
+            seq,
+            WallSpan {
+                cat: field(event, "cat").and_then(Value::as_str).unwrap_or("?").to_string(),
+                name: field(event, "name").and_then(Value::as_str).unwrap_or("?").to_string(),
+                dur_us: field(event, "dur").and_then(Value::as_f64).unwrap_or(0.0),
+            },
+        );
+    }
+    Ok(spans)
+}
+
+/// Diffs two `--trace-out` captures (raw JSON document strings) of the
+/// same experiment.
+pub fn diff_traces(baseline: &str, candidate: &str) -> Result<TraceDiff, String> {
+    let base_doc: Value = serde_json::from_str(baseline)
+        .map_err(|e| format!("baseline: invalid JSON: {e}"))?;
+    let cand_doc: Value = serde_json::from_str(candidate)
+        .map_err(|e| format!("candidate: invalid JSON: {e}"))?;
+    let base = wall_spans(&base_doc, "baseline")?;
+    let cand = wall_spans(&cand_doc, "candidate")?;
+
+    let mut phases: BTreeMap<String, PhaseDelta> = BTreeMap::new();
+    let mut matched = 0;
+    let mut only_base = 0;
+    for (seq, b) in &base {
+        match cand.get(seq) {
+            Some(c) if c.cat == b.cat && c.name == b.name => {
+                matched += 1;
+                let label = format!("{}/{}", b.cat, b.name);
+                let row = phases.entry(label.clone()).or_insert(PhaseDelta {
+                    phase: label,
+                    spans: 0,
+                    base_us: 0.0,
+                    cand_us: 0.0,
+                });
+                row.spans += 1;
+                row.base_us += b.dur_us;
+                row.cand_us += c.dur_us;
+            }
+            _ => only_base += 1,
+        }
+    }
+    let only_cand = cand
+        .iter()
+        .filter(|(seq, c)| {
+            base.get(seq).is_none_or(|b| b.cat != c.cat || b.name != c.name)
+        })
+        .count();
+    Ok(TraceDiff { phases: phases.into_values().collect(), matched, only_base, only_cand })
+}
+
+/// Reads and diffs two capture files.
+pub fn diff_trace_files(
+    baseline: &std::path::Path,
+    candidate: &std::path::Path,
+) -> Result<TraceDiff, String> {
+    let base = std::fs::read_to_string(baseline)
+        .map_err(|e| format!("cannot read {}: {e}", baseline.display()))?;
+    let cand = std::fs::read_to_string(candidate)
+        .map_err(|e| format!("cannot read {}: {e}", candidate.display()))?;
+    diff_traces(&base, &cand)
+}

@@ -104,3 +104,88 @@ fn zero_fault_plan_leaves_goldens_byte_identical() {
         .expect("error sweep");
     check_or_bless("fig11_x3-2.csv", &report::error_csv(&bars.stats));
 }
+
+/// The incremental fast path (solve reuse + steady-segment coalescing,
+/// on by default) must be invisible in the committed outputs: running the
+/// same sweeps with `incremental` disabled must reproduce the fig10/fig11
+/// goldens byte for byte. Together with the default-config test above,
+/// this pins both engine paths to the same bytes.
+#[test]
+fn incremental_escape_hatch_leaves_goldens_byte_identical() {
+    let mut ctx = MachineContext::by_name("x3-2").expect("x3-2 preset");
+    ctx.platform = SimMachine::with_config(
+        ctx.spec.clone(),
+        SimConfig::default().with_incremental(false),
+    );
+    let placements = ctx.enumerator().sampled(&ctx.spec, 3);
+    let exec = ExecContext::new(2).with_cache(true);
+    let workloads: Vec<_> = WORKLOADS
+        .iter()
+        .map(|n| pandia_workloads::by_name(n).expect("registered workload"))
+        .collect();
+
+    for w in &workloads {
+        let curve = curves::workload_curve_with(&exec, &ctx, w, &placements)
+            .expect("placement sweep");
+        check_or_bless(
+            &format!("fig10_x3-2_{}.csv", w.name),
+            &report::curve_csv(&curve),
+        );
+    }
+    let bars = errors::error_bars_with(&exec, &ctx, &workloads, &placements)
+        .expect("error sweep");
+    check_or_bless("fig11_x3-2.txt", &report::error_table(
+        &format!("Figure 11 — errors on {}", bars.title),
+        &bars.stats,
+    ));
+    check_or_bless("fig11_x3-2.csv", &report::error_csv(&bars.stats));
+}
+
+/// Coalescing must never skip over an injected fault: with a nonzero
+/// [`FaultPlan`] armed, every segment boundary is preserved (the engine
+/// reports zero coalesced segments), while the same run without the plan
+/// coalesces freely. Run at the platform level so the whole
+/// request-to-engine plumbing is covered, not just the engine loop.
+#[test]
+fn armed_fault_plan_forces_segment_boundaries() {
+    use pandia_topology::{MultiRunRequest, Placement};
+
+    let ctx = MachineContext::by_name("x3-2").expect("x3-2 preset");
+    let workload = pandia_workloads::by_name("EP").expect("registered workload");
+    let behavior = workload.behavior.clone();
+    let placement = Placement::spread(&ctx.spec, 4).expect("4 threads fit");
+
+    let mut clean = SimMachine::with_config(ctx.spec.clone(), SimConfig::default());
+    let req = MultiRunRequest::new(vec![(behavior, placement)]);
+    let (_, clean_stats) = clean.run_multi_stats(&req).expect("fault-free run");
+    assert!(
+        clean_stats.segments_coalesced > 0,
+        "smooth fault-free run should coalesce: {clean_stats:?}"
+    );
+    assert!(
+        clean_stats.solves_skipped > 0,
+        "steady re-solves should hit the cache: {clean_stats:?}"
+    );
+
+    let mut chaotic = SimMachine::with_config(
+        ctx.spec.clone(),
+        SimConfig::default().with_faults(FaultPlan::with_intensity(0.4)),
+    );
+    // Scan a few seeds so at least one run survives the transient gate.
+    let mut surviving = 0;
+    for seed in 0..8u64 {
+        let seeded = MultiRunRequest { seed, ..req.clone() };
+        if let Ok((_, stats)) = chaotic.run_multi_stats(&seeded) {
+            surviving += 1;
+            assert_eq!(
+                stats.segments_coalesced, 0,
+                "seed {seed}: coalescing skipped past an armed fault plan: {stats:?}"
+            );
+            assert_eq!(
+                stats.segments, clean_stats.segments,
+                "seed {seed}: fault plan changed the segment schedule"
+            );
+        }
+    }
+    assert!(surviving > 0, "every seed hit the transient gate");
+}

@@ -1,0 +1,127 @@
+//! Unit and exit-code tests for the trace-diff harness, run against two
+//! synthetic `--trace-out` captures checked into `tests/fixtures/`.
+//!
+//! The fixtures model one experiment captured twice: two `harness/profile`
+//! spans slow down by 10%, the `sim/run` span regresses by 80%, one span
+//! changes identity between captures (seq 4), and the candidate gains a
+//! brand-new span (seq 5). Simulated-time (pid 2) spans and counter
+//! events must be ignored entirely.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use pandia_harness::{diff_trace_files, diff_traces};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn fixture_text(name: &str) -> String {
+    std::fs::read_to_string(fixture(name)).expect("fixture readable")
+}
+
+#[test]
+fn phases_aggregate_matched_spans_by_identity() {
+    let diff = diff_traces(&fixture_text("trace_a.json"), &fixture_text("trace_b.json"))
+        .expect("fixtures diff cleanly");
+
+    assert_eq!(diff.matched, 3, "seqs 1-3 pair up: {diff:?}");
+    assert_eq!(diff.only_base, 1, "seq 4 changed identity: {diff:?}");
+    assert_eq!(diff.only_cand, 2, "seq 4 changed identity, seq 5 is new: {diff:?}");
+
+    let labels: Vec<&str> = diff.phases.iter().map(|p| p.phase.as_str()).collect();
+    assert_eq!(labels, ["harness/profile", "sim/run"], "phase order is label order");
+
+    let profile = &diff.phases[0];
+    assert_eq!(profile.spans, 2);
+    assert_eq!(profile.base_us, 2000.0);
+    assert_eq!(profile.cand_us, 2200.0);
+    assert!((profile.delta_pct() - 10.0).abs() < 1e-9, "{}", profile.delta_pct());
+
+    let run = &diff.phases[1];
+    assert_eq!(run.spans, 1);
+    assert_eq!(run.base_us, 500.0);
+    assert_eq!(run.cand_us, 900.0);
+    assert!((run.delta_pct() - 80.0).abs() < 1e-9, "{}", run.delta_pct());
+}
+
+#[test]
+fn worst_regression_tracks_the_slowest_phase_only() {
+    let a = fixture_text("trace_a.json");
+    let b = fixture_text("trace_b.json");
+
+    let diff = diff_traces(&a, &b).expect("fixtures diff cleanly");
+    assert!(
+        (diff.worst_regression_pct() - 80.0).abs() < 1e-9,
+        "sim/run dominates: {}",
+        diff.worst_regression_pct()
+    );
+
+    // Reversed, every phase improves, so the worst regression clamps to 0.
+    let reversed = diff_traces(&b, &a).expect("fixtures diff cleanly");
+    assert_eq!(reversed.worst_regression_pct(), 0.0, "{reversed:?}");
+}
+
+#[test]
+fn file_diff_renders_an_aligned_table() {
+    let diff = diff_trace_files(&fixture("trace_a.json"), &fixture("trace_b.json"))
+        .expect("fixtures diff cleanly");
+    let table = diff.render();
+    assert!(table.contains("harness/profile"), "{table}");
+    assert!(table.contains("sim/run"), "{table}");
+    assert!(
+        table.contains("matched 3 span pair(s); 1 only in baseline; 2 only in candidate"),
+        "{table}"
+    );
+}
+
+#[test]
+fn rejects_non_trace_documents() {
+    let err = diff_traces(r#"{"not": "a trace"}"#, r#"{"also": "not"}"#)
+        .expect_err("schema check fires");
+    assert!(err.contains("baseline"), "{err}");
+    assert!(err.contains("pandia-trace-v1"), "{err}");
+}
+
+fn run_bin(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_trace_diff"))
+        .args(args)
+        .output()
+        .expect("trace_diff binary runs")
+}
+
+#[test]
+fn bin_exit_codes_follow_the_threshold() {
+    let a = fixture("trace_a.json");
+    let b = fixture("trace_b.json");
+    let (a, b) = (a.to_str().expect("utf-8 path"), b.to_str().expect("utf-8 path"));
+
+    // The worst phase regressed 80%: a 100% gate passes, a 50% gate fails.
+    let ok = run_bin(&[a, b, "--fail-above", "100"]);
+    assert_eq!(ok.status.code(), Some(0), "{ok:?}");
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(stdout.contains("sim/run"), "{stdout}");
+
+    let fail = run_bin(&[a, b, "--fail-above", "50"]);
+    assert_eq!(fail.status.code(), Some(1), "{fail:?}");
+    let stderr = String::from_utf8_lossy(&fail.stderr);
+    assert!(stderr.contains("exceeds"), "{stderr}");
+
+    // Without a threshold the diff is informational: always exit 0.
+    let info = run_bin(&[a, b]);
+    assert_eq!(info.status.code(), Some(0), "{info:?}");
+}
+
+#[test]
+fn bin_reports_usage_and_io_errors_as_exit_2() {
+    let usage = run_bin(&["only-one-arg"]);
+    assert_eq!(usage.status.code(), Some(2), "{usage:?}");
+    assert!(String::from_utf8_lossy(&usage.stderr).contains("usage"), "{usage:?}");
+
+    let a = fixture("trace_a.json");
+    let missing = run_bin(&[a.to_str().expect("utf-8 path"), "/nonexistent/trace.json"]);
+    assert_eq!(missing.status.code(), Some(2), "{missing:?}");
+
+    let flag = run_bin(&["--bogus"]);
+    assert_eq!(flag.status.code(), Some(2), "{flag:?}");
+}

@@ -18,6 +18,8 @@
 //!   and activity of peers, weighted by the machine's inter-socket latency
 //!   for peers on other sockets (the ground truth behind the paper's `os`).
 
+use std::collections::{btree_map::Entry, BTreeMap};
+
 use pandia_topology::{
     Counters, CoreId, CtxId, DataPlacement, MachineSpec, Placement, ResourceTable, RunResult,
     SocketId, StressPin,
@@ -58,6 +60,15 @@ pub struct EngineConfig {
     /// Deterministic fault-injection schedule. The default plan injects
     /// nothing and is byte-identical to an engine without the fault layer.
     pub faults: FaultPlan,
+    /// Enables the incremental fast path: equilibrium solves are answered
+    /// from the previous segment's allocation when the inputs are bitwise
+    /// unchanged (or warm-started when exactly one entity finished), and
+    /// segments whose full input triple — runnable set, burst multipliers,
+    /// relaxation warm start — recurs bit-for-bit are replayed from a memo
+    /// instead of recomputed (a fault plan disables replay). Both
+    /// shortcuts are bit-identical to the naive loop; this switch exists
+    /// so tests can run both and assert equivalence.
+    pub incremental: bool,
 }
 
 impl Default for EngineConfig {
@@ -70,8 +81,55 @@ impl Default for EngineConfig {
             max_lock_rho: 0.98,
             max_segments: 20_000,
             faults: FaultPlan::none(),
+            incremental: true,
         }
     }
+}
+
+/// Fast-path accounting for one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Segments executed (replayed or fully computed).
+    pub segments: u64,
+    /// Segments replayed from the segment memo instead of being fully
+    /// recomputed.
+    pub segments_coalesced: u64,
+    /// Equilibrium solves that ran the progressive-filling loop (from
+    /// scratch or warm-started).
+    pub solves: u64,
+    /// Equilibrium solves answered from the solver's input cache.
+    pub solves_skipped: u64,
+}
+
+/// One memoized segment middle: everything the full per-segment
+/// computation produces from its (runnable set, burst multipliers,
+/// relaxation warm start) input triple. The exact key is kept alongside
+/// the outputs: the memo is addressed by a 128-bit fingerprint, and each
+/// probe verifies the resident key word for word, so a fingerprint
+/// collision degrades to a recompute — never to a wrong replay.
+struct CachedSegment {
+    key: Vec<u64>,
+    rates: Vec<f64>,
+    group_rate: Vec<f64>,
+    hottest: Option<(pandia_topology::ResourceKind, f64)>,
+    spill_frac_socket: Vec<f64>,
+}
+
+/// 128-bit fingerprint of a memo key: two independent FNV-1a chains over
+/// the words (the second pre-rotates each word so the chains never
+/// collide together). One multiply per word per chain — this runs on
+/// every segment, hit or miss, so it is the hot edge of the memo. It
+/// only has to make collisions rare, not impossible — exactness comes
+/// from the full-key verification on every probe.
+fn seg_fingerprint(words: &[u64]) -> (u64, u64) {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut a = 0xCBF2_9CE4_8422_2325_u64;
+    let mut b = 0x243F_6A88_85A3_08D3_u64;
+    for &w in words {
+        a = (a ^ w).wrapping_mul(FNV_PRIME);
+        b = (b ^ w.rotate_left(32)).wrapping_mul(FNV_PRIME);
+    }
+    (a, b)
 }
 
 /// Everything the engine needs for one run.
@@ -247,7 +305,7 @@ pub fn run_multi(
     inputs: &MultiRunInputs<'_>,
     config: &EngineConfig,
 ) -> Result<Vec<RunResult>, SimError> {
-    run_multi_impl(inputs, config, None)
+    run_multi_impl(inputs, config, None).map(|(results, _)| results)
 }
 
 /// Like [`run_multi`], additionally recording a per-segment [`RunTrace`].
@@ -256,15 +314,24 @@ pub fn run_multi_traced(
     config: &EngineConfig,
 ) -> Result<(Vec<RunResult>, RunTrace), SimError> {
     let mut trace = RunTrace::default();
-    let results = run_multi_impl(inputs, config, Some(&mut trace))?;
+    let (results, _) = run_multi_impl(inputs, config, Some(&mut trace))?;
     Ok((results, trace))
+}
+
+/// Like [`run_multi`], additionally returning the run's [`SimStats`] so
+/// tests and harnesses can assert on the fast path's behaviour directly.
+pub fn run_multi_stats(
+    inputs: &MultiRunInputs<'_>,
+    config: &EngineConfig,
+) -> Result<(Vec<RunResult>, SimStats), SimError> {
+    run_multi_impl(inputs, config, None)
 }
 
 fn run_multi_impl(
     inputs: &MultiRunInputs<'_>,
     config: &EngineConfig,
     mut trace: Option<&mut RunTrace>,
-) -> Result<Vec<RunResult>, SimError> {
+) -> Result<(Vec<RunResult>, SimStats), SimError> {
     // Transient faults kill the whole measurement window before any
     // result is produced; a retry with a fresh seed re-draws the schedule.
     if config.faults.transient_faults(inputs.seed) {
@@ -346,6 +413,47 @@ fn run_multi_impl(
     let mut demands: Vec<EntityDemand> = Vec::new();
     let mut runnable: Vec<usize> = Vec::new();
     let mut group_remaining = vec![0.0_f64; n_groups];
+    let mut solver = equilibrium::IncrementalSolver::new();
+    let mut stats = SimStats::default();
+
+    // Segment coalescer. The expensive middle of a segment (DVFS, spill,
+    // burst interference, demand build, relaxation, equilibrium) is a pure
+    // function of three inputs: the runnable set, the per-entity burst
+    // multipliers, and the previous segment's rates (the relaxation warm
+    // start) — everything else it reads is constant for the whole run, and
+    // it consumes no stateful RNG (the phase draw is a pure function of
+    // seed, entity, and segment index). So fully computed segments are
+    // memoized under exactly those inputs, bit for bit, and a segment
+    // whose key recurs is *replayed* from the cache instead of recomputed.
+    // A steady run (smooth profiles, stabilized rates) repeats one key
+    // forever; a bursty run revisits its recurring phase patterns. Either
+    // way replay is exact — the error bound of coalescing is zero — and
+    // the `min_segments` sampling guarantee is untouched because segment
+    // boundaries, lengths, and per-segment bookkeeping are all preserved.
+    // A fault plan disables coalescing outright: its per-segment gates are
+    // observable state a replay must not skip.
+    //
+    // The map is keyed by a 128-bit fingerprint of the key words (the
+    // full key can run to a couple of kilobytes on a wide machine, and
+    // comparing it at every BTreeMap node would cost more than some
+    // middles); the exact key lives in the entry and is verified on
+    // every hit.
+    let coalescing_allowed = config.incremental && config.faults.is_none();
+    let mut seg_cache: BTreeMap<(u64, u64), CachedSegment> = BTreeMap::new();
+    let mut seg_key: Vec<u64> = Vec::new();
+    let mut multipliers: Vec<f64> = Vec::new();
+    // Per-entity high-phase multiplier bits. `BurstProfile::multiplier`
+    // is two-valued per entity (the high value inside the duty window,
+    // the low value outside; smooth profiles collapse both to one), so a
+    // segment's multiplier vector compresses to one bit per runnable
+    // entity in the memo key — set ⇔ bitwise equal to the high value.
+    let burst_hi: Vec<u64> = entities
+        .iter()
+        .map(|e| e.behavior.burst.multiplier(0.0).to_bits())
+        .collect();
+    // Backstop for degenerate runs whose key never recurs: stop inserting
+    // (but keep probing) once the memo is clearly not paying for itself.
+    const SEG_CACHE_CAP: usize = 4096;
 
     loop {
         // Remaining work per group (private shares plus pool).
@@ -380,210 +488,311 @@ fn run_multi_impl(
             break;
         }
 
-        // DVFS point from the cores that are actually busy.
-        let mut active_cores = vec![0usize; spec.sockets];
-        let mut core_occupancy = vec![0u32; spec.total_cores()];
-        for &i in &runnable {
-            core_occupancy[entities[i].core.0] += 1;
-        }
-        for (c, &occ) in core_occupancy.iter().enumerate() {
-            if occ > 0 {
-                active_cores[spec.socket_of_core(CoreId(c)).0] += 1;
+        // Burst phase multipliers for this segment: a stateless O(n) draw,
+        // shared by the memo key and the full computation. (The latency
+        // interference from co-resident bursting peers is derived from
+        // these below: thread i pays `smt_burst_collision * (m_j - 1)` per
+        // work unit for every SMT sibling j currently in its high-demand
+        // phase — the ground truth behind the paper's b, §2.3.)
+        multipliers.clear();
+        multipliers.extend(runnable.iter().map(|&i| {
+            entities[i].behavior.burst.multiplier(burst_draw(inputs.seed, i, segment))
+        }));
+
+        // Probe the segment memo under the middle's complete input set:
+        // the runnable set, this segment's multipliers, and the relaxation
+        // warm start (the previous segment's rates). The encoding is a
+        // bijection of those inputs, kept tight because it is built and
+        // fingerprinted on every segment: the leading count word implies
+        // the runnable set outright when every entity is runnable (the
+        // common case — indices are only spelled out for partial sets),
+        // and the multipliers collapse to packed high-phase bits.
+        let fp = if coalescing_allowed {
+            seg_key.clear();
+            seg_key.push(runnable.len() as u64);
+            if runnable.len() < entities.len() {
+                seg_key.extend(runnable.iter().map(|&i| i as u64));
             }
-        }
-        let dvfs =
-            DvfsState::compute(spec, &active_cores, inputs.turbo, inputs.fill_background);
-
-        // Cache spill per socket from resident working sets.
-        let mut socket_ws = vec![0.0_f64; spec.sockets];
-        let mut socket_residents = vec![0usize; spec.sockets];
-        for &i in &runnable {
-            socket_ws[entities[i].socket.0] += entities[i].behavior.working_set_mib;
-            socket_residents[entities[i].socket.0] += 1;
-        }
-        let spill = SocketSpill::compute(&socket_ws, spec.l3_mib, spec.adaptive_llc);
-        // Non-adaptive caches additionally thrash under many concurrent
-        // streams: spilled traffic is amplified with socket occupancy
-        // (conflict misses and dead-block re-fetches). Adaptive insertion
-        // policies suppress this — the paper's §2.2/§6.2 contrast.
-        let thrash: Vec<f64> = socket_residents
-            .iter()
-            .map(|&r| {
-                if spec.adaptive_llc {
-                    1.0
-                } else {
-                    1.0 + 0.35 * r.saturating_sub(1) as f64 / spec.cores_per_socket as f64
-                }
-            })
-            .collect();
-
-        // Burst phase multipliers for this segment, plus the latency
-        // interference from co-resident bursting peers: thread i pays
-        // `smt_burst_collision * (m_j - 1)` per work unit for every SMT
-        // sibling j currently in its high-demand phase (the ground truth
-        // behind the paper's b, §2.3).
-        let multipliers: Vec<f64> = runnable
-            .iter()
-            .map(|&i| entities[i].behavior.burst.multiplier(burst_draw(inputs.seed, i, segment)))
-            .collect();
-        let mut interference = vec![0.0_f64; runnable.len()];
-        if spec.smt_burst_collision > 0.0 {
+            let mut word = 0u64;
+            let mut nbits = 0u32;
             for (k, &i) in runnable.iter().enumerate() {
-                for (k2, &j) in runnable.iter().enumerate() {
-                    if k2 != k && entities[j].core == entities[i].core {
-                        interference[k] +=
-                            (multipliers[k2] - 1.0).max(0.0) * spec.smt_burst_collision;
-                    }
+                word = (word << 1) | u64::from(multipliers[k].to_bits() == burst_hi[i]);
+                nbits += 1;
+                if nbits == 64 {
+                    seg_key.push(word);
+                    word = 0;
+                    nbits = 0;
                 }
             }
-        }
+            if nbits > 0 {
+                seg_key.push(word);
+            }
+            seg_key.extend(runnable.iter().map(|&i| prev_rates[i].to_bits()));
+            seg_fingerprint(&seg_key)
+        } else {
+            (0, 0)
+        };
 
-        // Capacities for this segment: frequency-scaled core-side entries,
-        // SMT front-end factor on shared cores, plus the per-group locks.
-        for (slot, res) in capacities.iter_mut().zip(table.resources()) {
-            *slot = res.capacity;
-        }
-        for (c, &occ) in core_occupancy.iter().enumerate() {
-            let scale = dvfs.scale_for_core(spec, CoreId(c));
-            let smt = if occ >= 2 { spec.smt_frontend_factor } else { 1.0 };
-            let issue = table.core_issue(CoreId(c));
-            capacities[issue.0] = table.get(issue).capacity * scale * smt;
-            let l1 = table.l1(CoreId(c));
-            capacities[l1.0] = table.get(l1).capacity * scale;
-            let l2 = table.l2(CoreId(c));
-            capacities[l2.0] = table.get(l2).capacity * scale;
-        }
-        for g in 0..n_groups {
-            capacities[lock_base + g] = 1.0;
-        }
+        let mut full_middle = || -> CachedSegment {
+            // DVFS point from the cores that are actually busy.
+            let mut active_cores = vec![0usize; spec.sockets];
+            let mut core_occupancy = vec![0u32; spec.total_cores()];
+            for &i in &runnable {
+                core_occupancy[entities[i].core.0] += 1;
+            }
+            for (c, &occ) in core_occupancy.iter().enumerate() {
+                if occ > 0 {
+                    active_cores[spec.socket_of_core(CoreId(c)).0] += 1;
+                }
+            }
+            let dvfs =
+                DvfsState::compute(spec, &active_cores, inputs.turbo, inputs.fill_background);
 
-        // Build demand bundles (burst- and spill-adjusted).
-        demands.clear();
-        let mut instr_demands: Vec<f64> = Vec::with_capacity(runnable.len());
-        for (k, &i) in runnable.iter().enumerate() {
-            let e = &entities[i];
-            let m = multipliers[k];
-            let d = e.behavior.demand;
-            let spill_frac = spill.per_socket[e.socket.0] * thrash[e.socket.0];
-            let extra_dram = d.l3 * spill_frac;
-            let mut sparse: Vec<(usize, f64)> = Vec::with_capacity(10);
-            let push = |v: &mut Vec<(usize, f64)>, id: pandia_topology::ResourceId, amt: f64| {
-                if amt > 0.0 {
-                    v.push((id.0, amt));
-                }
-            };
-            push(&mut sparse, table.core_issue(e.core), d.instr * m);
-            push(&mut sparse, table.l1(e.core), d.l1 * m);
-            push(&mut sparse, table.l2(e.core), d.l2 * m);
-            if d.l3 > 0.0 {
-                push(&mut sparse, table.l3_link(e.core), d.l3 * m);
-                push(&mut sparse, table.l3_aggregate(e.socket), d.l3 * m);
+            // Cache spill per socket from resident working sets.
+            let mut socket_ws = vec![0.0_f64; spec.sockets];
+            let mut socket_residents = vec![0usize; spec.sockets];
+            for &i in &runnable {
+                socket_ws[entities[i].socket.0] += entities[i].behavior.working_set_mib;
+                socket_residents[entities[i].socket.0] += 1;
             }
-            let dram_total = (d.dram + extra_dram) * m;
-            if dram_total > 0.0 {
-                for (node, &frac) in e.dram_split.iter().enumerate() {
-                    if frac <= 0.0 {
-                        continue;
-                    }
-                    let node_id = SocketId(node);
-                    push(&mut sparse, table.dram(node_id), dram_total * frac);
-                    if node_id != e.socket {
-                        if let Some(link) = table.interconnect(e.socket, node_id) {
-                            push(&mut sparse, link, dram_total * frac);
-                        }
-                    }
-                }
-            }
-            if e.is_worker() && e.behavior.seq_fraction > 0.0 {
-                sparse.push((lock_base + e.group, e.behavior.seq_fraction));
-            }
-            instr_demands.push(d.instr * m);
-            demands.push(EntityDemand { demands: sparse, max_rate: 1.0 });
-        }
-
-        // Relaxation rounds: lock queueing + communication latency feed
-        // back into intrinsic rates.
-        let mut rates: Vec<f64> = runnable.iter().map(|&i| prev_rates[i]).collect();
-        let mut last_loads: Vec<f64> = Vec::new();
-        for _ in 0..config.relaxation_rounds {
-            // Per-group lock utilization from the latest rates.
-            let mut rho = vec![0.0_f64; n_groups];
-            for (k, &i) in runnable.iter().enumerate() {
-                let e = &entities[i];
-                if e.is_worker() && e.behavior.seq_fraction > 0.0 {
-                    rho[e.group] += rates[k] * e.behavior.seq_fraction;
-                }
-            }
-            let queue_delay: Vec<f64> = rho
+            let spill = SocketSpill::compute(&socket_ws, spec.l3_mib, spec.adaptive_llc);
+            // Non-adaptive caches additionally thrash under many concurrent
+            // streams: spilled traffic is amplified with socket occupancy
+            // (conflict misses and dead-block re-fetches). Adaptive insertion
+            // policies suppress this — the paper's §2.2/§6.2 contrast.
+            let thrash: Vec<f64> = socket_residents
                 .iter()
                 .map(|&r| {
-                    let r = r.min(config.max_lock_rho);
-                    r / (1.0 - r)
+                    if spec.adaptive_llc {
+                        1.0
+                    } else {
+                        1.0 + 0.35 * r.saturating_sub(1) as f64 / spec.cores_per_socket as f64
+                    }
                 })
                 .collect();
+            let spill_frac_socket: Vec<f64> = spill
+                .per_socket
+                .iter()
+                .zip(&thrash)
+                .map(|(&s, &t)| s * t)
+                .collect();
 
-            for (k, &i) in runnable.iter().enumerate() {
-                let e = &entities[i];
-                let scale = dvfs.scale_for_core(spec, e.core);
-                let max_rate = if e.is_worker() {
-                    // Communication latency: per unit, pay for each active
-                    // *same-group* peer weighted by its progress.
-                    let mut comm = 0.0;
-                    if e.behavior.comm_factor > 0.0 {
-                        for (k2, &j) in runnable.iter().enumerate() {
-                            if j == i
-                                || !entities[j].is_worker()
-                                || entities[j].group != e.group
-                            {
-                                continue;
-                            }
-                            let peer_weight = (rates[k2] / scale.max(1e-9)).min(1.0);
-                            let lat = if entities[j].socket == e.socket {
-                                e.behavior.intra_socket_comm
-                            } else {
-                                1.0
-                            } * spec.interconnect_latency;
-                            comm += e.behavior.comm_factor * lat * peer_weight;
+            // Latency interference from co-resident bursting peers.
+            let mut interference = vec![0.0_f64; runnable.len()];
+            if spec.smt_burst_collision > 0.0 {
+                for (k, &i) in runnable.iter().enumerate() {
+                    for (k2, &j) in runnable.iter().enumerate() {
+                        if k2 != k && entities[j].core == entities[i].core {
+                            interference[k] +=
+                                (multipliers[k2] - 1.0).max(0.0) * spec.smt_burst_collision;
                         }
                     }
-                    let queue = e.behavior.seq_fraction * queue_delay[e.group];
-                    scale / (1.0 + queue + comm + interference[k])
-                } else {
-                    scale / (1.0 + interference[k])
-                };
-                // A single thread cannot sustain more than the ILP share of
-                // its core's issue width (SMT pairs jointly can, via the
-                // shared issue resource).
-                let max_rate = if instr_demands[k] > 0.0 {
-                    let ilp_cap =
-                        spec.single_thread_ilp * spec.core_ipc_rate * scale / instr_demands[k];
-                    max_rate.min(ilp_cap)
-                } else {
-                    max_rate
-                };
-                demands[k].max_rate = max_rate;
+                }
             }
-            let alloc = equilibrium::solve(&demands, &capacities);
-            rates = alloc.rates;
-            last_loads = alloc.loads;
+
+            // Capacities for this segment: frequency-scaled core-side entries,
+            // SMT front-end factor on shared cores, plus the per-group locks.
+            for (slot, res) in capacities.iter_mut().zip(table.resources()) {
+                *slot = res.capacity;
+            }
+            for (c, &occ) in core_occupancy.iter().enumerate() {
+                let scale = dvfs.scale_for_core(spec, CoreId(c));
+                let smt = if occ >= 2 { spec.smt_frontend_factor } else { 1.0 };
+                let issue = table.core_issue(CoreId(c));
+                capacities[issue.0] = table.get(issue).capacity * scale * smt;
+                let l1 = table.l1(CoreId(c));
+                capacities[l1.0] = table.get(l1).capacity * scale;
+                let l2 = table.l2(CoreId(c));
+                capacities[l2.0] = table.get(l2).capacity * scale;
+            }
+            for g in 0..n_groups {
+                capacities[lock_base + g] = 1.0;
+            }
+
+            // Build demand bundles (burst- and spill-adjusted).
+            demands.clear();
+            let mut instr_demands: Vec<f64> = Vec::with_capacity(runnable.len());
+            for (k, &i) in runnable.iter().enumerate() {
+                let e = &entities[i];
+                let m = multipliers[k];
+                let d = e.behavior.demand;
+                let spill_frac = spill_frac_socket[e.socket.0];
+                let extra_dram = d.l3 * spill_frac;
+                let mut sparse: Vec<(usize, f64)> = Vec::with_capacity(10);
+                let push =
+                    |v: &mut Vec<(usize, f64)>, id: pandia_topology::ResourceId, amt: f64| {
+                        if amt > 0.0 {
+                            v.push((id.0, amt));
+                        }
+                    };
+                push(&mut sparse, table.core_issue(e.core), d.instr * m);
+                push(&mut sparse, table.l1(e.core), d.l1 * m);
+                push(&mut sparse, table.l2(e.core), d.l2 * m);
+                if d.l3 > 0.0 {
+                    push(&mut sparse, table.l3_link(e.core), d.l3 * m);
+                    push(&mut sparse, table.l3_aggregate(e.socket), d.l3 * m);
+                }
+                let dram_total = (d.dram + extra_dram) * m;
+                if dram_total > 0.0 {
+                    for (node, &frac) in e.dram_split.iter().enumerate() {
+                        if frac <= 0.0 {
+                            continue;
+                        }
+                        let node_id = SocketId(node);
+                        push(&mut sparse, table.dram(node_id), dram_total * frac);
+                        if node_id != e.socket {
+                            if let Some(link) = table.interconnect(e.socket, node_id) {
+                                push(&mut sparse, link, dram_total * frac);
+                            }
+                        }
+                    }
+                }
+                if e.is_worker() && e.behavior.seq_fraction > 0.0 {
+                    sparse.push((lock_base + e.group, e.behavior.seq_fraction));
+                }
+                instr_demands.push(d.instr * m);
+                demands.push(EntityDemand { demands: sparse, max_rate: 1.0 });
+            }
+
+            // Relaxation rounds: lock queueing + communication latency feed
+            // back into intrinsic rates.
+            let mut round_rates: Vec<f64> = runnable.iter().map(|&i| prev_rates[i]).collect();
+            let mut last_loads: Vec<f64> = Vec::new();
+            for _ in 0..config.relaxation_rounds {
+                // Per-group lock utilization from the latest rates.
+                let mut rho = vec![0.0_f64; n_groups];
+                for (k, &i) in runnable.iter().enumerate() {
+                    let e = &entities[i];
+                    if e.is_worker() && e.behavior.seq_fraction > 0.0 {
+                        rho[e.group] += round_rates[k] * e.behavior.seq_fraction;
+                    }
+                }
+                let queue_delay: Vec<f64> = rho
+                    .iter()
+                    .map(|&r| {
+                        let r = r.min(config.max_lock_rho);
+                        r / (1.0 - r)
+                    })
+                    .collect();
+
+                for (k, &i) in runnable.iter().enumerate() {
+                    let e = &entities[i];
+                    let scale = dvfs.scale_for_core(spec, e.core);
+                    let max_rate = if e.is_worker() {
+                        // Communication latency: per unit, pay for each active
+                        // *same-group* peer weighted by its progress.
+                        let mut comm = 0.0;
+                        if e.behavior.comm_factor > 0.0 {
+                            for (k2, &j) in runnable.iter().enumerate() {
+                                if j == i
+                                    || !entities[j].is_worker()
+                                    || entities[j].group != e.group
+                                {
+                                    continue;
+                                }
+                                let peer_weight = (round_rates[k2] / scale.max(1e-9)).min(1.0);
+                                let lat = if entities[j].socket == e.socket {
+                                    e.behavior.intra_socket_comm
+                                } else {
+                                    1.0
+                                } * spec.interconnect_latency;
+                                comm += e.behavior.comm_factor * lat * peer_weight;
+                            }
+                        }
+                        let queue = e.behavior.seq_fraction * queue_delay[e.group];
+                        scale / (1.0 + queue + comm + interference[k])
+                    } else {
+                        scale / (1.0 + interference[k])
+                    };
+                    // A single thread cannot sustain more than the ILP share of
+                    // its core's issue width (SMT pairs jointly can, via the
+                    // shared issue resource).
+                    let max_rate = if instr_demands[k] > 0.0 {
+                        let ilp_cap = spec.single_thread_ilp * spec.core_ipc_rate * scale
+                            / instr_demands[k];
+                        max_rate.min(ilp_cap)
+                    } else {
+                        max_rate
+                    };
+                    demands[k].max_rate = max_rate;
+                }
+                let alloc = if config.incremental {
+                    solver.solve(&demands, &capacities)
+                } else {
+                    stats.solves += 1;
+                    equilibrium::solve(&demands, &capacities)
+                };
+                round_rates = alloc.rates;
+                last_loads = alloc.loads;
+            }
+            let rates = round_rates;
+
+            let mut group_rate = vec![0.0_f64; n_groups];
+            for (k, &i) in runnable.iter().enumerate() {
+                let e = &entities[i];
+                if e.is_worker() {
+                    group_rate[e.group] += rates[k];
+                }
+            }
+
+            let hottest = if trace.is_some() {
+                // Hottest *hardware* resource this segment (locks excluded).
+                last_loads
+                    .iter()
+                    .take(table.len())
+                    .enumerate()
+                    .map(|(r, &load)| (r, load / capacities[r].max(1e-12)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .filter(|&(_, util)| util > 0.0)
+                    .map(|(r, util)| {
+                        (table.get(pandia_topology::ResourceId(r)).kind, util.min(1.0))
+                    })
+            } else {
+                None
+            };
+
+            CachedSegment {
+                key: seg_key.clone(),
+                rates,
+                group_rate,
+                hottest,
+                spill_frac_socket,
+            }
+        };
+
+        // Replay the memoized middle on an exact key match; otherwise
+        // compute it in full, moving the result into the cache (no
+        // clones) when there is room. A fingerprint collision keeps the
+        // incumbent entry and simply computes this segment fresh.
+        let mut fresh: Option<CachedSegment> = None;
+        let mut replayed = false;
+        let seg: &CachedSegment = if coalescing_allowed {
+            let at_cap = seg_cache.len() >= SEG_CACHE_CAP;
+            match seg_cache.entry(fp) {
+                Entry::Occupied(slot) if slot.get().key == seg_key => {
+                    replayed = true;
+                    slot.into_mut()
+                }
+                Entry::Occupied(_) => fresh.insert(full_middle()),
+                Entry::Vacant(slot) if !at_cap => slot.insert(full_middle()),
+                Entry::Vacant(_) => fresh.insert(full_middle()),
+            }
+        } else {
+            fresh.insert(full_middle())
+        };
+        if replayed {
+            stats.segments_coalesced += 1;
         }
 
         // Segment length: cover a fraction of the remaining runtime of the
         // group closest to finishing, so completion times stay sharp.
-        let mut group_rate = vec![0.0_f64; n_groups];
-        for (k, &i) in runnable.iter().enumerate() {
-            let e = &entities[i];
-            if e.is_worker() {
-                group_rate[e.group] += rates[k];
-            }
-        }
         let mut min_ttf = f64::INFINITY;
         let mut total_rate = 0.0;
-        for g in 0..n_groups {
-            if group_remaining[g] > 0.0 && group_rate[g] > 1e-12 {
-                min_ttf = min_ttf.min(group_remaining[g] / group_rate[g]);
+        for (rem, rate) in group_remaining.iter().zip(&seg.group_rate) {
+            if *rem > 0.0 && *rate > 1e-12 {
+                min_ttf = min_ttf.min(rem / rate);
             }
-            total_rate += group_rate[g];
+            total_rate += rate;
         }
         if total_rate <= 1e-12 || !min_ttf.is_finite() {
             // Deadlock guard: nothing is progressing (should not happen).
@@ -599,7 +808,7 @@ fn run_multi_impl(
         let closing = (0..n_groups).any(|g| {
             group_remaining[g] > 0.0
                 && group_remaining[g] <= groups[g].total_work * 1e-3
-                && group_rate[g] > 1e-12
+                && seg.group_rate[g] > 1e-12
         });
         let dt = if closing {
             min_ttf
@@ -608,22 +817,11 @@ fn run_multi_impl(
         };
 
         if let Some(trace) = trace.as_deref_mut() {
-            // Hottest *hardware* resource this segment (locks excluded).
-            let hottest = last_loads
-                .iter()
-                .take(table.len())
-                .enumerate()
-                .map(|(r, &load)| (r, load / capacities[r].max(1e-12)))
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-                .filter(|&(_, util)| util > 0.0)
-                .map(|(r, util)| {
-                    (table.get(pandia_topology::ResourceId(r)).kind, util.min(1.0))
-                });
             trace.segments.push(TraceSegment {
                 start: elapsed,
                 dt,
-                group_rates: group_rate.clone(),
-                hottest,
+                group_rates: seg.group_rate.clone(),
+                hottest: seg.hottest,
                 runnable: runnable.len(),
             });
         }
@@ -635,7 +833,7 @@ fn run_multi_impl(
             if !e.is_worker() {
                 continue;
             }
-            let progress = rates[k] * dt;
+            let progress = seg.rates[k] * dt;
             let from_private = progress.min(e.private_work);
             e.private_work -= from_private;
             let from_pool =
@@ -655,7 +853,7 @@ fn run_multi_impl(
             counters.l1_bytes += d.l1 * moved;
             counters.l2_bytes += d.l2 * moved;
             counters.l3_bytes += d.l3 * moved;
-            let spill_frac = spill.per_socket[e.socket.0] * thrash[e.socket.0];
+            let spill_frac = seg.spill_frac_socket[e.socket.0];
             let dram_total = (d.dram + d.l3 * spill_frac) * moved;
             for (node, &frac) in e.dram_split.iter().enumerate() {
                 counters.dram_bytes[node] += dram_total * frac;
@@ -701,15 +899,23 @@ fn run_multi_impl(
 
         // Persist rates for the next segment's relaxation bootstrap.
         for (k, &i) in runnable.iter().enumerate() {
-            prev_rates[i] = rates[k];
+            prev_rates[i] = seg.rates[k];
         }
         segment += 1;
     }
+
+    let solver_stats = solver.stats();
+    stats.segments = segment as u64;
+    stats.solves += solver_stats.solves + solver_stats.delta_solves;
+    stats.solves_skipped += solver_stats.solves_skipped;
 
     // Aggregate telemetry once per run, outside the segment loop, so the
     // hot path carries no per-segment instrumentation.
     if pandia_obs::enabled() {
         pandia_obs::count("sim.segments", segment as u64);
+        pandia_obs::count("sim.segments_coalesced", stats.segments_coalesced);
+        pandia_obs::count("sim.solves", stats.solves);
+        pandia_obs::count("sim.solves_skipped", stats.solves_skipped);
         pandia_obs::observe("sim.segments_per_run", segment as f64);
         pandia_obs::observe("sim.entities_per_run", entities.len() as f64);
     }
@@ -770,7 +976,7 @@ fn run_multi_impl(
     if faults_injected > 0 && pandia_obs::enabled() {
         pandia_obs::count("sim.faults_injected", faults_injected);
     }
-    Ok(results)
+    Ok((results, stats))
 }
 
 /// Zeroes counter channels the fault plan drops for this run, returning
@@ -1308,6 +1514,145 @@ mod tests {
         assert!(transients > 0, "no transient faults in 60 seeds");
         assert!(dropouts > 0, "no counter dropouts in 60 seeds");
         assert!(bursts > 0, "no interference bursts in 60 seeds");
+    }
+
+    #[test]
+    fn incremental_path_is_bitwise_identical_to_naive() {
+        // Smooth and bursty, lock-bound and comm-bound, with stressors:
+        // the fast path must reproduce the naive loop bit for bit.
+        let spec = MachineSpec::x3_2();
+        let mut locky = Behavior::compute("locky", 50.0, 1.0);
+        locky.seq_fraction = 0.1;
+        let mut commy = Behavior::compute("commy", 40.0, 1.0);
+        commy.comm_factor = 0.02;
+        let mut bursty = Behavior::compute("bursty", 30.0, 4.0);
+        bursty.burst = crate::behavior::BurstProfile::bursty(0.4, 2.0);
+        for (b, seed) in [(&locky, 31u64), (&commy, 32), (&bursty, 33)] {
+            let p = Placement::packed(&spec, 4).unwrap();
+            let stress = [StressPin {
+                kind: StressKind::Cpu,
+                ctx: sibling_ctx(&spec, p.contexts()[3]).unwrap(),
+            }];
+            let inputs = RunInputs {
+                spec: &spec,
+                behavior: b,
+                placement: &p,
+                stressors: &stress,
+                fill_background: true,
+                turbo: true,
+                data_placement: None,
+                seed,
+            };
+            let fast = run(&inputs, &EngineConfig::default()).expect("fault-free run");
+            let naive = run(
+                &inputs,
+                &EngineConfig { incremental: false, ..EngineConfig::default() },
+            )
+            .expect("fault-free run");
+            assert_eq!(fast, naive, "{}: fast path diverged from naive", b.name);
+        }
+    }
+
+    #[test]
+    fn steady_runs_coalesce_segments_and_skip_solves() {
+        let spec = MachineSpec::x3_2();
+        let b = Behavior::compute("steady", 60.0, 1.0);
+        let p = Placement::spread(&spec, 4).unwrap();
+        let group = GroupInput { behavior: &b, placement: &p, data_placement: None };
+        let inputs = MultiRunInputs {
+            spec: &spec,
+            groups: std::slice::from_ref(&group),
+            stressors: &[],
+            fill_background: true,
+            turbo: true,
+            seed: 44,
+        };
+        let (_, stats) = run_multi_stats(&inputs, &EngineConfig::default()).expect("run");
+        assert!(stats.segments > 100, "expected a long run, got {stats:?}");
+        assert!(
+            stats.segments_coalesced > stats.segments / 2,
+            "smooth run should mostly coalesce: {stats:?}"
+        );
+        assert!(stats.solves_skipped > 0, "relaxation re-solves should hit the cache: {stats:?}");
+
+        // The escape hatch really disables the fast path.
+        let (_, naive) = run_multi_stats(
+            &inputs,
+            &EngineConfig { incremental: false, ..EngineConfig::default() },
+        )
+        .expect("run");
+        assert_eq!(naive.segments_coalesced, 0);
+        assert_eq!(naive.solves_skipped, 0);
+        assert_eq!(naive.segments, stats.segments, "segment count must not change");
+    }
+
+    #[test]
+    fn bursty_runs_coalesce_recurring_phase_patterns() {
+        // Burst phases are redrawn every segment, so consecutive segments
+        // of a bursty run rarely match — but the (runnable, multipliers,
+        // warm start) triple *recurs* once the rate dynamics settle into
+        // the finitely many phase patterns, and each recurrence replays
+        // from the memo. The naive run must agree bit for bit and report
+        // an untouched segment schedule.
+        let spec = MachineSpec::x3_2();
+        let mut b = Behavior::compute("bursty", 40.0, 4.0);
+        b.burst = crate::behavior::BurstProfile::bursty(0.4, 2.0);
+        let p = Placement::packed(&spec, 4).unwrap();
+        let group = GroupInput { behavior: &b, placement: &p, data_placement: None };
+        let inputs = MultiRunInputs {
+            spec: &spec,
+            groups: std::slice::from_ref(&group),
+            stressors: &[],
+            fill_background: true,
+            turbo: true,
+            seed: 45,
+        };
+        let (fast, stats) = run_multi_stats(&inputs, &EngineConfig::default()).expect("run");
+        assert!(
+            stats.segments_coalesced > 0,
+            "recurring burst patterns should replay from the memo: {stats:?}"
+        );
+        assert!(
+            stats.segments_coalesced < stats.segments,
+            "a bursty run cannot replay every segment: {stats:?}"
+        );
+
+        let (naive, naive_stats) = run_multi_stats(
+            &inputs,
+            &EngineConfig { incremental: false, ..EngineConfig::default() },
+        )
+        .expect("run");
+        assert_eq!(fast, naive, "memoized segments diverged from the naive loop");
+        assert_eq!(naive_stats.segments, stats.segments, "segment count must not change");
+        assert_eq!(naive_stats.segments_coalesced, 0);
+    }
+
+    #[test]
+    fn armed_fault_plan_disables_coalescing() {
+        let spec = MachineSpec::x3_2();
+        let b = Behavior::compute("chaosrun", 60.0, 1.0);
+        let p = Placement::spread(&spec, 4).unwrap();
+        let group = GroupInput { behavior: &b, placement: &p, data_placement: None };
+        let inputs = MultiRunInputs {
+            spec: &spec,
+            groups: std::slice::from_ref(&group),
+            stressors: &[],
+            fill_background: true,
+            turbo: true,
+            seed: 44,
+        };
+        let config = EngineConfig {
+            faults: FaultPlan::with_intensity(0.5),
+            ..EngineConfig::default()
+        };
+        match run_multi_stats(&inputs, &config) {
+            Ok((_, stats)) => assert_eq!(
+                stats.segments_coalesced, 0,
+                "coalescing must never skip over an armed fault plan: {stats:?}"
+            ),
+            Err(SimError::TransientFault { .. }) => {}
+            Err(other) => panic!("unexpected error: {other}"),
+        }
     }
 
     #[test]

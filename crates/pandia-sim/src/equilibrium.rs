@@ -23,7 +23,7 @@ pub struct EntityDemand {
 }
 
 /// Result of an equilibrium solve.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Allocation {
     /// Progress rate per entity, same order as the input.
     pub rates: Vec<f64>,
@@ -103,6 +103,366 @@ pub fn solve(entities: &[EntityDemand], capacities: &[f64]) -> Allocation {
         }
     }
     Allocation { rates, loads }
+}
+
+/// Counters kept by an [`IncrementalSolver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Progressive-filling solves built from scratch.
+    pub solves: u64,
+    /// Calls answered from the cached allocation (inputs bitwise equal to
+    /// the previous call).
+    pub solves_skipped: u64,
+    /// Warm-started re-solves (previous inputs minus exactly one entity):
+    /// only the pools the departed entity touched are re-summed before the
+    /// filling loop runs.
+    pub delta_solves: u64,
+}
+
+/// The pristine (pre-iteration) solver state for one input, plus the
+/// solved allocation, kept for reuse by the next call. Every buffer is
+/// retained across calls and refilled in place, so a long solve sequence
+/// settles into zero steady-state allocation — the solver sits two calls
+/// deep in the engine's per-segment hot loop and cannot afford to
+/// rebuild this state on the heap millions of times.
+#[derive(Debug, Default)]
+struct SolverState {
+    entities: Vec<EntityDemand>,
+    capacities: Vec<f64>,
+    /// Entity indices with positive max rate, ascending.
+    active: Vec<usize>,
+    /// Per-pool `(entity, demand)` contributor lists in entity order.
+    contrib: Vec<Vec<(usize, f64)>>,
+    /// Per-pool initial slope: the ordered sum of its contributor list.
+    slope: Vec<f64>,
+    allocation: Allocation,
+}
+
+/// Reusable working memory for [`fill_pristine`].
+#[derive(Debug, Default)]
+struct FillScratch {
+    active: Vec<usize>,
+    slope: Vec<f64>,
+    residual: Vec<f64>,
+    saturated: Vec<bool>,
+    frozen: Vec<bool>,
+    newly_frozen: Vec<usize>,
+    dirty: Vec<usize>,
+}
+
+/// A [`solve`] wrapper that reuses work across consecutive calls.
+///
+/// Three paths, all returning allocations **bit-identical** to [`solve`]
+/// on the same inputs:
+///
+/// * *skip* — the demand and capacity vectors are bitwise equal to the
+///   previous call's: the cached allocation is returned outright;
+/// * *delta* — the inputs are the previous call's minus exactly one
+///   entity (a finished thread): the cached contributor lists are reused
+///   and only the pools the departed entity touched are re-summed;
+/// * *full* — anything else: the progressive-filling state is built from
+///   scratch.
+///
+/// Bit identity holds because every shortcut performs the *same ordered
+/// arithmetic* the from-scratch solve would: a pool's slope is always a
+/// fresh left-to-right sum over its contributors in entity order, and a
+/// sum whose contributor sequence did not change is reused rather than
+/// recomputed — IEEE arithmetic is deterministic, so the reused value is
+/// the value the recomputation would produce.
+#[derive(Debug, Default)]
+pub struct IncrementalSolver {
+    /// Whether `state` holds the previous call's inputs and result.
+    primed: bool,
+    state: SolverState,
+    scratch: FillScratch,
+    stats: SolveStats,
+}
+
+/// Left-to-right sum of a contributor list, matching the order in which
+/// [`solve`] accumulates its per-iteration slope.
+fn ordered_sum(contrib: &[(usize, f64)]) -> f64 {
+    let mut s = 0.0;
+    for &(_, d) in contrib {
+        s += d;
+    }
+    s
+}
+
+impl IncrementalSolver {
+    /// Creates a solver with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters accumulated since construction.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Solves the max-min fair allocation, reusing the previous call's
+    /// work where the inputs allow. Bit-identical to [`solve`].
+    pub fn solve(&mut self, entities: &[EntityDemand], capacities: &[f64]) -> Allocation {
+        if self.primed {
+            if same_inputs(&self.state.entities, &self.state.capacities, entities, capacities) {
+                self.stats.solves_skipped += 1;
+                return self.state.allocation.clone();
+            }
+            if bits_eq(&self.state.capacities, capacities) {
+                if let Some(removed) = one_removed(&self.state.entities, entities) {
+                    self.stats.delta_solves += 1;
+                    return self.solve_delta(entities, capacities, removed);
+                }
+            }
+        }
+        self.stats.solves += 1;
+        self.solve_full(entities, capacities)
+    }
+
+    fn solve_full(&mut self, entities: &[EntityDemand], capacities: &[f64]) -> Allocation {
+        let st = &mut self.state;
+        st.active.clear();
+        st.active.extend((0..entities.len()).filter(|&e| entities[e].max_rate > 0.0));
+        for list in &mut st.contrib {
+            list.clear();
+        }
+        st.contrib.resize_with(capacities.len(), Vec::new);
+        for &e in &st.active {
+            for &(r, d) in &entities[e].demands {
+                st.contrib[r].push((e, d));
+            }
+        }
+        st.slope.clear();
+        st.slope.extend(st.contrib.iter().map(|c| ordered_sum(c)));
+        self.finish(entities, capacities)
+    }
+
+    /// Warm start from the cached pristine state with entity `removed`
+    /// (an index into the *cached* entity list) taken out: only the pools
+    /// that entity touched are re-summed; every other pool's slope is the
+    /// cached ordered sum over an unchanged contributor sequence.
+    fn solve_delta(
+        &mut self,
+        entities: &[EntityDemand],
+        capacities: &[f64],
+        removed: usize,
+    ) -> Allocation {
+        let st = &mut self.state;
+        for &(r, _) in &st.entities[removed].demands {
+            st.contrib[r].retain(|&(ent, _)| ent != removed);
+            st.slope[r] = ordered_sum(&st.contrib[r]);
+        }
+        // Entity indices above the removed one shift down by one; the
+        // relative order (and hence every untouched pool's sum) is
+        // unchanged.
+        st.active.retain(|&e| e != removed);
+        for e in &mut st.active {
+            if *e > removed {
+                *e -= 1;
+            }
+        }
+        for list in &mut st.contrib {
+            for entry in list.iter_mut() {
+                if entry.0 > removed {
+                    entry.0 -= 1;
+                }
+            }
+        }
+        self.finish(entities, capacities)
+    }
+
+    /// Runs the filling loop on the pristine state sitting in
+    /// `self.state` and stashes the inputs (into the same reused buffers)
+    /// for the next call.
+    fn finish(&mut self, entities: &[EntityDemand], capacities: &[f64]) -> Allocation {
+        let st = &mut self.state;
+        st.capacities.clear();
+        st.capacities.extend_from_slice(capacities);
+        let keep = st.entities.len().min(entities.len());
+        st.entities.truncate(entities.len());
+        for (dst, src) in st.entities.iter_mut().zip(entities) {
+            dst.max_rate = src.max_rate;
+            dst.demands.clear();
+            dst.demands.extend_from_slice(&src.demands);
+        }
+        for src in &entities[keep..] {
+            st.entities.push(src.clone());
+        }
+        fill_pristine(
+            entities,
+            capacities,
+            &st.active,
+            &st.contrib,
+            &st.slope,
+            &mut self.scratch,
+            &mut st.allocation,
+        );
+        self.primed = true;
+        st.allocation.clone()
+    }
+}
+
+/// Bitwise equality of two capacity vectors.
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Bitwise equality of two entity demand bundles.
+fn entity_eq(a: &EntityDemand, b: &EntityDemand) -> bool {
+    a.max_rate.to_bits() == b.max_rate.to_bits()
+        && a.demands.len() == b.demands.len()
+        && a.demands
+            .iter()
+            .zip(&b.demands)
+            .all(|(&(ra, da), &(rb, db))| ra == rb && da.to_bits() == db.to_bits())
+}
+
+fn same_inputs(
+    cached_entities: &[EntityDemand],
+    cached_capacities: &[f64],
+    entities: &[EntityDemand],
+    capacities: &[f64],
+) -> bool {
+    bits_eq(cached_capacities, capacities)
+        && cached_entities.len() == entities.len()
+        && cached_entities.iter().zip(entities).all(|(a, b)| entity_eq(a, b))
+}
+
+/// If `entities` equals `cached` with exactly one entry removed, returns
+/// that entry's index in `cached`.
+fn one_removed(cached: &[EntityDemand], entities: &[EntityDemand]) -> Option<usize> {
+    if cached.len() != entities.len() + 1 {
+        return None;
+    }
+    let mut removed = cached.len() - 1;
+    for (i, e) in entities.iter().enumerate() {
+        if !entity_eq(&cached[i], e) {
+            removed = i;
+            break;
+        }
+    }
+    for (i, e) in entities.iter().enumerate().skip(removed) {
+        if !entity_eq(&cached[i + 1], e) {
+            return None;
+        }
+    }
+    Some(removed)
+}
+
+/// Left-to-right sum of a contributor list skipping frozen entities: the
+/// same addition sequence [`solve`] performs after those contributors
+/// drop out, so the reused value is bit-exact without mutating the
+/// pristine list.
+fn frozen_filtered_sum(contrib: &[(usize, f64)], frozen: &[bool]) -> f64 {
+    let mut s = 0.0;
+    for &(e, d) in contrib {
+        if !frozen[e] {
+            s += d;
+        }
+    }
+    s
+}
+
+/// The progressive-filling loop over a pre-built contributor state.
+///
+/// Mirrors [`solve`] exactly, except that a pool's slope is only
+/// re-summed when one of its contributors froze in the previous round
+/// (the "dirty" pools); an untouched pool's slope is the same ordered sum
+/// [`solve`] would recompute, so reusing it is bit-exact. The pristine
+/// contributor lists are read-only — frozen entities are skipped via a
+/// flag vector rather than removed — and all working memory lives in the
+/// caller-owned scratch, so the loop performs no allocation beyond
+/// first-use buffer growth.
+fn fill_pristine(
+    entities: &[EntityDemand],
+    capacities: &[f64],
+    pristine_active: &[usize],
+    contrib: &[Vec<(usize, f64)>],
+    pristine_slope: &[f64],
+    scratch: &mut FillScratch,
+    out: &mut Allocation,
+) {
+    let n = entities.len();
+    let m = capacities.len();
+    out.rates.clear();
+    out.rates.resize(n, 0.0);
+    out.loads.clear();
+    out.loads.resize(m, 0.0);
+    if n == 0 {
+        return;
+    }
+    let rates = &mut out.rates;
+    let s = scratch;
+    s.active.clear();
+    s.active.extend_from_slice(pristine_active);
+    s.slope.clear();
+    s.slope.extend_from_slice(pristine_slope);
+    s.residual.clear();
+    s.residual.extend_from_slice(capacities);
+    s.saturated.clear();
+    s.saturated.resize(m, false);
+    s.frozen.clear();
+    s.frozen.resize(n, false);
+
+    while !s.active.is_empty() {
+        let mut delta = f64::INFINITY;
+        for (r, &sl) in s.slope.iter().enumerate() {
+            if sl > 0.0 {
+                delta = delta.min((s.residual[r].max(0.0)) / sl);
+            }
+        }
+        for &e in &s.active {
+            delta = delta.min(entities[e].max_rate - rates[e]);
+        }
+        if !delta.is_finite() {
+            break;
+        }
+        let delta = delta.max(0.0);
+        for &e in &s.active {
+            rates[e] += delta;
+        }
+        for (r, &sl) in s.slope.iter().enumerate() {
+            if sl > 0.0 {
+                s.residual[r] -= sl * delta;
+                if s.residual[r] <= 1e-9 * capacities[r].max(1.0) {
+                    s.residual[r] = s.residual[r].max(0.0);
+                    s.saturated[r] = true;
+                }
+            }
+        }
+        s.newly_frozen.clear();
+        let (saturated, newly_frozen) = (&s.saturated, &mut s.newly_frozen);
+        s.active.retain(|&e| {
+            let keep = if rates[e] >= entities[e].max_rate - 1e-12 {
+                false
+            } else {
+                !entities[e].demands.iter().any(|&(r, d)| d > 0.0 && saturated[r])
+            };
+            if !keep {
+                newly_frozen.push(e);
+            }
+            keep
+        });
+        if !s.newly_frozen.is_empty() {
+            s.dirty.clear();
+            for &e in &s.newly_frozen {
+                s.frozen[e] = true;
+                for &(r, _) in &entities[e].demands {
+                    if !s.dirty.contains(&r) {
+                        s.dirty.push(r);
+                    }
+                }
+            }
+            for &r in &s.dirty {
+                s.slope[r] = frozen_filtered_sum(&contrib[r], &s.frozen);
+            }
+        }
+    }
+
+    for (e, ent) in entities.iter().enumerate() {
+        for &(r, d) in &ent.demands {
+            out.loads[r] += rates[e] * d;
+        }
+    }
 }
 
 #[cfg(test)]

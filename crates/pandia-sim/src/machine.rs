@@ -36,6 +36,14 @@ impl SimConfig {
         self.engine.faults = faults;
         self
     }
+
+    /// Returns this configuration with the engine's incremental fast path
+    /// (solve reuse + steady-segment coalescing) toggled. On by default;
+    /// the escape hatch lets tests run both paths and assert equivalence.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.engine.incremental = incremental;
+        self
+    }
 }
 
 /// A simulated machine implementing the platform interface.
@@ -107,6 +115,34 @@ impl SimMachine {
             seed: req.seed,
         };
         engine::run_multi_traced(&inputs, &self.config.engine).map_err(PlatformError::from)
+    }
+
+    /// Runs several workloads concurrently, additionally returning the
+    /// engine's [`crate::engine::SimStats`] so callers can assert on the
+    /// incremental fast path (solve reuse, segment coalescing) directly.
+    pub fn run_multi_stats(
+        &mut self,
+        req: &MultiRunRequest<Behavior>,
+    ) -> Result<(Vec<RunResult>, crate::engine::SimStats), PlatformError> {
+        self.validate_multi(req)?;
+        let groups: Vec<GroupInput<'_>> = req
+            .jobs
+            .iter()
+            .map(|job| GroupInput {
+                behavior: &job.workload,
+                placement: &job.placement,
+                data_placement: job.data_placement,
+            })
+            .collect();
+        let inputs = MultiRunInputs {
+            spec: &self.spec,
+            groups: &groups,
+            stressors: &[],
+            fill_background: req.fill_background,
+            turbo: req.turbo,
+            seed: req.seed,
+        };
+        engine::run_multi_stats(&inputs, &self.config.engine).map_err(PlatformError::from)
     }
 
     fn validate_multi(&self, req: &MultiRunRequest<Behavior>) -> Result<(), PlatformError> {

@@ -95,4 +95,20 @@ fn telemetry_is_invisible_when_off_and_complete_when_on() {
 
     // And spans were actually recorded.
     assert!(!recorder.span_events().is_empty(), "instrumented run records spans");
+
+    // Phase 3 — the simulated-time track: the figure 14 experiment re-runs
+    // its fully-occupied points with segment tracing and bridges them onto
+    // the sim-time track (Chrome trace pid 2), one lane per configuration.
+    assert!(
+        recorder.span_events().iter().all(|e| e.track != pandia_obs::Track::Sim),
+        "no sim-time spans before a traced experiment runs"
+    );
+    let mut turbo_ctx = MachineContext::by_name("x3-2").expect("x3-2 preset");
+    pandia_harness::experiments::turbo::run(&mut turbo_ctx).expect("fig14 on x3-2");
+    assert!(
+        recorder.span_events().iter().any(|e| e.track == pandia_obs::Track::Sim),
+        "fig14 must populate the sim-time track"
+    );
+    let trace = recorder.chrome_trace_json();
+    assert!(trace.contains("\"pid\":2"), "sim-time spans must land on pid 2");
 }
