@@ -4,8 +4,8 @@ use pandia_topology::CanonicalPlacement;
 
 /// Usage text shown on parse errors and `pandiactl help`.
 pub const USAGE: &str = "\
-usage: pandiactl [--jobs N] [--no-cache] [--quiet]
-                 [--trace-out FILE] [--metrics-out FILE] <command> [args]
+usage: pandiactl [--jobs N] [--no-cache] [--quiet] [--trace-out FILE]
+                 [--metrics-out FILE] [--events-out FILE] <command> [args]
 
 global options:
   --jobs N, -j N     worker threads for placement sweeps (default: all
@@ -16,6 +16,9 @@ global options:
   --trace-out FILE   write a Chrome trace-event JSON (chrome://tracing,
                      Perfetto) of the run's spans when the command exits
   --metrics-out FILE write the metrics registry as JSONL on exit
+  --events-out FILE  stream raw span events to a JSONL file live while
+                     the command runs (tail -f-able; schema
+                     pandia-events-v1)
   --faults F         inject simulator faults at intensity F in [0,1]
                      during workload profiling runs (transient failures,
                      counter dropout, interference bursts, noise regimes)
@@ -37,7 +40,17 @@ commands:
                                    smallest placement meeting a target
   explore <machine> <workload>     measured-vs-predicted curve (simulated)
   coschedule <machine> <w1> <w2>   joint placement for two workloads
+  submit <log> <job> <class> [-n MACHINES]
+                                   append a submission to a daemon event
+                                   log and show where it lands
+  status <log> [-n MACHINES]       replay a daemon event log and show
+                                   job/queue/fleet status
+  drain <log> [-n MACHINES]        complete every live job in the log
+                                   (appends the completion events)
   help                             show this message
+
+daemon logs use the pandia-eventlog-v1 JSONL schema (see pandiad for
+replay/generation against larger fleets and real machine presets).
 
 PLACEMENT syntax: per-socket groups separated by '|', per-core thread
 counts separated by ','. \"2,1|1\" = one core with 2 threads and one with
@@ -68,6 +81,8 @@ pub struct ExecFlags {
     pub trace_out: Option<String>,
     /// Metrics-registry JSONL output path (`--metrics-out FILE`).
     pub metrics_out: Option<String>,
+    /// Live span-event JSONL stream path (`--events-out FILE`).
+    pub events_out: Option<String>,
     /// Fault-injection intensity for profiling runs (`--faults F`,
     /// 0 = none).
     pub faults: f64,
@@ -84,6 +99,7 @@ impl Default for ExecFlags {
             quiet: false,
             trace_out: None,
             metrics_out: None,
+            events_out: None,
             faults: 0.0,
             robust: false,
         }
@@ -129,6 +145,10 @@ pub fn extract_exec_flags(argv: &[String]) -> Result<(Vec<String>, ExecFlags), S
             }
             "--metrics-out" => {
                 flags.metrics_out = Some(value_of(argv, i)?);
+                i += 2;
+            }
+            "--events-out" => {
+                flags.events_out = Some(value_of(argv, i)?);
                 i += 2;
             }
             "--faults" => {
@@ -222,8 +242,45 @@ pub enum Command {
         /// Second workload name.
         second: String,
     },
+    /// `pandiactl submit <log> <job> <class> [-n MACHINES]`
+    Submit {
+        /// Event log path (created if missing).
+        log: String,
+        /// Job name.
+        job: String,
+        /// Workload class.
+        class: String,
+        /// Synthetic fleet size used to replay the log.
+        machines: usize,
+    },
+    /// `pandiactl status <log> [-n MACHINES]`
+    Status {
+        /// Event log path.
+        log: String,
+        /// Synthetic fleet size used to replay the log.
+        machines: usize,
+    },
+    /// `pandiactl drain <log> [-n MACHINES]`
+    Drain {
+        /// Event log path.
+        log: String,
+        /// Synthetic fleet size used to replay the log.
+        machines: usize,
+    },
     /// `pandiactl help`
     Help,
+}
+
+/// Parses the `-n MACHINES` option shared by the daemon subcommands.
+fn machines_option(options: &[(&String, &String)]) -> Result<usize, String> {
+    match option_value(options, "-n")? {
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("invalid machine count '{v}' (expected >= 1)")),
+        None => Ok(4),
+    }
 }
 
 /// Parses argv (without the program name).
@@ -298,6 +355,22 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let [machine, first, second] =
                 positional_exactly::<3>(&positional, "coschedule <machine> <w1> <w2>")?;
             Ok(Command::CoSchedule { machine, first, second })
+        }
+        "submit" => {
+            let (positional, options) = split_options(&rest)?;
+            let [log, job, class] =
+                positional_exactly::<3>(&positional, "submit <log> <job> <class>")?;
+            Ok(Command::Submit { log, job, class, machines: machines_option(&options)? })
+        }
+        "status" => {
+            let (positional, options) = split_options(&rest)?;
+            let [log] = positional_exactly::<1>(&positional, "status <log>")?;
+            Ok(Command::Status { log, machines: machines_option(&options)? })
+        }
+        "drain" => {
+            let (positional, options) = split_options(&rest)?;
+            let [log] = positional_exactly::<1>(&positional, "drain <log>")?;
+            Ok(Command::Drain { log, machines: machines_option(&options)? })
         }
         other => Err(format!("unknown command '{other}'")),
     }
@@ -512,6 +585,39 @@ mod tests {
         assert!(extract_exec_flags(&argv("--faults 1.5 machines")).is_err());
         assert!(extract_exec_flags(&argv("--faults nope machines")).is_err());
         assert!(extract_exec_flags(&argv("machines --faults")).is_err());
+    }
+
+    #[test]
+    fn extracts_events_out_flag() {
+        let (rest, flags) =
+            extract_exec_flags(&argv("--events-out ev.jsonl status d.jsonl")).unwrap();
+        assert_eq!(flags.events_out, Some("ev.jsonl".into()));
+        assert!(matches!(parse(&rest).unwrap(), Command::Status { .. }));
+        assert!(extract_exec_flags(&argv("machines --events-out")).is_err());
+    }
+
+    #[test]
+    fn parses_daemon_subcommands() {
+        assert_eq!(
+            parse(&argv("submit d.jsonl j0 EP")).unwrap(),
+            Command::Submit {
+                log: "d.jsonl".into(),
+                job: "j0".into(),
+                class: "EP".into(),
+                machines: 4,
+            }
+        );
+        assert_eq!(
+            parse(&argv("status d.jsonl -n 2")).unwrap(),
+            Command::Status { log: "d.jsonl".into(), machines: 2 }
+        );
+        assert_eq!(
+            parse(&argv("drain d.jsonl")).unwrap(),
+            Command::Drain { log: "d.jsonl".into(), machines: 4 }
+        );
+        assert!(parse(&argv("submit d.jsonl j0")).is_err(), "class required");
+        assert!(parse(&argv("status")).is_err());
+        assert!(parse(&argv("status d.jsonl -n 0")).is_err());
     }
 
     #[test]

@@ -285,7 +285,68 @@ pub fn run(
             }
             Ok(())
         }
+        Command::Submit { log, job, class, machines } => {
+            let mut events = read_event_log(&log)?;
+            events.push(pandia_daemon::Event::Submit { job: job.clone(), class });
+            let daemon = replay(&events, machines, exec)?;
+            std::fs::write(&log, pandia_daemon::render_log(&events))?;
+            note_wrote(&log, quiet);
+            // Show what the daemon did with this submission: every
+            // transcript line from the final event.
+            let marker = format!("[{:04}]", events.len() - 1);
+            for line in daemon.transcript().lines().filter(|l| l.starts_with(&marker)) {
+                println!("{line}");
+            }
+            Ok(())
+        }
+        Command::Status { log, machines } => {
+            let events = read_event_log(&log)?;
+            let daemon = replay(&events, machines, exec)?;
+            print!("{}", daemon.status_report());
+            Ok(())
+        }
+        Command::Drain { log, machines } => {
+            let mut events = read_event_log(&log)?;
+            let mut daemon = replay(&events, machines, exec)?;
+            // Persist the drain as explicit completion events so the log
+            // stays the single source of truth.
+            for job in daemon.live_jobs() {
+                events.push(pandia_daemon::Event::Complete { job, elapsed: None });
+            }
+            daemon.drain()?;
+            std::fs::write(&log, pandia_daemon::render_log(&events))?;
+            note_wrote(&log, quiet);
+            let audit = daemon.audit();
+            println!(
+                "drained: {} completed, {} failed, {} retries",
+                audit.completed, audit.failed, audit.retries
+            );
+            Ok(())
+        }
     }
+}
+
+/// Reads a daemon event log, treating a missing file as an empty log.
+fn read_event_log(path: &str) -> Result<Vec<pandia_daemon::Event>, Box<dyn std::error::Error>> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(pandia_daemon::parse_log(&text)?),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(Box::new(e)),
+    }
+}
+
+/// Replays an event log through a fresh daemon over a synthetic fleet.
+fn replay(
+    events: &[pandia_daemon::Event],
+    machines: usize,
+    exec: &ExecContext,
+) -> Result<pandia_daemon::Daemon, Box<dyn std::error::Error>> {
+    let preset = pandia_daemon::synthetic(machines);
+    let config =
+        pandia_daemon::DaemonConfig { exec: exec.clone(), ..pandia_daemon::DaemonConfig::default() };
+    let mut daemon = pandia_daemon::Daemon::new(preset.machines, preset.catalog, config)?;
+    daemon.run(events)?;
+    Ok(daemon)
 }
 
 /// Stable command label used to tag the top-level CLI span.
@@ -301,6 +362,9 @@ fn command_name(command: &Command) -> &'static str {
         Command::Plan { .. } => "plan",
         Command::Explore { .. } => "explore",
         Command::CoSchedule { .. } => "coschedule",
+        Command::Submit { .. } => "submit",
+        Command::Status { .. } => "status",
+        Command::Drain { .. } => "drain",
     }
 }
 

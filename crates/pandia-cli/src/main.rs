@@ -57,6 +57,7 @@ fn main() -> ExitCode {
     let _telemetry = pandia_harness::experiments::TelemetryGuard::new(
         flags.trace_out.clone(),
         flags.metrics_out.clone(),
+        flags.events_out.clone(),
         flags.quiet,
     );
     let exec = match flags.jobs {

@@ -12,14 +12,30 @@
 //! using [`CoScheduler`] to re-place all jobs sharing a machine whenever a
 //! new one lands there. Every decision is prediction-driven — nothing runs
 //! until the schedule is fixed.
+//!
+//! [`FleetScheduler`] is the *batch* view: it needs the whole queue up
+//! front. [`IncrementalFleet`] is the *event-driven* view the `pandiad`
+//! service runs on: jobs [`IncrementalFleet::admit`] and
+//! [`IncrementalFleet::depart`] one at a time, and after every event only
+//! the machines the event can touch are re-solved — every other machine's
+//! co-schedule is answered from a memo keyed on its exact resident set,
+//! counted in `fleet.resolves_skipped`. Because [`CoScheduler`] is a pure
+//! deterministic function of the resident descriptions, the memoized
+//! schedule is bit-identical to a from-scratch re-solve, which the batch
+//! escape hatch ([`IncrementalFleet::with_incremental`]`(false)`) makes
+//! directly checkable: it re-runs every occupied machine fresh on every
+//! event and must produce byte-identical [`FleetSchedule`]s.
+
+use std::collections::BTreeMap;
 
 use pandia_topology::Placement;
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    coschedule::{CoScheduler, Objective},
+    coschedule::{CoSchedule, CoScheduler, Objective},
     description::MachineDescription,
     error::PandiaError,
+    exec::ExecContext,
     workload_desc::WorkloadDescription,
 };
 
@@ -210,6 +226,363 @@ impl<'m> FleetScheduler<'m> {
     }
 }
 
+/// Counters describing how much machine re-solving the incremental fleet
+/// scheduler performed versus avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Machine co-schedules actually computed by [`CoScheduler`].
+    pub resolves: u64,
+    /// Machine co-schedules answered from the resident-set memo instead
+    /// of being recomputed.
+    pub resolves_skipped: u64,
+}
+
+/// The placement an [`IncrementalFleet::admit`] call decided on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Admission {
+    /// The job's stable slot id, used to [`IncrementalFleet::depart`] it.
+    pub slot: usize,
+    /// Index of the chosen machine in the fleet's machine list.
+    pub machine_index: usize,
+    /// Chosen machine's name.
+    pub machine: String,
+    /// Thread count assigned at admission.
+    pub n_threads: usize,
+    /// Predicted completion time at admission (later arrivals on the same
+    /// machine may re-place the job; see [`IncrementalFleet::schedule`]
+    /// for the current view).
+    pub predicted_time: f64,
+}
+
+/// One live job inside the incremental fleet.
+#[derive(Debug, Clone)]
+struct FleetJob {
+    name: String,
+    class: String,
+    /// Per-machine descriptions, indexed like the fleet's machine list.
+    descriptions: Vec<WorkloadDescription>,
+    /// Index of the machine currently hosting the job.
+    machine: usize,
+}
+
+/// Memo key: a machine plus the exact ordered list of resident classes.
+type SolveKey = (usize, Vec<String>);
+
+/// Event-driven fleet scheduling: jobs arrive and depart one at a time,
+/// and only the machines an event touches are re-solved.
+///
+/// The `class` string passed to [`Self::admit`] is a *description
+/// identity*: callers must pass bit-identical `descriptions` for the same
+/// class string, which lets the scheduler memoize machine co-schedules by
+/// `(machine, resident classes)` and answer untouched machines from the
+/// memo. [`CoScheduler`] is a pure function of the resident descriptions,
+/// so memoized answers are bit-identical to recomputed ones — the
+/// `with_incremental(false)` escape hatch (re-solving every occupied
+/// machine from scratch after every event) is the oracle the property
+/// suite diffs against.
+///
+/// Telemetry: every solve bumps `fleet.resolves`; every memo answer bumps
+/// `fleet.resolves_skipped`. [`Self::stats`] reports the same counts
+/// per-instance.
+#[derive(Debug)]
+pub struct IncrementalFleet {
+    machines: Vec<MachineDescription>,
+    exec: ExecContext,
+    incremental: bool,
+    /// Slot table; departed jobs leave `None` (slots are never reused, so
+    /// a slot id is a stable job identity for the fleet's lifetime).
+    jobs: Vec<Option<FleetJob>>,
+    /// Resident slots per machine, in arrival order.
+    residents: Vec<Vec<usize>>,
+    /// The current co-schedule per machine (`None` when idle).
+    current: Vec<Option<CoSchedule>>,
+    cache: BTreeMap<SolveKey, CoSchedule>,
+    stats: FleetStats,
+}
+
+/// The makespan of one machine's co-schedule.
+fn makespan_of(schedule: &CoSchedule) -> f64 {
+    schedule.predictions.iter().map(|p| p.predicted_time).fold(0.0_f64, f64::max)
+}
+
+impl IncrementalFleet {
+    /// Creates an empty incremental fleet over the given machines.
+    pub fn new(machines: Vec<MachineDescription>) -> Result<Self, PandiaError> {
+        if machines.is_empty() {
+            return Err(PandiaError::Mismatch { reason: "fleet has no machines".into() });
+        }
+        let n = machines.len();
+        Ok(Self {
+            machines,
+            exec: ExecContext::serial(),
+            incremental: true,
+            jobs: Vec::new(),
+            residents: vec![Vec::new(); n],
+            current: vec![None; n],
+            cache: BTreeMap::new(),
+            stats: FleetStats::default(),
+        })
+    }
+
+    /// Sets the execution context used for co-schedule searches. Results
+    /// are bit-identical for any worker count.
+    pub fn with_exec(mut self, exec: ExecContext) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Toggles the incremental delta path. With `false`, every occupied
+    /// machine is re-solved from scratch after every event — the batch
+    /// oracle the incremental path must match bit for bit.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// The fleet's machine descriptions.
+    pub fn machines(&self) -> &[MachineDescription] {
+        &self.machines
+    }
+
+    /// Number of jobs currently admitted.
+    pub fn active_jobs(&self) -> usize {
+        self.jobs.iter().flatten().count()
+    }
+
+    /// Whether at least one machine can host another job.
+    pub fn has_capacity(&self) -> bool {
+        self.residents.iter().any(|r| r.len() < MAX_JOBS_PER_MACHINE)
+    }
+
+    /// Solve counters accumulated so far.
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// The machine currently hosting a slot, if the slot is live.
+    pub fn job_machine(&self, slot: usize) -> Option<usize> {
+        self.jobs.get(slot).and_then(|j| j.as_ref()).map(|j| j.machine)
+    }
+
+    /// Drops every memoized solve for one machine, forcing fresh
+    /// re-solves — the hook the online controller's drift handling uses
+    /// after a reprofile invalidates what the fleet believed about a
+    /// machine's residents.
+    pub fn invalidate_machine(&mut self, machine_index: usize) {
+        self.cache.retain(|(m, _), _| *m != machine_index);
+        pandia_obs::count("fleet.invalidations", 1);
+    }
+
+    /// Solves (or recalls) the co-schedule of one machine for an explicit
+    /// resident set. Free-standing over split borrows so callers can hold
+    /// description references into `self.jobs` while the memo mutates.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_machine(
+        machine_index: usize,
+        machine: &MachineDescription,
+        exec: &ExecContext,
+        incremental: bool,
+        cache: &mut BTreeMap<SolveKey, CoSchedule>,
+        stats: &mut FleetStats,
+        key: Vec<String>,
+        descs: &[&WorkloadDescription],
+    ) -> Result<CoSchedule, PandiaError> {
+        if incremental {
+            if let Some(hit) = cache.get(&(machine_index, key.clone())) {
+                stats.resolves_skipped += 1;
+                pandia_obs::count("fleet.resolves_skipped", 1);
+                return Ok(hit.clone());
+            }
+        }
+        let _span = pandia_obs::span("fleet", "solve_machine")
+            .arg("machine", machine_index)
+            .arg("jobs", descs.len());
+        let schedule = CoScheduler::new(machine)
+            .with_objective(Objective::Makespan)
+            .with_exec(exec.clone())
+            .schedule(descs)?;
+        stats.resolves += 1;
+        pandia_obs::count("fleet.resolves", 1);
+        if incremental {
+            cache.insert((machine_index, key), schedule.clone());
+        }
+        Ok(schedule)
+    }
+
+    /// The memo key and description list for a machine's residents, with
+    /// `extra` (an arriving candidate) appended when given.
+    fn machine_inputs<'j>(
+        jobs: &'j [Option<FleetJob>],
+        residents: &[usize],
+        machine_index: usize,
+        extra: Option<(&str, &'j WorkloadDescription)>,
+    ) -> Result<(Vec<String>, Vec<&'j WorkloadDescription>), PandiaError> {
+        let mut key = Vec::with_capacity(residents.len() + 1);
+        let mut descs = Vec::with_capacity(residents.len() + 1);
+        for &slot in residents {
+            let job = jobs.get(slot).and_then(|j| j.as_ref()).ok_or_else(|| {
+                PandiaError::Mismatch { reason: format!("fleet lost job slot {slot}") }
+            })?;
+            key.push(job.class.clone());
+            descs.push(&job.descriptions[machine_index]);
+        }
+        if let Some((class, desc)) = extra {
+            key.push(class.to_string());
+            descs.push(desc);
+        }
+        Ok((key, descs))
+    }
+
+    /// Re-derives the co-schedule of every occupied machine. In
+    /// incremental mode untouched machines are answered from the memo
+    /// (counted as skipped re-solves); in batch mode everything is
+    /// recomputed from scratch.
+    fn refresh(&mut self) -> Result<(), PandiaError> {
+        for m in 0..self.machines.len() {
+            if self.residents[m].is_empty() {
+                self.current[m] = None;
+                continue;
+            }
+            let (key, descs) =
+                Self::machine_inputs(&self.jobs, &self.residents[m], m, None)?;
+            let schedule = Self::solve_machine(
+                m,
+                &self.machines[m],
+                &self.exec,
+                self.incremental,
+                &mut self.cache,
+                &mut self.stats,
+                key,
+                &descs,
+            )?;
+            self.current[m] = Some(schedule);
+        }
+        Ok(())
+    }
+
+    /// Admits a job: places it on the machine that minimizes the rack's
+    /// makespan, re-co-scheduling that machine's residents. Returns
+    /// `Ok(None)` when every machine is full (the caller keeps the job
+    /// queued). `descriptions` must hold one description per fleet
+    /// machine, bit-identical across jobs of the same `class`.
+    pub fn admit(
+        &mut self,
+        name: &str,
+        class: &str,
+        descriptions: Vec<WorkloadDescription>,
+    ) -> Result<Option<Admission>, PandiaError> {
+        if descriptions.len() != self.machines.len() {
+            return Err(PandiaError::Mismatch {
+                reason: format!(
+                    "job '{name}' carries {} descriptions for {} machines",
+                    descriptions.len(),
+                    self.machines.len()
+                ),
+            });
+        }
+        let makespans: Vec<f64> = self
+            .current
+            .iter()
+            .map(|c| c.as_ref().map(makespan_of).unwrap_or(0.0))
+            .collect();
+        let mut best: Option<(usize, CoSchedule, f64)> = None;
+        for (m, description) in descriptions.iter().enumerate() {
+            if self.residents[m].len() >= MAX_JOBS_PER_MACHINE {
+                continue;
+            }
+            let (key, descs) = Self::machine_inputs(
+                &self.jobs,
+                &self.residents[m],
+                m,
+                Some((class, description)),
+            )?;
+            let schedule = Self::solve_machine(
+                m,
+                &self.machines[m],
+                &self.exec,
+                self.incremental,
+                &mut self.cache,
+                &mut self.stats,
+                key,
+                &descs,
+            )?;
+            let new_makespan = makespan_of(&schedule);
+            let rack_makespan = makespans
+                .iter()
+                .enumerate()
+                .map(|(k, &ms)| if k == m { new_makespan } else { ms })
+                .fold(0.0_f64, f64::max);
+            if best.as_ref().map(|(_, _, b)| rack_makespan < *b).unwrap_or(true) {
+                best = Some((m, schedule, rack_makespan));
+            }
+        }
+        let Some((m, schedule, _)) = best else { return Ok(None) };
+        let slot = self.jobs.len();
+        self.jobs.push(Some(FleetJob {
+            name: name.to_string(),
+            class: class.to_string(),
+            descriptions,
+            machine: m,
+        }));
+        self.residents[m].push(slot);
+        let idx = self.residents[m].len() - 1;
+        let admission = Admission {
+            slot,
+            machine_index: m,
+            machine: self.machines[m].machine.clone(),
+            n_threads: schedule.assignments[idx].n_threads,
+            predicted_time: schedule.predictions[idx].predicted_time,
+        };
+        self.current[m] = Some(schedule);
+        self.refresh()?;
+        Ok(Some(admission))
+    }
+
+    /// Removes a job (completion or failure), re-solving only its
+    /// machine. Returns the machine index the job was on.
+    pub fn depart(&mut self, slot: usize) -> Result<usize, PandiaError> {
+        let job = self.jobs.get_mut(slot).and_then(Option::take).ok_or_else(|| {
+            PandiaError::Mismatch { reason: format!("no live job in fleet slot {slot}") }
+        })?;
+        let m = job.machine;
+        self.residents[m].retain(|&s| s != slot);
+        self.refresh()?;
+        Ok(m)
+    }
+
+    /// The current fleet schedule over the live jobs, in slot (arrival)
+    /// order. An idle fleet yields an empty schedule with zero makespan.
+    pub fn schedule(&self) -> Result<FleetSchedule, PandiaError> {
+        let mut assignments = Vec::new();
+        let mut placements = Vec::new();
+        for (slot, job) in self.jobs.iter().enumerate() {
+            let Some(job) = job else { continue };
+            let m = job.machine;
+            let schedule = self.current[m].as_ref().ok_or_else(|| {
+                PandiaError::Mismatch {
+                    reason: format!("machine {m} hosts jobs but has no schedule"),
+                }
+            })?;
+            let idx =
+                self.residents[m].iter().position(|&s| s == slot).ok_or_else(|| {
+                    PandiaError::Mismatch {
+                        reason: format!("slot {slot} missing from machine {m} residents"),
+                    }
+                })?;
+            assignments.push(FleetAssignment {
+                workload: job.name.clone(),
+                machine_index: m,
+                machine: self.machines[m].machine.clone(),
+                n_threads: schedule.assignments[idx].n_threads,
+                predicted_time: schedule.predictions[idx].predicted_time,
+            });
+            placements.push(schedule.placements[idx].clone());
+        }
+        let makespan = self.current.iter().flatten().map(makespan_of).fold(0.0_f64, f64::max);
+        Ok(FleetSchedule { assignments, makespan, placements })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,5 +676,122 @@ mod tests {
         assert!(FleetScheduler::new(&machines).schedule(&refs).is_err());
         assert!(FleetScheduler::new(&machines).schedule(&[]).is_err());
         assert!(FleetScheduler::new(&[]).schedule(&[&jobs[0]]).is_err());
+    }
+
+    /// Bit-level equality for fleet schedules: `PartialEq` on `f64` would
+    /// accept `-0.0 == 0.0`, which is not good enough for the
+    /// incremental-vs-batch oracle.
+    fn assert_schedules_bits_eq(a: &FleetSchedule, b: &FleetSchedule) {
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits(), "makespan differs");
+        assert_eq!(a.assignments.len(), b.assignments.len());
+        assert_eq!(a.placements, b.placements);
+        for (x, y) in a.assignments.iter().zip(&b.assignments) {
+            assert_eq!(x.workload, y.workload);
+            assert_eq!(x.machine_index, y.machine_index);
+            assert_eq!(x.machine, y.machine);
+            assert_eq!(x.n_threads, y.n_threads);
+            assert_eq!(
+                x.predicted_time.to_bits(),
+                y.predicted_time.to_bits(),
+                "predicted_time differs for {}",
+                x.workload
+            );
+        }
+    }
+
+    fn everywhere(desc: &WorkloadDescription, n: usize) -> Vec<WorkloadDescription> {
+        vec![desc.clone(); n]
+    }
+
+    #[test]
+    fn incremental_matches_batch_across_arrivals_and_departures() {
+        let machines = vec![small_machine(), big_machine()];
+        let mut inc = IncrementalFleet::new(machines.clone()).unwrap();
+        let mut batch =
+            IncrementalFleet::new(machines).unwrap().with_incremental(false);
+        let classes = [
+            job("heavy", 6.0, 1.0, 400.0),
+            job("light", 6.0, 1.0, 50.0),
+            job("dram", 2.0, 6.0, 120.0),
+        ];
+        let mut live: Vec<(usize, usize)> = Vec::new(); // (inc slot, batch slot)
+        for step in 0..12usize {
+            if step % 3 == 2 {
+                let (a, b) = live.remove(0);
+                let ma = inc.depart(a).unwrap();
+                let mb = batch.depart(b).unwrap();
+                assert_eq!(ma, mb, "departure machines diverge at step {step}");
+            } else {
+                let class = &classes[step % classes.len()];
+                let name = format!("j{step}");
+                let a = inc
+                    .admit(&name, &class.name, everywhere(class, 2))
+                    .unwrap()
+                    .expect("capacity available");
+                let b = batch
+                    .admit(&name, &class.name, everywhere(class, 2))
+                    .unwrap()
+                    .expect("capacity available");
+                assert_eq!(a.machine_index, b.machine_index, "step {step}");
+                live.push((a.slot, b.slot));
+            }
+            assert_schedules_bits_eq(
+                &inc.schedule().unwrap(),
+                &batch.schedule().unwrap(),
+            );
+        }
+        let stats = inc.stats();
+        assert!(
+            stats.resolves_skipped > 0,
+            "incremental path never hit its memo: {stats:?}"
+        );
+        assert_eq!(batch.stats().resolves_skipped, 0, "batch mode must never skip");
+    }
+
+    #[test]
+    fn full_fleet_queues_instead_of_overpacking() {
+        let mut fleet = IncrementalFleet::new(vec![small_machine()]).unwrap();
+        let j = job("w", 4.0, 1.0, 60.0);
+        for i in 0..MAX_JOBS_PER_MACHINE {
+            assert!(fleet
+                .admit(&format!("j{i}"), "w", everywhere(&j, 1))
+                .unwrap()
+                .is_some());
+        }
+        assert!(!fleet.has_capacity());
+        assert!(fleet.admit("overflow", "w", everywhere(&j, 1)).unwrap().is_none());
+        assert_eq!(fleet.active_jobs(), MAX_JOBS_PER_MACHINE);
+    }
+
+    #[test]
+    fn invalidate_machine_forces_fresh_solves() {
+        let mut fleet = IncrementalFleet::new(vec![small_machine()]).unwrap();
+        let j = job("w", 4.0, 1.0, 60.0);
+        let a = fleet.admit("j0", "w", everywhere(&j, 1)).unwrap().unwrap();
+        let before = fleet.stats();
+        let s0 = fleet.schedule().unwrap();
+        fleet.invalidate_machine(a.machine_index);
+        // Departing an unrelated-but-same-machine event after invalidation
+        // must recompute rather than answer from the memo.
+        let b = fleet.admit("j1", "w", everywhere(&j, 1)).unwrap().unwrap();
+        assert_eq!(b.machine_index, a.machine_index);
+        let after = fleet.stats();
+        assert!(after.resolves > before.resolves, "no fresh solve after invalidation");
+        let _ = s0;
+    }
+
+    #[test]
+    fn departing_a_dead_slot_is_an_error() {
+        let mut fleet = IncrementalFleet::new(vec![small_machine()]).unwrap();
+        let j = job("w", 4.0, 1.0, 60.0);
+        let a = fleet.admit("j0", "w", everywhere(&j, 1)).unwrap().unwrap();
+        assert_eq!(fleet.job_machine(a.slot), Some(0));
+        assert_eq!(fleet.depart(a.slot).unwrap(), 0);
+        assert!(fleet.depart(a.slot).is_err(), "double departure must fail");
+        assert!(fleet.depart(99).is_err(), "unknown slot must fail");
+        assert_eq!(fleet.active_jobs(), 0);
+        let empty = fleet.schedule().unwrap();
+        assert!(empty.assignments.is_empty());
+        assert_eq!(empty.makespan.to_bits(), 0.0_f64.to_bits());
     }
 }

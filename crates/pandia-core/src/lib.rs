@@ -49,7 +49,9 @@ pub use coschedule::{CoSchedule, CoScheduler, JobAssignment, Objective};
 pub use description::MachineDescription;
 pub use error::PandiaError;
 pub use exec::{CacheStats, ExecContext, JointSession, PredictSession, PredictionCache};
-pub use fleet::{FleetAssignment, FleetSchedule, FleetScheduler};
+pub use fleet::{
+    Admission, FleetAssignment, FleetSchedule, FleetScheduler, FleetStats, IncrementalFleet,
+};
 pub use machine_gen::{describe_machine, MachineDescriptionGenerator, MachineGenConfig};
 pub use online::{DriftPolicy, OnlineConfig, OnlineController, OnlineReport};
 pub use planner::{plan, plan_with, scaling_profile, scaling_profile_with, CapacityPlan, ScalingPoint, Target};

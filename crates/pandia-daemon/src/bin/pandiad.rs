@@ -1,0 +1,295 @@
+//! `pandiad` — replay or generate a placement-event stream through the
+//! daemon and report the transcript, audit, and telemetry.
+//!
+//! ```text
+//! pandiad --replay events.jsonl [options]
+//! pandiad --generate 1000 --seed 7 [options]
+//!
+//!   --replay FILE         replay a pandia-eventlog-v1 JSONL file
+//!   --generate N          generate a seeded stream of N events
+//!   --seed S              stream/fault seed (default 7)
+//!   --synthetic N         use N synthetic machines (default 4)
+//!   --machines a,b,..     real machine presets (x5-2, x4-2, x3-2, x2-4)
+//!   --classes a,b,..      workload classes for --machines (default EP,CG,FT)
+//!   --batch               from-scratch batch re-solve (oracle mode)
+//!   --faults INTENSITY    arm the fault plan (0.0..1.0)
+//!   --retries N           placement attempts per job (default 3)
+//!   --drift               enable drift detection (reactive policy)
+//!   --jobs N              co-schedule search workers (default 1)
+//!   --quiet               suppress the transcript on stdout
+//!   --log-out FILE        write the event stream as a replayable JSONL log
+//!   --transcript-out FILE write the transcript to a file
+//!   --trace-out FILE      write a Chrome trace at exit
+//!   --metrics-out FILE    write metrics JSONL at exit
+//!   --events-out FILE     stream span events live while running
+//! ```
+
+use std::process::ExitCode;
+
+use pandia_core::{DriftPolicy, ExecContext};
+use pandia_daemon::{
+    generate_events, parse_log, presets, Daemon, DaemonConfig, FleetPreset,
+};
+use pandia_sim::FaultPlan;
+
+/// Parsed command line.
+struct Options {
+    replay: Option<String>,
+    generate: Option<usize>,
+    seed: u64,
+    synthetic: usize,
+    machines: Option<Vec<String>>,
+    classes: Vec<String>,
+    batch: bool,
+    faults: f64,
+    retries: u32,
+    drift: bool,
+    jobs: usize,
+    quiet: bool,
+    log_out: Option<String>,
+    transcript_out: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    events_out: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        replay: None,
+        generate: None,
+        seed: 7,
+        synthetic: 4,
+        machines: None,
+        classes: vec!["EP".into(), "CG".into(), "FT".into()],
+        batch: false,
+        faults: 0.0,
+        retries: 3,
+        drift: false,
+        jobs: 1,
+        quiet: false,
+        log_out: None,
+        transcript_out: None,
+        trace_out: None,
+        metrics_out: None,
+        events_out: None,
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--replay" => {
+                opts.replay = Some(value(args, i, "--replay")?);
+                i += 2;
+            }
+            "--generate" => {
+                let v = value(args, i, "--generate")?;
+                opts.generate =
+                    Some(v.parse().map_err(|_| format!("bad --generate '{v}'"))?);
+                i += 2;
+            }
+            "--seed" => {
+                let v = value(args, i, "--seed")?;
+                opts.seed = v.parse().map_err(|_| format!("bad --seed '{v}'"))?;
+                i += 2;
+            }
+            "--synthetic" => {
+                let v = value(args, i, "--synthetic")?;
+                opts.synthetic = v.parse().map_err(|_| format!("bad --synthetic '{v}'"))?;
+                i += 2;
+            }
+            "--machines" => {
+                let v = value(args, i, "--machines")?;
+                opts.machines = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+                i += 2;
+            }
+            "--classes" => {
+                let v = value(args, i, "--classes")?;
+                opts.classes = v.split(',').map(|s| s.trim().to_string()).collect();
+                i += 2;
+            }
+            "--batch" => {
+                opts.batch = true;
+                i += 1;
+            }
+            "--faults" => {
+                let v = value(args, i, "--faults")?;
+                opts.faults = v.parse().map_err(|_| format!("bad --faults '{v}'"))?;
+                i += 2;
+            }
+            "--retries" => {
+                let v = value(args, i, "--retries")?;
+                opts.retries = v.parse().map_err(|_| format!("bad --retries '{v}'"))?;
+                i += 2;
+            }
+            "--drift" => {
+                opts.drift = true;
+                i += 1;
+            }
+            "--jobs" | "-j" => {
+                let v = value(args, i, "--jobs")?;
+                opts.jobs = v.parse().map_err(|_| format!("bad --jobs '{v}'"))?;
+                i += 2;
+            }
+            "--quiet" => {
+                opts.quiet = true;
+                i += 1;
+            }
+            "--log-out" => {
+                opts.log_out = Some(value(args, i, "--log-out")?);
+                i += 2;
+            }
+            "--transcript-out" => {
+                opts.transcript_out = Some(value(args, i, "--transcript-out")?);
+                i += 2;
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(value(args, i, "--trace-out")?);
+                i += 2;
+            }
+            "--metrics-out" => {
+                opts.metrics_out = Some(value(args, i, "--metrics-out")?);
+                i += 2;
+            }
+            "--events-out" => {
+                opts.events_out = Some(value(args, i, "--events-out")?);
+                i += 2;
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if opts.replay.is_none() && opts.generate.is_none() {
+        return Err("need --replay FILE or --generate N".into());
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let telemetry =
+        opts.trace_out.is_some() || opts.metrics_out.is_some() || opts.events_out.is_some();
+    if telemetry {
+        pandia_obs::install();
+    }
+    let mut stream = match &opts.events_out {
+        Some(path) => Some(
+            pandia_obs::EventsStream::create(path)
+                .map_err(|e| format!("cannot open --events-out {path}: {e}"))?,
+        ),
+        None => None,
+    };
+
+    let preset: FleetPreset = match &opts.machines {
+        Some(names) => {
+            let names: Vec<&str> = names.iter().map(String::as_str).collect();
+            let classes: Vec<&str> = opts.classes.iter().map(String::as_str).collect();
+            presets::profiled(&names, &classes).map_err(|e| format!("preset: {e:?}"))?
+        }
+        None => presets::synthetic(opts.synthetic),
+    };
+
+    let events = match (&opts.replay, opts.generate) {
+        (Some(path), _) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            parse_log(&text).map_err(|e| format!("parse {path}: {e:?}"))?
+        }
+        (None, Some(n)) => {
+            let classes: Vec<&str> = preset.catalog.keys().map(String::as_str).collect();
+            generate_events(opts.seed, n, &classes)
+        }
+        (None, None) => unreachable!("parse_args enforces a source"),
+    };
+    if let Some(path) = &opts.log_out {
+        std::fs::write(path, pandia_daemon::render_log(&events))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    let config = DaemonConfig {
+        seed: opts.seed,
+        faults: if opts.faults > 0.0 {
+            FaultPlan::with_intensity(opts.faults)
+        } else {
+            FaultPlan::none()
+        },
+        max_attempts: opts.retries,
+        drift: if opts.drift { DriftPolicy::reactive() } else { DriftPolicy::default() },
+        incremental: !opts.batch,
+        exec: ExecContext::new(opts.jobs),
+    };
+    let mut daemon =
+        Daemon::new(preset.machines, preset.catalog, config).map_err(|e| format!("{e:?}"))?;
+
+    for (i, event) in events.iter().enumerate() {
+        daemon.apply(event).map_err(|e| format!("event {i}: {e:?}"))?;
+        if let (Some(stream), Some(recorder)) = (stream.as_mut(), pandia_obs::global()) {
+            stream.poll(recorder).map_err(|e| format!("--events-out: {e}"))?;
+        }
+    }
+
+    if !opts.quiet {
+        print!("{}", daemon.transcript());
+        let audit = daemon.audit();
+        let stats = daemon.fleet_stats();
+        println!(
+            "audit: events={} submitted={} placed={} completed={} failed={} retries={} \
+             faulted={} reprofiles={}",
+            audit.events,
+            audit.submitted,
+            audit.placed,
+            audit.completed,
+            audit.failed,
+            audit.retries,
+            audit.faulted,
+            audit.reprofiles
+        );
+        println!(
+            "fleet: resolves={} skipped={} ({:.1}% skipped)",
+            stats.resolves,
+            stats.resolves_skipped,
+            100.0 * stats.resolves_skipped as f64
+                / (stats.resolves + stats.resolves_skipped).max(1) as f64
+        );
+    }
+    if let Some(path) = &opts.transcript_out {
+        std::fs::write(path, daemon.transcript())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(recorder) = pandia_obs::global() {
+        if let Some(stream) = stream.as_mut() {
+            stream.poll(recorder).map_err(|e| format!("--events-out: {e}"))?;
+        }
+        if let Some(path) = &opts.trace_out {
+            std::fs::write(path, recorder.chrome_trace_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(path) = &opts.metrics_out {
+            std::fs::write(path, recorder.metrics_jsonl())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(opts) => match run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("pandiad: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Err(e) => {
+            if e == "help" {
+                eprintln!("see crate docs: pandiad --replay FILE | --generate N [options]");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("pandiad: {e}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

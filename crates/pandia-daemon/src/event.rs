@@ -1,0 +1,232 @@
+//! The daemon's event model and its replayable JSONL log format.
+//!
+//! `pandiad` is driven entirely by a stream of [`Event`]s — submissions,
+//! completions, failures, and placement queries. A stream can be
+//! serialized to a JSON Lines file (schema [`EVENTLOG_SCHEMA`]) and
+//! replayed later: because the daemon is seeded and logical-time, the
+//! same log always yields byte-identical transcripts and schedules.
+//!
+//! Rendering is hand-rolled (the format is a flat object per line);
+//! parsing goes through `serde_json::Value` so malformed logs produce
+//! diagnosable errors rather than panics.
+
+use pandia_core::PandiaError;
+
+/// Schema tag written as the first line of an event log file.
+pub const EVENTLOG_SCHEMA: &str = "pandia-eventlog-v1";
+
+/// One input to the placement service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A job arrives and asks to be placed. `class` names a workload
+    /// class in the daemon's catalog; all jobs of one class share
+    /// bit-identical descriptions (the incremental scheduler's memo
+    /// contract).
+    Submit {
+        /// Unique job name.
+        job: String,
+        /// Workload class (catalog key).
+        class: String,
+    },
+    /// A job finished. `elapsed` optionally reports the observed logical
+    /// runtime, which feeds drift detection when it disagrees with the
+    /// prediction.
+    Complete {
+        /// Job name.
+        job: String,
+        /// Observed logical runtime, if the caller measured one.
+        elapsed: Option<f64>,
+    },
+    /// A job failed externally; the daemon retries it (up to the
+    /// configured attempt budget) or marks it failed.
+    Fail {
+        /// Job name.
+        job: String,
+    },
+    /// Ask for the current fleet schedule; the answer is appended to the
+    /// transcript.
+    Query,
+}
+
+impl Event {
+    /// The event's kind tag, as written in the log.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Submit { .. } => "submit",
+            Event::Complete { .. } => "complete",
+            Event::Fail { .. } => "fail",
+            Event::Query => "query",
+        }
+    }
+
+    /// Renders the event as one JSONL line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Event::Submit { job, class } => {
+                format!(
+                    "{{\"event\":\"submit\",\"job\":{},\"class\":{}}}",
+                    json_string(job),
+                    json_string(class)
+                )
+            }
+            Event::Complete { job, elapsed } => match elapsed {
+                Some(t) => format!(
+                    "{{\"event\":\"complete\",\"job\":{},\"elapsed\":{}}}",
+                    json_string(job),
+                    format_f64(*t)
+                ),
+                None => {
+                    format!("{{\"event\":\"complete\",\"job\":{}}}", json_string(job))
+                }
+            },
+            Event::Fail { job } => {
+                format!("{{\"event\":\"fail\",\"job\":{}}}", json_string(job))
+            }
+            Event::Query => "{\"event\":\"query\"}".to_string(),
+        }
+    }
+}
+
+/// JSON string escaping for the tiny subset of strings job names and
+/// classes use (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` so it round-trips through `serde_json` bit-exactly
+/// for the values event logs carry (finite, positive).
+fn format_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Renders a full event log (schema line plus one line per event).
+pub fn render_log(events: &[Event]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"");
+    out.push_str(EVENTLOG_SCHEMA);
+    out.push_str("\"}\n");
+    for event in events {
+        out.push_str(&event.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Looks up a member of a JSON object value by key.
+fn field<'a>(value: &'a serde_json::Value, key: &str) -> Option<&'a serde_json::Value> {
+    value.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A string field of a JSON object, or an error naming what was wrong.
+fn str_field(value: &serde_json::Value, key: &str, line: usize) -> Result<String, PandiaError> {
+    field(value, key)
+        .and_then(|v| v.as_str())
+        .map(|s| s.to_string())
+        .ok_or_else(|| PandiaError::Serde {
+            message: format!("event log line {line}: missing string field '{key}'"),
+        })
+}
+
+/// Parses an event log rendered by [`render_log`]. The first line must
+/// carry the [`EVENTLOG_SCHEMA`] tag; blank lines are ignored.
+pub fn parse_log(text: &str) -> Result<Vec<Event>, PandiaError> {
+    let mut events = Vec::new();
+    let mut saw_schema = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| PandiaError::Serde {
+                message: format!("event log line {}: {e}", i + 1),
+            })?;
+        if !saw_schema {
+            let schema = str_field(&value, "schema", i + 1)?;
+            if schema != EVENTLOG_SCHEMA {
+                return Err(PandiaError::Serde {
+                    message: format!(
+                        "event log schema mismatch: expected '{EVENTLOG_SCHEMA}', got '{schema}'"
+                    ),
+                });
+            }
+            saw_schema = true;
+            continue;
+        }
+        let kind = str_field(&value, "event", i + 1)?;
+        let event = match kind.as_str() {
+            "submit" => Event::Submit {
+                job: str_field(&value, "job", i + 1)?,
+                class: str_field(&value, "class", i + 1)?,
+            },
+            "complete" => Event::Complete {
+                job: str_field(&value, "job", i + 1)?,
+                elapsed: field(&value, "elapsed").and_then(|v| v.as_f64()),
+            },
+            "fail" => Event::Fail { job: str_field(&value, "job", i + 1)? },
+            "query" => Event::Query,
+            other => {
+                return Err(PandiaError::Serde {
+                    message: format!("event log line {}: unknown event '{other}'", i + 1),
+                })
+            }
+        };
+        events.push(event);
+    }
+    if !saw_schema {
+        return Err(PandiaError::Serde { message: "event log is empty (no schema line)".into() });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_round_trips_through_render_and_parse() {
+        let events = vec![
+            Event::Submit { job: "j0".into(), class: "EP".into() },
+            Event::Complete { job: "j0".into(), elapsed: Some(123.5) },
+            Event::Submit { job: "j\"1".into(), class: "CG".into() },
+            Event::Fail { job: "j\"1".into() },
+            Event::Complete { job: "j\"1".into(), elapsed: None },
+            Event::Query,
+        ];
+        let text = render_log(&events);
+        assert!(text.starts_with("{\"schema\":\"pandia-eventlog-v1\"}\n"));
+        let parsed = parse_log(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn bad_logs_are_rejected_with_context() {
+        assert!(parse_log("").is_err());
+        assert!(parse_log("{\"schema\":\"other-v9\"}\n").is_err());
+        let missing =
+            "{\"schema\":\"pandia-eventlog-v1\"}\n{\"event\":\"submit\",\"job\":\"a\"}\n";
+        let err = parse_log(missing).unwrap_err();
+        assert!(format!("{err:?}").contains("class"), "error should name the field: {err:?}");
+        let unknown = "{\"schema\":\"pandia-eventlog-v1\"}\n{\"event\":\"explode\"}\n";
+        assert!(parse_log(unknown).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Job records and their status machine.
+//!
+//! Every submitted job moves through the explicit lifecycle
+//! `queued → running → completed/failed` (with `running → queued` on a
+//! retried failure). The daemon keeps one [`JobRecord`] per submission
+//! for its whole life — records are never dropped, so the audit trail
+//! can always account for every job the service ever saw.
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting for fleet capacity.
+    Queued,
+    /// Placed on a machine and running.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Exhausted its attempt budget.
+    Failed,
+}
+
+impl JobStatus {
+    /// Lower-case tag used in transcripts and status output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed => "completed",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One job as the daemon tracks it.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Unique job name from the submit event.
+    pub name: String,
+    /// Workload class (catalog key).
+    pub class: String,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// Placement attempts so far (both faulted placements and external
+    /// failures count).
+    pub attempts: u32,
+    /// Fleet slot while running.
+    pub slot: Option<usize>,
+    /// Hosting machine index while running.
+    pub machine: Option<usize>,
+    /// Predicted completion time at the most recent placement.
+    pub predicted_time: Option<f64>,
+}
+
+impl JobRecord {
+    /// A freshly submitted job.
+    pub fn new(name: &str, class: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            class: class.to_string(),
+            status: JobStatus::Queued,
+            attempts: 0,
+            slot: None,
+            machine: None,
+            predicted_time: None,
+        }
+    }
+
+    /// Whether the job still occupies (or may occupy) fleet resources.
+    pub fn is_live(&self) -> bool {
+        matches!(self.status, JobStatus::Queued | JobStatus::Running)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_jobs_are_queued_and_live() {
+        let job = JobRecord::new("j0", "EP");
+        assert_eq!(job.status, JobStatus::Queued);
+        assert!(job.is_live());
+        assert_eq!(job.status.tag(), "queued");
+    }
+}

@@ -1,0 +1,175 @@
+//! Ready-made fleets and class catalogs for the daemon.
+//!
+//! Two flavors:
+//!
+//! * [`synthetic`] — tiny hand-built machines and workload classes with
+//!   no profiling at all. Deterministic and fast; this is what the test
+//!   suites, goldens, and CI smoke runs use.
+//! * [`profiled`] — real machine presets (X5-2, X4-2, X3-2, X2-4) whose
+//!   descriptions come from the description generator against the
+//!   simulator, and classes profiled with the six-run §4 pipeline —
+//!   the full-fidelity path `pandiad --machines x3-2,... --classes EP,...`
+//!   exercises.
+
+use std::collections::BTreeMap;
+
+use pandia_core::{
+    describe_machine, MachineDescription, PandiaError, WorkloadDescription, WorkloadProfiler,
+};
+use pandia_sim::SimMachine;
+use pandia_topology::{DemandVector, MachineShape, MachineSpec};
+
+use crate::service::ClassCatalog;
+
+/// A fleet plus the workload classes it can place.
+#[derive(Debug, Clone)]
+pub struct FleetPreset {
+    /// Machine descriptions, in fleet order.
+    pub machines: Vec<MachineDescription>,
+    /// Per-class, per-machine workload descriptions.
+    pub catalog: ClassCatalog,
+}
+
+/// Names of the classes every synthetic preset carries.
+pub const SYNTHETIC_CLASSES: [&str; 3] = ["cpu", "mem", "balanced"];
+
+/// A synthetic workload description: no profiling, just a plausible
+/// demand vector. `nodes` must match the machine's memory-node count.
+fn synthetic_class(name: &str, instr: f64, dram: f64, t1: f64, nodes: usize) -> WorkloadDescription {
+    WorkloadDescription {
+        name: name.into(),
+        machine: "any".into(),
+        t1,
+        demand: DemandVector {
+            instr,
+            l1: 0.0,
+            l2: 0.0,
+            l3: 0.0,
+            dram: vec![dram / nodes as f64; nodes],
+        },
+        parallel_fraction: 0.99,
+        inter_socket_overhead: 0.002,
+        load_balance: 1.0,
+        burstiness: 0.1,
+    }
+}
+
+/// A fleet of `n` small synthetic machines (alternating a 2x2x2 "small"
+/// and a beefier 2x8x2 "big" variant) with the [`SYNTHETIC_CLASSES`]
+/// catalog. Fully deterministic, no profiling, safe for fast tests.
+pub fn synthetic(n: usize) -> FleetPreset {
+    let mut machines = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut m = MachineDescription::toy();
+        if i % 2 == 0 {
+            m.machine = format!("small{i}");
+            m.shape = MachineShape { sockets: 2, cores_per_socket: 2, threads_per_core: 2 };
+        } else {
+            m.machine = format!("big{i}");
+            m.shape = MachineShape { sockets: 2, cores_per_socket: 8, threads_per_core: 2 };
+            m.capacities.dram_per_socket = 200.0;
+            m.capacities.interconnect_per_link = 100.0;
+        }
+        machines.push(m);
+    }
+    let nodes = 2;
+    let classes = [
+        synthetic_class("cpu", 6.0, 1.0, 120.0, nodes),
+        synthetic_class("mem", 2.0, 6.0, 90.0, nodes),
+        synthetic_class("balanced", 4.0, 3.0, 100.0, nodes),
+    ];
+    let mut catalog = BTreeMap::new();
+    for class in classes {
+        catalog.insert(class.name.clone(), vec![class; machines.len()]);
+    }
+    FleetPreset { machines, catalog }
+}
+
+/// Like [`synthetic`], but every machine is the small 2x2x2 variant —
+/// the cheapest co-schedules the solver can do, which is what the
+/// per-event bit-identity property suites (which run a from-scratch
+/// batch oracle after every event) want.
+pub fn synthetic_small(n: usize) -> FleetPreset {
+    let mut preset = synthetic(n);
+    for (i, m) in preset.machines.iter_mut().enumerate() {
+        let mut small = MachineDescription::toy();
+        small.machine = format!("small{i}");
+        small.shape = MachineShape { sockets: 2, cores_per_socket: 2, threads_per_core: 2 };
+        *m = small;
+    }
+    preset
+}
+
+/// Resolves a machine preset name to its spec (same names the harness
+/// accepts, plus `toy`).
+pub fn spec_by_name(name: &str) -> Result<MachineSpec, PandiaError> {
+    match name.to_ascii_lowercase().as_str() {
+        "x5-2" | "x5_2" | "haswell" => Ok(MachineSpec::x5_2()),
+        "x4-2" | "x4_2" | "ivybridge" | "ivy-bridge" => Ok(MachineSpec::x4_2()),
+        "x3-2" | "x3_2" | "sandybridge" | "sandy-bridge" => Ok(MachineSpec::x3_2()),
+        "x2-4" | "x2_4" | "westmere" => Ok(MachineSpec::x2_4()),
+        "toy" => Ok(MachineSpec::toy()),
+        other => {
+            Err(PandiaError::Mismatch { reason: format!("unknown machine preset '{other}'") })
+        }
+    }
+}
+
+/// Builds a full-fidelity preset: each machine is described by the
+/// generator against its simulator, and each class is profiled on each
+/// machine with the six-run pipeline. Deterministic (the simulator is
+/// seeded), but far slower than [`synthetic`].
+pub fn profiled(machine_names: &[&str], class_names: &[&str]) -> Result<FleetPreset, PandiaError> {
+    let mut machines = Vec::with_capacity(machine_names.len());
+    let mut platforms = Vec::with_capacity(machine_names.len());
+    for name in machine_names {
+        let spec = spec_by_name(name)?;
+        let mut platform = SimMachine::new(spec);
+        let description = describe_machine(&mut platform)?;
+        machines.push(description);
+        platforms.push(platform);
+    }
+    let mut catalog = BTreeMap::new();
+    for class in class_names {
+        let entry = pandia_workloads::by_name(class).ok_or_else(|| PandiaError::Mismatch {
+            reason: format!("unknown workload class '{class}'"),
+        })?;
+        let mut descs = Vec::with_capacity(machines.len());
+        for (machine, platform) in machines.iter().zip(&mut platforms) {
+            let profiler = WorkloadProfiler::new(machine);
+            let report = profiler.profile(platform, &entry.behavior, entry.name)?;
+            descs.push(report.description);
+        }
+        catalog.insert((*class).to_string(), descs);
+    }
+    Ok(FleetPreset { machines, catalog })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_presets_are_consistent() {
+        let preset = synthetic(3);
+        assert_eq!(preset.machines.len(), 3);
+        assert_eq!(preset.catalog.len(), SYNTHETIC_CLASSES.len());
+        for (class, descs) in &preset.catalog {
+            assert_eq!(descs.len(), 3, "class {class}");
+            assert!(SYNTHETIC_CLASSES.contains(&class.as_str()));
+        }
+        // Same class twice -> bit-identical descriptions (the memo contract).
+        let a = &preset.catalog["cpu"][0];
+        let b = &synthetic(3).catalog["cpu"][0];
+        assert_eq!(a.t1.to_bits(), b.t1.to_bits());
+        assert_eq!(a.demand.instr.to_bits(), b.demand.instr.to_bits());
+    }
+
+    #[test]
+    fn spec_names_resolve_like_the_harness() {
+        assert!(spec_by_name("x3-2").is_ok());
+        assert!(spec_by_name("SandyBridge").is_ok());
+        assert!(spec_by_name("toy").is_ok());
+        assert!(spec_by_name("cray-1").is_err());
+    }
+}

@@ -1,0 +1,599 @@
+//! The placement service: an event loop over the incremental fleet
+//! scheduler.
+//!
+//! [`Daemon`] consumes [`Event`]s one at a time, maintains the job
+//! queue's status transitions, and keeps the fleet schedule current via
+//! [`IncrementalFleet`] — re-solving only the machines each event
+//! touches (the `with_incremental(false)` escape hatch re-solves
+//! everything from scratch and must agree bit for bit).
+//!
+//! Everything is seeded and logical-time: faults are drawn from a
+//! splitmix64 hash of `(seed, job, attempt)`, the transcript's clock is
+//! the event index, and times are predictions — so the same event log
+//! always produces byte-identical transcripts and schedules, at any
+//! `--jobs` worker count.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+use pandia_core::{
+    DriftPolicy, ExecContext, FleetSchedule, FleetStats, IncrementalFleet, MachineDescription,
+    PandiaError, WorkloadDescription,
+};
+use pandia_sim::FaultPlan;
+
+use crate::event::Event;
+use crate::job::{JobRecord, JobStatus};
+
+/// Per-machine workload descriptions for each job class the daemon can
+/// place. The class string is a description identity: every submission
+/// of a class uses these exact descriptions, which is what lets the
+/// incremental scheduler answer repeated resident sets from its memo.
+pub type ClassCatalog = BTreeMap<String, Vec<WorkloadDescription>>;
+
+/// Tunables for a daemon instance.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Seed for fault draws (and anything else the daemon randomizes).
+    pub seed: u64,
+    /// Fault plan: `transient_rate` is the per-placement probability that
+    /// a job's startup faults and must be retried.
+    pub faults: FaultPlan,
+    /// Placement attempts before a job is marked failed.
+    pub max_attempts: u32,
+    /// Drift handling for observed-vs-predicted completion times.
+    pub drift: DriftPolicy,
+    /// Incremental delta path (default) vs from-scratch batch oracle.
+    pub incremental: bool,
+    /// Execution context for co-schedule searches.
+    pub exec: ExecContext,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5EED,
+            faults: FaultPlan::none(),
+            max_attempts: 3,
+            drift: DriftPolicy::default(),
+            incremental: true,
+            exec: ExecContext::serial(),
+        }
+    }
+}
+
+/// The audit ledger: every consequential transition the daemon made,
+/// counted. Telemetry counters must reconcile against this exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonAudit {
+    /// Events applied.
+    pub events: u64,
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Successful placements (a retried job counts once per success).
+    pub placed: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs that exhausted their attempt budget (or were canceled).
+    pub failed: u64,
+    /// Re-queues after a fault or external failure.
+    pub retries: u64,
+    /// Faulted placements drawn from the fault plan.
+    pub faulted: u64,
+    /// Machine reprofiles triggered by drift detection.
+    pub reprofiles: u64,
+}
+
+/// `pandiad`: the event-driven placement service.
+#[derive(Debug)]
+pub struct Daemon {
+    config: DaemonConfig,
+    fleet: IncrementalFleet,
+    catalog: ClassCatalog,
+    jobs: Vec<JobRecord>,
+    index: BTreeMap<String, usize>,
+    queue: VecDeque<usize>,
+    transcript: String,
+    audit: DaemonAudit,
+    clock: u64,
+    drift_streak: Vec<usize>,
+    reprofiles_done: usize,
+}
+
+/// A uniform draw in `[0, 1)` from a splitmix64 hash of the seed, the
+/// job name, and the attempt number — stateless, so replays at any
+/// worker count see the identical fault storm.
+fn fault_roll(seed: u64, job: &str, attempt: u32) -> f64 {
+    let mut h = seed ^ 0x243F_6A88_85A3_08D3;
+    for b in job.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl Daemon {
+    /// Creates a daemon over a fleet of machines and a class catalog.
+    /// Every catalog entry must carry exactly one description per
+    /// machine.
+    pub fn new(
+        machines: Vec<MachineDescription>,
+        catalog: ClassCatalog,
+        config: DaemonConfig,
+    ) -> Result<Self, PandiaError> {
+        let n = machines.len();
+        for (class, descs) in &catalog {
+            if descs.len() != n {
+                return Err(PandiaError::Mismatch {
+                    reason: format!(
+                        "class '{class}' has {} descriptions for {n} machines",
+                        descs.len()
+                    ),
+                });
+            }
+        }
+        let fleet = IncrementalFleet::new(machines)?
+            .with_exec(config.exec.clone())
+            .with_incremental(config.incremental);
+        Ok(Self {
+            config,
+            fleet,
+            catalog,
+            jobs: Vec::new(),
+            index: BTreeMap::new(),
+            queue: VecDeque::new(),
+            transcript: String::new(),
+            audit: DaemonAudit::default(),
+            clock: 0,
+            drift_streak: vec![0; n],
+            reprofiles_done: 0,
+        })
+    }
+
+    /// The accumulated status transcript (one line per transition, logical
+    /// clock = event index).
+    pub fn transcript(&self) -> &str {
+        &self.transcript
+    }
+
+    /// The audit ledger so far.
+    pub fn audit(&self) -> DaemonAudit {
+        self.audit
+    }
+
+    /// Solve counters from the underlying fleet scheduler.
+    pub fn fleet_stats(&self) -> FleetStats {
+        self.fleet.stats()
+    }
+
+    /// The current fleet schedule over running jobs.
+    pub fn schedule(&self) -> Result<FleetSchedule, PandiaError> {
+        self.fleet.schedule()
+    }
+
+    /// Number of jobs waiting for capacity.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of jobs currently placed.
+    pub fn running(&self) -> usize {
+        self.fleet.active_jobs()
+    }
+
+    fn say(&mut self, line: &str) {
+        let _ = writeln!(self.transcript, "[{:04}] {line}", self.clock);
+    }
+
+    /// Applies one event. Each application is wrapped in a `daemon` span
+    /// whose duration feeds the `daemon.event_latency_us` histogram.
+    pub fn apply(&mut self, event: &Event) -> Result<(), PandiaError> {
+        let _span = pandia_obs::span("daemon", event.kind())
+            .arg("clock", self.clock)
+            .observe_as("daemon.event_latency_us");
+        pandia_obs::count("daemon.events", 1);
+        self.audit.events += 1;
+        match event {
+            Event::Submit { job, class } => self.on_submit(job, class)?,
+            Event::Complete { job, elapsed } => self.on_complete(job, *elapsed)?,
+            Event::Fail { job } => self.on_fail(job)?,
+            Event::Query => self.on_query()?,
+        }
+        pandia_obs::gauge("daemon.queue_depth", self.queue.len() as f64);
+        pandia_obs::gauge("daemon.running", self.fleet.active_jobs() as f64);
+        self.clock += 1;
+        Ok(())
+    }
+
+    /// Applies a whole event stream in order.
+    pub fn run(&mut self, events: &[Event]) -> Result<(), PandiaError> {
+        for event in events {
+            self.apply(event)?;
+        }
+        Ok(())
+    }
+
+    fn on_submit(&mut self, job: &str, class: &str) -> Result<(), PandiaError> {
+        if self.index.contains_key(job) {
+            return Err(PandiaError::Mismatch {
+                reason: format!("duplicate submission of job '{job}'"),
+            });
+        }
+        if !self.catalog.contains_key(class) {
+            return Err(PandiaError::Mismatch {
+                reason: format!("job '{job}' names unknown class '{class}'"),
+            });
+        }
+        let id = self.jobs.len();
+        self.jobs.push(JobRecord::new(job, class));
+        self.index.insert(job.to_string(), id);
+        self.queue.push_back(id);
+        pandia_obs::count("daemon.submitted", 1);
+        self.audit.submitted += 1;
+        self.say(&format!("submit {job} class={class} -> queued"));
+        self.dispatch()
+    }
+
+    fn on_complete(&mut self, job: &str, elapsed: Option<f64>) -> Result<(), PandiaError> {
+        let id = self.lookup(job)?;
+        match self.jobs[id].status {
+            JobStatus::Running => {
+                let slot = self.jobs[id].slot.ok_or_else(|| PandiaError::Mismatch {
+                    reason: format!("running job '{job}' has no fleet slot"),
+                })?;
+                let machine = self.fleet.depart(slot)?;
+                let predicted = self.jobs[id].predicted_time;
+                self.jobs[id].status = JobStatus::Completed;
+                self.jobs[id].slot = None;
+                pandia_obs::count("daemon.completed", 1);
+                self.audit.completed += 1;
+                self.say(&format!("complete {job} machine={machine} -> completed"));
+                self.check_drift(machine, predicted, elapsed);
+            }
+            JobStatus::Queued => {
+                self.queue.retain(|&q| q != id);
+                self.jobs[id].status = JobStatus::Completed;
+                pandia_obs::count("daemon.completed", 1);
+                self.audit.completed += 1;
+                self.say(&format!("complete {job} (was queued) -> completed"));
+            }
+            status => {
+                self.say(&format!("complete {job} ignored (already {})", status.tag()));
+            }
+        }
+        self.dispatch()
+    }
+
+    fn on_fail(&mut self, job: &str) -> Result<(), PandiaError> {
+        let id = self.lookup(job)?;
+        match self.jobs[id].status {
+            JobStatus::Running => {
+                let slot = self.jobs[id].slot.ok_or_else(|| PandiaError::Mismatch {
+                    reason: format!("running job '{job}' has no fleet slot"),
+                })?;
+                let machine = self.fleet.depart(slot)?;
+                self.jobs[id].slot = None;
+                self.jobs[id].machine = None;
+                if self.jobs[id].attempts >= self.config.max_attempts {
+                    self.jobs[id].status = JobStatus::Failed;
+                    pandia_obs::count("daemon.failed", 1);
+                    self.audit.failed += 1;
+                    self.say(&format!(
+                        "fail {job} machine={machine} attempts exhausted -> failed"
+                    ));
+                } else {
+                    self.jobs[id].status = JobStatus::Queued;
+                    self.queue.push_back(id);
+                    pandia_obs::count("daemon.retries", 1);
+                    self.audit.retries += 1;
+                    self.say(&format!("fail {job} machine={machine} -> queued (retry)"));
+                }
+            }
+            JobStatus::Queued => {
+                self.queue.retain(|&q| q != id);
+                self.jobs[id].status = JobStatus::Failed;
+                pandia_obs::count("daemon.failed", 1);
+                self.audit.failed += 1;
+                self.say(&format!("fail {job} (was queued) -> failed"));
+            }
+            status => {
+                self.say(&format!("fail {job} ignored (already {})", status.tag()));
+            }
+        }
+        self.dispatch()
+    }
+
+    fn on_query(&mut self) -> Result<(), PandiaError> {
+        let schedule = self.fleet.schedule()?;
+        self.say(&format!(
+            "query makespan={:.6} running={} queued={}",
+            schedule.makespan,
+            schedule.assignments.len(),
+            self.queue.len()
+        ));
+        for a in &schedule.assignments {
+            self.say(&format!(
+                "  {} machine={} threads={} predicted={:.6}",
+                a.workload, a.machine, a.n_threads, a.predicted_time
+            ));
+        }
+        Ok(())
+    }
+
+    /// Places queued jobs (FIFO) while the fleet has capacity, drawing a
+    /// fault per placement attempt. A faulted placement departs
+    /// immediately and retries within the same event until it lands or
+    /// the attempt budget runs out — the deterministic "retry storm".
+    fn dispatch(&mut self) -> Result<(), PandiaError> {
+        while let Some(&id) = self.queue.front() {
+            if !self.fleet.has_capacity() {
+                break;
+            }
+            let name = self.jobs[id].name.clone();
+            let class = self.jobs[id].class.clone();
+            let descs = self.catalog.get(&class).cloned().ok_or_else(|| {
+                PandiaError::Mismatch { reason: format!("class '{class}' left the catalog") }
+            })?;
+            let mut landed = false;
+            while self.jobs[id].attempts < self.config.max_attempts {
+                let Some(admission) = self.fleet.admit(&name, &class, descs.clone())? else {
+                    // Lost capacity mid-retry; leave the job queued.
+                    return Ok(());
+                };
+                self.jobs[id].attempts += 1;
+                let roll = fault_roll(self.config.seed, &name, self.jobs[id].attempts);
+                if roll < self.config.faults.transient_rate {
+                    self.fleet.depart(admission.slot)?;
+                    pandia_obs::count("daemon.faulted", 1);
+                    self.audit.faulted += 1;
+                    self.say(&format!(
+                        "fault {name} attempt={} machine={} -> retry",
+                        self.jobs[id].attempts, admission.machine
+                    ));
+                    if self.jobs[id].attempts < self.config.max_attempts {
+                        pandia_obs::count("daemon.retries", 1);
+                        self.audit.retries += 1;
+                    }
+                    continue;
+                }
+                self.jobs[id].status = JobStatus::Running;
+                self.jobs[id].slot = Some(admission.slot);
+                self.jobs[id].machine = Some(admission.machine_index);
+                self.jobs[id].predicted_time = Some(admission.predicted_time);
+                pandia_obs::count("daemon.placed", 1);
+                self.audit.placed += 1;
+                self.say(&format!(
+                    "place {name} machine={} threads={} predicted={:.6} -> running",
+                    admission.machine, admission.n_threads, admission.predicted_time
+                ));
+                landed = true;
+                break;
+            }
+            self.queue.pop_front();
+            if !landed {
+                self.jobs[id].status = JobStatus::Failed;
+                pandia_obs::count("daemon.failed", 1);
+                self.audit.failed += 1;
+                self.say(&format!(
+                    "fail {name} after {} faulted attempts -> failed",
+                    self.jobs[id].attempts
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Drift handling: consecutive completions on one machine whose
+    /// observed runtimes deviate from prediction beyond the tolerance
+    /// invalidate that machine's solve memo (a "reprofile"), forcing
+    /// fresh co-schedules until the memo rebuilds.
+    fn check_drift(&mut self, machine: usize, predicted: Option<f64>, elapsed: Option<f64>) {
+        if !self.config.drift.enabled {
+            return;
+        }
+        let (Some(predicted), Some(elapsed)) = (predicted, elapsed) else { return };
+        if predicted <= 0.0 {
+            return;
+        }
+        let deviation = ((elapsed - predicted) / predicted).abs();
+        if deviation > self.config.drift.tolerance {
+            self.drift_streak[machine] += 1;
+        } else {
+            self.drift_streak[machine] = 0;
+        }
+        if self.drift_streak[machine] >= self.config.drift.consecutive
+            && self.reprofiles_done < self.config.drift.max_reprofiles
+        {
+            self.fleet.invalidate_machine(machine);
+            self.reprofiles_done += 1;
+            self.audit.reprofiles += 1;
+            pandia_obs::count("daemon.reprofiles", 1);
+            self.drift_streak[machine] = 0;
+            let streak = self.config.drift.consecutive;
+            self.say(&format!("reprofile machine={machine} (drift x{streak})"));
+        }
+    }
+
+    fn lookup(&self, job: &str) -> Result<usize, PandiaError> {
+        self.index.get(job).copied().ok_or_else(|| PandiaError::Mismatch {
+            reason: format!("unknown job '{job}'"),
+        })
+    }
+
+    /// A human-readable status report for `pandiactl status`.
+    pub fn status_report(&self) -> String {
+        let mut out = String::new();
+        let counts = self.jobs.iter().fold([0usize; 4], |mut acc, j| {
+            match j.status {
+                JobStatus::Queued => acc[0] += 1,
+                JobStatus::Running => acc[1] += 1,
+                JobStatus::Completed => acc[2] += 1,
+                JobStatus::Failed => acc[3] += 1,
+            }
+            acc
+        });
+        let _ = writeln!(
+            out,
+            "jobs: {} queued, {} running, {} completed, {} failed",
+            counts[0], counts[1], counts[2], counts[3]
+        );
+        let stats = self.fleet.stats();
+        let _ = writeln!(
+            out,
+            "fleet: {} machines, {} resolves, {} skipped",
+            self.fleet.machines().len(),
+            stats.resolves,
+            stats.resolves_skipped
+        );
+        for job in &self.jobs {
+            if job.is_live() {
+                let place = match job.machine {
+                    Some(m) => format!(" machine={m}"),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  {} class={} status={}{place} attempts={}",
+                    job.name,
+                    job.class,
+                    job.status.tag(),
+                    job.attempts
+                );
+            }
+        }
+        out
+    }
+
+    /// Names of the live (queued or running) jobs, in submission order.
+    pub fn live_jobs(&self) -> Vec<String> {
+        self.jobs.iter().filter(|j| j.is_live()).map(|j| j.name.clone()).collect()
+    }
+
+    /// Drains the daemon: completes every running job and cancels every
+    /// queued one, in deterministic (submission) order. Used by
+    /// `pandiactl drain` and at shutdown.
+    pub fn drain(&mut self) -> Result<(), PandiaError> {
+        for name in self.live_jobs() {
+            self.apply(&Event::Complete { job: name, elapsed: None })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::synthetic;
+
+    fn daemon(config: DaemonConfig) -> Daemon {
+        let preset = synthetic(2);
+        Daemon::new(preset.machines, preset.catalog, config).unwrap()
+    }
+
+    #[test]
+    fn submit_place_complete_transitions() {
+        let mut d = daemon(DaemonConfig::default());
+        d.apply(&Event::Submit { job: "a".into(), class: "cpu".into() }).unwrap();
+        assert_eq!(d.running(), 1);
+        assert_eq!(d.queued(), 0);
+        d.apply(&Event::Complete { job: "a".into(), elapsed: None }).unwrap();
+        assert_eq!(d.running(), 0);
+        let t = d.transcript();
+        assert!(t.contains("submit a class=cpu -> queued"), "{t}");
+        assert!(t.contains("place a machine="), "{t}");
+        assert!(t.contains("complete a machine=") && t.contains("-> completed"), "{t}");
+        assert_eq!(d.audit().completed, 1);
+    }
+
+    #[test]
+    fn full_fleet_queues_then_dispatches_on_departure() {
+        let mut d = daemon(DaemonConfig::default());
+        // 2 synthetic machines x 3 slots = capacity 6.
+        for i in 0..7 {
+            d.apply(&Event::Submit { job: format!("j{i}"), class: "cpu".into() }).unwrap();
+        }
+        assert_eq!(d.running(), 6);
+        assert_eq!(d.queued(), 1);
+        d.apply(&Event::Complete { job: "j0".into(), elapsed: None }).unwrap();
+        assert_eq!(d.running(), 6, "queued job should dispatch after capacity frees");
+        assert_eq!(d.queued(), 0);
+    }
+
+    #[test]
+    fn unknown_jobs_and_classes_are_errors() {
+        let mut d = daemon(DaemonConfig::default());
+        assert!(d
+            .apply(&Event::Submit { job: "a".into(), class: "no-such".into() })
+            .is_err());
+        assert!(d.apply(&Event::Complete { job: "ghost".into(), elapsed: None }).is_err());
+        d.apply(&Event::Submit { job: "a".into(), class: "cpu".into() }).unwrap();
+        assert!(
+            d.apply(&Event::Submit { job: "a".into(), class: "cpu".into() }).is_err(),
+            "duplicate submit must fail"
+        );
+    }
+
+    #[test]
+    fn external_failures_retry_then_exhaust() {
+        let mut d = daemon(DaemonConfig { max_attempts: 2, ..DaemonConfig::default() });
+        d.apply(&Event::Submit { job: "a".into(), class: "cpu".into() }).unwrap();
+        d.apply(&Event::Fail { job: "a".into() }).unwrap();
+        // attempts=1 < 2, so it re-queues and re-places immediately.
+        assert_eq!(d.running(), 1);
+        assert_eq!(d.audit().retries, 1);
+        d.apply(&Event::Fail { job: "a".into() }).unwrap();
+        assert_eq!(d.running(), 0);
+        assert_eq!(d.audit().failed, 1);
+        assert!(d.transcript().contains("attempts exhausted -> failed"));
+    }
+
+    #[test]
+    fn drain_completes_running_and_queued_jobs() {
+        let mut d = daemon(DaemonConfig::default());
+        for i in 0..8 {
+            d.apply(&Event::Submit { job: format!("j{i}"), class: "mem".into() }).unwrap();
+        }
+        d.drain().unwrap();
+        assert_eq!(d.running(), 0);
+        assert_eq!(d.queued(), 0);
+        assert_eq!(d.audit().completed, 8);
+    }
+
+    #[test]
+    fn drift_streak_triggers_a_reprofile() {
+        let config = DaemonConfig {
+            drift: DriftPolicy { enabled: true, tolerance: 0.3, consecutive: 2, max_reprofiles: 1 },
+            ..DaemonConfig::default()
+        };
+        let mut d = daemon(config);
+        for i in 0..4 {
+            d.apply(&Event::Submit { job: format!("j{i}"), class: "cpu".into() }).unwrap();
+        }
+        // Complete jobs with observed times far from prediction; two
+        // consecutive drifted completions on one machine reprofile it.
+        let mut reprofiled = false;
+        for i in 0..4 {
+            d.apply(&Event::Complete { job: format!("j{i}"), elapsed: Some(1.0e9) }).unwrap();
+            if d.audit().reprofiles > 0 {
+                reprofiled = true;
+                break;
+            }
+        }
+        assert!(reprofiled, "drifted completions never triggered a reprofile:\n{}", d.transcript());
+        assert!(d.transcript().contains("reprofile machine="));
+    }
+
+    #[test]
+    fn query_snapshots_the_schedule_into_the_transcript() {
+        let mut d = daemon(DaemonConfig::default());
+        d.apply(&Event::Submit { job: "a".into(), class: "mem".into() }).unwrap();
+        d.apply(&Event::Query).unwrap();
+        let t = d.transcript();
+        assert!(t.contains("query makespan="), "{t}");
+        assert!(t.contains("  a machine="), "{t}");
+    }
+}

@@ -1,0 +1,67 @@
+//! `--events-out` schema regression: the live span stream the daemon
+//! writes must carry the `pandia-events-v1` meta line and well-formed
+//! span records.
+//!
+//! This file holds a SINGLE test on purpose: it installs the
+//! process-global recorder, so it cannot share a process with any other
+//! telemetry-producing test.
+
+use pandia_daemon::{generate_events, synthetic_small, Daemon, DaemonConfig, SYNTHETIC_CLASSES};
+
+/// Finds a field of a vendored-JSON object value.
+fn field<'a>(value: &'a serde_json::Value, key: &str) -> Option<&'a serde_json::Value> {
+    value.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+#[test]
+fn events_stream_emits_schema_line_and_wellformed_spans() {
+    let recorder = pandia_obs::install();
+    let path = std::env::temp_dir().join(format!("pandiad-events-{}.jsonl", std::process::id()));
+    let mut stream = pandia_obs::EventsStream::create(&path).expect("create events stream");
+
+    let preset = synthetic_small(2);
+    let mut daemon =
+        Daemon::new(preset.machines, preset.catalog, DaemonConfig::default()).expect("daemon");
+    let events = generate_events(0xE5EE, 30, &SYNTHETIC_CLASSES);
+    for event in &events {
+        daemon.apply(event).expect("apply");
+        stream.poll(recorder).expect("poll");
+    }
+    stream.poll(recorder).expect("final poll");
+
+    let text = std::fs::read_to_string(&path).expect("read stream file");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > events.len(), "stream shorter than the event count: {}", lines.len());
+
+    // Meta line first, tagged with the events schema.
+    let meta = serde_json::from_str(lines[0]).expect("meta line parses");
+    assert_eq!(
+        field(&meta, "schema").and_then(|v| v.as_str()),
+        Some(pandia_obs::EVENTS_SCHEMA),
+        "first line must carry the schema tag: {}",
+        lines[0]
+    );
+
+    // Every subsequent line is a span with the required fields; daemon
+    // event spans carry their logical clock as an arg.
+    let mut daemon_spans = 0usize;
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        let value: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("line {i} unparseable: {e:?}"));
+        assert_eq!(
+            field(&value, "type").and_then(|v| v.as_str()),
+            Some("span"),
+            "line {i}: {line}"
+        );
+        for key in ["cat", "name", "seq", "ts_us", "dur_us", "args"] {
+            assert!(field(&value, key).is_some(), "line {i} missing '{key}': {line}");
+        }
+        if field(&value, "cat").and_then(|v| v.as_str()) == Some("daemon") {
+            daemon_spans += 1;
+            let args = field(&value, "args").expect("args");
+            assert!(field(args, "clock").is_some(), "daemon span without clock arg: {line}");
+        }
+    }
+    assert_eq!(daemon_spans, events.len(), "one daemon span per applied event");
+}

@@ -1,0 +1,92 @@
+//! Golden transcript tests for the daemon.
+//!
+//! The committed fixture stream (`tests/fixtures/events_small.jsonl`)
+//! replays through a default daemon over the 2-machine synthetic fleet
+//! — exactly what `pandiad --replay ... --synthetic 2` does — and the
+//! transcript and final schedule must match the committed goldens
+//! byte for byte.
+//!
+//! To update after an intentional behavior change:
+//!
+//! ```text
+//! PANDIA_BLESS_GOLDENS=1 cargo test -p pandia-daemon --test goldens
+//! ```
+
+use std::path::PathBuf;
+
+use pandia_daemon::{parse_log, synthetic, Daemon, DaemonConfig};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+/// Compares `actual` against the committed golden, or rewrites the
+/// golden when `PANDIA_BLESS_GOLDENS` is set.
+fn check_or_bless(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("PANDIA_BLESS_GOLDENS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden {}; re-bless with PANDIA_BLESS_GOLDENS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden {name} diverged; if intentional, re-bless with PANDIA_BLESS_GOLDENS=1"
+    );
+}
+
+/// Replays the committed fixture through a default daemon.
+fn replay_fixture() -> Daemon {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/events_small.jsonl");
+    let text = std::fs::read_to_string(path).expect("committed fixture events_small.jsonl");
+    let events = parse_log(&text).expect("fixture parses");
+    let preset = synthetic(2);
+    let mut daemon =
+        Daemon::new(preset.machines, preset.catalog, DaemonConfig::default()).expect("daemon");
+    daemon.run(&events).expect("replay");
+    daemon
+}
+
+#[test]
+fn fixture_transcript_matches_golden() {
+    let daemon = replay_fixture();
+    check_or_bless("events_small.transcript.txt", daemon.transcript());
+}
+
+#[test]
+fn fixture_final_state_matches_golden() {
+    let daemon = replay_fixture();
+    let schedule = daemon.schedule().expect("schedule");
+    let audit = daemon.audit();
+    let stats = daemon.fleet_stats();
+    let mut out = String::new();
+    out.push_str(&format!("makespan {:.6}\n", schedule.makespan));
+    for a in &schedule.assignments {
+        out.push_str(&format!(
+            "{} machine={} threads={} predicted={:.6}\n",
+            a.workload, a.machine, a.n_threads, a.predicted_time
+        ));
+    }
+    out.push_str(&format!(
+        "audit events={} submitted={} placed={} completed={} failed={} retries={} \
+         faulted={} reprofiles={}\n",
+        audit.events,
+        audit.submitted,
+        audit.placed,
+        audit.completed,
+        audit.failed,
+        audit.retries,
+        audit.faulted,
+        audit.reprofiles
+    ));
+    out.push_str(&format!(
+        "fleet resolves+skipped={}\n",
+        stats.resolves + stats.resolves_skipped
+    ));
+    check_or_bless("events_small.final.txt", &out);
+}

@@ -1,0 +1,50 @@
+//! Figure 16 (beyond the paper): the placement service under load —
+//! per-event latency and solve counts, incremental vs. batch, vs.
+//! stream length.
+//!
+//! `cargo run --release -p pandia-harness --bin fig16_service [--quick]
+//! [--jobs N] [--no-cache] [machines] [seed]`
+
+use std::time::Instant;
+
+use pandia_harness::{
+    experiments::{
+        exec_from_args, positional_args, quiet_from_args, report_exec, service,
+        telemetry_from_args, Coverage,
+    },
+    report,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
+    let quiet = quiet_from_args();
+    let exec = exec_from_args();
+    let positional = positional_args();
+    let machines: usize = positional.first().and_then(|s| s.parse().ok()).unwrap_or(4).max(1);
+    let seed: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(0xF16);
+    let counts: &[usize] = match Coverage::from_args() {
+        Coverage::Quick => &[100, 250],
+        Coverage::Paper => &service::EVENT_COUNTS,
+    };
+    if !quiet {
+        eprintln!(
+            "service load sweep: {} synthetic machines, streams {:?}, 2 modes (jobs={})",
+            machines,
+            counts,
+            exec.jobs()
+        );
+    }
+
+    let start = Instant::now();
+    let result = service::run(&exec, machines, counts, seed)?;
+    report_exec(&exec, "service", start, quiet);
+
+    let text = service::render(&result);
+    print!("{text}");
+    report::write_result("fig16/service_load.csv", &service::to_csv(&result))?;
+    let path = report::write_result("fig16/service_load.txt", &text)?;
+    if !quiet {
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -1,12 +1,14 @@
 //! Diff two `--trace-out` captures of the same experiment.
 //!
 //! `cargo run --release -p pandia-harness --bin trace_diff -- \
-//!     BASELINE.json CANDIDATE.json [--fail-above PCT]`
+//!     BASELINE.json CANDIDATE.json [--fail-above PCT] [--min-ms MS]`
 //!
 //! Spans are paired by their stable sequence numbers and aggregated into
 //! per-phase wall-time deltas (see `pandia_harness::tracediff`). With
 //! `--fail-above PCT` the exit code turns red when any phase slowed down
-//! by more than the threshold, so CI can gate on it.
+//! by more than the threshold, so CI can gate on it; `--min-ms MS`
+//! excludes phases with less than MS milliseconds of baseline wall time
+//! from the gate (tiny phases jitter too much to be signal).
 //!
 //! Exit codes: 0 = within threshold (or no threshold), 1 = a phase
 //! regressed past `--fail-above`, 2 = usage or input error.
@@ -16,9 +18,10 @@ use std::process::ExitCode;
 
 use pandia_harness::tracediff;
 
-fn parse_args() -> Result<(PathBuf, PathBuf, Option<f64>), String> {
+fn parse_args() -> Result<(PathBuf, PathBuf, Option<f64>, f64), String> {
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut fail_above: Option<f64> = None;
+    let mut min_ms = 0.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--fail-above" {
@@ -29,6 +32,10 @@ fn parse_args() -> Result<(PathBuf, PathBuf, Option<f64>), String> {
                 .parse::<f64>()
                 .map_err(|e| format!("--fail-above {value}: {e}"))?;
             fail_above = Some(pct);
+        } else if arg == "--min-ms" {
+            let value =
+                args.next().ok_or_else(|| "--min-ms requires milliseconds".to_string())?;
+            min_ms = value.parse::<f64>().map_err(|e| format!("--min-ms {value}: {e}"))?;
         } else if arg.starts_with('-') {
             return Err(format!("unknown flag {arg}"));
         } else {
@@ -36,15 +43,16 @@ fn parse_args() -> Result<(PathBuf, PathBuf, Option<f64>), String> {
         }
     }
     match <[PathBuf; 2]>::try_from(paths) {
-        Ok([base, cand]) => Ok((base, cand, fail_above)),
-        Err(_) => {
-            Err("usage: trace_diff BASELINE.json CANDIDATE.json [--fail-above PCT]".into())
-        }
+        Ok([base, cand]) => Ok((base, cand, fail_above, min_ms)),
+        Err(_) => Err(
+            "usage: trace_diff BASELINE.json CANDIDATE.json [--fail-above PCT] [--min-ms MS]"
+                .into(),
+        ),
     }
 }
 
 fn main() -> ExitCode {
-    let (base, cand, fail_above) = match parse_args() {
+    let (base, cand, fail_above, min_ms) = match parse_args() {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("trace_diff: {e}");
@@ -60,7 +68,7 @@ fn main() -> ExitCode {
     };
     print!("{}", diff.render());
     if let Some(threshold) = fail_above {
-        let worst = diff.worst_regression_pct();
+        let worst = diff.worst_regression_pct_above(min_ms * 1000.0);
         if worst > threshold {
             eprintln!(
                 "trace_diff: worst regression {worst:.1}% exceeds --fail-above {threshold}%"

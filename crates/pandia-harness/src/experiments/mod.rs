@@ -14,6 +14,7 @@
 //! | [`coschedule_validation`] | §8 co-scheduling extension, validated |
 //! | [`robustness`] | accuracy over random synthetic workloads |
 //! | [`chaos`] | Figure 15: profiling under fault injection |
+//! | [`service`] | Figure 16: the placement service under load |
 
 pub mod ablation;
 pub mod chaos;
@@ -23,6 +24,7 @@ pub mod errors;
 pub mod four_socket;
 pub mod limits;
 pub mod robustness;
+pub mod service;
 pub mod summary;
 pub mod sweep;
 pub mod turbo;
@@ -115,30 +117,57 @@ pub fn quiet_from_args() -> bool {
 pub struct TelemetryGuard {
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    events_stream: Option<pandia_obs::EventsStream>,
     quiet: bool,
 }
 
 impl TelemetryGuard {
-    /// Builds a guard from already-parsed sink paths and, when either is
+    /// Builds a guard from already-parsed sink paths and, when any is
     /// present, installs the global telemetry recorder. Used by front-ends
     /// (like the CLI) that parse their own flags instead of calling
-    /// [`telemetry_from_args`].
-    pub fn new(trace_out: Option<String>, metrics_out: Option<String>, quiet: bool) -> Self {
-        let guard = TelemetryGuard { trace_out, metrics_out, quiet };
-        if guard.active() {
+    /// [`telemetry_from_args`]. `events_out` opens a live span-event
+    /// stream immediately (so the file exists and is tailable from the
+    /// start); call [`Self::poll_events`] at natural checkpoints to keep
+    /// it current — any remainder is flushed on drop.
+    pub fn new(
+        trace_out: Option<String>,
+        metrics_out: Option<String>,
+        events_out: Option<String>,
+        quiet: bool,
+    ) -> Self {
+        let mut guard = TelemetryGuard { trace_out, metrics_out, events_stream: None, quiet };
+        if guard.trace_out.is_some() || guard.metrics_out.is_some() || events_out.is_some() {
             pandia_obs::install();
+        }
+        if let Some(path) = events_out {
+            match pandia_obs::EventsStream::create(&path) {
+                Ok(stream) => guard.events_stream = Some(stream),
+                Err(e) => eprintln!("failed to open {path}: {e}"),
+            }
         }
         guard
     }
 
     /// Whether any telemetry sink was requested.
     pub fn active(&self) -> bool {
-        self.trace_out.is_some() || self.metrics_out.is_some()
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.events_stream.is_some()
+    }
+
+    /// Appends any newly completed spans to the `--events-out` stream.
+    /// Cheap no-op when the flag was not given.
+    pub fn poll_events(&mut self) {
+        if let (Some(stream), Some(recorder)) = (self.events_stream.as_mut(), pandia_obs::global())
+        {
+            if let Err(e) = stream.poll(recorder) {
+                eprintln!("failed to append to {}: {e}", stream.path().display());
+            }
+        }
     }
 
     /// Writes the requested sink files now (normally done on drop).
     /// Idempotent: each file is written at most once.
     pub fn flush(&mut self) {
+        self.poll_events();
         let Some(recorder) = pandia_obs::global() else { return };
         for (path, contents) in [
             (self.trace_out.take(), recorder.chrome_trace_json()),
@@ -163,9 +192,10 @@ impl Drop for TelemetryGuard {
     }
 }
 
-/// Parses `--trace-out FILE` / `--metrics-out FILE` from argv and, when
-/// either is present, installs the global telemetry recorder. Returns the
-/// guard that writes the files when dropped; bind it in `main`:
+/// Parses `--trace-out FILE` / `--metrics-out FILE` / `--events-out FILE`
+/// from argv and, when any is present, installs the global telemetry
+/// recorder. Returns the guard that writes the files when dropped; bind
+/// it in `main`:
 ///
 /// ```no_run
 /// let _telemetry = pandia_harness::experiments::telemetry_from_args();
@@ -176,6 +206,7 @@ pub fn telemetry_from_args() -> TelemetryGuard {
     let args: Vec<String> = std::env::args().collect();
     let mut trace_out = None;
     let mut metrics_out = None;
+    let mut events_out = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -191,16 +222,22 @@ pub fn telemetry_from_args() -> TelemetryGuard {
                     i += 1;
                 }
             }
+            "--events-out" => {
+                if let Some(v) = args.get(i + 1) {
+                    events_out = Some(v.clone());
+                    i += 1;
+                }
+            }
             _ => {}
         }
         i += 1;
     }
-    TelemetryGuard::new(trace_out, metrics_out, quiet_from_args())
+    TelemetryGuard::new(trace_out, metrics_out, events_out, quiet_from_args())
 }
 
 /// Positional argv values with the shared experiment flags (`--quick`,
 /// `-q`, `--quiet`, `--jobs N`, `-j N`, `--no-cache`, `--trace-out FILE`,
-/// `--metrics-out FILE`) stripped out.
+/// `--metrics-out FILE`, `--events-out FILE`) stripped out.
 pub fn positional_args() -> Vec<String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();
@@ -208,7 +245,7 @@ pub fn positional_args() -> Vec<String> {
     while i < args.len() {
         match args[i].as_str() {
             // Skip these flags' value arguments too.
-            "--jobs" | "-j" | "--trace-out" | "--metrics-out" => i += 1,
+            "--jobs" | "-j" | "--trace-out" | "--metrics-out" | "--events-out" => i += 1,
             a if a.starts_with('-') => {}
             a => positional.push(a.to_string()),
         }

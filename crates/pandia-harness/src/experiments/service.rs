@@ -1,0 +1,204 @@
+//! Figure 16 (beyond the paper): the placement service under load.
+//!
+//! `pandiad` turns Pandia's batch pipeline into an event loop; this
+//! experiment measures what that costs and what the incremental fleet
+//! scheduler buys. For each stream length it replays the identical
+//! seeded submission/completion stream twice — once with the
+//! incremental delta path (memoized machine re-solves) and once in
+//! from-scratch batch-oracle mode — asserting the transcripts are
+//! byte-identical (the modes may only differ in *work*, never in
+//! *answers*), and reports per-event wall latency percentiles, solve
+//! counts, and the fraction of machine re-solves the memo absorbed.
+
+use std::time::Instant;
+
+use pandia_core::ExecContext;
+use pandia_daemon::{generate_events, Daemon, DaemonConfig, FleetPreset};
+use serde::{Deserialize, Serialize};
+
+use super::ExpResult;
+use pandia_core::PandiaError;
+
+/// Default stream lengths swept by the experiment.
+pub const EVENT_COUNTS: [usize; 3] = [250, 500, 1000];
+
+/// One (stream length, mode) measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceCell {
+    /// Events replayed.
+    pub events: usize,
+    /// `"incremental"` or `"batch"`.
+    pub mode: String,
+    /// Machine co-schedules computed.
+    pub resolves: u64,
+    /// Machine co-schedules answered from the memo.
+    pub skipped: u64,
+    /// `skipped / (resolves + skipped)`.
+    pub skip_ratio: f64,
+    /// Median per-event wall latency (microseconds).
+    pub p50_us: f64,
+    /// 99th-percentile per-event wall latency (microseconds).
+    pub p99_us: f64,
+    /// Jobs completed over the stream.
+    pub completed: u64,
+    /// Final fleet makespan.
+    pub makespan: f64,
+}
+
+/// Full service-load results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceResult {
+    /// Synthetic fleet size.
+    pub machines: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// One cell per (stream length, mode), incremental before batch.
+    pub cells: Vec<ServiceCell>,
+}
+
+/// A percentile (by nearest-rank) of an unsorted sample, in place.
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
+/// Replays one stream through a fresh daemon, timing each event.
+fn replay(
+    preset: &FleetPreset,
+    exec: &ExecContext,
+    events: &[pandia_daemon::Event],
+    seed: u64,
+    incremental: bool,
+) -> ExpResult<(Daemon, Vec<f64>)> {
+    let config = DaemonConfig { seed, incremental, exec: exec.clone(), ..DaemonConfig::default() };
+    let mut daemon = Daemon::new(preset.machines.clone(), preset.catalog.clone(), config)?;
+    let mut latencies = Vec::with_capacity(events.len());
+    for event in events {
+        let start = Instant::now();
+        daemon.apply(event)?;
+        latencies.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    Ok((daemon, latencies))
+}
+
+/// Runs the sweep: each stream length replayed in both modes over a
+/// synthetic fleet of `machines` machines.
+pub fn run(
+    exec: &ExecContext,
+    machines: usize,
+    event_counts: &[usize],
+    seed: u64,
+) -> ExpResult<ServiceResult> {
+    let _span = pandia_obs::span("harness", "fig16_service").arg("machines", machines);
+    let preset = pandia_daemon::synthetic(machines);
+    let classes: Vec<&str> = preset.catalog.keys().map(String::as_str).collect();
+    let mut cells = Vec::new();
+    for &n in event_counts {
+        let events = generate_events(seed, n, &classes);
+        let (inc, mut inc_lat) = replay(&preset, exec, &events, seed, true)?;
+        let (batch, mut batch_lat) = replay(&preset, exec, &events, seed, false)?;
+        if inc.transcript() != batch.transcript() {
+            return Err(PandiaError::Mismatch {
+                reason: format!(
+                    "incremental and batch transcripts diverge over {n} events"
+                ),
+            });
+        }
+        for (daemon, latencies, mode) in
+            [(&inc, &mut inc_lat, "incremental"), (&batch, &mut batch_lat, "batch")]
+        {
+            let stats = daemon.fleet_stats();
+            let total = stats.resolves + stats.resolves_skipped;
+            cells.push(ServiceCell {
+                events: n,
+                mode: mode.to_string(),
+                resolves: stats.resolves,
+                skipped: stats.resolves_skipped,
+                skip_ratio: stats.resolves_skipped as f64 / total.max(1) as f64,
+                p50_us: percentile(latencies, 50.0),
+                p99_us: percentile(latencies, 99.0),
+                completed: daemon.audit().completed,
+                makespan: daemon.schedule()?.makespan,
+            });
+        }
+    }
+    Ok(ServiceResult { machines, seed, cells })
+}
+
+/// Renders the result as an aligned text table.
+pub fn render(result: &ServiceResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "placement service under load ({} synthetic machines, seed {:#x})\n\n",
+        result.machines, result.seed
+    ));
+    out.push_str(&format!(
+        "{:>7} {:<12} {:>9} {:>9} {:>7} {:>10} {:>10} {:>10}\n",
+        "events", "mode", "resolves", "skipped", "skip%", "p50(us)", "p99(us)", "completed"
+    ));
+    for c in &result.cells {
+        out.push_str(&format!(
+            "{:>7} {:<12} {:>9} {:>9} {:>6.1}% {:>10.1} {:>10.1} {:>10}\n",
+            c.events,
+            c.mode,
+            c.resolves,
+            c.skipped,
+            100.0 * c.skip_ratio,
+            c.p50_us,
+            c.p99_us,
+            c.completed
+        ));
+    }
+    out
+}
+
+/// Renders the result as CSV.
+pub fn to_csv(result: &ServiceResult) -> String {
+    let mut out =
+        String::from("events,mode,resolves,skipped,skip_ratio,p50_us,p99_us,completed,makespan\n");
+    for c in &result.cells {
+        out.push_str(&format!(
+            "{},{},{},{},{:.6},{:.1},{:.1},{},{:.6}\n",
+            c.events,
+            c.mode,
+            c.resolves,
+            c.skipped,
+            c.skip_ratio,
+            c.p50_us,
+            c.p99_us,
+            c.completed,
+            c.makespan
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_incremental_skips_work() {
+        let exec = ExecContext::serial();
+        let result = run(&exec, 2, &[60], 0xF16).unwrap();
+        assert_eq!(result.cells.len(), 2);
+        let inc = &result.cells[0];
+        let batch = &result.cells[1];
+        assert_eq!(inc.mode, "incremental");
+        assert_eq!(batch.mode, "batch");
+        // Same stream, same answers...
+        assert_eq!(inc.completed, batch.completed);
+        assert_eq!(inc.makespan.to_bits(), batch.makespan.to_bits());
+        // ...but the incremental mode does strictly less solving.
+        assert!(inc.skipped > 0);
+        assert_eq!(batch.skipped, 0);
+        assert!(inc.resolves < batch.resolves);
+        let csv = to_csv(&result);
+        assert!(csv.lines().count() == 3, "{csv}");
+        assert!(render(&result).contains("incremental"));
+    }
+}

@@ -76,7 +76,20 @@ impl TraceDiff {
     /// The largest per-phase slowdown in percent, zero when every phase
     /// held steady or improved.
     pub fn worst_regression_pct(&self) -> f64 {
-        self.phases.iter().map(PhaseDelta::delta_pct).fold(0.0, f64::max)
+        self.worst_regression_pct_above(0.0)
+    }
+
+    /// Like [`worst_regression_pct`](Self::worst_regression_pct), but
+    /// ignores phases whose baseline total is below `min_us`
+    /// microseconds. One-span phases jitter by hundreds of percent
+    /// between identical runs; a mass floor keeps a CI gate on the
+    /// phases where a relative delta is signal rather than noise.
+    pub fn worst_regression_pct_above(&self, min_us: f64) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.base_us >= min_us)
+            .map(PhaseDelta::delta_pct)
+            .fold(0.0, f64::max)
     }
 
     /// Renders the diff as an aligned plain-text table.

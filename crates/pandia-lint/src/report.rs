@@ -15,6 +15,8 @@ pub enum Rule {
     P1,
     /// Unknown telemetry span layer literal.
     S1,
+    /// Direct `Recorder` writes outside the pandia-obs helpers.
+    S2,
     /// A malformed `// lint:` directive.
     Directive,
 }
@@ -28,6 +30,7 @@ impl Rule {
             Rule::N1 => "N1",
             Rule::P1 => "P1",
             Rule::S1 => "S1",
+            Rule::S2 => "S2",
             Rule::Directive => "LINT",
         }
     }

@@ -25,6 +25,8 @@ pub struct FileScope {
     pub p1: bool,
     /// S1: require `span("layer", ..)` literals to name a known layer.
     pub s1: bool,
+    /// S2: forbid direct `Recorder` writes outside pandia-obs helpers.
+    pub s2: bool,
 }
 
 /// Exemptions parsed from `// lint:` directives in one file.
@@ -88,6 +90,9 @@ pub fn check_source(path: &str, src: &str, scope: FileScope) -> FileReport {
     if scope.s1 {
         rule_s1(path, &tokens, &exemptions, &mut report.findings);
     }
+    if scope.s2 {
+        rule_s2(path, &tokens, &exemptions, &mut report.findings);
+    }
     report
 }
 
@@ -135,6 +140,7 @@ fn parse_directives(
                 "D2" => rules.push(Rule::D2),
                 "N1" => rules.push(Rule::N1),
                 "S1" => rules.push(Rule::S1),
+                "S2" => rules.push(Rule::S2),
                 "P1" => {
                     findings.push(Finding::directive(
                         path,
@@ -441,11 +447,13 @@ fn rule_n1(path: &str, tokens: &[Tok], ex: &Exemptions, findings: &mut Vec<Findi
 /// does not fail anything at runtime — the spans just land in an orphan
 /// category nobody looks at. Keep in sync with the telemetry section of
 /// DESIGN.md when adding a layer.
-const KNOWN_SPAN_LAYERS: [&str; 13] = [
+const KNOWN_SPAN_LAYERS: [&str; 15] = [
     "bench",
     "cli",
     "coschedule",
+    "daemon",
     "exec",
+    "fleet",
     "harness",
     "machine_gen",
     "planner",
@@ -490,6 +498,130 @@ fn rule_s1(path: &str, tokens: &[Tok], ex: &Exemptions, findings: &mut Vec<Findi
             }
         }
     }
+}
+
+/// Methods that mutate a `Recorder`'s state (or mint a span on it)
+/// when called directly on a recorder handle. `counter` is included
+/// because the handle it returns exists to be written through.
+const RECORDER_WRITE_METHODS: [&str; 6] =
+    ["add", "counter", "gauge_set", "observe", "record_span_at", "span"];
+
+/// S2: forbid direct `Recorder` writes outside the pandia-obs helper
+/// functions (`pandia_obs::count` / `gauge` / `observe` / `span`). The
+/// helpers are no-ops when telemetry is off and keep naming/layering in
+/// one place; code that grabs the raw recorder and writes through it
+/// silently diverges from that contract. Read-side calls
+/// (`metrics_snapshot`, `span_events`, `chrome_trace_json`, ...) are
+/// fine — exporters and sinks must read the recorder they are handed.
+fn rule_s2(path: &str, tokens: &[Tok], ex: &Exemptions, findings: &mut Vec<Finding>) {
+    let tracked = recorder_bindings(tokens);
+    if tracked.is_empty() {
+        return;
+    }
+    let n = tokens.len();
+    for i in 0..n {
+        let t = &tokens[i];
+        if t.kind == TokKind::Ident
+            && tracked.contains(&t.text)
+            && i + 2 < n
+            && tokens[i + 1].is_punct(".")
+            && tokens[i + 2].kind == TokKind::Ident
+            && RECORDER_WRITE_METHODS.contains(&tokens[i + 2].text.as_str())
+            && i + 3 < n
+            && tokens[i + 3].is_punct("(")
+        {
+            let line = tokens[i + 2].line;
+            if !ex.exempts(Rule::S2, line) {
+                findings.push(Finding::new(
+                    Rule::S2,
+                    path,
+                    line,
+                    format!(
+                        "direct recorder write `{}.{}(..)` bypasses the pandia-obs \
+                         helpers; use `pandia_obs::count`/`gauge`/`observe`/`span` \
+                         (or exempt with a reason if this is a sanctioned bridge)",
+                        t.text, tokens[i + 2].text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Local identifiers bound to a recorder in `let` statements: any
+/// binding whose statement mentions `Recorder`, or calls
+/// `pandia_obs::global()` / `pandia_obs::install()`. All idents in the
+/// pattern (between `let` and the `=`) are tracked, so destructuring
+/// forms like `let Some(recorder) = ...` and tuple patterns work;
+/// pattern keywords and `Option`/`Result` constructors are skipped.
+fn recorder_bindings(tokens: &[Tok]) -> Vec<String> {
+    const PATTERN_NOISE: [&str; 6] = ["mut", "ref", "Some", "Ok", "Err", "None"];
+    let mut tracked = Vec::new();
+    let n = tokens.len();
+    let mut i = 0;
+    while i < n {
+        if !tokens[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        // Pattern idents: everything up to the `=` (or statement end).
+        let mut names = Vec::new();
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        while j < n {
+            let t = &tokens[j];
+            if t.is_punct("=") && depth == 0 {
+                break;
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
+                depth = depth.saturating_sub(1);
+            } else if t.is_punct(";") || (t.is_punct("{") && depth == 0) {
+                break;
+            } else if t.kind == TokKind::Ident && !PATTERN_NOISE.contains(&t.text.as_str()) {
+                names.push(t.text.clone());
+            }
+            j += 1;
+        }
+        if names.is_empty() {
+            i += 1;
+            continue;
+        }
+        // Source scan: the whole statement (annotation + initializer) up
+        // to the `;` at relative depth 0.
+        let mut is_recorder = false;
+        let mut depth = 0usize;
+        let mut k = i + 1;
+        while k < n {
+            let t = &tokens[k];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if t.is_punct(";") && depth == 0 {
+                break;
+            } else if t.is_ident("Recorder")
+                || (t.is_ident("pandia_obs")
+                    && k + 2 < n
+                    && tokens[k + 1].is_punct("::")
+                    && (tokens[k + 2].is_ident("global")
+                        || tokens[k + 2].is_ident("install")))
+            {
+                is_recorder = true;
+                break;
+            }
+            k += 1;
+        }
+        if is_recorder {
+            tracked.extend(names);
+        }
+        i = j;
+    }
+    tracked
 }
 
 /// Macros whose expansion aborts the computation.

@@ -4,13 +4,13 @@
 //! Scope policy (see DESIGN.md "Invariants enforced by pandia-lint"):
 //!
 //! * **Result-producing crates** (`pandia-sim`, `pandia-core`,
-//!   `pandia-topology`, `pandia-workloads`): all rules (D1, D2, N1, P1,
-//!   S1).
-//! * **`pandia-harness`**: N1 + P1 + S1 — its reports feed the figures,
-//!   but it legitimately reads clocks and the environment.
-//! * **`pandia-obs`**, **`pandia-lint`**, and the facade `src/`: P1 and
-//!   S1 only (the recorder *is* the sanctioned home for wall-clock
-//!   reads).
+//!   `pandia-topology`, `pandia-workloads`, `pandia-daemon`): all rules
+//!   (D1, D2, N1, P1, S1, S2).
+//! * **`pandia-harness`**: N1 + P1 + S1 + S2 — its reports feed the
+//!   figures, but it legitimately reads clocks and the environment.
+//! * **`pandia-lint`** and the facade `src/`: P1, S1, and S2.
+//! * **`pandia-obs`**: P1 and S1 only — the recorder *is* the
+//!   sanctioned home for wall-clock reads and raw recorder writes.
 //! * **Skipped entirely**: `pandia-cli` and `pandia-bench` (bin/bench
 //!   crates may panic on bad input), `src/bin/` subtrees, `tests/`,
 //!   `examples/`, `benches/`, and `vendor/`.
@@ -21,11 +21,8 @@ use std::path::{Path, PathBuf};
 use crate::rules::FileScope;
 
 /// Crates whose outputs are (or directly feed) experiment results.
-const RESULT_CRATES: [&str; 4] =
-    ["pandia-sim", "pandia-core", "pandia-topology", "pandia-workloads"];
-
-/// Library crates outside the result path, still panic-ratcheted.
-const PANIC_ONLY_CRATES: [&str; 2] = ["pandia-obs", "pandia-lint"];
+const RESULT_CRATES: [&str; 5] =
+    ["pandia-sim", "pandia-core", "pandia-topology", "pandia-workloads", "pandia-daemon"];
 
 /// One file to lint: workspace-relative path and applicable rules.
 #[derive(Debug)]
@@ -42,11 +39,14 @@ pub struct LintFile {
 /// the crate is out of scope.
 fn crate_scope(name: &str) -> Option<FileScope> {
     if RESULT_CRATES.contains(&name) {
-        Some(FileScope { d1: true, d2: true, n1: true, p1: true, s1: true })
+        Some(FileScope { d1: true, d2: true, n1: true, p1: true, s1: true, s2: true })
     } else if name == "pandia-harness" {
-        Some(FileScope { d1: false, d2: false, n1: true, p1: true, s1: true })
-    } else if PANIC_ONLY_CRATES.contains(&name) {
-        Some(FileScope { d1: false, d2: false, n1: false, p1: true, s1: true })
+        Some(FileScope { d1: false, d2: false, n1: true, p1: true, s1: true, s2: true })
+    } else if name == "pandia-obs" {
+        // The recorder is the sanctioned home for raw writes: no S2.
+        Some(FileScope { d1: false, d2: false, n1: false, p1: true, s1: true, s2: false })
+    } else if name == "pandia-lint" {
+        Some(FileScope { d1: false, d2: false, n1: false, p1: true, s1: true, s2: true })
     } else {
         None
     }
@@ -80,7 +80,7 @@ pub fn collect(root: &Path) -> Result<Vec<LintFile>, String> {
     // The facade package's own sources (src/lib.rs and friends).
     let facade_src = root.join("src");
     if facade_src.is_dir() {
-        let scope = FileScope { d1: false, d2: false, n1: false, p1: true, s1: true };
+        let scope = FileScope { d1: false, d2: false, n1: false, p1: true, s1: true, s2: true };
         walk_sources(&facade_src, root, scope, &mut files)?;
     }
 

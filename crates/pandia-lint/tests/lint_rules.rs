@@ -6,7 +6,8 @@ use pandia_lint::report::Rule;
 use pandia_lint::rules::{check_source, FileScope};
 
 /// Scope with every rule on, as in result-producing crates.
-const ALL: FileScope = FileScope { d1: true, d2: true, n1: true, p1: true, s1: true };
+const ALL: FileScope =
+    FileScope { d1: true, d2: true, n1: true, p1: true, s1: true, s2: true };
 
 fn findings_of(src: &str, scope: FileScope) -> Vec<(Rule, u32)> {
     check_source("test.rs", src, scope).findings.iter().map(|f| (f.rule, f.line)).collect()
@@ -209,7 +210,7 @@ fn d2_exemption_and_scope() {
     ";
     assert!(findings_of(exempt, ALL).is_empty());
     // Out of scope (e.g. pandia-obs): no D2 findings at all.
-    let scope = FileScope { d1: false, d2: false, n1: false, p1: true, s1: false };
+    let scope = FileScope { d1: false, d2: false, n1: false, p1: true, s1: false, s2: false };
     let src = "fn f() { let t0 = std::time::Instant::now(); }";
     assert!(findings_of(src, scope).is_empty());
 }
@@ -341,6 +342,64 @@ fn s1_exemption_and_test_code() {
         }
     ";
     assert!(findings_of(test_only, ALL).is_empty(), "test code is stripped before S1");
+}
+
+// ---------------------------------------------------------------- S2
+
+#[test]
+fn s2_flags_direct_recorder_writes() {
+    let src = "
+        fn f() {
+            let recorder = pandia_obs::install();
+            recorder.add(\"daemon.events\", 1);
+            let _s = recorder.span(\"daemon\", \"apply\");
+            recorder.counter(\"x\").add(1);
+        }
+    ";
+    let s2: Vec<_> = findings_of(src, ALL).into_iter().filter(|(r, _)| *r == Rule::S2).collect();
+    assert_eq!(s2.len(), 3, "add, span, and counter should each fire: {s2:?}");
+}
+
+#[test]
+fn s2_tracks_destructured_global_bindings() {
+    let src = "
+        fn f() {
+            let Some(recorder) = pandia_obs::global() else { return };
+            recorder.record_span_at(event);
+        }
+    ";
+    let s2 = findings_of(src, ALL).into_iter().filter(|(r, _)| *r == Rule::S2).count();
+    assert_eq!(s2, 1);
+}
+
+#[test]
+fn s2_allows_helpers_reads_and_untracked_bindings() {
+    let src = "
+        fn f(history: &History) {
+            pandia_obs::count(\"daemon.events\", 1);
+            let _s = pandia_obs::span(\"daemon\", \"apply\");
+            let recorder = pandia_obs::global();
+            let snapshot = recorder.map(|r| r.metrics_snapshot());
+            let tape = History::new();
+            tape.add(\"entry\", 1);
+        }
+    ";
+    assert!(
+        findings_of(src, ALL).iter().all(|(r, _)| *r != Rule::S2),
+        "helpers, read-side calls, and non-recorder .add() must not fire"
+    );
+}
+
+#[test]
+fn s2_exemption_suppresses_the_bridge() {
+    let src = "
+        fn f() {
+            let Some(recorder) = pandia_obs::global() else { return };
+            // lint: allow(S2): sanctioned bridge with explicit timestamps
+            recorder.record_span_at(event);
+        }
+    ";
+    assert!(findings_of(src, ALL).is_empty());
 }
 
 // ------------------------------------------------------- directives

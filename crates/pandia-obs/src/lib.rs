@@ -47,7 +47,7 @@ pub use recorder::{
     ArgValue, Counter, HistogramSnapshot, MetricsSnapshot, Recorder, Span, SpanEvent, Track,
     HISTOGRAM_BUCKET_BOUNDS,
 };
-pub use sink::{EVENTS_SCHEMA, METRICS_SCHEMA, TRACE_SCHEMA};
+pub use sink::{EventsStream, EVENTS_SCHEMA, METRICS_SCHEMA, TRACE_SCHEMA};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

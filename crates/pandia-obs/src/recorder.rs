@@ -293,6 +293,7 @@ impl Recorder {
                 start: Instant::now(),
                 start_us: self.now_us(),
                 args: Vec::new(),
+                observe_as: None,
             }),
         }
     }
@@ -332,6 +333,24 @@ impl Recorder {
     /// The recorded span events, ordered by logical sequence number.
     pub fn span_events(&self) -> Vec<SpanEvent> {
         let mut events = self.inner.events.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// The recorded span events with sequence number `>= min_seq`, ordered
+    /// by sequence number. Unlike [`Self::span_events`] this clones only
+    /// the matching tail, so incremental consumers (the live events
+    /// stream) can poll cheaply during long runs.
+    pub fn span_events_since(&self, min_seq: u64) -> Vec<SpanEvent> {
+        let mut events: Vec<SpanEvent> = self
+            .inner
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .filter(|e| e.seq >= min_seq)
+            .cloned()
+            .collect();
         events.sort_by_key(|e| e.seq);
         events
     }
@@ -386,6 +405,7 @@ struct SpanState {
     start: Instant,
     start_us: f64,
     args: Vec<(String, ArgValue)>,
+    observe_as: Option<String>,
 }
 
 /// An open span. Records itself (name, category, sequence number, wall
@@ -421,12 +441,27 @@ impl Span {
         }
         self
     }
+
+    /// Additionally records this span's wall duration (microseconds) into
+    /// the named histogram when it drops. This is the sanctioned way for
+    /// instrumented code to build latency histograms without touching a
+    /// clock itself (no-op on inert spans).
+    pub fn observe_as(mut self, histogram: &str) -> Self {
+        if let Some(state) = self.state.as_mut() {
+            state.observe_as = Some(histogram.to_string());
+        }
+        self
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(state) = self.state.take() else { return };
         let tid = state.recorder.current_tid();
+        let dur_us = state.start.elapsed().as_secs_f64() * 1e6;
+        if let Some(histogram) = &state.observe_as {
+            state.recorder.observe(histogram, dur_us);
+        }
         let event = SpanEvent {
             cat: state.cat,
             name: state.name,
@@ -434,7 +469,7 @@ impl Drop for Span {
             tid,
             track: Track::Wall,
             ts_us: state.start_us,
-            dur_us: state.start.elapsed().as_secs_f64() * 1e6,
+            dur_us,
             args: state.args,
         };
         state.recorder.push_event(event);
@@ -515,6 +550,41 @@ mod tests {
         assert_eq!(r.span_events().len(), 2);
         assert_eq!(r.dropped_spans(), 3);
         assert_eq!(r.metrics_snapshot().dropped_spans, 3);
+    }
+
+    #[test]
+    fn observe_as_feeds_the_named_histogram_on_drop() {
+        let r = Recorder::new();
+        {
+            let _s = r.span("exec", "event").observe_as("event_latency_us");
+        }
+        let snap = r.metrics_snapshot();
+        let (name, hist) = &snap.histograms[0];
+        assert_eq!(name, "event_latency_us");
+        assert_eq!(hist.count, 1);
+        let events = r.span_events();
+        assert_eq!(events.len(), 1);
+        // The histogram saw exactly the span's recorded duration.
+        assert_eq!(hist.sum, events[0].dur_us);
+        // Inert spans ignore the request.
+        {
+            let _s = Span::inert().observe_as("event_latency_us");
+        }
+        assert_eq!(r.metrics_snapshot().histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn span_events_since_returns_only_the_tail() {
+        let r = Recorder::new();
+        for i in 0..5 {
+            let _s = r.span("t", &format!("s{i}"));
+        }
+        let tail = r.span_events_since(3);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 3);
+        assert_eq!(tail[1].seq, 4);
+        assert_eq!(r.span_events_since(0).len(), 5);
+        assert!(r.span_events_since(99).is_empty());
     }
 
     #[test]

@@ -74,6 +74,31 @@ fn track_pid(track: Track) -> u32 {
     }
 }
 
+/// Renders one span event as a single events-JSONL line (including the
+/// trailing newline). Shared by [`Recorder::events_jsonl`] and the
+/// incremental [`EventsStream`] so batch and live exports are
+/// byte-compatible line by line.
+fn push_event_line(out: &mut String, event: &crate::recorder::SpanEvent) {
+    out.push_str("{\"type\":\"span\",\"cat\":");
+    push_str_value(out, event.cat);
+    out.push_str(",\"name\":");
+    push_str_value(out, &event.name);
+    let track = match event.track {
+        Track::Wall => "wall",
+        Track::Sim => "sim",
+    };
+    out.push_str(&format!(
+        ",\"seq\":{},\"track\":\"{track}\",\"tid\":{},\"ts_us\":",
+        event.seq, event.tid
+    ));
+    push_f64(out, event.ts_us);
+    out.push_str(",\"dur_us\":");
+    push_f64(out, event.dur_us);
+    out.push_str(",\"args\":");
+    push_args_object(out, &event.args);
+    out.push_str("}\n");
+}
+
 impl Recorder {
     /// Renders everything recorded so far as a Chrome trace-event JSON
     /// document, openable in `chrome://tracing` or Perfetto.
@@ -219,26 +244,70 @@ impl Recorder {
         let mut out = String::with_capacity(1024);
         out.push_str(&format!("{{\"schema\":\"{EVENTS_SCHEMA}\"}}\n"));
         for event in &events {
-            out.push_str("{\"type\":\"span\",\"cat\":");
-            push_str_value(&mut out, event.cat);
-            out.push_str(",\"name\":");
-            push_str_value(&mut out, &event.name);
-            let track = match event.track {
-                Track::Wall => "wall",
-                Track::Sim => "sim",
-            };
-            out.push_str(&format!(
-                ",\"seq\":{},\"track\":\"{track}\",\"tid\":{},\"ts_us\":",
-                event.seq, event.tid
-            ));
-            push_f64(&mut out, event.ts_us);
-            out.push_str(",\"dur_us\":");
-            push_f64(&mut out, event.dur_us);
-            out.push_str(",\"args\":");
-            push_args_object(&mut out, &event.args);
-            out.push_str("}\n");
+            push_event_line(&mut out, event);
         }
         out
+    }
+}
+
+/// An append-only live export of span events to a JSONL file, for
+/// watching long runs (e.g. the `pandiad` event loop) in flight.
+///
+/// [`EventsStream::create`] writes the [`EVENTS_SCHEMA`] meta line;
+/// each [`EventsStream::poll`] appends every span recorded since the
+/// previous poll, in sequence order within the batch. Spans that are
+/// still open at a poll (their guard has not dropped yet) are picked up
+/// by a later poll — the stream tracks the low-water sequence mark and a
+/// small set of already-emitted out-of-order spans, so nothing is
+/// emitted twice and nothing completed is lost.
+#[derive(Debug)]
+pub struct EventsStream {
+    path: std::path::PathBuf,
+    /// Every span with `seq < low_water` has been emitted.
+    low_water: u64,
+    /// Emitted spans with `seq >= low_water` (gaps from spans that were
+    /// still open when later ones completed). Drained as the low-water
+    /// mark advances, so it stays bounded by the number of concurrently
+    /// open spans.
+    emitted: std::collections::BTreeSet<u64>,
+}
+
+impl EventsStream {
+    /// Creates (truncating) the stream file and writes the meta line.
+    pub fn create(path: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        std::fs::write(&path, format!("{{\"schema\":\"{EVENTS_SCHEMA}\"}}\n"))?;
+        Ok(Self { path, low_water: 0, emitted: std::collections::BTreeSet::new() })
+    }
+
+    /// The file this stream appends to.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Appends every newly completed span to the file; returns how many
+    /// lines were written.
+    pub fn poll(&mut self, recorder: &Recorder) -> std::io::Result<usize> {
+        let events = recorder.span_events_since(self.low_water);
+        let mut out = String::new();
+        let mut appended = 0usize;
+        for event in &events {
+            if !self.emitted.insert(event.seq) {
+                continue;
+            }
+            push_event_line(&mut out, event);
+            appended += 1;
+        }
+        while self.emitted.remove(&self.low_water) {
+            self.low_water += 1;
+        }
+        if appended > 0 {
+            use std::io::Write;
+            let mut file =
+                std::fs::OpenOptions::new().append(true).open(&self.path)?;
+            file.write_all(out.as_bytes())?;
+        }
+        Ok(appended)
     }
 }
 
@@ -341,6 +410,59 @@ mod tests {
             last_seq = seq;
         }
         assert_eq!(lines.len(), 1 + 3);
+    }
+
+    #[test]
+    fn events_stream_appends_incrementally_without_loss_or_duplication() {
+        let r = Recorder::new();
+        let dir = std::env::temp_dir().join(format!(
+            "pandia-obs-stream-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let mut stream = EventsStream::create(&path).unwrap();
+
+        // Batch 1: one completed span while an outer span stays open.
+        let outer = r.span("search", "outer");
+        {
+            let _inner = r.span("predictor", "first");
+        }
+        assert_eq!(stream.poll(&r).unwrap(), 1);
+
+        // Batch 2: the outer span completes (lower seq than `first`),
+        // plus a fresh one. Both must appear exactly once.
+        drop(outer);
+        {
+            let _late = r.span("predictor", "second");
+        }
+        assert_eq!(stream.poll(&r).unwrap(), 2);
+        assert_eq!(stream.poll(&r).unwrap(), 0, "idempotent when nothing new");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains(EVENTS_SCHEMA));
+        assert_eq!(lines.len(), 1 + 3);
+        let mut seqs = Vec::new();
+        for line in &lines[1..] {
+            let parsed = serde_json::from_str::<Value>(line).expect("line parses");
+            let seq = parsed
+                .as_object()
+                .and_then(|o| o.iter().find(|(k, _)| k == "seq"))
+                .and_then(|(_, v)| v.as_f64())
+                .expect("seq field") as u64;
+            seqs.push(seq);
+        }
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 3, "each span exactly once");
+        // Streamed lines are byte-identical to the batch export's lines.
+        let batch = r.events_jsonl();
+        for line in &lines[1..] {
+            assert!(batch.contains(*line), "line missing from batch export: {line}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

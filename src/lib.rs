@@ -14,6 +14,8 @@
 //! * [`core`] — Pandia itself: the machine description generator (§3), the
 //!   six-run workload profiler (§4), and the iterative performance
 //!   predictor (§5);
+//! * [`daemon`] — `pandiad`, the event-driven placement service over the
+//!   incremental fleet scheduler;
 //! * [`harness`] — the evaluation harness regenerating every figure and
 //!   table of §6;
 //! * [`obs`] — the unified telemetry layer (spans, metrics registry,
@@ -48,6 +50,7 @@
 //! ```
 
 pub use pandia_core as core;
+pub use pandia_daemon as daemon;
 pub use pandia_harness as harness;
 pub use pandia_obs as obs;
 pub use pandia_sim as sim;
@@ -59,12 +62,14 @@ pub mod prelude {
     pub use pandia_core::{
         best_placement, best_placement_with, describe_machine, placement_report,
         placement_report_with, predict, predict_jobs, CacheStats, CoSchedule, CoScheduler,
-        ExecContext, FleetAssignment, FleetSchedule, FleetScheduler, MachineDescription,
+        ExecContext, FleetAssignment, FleetSchedule, FleetScheduler, FleetStats,
+        IncrementalFleet, MachineDescription,
         MachineDescriptionGenerator, Objective, OnlineConfig, OnlineController, OnlineReport,
         PandiaError, PlacementOutcome, PlacementReport, PredictSession, Prediction,
         PredictionCache, PredictorConfig, ProfileConfig, ProfileReport, Recommendation,
         WorkloadDescription, WorkloadProfiler,
     };
+    pub use pandia_daemon::{Daemon, DaemonConfig, Event};
     pub use pandia_sim::{Behavior, BurstProfile, Scheduling, SimConfig, SimMachine, UnitDemand};
     pub use pandia_topology::{
         CanonicalPlacement, CtxId, DataPlacement, DemandVector, HasShape, JobRequest,
