@@ -22,6 +22,9 @@
 //!   --trace-out FILE      write a Chrome trace at exit
 //!   --metrics-out FILE    write metrics JSONL at exit
 //!   --events-out FILE     stream span events live while running
+//!   --metrics-interval N  emit a pandia-metrics-snapshot-v1 heartbeat
+//!                         every N events (plus one final snapshot)
+//!   --snapshots-out FILE  append heartbeats to FILE (default: stderr)
 //! ```
 
 use std::process::ExitCode;
@@ -51,6 +54,8 @@ struct Options {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     events_out: Option<String>,
+    metrics_interval: Option<usize>,
+    snapshots_out: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -72,6 +77,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         trace_out: None,
         metrics_out: None,
         events_out: None,
+        metrics_interval: None,
+        snapshots_out: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -156,6 +163,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.events_out = Some(value(args, i, "--events-out")?);
                 i += 2;
             }
+            "--metrics-interval" => {
+                let v = value(args, i, "--metrics-interval")?;
+                let n: usize =
+                    v.parse().map_err(|_| format!("bad --metrics-interval '{v}'"))?;
+                if n == 0 {
+                    return Err("--metrics-interval must be at least 1".into());
+                }
+                opts.metrics_interval = Some(n);
+                i += 2;
+            }
+            "--snapshots-out" => {
+                opts.snapshots_out = Some(value(args, i, "--snapshots-out")?);
+                i += 2;
+            }
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -166,12 +187,48 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Where heartbeat snapshot lines go: an appended file or stderr.
+enum SnapshotSink {
+    File(std::io::BufWriter<std::fs::File>),
+    Stderr,
+}
+
+impl SnapshotSink {
+    fn emit(&mut self, line: &str) -> Result<(), String> {
+        use std::io::Write;
+        match self {
+            // Flush per line so a long-lived daemon's heartbeats are
+            // tailable, not stuck in the writer's buffer.
+            SnapshotSink::File(w) => writeln!(w, "{line}")
+                .and_then(|()| w.flush())
+                .map_err(|e| format!("--snapshots-out: {e}")),
+            SnapshotSink::Stderr => {
+                eprintln!("{line}");
+                Ok(())
+            }
+        }
+    }
+}
+
 fn run(opts: &Options) -> Result<(), String> {
-    let telemetry =
-        opts.trace_out.is_some() || opts.metrics_out.is_some() || opts.events_out.is_some();
+    // --metrics-interval installs the recorder too: the heartbeat's
+    // latency quantiles come from the live telemetry registry.
+    let telemetry = opts.trace_out.is_some()
+        || opts.metrics_out.is_some()
+        || opts.events_out.is_some()
+        || opts.metrics_interval.is_some();
     if telemetry {
         pandia_obs::install();
     }
+    let mut snapshots = match (&opts.metrics_interval, &opts.snapshots_out) {
+        (None, _) => None,
+        (Some(_), None) => Some(SnapshotSink::Stderr),
+        (Some(_), Some(path)) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot open --snapshots-out {path}: {e}"))?;
+            Some(SnapshotSink::File(std::io::BufWriter::new(file)))
+        }
+    };
     let mut stream = match &opts.events_out {
         Some(path) => Some(
             pandia_obs::EventsStream::create(path)
@@ -226,6 +283,16 @@ fn run(opts: &Options) -> Result<(), String> {
         if let (Some(stream), Some(recorder)) = (stream.as_mut(), pandia_obs::global()) {
             stream.poll(recorder).map_err(|e| format!("--events-out: {e}"))?;
         }
+        if let (Some(sink), Some(interval)) = (snapshots.as_mut(), opts.metrics_interval) {
+            if (i + 1) % interval == 0 {
+                sink.emit(&daemon.snapshot_line())?;
+            }
+        }
+    }
+    // A final heartbeat so short streams (fewer events than the
+    // interval) still produce at least one snapshot.
+    if let Some(sink) = snapshots.as_mut() {
+        sink.emit(&daemon.snapshot_line())?;
     }
 
     if !opts.quiet {

@@ -185,6 +185,44 @@ impl Daemon {
         self.fleet.active_jobs()
     }
 
+    /// Renders one `pandia-metrics-snapshot-v1` heartbeat line (no
+    /// trailing newline): the daemon's own state — logical clock, queue
+    /// depth, running jobs, audit counts, fleet skip ratio — which is
+    /// deterministic for a given event stream regardless of worker
+    /// count, followed by the live telemetry registry (counters, gauges,
+    /// histogram p50/p99, span-buffer drops) when the global recorder is
+    /// installed. The registry part carries wall-clock latencies and is
+    /// *not* run-deterministic; consumers that diff snapshots should
+    /// compare the daemon fields only.
+    pub fn snapshot_line(&self) -> String {
+        let stats = self.fleet.stats();
+        let solves = stats.resolves + stats.resolves_skipped;
+        let skip_ratio =
+            if solves > 0 { stats.resolves_skipped as f64 / solves as f64 } else { 0.0 };
+        let mut line = format!(
+            "{{\"schema\":\"{}\",\"clock\":{},\"events\":{},\"queued\":{},\"running\":{},\
+             \"completed\":{},\"failed\":{},\"retries\":{},\"faulted\":{},\
+             \"fleet_resolves\":{},\"fleet_skip_ratio\":{:.6}",
+            pandia_obs::SNAPSHOT_SCHEMA,
+            self.clock,
+            self.audit.events,
+            self.queued(),
+            self.running(),
+            self.audit.completed,
+            self.audit.failed,
+            self.audit.retries,
+            self.audit.faulted,
+            stats.resolves,
+            skip_ratio,
+        );
+        if let Some(recorder) = pandia_obs::global() {
+            line.push(',');
+            line.push_str(&recorder.snapshot_fields());
+        }
+        line.push('}');
+        line
+    }
+
     fn say(&mut self, line: &str) {
         let _ = writeln!(self.transcript, "[{:04}] {line}", self.clock);
     }

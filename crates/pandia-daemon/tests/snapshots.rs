@@ -1,0 +1,78 @@
+//! Schema and determinism tests for the `pandia-metrics-snapshot-v1`
+//! heartbeat lines (`pandiad --metrics-interval`).
+//!
+//! The daemon-owned fields of a snapshot (logical clock, queue depth,
+//! running jobs, audit counts, fleet skip ratio) must be deterministic
+//! for a given event stream regardless of worker count — only the
+//! telemetry-registry part (wall-clock latency quantiles) may vary, and
+//! it is absent entirely when the global recorder is not installed, as
+//! in this test binary. That split is what makes the heartbeat both a
+//! health signal and a reproducibility check.
+
+use pandia_core::ExecContext;
+use pandia_daemon::{parse_log, synthetic_small, Daemon, DaemonConfig, Event};
+use serde_json::Value;
+
+/// Loads the committed fixture stream.
+fn fixture_events() -> Vec<Event> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/events_small.jsonl");
+    let text = std::fs::read_to_string(path).expect("committed fixture events_small.jsonl");
+    parse_log(&text).expect("fixture parses")
+}
+
+/// Replays the fixture with the given worker count, collecting a
+/// snapshot line after every event.
+fn snapshots_with_jobs(jobs: usize) -> Vec<String> {
+    let events = fixture_events();
+    let preset = synthetic_small(2);
+    let config = DaemonConfig { exec: ExecContext::new(jobs), ..DaemonConfig::default() };
+    let mut daemon = Daemon::new(preset.machines, preset.catalog, config).expect("daemon");
+    let mut lines = Vec::new();
+    for event in &events {
+        daemon.apply(event).expect("apply");
+        lines.push(daemon.snapshot_line());
+    }
+    lines
+}
+
+fn field<'a>(value: &'a Value, name: &str) -> Option<&'a Value> {
+    value.as_object()?.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+#[test]
+fn snapshot_lines_carry_the_schema_and_health_fields() {
+    let lines = snapshots_with_jobs(1);
+    assert!(!lines.is_empty());
+    for line in &lines {
+        let parsed: Value = serde_json::from_str(line).expect("snapshot line is valid JSON");
+        assert_eq!(
+            field(&parsed, "schema").and_then(Value::as_str),
+            Some(pandia_obs::SNAPSHOT_SCHEMA)
+        );
+        for key in
+            ["clock", "events", "queued", "running", "completed", "failed", "fleet_skip_ratio"]
+        {
+            assert!(field(&parsed, key).is_some(), "snapshot missing {key}: {line}");
+        }
+    }
+    // The stream must show actual progress, not a frozen gauge.
+    let last: Value = serde_json::from_str(lines.last().unwrap()).unwrap();
+    assert_eq!(
+        field(&last, "events").and_then(Value::as_f64),
+        Some(fixture_events().len() as f64)
+    );
+    assert!(field(&last, "completed").and_then(Value::as_f64).unwrap() > 0.0);
+}
+
+#[test]
+fn snapshot_content_is_deterministic_across_worker_counts() {
+    // Without a global recorder installed the snapshot has no wall-clock
+    // registry part, so the whole line must be byte-identical between
+    // --jobs 1 and --jobs 4 at every event.
+    let serial = snapshots_with_jobs(1);
+    let parallel = snapshots_with_jobs(4);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a, b, "snapshot after event {i} diverges between jobs=1 and jobs=4");
+    }
+}

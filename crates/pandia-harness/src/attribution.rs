@@ -1,0 +1,886 @@
+//! Phase-attribution analytics over telemetry captures — the engine
+//! behind the `pandia-report` binary.
+//!
+//! A Chrome-trace capture says *what happened*; this module says *where
+//! the time went and what to fix next*:
+//!
+//! * **Inclusive vs exclusive attribution** — spans on each `(track,
+//!   thread)` lane nest by interval containment into a span tree; a
+//!   phase's *inclusive* time counts whole spans, its *exclusive* (self)
+//!   time subtracts the spans nested inside. Exclusive times partition
+//!   lane busy time exactly: summed over all phases of a track they equal
+//!   the summed root-span durations, which is what makes the table an
+//!   attribution rather than a list of overlapping totals.
+//! * **Critical path** — worker spans recorded on their own thread lanes
+//!   (e.g. `exec/worker` under `exec/parallel_map`) are adopted into the
+//!   containing span of the spawning lane, and the path walks from the
+//!   longest root to the last-finishing child at every level. Phases on
+//!   this path bound end-to-end latency even at infinite parallelism.
+//! * **Amdahl what-if projections** — for each phase with exclusive wall
+//!   share `s`, the end-to-end speedup if only that phase were made `k`×
+//!   faster is `1 / (1 - s + s/k)`, with ceiling `1 / (1 - s)` as
+//!   `k → ∞`. Ranking phases by ceiling is the "where to optimize next"
+//!   table.
+//! * **Multi-run comparison** — given N captures of the same experiment,
+//!   per-phase medians with MAD (median absolute deviation) flag phases
+//!   whose wall time is too noisy to trust a single-run delta.
+//!
+//! Everything here is deterministic: spans are ordered by their logical
+//! sequence numbers, aggregation uses `BTreeMap`, ties break by `seq`,
+//! and no clocks are read — the same capture bytes always produce the
+//! same report bytes.
+
+use std::collections::BTreeMap;
+
+use pandia_obs::Track;
+
+use crate::traceio::{Capture, CaptureSpan};
+
+/// Spans whose endpoints differ by less than this (µs) still count as
+/// nested: wall timestamps of a child recorded "at the same time" as its
+/// parent can exceed the parent's endpoint by scheduler jitter.
+const NEST_EPS_US: f64 = 0.5;
+
+/// Phases whose wall-time MAD exceeds this fraction of the median are
+/// flagged as noisy in multi-run comparisons.
+const NOISE_MAD_FRAC: f64 = 0.05;
+
+/// How many top phases get Amdahl projections.
+const AMDAHL_TOP: usize = 10;
+
+/// Aggregated time of one phase (a `cat/name` identity) on one track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase label, `cat/name`.
+    pub phase: String,
+    /// The timeline the spans live on.
+    pub track: Track,
+    /// Number of spans aggregated.
+    pub spans: usize,
+    /// Total span duration, microseconds (children double-counted).
+    pub inclusive_us: f64,
+    /// Total self time, microseconds (time not inside a nested span).
+    pub exclusive_us: f64,
+}
+
+/// One step of the critical path, root first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalStep {
+    /// Phase label of the span on the path.
+    pub phase: String,
+    /// The span's sequence number.
+    pub seq: u64,
+    /// Start timestamp, microseconds.
+    pub ts_us: f64,
+    /// Span duration, microseconds.
+    pub dur_us: f64,
+    /// Time attributable to this step alone: its duration minus the
+    /// duration of the path child nested inside it.
+    pub self_us: f64,
+}
+
+/// Amdahl projection for one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmdahlRow {
+    /// Phase label.
+    pub phase: String,
+    /// Exclusive wall time, microseconds.
+    pub exclusive_us: f64,
+    /// Exclusive share of total wall busy time, in [0, 1].
+    pub share: f64,
+    /// End-to-end speedup if this phase ran 2× faster.
+    pub speedup_2x: f64,
+    /// End-to-end speedup if this phase ran 4× faster.
+    pub speedup_4x: f64,
+    /// Speedup ceiling: this phase made free (k → ∞).
+    pub ceiling: f64,
+}
+
+/// The full attribution of one capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunAttribution {
+    /// Capture label (usually the file name).
+    pub label: String,
+    /// Total wall busy time: summed durations of the wall-track root
+    /// spans across all lanes, microseconds. Exclusive times of wall
+    /// phases sum to exactly this.
+    pub wall_total_us: f64,
+    /// Same total for the simulated-time track.
+    pub sim_total_us: f64,
+    /// Spans analyzed.
+    pub spans: usize,
+    /// Spans the recorder dropped before export — nonzero means every
+    /// number in this attribution is a lower bound.
+    pub dropped: u64,
+    /// Per-phase attribution, wall track first, then sim, each sorted by
+    /// descending exclusive time (ties by label).
+    pub phases: Vec<PhaseStat>,
+    /// Critical path through the wall span forest, root first.
+    pub critical_path: Vec<CriticalStep>,
+    /// Amdahl projections for the top wall phases by exclusive time,
+    /// ranked by descending ceiling.
+    pub amdahl: Vec<AmdahlRow>,
+}
+
+/// Per-phase stability across N runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseNoise {
+    /// Phase label.
+    pub phase: String,
+    /// Runs the phase appeared in.
+    pub runs: usize,
+    /// Median exclusive wall time across runs, microseconds.
+    pub median_us: f64,
+    /// Median absolute deviation of exclusive wall time, microseconds.
+    pub mad_us: f64,
+    /// Whether the phase is too noisy for single-run deltas
+    /// (MAD > 5% of median).
+    pub noisy: bool,
+}
+
+/// The complete report: one attribution per capture plus, when several
+/// captures were given, the cross-run stability table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionReport {
+    /// One attribution per span-bearing capture, in input order.
+    pub runs: Vec<RunAttribution>,
+    /// Cross-run phase stability (empty with fewer than two runs).
+    pub comparison: Vec<PhaseNoise>,
+    /// Whether any input capture dropped spans.
+    pub lossy: bool,
+}
+
+/// A node of the span forest.
+struct Node {
+    span: CaptureSpan,
+    children: Vec<usize>,
+    /// Children recorded on another lane (worker spans) adopted for
+    /// critical-path purposes. Kept separate from `children` so exclusive
+    /// attribution stays a per-lane partition: adopted spans overlap
+    /// their adoptive parent in wall time and must not be subtracted.
+    adopted: Vec<usize>,
+    parent: Option<usize>,
+    adoptive_parent: Option<usize>,
+}
+
+/// Builds the span forest of one track: per-lane nesting by containment,
+/// plus cross-lane adoption of orphan roots into the containing span of
+/// another lane. Returns the nodes and the indices of the per-lane roots
+/// (spans with no same-lane parent).
+fn build_forest(spans: &[CaptureSpan], track: Track) -> (Vec<Node>, Vec<usize>) {
+    let mut nodes: Vec<Node> = spans
+        .iter()
+        .filter(|s| s.track == track)
+        .cloned()
+        .map(|span| Node { span, children: Vec::new(), adopted: Vec::new(), parent: None, adoptive_parent: None })
+        .collect();
+
+    // Group node indices per lane, in a deterministic lane order.
+    let mut lanes: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, node) in nodes.iter().enumerate() {
+        lanes.entry(node.span.tid).or_default().push(i);
+    }
+
+    let mut roots = Vec::new();
+    for lane in lanes.values() {
+        // Sort the lane by start time, longest-first on ties so parents
+        // precede their children, then by seq for full determinism.
+        let mut order = lane.clone();
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (&nodes[a].span, &nodes[b].span);
+            sa.ts_us
+                .total_cmp(&sb.ts_us)
+                .then(sb.dur_us.total_cmp(&sa.dur_us))
+                .then(sa.seq.cmp(&sb.seq))
+        });
+        let mut stack: Vec<usize> = Vec::new();
+        for &i in &order {
+            while let Some(&top) = stack.last() {
+                if nodes[i].span.end_us() <= nodes[top].span.end_us() + NEST_EPS_US {
+                    break;
+                }
+                stack.pop();
+            }
+            match stack.last() {
+                Some(&top) => {
+                    nodes[i].parent = Some(top);
+                    nodes[top].children.push(i);
+                }
+                None => roots.push(i),
+            }
+            stack.push(i);
+        }
+    }
+
+    // Cross-lane adoption: a lane root (e.g. an `exec/worker` span on its
+    // worker thread's lane) whose interval sits inside a span of another
+    // lane joins that span's subtree for critical-path purposes. The
+    // deepest containing span wins; ties cannot arise because candidate
+    // spans on one lane are nested.
+    for &root in &roots {
+        let (ts, end, lane) =
+            (nodes[root].span.ts_us, nodes[root].span.end_us(), nodes[root].span.tid);
+        let mut best: Option<usize> = None;
+        for (j, node) in nodes.iter().enumerate() {
+            if node.span.tid == lane {
+                continue;
+            }
+            if node.span.ts_us <= ts + NEST_EPS_US && end <= node.span.end_us() + NEST_EPS_US {
+                let tighter = match best {
+                    None => true,
+                    Some(b) => {
+                        let cur = &nodes[b].span;
+                        node.span.dur_us < cur.dur_us
+                            || (node.span.dur_us == cur.dur_us && node.span.seq > cur.seq)
+                    }
+                };
+                if tighter {
+                    best = Some(j);
+                }
+            }
+        }
+        if let Some(j) = best {
+            nodes[root].adoptive_parent = Some(j);
+            nodes[j].adopted.push(root);
+        }
+    }
+
+    (nodes, roots)
+}
+
+/// Per-phase inclusive/exclusive aggregation over one track's forest.
+fn attribute(nodes: &[Node], track: Track) -> (Vec<PhaseStat>, f64) {
+    let mut by_phase: BTreeMap<String, PhaseStat> = BTreeMap::new();
+    let mut total = 0.0;
+    for node in nodes {
+        let nested: f64 = node.children.iter().map(|&c| nodes[c].span.dur_us).sum();
+        let exclusive = (node.span.dur_us - nested).max(0.0);
+        if node.parent.is_none() {
+            total += node.span.dur_us;
+        }
+        let row = by_phase.entry(node.span.phase()).or_insert(PhaseStat {
+            phase: node.span.phase(),
+            track,
+            spans: 0,
+            inclusive_us: 0.0,
+            exclusive_us: 0.0,
+        });
+        row.spans += 1;
+        row.inclusive_us += node.span.dur_us;
+        row.exclusive_us += exclusive;
+    }
+    let mut phases: Vec<PhaseStat> = by_phase.into_values().collect();
+    phases.sort_by(|a, b| {
+        b.exclusive_us.total_cmp(&a.exclusive_us).then(a.phase.cmp(&b.phase))
+    });
+    (phases, total)
+}
+
+/// Walks the critical path: from the longest root, always descend into
+/// the last-finishing child (own-lane or adopted), ties broken by larger
+/// sequence number.
+fn critical_path(nodes: &[Node], roots: &[usize]) -> Vec<CriticalStep> {
+    // True roots only: a lane root adopted into another lane's span is an
+    // interior node of the walk, not a starting point.
+    let start = roots
+        .iter()
+        .copied()
+        .filter(|&r| nodes[r].adoptive_parent.is_none())
+        .max_by(|&a, &b| {
+            nodes[a]
+                .span
+                .dur_us
+                .total_cmp(&nodes[b].span.dur_us)
+                .then(nodes[a].span.seq.cmp(&nodes[b].span.seq))
+        });
+    let mut path = Vec::new();
+    let mut cursor = start;
+    while let Some(i) = cursor {
+        let node = &nodes[i];
+        let next = node
+            .children
+            .iter()
+            .chain(node.adopted.iter())
+            .copied()
+            .max_by(|&a, &b| {
+                nodes[a]
+                    .span
+                    .end_us()
+                    .total_cmp(&nodes[b].span.end_us())
+                    .then(nodes[a].span.seq.cmp(&nodes[b].span.seq))
+            });
+        let child_dur = next.map_or(0.0, |c| nodes[c].span.dur_us);
+        path.push(CriticalStep {
+            phase: node.span.phase(),
+            seq: node.span.seq,
+            ts_us: node.span.ts_us,
+            dur_us: node.span.dur_us,
+            self_us: (node.span.dur_us - child_dur).max(0.0),
+        });
+        cursor = next;
+    }
+    path
+}
+
+/// Amdahl projections for the top wall phases.
+fn amdahl_rows(phases: &[PhaseStat], wall_total_us: f64) -> Vec<AmdahlRow> {
+    if wall_total_us <= 0.0 {
+        return Vec::new();
+    }
+    let speedup = |share: f64, k: f64| 1.0 / ((1.0 - share) + share / k);
+    let mut rows: Vec<AmdahlRow> = phases
+        .iter()
+        .filter(|p| p.track == Track::Wall && p.exclusive_us > 0.0)
+        .take(AMDAHL_TOP)
+        .map(|p| {
+            let share = (p.exclusive_us / wall_total_us).min(1.0);
+            AmdahlRow {
+                phase: p.phase.clone(),
+                exclusive_us: p.exclusive_us,
+                share,
+                speedup_2x: speedup(share, 2.0),
+                speedup_4x: speedup(share, 4.0),
+                ceiling: if share >= 1.0 { f64::INFINITY } else { 1.0 / (1.0 - share) },
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.ceiling.total_cmp(&a.ceiling).then(a.phase.cmp(&b.phase)));
+    rows
+}
+
+/// Attributes one capture.
+pub fn analyze_capture(capture: &Capture) -> RunAttribution {
+    let (wall_nodes, wall_roots) = build_forest(&capture.spans, Track::Wall);
+    let (sim_nodes, _) = build_forest(&capture.spans, Track::Sim);
+    let (mut phases, wall_total_us) = attribute(&wall_nodes, Track::Wall);
+    let (sim_phases, sim_total_us) = attribute(&sim_nodes, Track::Sim);
+    let amdahl = amdahl_rows(&phases, wall_total_us);
+    let critical = critical_path(&wall_nodes, &wall_roots);
+    phases.extend(sim_phases);
+    RunAttribution {
+        label: capture.label.clone(),
+        wall_total_us,
+        sim_total_us,
+        spans: capture.spans.len(),
+        dropped: capture.dropped_spans,
+        phases,
+        critical_path: critical,
+        amdahl,
+    }
+}
+
+/// Median of a slice (sorted in place); 0 for an empty slice.
+fn median_of(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        0.5 * (values[mid - 1] + values[mid])
+    }
+}
+
+/// Cross-run stability of each wall phase's exclusive time.
+fn compare_runs(runs: &[RunAttribution]) -> Vec<PhaseNoise> {
+    if runs.len() < 2 {
+        return Vec::new();
+    }
+    let mut samples: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for run in runs {
+        for phase in run.phases.iter().filter(|p| p.track == Track::Wall) {
+            samples.entry(&phase.phase).or_default().push(phase.exclusive_us);
+        }
+    }
+    let mut rows: Vec<PhaseNoise> = samples
+        .into_iter()
+        .map(|(phase, mut values)| {
+            let runs_seen = values.len();
+            let median = median_of(&mut values);
+            let mut deviations: Vec<f64> =
+                values.iter().map(|v| (v - median).abs()).collect();
+            let mad = median_of(&mut deviations);
+            PhaseNoise {
+                phase: phase.to_string(),
+                runs: runs_seen,
+                median_us: median,
+                mad_us: mad,
+                noisy: median > 0.0 && mad > NOISE_MAD_FRAC * median,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.median_us.total_cmp(&a.median_us).then(a.phase.cmp(&b.phase)));
+    rows
+}
+
+/// Builds the full report over one or more parsed captures.
+///
+/// Captures without spans (pure metrics dumps) are rejected — they carry
+/// nothing to attribute.
+pub fn analyze_captures(captures: &[Capture]) -> Result<AttributionReport, String> {
+    if captures.is_empty() {
+        return Err("no captures to analyze".into());
+    }
+    for capture in captures {
+        if capture.spans.is_empty() {
+            return Err(format!(
+                "{}: capture has no spans to attribute ({} carries only metrics)",
+                capture.label, capture.schema
+            ));
+        }
+    }
+    let runs: Vec<RunAttribution> = captures.iter().map(analyze_capture).collect();
+    let comparison = compare_runs(&runs);
+    let lossy = runs.iter().any(|r| r.dropped > 0);
+    Ok(AttributionReport { runs, comparison, lossy })
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+fn track_name(track: Track) -> &'static str {
+    match track {
+        Track::Wall => "wall",
+        Track::Sim => "sim",
+    }
+}
+
+fn escape_json(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_json(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Finite ceilings render as numbers; the unbounded one as `null`.
+fn json_ceiling(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn text_ceiling(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}x")
+    } else {
+        "inf".to_string()
+    }
+}
+
+impl AttributionReport {
+    /// The warning banner for lossy captures, if any input dropped spans.
+    pub fn loss_warning(&self) -> Option<String> {
+        if !self.lossy {
+            return None;
+        }
+        let mut lines = vec![
+            "WARNING: LOSSY CAPTURE — the span buffer overflowed while recording;".into(),
+            "every time below is a LOWER BOUND, not a total. Re-capture with a".into(),
+            "larger buffer (--trace-buffer) for exact attribution.".into(),
+        ];
+        for run in self.runs.iter().filter(|r| r.dropped > 0) {
+            lines.push(format!("  {}: {} span(s) dropped", run.label, run.dropped));
+        }
+        Some(lines.join("\n"))
+    }
+
+    /// Renders the report as aligned plain text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if let Some(warning) = self.loss_warning() {
+            out.push_str(&warning);
+            out.push_str("\n\n");
+        }
+        for run in &self.runs {
+            out.push_str(&format!(
+                "== {} ==\nwall busy {:.3} ms over {} span(s); sim total {:.3} ms\n\n",
+                run.label,
+                run.wall_total_us / 1000.0,
+                run.spans,
+                run.sim_total_us / 1000.0,
+            ));
+
+            let width = run
+                .phases
+                .iter()
+                .map(|p| p.phase.len())
+                .chain(std::iter::once("phase".len()))
+                .max()
+                .unwrap_or(5);
+            out.push_str(&format!(
+                "{:<width$}  {:>5}  {:>6}  {:>14}  {:>14}  {:>6}\n",
+                "phase", "track", "spans", "inclusive(ms)", "self(ms)", "self%"
+            ));
+            for p in &run.phases {
+                let total = match p.track {
+                    Track::Wall => run.wall_total_us,
+                    Track::Sim => run.sim_total_us,
+                };
+                let share = if total > 0.0 { 100.0 * p.exclusive_us / total } else { 0.0 };
+                out.push_str(&format!(
+                    "{:<width$}  {:>5}  {:>6}  {:>14.3}  {:>14.3}  {:>5.1}%\n",
+                    p.phase,
+                    track_name(p.track),
+                    p.spans,
+                    p.inclusive_us / 1000.0,
+                    p.exclusive_us / 1000.0,
+                    share,
+                ));
+            }
+
+            out.push_str("\ncritical path (wall):\n");
+            for (depth, step) in run.critical_path.iter().enumerate() {
+                out.push_str(&format!(
+                    "{:indent$}{} {:.3} ms (self {:.3} ms, seq {})\n",
+                    "",
+                    step.phase,
+                    step.dur_us / 1000.0,
+                    step.self_us / 1000.0,
+                    step.seq,
+                    indent = 2 * depth,
+                ));
+            }
+
+            out.push_str("\nwhere to optimize next (Amdahl, wall track):\n");
+            let awidth = run
+                .amdahl
+                .iter()
+                .map(|a| a.phase.len())
+                .chain(std::iter::once("phase".len()))
+                .max()
+                .unwrap_or(5);
+            out.push_str(&format!(
+                "{:<awidth$}  {:>9}  {:>6}  {:>8}  {:>8}  {:>8}\n",
+                "phase", "self(ms)", "share", "2x", "4x", "ceiling"
+            ));
+            for a in &run.amdahl {
+                out.push_str(&format!(
+                    "{:<awidth$}  {:>9.3}  {:>5.1}%  {:>7.3}x  {:>7.3}x  {:>8}\n",
+                    a.phase,
+                    a.exclusive_us / 1000.0,
+                    100.0 * a.share,
+                    a.speedup_2x,
+                    a.speedup_4x,
+                    text_ceiling(a.ceiling),
+                ));
+            }
+            out.push('\n');
+        }
+
+        if !self.comparison.is_empty() {
+            out.push_str(&format!(
+                "== cross-run stability ({} runs, wall self time) ==\n",
+                self.runs.len()
+            ));
+            let cwidth = self
+                .comparison
+                .iter()
+                .map(|n| n.phase.len())
+                .chain(std::iter::once("phase".len()))
+                .max()
+                .unwrap_or(5);
+            out.push_str(&format!(
+                "{:<cwidth$}  {:>4}  {:>12}  {:>10}  {:>5}\n",
+                "phase", "runs", "median(ms)", "mad(ms)", "noisy"
+            ));
+            for n in &self.comparison {
+                out.push_str(&format!(
+                    "{:<cwidth$}  {:>4}  {:>12.3}  {:>10.3}  {:>5}\n",
+                    n.phase,
+                    n.runs,
+                    n.median_us / 1000.0,
+                    n.mad_us / 1000.0,
+                    if n.noisy { "yes" } else { "no" },
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the report as a `pandia-report-v1` JSON document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"pandia-report-v1\"");
+        out.push_str(&format!(",\"lossy\":{}", self.lossy));
+        out.push_str(",\"runs\":[");
+        for (i, run) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":{},\"wall_total_us\":{:.3},\"sim_total_us\":{:.3},\"spans\":{},\"dropped\":{}",
+                json_str(&run.label),
+                run.wall_total_us,
+                run.sim_total_us,
+                run.spans,
+                run.dropped,
+            ));
+            out.push_str(",\"phases\":[");
+            for (j, p) in run.phases.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"phase\":{},\"track\":{},\"spans\":{},\"inclusive_us\":{:.3},\"exclusive_us\":{:.3}}}",
+                    json_str(&p.phase),
+                    json_str(track_name(p.track)),
+                    p.spans,
+                    p.inclusive_us,
+                    p.exclusive_us,
+                ));
+            }
+            out.push_str("],\"critical_path\":[");
+            for (j, s) in run.critical_path.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"phase\":{},\"seq\":{},\"ts_us\":{:.3},\"dur_us\":{:.3},\"self_us\":{:.3}}}",
+                    json_str(&s.phase),
+                    s.seq,
+                    s.ts_us,
+                    s.dur_us,
+                    s.self_us,
+                ));
+            }
+            out.push_str("],\"amdahl\":[");
+            for (j, a) in run.amdahl.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"phase\":{},\"exclusive_us\":{:.3},\"share\":{:.6},\"speedup_2x\":{:.4},\"speedup_4x\":{:.4},\"ceiling\":{}}}",
+                    json_str(&a.phase),
+                    a.exclusive_us,
+                    a.share,
+                    a.speedup_2x,
+                    a.speedup_4x,
+                    json_ceiling(a.ceiling),
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"comparison\":[");
+        for (i, n) in self.comparison.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"phase\":{},\"runs\":{},\"median_us\":{:.3},\"mad_us\":{:.3},\"noisy\":{}}}",
+                json_str(&n.phase),
+                n.runs,
+                n.median_us,
+                n.mad_us,
+                n.noisy,
+            ));
+        }
+        out.push_str("]}");
+        out.push('\n');
+        out
+    }
+
+    /// Renders the per-phase table as CSV (one row per run × phase).
+    pub fn render_csv(&self) -> String {
+        let mut out =
+            String::from("run,phase,track,spans,inclusive_us,exclusive_us,self_share\n");
+        for run in &self.runs {
+            for p in &run.phases {
+                let total = match p.track {
+                    Track::Wall => run.wall_total_us,
+                    Track::Sim => run.sim_total_us,
+                };
+                let share = if total > 0.0 { p.exclusive_us / total } else { 0.0 };
+                out.push_str(&format!(
+                    "{},{},{},{},{:.3},{:.3},{:.6}\n",
+                    run.label,
+                    p.phase,
+                    track_name(p.track),
+                    p.spans,
+                    p.inclusive_us,
+                    p.exclusive_us,
+                    share,
+                ));
+            }
+        }
+        out
+    }
+}
+
+// lint: allow-file(S2): tests synthesize captures through a local recorder, not the global one
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traceio::parse_capture;
+    use pandia_obs::{Recorder, SpanEvent};
+
+    fn span(seq: u64, tid: u32, cat: &'static str, name: &str, ts: f64, dur: f64) -> SpanEvent {
+        SpanEvent {
+            cat,
+            name: name.to_string(),
+            seq,
+            tid,
+            track: Track::Wall,
+            ts_us: ts,
+            dur_us: dur,
+            args: vec![],
+        }
+    }
+
+    fn capture_of(events: Vec<SpanEvent>) -> Capture {
+        let r = Recorder::new();
+        for e in events {
+            r.record_span_at(e);
+        }
+        parse_capture(&r.chrome_trace_json(), "test").unwrap()
+    }
+
+    #[test]
+    fn exclusive_times_partition_lane_busy_time() {
+        // root [0,100] > a [10,40] > b [15,20]; sibling c [50,90].
+        let capture = capture_of(vec![
+            span(1, 1, "h", "root", 0.0, 100.0),
+            span(2, 1, "h", "a", 10.0, 30.0),
+            span(3, 1, "h", "b", 15.0, 5.0),
+            span(4, 1, "h", "c", 50.0, 40.0),
+        ]);
+        let run = analyze_capture(&capture);
+        assert_eq!(run.wall_total_us, 100.0);
+        let get = |name: &str| {
+            run.phases.iter().find(|p| p.phase == format!("h/{name}")).unwrap()
+        };
+        assert_eq!(get("root").inclusive_us, 100.0);
+        assert_eq!(get("root").exclusive_us, 30.0); // 100 - 30 - 40
+        assert_eq!(get("a").exclusive_us, 25.0); // 30 - 5
+        assert_eq!(get("b").exclusive_us, 5.0);
+        assert_eq!(get("c").exclusive_us, 40.0);
+        let self_sum: f64 = run
+            .phases
+            .iter()
+            .filter(|p| p.track == Track::Wall)
+            .map(|p| p.exclusive_us)
+            .sum();
+        assert!((self_sum - run.wall_total_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_follows_last_finisher_across_lanes() {
+        // Lane 1: root [0,100] > parallel_map [10,90].
+        // Lane 2: worker [12,88] — adopted under parallel_map.
+        // Lane 3: worker [11,59] — finishes earlier, not on the path.
+        // (The recorder reassigns sequence numbers in recording order,
+        // so the spans below get seqs 0..=3.)
+        let capture = capture_of(vec![
+            span(1, 1, "h", "root", 0.0, 100.0),
+            span(2, 1, "exec", "parallel_map", 10.0, 80.0),
+            span(3, 2, "exec", "worker", 12.0, 76.0),
+            span(4, 3, "exec", "worker", 11.0, 48.0),
+        ]);
+        let run = analyze_capture(&capture);
+        let path: Vec<(&str, u64)> =
+            run.critical_path.iter().map(|s| (s.phase.as_str(), s.seq)).collect();
+        assert_eq!(
+            path,
+            vec![("h/root", 0), ("exec/parallel_map", 1), ("exec/worker", 2)]
+        );
+        // Adoption must not distort attribution: workers keep their own
+        // lane's busy time.
+        assert_eq!(run.wall_total_us, 100.0 + 76.0 + 48.0);
+        let pm = run.phases.iter().find(|p| p.phase == "exec/parallel_map").unwrap();
+        assert_eq!(pm.exclusive_us, 80.0, "adopted spans are not subtracted");
+    }
+
+    #[test]
+    fn amdahl_ranks_the_dominant_phase_first() {
+        let capture = capture_of(vec![
+            span(1, 1, "h", "root", 0.0, 100.0),
+            span(2, 1, "sim", "run", 0.0, 75.0), // dominant: 75% share
+            span(3, 1, "h", "report", 80.0, 10.0),
+        ]);
+        let run = analyze_capture(&capture);
+        assert_eq!(run.amdahl[0].phase, "sim/run");
+        assert!((run.amdahl[0].share - 0.75).abs() < 1e-9);
+        assert!((run.amdahl[0].ceiling - 4.0).abs() < 1e-9);
+        assert!((run.amdahl[0].speedup_2x - 1.0 / (0.25 + 0.375)).abs() < 1e-9);
+        // Ceiling ordering holds across rows.
+        assert!(run.amdahl.windows(2).all(|w| w[0].ceiling >= w[1].ceiling));
+    }
+
+    #[test]
+    fn multi_run_comparison_flags_noisy_phases() {
+        let runs: Vec<Capture> = [(100.0, 10.0), (104.0, 40.0), (96.0, 70.0)]
+            .iter()
+            .map(|&(stable, jittery)| {
+                capture_of(vec![
+                    span(1, 1, "h", "stable", 0.0, stable),
+                    span(2, 1, "h", "jittery", 200.0, jittery),
+                ])
+            })
+            .collect();
+        let report = analyze_captures(&runs).unwrap();
+        assert_eq!(report.comparison.len(), 2);
+        let jittery =
+            report.comparison.iter().find(|n| n.phase == "h/jittery").unwrap();
+        assert!(jittery.noisy, "MAD 30/median 40 must flag as noisy");
+        let stable = report.comparison.iter().find(|n| n.phase == "h/stable").unwrap();
+        assert!(!stable.noisy, "MAD 4/median 100 is within tolerance");
+        assert_eq!(stable.median_us, 100.0);
+        assert_eq!(stable.mad_us, 4.0);
+    }
+
+    #[test]
+    fn lossy_captures_carry_a_loud_warning() {
+        let mut capture = capture_of(vec![span(1, 1, "h", "root", 0.0, 100.0)]);
+        capture.dropped_spans = 7;
+        let report = analyze_captures(&[capture]).unwrap();
+        assert!(report.lossy);
+        let warning = report.loss_warning().unwrap();
+        assert!(warning.contains("LOSSY"));
+        assert!(warning.contains("7 span(s) dropped"));
+        assert!(report.render_text().starts_with("WARNING"));
+        assert!(report.render_json().contains("\"lossy\":true"));
+    }
+
+    #[test]
+    fn renders_are_deterministic_and_schema_tagged() {
+        let capture = capture_of(vec![
+            span(1, 1, "h", "root", 0.0, 100.0),
+            span(2, 1, "sim", "run", 5.0, 60.0),
+        ]);
+        let report = analyze_captures(std::slice::from_ref(&capture)).unwrap();
+        let again = analyze_captures(&[capture]).unwrap();
+        assert_eq!(report.render_text(), again.render_text());
+        assert_eq!(report.render_json(), again.render_json());
+        assert_eq!(report.render_csv(), again.render_csv());
+        let json: serde_json::Value = serde_json::from_str(&report.render_json()).unwrap();
+        let schema = crate::traceio::field(&json, "schema");
+        assert_eq!(schema.and_then(serde_json::Value::as_str), Some("pandia-report-v1"));
+    }
+
+    #[test]
+    fn metrics_only_captures_are_rejected() {
+        let r = Recorder::new();
+        r.add("x", 1);
+        let capture = parse_capture(&r.metrics_jsonl(), "m").unwrap();
+        let err = analyze_captures(&[capture]).unwrap_err();
+        assert!(err.contains("no spans"), "{err}");
+    }
+}

@@ -4,6 +4,11 @@
 //! `cargo run --release -p pandia-harness --bin fig10_curves [--quick]
 //! [--jobs N] [--no-cache] [--naive-sim] [machine]`
 //!
+//! With `--events-out FILE` the span-event stream is appended after each
+//! workload, so a long sweep is watchable in flight (`tail -f`); pair a
+//! full-coverage `--trace-out` capture with `--trace-buffer SPANS` when
+//! the sweep records more than the default 2^18 spans.
+//!
 //! `--naive-sim` disables the simulator's incremental fast path (solve
 //! reuse + steady-segment coalescing) so CI can assert both engine paths
 //! emit byte-identical results.
@@ -20,7 +25,7 @@ use pandia_harness::{
 use pandia_sim::{SimConfig, SimMachine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let _telemetry = telemetry_from_args();
+    let mut telemetry = telemetry_from_args();
     let quiet = quiet_from_args();
     let coverage = Coverage::from_args();
     let exec = exec_from_args();
@@ -62,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &report::curve_csv(&curve),
         )?;
         all_stats.push(stats);
+        // Keep the --events-out stream current so a long sweep can be
+        // watched in flight, one workload at a time.
+        telemetry.poll_events();
     }
     report_exec(&exec, "curves", start, quiet);
     let table = report::error_table(

@@ -9,7 +9,9 @@
 //! worker count (default: all hardware threads; the written results are
 //! bit-identical for every value), `--no-cache` to disable prediction
 //! memoization, `--quiet` to silence stderr progress, and
-//! `--trace-out FILE` / `--metrics-out FILE` to capture telemetry.
+//! `--trace-out FILE` / `--metrics-out FILE` to capture telemetry, and
+//! `--events-out FILE` to stream span events live (appended after each
+//! panel, so a long sweep is watchable in flight).
 
 use std::time::Instant;
 
@@ -17,22 +19,22 @@ use pandia_core::ExecContext;
 use pandia_harness::{
     experiments::{
         errors, exec_from_args, positional_args, quiet_from_args, report_exec,
-        runnable_workloads, telemetry_from_args, Coverage,
+        runnable_workloads, telemetry_from_args, Coverage, TelemetryGuard,
     },
     report, MachineContext,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let _telemetry = telemetry_from_args();
+    let mut telemetry = telemetry_from_args();
     let quiet = quiet_from_args();
     let coverage = Coverage::from_args();
     let exec = exec_from_args();
     let mode = positional_args().into_iter().next().unwrap_or_else(|| "x5-2".into());
 
     if mode == "portability" {
-        run_portability(coverage, &exec, quiet)
+        run_portability(coverage, &exec, quiet, &mut telemetry)
     } else {
-        run_panel(&mode, coverage, &exec, quiet)
+        run_panel(&mode, coverage, &exec, quiet, &mut telemetry)
     }
 }
 
@@ -41,6 +43,7 @@ fn run_panel(
     coverage: Coverage,
     exec: &ExecContext,
     quiet: bool,
+    telemetry: &mut TelemetryGuard,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let ctx = MachineContext::by_name(machine)?;
     let placements = coverage.placements(&ctx);
@@ -48,6 +51,7 @@ fn run_panel(
     let start = Instant::now();
     let bars = errors::error_bars_with(exec, &ctx, &workloads, &placements)?;
     report_exec(exec, &format!("error sweep on {machine}"), start, quiet);
+    telemetry.poll_events();
     let title = format!("Figure 11 — errors on {}", bars.title);
     let table = report::error_table(&title, &bars.stats);
     print!("{table}");
@@ -67,6 +71,7 @@ fn run_portability(
     coverage: Coverage,
     exec: &ExecContext,
     quiet: bool,
+    telemetry: &mut TelemetryGuard,
 ) -> Result<(), Box<dyn std::error::Error>> {
     // Panel c: X3-2 descriptions used on the X5-2.
     // Panel d: X5-2 descriptions used on the X3-2.
@@ -90,6 +95,8 @@ fn run_portability(
             &format!("fig11/portability_{panel}.csv"),
             &report::error_csv(&bars.stats),
         )?;
+        // Keep the --events-out stream current between panels.
+        telemetry.poll_events();
     }
     Ok(())
 }

@@ -1,0 +1,98 @@
+//! Phase-attribution report over one or more telemetry captures.
+//!
+//! `cargo run --release -p pandia-harness --bin pandia_report -- \
+//!     CAPTURE... [--json FILE] [--csv FILE] [--out FILE]`
+//!
+//! Each `CAPTURE` is a `--trace-out` Chrome-trace document or an
+//! `--events-out` JSONL stream (the format is sniffed). One capture
+//! yields the attribution tables — per-phase inclusive/exclusive time,
+//! the critical path, and the Amdahl "where to optimize next" ranking;
+//! several captures additionally yield the cross-run median+MAD
+//! stability table (see `pandia_harness::attribution`).
+//!
+//! The aligned text report goes to stdout (or `--out FILE`); `--json`
+//! and `--csv` write the machine-readable forms (`pandia-report-v1`).
+//! Captures that dropped spans produce a loud warning on stderr as well
+//! as in the report body.
+//!
+//! Exit codes: 0 = report produced, 2 = usage or input error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pandia_harness::{analyze_captures, traceio};
+
+struct Options {
+    captures: Vec<PathBuf>,
+    json: Option<PathBuf>,
+    csv: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts =
+        Options { captures: Vec::new(), json: None, csv: None, out: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut path_flag = |name: &str| {
+            args.next().map(PathBuf::from).ok_or_else(|| format!("{name} requires a path"))
+        };
+        match arg.as_str() {
+            "--json" => opts.json = Some(path_flag("--json")?),
+            "--csv" => opts.csv = Some(path_flag("--csv")?),
+            "--out" => opts.out = Some(path_flag("--out")?),
+            _ if arg.starts_with('-') => return Err(format!("unknown flag {arg}")),
+            _ => opts.captures.push(PathBuf::from(arg)),
+        }
+    }
+    if opts.captures.is_empty() {
+        return Err(
+            "usage: pandia_report CAPTURE... [--json FILE] [--csv FILE] [--out FILE]".into(),
+        );
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let captures = opts
+        .captures
+        .iter()
+        .map(|p| traceio::parse_capture_file(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let report = analyze_captures(&captures)?;
+    if let Some(warning) = report.loss_warning() {
+        eprintln!("{warning}");
+    }
+    let text = report.render_text();
+    match &opts.out {
+        Some(path) => std::fs::write(path, &text)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+        None => print!("{text}"),
+    }
+    if let Some(path) = &opts.json {
+        std::fs::write(path, report.render_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &opts.csv {
+        std::fs::write(path, report.render_csv())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("pandia_report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pandia_report: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -193,9 +193,10 @@ impl Drop for TelemetryGuard {
 }
 
 /// Parses `--trace-out FILE` / `--metrics-out FILE` / `--events-out FILE`
-/// from argv and, when any is present, installs the global telemetry
-/// recorder. Returns the guard that writes the files when dropped; bind
-/// it in `main`:
+/// (plus `--trace-buffer SPANS` to size the span buffer for captures
+/// larger than the default 2^18 spans) from argv and, when any sink is
+/// present, installs the global telemetry recorder. Returns the guard
+/// that writes the files when dropped; bind it in `main`:
 ///
 /// ```no_run
 /// let _telemetry = pandia_harness::experiments::telemetry_from_args();
@@ -207,6 +208,7 @@ pub fn telemetry_from_args() -> TelemetryGuard {
     let mut trace_out = None;
     let mut metrics_out = None;
     let mut events_out = None;
+    let mut trace_buffer = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -228,16 +230,30 @@ pub fn telemetry_from_args() -> TelemetryGuard {
                     i += 1;
                 }
             }
+            "--trace-buffer" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    trace_buffer = Some(v.max(1));
+                    i += 1;
+                }
+            }
             _ => {}
         }
         i += 1;
+    }
+    // Size the buffer before TelemetryGuard::new installs the recorder
+    // with the default cap (install is first-call-wins).
+    if let Some(max_events) = trace_buffer {
+        if trace_out.is_some() || metrics_out.is_some() || events_out.is_some() {
+            pandia_obs::install_with_max_events(max_events);
+        }
     }
     TelemetryGuard::new(trace_out, metrics_out, events_out, quiet_from_args())
 }
 
 /// Positional argv values with the shared experiment flags (`--quick`,
 /// `-q`, `--quiet`, `--jobs N`, `-j N`, `--no-cache`, `--trace-out FILE`,
-/// `--metrics-out FILE`, `--events-out FILE`) stripped out.
+/// `--metrics-out FILE`, `--events-out FILE`, `--trace-buffer SPANS`)
+/// stripped out.
 pub fn positional_args() -> Vec<String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();
@@ -245,7 +261,8 @@ pub fn positional_args() -> Vec<String> {
     while i < args.len() {
         match args[i].as_str() {
             // Skip these flags' value arguments too.
-            "--jobs" | "-j" | "--trace-out" | "--metrics-out" | "--events-out" => i += 1,
+            "--jobs" | "-j" | "--trace-out" | "--metrics-out" | "--events-out"
+            | "--trace-buffer" => i += 1,
             a if a.starts_with('-') => {}
             a => positional.push(a.to_string()),
         }

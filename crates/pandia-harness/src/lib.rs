@@ -13,17 +13,26 @@
 //! * [`experiments`] — one driver per figure/table; each binary in
 //!   `src/bin/` wraps one driver.
 //! * [`report`] — plain-text tables and CSV emission under `results/`.
+//! * [`traceio`] — parses the `pandia-trace-v1` / `-events-v1` /
+//!   `-metrics-v1` capture formats back into one in-memory model.
 //! * [`tracediff`] — span-by-span diffing of two `--trace-out` captures
 //!   (the `trace_diff` binary), for catching wall-time regressions.
+//! * [`attribution`] — phase-attribution analytics over captures (the
+//!   `pandia-report` binary): inclusive/exclusive time, critical path,
+//!   Amdahl what-if projections, multi-run noise flagging.
 
+pub mod attribution;
 pub mod context;
 pub mod experiments;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod tracediff;
+pub mod traceio;
 
+pub use attribution::{analyze_captures, AttributionReport};
 pub use context::MachineContext;
 pub use metrics::{best_placement_gap, error_stats, ErrorStats};
 pub use runner::{measure_curve, CurvePoint, PlacementCurve};
 pub use tracediff::{diff_trace_files, diff_traces, PhaseDelta, TraceDiff};
+pub use traceio::{parse_capture, parse_capture_file, Capture, CaptureSpan};

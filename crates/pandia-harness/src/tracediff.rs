@@ -17,14 +17,8 @@
 
 use std::collections::BTreeMap;
 
-use serde_json::Value;
-
-/// One wall-clock span extracted from a capture.
-struct WallSpan {
-    cat: String,
-    name: String,
-    dur_us: f64,
-}
+use crate::traceio::{self, CaptureSpan};
+use pandia_obs::Track;
 
 /// Aggregated wall time of one phase (a `cat/name` span identity) across
 /// both captures.
@@ -125,70 +119,22 @@ impl TraceDiff {
     }
 }
 
-/// Looks up a member of a JSON object value by key.
-fn field<'a>(value: &'a Value, name: &str) -> Option<&'a Value> {
-    value.as_object()?.iter().find(|(k, _)| k == name).map(|(_, v)| v)
-}
-
-/// The value as a non-negative integer, if it is one.
-fn as_u64(value: &Value) -> Option<u64> {
-    match value {
-        Value::Number(serde::Number::PosInt(n)) => Some(*n),
-        _ => None,
-    }
-}
-
 /// Extracts the wall-clock spans of a capture, keyed by sequence number.
-fn wall_spans(doc: &Value, label: &str) -> Result<BTreeMap<u64, WallSpan>, String> {
-    if doc.as_object().is_none() {
-        return Err(format!("{label}: not a JSON object"));
-    }
-    let schema = field(doc, "otherData")
-        .and_then(|o| field(o, "schema"))
-        .and_then(Value::as_str)
-        .unwrap_or("<missing>");
-    if schema != pandia_obs::TRACE_SCHEMA {
-        return Err(format!(
-            "{label}: schema {schema:?}, expected {:?} (is this a --trace-out capture?)",
-            pandia_obs::TRACE_SCHEMA
-        ));
-    }
-    let events = field(doc, "traceEvents")
-        .and_then(Value::as_array)
-        .ok_or_else(|| format!("{label}: missing traceEvents array"))?;
-    let mut spans = BTreeMap::new();
-    for event in events {
-        if field(event, "ph").and_then(Value::as_str) != Some("X") {
-            continue;
-        }
-        if field(event, "pid").and_then(as_u64) != Some(1) {
-            continue;
-        }
-        let Some(seq) = field(event, "args").and_then(|a| field(a, "seq")).and_then(as_u64)
-        else {
-            continue;
-        };
-        spans.insert(
-            seq,
-            WallSpan {
-                cat: field(event, "cat").and_then(Value::as_str).unwrap_or("?").to_string(),
-                name: field(event, "name").and_then(Value::as_str).unwrap_or("?").to_string(),
-                dur_us: field(event, "dur").and_then(Value::as_f64).unwrap_or(0.0),
-            },
-        );
-    }
-    Ok(spans)
+fn wall_spans(text: &str, label: &str) -> Result<BTreeMap<u64, CaptureSpan>, String> {
+    let capture = traceio::parse_trace(text, label)?;
+    Ok(capture
+        .spans
+        .into_iter()
+        .filter(|s| s.track == Track::Wall)
+        .map(|s| (s.seq, s))
+        .collect())
 }
 
 /// Diffs two `--trace-out` captures (raw JSON document strings) of the
 /// same experiment.
 pub fn diff_traces(baseline: &str, candidate: &str) -> Result<TraceDiff, String> {
-    let base_doc: Value = serde_json::from_str(baseline)
-        .map_err(|e| format!("baseline: invalid JSON: {e}"))?;
-    let cand_doc: Value = serde_json::from_str(candidate)
-        .map_err(|e| format!("candidate: invalid JSON: {e}"))?;
-    let base = wall_spans(&base_doc, "baseline")?;
-    let cand = wall_spans(&cand_doc, "candidate")?;
+    let base = wall_spans(baseline, "baseline")?;
+    let cand = wall_spans(candidate, "candidate")?;
 
     let mut phases: BTreeMap<String, PhaseDelta> = BTreeMap::new();
     let mut matched = 0;

@@ -1,0 +1,386 @@
+//! Reading telemetry captures back in: the span-parsing core shared by
+//! [`crate::tracediff`] (the `trace_diff` regression gate) and
+//! [`crate::attribution`] (the `pandia-report` analytics).
+//!
+//! Three on-disk formats, all produced by `pandia-obs`, parse into one
+//! [`Capture`] model:
+//!
+//! * `pandia-trace-v1` — a Chrome trace-event JSON document
+//!   (`--trace-out`): complete spans on both tracks, final counter
+//!   values, and the span-buffer bookkeeping in `otherData`.
+//! * `pandia-events-v1` — a span-event JSONL stream (`--events-out`):
+//!   spans only, plus any in-band `{"type":"dropped"}` loss markers.
+//! * `pandia-metrics-v1` — a metrics JSONL registry dump
+//!   (`--metrics-out`): counters, gauges, and histograms, no spans.
+//!
+//! The format is sniffed from the content, so callers can hand
+//! `pandia-report` any mix of capture files.
+
+use std::collections::BTreeMap;
+
+use pandia_obs::{HistogramSnapshot, Track, HISTOGRAM_BUCKET_BOUNDS};
+use serde_json::Value;
+
+/// One completed span read back from a capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureSpan {
+    /// Logical sequence number (creation order across the whole run).
+    pub seq: u64,
+    /// The timeline the span lives on (wall clock vs simulated time).
+    pub track: Track,
+    /// Lane within the track: thread id for wall spans, virtual lane for
+    /// sim spans.
+    pub tid: u32,
+    /// Span category (the instrumentation layer: `"sim"`, `"exec"`, ...).
+    pub cat: String,
+    /// Span name.
+    pub name: String,
+    /// Start timestamp, microseconds.
+    pub ts_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+}
+
+impl CaptureSpan {
+    /// End timestamp, microseconds.
+    pub fn end_us(&self) -> f64 {
+        self.ts_us + self.dur_us
+    }
+
+    /// The `cat/name` phase label spans aggregate under.
+    pub fn phase(&self) -> String {
+        format!("{}/{}", self.cat, self.name)
+    }
+}
+
+/// A telemetry capture parsed back into memory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Capture {
+    /// Label for error messages and report headers (usually the file
+    /// name).
+    pub label: String,
+    /// The schema tag the capture carried.
+    pub schema: String,
+    /// Spans ordered by sequence number (empty for metrics captures).
+    pub spans: Vec<CaptureSpan>,
+    /// Final counter values by name (trace and metrics captures).
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values by name (metrics captures).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name (metrics captures).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Spans recorded by the capture's recorder (trace captures report
+    /// this even when the event list was truncated).
+    pub recorded_spans: u64,
+    /// Spans dropped because the recorder's event buffer was full — a
+    /// nonzero value means the capture is lossy and every span-derived
+    /// statistic is a lower bound.
+    pub dropped_spans: u64,
+}
+
+/// Looks up a member of a JSON object value by key.
+pub(crate) fn field<'a>(value: &'a Value, name: &str) -> Option<&'a Value> {
+    value.as_object()?.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// The value as a non-negative integer, if it is one.
+pub(crate) fn as_u64(value: &Value) -> Option<u64> {
+    match value {
+        Value::Number(serde::Number::PosInt(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn str_of(value: &Value, key: &str) -> Option<String> {
+    field(value, key).and_then(Value::as_str).map(str::to_string)
+}
+
+/// Parses one capture, sniffing the format from the content.
+pub fn parse_capture(text: &str, label: &str) -> Result<Capture, String> {
+    let head = text.trim_start();
+    if head.is_empty() {
+        return Err(format!("{label}: empty capture"));
+    }
+    // JSONL captures put their schema on the first line; the Chrome
+    // trace document's schema hides inside `otherData`.
+    let first_line = head.lines().next().unwrap_or("");
+    if let Ok(meta) = serde_json::from_str::<Value>(first_line) {
+        match str_of(&meta, "schema").as_deref() {
+            Some(pandia_obs::EVENTS_SCHEMA) => return parse_events(text, label),
+            Some(pandia_obs::METRICS_SCHEMA) => return parse_metrics(&meta, text, label),
+            _ => {}
+        }
+    }
+    parse_trace(text, label)
+}
+
+/// Reads and parses one capture file.
+pub fn parse_capture_file(path: &std::path::Path) -> Result<Capture, String> {
+    let label = path.display().to_string();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {label}: {e}"))?;
+    parse_capture(&text, &label)
+}
+
+/// Parses a `pandia-trace-v1` Chrome trace-event document.
+pub fn parse_trace(text: &str, label: &str) -> Result<Capture, String> {
+    let doc: Value =
+        serde_json::from_str(text).map_err(|e| format!("{label}: invalid JSON: {e}"))?;
+    if doc.as_object().is_none() {
+        return Err(format!("{label}: not a JSON object"));
+    }
+    let other = field(&doc, "otherData");
+    let schema = other
+        .and_then(|o| field(o, "schema"))
+        .and_then(Value::as_str)
+        .unwrap_or("<missing>");
+    if schema != pandia_obs::TRACE_SCHEMA {
+        return Err(format!(
+            "{label}: schema {schema:?}, expected {:?} (is this a --trace-out capture?)",
+            pandia_obs::TRACE_SCHEMA
+        ));
+    }
+    let events = field(&doc, "traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{label}: missing traceEvents array"))?;
+    let mut capture = Capture {
+        label: label.to_string(),
+        schema: schema.to_string(),
+        recorded_spans: other
+            .and_then(|o| field(o, "spans"))
+            .and_then(as_u64)
+            .unwrap_or(0),
+        dropped_spans: other
+            .and_then(|o| field(o, "dropped_spans"))
+            .and_then(as_u64)
+            .unwrap_or(0),
+        ..Capture::default()
+    };
+    for event in events {
+        match field(event, "ph").and_then(Value::as_str) {
+            Some("X") => {
+                let track = match field(event, "pid").and_then(as_u64) {
+                    Some(1) => Track::Wall,
+                    Some(2) => Track::Sim,
+                    _ => continue,
+                };
+                let Some(seq) =
+                    field(event, "args").and_then(|a| field(a, "seq")).and_then(as_u64)
+                else {
+                    continue;
+                };
+                capture.spans.push(CaptureSpan {
+                    seq,
+                    track,
+                    tid: field(event, "tid").and_then(as_u64).unwrap_or(0) as u32,
+                    cat: str_of(event, "cat").unwrap_or_else(|| "?".into()),
+                    name: str_of(event, "name").unwrap_or_else(|| "?".into()),
+                    ts_us: field(event, "ts").and_then(Value::as_f64).unwrap_or(0.0),
+                    dur_us: field(event, "dur").and_then(Value::as_f64).unwrap_or(0.0),
+                });
+            }
+            Some("C") => {
+                if let (Some(name), Some(value)) = (
+                    str_of(event, "name"),
+                    field(event, "args").and_then(|a| field(a, "value")).and_then(as_u64),
+                ) {
+                    capture.counters.insert(name, value);
+                }
+            }
+            _ => {}
+        }
+    }
+    capture.spans.sort_by_key(|s| s.seq);
+    Ok(capture)
+}
+
+/// Parses a `pandia-events-v1` JSONL stream.
+fn parse_events(text: &str, label: &str) -> Result<Capture, String> {
+    let mut capture = Capture {
+        label: label.to_string(),
+        schema: pandia_obs::EVENTS_SCHEMA.to_string(),
+        ..Capture::default()
+    };
+    for (i, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{label}:{}: invalid JSON: {e}", i + 1))?;
+        match str_of(&value, "type").as_deref() {
+            Some("span") => {
+                let track = match str_of(&value, "track").as_deref() {
+                    Some("sim") => Track::Sim,
+                    _ => Track::Wall,
+                };
+                capture.spans.push(CaptureSpan {
+                    seq: field(&value, "seq").and_then(as_u64).unwrap_or(0),
+                    track,
+                    tid: field(&value, "tid").and_then(as_u64).unwrap_or(0) as u32,
+                    cat: str_of(&value, "cat").unwrap_or_else(|| "?".into()),
+                    name: str_of(&value, "name").unwrap_or_else(|| "?".into()),
+                    ts_us: field(&value, "ts_us").and_then(Value::as_f64).unwrap_or(0.0),
+                    dur_us: field(&value, "dur_us").and_then(Value::as_f64).unwrap_or(0.0),
+                });
+            }
+            Some("dropped") => {
+                // Loss markers carry the cumulative drop count; the last
+                // one wins.
+                capture.dropped_spans =
+                    field(&value, "count").and_then(as_u64).unwrap_or(0);
+            }
+            _ => {}
+        }
+    }
+    capture.spans.sort_by_key(|s| s.seq);
+    capture.recorded_spans = capture.spans.len() as u64;
+    Ok(capture)
+}
+
+/// Parses a `pandia-metrics-v1` JSONL registry dump.
+fn parse_metrics(meta: &Value, text: &str, label: &str) -> Result<Capture, String> {
+    if let Some(bounds) = field(meta, "bucket_bounds").and_then(Value::as_array) {
+        if bounds.len() != HISTOGRAM_BUCKET_BOUNDS.len() {
+            return Err(format!(
+                "{label}: {} bucket bounds, expected {} (incompatible metrics capture?)",
+                bounds.len(),
+                HISTOGRAM_BUCKET_BOUNDS.len()
+            ));
+        }
+    }
+    let mut capture = Capture {
+        label: label.to_string(),
+        schema: pandia_obs::METRICS_SCHEMA.to_string(),
+        ..Capture::default()
+    };
+    for (i, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{label}:{}: invalid JSON: {e}", i + 1))?;
+        match str_of(&value, "type").as_deref() {
+            Some("counter") => {
+                if let (Some(name), Some(v)) =
+                    (str_of(&value, "name"), field(&value, "value").and_then(as_u64))
+                {
+                    capture.counters.insert(name, v);
+                }
+            }
+            Some("gauge") => {
+                if let (Some(name), Some(v)) =
+                    (str_of(&value, "name"), field(&value, "value").and_then(Value::as_f64))
+                {
+                    capture.gauges.insert(name, v);
+                }
+            }
+            Some("histogram") => {
+                let (Some(name), Some(counts)) = (
+                    str_of(&value, "name"),
+                    field(&value, "counts").and_then(Value::as_array),
+                ) else {
+                    continue;
+                };
+                capture.histograms.insert(
+                    name,
+                    HistogramSnapshot {
+                        count: field(&value, "count").and_then(as_u64).unwrap_or(0),
+                        sum: field(&value, "sum").and_then(Value::as_f64).unwrap_or(0.0),
+                        counts: counts.iter().map(|c| as_u64(c).unwrap_or(0)).collect(),
+                    },
+                );
+            }
+            Some("spans") => {
+                capture.recorded_spans =
+                    field(&value, "recorded").and_then(as_u64).unwrap_or(0);
+                capture.dropped_spans =
+                    field(&value, "dropped").and_then(as_u64).unwrap_or(0);
+            }
+            _ => {}
+        }
+    }
+    Ok(capture)
+}
+
+// lint: allow-file(S2): tests synthesize captures through a local recorder, not the global one
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pandia_obs::Recorder;
+
+    fn sample_recorder() -> Recorder {
+        let r = Recorder::new();
+        {
+            let _outer = r.span("harness", "sweep");
+            let _inner = r.span("sim", "run");
+        }
+        r.record_span_at(pandia_obs::SpanEvent {
+            cat: "sim",
+            name: "segment".into(),
+            seq: 0,
+            tid: 2,
+            track: Track::Sim,
+            ts_us: 10.0,
+            dur_us: 250.0,
+            args: vec![],
+        });
+        r.add("sim.segments", 3);
+        r.gauge_set("exec.jobs", 2.0);
+        r.observe("lat", 100.0);
+        r
+    }
+
+    #[test]
+    fn trace_documents_round_trip() {
+        let r = sample_recorder();
+        let capture = parse_capture(&r.chrome_trace_json(), "t").unwrap();
+        assert_eq!(capture.schema, pandia_obs::TRACE_SCHEMA);
+        assert_eq!(capture.spans.len(), 3);
+        assert_eq!(capture.counters.get("sim.segments"), Some(&3));
+        assert_eq!(capture.recorded_spans, 3);
+        assert_eq!(capture.dropped_spans, 0);
+        // Sorted by seq, tracks preserved.
+        assert!(capture.spans.windows(2).all(|w| w[0].seq < w[1].seq));
+        let sim = capture.spans.iter().find(|s| s.name == "segment").unwrap();
+        assert_eq!(sim.track, Track::Sim);
+        assert_eq!(sim.tid, 2);
+        assert_eq!(sim.dur_us, 250.0);
+        let wall = capture.spans.iter().find(|s| s.name == "sweep").unwrap();
+        assert_eq!(wall.track, Track::Wall);
+        assert_eq!(wall.phase(), "harness/sweep");
+    }
+
+    #[test]
+    fn events_streams_round_trip_with_drop_markers() {
+        let r = Recorder::with_max_events(2);
+        for i in 0..4 {
+            let _s = r.span("harness", &format!("s{i}"));
+        }
+        let capture = parse_capture(&r.events_jsonl(), "e").unwrap();
+        assert_eq!(capture.schema, pandia_obs::EVENTS_SCHEMA);
+        assert_eq!(capture.spans.len(), 2);
+        assert_eq!(capture.dropped_spans, 2, "in-band drop marker must surface");
+    }
+
+    #[test]
+    fn metrics_dumps_round_trip() {
+        let r = sample_recorder();
+        let capture = parse_capture(&r.metrics_jsonl(), "m").unwrap();
+        assert_eq!(capture.schema, pandia_obs::METRICS_SCHEMA);
+        assert!(capture.spans.is_empty());
+        assert_eq!(capture.counters.get("sim.segments"), Some(&3));
+        assert_eq!(capture.gauges.get("exec.jobs"), Some(&2.0));
+        let hist = capture.histograms.get("lat").expect("histogram");
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.quantile(0.5), 128.0);
+        assert_eq!(capture.recorded_spans, 3);
+    }
+
+    #[test]
+    fn junk_inputs_error_with_the_label() {
+        assert!(parse_capture("", "x").unwrap_err().contains("x"));
+        assert!(parse_capture("not json", "x").unwrap_err().contains("x"));
+        let err = parse_capture("{\"schema\":\"other-v9\"}", "x").unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+    }
+}

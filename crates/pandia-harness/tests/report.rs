@@ -1,0 +1,170 @@
+//! Golden and behavior tests for the `pandia-report` attribution
+//! pipeline, run against the synthetic captures in `tests/fixtures/`.
+//!
+//! `trace_report.json` models one run with nested spans on the driver
+//! lane, two `exec/worker` lanes (one finishing late, one early), a
+//! simulated-time track, and a counter event — enough structure to pin
+//! exclusive-time partitioning, cross-lane critical-path adoption, and
+//! the Amdahl ranking in one golden. The goldens under `tests/goldens/`
+//! are the rendered text/JSON/CSV; re-bless after an intentional format
+//! change with `PANDIA_BLESS_GOLDENS=1 cargo test -p pandia-harness
+//! --test report`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use pandia_harness::{analyze_captures, parse_capture, Capture};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Parses a fixture with its bare file name as the label, so rendered
+/// reports (and the goldens) stay independent of the checkout path.
+fn fixture_capture(name: &str) -> Capture {
+    let text = std::fs::read_to_string(fixture_dir().join(name)).expect("fixture readable");
+    parse_capture(&text, name).expect("fixture parses")
+}
+
+fn check_or_bless(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens").join(name);
+    if std::env::var_os("PANDIA_BLESS_GOLDENS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {}: {e} (re-bless with PANDIA_BLESS_GOLDENS=1)", path.display())
+    });
+    assert_eq!(actual, expected, "{name} diverged from the committed golden");
+}
+
+#[test]
+fn fixture_report_matches_the_goldens() {
+    let report = analyze_captures(&[fixture_capture("trace_report.json")]).expect("report");
+    check_or_bless("report_fixture.txt", &report.render_text());
+    check_or_bless("report_fixture.json", &report.render_json());
+    check_or_bless("report_fixture.csv", &report.render_csv());
+}
+
+#[test]
+fn fixture_attribution_is_exact() {
+    let report = analyze_captures(&[fixture_capture("trace_report.json")]).expect("report");
+    let run = &report.runs[0];
+
+    // Wall busy time = the three lane roots: 10000 + 8800 + 6400.
+    assert_eq!(run.wall_total_us, 25_200.0);
+    assert_eq!(run.sim_total_us, 8_000.0);
+
+    // Exclusive times partition lane busy time exactly.
+    let wall_self: f64 = run
+        .phases
+        .iter()
+        .filter(|p| p.track == pandia_obs::Track::Wall)
+        .map(|p| p.exclusive_us)
+        .sum();
+    assert!((wall_self - run.wall_total_us).abs() < 1e-9);
+
+    // The dominant phase by self time is sim/run (7300 + 6200), and the
+    // Amdahl table ranks it first with ceiling 1 / (1 - 13500/25200).
+    let top = &run.amdahl[0];
+    assert_eq!(top.phase, "sim/run");
+    assert_eq!(top.exclusive_us, 13_500.0);
+    assert!((top.ceiling - 1.0 / (1.0 - 13_500.0 / 25_200.0)).abs() < 1e-9);
+
+    // Critical path: driver root -> parallel_map -> the late worker on
+    // lane 2 (adopted cross-lane) -> its last-finishing child.
+    let path: Vec<&str> = run.critical_path.iter().map(|s| s.phase.as_str()).collect();
+    assert_eq!(
+        path,
+        ["harness/measure_curve", "exec/parallel_map", "exec/worker", "predictor/predict"]
+    );
+}
+
+#[test]
+fn lossy_fixture_warns_loudly() {
+    let report = analyze_captures(&[fixture_capture("trace_lossy.json")]).expect("report");
+    assert!(report.lossy);
+    let warning = report.loss_warning().expect("lossy capture must warn");
+    assert!(warning.contains("LOSSY"), "{warning}");
+    assert!(warning.contains("trace_lossy.json: 3 span(s) dropped"), "{warning}");
+    assert!(report.render_text().starts_with("WARNING: LOSSY CAPTURE"));
+}
+
+#[test]
+fn multi_run_reports_cover_both_fixture_captures() {
+    // trace_a/trace_b are the same experiment captured twice (the
+    // trace_diff fixtures); feeding both produces the stability table.
+    let report = analyze_captures(&[
+        fixture_capture("trace_a.json"),
+        fixture_capture("trace_b.json"),
+    ])
+    .expect("report");
+    assert_eq!(report.runs.len(), 2);
+    assert!(!report.comparison.is_empty());
+    let profile = report
+        .comparison
+        .iter()
+        .find(|n| n.phase == "harness/profile")
+        .expect("shared phase compared");
+    assert_eq!(profile.runs, 2);
+    // Medians over {2000, 2200}: midpoint, MAD = 100.
+    assert_eq!(profile.median_us, 2_100.0);
+    assert_eq!(profile.mad_us, 100.0);
+}
+
+#[test]
+fn report_binary_is_byte_identical_run_to_run() {
+    let bin = env!("CARGO_BIN_EXE_pandia_report");
+    let fixture = fixture_dir().join("trace_report.json");
+    let run = |json: &std::path::Path, csv: &std::path::Path| {
+        let output = Command::new(bin)
+            .arg(&fixture)
+            .arg("--json")
+            .arg(json)
+            .arg("--csv")
+            .arg(csv)
+            .output()
+            .expect("pandia_report runs");
+        assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+        output.stdout
+    };
+    let dir = std::env::temp_dir();
+    let (json1, csv1) = (dir.join("pandia_report_1.json"), dir.join("pandia_report_1.csv"));
+    let (json2, csv2) = (dir.join("pandia_report_2.json"), dir.join("pandia_report_2.csv"));
+    let stdout1 = run(&json1, &csv1);
+    let stdout2 = run(&json2, &csv2);
+    assert_eq!(stdout1, stdout2, "text report must be byte-identical run-to-run");
+    assert_eq!(
+        std::fs::read(&json1).unwrap(),
+        std::fs::read(&json2).unwrap(),
+        "JSON report must be byte-identical run-to-run"
+    );
+    assert_eq!(
+        std::fs::read(&csv1).unwrap(),
+        std::fs::read(&csv2).unwrap(),
+        "CSV report must be byte-identical run-to-run"
+    );
+    // The machine-readable form is schema-tagged, parseable JSON.
+    let json_text = std::fs::read_to_string(&json1).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(json_text.trim()).expect("JSON parses");
+    let schema = parsed
+        .as_object()
+        .and_then(|o| o.iter().find(|(k, _)| k == "schema"))
+        .and_then(|(_, v)| v.as_str());
+    assert_eq!(schema, Some("pandia-report-v1"));
+    for p in [json1, csv1, json2, csv2] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn report_binary_rejects_junk_input() {
+    let bin = env!("CARGO_BIN_EXE_pandia_report");
+    let output = Command::new(bin).output().expect("pandia_report runs");
+    assert_eq!(output.status.code(), Some(2), "no captures is a usage error");
+    let dir = std::env::temp_dir().join("pandia_report_junk.json");
+    std::fs::write(&dir, "not json").unwrap();
+    let output = Command::new(bin).arg(&dir).output().expect("pandia_report runs");
+    assert_eq!(output.status.code(), Some(2), "junk input is an input error");
+    let _ = std::fs::remove_file(dir);
+}

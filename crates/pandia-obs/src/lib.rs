@@ -47,7 +47,7 @@ pub use recorder::{
     ArgValue, Counter, HistogramSnapshot, MetricsSnapshot, Recorder, Span, SpanEvent, Track,
     HISTOGRAM_BUCKET_BOUNDS,
 };
-pub use sink::{EventsStream, EVENTS_SCHEMA, METRICS_SCHEMA, TRACE_SCHEMA};
+pub use sink::{EventsStream, EVENTS_SCHEMA, METRICS_SCHEMA, SNAPSHOT_SCHEMA, TRACE_SCHEMA};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -63,6 +63,17 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// either records telemetry or does not.
 pub fn install() -> &'static Recorder {
     let recorder = GLOBAL.get_or_init(Recorder::new);
+    ENABLED.store(true, Ordering::Release);
+    recorder
+}
+
+/// Like [`install`], but sizes the span-event buffer for long captures
+/// (full sweeps record millions of spans; the default cap of 2^18 would
+/// silently truncate them to drops). If the recorder is already
+/// installed the existing instance — and its cap — is returned
+/// unchanged, so call this before any other telemetry use.
+pub fn install_with_max_events(max_events: usize) -> &'static Recorder {
+    let recorder = GLOBAL.get_or_init(|| Recorder::with_max_events(max_events));
     ENABLED.store(true, Ordering::Release);
     recorder
 }

@@ -114,6 +114,57 @@ pub struct HistogramSnapshot {
     pub counts: Vec<u64>,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`, so `0.5` is the
+    /// median and `0.99` the p99) from the power-of-two bucket counts.
+    ///
+    /// The estimator finds the bucket holding the observation of rank
+    /// `ceil(q * count)` and interpolates linearly between the bucket's
+    /// lower and upper bound by the rank's position inside the bucket.
+    ///
+    /// **Error bound.** The true quantile and the estimate both lie in
+    /// the same bucket `(lo, hi]`, and every bucket past the first has
+    /// `hi = 2 * lo`, so the estimate is always within a **factor of 2**
+    /// of the true quantile — a worst-case relative error of 100%
+    /// (overestimating) or 50% (underestimating). For the first bucket
+    /// (`(0, 1]`) the absolute error is at most 1. Observations beyond
+    /// the last bound land in the overflow bucket, which has no upper
+    /// bound: quantiles that fall there report the last finite bound and
+    /// the error is unbounded (callers can detect this case by comparing
+    /// against [`HISTOGRAM_BUCKET_BOUNDS`]'s last element).
+    ///
+    /// An empty histogram reports 0. `q` outside `[0, 1]` is clamped.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based; q = 0 maps to rank 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (slot, &bucket_count) in self.counts.iter().enumerate() {
+            if bucket_count == 0 {
+                continue;
+            }
+            if cumulative + bucket_count >= rank {
+                let last = HISTOGRAM_BUCKET_BOUNDS.len() - 1;
+                if slot > last {
+                    // Overflow bucket: no upper bound to interpolate to.
+                    return HISTOGRAM_BUCKET_BOUNDS[last];
+                }
+                let lo = if slot == 0 { 0.0 } else { HISTOGRAM_BUCKET_BOUNDS[slot - 1] };
+                let hi = HISTOGRAM_BUCKET_BOUNDS[slot];
+                let within = (rank - cumulative) as f64 / bucket_count as f64;
+                return lo + (hi - lo) * within;
+            }
+            cumulative += bucket_count;
+        }
+        // Unreachable while count equals the sum of bucket counts; fall
+        // back to the largest finite bound rather than panicking.
+        HISTOGRAM_BUCKET_BOUNDS[HISTOGRAM_BUCKET_BOUNDS.len() - 1]
+    }
+}
+
 /// Point-in-time view of the whole metrics registry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -521,6 +572,72 @@ mod tests {
         assert_eq!(hist.counts[2], 1);
         assert_eq!(hist.counts[10], 1);
         assert_eq!(hist.counts[HISTOGRAM_SLOTS - 1], 1);
+    }
+
+    #[test]
+    fn quantiles_pin_known_distributions() {
+        // 1000 observations of exactly 100.0: every quantile lands in
+        // bucket (64, 128]. p50 has rank 500 => 64 + 64 * 500/1000 = 96;
+        // p99 has rank 990 => 64 + 64 * 990/1000 = 127.36. Both within
+        // the documented factor-of-2 band around the true value 100.
+        let r = Recorder::new();
+        for _ in 0..1000 {
+            r.observe("h", 100.0);
+        }
+        let hist = r.metrics_snapshot().histograms[0].1.clone();
+        assert_eq!(hist.quantile(0.5), 96.0);
+        assert!((hist.quantile(0.99) - 127.36).abs() < 1e-9);
+        assert!(hist.quantile(0.5) <= 2.0 * 100.0 && hist.quantile(0.5) >= 100.0 / 2.0);
+
+        // Uniform 1..=1024: true p50 = 512, true p99 = 1014. The
+        // estimate must stay within a factor of 2 of both.
+        let r = Recorder::new();
+        for v in 1..=1024 {
+            r.observe("u", v as f64);
+        }
+        let hist = r.metrics_snapshot().histograms[0].1.clone();
+        let p50 = hist.quantile(0.5);
+        let p99 = hist.quantile(0.99);
+        assert!((256.0..=1024.0).contains(&p50), "p50 {p50}");
+        assert!((507.0..=2028.0).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p99, "quantiles must be monotone: {p50} > {p99}");
+    }
+
+    #[test]
+    fn quantile_edge_cases_and_overflow_bucket() {
+        let empty = HistogramSnapshot { count: 0, sum: 0.0, counts: vec![0; HISTOGRAM_SLOTS] };
+        assert_eq!(empty.quantile(0.5), 0.0);
+
+        let r = Recorder::new();
+        r.observe("h", 3.0); // bucket (2, 4]
+        let hist = r.metrics_snapshot().histograms[0].1.clone();
+        // A single observation: every quantile interpolates to the
+        // bucket's upper bound (rank 1 of 1).
+        assert_eq!(hist.quantile(0.0), 4.0);
+        assert_eq!(hist.quantile(0.5), 4.0);
+        assert_eq!(hist.quantile(1.0), 4.0);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(hist.quantile(-3.0), 4.0);
+        assert_eq!(hist.quantile(7.0), 4.0);
+
+        // Observations beyond the last bound land in the overflow
+        // bucket; quantiles there degrade to the last finite bound.
+        let r = Recorder::new();
+        r.observe("h", 1e30);
+        r.observe("h", 1e30);
+        let hist = r.metrics_snapshot().histograms[0].1.clone();
+        let last = HISTOGRAM_BUCKET_BOUNDS[HISTOGRAM_BUCKET_BOUNDS.len() - 1];
+        assert_eq!(hist.quantile(0.5), last);
+        assert_eq!(hist.quantile(0.99), last);
+
+        // Mixed: one small value and one overflow — the median is the
+        // small bucket's interpolation, the p99 hits the overflow cap.
+        let r = Recorder::new();
+        r.observe("h", 1.0);
+        r.observe("h", 1e30);
+        let hist = r.metrics_snapshot().histograms[0].1.clone();
+        assert_eq!(hist.quantile(0.5), 1.0);
+        assert_eq!(hist.quantile(0.99), last);
     }
 
     #[test]

@@ -12,6 +12,10 @@ pub const TRACE_SCHEMA: &str = "pandia-trace-v1";
 pub const METRICS_SCHEMA: &str = "pandia-metrics-v1";
 /// Schema tag written into the first line of every events JSONL file.
 pub const EVENTS_SCHEMA: &str = "pandia-events-v1";
+/// Schema tag carried by every periodic metrics-snapshot JSONL line
+/// (each heartbeat line is self-describing, so a stream can be tailed
+/// from any point).
+pub const SNAPSHOT_SCHEMA: &str = "pandia-metrics-snapshot-v1";
 
 /// Chrome trace-event `pid` used for wall-clock spans.
 const PID_WALL: u32 = 1;
@@ -236,6 +240,53 @@ impl Recorder {
         out
     }
 
+    /// Renders the live registry state as a JSON *fragment* (no
+    /// surrounding braces) for embedding into a [`SNAPSHOT_SCHEMA`]
+    /// heartbeat line: every counter and gauge by name, each histogram's
+    /// count plus estimated p50/p99 (see
+    /// [`HistogramSnapshot::quantile`](crate::HistogramSnapshot::quantile)
+    /// for the power-of-two-bucket error bound), and the span-buffer
+    /// bookkeeping — including the `dropped` count, so a lossy capture
+    /// is visible in every heartbeat rather than only at exit.
+    pub fn snapshot_fields(&self) -> String {
+        let snapshot = self.metrics_snapshot();
+        let mut out = String::with_capacity(512);
+        out.push_str("\"counters\":{");
+        for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_value(&mut out, name);
+            out.push_str(&format!(":{value}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in snapshot.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_value(&mut out, name);
+            out.push(':');
+            push_f64(&mut out, *value);
+        }
+        out.push_str("},\"quantiles\":{");
+        for (i, (name, hist)) in snapshot.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_value(&mut out, name);
+            out.push_str(&format!(":{{\"count\":{},\"p50\":", hist.count));
+            push_f64(&mut out, hist.quantile(0.5));
+            out.push_str(",\"p99\":");
+            push_f64(&mut out, hist.quantile(0.99));
+            out.push('}');
+        }
+        out.push_str(&format!(
+            "}},\"spans\":{},\"dropped\":{}",
+            snapshot.spans, snapshot.dropped_spans
+        ));
+        out
+    }
+
     /// Renders the raw span events as JSON Lines: a meta line tagged
     /// [`EVENTS_SCHEMA`], then one line per span in logical-sequence
     /// order.
@@ -245,6 +296,13 @@ impl Recorder {
         out.push_str(&format!("{{\"schema\":\"{EVENTS_SCHEMA}\"}}\n"));
         for event in &events {
             push_event_line(&mut out, event);
+        }
+        // A lossy capture must say so in-band: consumers of the events
+        // file (pandia-report) otherwise have no way to tell a complete
+        // trace from one whose buffer overflowed.
+        let dropped = self.dropped_spans();
+        if dropped > 0 {
+            out.push_str(&format!("{{\"type\":\"dropped\",\"count\":{dropped}}}\n"));
         }
         out
     }
@@ -270,6 +328,11 @@ pub struct EventsStream {
     /// mark advances, so it stays bounded by the number of concurrently
     /// open spans.
     emitted: std::collections::BTreeSet<u64>,
+    /// Buffer-overflow drops already reported into the stream; a poll
+    /// that observes a larger recorder drop count appends a
+    /// `{"type":"dropped"}` line so live consumers see the loss as it
+    /// happens.
+    dropped_reported: u64,
 }
 
 impl EventsStream {
@@ -277,7 +340,12 @@ impl EventsStream {
     pub fn create(path: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
         let path = path.into();
         std::fs::write(&path, format!("{{\"schema\":\"{EVENTS_SCHEMA}\"}}\n"))?;
-        Ok(Self { path, low_water: 0, emitted: std::collections::BTreeSet::new() })
+        Ok(Self {
+            path,
+            low_water: 0,
+            emitted: std::collections::BTreeSet::new(),
+            dropped_reported: 0,
+        })
     }
 
     /// The file this stream appends to.
@@ -300,6 +368,12 @@ impl EventsStream {
         }
         while self.emitted.remove(&self.low_water) {
             self.low_water += 1;
+        }
+        let dropped = recorder.dropped_spans();
+        if dropped > self.dropped_reported {
+            out.push_str(&format!("{{\"type\":\"dropped\",\"count\":{dropped}}}\n"));
+            self.dropped_reported = dropped;
+            appended += 1;
         }
         if appended > 0 {
             use std::io::Write;
@@ -462,6 +536,69 @@ mod tests {
         for line in &lines[1..] {
             assert!(batch.contains(*line), "line missing from batch export: {line}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_fields_embed_into_a_valid_schema_line() {
+        let r = sample_recorder();
+        let line = format!(
+            "{{\"schema\":\"{SNAPSHOT_SCHEMA}\",\"clock\":3,{}}}\n",
+            r.snapshot_fields()
+        );
+        let parsed = serde_json::from_str::<Value>(line.trim()).expect("snapshot line parses");
+        let obj = parsed.as_object().expect("object");
+        let get = |k: &str| obj.iter().find(|(name, _)| name == k).map(|(_, v)| v);
+        assert_eq!(get("schema").and_then(Value::as_str), Some(SNAPSHOT_SCHEMA));
+        let counters = get("counters").and_then(Value::as_object).expect("counters");
+        assert!(counters.iter().any(|(k, _)| k == "predict.cache.hits"));
+        let quantiles = get("quantiles").and_then(Value::as_object).expect("quantiles");
+        let (_, lat) = quantiles.iter().find(|(k, _)| k == "predict.eval_us").expect("hist");
+        let lat = lat.as_object().unwrap();
+        // One observation of 123.0 lands in bucket (64, 128]: both
+        // quantiles interpolate to the bucket's upper bound.
+        let q = |k: &str| {
+            lat.iter().find(|(name, _)| name == k).and_then(|(_, v)| v.as_f64()).unwrap()
+        };
+        assert_eq!(q("p50"), 128.0);
+        assert_eq!(q("p99"), 128.0);
+        assert!(get("spans").is_some() && get("dropped").is_some());
+    }
+
+    #[test]
+    fn dropped_spans_surface_in_events_export_and_stream() {
+        let r = Recorder::with_max_events(1);
+        {
+            let _a = r.span("t", "kept");
+        }
+        {
+            let _b = r.span("t", "lost");
+        }
+        let batch = r.events_jsonl();
+        assert!(
+            batch.ends_with("{\"type\":\"dropped\",\"count\":1}\n"),
+            "batch export must end with the dropped line: {batch}"
+        );
+
+        let dir = std::env::temp_dir().join(format!(
+            "pandia-obs-dropped-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let mut stream = EventsStream::create(&path).unwrap();
+        // First poll sees the kept span and the drop that already
+        // happened; the second poll reports a *new* drop only.
+        assert_eq!(stream.poll(&r).unwrap(), 2);
+        {
+            let _c = r.span("t", "also-lost");
+        }
+        assert_eq!(stream.poll(&r).unwrap(), 1);
+        assert_eq!(stream.poll(&r).unwrap(), 0, "no new drops, nothing to report");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("{\"type\":\"dropped\",\"count\":1}"), "{text}");
+        assert!(text.contains("{\"type\":\"dropped\",\"count\":2}"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
