@@ -12,8 +12,9 @@
 
 use pandia_core::PandiaError;
 
-/// Schema tag written as the first line of an event log file.
-pub const EVENTLOG_SCHEMA: &str = "pandia-eventlog-v1";
+/// Schema tag written as the first line of an event log file (defined
+/// in the workspace schema registry, `pandia_obs::schema`).
+pub const EVENTLOG_SCHEMA: &str = pandia_obs::schema::EVENTLOG_SCHEMA;
 
 /// One input to the placement service.
 #[derive(Debug, Clone, PartialEq)]

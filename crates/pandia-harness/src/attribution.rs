@@ -619,7 +619,7 @@ impl AttributionReport {
 
     /// Renders the report as a `pandia-report-v1` JSON document.
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\"schema\":\"pandia-report-v1\"");
+        let mut out = format!("{{\"schema\":\"{}\"", pandia_obs::schema::REPORT_SCHEMA);
         out.push_str(&format!(",\"lossy\":{}", self.lossy));
         out.push_str(",\"runs\":[");
         for (i, run) in self.runs.iter().enumerate() {

@@ -1,36 +1,60 @@
-//! The P1 baseline file (`lint-baseline.toml`): per-file counts of
-//! panic-capable call sites. A tiny hand-rolled parser keeps the crate
-//! dependency-free; the grammar is a strict subset of TOML — one `[p1]`
-//! table of `"path" = count` entries.
+//! The baseline file (`lint-baseline.toml`): per-file counts of
+//! panic-capable call sites, overall (`[p1]`) and restricted to the
+//! attribution-derived hot set (`[h1]`). A tiny hand-rolled parser keeps
+//! the crate dependency-free; the grammar is a strict subset of TOML —
+//! named tables of `"path" = count` entries.
 
 use std::collections::BTreeMap;
 
-/// Parsed baseline: workspace-relative path → allowed panic-site count.
-pub type Baseline = BTreeMap<String, u32>;
+/// Parsed baseline: the two ratchet tables, each mapping a
+/// workspace-relative path to its allowed panic-site count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `[p1]`: all panic-capable call sites per file.
+    pub p1: BTreeMap<String, u32>,
+    /// `[h1]`: panic-capable call sites inside hot functions per file.
+    pub h1: BTreeMap<String, u32>,
+}
+
+impl Baseline {
+    /// An empty baseline (every panic site is a finding).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Paths named by either table.
+    pub fn paths(&self) -> impl Iterator<Item = &String> {
+        self.p1.keys().chain(self.h1.keys())
+    }
+}
 
 /// Parses baseline file contents. Returns an error message naming the
 /// offending line on malformed input.
 pub fn parse(contents: &str) -> Result<Baseline, String> {
     let mut baseline = Baseline::new();
-    let mut in_p1 = false;
+    let mut section: Option<&str> = None;
     for (idx, raw) in contents.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         if line.starts_with('[') {
-            in_p1 = line == "[p1]";
-            if !in_p1 {
-                return Err(format!(
-                    "line {}: unknown baseline section `{line}` (only [p1] is defined)",
-                    idx + 1
-                ));
-            }
+            section = match line {
+                "[p1]" => Some("p1"),
+                "[h1]" => Some("h1"),
+                other => {
+                    return Err(format!(
+                        "line {}: unknown baseline section `{other}` (only [p1] and [h1] \
+                         are defined)",
+                        idx + 1
+                    ))
+                }
+            };
             continue;
         }
-        if !in_p1 {
-            return Err(format!("line {}: entry outside the [p1] section", idx + 1));
-        }
+        let Some(table) = section else {
+            return Err(format!("line {}: entry outside a [p1]/[h1] section", idx + 1));
+        };
         let Some((key, value)) = line.split_once('=') else {
             return Err(format!("line {}: expected `\"path\" = count`", idx + 1));
         };
@@ -43,8 +67,9 @@ pub fn parse(contents: &str) -> Result<Baseline, String> {
             .trim()
             .parse()
             .map_err(|_| format!("line {}: count must be a non-negative integer", idx + 1))?;
-        if baseline.insert(path.to_string(), count).is_some() {
-            return Err(format!("line {}: duplicate entry for `{path}`", idx + 1));
+        let map = if table == "p1" { &mut baseline.p1 } else { &mut baseline.h1 };
+        if map.insert(path.to_string(), count).is_some() {
+            return Err(format!("line {}: duplicate [{table}] entry for `{path}`", idx + 1));
         }
     }
     Ok(baseline)
@@ -54,14 +79,26 @@ pub fn parse(contents: &str) -> Result<Baseline, String> {
 /// path, zero-count entries dropped).
 pub fn serialize(baseline: &Baseline) -> String {
     let mut out = String::from(
-        "# pandia-lint P1 baseline: per-file counts of panic-capable call sites\n\
+        "# pandia-lint baseline: per-file counts of panic-capable call sites\n\
          # (`.unwrap()`, `.expect(..)`, `panic!`, `unreachable!`, `todo!`,\n\
          # `unimplemented!`) in non-test library code. The ratchet only goes\n\
          # down: `check` fails when a file exceeds its entry, and lowered counts\n\
          # should be committed via `cargo run -p pandia-lint -- check --update-baseline`.\n\
          \n[p1]\n",
     );
-    for (path, count) in baseline {
+    for (path, count) in &baseline.p1 {
+        if *count > 0 {
+            out.push_str(&format!("\"{path}\" = {count}\n"));
+        }
+    }
+    out.push_str(
+        "\n# [h1] restricts the same count to functions in the attribution-derived\n\
+         # hot set (phases at or above the self-time threshold in\n\
+         # results/report/fig10_attribution.json): a panic on the measured hot\n\
+         # path aborts the run mid-experiment, so it ratchets separately.\n\
+         [h1]\n",
+    );
+    for (path, count) in &baseline.h1 {
         if *count > 0 {
             out.push_str(&format!("\"{path}\" = {count}\n"));
         }
@@ -76,14 +113,16 @@ mod tests {
     #[test]
     fn round_trips() {
         let mut b = Baseline::new();
-        b.insert("crates/a/src/lib.rs".into(), 3);
-        b.insert("crates/b/src/x.rs".into(), 1);
-        b.insert("crates/c/src/zero.rs".into(), 0);
+        b.p1.insert("crates/a/src/lib.rs".into(), 3);
+        b.p1.insert("crates/b/src/x.rs".into(), 1);
+        b.p1.insert("crates/c/src/zero.rs".into(), 0);
+        b.h1.insert("crates/a/src/lib.rs".into(), 2);
         let text = serialize(&b);
         let parsed = parse(&text).expect("canonical form parses");
-        assert_eq!(parsed.get("crates/a/src/lib.rs"), Some(&3));
-        assert_eq!(parsed.get("crates/b/src/x.rs"), Some(&1));
-        assert_eq!(parsed.get("crates/c/src/zero.rs"), None, "zero entries dropped");
+        assert_eq!(parsed.p1.get("crates/a/src/lib.rs"), Some(&3));
+        assert_eq!(parsed.p1.get("crates/b/src/x.rs"), Some(&1));
+        assert_eq!(parsed.p1.get("crates/c/src/zero.rs"), None, "zero entries dropped");
+        assert_eq!(parsed.h1.get("crates/a/src/lib.rs"), Some(&2));
     }
 
     #[test]
@@ -91,13 +130,23 @@ mod tests {
         assert!(parse("[p1]\nnot-quoted = 3\n").is_err());
         assert!(parse("[p1]\n\"a\" = -1\n").is_err());
         assert!(parse("[other]\n").is_err());
-        assert!(parse("\"a\" = 1\n").is_err(), "entry before [p1]");
+        assert!(parse("\"a\" = 1\n").is_err(), "entry before any section");
         assert!(parse("[p1]\n\"a\" = 1\n\"a\" = 2\n").is_err(), "duplicate");
+    }
+
+    #[test]
+    fn sections_are_independent() {
+        let parsed =
+            parse("[p1]\n\"a\" = 2\n[h1]\n\"a\" = 1\n").expect("both sections parse");
+        assert_eq!(parsed.p1.get("a"), Some(&2));
+        assert_eq!(parsed.h1.get("a"), Some(&1));
+        // The same path in both tables is not a duplicate.
+        assert_eq!(parsed.paths().count(), 2);
     }
 
     #[test]
     fn tolerates_comments_and_blanks() {
         let parsed = parse("# header\n\n[p1]\n# note\n\"a\" = 2\n").expect("parses");
-        assert_eq!(parsed.get("a"), Some(&2));
+        assert_eq!(parsed.p1.get("a"), Some(&2));
     }
 }

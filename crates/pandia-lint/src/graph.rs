@@ -1,0 +1,522 @@
+//! Whole-workspace structural analysis: a conservative name-based call
+//! graph over the items recovered by [`crate::parser`], and the three
+//! rules that need it — D3 (interprocedural determinism taint), H1
+//! (hot-path panic ratchet), and H2 (hot-loop allocations).
+//!
+//! ## Edge resolution
+//!
+//! Rust name resolution is out of reach for a dependency-free token
+//! analyzer, so edges are resolved by name with two conservative
+//! filters:
+//!
+//! * **Crate visibility** — a call in file F can only resolve to a
+//!   function in the same crate, or in a crate whose underscore ident
+//!   (`pandia_sim`, ...) appears somewhere in F's tokens (a `use` or a
+//!   qualified path — either way the file mentions it).
+//! * **Qualifier agreement** — for `Q::name(..)` the qualifier `Q`
+//!   must match the callee's impl/mod context, its file stem, or its
+//!   crate ident. This is what keeps `Vec::new(..)` and `Box::new(..)`
+//!   from resolving to every workspace `fn new`.
+//!
+//! Method calls (`x.name(..)`) carry no qualifier and resolve to every
+//! visible `fn name` — over-approximate by design: D3 and the hot
+//! closure are reachability analyses, and a spurious edge can only make
+//! them more cautious, never let a violation through.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, strip_test_code, Tok, TokKind};
+use crate::parser::{parse_file, CallSite, FnItem};
+use crate::report::{Finding, Rule};
+use crate::rules::{self, Exemptions, FileScope};
+
+/// Crates whose functions are never D3 taint sources (and never carry
+/// taint): telemetry reads wall clocks by design, and S2 already
+/// polices writes *into* it.
+const SANCTIONED_D3_CRATES: [&str; 1] = ["pandia-obs"];
+
+/// One analyzed file: tokens, recovered items, exemptions, and the
+/// facts edge resolution needs.
+pub struct FileUnit {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Owning crate name (`pandia-sim`, ...; empty for the facade).
+    pub crate_name: String,
+    /// Rules applicable to this file.
+    pub scope: FileScope,
+    /// Test-stripped token stream.
+    pub tokens: Vec<Tok>,
+    /// Functions recovered by the parser.
+    pub fns: Vec<FnItem>,
+    pub(crate) exemptions: Exemptions,
+    /// Underscore crate idents (`pandia_*`) this file mentions.
+    mentions: BTreeSet<String>,
+    /// File stem (`machine` for `.../machine.rs`), for qualifier checks.
+    file_stem: String,
+}
+
+impl FileUnit {
+    /// Lexes, strips test code, parses items, and collects directive
+    /// exemptions (malformed directives are appended to `findings`).
+    pub fn build(
+        rel_path: &str,
+        crate_name: &str,
+        scope: FileScope,
+        src: &str,
+        findings: &mut Vec<Finding>,
+    ) -> FileUnit {
+        let lexed = lex(src);
+        let tokens = strip_test_code(lexed.tokens);
+        let exemptions = rules::parse_directives(rel_path, &lexed.lint_comments, findings);
+        let fns = parse_file(&tokens);
+        let mentions = tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text.starts_with("pandia_"))
+            .map(|t| t.text.clone())
+            .collect();
+        let file_stem = rel_path
+            .rsplit('/')
+            .next()
+            .unwrap_or(rel_path)
+            .trim_end_matches(".rs")
+            .to_string();
+        FileUnit {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            scope,
+            tokens,
+            fns,
+            exemptions,
+            mentions,
+            file_stem,
+        }
+    }
+
+    fn crate_ident(&self) -> String {
+        self.crate_name.replace('-', "_")
+    }
+
+    fn sanctioned(&self) -> bool {
+        SANCTIONED_D3_CRATES.contains(&self.crate_name.as_str())
+    }
+}
+
+/// A function, addressed as (file index, fn index).
+type FnId = (usize, usize);
+
+/// Output of the cross-file analysis.
+#[derive(Debug, Default)]
+pub struct GraphReport {
+    /// D3 and H2 findings.
+    pub findings: Vec<Finding>,
+    /// Per-file panic-site counts inside hot functions (H1 ratchet).
+    pub h1_counts: BTreeMap<String, u32>,
+    /// Line of the first hot panic site per file.
+    pub h1_first_lines: BTreeMap<String, u32>,
+    /// Hot functions, as `path::ctx::name`, sorted.
+    pub hot_fns: Vec<String>,
+}
+
+/// Path qualifiers that never narrow resolution.
+const NEUTRAL_QUALIFIERS: [&str; 4] = ["self", "Self", "crate", "super"];
+
+/// Runs the cross-file rules over the workspace.
+pub fn analyze(units: &[FileUnit], hot_phases: &[String]) -> GraphReport {
+    let mut report = GraphReport::default();
+
+    // Name index: bare fn name -> definitions.
+    let mut index: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+    for (u, unit) in units.iter().enumerate() {
+        for (f, item) in unit.fns.iter().enumerate() {
+            index.entry(item.name.as_str()).or_default().push((u, f));
+        }
+    }
+
+    // Forward edges, per call site: resolved[(u, f)][call_idx] = callees.
+    let mut resolved: BTreeMap<FnId, Vec<Vec<FnId>>> = BTreeMap::new();
+    for (u, unit) in units.iter().enumerate() {
+        for (f, item) in unit.fns.iter().enumerate() {
+            let per_call = item
+                .calls
+                .iter()
+                .map(|call| resolve(units, u, call, &index))
+                .collect();
+            resolved.insert((u, f), per_call);
+        }
+    }
+
+    rule_d3(units, &resolved, &mut report);
+    if !hot_phases.is_empty() {
+        hot_rules(units, &resolved, hot_phases, &mut report);
+    }
+    report
+}
+
+/// Resolves one call site to candidate workspace functions.
+fn resolve(
+    units: &[FileUnit],
+    caller: usize,
+    call: &CallSite,
+    index: &BTreeMap<&str, Vec<FnId>>,
+) -> Vec<FnId> {
+    let Some(candidates) = index.get(call.name.as_str()) else {
+        return Vec::new();
+    };
+    let caller_unit = &units[caller];
+    let qualifier = call
+        .qualifier
+        .as_deref()
+        .filter(|q| !NEUTRAL_QUALIFIERS.contains(q));
+    candidates
+        .iter()
+        .copied()
+        .filter(|&(u, f)| {
+            let unit = &units[u];
+            let visible = u == caller
+                || unit.crate_name == caller_unit.crate_name
+                || caller_unit.mentions.contains(&unit.crate_ident());
+            if !visible {
+                return false;
+            }
+            match qualifier {
+                None => true,
+                Some(q) => {
+                    let item = &unit.fns[f];
+                    item.ctx.iter().any(|c| c == q)
+                        || unit.file_stem == q
+                        || unit.crate_ident() == q
+                }
+            }
+        })
+        .collect()
+}
+
+/// D3: interprocedural determinism taint. A function is a *source* when
+/// its body contains an unexempted D2-banned construct in a file D2
+/// does not already cover (D2-scoped files get the direct finding; the
+/// sanctioned telemetry crate is exempt by design). Taint propagates
+/// backwards over call edges; findings land on the *boundary* call
+/// sites — calls from D3-scoped code into tainted code outside D3
+/// scope — so each laundering path is reported once, where it crosses.
+fn rule_d3(
+    units: &[FileUnit],
+    resolved: &BTreeMap<FnId, Vec<Vec<FnId>>>,
+    report: &mut GraphReport,
+) {
+    // Sources, with the construct that makes them one.
+    let mut sources: BTreeMap<FnId, (u32, String)> = BTreeMap::new();
+    for (u, unit) in units.iter().enumerate() {
+        if unit.scope.d2 || unit.sanctioned() {
+            continue;
+        }
+        for (f, item) in unit.fns.iter().enumerate() {
+            let Some((open, close)) = item.body else { continue };
+            for i in open..=close.min(unit.tokens.len().saturating_sub(1)) {
+                if let Some(what) = rules::d2_match(&unit.tokens, i) {
+                    let line = unit.tokens[i].line;
+                    if !unit.exemptions.exempts(Rule::D2, line) {
+                        sources.entry((u, f)).or_insert((line, what));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Reverse BFS: taint[fn] = the source it reaches.
+    let mut reverse: BTreeMap<FnId, Vec<FnId>> = BTreeMap::new();
+    for (&caller, per_call) in resolved {
+        for callees in per_call {
+            for &callee in callees {
+                reverse.entry(callee).or_default().push(caller);
+            }
+        }
+    }
+    let mut tainted: BTreeMap<FnId, FnId> = BTreeMap::new();
+    let mut queue: Vec<FnId> = Vec::new();
+    for &id in sources.keys() {
+        tainted.insert(id, id);
+        queue.push(id);
+    }
+    while let Some(id) = queue.pop() {
+        let origin = tainted[&id];
+        if let Some(callers) = reverse.get(&id) {
+            for &caller in callers {
+                if units[caller.0].sanctioned() {
+                    continue;
+                }
+                if let std::collections::btree_map::Entry::Vacant(e) = tainted.entry(caller) {
+                    e.insert(origin);
+                    queue.push(caller);
+                }
+            }
+        }
+    }
+
+    // Boundary findings, deduplicated per (line, callee).
+    for (u, unit) in units.iter().enumerate() {
+        if !unit.scope.d3 {
+            continue;
+        }
+        let mut seen: BTreeSet<(u32, FnId)> = BTreeSet::new();
+        for (f, item) in unit.fns.iter().enumerate() {
+            let Some(per_call) = resolved.get(&(u, f)) else { continue };
+            for (call, callees) in item.calls.iter().zip(per_call) {
+                for &callee in callees {
+                    if units[callee.0].scope.d3 {
+                        continue; // interior edge; the boundary is deeper
+                    }
+                    let Some(&origin) = tainted.get(&callee) else { continue };
+                    if !seen.insert((call.line, callee)) {
+                        continue;
+                    }
+                    if unit.exemptions.exempts(Rule::D3, call.line) {
+                        continue;
+                    }
+                    let callee_unit = &units[callee.0];
+                    let src_unit = &units[origin.0];
+                    let (src_line, ref what) = sources[&origin];
+                    report.findings.push(Finding::new(
+                        Rule::D3,
+                        &unit.rel_path,
+                        call.line,
+                        format!(
+                            "call to `{}` ({}) transitively reaches a nondeterminism \
+                             source: `{}` at {}:{} ({}); result-producing code must \
+                             not launder ambient state through helpers — plumb the \
+                             value in as a parameter, or exempt this call with a \
+                             reason it cannot affect results",
+                            callee_unit.fns[callee.1].qual(),
+                            callee_unit.rel_path,
+                            src_unit.fns[origin.1].qual(),
+                            src_unit.rel_path,
+                            src_line,
+                            what,
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Allocation constructs H2 flags inside hot loop bodies.
+const H2_LOOP_KEYWORDS: [&str; 3] = ["for", "while", "loop"];
+
+/// H1/H2: resolve the hot phases to their root functions (the functions
+/// opening `span(cat, name)` for a hot `cat/name`), close forward over
+/// call edges within hot-scoped files, then (H1) count panic sites in
+/// hot bodies and (H2) flag allocations inside loops there.
+fn hot_rules(
+    units: &[FileUnit],
+    resolved: &BTreeMap<FnId, Vec<Vec<FnId>>>,
+    hot_phases: &[String],
+    report: &mut GraphReport,
+) {
+    // Roots: innermost fn enclosing each hot span literal.
+    let mut hot: BTreeSet<FnId> = BTreeSet::new();
+    let mut queue: Vec<FnId> = Vec::new();
+    for (u, unit) in units.iter().enumerate() {
+        if !unit.scope.hot {
+            continue;
+        }
+        let n = unit.tokens.len();
+        for i in 0..n {
+            if !unit.tokens[i].is_ident("span") {
+                continue;
+            }
+            if !(i + 4 < n
+                && unit.tokens[i + 1].is_punct("(")
+                && unit.tokens[i + 2].kind == TokKind::Str
+                && unit.tokens[i + 3].is_punct(",")
+                && unit.tokens[i + 4].kind == TokKind::Str)
+            {
+                continue;
+            }
+            let phase = format!("{}/{}", unit.tokens[i + 2].text, unit.tokens[i + 4].text);
+            if !hot_phases.contains(&phase) {
+                continue;
+            }
+            // Innermost enclosing fn: largest body start containing i.
+            let owner = unit
+                .fns
+                .iter()
+                .enumerate()
+                .filter_map(|(f, item)| match item.body {
+                    Some((open, close)) if open < i && i < close => Some((f, open)),
+                    _ => None,
+                })
+                .max_by_key(|&(_, open)| open)
+                .map(|(f, _)| f);
+            if let Some(f) = owner {
+                if hot.insert((u, f)) {
+                    queue.push((u, f));
+                }
+            }
+        }
+    }
+
+    // Forward closure, restricted to hot-scoped files.
+    while let Some(id) = queue.pop() {
+        let Some(per_call) = resolved.get(&id) else { continue };
+        for callees in per_call {
+            for &callee in callees {
+                if units[callee.0].scope.hot && hot.insert(callee) {
+                    queue.push(callee);
+                }
+            }
+        }
+    }
+
+    for &(u, f) in &hot {
+        report
+            .hot_fns
+            .push(format!("{}::{}", units[u].rel_path, units[u].fns[f].qual()));
+    }
+    report.hot_fns.sort();
+    report.hot_fns.dedup();
+
+    // Merged hot body ranges per file (nested fns overlap; every token
+    // index must be visited once).
+    let mut ranges: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+    for &(u, f) in &hot {
+        if let Some(range) = units[u].fns[f].body {
+            ranges.entry(u).or_default().push(range);
+        }
+    }
+
+    for (&u, file_ranges) in &ranges {
+        let unit = &units[u];
+        let in_hot = |i: usize| file_ranges.iter().any(|&(open, close)| open < i && i < close);
+
+        // H1: panic sites inside hot bodies.
+        let mut count = 0u32;
+        let mut first_line = 0u32;
+        for i in 0..unit.tokens.len() {
+            if in_hot(i) && rules::is_p1_site(&unit.tokens, i) {
+                count += 1;
+                if first_line == 0 {
+                    first_line = unit.tokens[i].line;
+                }
+            }
+        }
+        if count > 0 {
+            report.h1_counts.insert(unit.rel_path.clone(), count);
+            report.h1_first_lines.insert(unit.rel_path.clone(), first_line);
+        }
+
+        // H2: allocations inside loop bodies of hot functions.
+        let mut flagged: BTreeSet<usize> = BTreeSet::new();
+        let n = unit.tokens.len();
+        for i in 0..n {
+            if !in_hot(i) {
+                continue;
+            }
+            let t = &unit.tokens[i];
+            if t.kind != TokKind::Ident || !H2_LOOP_KEYWORDS.contains(&t.text.as_str()) {
+                continue;
+            }
+            // `for<'a>` is a binder, not a loop.
+            if t.text == "for" && i + 1 < n && unit.tokens[i + 1].is_punct("<") {
+                continue;
+            }
+            let Some(open) = find_block_open(&unit.tokens, i) else { continue };
+            let close = match_brace_tokens(&unit.tokens, open);
+            for k in open + 1..close {
+                if let Some(what) = h2_alloc_at(&unit.tokens, k) {
+                    if flagged.contains(&k) {
+                        continue;
+                    }
+                    flagged.insert(k);
+                    let line = unit.tokens[k].line;
+                    if unit.exemptions.exempts(Rule::H2, line) {
+                        continue;
+                    }
+                    report.findings.push(Finding::new(
+                        Rule::H2,
+                        &unit.rel_path,
+                        line,
+                        format!(
+                            "{what} inside a loop on the measured hot path (this \
+                             function is in the attribution-derived hot set); hoist \
+                             the allocation out of the loop or exempt with a reason \
+                             it is not per-iteration",
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// For a loop keyword at `i`, the index of its body `{` (scanning at
+/// paren/bracket depth zero past the loop header).
+fn find_block_open(tokens: &[Tok], i: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 {
+            if t.is_punct("{") {
+                return Some(j);
+            }
+            if t.is_punct(";") || t.is_punct("}") {
+                return None;
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open` (brace counting only).
+fn match_brace_tokens(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct("{") {
+            depth += 1;
+        } else if tokens[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Whether token `k` opens one of the H2-flagged allocation constructs:
+/// `.clone()`, `format!(..)`, `Vec::new(..)`, `Box::new(..)`.
+fn h2_alloc_at(tokens: &[Tok], k: usize) -> Option<&'static str> {
+    let n = tokens.len();
+    let t = &tokens[k];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    if t.text == "clone"
+        && k > 0
+        && tokens[k - 1].is_punct(".")
+        && k + 1 < n
+        && tokens[k + 1].is_punct("(")
+    {
+        return Some("`.clone()`");
+    }
+    if t.text == "format" && k + 1 < n && tokens[k + 1].is_punct("!") {
+        return Some("`format!`");
+    }
+    if (t.text == "Vec" || t.text == "Box")
+        && k + 3 < n
+        && tokens[k + 1].is_punct("::")
+        && tokens[k + 2].is_ident("new")
+        && tokens[k + 3].is_punct("(")
+    {
+        return Some(if t.text == "Vec" { "`Vec::new()`" } else { "`Box::new()`" });
+    }
+    None
+}

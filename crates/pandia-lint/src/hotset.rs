@@ -1,0 +1,136 @@
+//! Hot-phase extraction from the committed attribution report
+//! (`results/report/fig10_attribution.json`).
+//!
+//! The H1/H2 hot-path rules are driven by *measured* attribution, not by
+//! hand-maintained lists: a phase is hot when its Amdahl self-time share
+//! in the committed report meets the threshold (default 2%). The report
+//! is a checked-in artifact, so the hot set is deterministic for a given
+//! commit — regenerating the report is what moves it.
+//!
+//! This is a hand-rolled scanner over the report's `"amdahl"` array
+//! (pandia-lint is dependency-free); it only needs the `phase` string
+//! and `share` number of each entry.
+
+/// Default self-time share above which a phase is considered hot.
+pub const DEFAULT_HOT_THRESHOLD: f64 = 0.02;
+
+/// Extracts the phases whose `share` is at least `threshold` from an
+/// attribution report. Returns phases in file order (the report is a
+/// committed artifact, so this is deterministic).
+pub fn hot_phases(json: &str, threshold: f64) -> Result<Vec<String>, String> {
+    let Some(key) = json.find("\"amdahl\"") else {
+        return Err("attribution report has no \"amdahl\" section".to_string());
+    };
+    let rest = &json[key + "\"amdahl\"".len()..];
+    let Some(open) = rest.find('[') else {
+        return Err("attribution report: \"amdahl\" is not an array".to_string());
+    };
+    let body = &rest[open + 1..];
+
+    let mut phases = Vec::new();
+    let mut depth = 0usize;
+    let mut obj_start = None;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                if depth == 0 {
+                    obj_start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(start) = obj_start.take() {
+                        let obj = &body[start..=i];
+                        let phase = string_field(obj, "phase")
+                            .ok_or_else(|| "amdahl entry missing \"phase\"".to_string())?;
+                        let share = number_field(obj, "share")
+                            .ok_or_else(|| "amdahl entry missing \"share\"".to_string())?;
+                        if share >= threshold {
+                            phases.push(phase);
+                        }
+                    }
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    Ok(phases)
+}
+
+/// Value of `"key":"..."` inside a flat JSON object fragment. Phase
+/// names contain no escapes, so a plain quote scan suffices.
+fn string_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)?;
+    let rest = &obj[at + pat.len()..];
+    let colon = rest.find(':')?;
+    let rest = rest[colon + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Value of `"key":<number>` inside a flat JSON object fragment.
+fn number_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)?;
+    let rest = &obj[at + pat.len()..];
+    let colon = rest.find(':')?;
+    let rest = rest[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{"schema":"x","amdahl":[
+        {"phase":"sim/run","self_us":99.0,"share":0.987015,"amdahl_ceiling":77.0},
+        {"phase":"predictor/predict_jobs","share":0.010391},
+        {"phase":"search/place","share":0.0019}
+    ],"other":[{"phase":"ignored/else","share":1.0}]}"#;
+
+    #[test]
+    fn thresholds_the_amdahl_shares() {
+        assert_eq!(hot_phases(REPORT, 0.02).unwrap(), ["sim/run"]);
+        assert_eq!(
+            hot_phases(REPORT, 0.01).unwrap(),
+            ["sim/run", "predictor/predict_jobs"]
+        );
+        assert_eq!(hot_phases(REPORT, 0.999).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn only_reads_the_amdahl_array() {
+        // The `other` array's 1.0 share must not leak in.
+        let all = hot_phases(REPORT, 0.0).unwrap();
+        assert_eq!(all.len(), 3);
+        assert!(!all.iter().any(|p| p == "ignored/else"));
+    }
+
+    #[test]
+    fn missing_sections_error() {
+        assert!(hot_phases("{}", 0.02).is_err());
+        assert!(hot_phases("{\"amdahl\":[{\"share\":1.0}]}", 0.02).is_err());
+        assert!(hot_phases("{\"amdahl\":[{\"phase\":\"a/b\"}]}", 0.02).is_err());
+    }
+}

@@ -7,31 +7,48 @@
 //!
 //! A small Rust lexer ([`lexer`]) strips comments and string literals
 //! (including raw strings and nested block comments) and drops
-//! `#[cfg(test)]` items, then token-level rules ([`rules`]) run per file
-//! under a path-derived scope ([`walker`]):
+//! `#[cfg(test)]` items; an item parser ([`parser`]) recovers fn/impl/mod
+//! structure and call sites by brace matching; a conservative name-based
+//! call graph ([`graph`]) connects them across crates. Per-file rules
+//! ([`rules`]) and cross-file rules run under a path-derived scope
+//! ([`walker`]):
 //!
 //! | Rule | Checks | Where |
 //! |------|--------|-------|
 //! | D1 | no iteration over `HashMap`/`HashSet` | result-producing crates |
 //! | D2 | no `Instant`/`SystemTime`/`thread::current`/`env::*` reads | result-producing crates |
+//! | D3 | no calls that *transitively* reach a D2-banned source through helper crates | result-producing crates |
 //! | N1 | no `partial_cmp(..).unwrap_or(Equal)`, no `==`/`!=` on float literals | result crates + harness |
 //! | P1 | panic sites (`unwrap`/`expect`/`panic!`/...) ≤ committed baseline | all library crates |
+//! | H1 | panic sites in attribution-hot functions ≤ `[h1]` baseline | result-producing crates |
+//! | H2 | no `.clone()`/`format!`/`Vec::new`/`Box::new` in hot loop bodies | result-producing crates |
 //! | S1 | `span("layer", ..)` literals name a registered telemetry layer | all library crates |
+//! | S2 | no raw `Recorder` writes outside the pandia-obs helpers | all but pandia-obs |
+//! | C1 | no lock guard live across `parallel_map`/`spawn`/`thread::scope` | result crates + harness |
+//! | V1 | schema tags come from the registry (`pandia_obs::schema`) | all library crates |
+//! | B1 | no baseline entries for files that no longer exist | the baseline itself |
 //!
-//! D1/D2/N1 violations are errors unless exempted in place with a
-//! `// lint:` comment carrying a reason. P1 is a ratchet against
-//! `lint-baseline.toml` ([`baseline`]): counts may only go down.
+//! D1/D2/D3/N1/S1/S2/C1/V1/H2 violations are errors unless exempted in
+//! place with a `// lint:` comment carrying a reason. P1 and H1 are
+//! ratchets against `lint-baseline.toml` ([`baseline`]): counts may only
+//! go down. The H1/H2 *hot set* is derived from the committed
+//! attribution report ([`hotset`]): the functions opening a span for any
+//! phase at or above the self-time threshold, closed forward over the
+//! call graph.
 //!
 //! Run it as `cargo run -p pandia-lint -- check` (see [`run_check`]).
 
 pub mod baseline;
+pub mod graph;
+pub mod hotset;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod walker;
 
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use report::{Finding, Report, Rule};
 
@@ -40,51 +57,99 @@ use report::{Finding, Report, Rule};
 pub struct CheckOutcome {
     /// Findings and statistics.
     pub report: Report,
-    /// When `--update-baseline` was requested: the new baseline file
-    /// contents to write.
+    /// When `--update-baseline` or `--prune-baseline` was requested: the
+    /// new baseline file contents to write.
     pub updated_baseline: Option<String>,
 }
 
-/// Checks the workspace rooted at `root` against the baseline at
-/// `baseline_path`.
-///
-/// A missing baseline file is treated as all-zero (every panic site is a
-/// finding), which is also how new files enter the ratchet. With
-/// `update_baseline`, the outcome carries regenerated baseline contents
-/// reflecting current counts; increases are flagged loudly by the caller
-/// but not blocked here — `check` without the flag is the gate.
-pub fn run_check(
-    root: &Path,
-    baseline_path: &Path,
-    update_baseline: bool,
-) -> Result<CheckOutcome, String> {
-    let baseline = if baseline_path.exists() {
-        let contents = fs::read_to_string(baseline_path)
-            .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
-        baseline::parse(&contents)
-            .map_err(|e| format!("{}: {e}", baseline_path.display()))?
-    } else {
-        baseline::Baseline::new()
-    };
+/// Options for [`run_check_with`].
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Baseline file path.
+    pub baseline_path: PathBuf,
+    /// Rewrite the baseline from current counts.
+    pub update_baseline: bool,
+    /// Drop baseline entries whose files no longer exist (keeping the
+    /// surviving counts untouched).
+    pub prune_baseline: bool,
+    /// Attribution report driving the hot set. `None` uses
+    /// `<root>/results/report/fig10_attribution.json` when present and
+    /// skips the hot rules when absent; an explicit path must exist.
+    pub attribution_path: Option<PathBuf>,
+    /// Self-time share at or above which a phase is hot.
+    pub hot_threshold: f64,
+}
 
-    let files = walker::collect(root)?;
-    let mut report = Report { files_checked: files.len(), ..Report::default() };
-
-    for file in &files {
-        let src = fs::read_to_string(&file.abs_path)
-            .map_err(|e| format!("cannot read {}: {e}", file.abs_path.display()))?;
-        let file_report = rules::check_source(&file.rel_path, &src, file.scope);
-        report.findings.extend(file_report.findings);
-        if file.scope.p1 && file_report.p1_count > 0 {
-            report.p1_counts.insert(file.rel_path.clone(), file_report.p1_count);
+impl CheckOptions {
+    /// Defaults for the workspace rooted at `root`.
+    pub fn for_root(root: &Path) -> Self {
+        Self {
+            baseline_path: root.join("lint-baseline.toml"),
+            update_baseline: false,
+            prune_baseline: false,
+            attribution_path: None,
+            hot_threshold: hotset::DEFAULT_HOT_THRESHOLD,
         }
-        if file.scope.p1 {
-            let allowed = baseline.get(&file.rel_path).copied().unwrap_or(0);
+    }
+}
+
+/// One in-memory source file for [`check_sources`].
+#[derive(Debug, Clone)]
+pub struct SourceSpec {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Owning crate name (empty for the facade `src/`).
+    pub crate_name: String,
+    /// Rules applicable to the file.
+    pub scope: rules::FileScope,
+    /// Source text.
+    pub src: String,
+}
+
+/// Checks a set of in-memory sources against a baseline and hot-phase
+/// set. This is the whole check minus the filesystem: the per-file
+/// rules, the cross-file graph rules, both ratchets, and stale-baseline
+/// (B1) detection. [`run_check_with`] is a thin I/O wrapper around it.
+pub fn check_sources(
+    files: &[SourceSpec],
+    baseline: &baseline::Baseline,
+    hot_phases: &[String],
+) -> Report {
+    let mut report = Report { files_checked: files.len(), ..Report::default() };
+    report.hot_phases = hot_phases.to_vec();
+
+    let mut units = Vec::with_capacity(files.len());
+    for file in files {
+        units.push(graph::FileUnit::build(
+            &file.rel_path,
+            &file.crate_name,
+            file.scope,
+            &file.src,
+            &mut report.findings,
+        ));
+    }
+
+    // Per-file rules.
+    for unit in &units {
+        let mut file_report = rules::FileReport::default();
+        rules::check_tokens(
+            &unit.rel_path,
+            &unit.tokens,
+            &unit.exemptions,
+            unit.scope,
+            &mut file_report,
+        );
+        report.findings.append(&mut file_report.findings);
+        if unit.scope.p1 {
+            if file_report.p1_count > 0 {
+                report.p1_counts.insert(unit.rel_path.clone(), file_report.p1_count);
+            }
+            let allowed = baseline.p1.get(&unit.rel_path).copied().unwrap_or(0);
             let actual = file_report.p1_count;
             if actual > allowed {
                 report.findings.push(Finding::new(
                     Rule::P1,
-                    &file.rel_path,
+                    &unit.rel_path,
                     file_report.p1_first_line.max(1),
                     format!(
                         "{actual} panic sites (unwrap/expect/panic!/...) but the baseline \
@@ -93,23 +158,156 @@ pub fn run_check(
                     ),
                 ));
             } else if actual < allowed {
-                report.ratchet_slack.push((file.rel_path.clone(), actual, allowed));
+                report.ratchet_slack.push((unit.rel_path.clone(), actual, allowed));
             }
         }
     }
 
-    // Baseline entries for files that no longer exist (or left scope) are
-    // slack too: they should be dropped on the next update.
-    for (path, &allowed) in &baseline {
-        if allowed > 0 && !files.iter().any(|f| &f.rel_path == path) {
-            report.ratchet_slack.push((path.clone(), 0, allowed));
+    // Cross-file rules: D3 everywhere, H1/H2 when a hot set exists.
+    let graph_report = graph::analyze(&units, hot_phases);
+    report.findings.extend(graph_report.findings);
+    report.hot_fns = graph_report.hot_fns;
+    report.h1_counts = graph_report.h1_counts;
+    if !hot_phases.is_empty() {
+        for unit in &units {
+            if !unit.scope.hot {
+                continue;
+            }
+            let actual = report.h1_counts.get(&unit.rel_path).copied().unwrap_or(0);
+            let allowed = baseline.h1.get(&unit.rel_path).copied().unwrap_or(0);
+            if actual > allowed {
+                let line =
+                    graph_report.h1_first_lines.get(&unit.rel_path).copied().unwrap_or(1);
+                report.findings.push(Finding::new(
+                    Rule::H1,
+                    &unit.rel_path,
+                    line.max(1),
+                    format!(
+                        "{actual} panic sites inside attribution-hot functions but the \
+                         [h1] baseline allows {allowed}; a panic on the measured hot \
+                         path aborts the run mid-experiment — return an error instead \
+                         (the ratchet only goes down)"
+                    ),
+                ));
+            } else if actual < allowed {
+                report.h1_slack.push((unit.rel_path.clone(), actual, allowed));
+            }
         }
+    }
+
+    // B1: baseline entries whose files vanished or left scope. (When
+    // the hot rules are skipped we cannot tell whether [h1] entries are
+    // stale for hot-set reasons, but file existence still applies.)
+    let mut stale: Vec<&String> = baseline
+        .paths()
+        .filter(|path| !files.iter().any(|f| &&f.rel_path == path))
+        .collect();
+    stale.sort();
+    stale.dedup();
+    for path in stale {
+        report.findings.push(Finding::new(
+            Rule::B1,
+            path,
+            1,
+            "baseline entry for a file that no longer exists (or left lint scope); \
+             run with --prune-baseline (or --update-baseline) to drop it",
+        ));
     }
 
     report.findings.sort_by(|a, b| {
         a.file.cmp(&b.file).then(a.line.cmp(&b.line)).then(a.rule.cmp(&b.rule))
     });
+    report
+}
 
-    let updated_baseline = update_baseline.then(|| baseline::serialize(&report.p1_counts));
+/// Checks the workspace rooted at `root` against the baseline at
+/// `baseline_path`. Compatibility wrapper over [`run_check_with`] with
+/// default options.
+pub fn run_check(
+    root: &Path,
+    baseline_path: &Path,
+    update_baseline: bool,
+) -> Result<CheckOutcome, String> {
+    let mut opts = CheckOptions::for_root(root);
+    opts.baseline_path = baseline_path.to_path_buf();
+    opts.update_baseline = update_baseline;
+    run_check_with(root, &opts)
+}
+
+/// Checks the workspace rooted at `root`.
+///
+/// A missing baseline file is treated as all-zero (every panic site is a
+/// finding), which is also how new files enter the ratchet. With
+/// `update_baseline`, the outcome carries regenerated baseline contents
+/// reflecting current counts; increases are flagged loudly by the caller
+/// but not blocked here — `check` without the flag is the gate. With
+/// `prune_baseline`, only entries for vanished files are dropped.
+pub fn run_check_with(root: &Path, opts: &CheckOptions) -> Result<CheckOutcome, String> {
+    let baseline = if opts.baseline_path.exists() {
+        let contents = fs::read_to_string(&opts.baseline_path)
+            .map_err(|e| format!("cannot read {}: {e}", opts.baseline_path.display()))?;
+        baseline::parse(&contents)
+            .map_err(|e| format!("{}: {e}", opts.baseline_path.display()))?
+    } else {
+        baseline::Baseline::new()
+    };
+
+    // Hot phases from the attribution report. The default path is
+    // optional (a fresh checkout may predate the report); an explicit
+    // --attribution path is not.
+    let default_attribution = root.join("results/report/fig10_attribution.json");
+    let (attribution_path, required) = match &opts.attribution_path {
+        Some(p) => (p.clone(), true),
+        None => (default_attribution, false),
+    };
+    let hot_phases = if attribution_path.exists() {
+        let contents = fs::read_to_string(&attribution_path)
+            .map_err(|e| format!("cannot read {}: {e}", attribution_path.display()))?;
+        hotset::hot_phases(&contents, opts.hot_threshold)
+            .map_err(|e| format!("{}: {e}", attribution_path.display()))?
+    } else if required {
+        return Err(format!("attribution report not found: {}", attribution_path.display()));
+    } else {
+        Vec::new()
+    };
+
+    let files = walker::collect(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for file in &files {
+        let src = fs::read_to_string(&file.abs_path)
+            .map_err(|e| format!("cannot read {}: {e}", file.abs_path.display()))?;
+        sources.push(SourceSpec {
+            rel_path: file.rel_path.clone(),
+            crate_name: crate_name_of(&file.rel_path),
+            scope: file.scope,
+            src,
+        });
+    }
+
+    let report = check_sources(&sources, &baseline, &hot_phases);
+
+    let updated_baseline = if opts.update_baseline {
+        Some(baseline::serialize(&baseline::Baseline {
+            p1: report.p1_counts.clone(),
+            h1: report.h1_counts.clone(),
+        }))
+    } else if opts.prune_baseline {
+        let mut pruned = baseline.clone();
+        pruned.p1.retain(|path, _| sources.iter().any(|s| &s.rel_path == path));
+        pruned.h1.retain(|path, _| sources.iter().any(|s| &s.rel_path == path));
+        Some(baseline::serialize(&pruned))
+    } else {
+        None
+    };
     Ok(CheckOutcome { report, updated_baseline })
+}
+
+/// The crate a workspace-relative path belongs to (empty for the facade
+/// `src/` tree).
+fn crate_name_of(rel_path: &str) -> String {
+    rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("")
+        .to_string()
 }

@@ -3,8 +3,14 @@
 //! Flags:
 //!
 //! * `--root DIR` — workspace root (default: current directory).
-//! * `--baseline FILE` — P1 baseline path (default: `<root>/lint-baseline.toml`).
+//! * `--baseline FILE` — baseline path (default: `<root>/lint-baseline.toml`).
 //! * `--update-baseline` — rewrite the baseline from current counts.
+//! * `--prune-baseline` — drop baseline entries for vanished files only.
+//! * `--attribution FILE` — attribution report driving the H1/H2 hot set
+//!   (default: `<root>/results/report/fig10_attribution.json`; the hot
+//!   rules are skipped when the default is absent).
+//! * `--hot-threshold X` — self-time share at or above which a phase is
+//!   hot (default: 0.02).
 //! * `--format human|json` — output format (default: human).
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
@@ -12,8 +18,11 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use pandia_lint::report::Rule;
+
 const USAGE: &str = "usage: pandia-lint check [--root DIR] [--baseline FILE] \
-                     [--update-baseline] [--format human|json]";
+                     [--update-baseline] [--prune-baseline] [--attribution FILE] \
+                     [--hot-threshold X] [--format human|json]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,7 +45,10 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<bool, String> {
     let mut root = PathBuf::from(".");
     let mut baseline: Option<PathBuf> = None;
+    let mut attribution: Option<PathBuf> = None;
+    let mut hot_threshold: Option<f64> = None;
     let mut update_baseline = false;
+    let mut prune_baseline = false;
     let mut format_json = false;
     let mut subcommand: Option<&str> = None;
 
@@ -55,7 +67,28 @@ fn run(args: &[String]) -> Result<bool, String> {
                     args.get(i).ok_or_else(|| format!("--baseline needs a value\n{USAGE}"))?;
                 baseline = Some(PathBuf::from(file));
             }
+            "--attribution" => {
+                i += 1;
+                let file = args
+                    .get(i)
+                    .ok_or_else(|| format!("--attribution needs a value\n{USAGE}"))?;
+                attribution = Some(PathBuf::from(file));
+            }
+            "--hot-threshold" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or_else(|| format!("--hot-threshold needs a value\n{USAGE}"))?;
+                let parsed: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--hot-threshold must be a number\n{USAGE}"))?;
+                if !(0.0..=1.0).contains(&parsed) {
+                    return Err(format!("--hot-threshold must be in [0, 1]\n{USAGE}"));
+                }
+                hot_threshold = Some(parsed);
+            }
             "--update-baseline" => update_baseline = true,
+            "--prune-baseline" => prune_baseline = true,
             "--format" => {
                 i += 1;
                 match args.get(i).map(String::as_str) {
@@ -71,24 +104,39 @@ fn run(args: &[String]) -> Result<bool, String> {
     if subcommand != Some("check") {
         return Err(USAGE.to_string());
     }
+    if update_baseline && prune_baseline {
+        return Err(format!(
+            "--update-baseline already prunes stale entries; drop --prune-baseline\n{USAGE}"
+        ));
+    }
 
-    let baseline_path = baseline.unwrap_or_else(|| root.join("lint-baseline.toml"));
-    let outcome = pandia_lint::run_check(&root, &baseline_path, update_baseline)?;
+    let mut opts = pandia_lint::CheckOptions::for_root(&root);
+    if let Some(path) = baseline {
+        opts.baseline_path = path;
+    }
+    opts.update_baseline = update_baseline;
+    opts.prune_baseline = prune_baseline;
+    opts.attribution_path = attribution;
+    if let Some(t) = hot_threshold {
+        opts.hot_threshold = t;
+    }
+
+    let outcome = pandia_lint::run_check_with(&root, &opts)?;
 
     if let Some(contents) = &outcome.updated_baseline {
         // Warn loudly when an update would *raise* a count: the ratchet is
         // meant to go down, and `check` (the CI gate) fails on increases.
         for f in &outcome.report.findings {
-            if f.rule == pandia_lint::report::Rule::P1 {
+            if f.rule == Rule::P1 || f.rule == Rule::H1 {
                 eprintln!(
                     "pandia-lint: warning: raising baseline for {} ({})",
                     f.file, f.message
                 );
             }
         }
-        std::fs::write(&baseline_path, contents)
-            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
-        eprintln!("pandia-lint: wrote {}", baseline_path.display());
+        std::fs::write(&opts.baseline_path, contents)
+            .map_err(|e| format!("cannot write {}: {e}", opts.baseline_path.display()))?;
+        eprintln!("pandia-lint: wrote {}", opts.baseline_path.display());
     }
 
     if format_json {
@@ -97,14 +145,17 @@ fn run(args: &[String]) -> Result<bool, String> {
         print!("{}", outcome.report.render_human());
     }
 
-    // With --update-baseline the P1 findings were just absorbed into the
-    // new baseline; only non-P1 findings still fail the run.
+    // Rewriting the baseline absorbs the ratchet findings it governs:
+    // --update-baseline absorbs P1/H1 and (by regenerating from current
+    // counts) B1; --prune-baseline absorbs only B1.
     let clean = if update_baseline {
         outcome
             .report
             .findings
             .iter()
-            .all(|f| f.rule == pandia_lint::report::Rule::P1)
+            .all(|f| matches!(f.rule, Rule::P1 | Rule::H1 | Rule::B1))
+    } else if prune_baseline {
+        outcome.report.findings.iter().all(|f| f.rule == Rule::B1)
     } else {
         !outcome.report.has_findings()
     };

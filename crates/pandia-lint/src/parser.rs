@@ -1,0 +1,369 @@
+//! Item-structure recovery over the token stream: functions, `impl` /
+//! `trait` / `mod` nesting, and the call sites inside each function
+//! body.
+//!
+//! This is deliberately **not** a Rust parser. It recovers exactly the
+//! structure the cross-file rules need — which tokens belong to which
+//! function, under which module/impl context — by brace matching over
+//! the lexed stream (comments, strings, and `#[cfg(test)]` items are
+//! already gone). Constructs it does not understand (struct bodies,
+//! expressions, patterns) are simply skipped, so a parse can never fail:
+//! the build is the authority on syntax, the parser only has to agree
+//! with it on where braces open and close.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Bare callee name (`foo` in `foo(..)`, `x.foo(..)`, `m::foo(..)`).
+    pub name: String,
+    /// The path segment immediately before the name, when the call is
+    /// path-qualified: `engine::run(..)` → `Some("engine")`. Used to
+    /// narrow name-based resolution (`Vec::new` must not resolve to a
+    /// workspace `fn new`).
+    pub qualifier: Option<String>,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One `fn` item recovered from a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing module / impl-type / trait names, outermost first
+    /// (e.g. `["engine", "Solver"]` for `mod engine { impl Solver {`).
+    pub ctx: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body *including* both braces, or `None`
+    /// for bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Call sites found in the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+impl FnItem {
+    /// Display name: context path plus the bare name.
+    pub fn qual(&self) -> String {
+        if self.ctx.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}::{}", self.ctx.join("::"), self.name)
+        }
+    }
+}
+
+/// Identifiers that look like calls (`ident (`) but never are.
+const NON_CALL_IDENTS: [&str; 22] = [
+    "if", "else", "match", "while", "for", "loop", "return", "let", "fn", "move", "in", "as",
+    "ref", "mut", "break", "continue", "where", "dyn", "unsafe", "box", "yield", "await",
+];
+
+/// Enum-constructor names whose "calls" never resolve to workspace
+/// functions and only add noise to the graph.
+const CONSTRUCTOR_NOISE: [&str; 4] = ["Some", "None", "Ok", "Err"];
+
+/// Parses one file's (test-stripped) token stream into its `fn` items.
+/// Nested functions are recovered too, with their enclosing function in
+/// `ctx`; their calls are attributed to both levels (conservative for
+/// reachability analyses).
+pub fn parse_file(tokens: &[Tok]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    let mut ctx = Vec::new();
+    parse_items(tokens, 0, tokens.len(), &mut ctx, &mut fns);
+    fns
+}
+
+/// Index of the `}` matching the `{` at `open` (brace counting only:
+/// braces are balanced independently of other bracket kinds). Returns
+/// `end - 1` when unterminated.
+fn match_brace(tokens: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        if tokens[i].is_punct("{") {
+            depth += 1;
+        } else if tokens[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    end.saturating_sub(1)
+}
+
+fn parse_items(
+    tokens: &[Tok],
+    mut i: usize,
+    end: usize,
+    ctx: &mut Vec<String>,
+    out: &mut Vec<FnItem>,
+) {
+    while i < end {
+        let t = &tokens[i];
+
+        // `mod name { ... }` (not `mod name;` file modules).
+        if t.is_ident("mod")
+            && i + 2 < end
+            && tokens[i + 1].kind == TokKind::Ident
+            && tokens[i + 2].is_punct("{")
+        {
+            let close = match_brace(tokens, i + 2, end);
+            ctx.push(tokens[i + 1].text.clone());
+            parse_items(tokens, i + 3, close, ctx, out);
+            ctx.pop();
+            i = close + 1;
+            continue;
+        }
+
+        // `impl [<..>] Type { .. }`, `impl Trait for Type { .. }`,
+        // `trait Name { .. }`: recurse into the body under the type (or
+        // trait) name so methods get a usable context.
+        if t.is_ident("impl") || t.is_ident("trait") {
+            let is_trait = t.is_ident("trait");
+            let mut name = String::new();
+            let mut after_for = false;
+            let mut j = i + 1;
+            let mut angle = 0usize;
+            let mut open = None;
+            while j < end {
+                let u = &tokens[j];
+                if u.is_punct("<") {
+                    angle += 1;
+                } else if u.is_punct(">") || u.is_punct("->") {
+                    angle = angle.saturating_sub(1);
+                } else if angle == 0 {
+                    if u.is_punct("{") {
+                        open = Some(j);
+                        break;
+                    }
+                    if u.is_punct(";") {
+                        // `impl Trait for Type;` style — no body.
+                        break;
+                    }
+                    if u.is_ident("for") {
+                        after_for = true;
+                        name.clear();
+                    } else if u.kind == TokKind::Ident
+                        && u.text != "where"
+                        && (name.is_empty() || after_for && name.is_empty())
+                    {
+                        name = u.text.clone();
+                        after_for = false;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let close = match_brace(tokens, open, end);
+                let pushed = !name.is_empty() || is_trait;
+                if pushed {
+                    ctx.push(if name.is_empty() { "trait".to_string() } else { name });
+                }
+                parse_items(tokens, open + 1, close, ctx, out);
+                if pushed {
+                    ctx.pop();
+                }
+                i = close + 1;
+            } else {
+                i = j + 1;
+            }
+            continue;
+        }
+
+        // `fn name ... { body }` or `fn name ...;` (trait declaration).
+        // `fn(..)` pointer types don't match: the next token is not an
+        // identifier.
+        if t.is_ident("fn") && i + 1 < end && tokens[i + 1].kind == TokKind::Ident {
+            let name = tokens[i + 1].text.clone();
+            let line = t.line;
+            // Scan for the body `{` (or a terminating `;`) at
+            // paren/bracket depth zero; generics and return types carry
+            // no braces of their own.
+            let mut depth = 0usize;
+            let mut j = i + 2;
+            let mut body = None;
+            while j < end {
+                let u = &tokens[j];
+                if u.is_punct("(") || u.is_punct("[") {
+                    depth += 1;
+                } else if u.is_punct(")") || u.is_punct("]") {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0 {
+                    if u.is_punct("{") {
+                        body = Some(j);
+                        break;
+                    }
+                    if u.is_punct(";") {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(open) = body {
+                let close = match_brace(tokens, open, end);
+                out.push(FnItem {
+                    name: name.clone(),
+                    ctx: ctx.clone(),
+                    line,
+                    body: Some((open, close)),
+                    calls: extract_calls(tokens, open + 1, close),
+                });
+                // Recurse for nested `fn` items (and impl blocks inside
+                // function bodies).
+                ctx.push(name);
+                parse_items(tokens, open + 1, close, ctx, out);
+                ctx.pop();
+                i = close + 1;
+            } else {
+                out.push(FnItem { name, ctx: ctx.clone(), line, body: None, calls: Vec::new() });
+                i = j + 1;
+            }
+            continue;
+        }
+
+        i += 1;
+    }
+}
+
+/// Collects call sites in `tokens[start..end]`: identifiers followed by
+/// `(` (possibly through a `::<..>` turbofish), excluding keywords,
+/// definitions, macro invocations, and enum-constructor noise.
+fn extract_calls(tokens: &[Tok], start: usize, end: usize) -> Vec<CallSite> {
+    let mut calls = Vec::new();
+    for k in start..end {
+        let t = &tokens[k];
+        if t.kind != TokKind::Ident
+            || NON_CALL_IDENTS.contains(&t.text.as_str())
+            || CONSTRUCTOR_NOISE.contains(&t.text.as_str())
+        {
+            continue;
+        }
+        if k > start && tokens[k - 1].is_ident("fn") {
+            continue; // a definition, not a call
+        }
+        // Position of the would-be `(`: directly after the name, or
+        // after a `::<..>` turbofish.
+        let mut next = k + 1;
+        if next + 1 < end && tokens[next].is_punct("::") && tokens[next + 1].is_punct("<") {
+            let mut angle = 0usize;
+            let mut m = next + 1;
+            while m < end {
+                if tokens[m].is_punct("<") {
+                    angle += 1;
+                } else if tokens[m].is_punct(">") {
+                    angle -= 1;
+                    if angle == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            next = m + 1;
+        }
+        if next >= end || !tokens[next].is_punct("(") {
+            continue;
+        }
+        if next < end.saturating_sub(0) && k + 1 < end && tokens[k + 1].is_punct("!") {
+            continue; // macro invocation (name!(..)) — unreachable here, kept for clarity
+        }
+        let qualifier = if k >= 2 && tokens[k - 1].is_punct("::") && tokens[k - 2].kind == TokKind::Ident
+        {
+            Some(tokens[k - 2].text.clone())
+        } else {
+            None
+        };
+        calls.push(CallSite { name: t.text.clone(), qualifier, line: t.line });
+    }
+    calls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_test_code};
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        let lexed = lex(src);
+        let tokens = strip_test_code(lexed.tokens);
+        parse_file(&tokens)
+    }
+
+    #[test]
+    fn recovers_free_functions_and_methods() {
+        let fns = parse(
+            "fn alpha() { beta(); }
+             mod engine { pub fn beta() { gamma::delta(1, 2); } }
+             impl Solver { fn solve(&self) -> u32 { self.step() } }
+             impl Platform for SimMachine { fn run(&mut self) { engine::run_inner(); } }",
+        );
+        let quals: Vec<String> = fns.iter().map(|f| f.qual()).collect();
+        assert_eq!(quals, ["alpha", "engine::beta", "Solver::solve", "SimMachine::run"]);
+        assert_eq!(fns[0].calls[0].name, "beta");
+        assert_eq!(fns[1].calls[0].qualifier.as_deref(), Some("gamma"));
+        assert_eq!(fns[3].calls[0].name, "run_inner");
+        assert_eq!(fns[3].calls[0].qualifier.as_deref(), Some("engine"));
+    }
+
+    #[test]
+    fn trait_decls_have_no_body() {
+        let fns = parse("trait Platform { fn spec(&self) -> &Spec; fn run(&mut self) { helper() } }");
+        assert_eq!(fns.len(), 2);
+        assert!(fns[0].body.is_none(), "declaration has no body");
+        assert_eq!(fns[1].calls[0].name, "helper", "default body parsed");
+    }
+
+    #[test]
+    fn closures_and_nested_fns_stay_attributed_correctly() {
+        // Closure braces must not end the enclosing fn's body; calls made
+        // inside closures belong to the enclosing fn, while a nested `fn`
+        // is its own item with its own calls.
+        let fns = parse(
+            "fn outer(xs: &[u32]) -> Vec<u32> {
+                 fn inner(x: u32) -> u32 { helper(x) }
+                 let ys = xs.iter().map(|x| { transform(inner(*x)) }).collect();
+                 finish(ys)
+             }",
+        );
+        let quals: Vec<String> = fns.iter().map(|f| f.qual()).collect();
+        assert_eq!(quals, ["outer", "outer::inner"]);
+        let outer_calls: Vec<&str> = fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(
+            outer_calls.contains(&"transform") && outer_calls.contains(&"finish"),
+            "closure-body calls belong to the enclosing fn: {outer_calls:?}"
+        );
+        assert_eq!(fns[1].calls[0].name, "helper", "nested fn owns its own calls");
+    }
+
+    #[test]
+    fn macroish_and_literal_braces_do_not_derail_brace_matching() {
+        // `matches!`, struct literals, and match arms all open braces that
+        // are not item bodies; the fn after them must still be recovered.
+        let fns = parse(
+            "fn first(k: Kind) -> State {
+                 if matches!(k, Kind::A { .. } | Kind::B) { reset(); }
+                 match k { Kind::A { n } => grow(n), _ => State { size: 0 } }
+             }
+             fn second() { follow_up(); }",
+        );
+        let quals: Vec<String> = fns.iter().map(|f| f.qual()).collect();
+        assert_eq!(quals, ["first", "second"]);
+        assert_eq!(fns[1].calls[0].name, "follow_up");
+    }
+
+    #[test]
+    fn turbofish_calls_keep_their_name_and_qualifier() {
+        let fns = parse("fn f() { let v = collect::<Vec<_>>(); iter::repeat::<u32>(1); }");
+        let calls: Vec<(&str, Option<&str>)> = fns[0]
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.qualifier.as_deref()))
+            .collect();
+        assert!(calls.contains(&("collect", None)), "{calls:?}");
+        assert!(calls.contains(&("repeat", Some("iter"))), "{calls:?}");
+    }
+}

@@ -17,6 +17,19 @@ pub enum Rule {
     S1,
     /// Direct `Recorder` writes outside the pandia-obs helpers.
     S2,
+    /// Interprocedural determinism taint: a boundary call into code
+    /// that transitively reaches a D2-banned source.
+    D3,
+    /// Hot-path panic ratchet (panic sites in attribution-hot functions).
+    H1,
+    /// Allocation inside a loop on the attribution-derived hot path.
+    H2,
+    /// Lock guard held across a thread-spawning call.
+    C1,
+    /// Schema version string written outside the registry module.
+    V1,
+    /// Stale baseline entry: the file no longer exists (or left scope).
+    B1,
     /// A malformed `// lint:` directive.
     Directive,
 }
@@ -31,6 +44,12 @@ impl Rule {
             Rule::P1 => "P1",
             Rule::S1 => "S1",
             Rule::S2 => "S2",
+            Rule::D3 => "D3",
+            Rule::H1 => "H1",
+            Rule::H2 => "H2",
+            Rule::C1 => "C1",
+            Rule::V1 => "V1",
+            Rule::B1 => "B1",
             Rule::Directive => "LINT",
         }
     }
@@ -68,9 +87,18 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Per-file P1 counts (files with zero sites omitted).
     pub p1_counts: BTreeMap<String, u32>,
-    /// Files that now sit *below* their baseline entry, as
+    /// Per-file panic-site counts inside attribution-hot functions
+    /// (files with zero sites omitted).
+    pub h1_counts: BTreeMap<String, u32>,
+    /// Files that now sit *below* their `[p1]` baseline entry, as
     /// `(file, count, baseline)` — candidates for `--update-baseline`.
     pub ratchet_slack: Vec<(String, u32, u32)>,
+    /// Files below their `[h1]` baseline entry, same shape.
+    pub h1_slack: Vec<(String, u32, u32)>,
+    /// Hot phases derived from the attribution report.
+    pub hot_phases: Vec<String>,
+    /// Hot functions (`path::ctx::name`), sorted.
+    pub hot_fns: Vec<String>,
     /// Number of files checked.
     pub files_checked: usize,
 }
@@ -93,20 +121,31 @@ impl Report {
                  run with --update-baseline to ratchet down\n"
             ));
         }
+        for (file, count, baseline) in &self.h1_slack {
+            out.push_str(&format!(
+                "note: {file} has {count} hot-path panic sites, below its [h1] baseline \
+                 of {baseline} — run with --update-baseline to ratchet down\n"
+            ));
+        }
         let p1_total: u32 = self.p1_counts.values().sum();
+        let h1_total: u32 = self.h1_counts.values().sum();
         out.push_str(&format!(
-            "pandia-lint: {} files checked, {} findings, {} panic sites across {} files\n",
+            "pandia-lint: {} files checked, {} findings, {} panic sites across {} files; \
+             {} hot functions from {} hot phases ({} hot panic sites)\n",
             self.files_checked,
             self.findings.len(),
             p1_total,
             self.p1_counts.len(),
+            self.hot_fns.len(),
+            self.hot_phases.len(),
+            h1_total,
         ));
         out
     }
 
     /// Renders the machine-readable report (`--format json`).
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\"schema\":\"pandia-lint-v1\",\"findings\":[");
+        let mut out = format!("{{\"schema\":\"{LINT_SCHEMA}\",\"findings\":[");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -120,21 +159,52 @@ impl Report {
             ));
         }
         out.push_str("],\"p1\":{");
-        for (i, (file, count)) in self.p1_counts.iter().enumerate() {
+        push_count_map(&mut out, &self.p1_counts);
+        out.push_str("},\"h1\":{");
+        push_count_map(&mut out, &self.h1_counts);
+        out.push_str("},\"hot\":{\"phases\":[");
+        for (i, phase) in self.hot_phases.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("{}:{}", json_string(file), count));
+            out.push_str(&json_string(phase));
+        }
+        out.push_str("],\"functions\":[");
+        for (i, name) in self.hot_fns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(name));
         }
         let p1_total: u32 = self.p1_counts.values().sum();
+        let h1_total: u32 = self.h1_counts.values().sum();
         out.push_str(&format!(
-            "}},\"summary\":{{\"files_checked\":{},\"findings\":{},\"p1_total\":{}}}}}",
+            "]}},\"summary\":{{\"files_checked\":{},\"findings\":{},\"p1_total\":{},\
+             \"h1_total\":{}}}}}",
             self.files_checked,
             self.findings.len(),
             p1_total,
+            h1_total,
         ));
         out.push('\n');
         out
+    }
+}
+
+/// Schema tag for the JSON report. pandia-lint is dependency-free by
+/// design, so it cannot import the workspace registry in pandia-obs;
+/// this local constant is the sanctioned duplicate (and the tag below
+/// names this tool's own format, not a shared one).
+// lint: allow(V1): pandia-lint cannot depend on pandia-obs; this names the linter's own output format
+const LINT_SCHEMA: &str = "pandia-lint-v2";
+
+/// Serializes a path→count map as JSON object members.
+fn push_count_map(out: &mut String, counts: &BTreeMap<String, u32>) {
+    for (i, (file, count)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", json_string(file), count));
     }
 }
 

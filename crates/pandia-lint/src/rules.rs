@@ -1,6 +1,10 @@
-//! The rule passes: D1 (hash-iteration determinism), D2 (ambient
-//! nondeterminism sources), N1 (NaN-unsafe float comparisons), and P1
-//! (panic-site counting for the baseline ratchet).
+//! The per-file rule passes: D1 (hash-iteration determinism), D2
+//! (ambient nondeterminism sources), N1 (NaN-unsafe float comparisons),
+//! P1 (panic-site counting for the baseline ratchet), S1/S2 (telemetry
+//! hygiene), C1 (no lock guard held across thread-spawning calls), and
+//! V1 (schema version strings come from the registry). The cross-file
+//! rules (D3, H1, H2) live in [`crate::graph`]; this module also exports
+//! the shared matchers they reuse ([`d2_match`], [`is_p1_site`]).
 //!
 //! All rules run over the lexed token stream with test-only code already
 //! stripped (see [`crate::lexer::strip_test_code`]), so string literals,
@@ -27,11 +31,21 @@ pub struct FileScope {
     pub s1: bool,
     /// S2: forbid direct `Recorder` writes outside pandia-obs helpers.
     pub s2: bool,
+    /// C1: forbid lock guards held across thread-spawning calls.
+    pub c1: bool,
+    /// V1: schema version strings must come from the registry module.
+    pub v1: bool,
+    /// D3: flag boundary calls into determinism-tainted helpers
+    /// (cross-file; evaluated in [`crate::graph`]).
+    pub d3: bool,
+    /// H1/H2: this file participates in the attribution-derived hot set
+    /// (cross-file; evaluated in [`crate::graph`]).
+    pub hot: bool,
 }
 
 /// Exemptions parsed from `// lint:` directives in one file.
 #[derive(Debug, Default)]
-struct Exemptions {
+pub(crate) struct Exemptions {
     /// Lines on which `// lint: sorted` suppresses D1 (the directive's
     /// own line and the line after it).
     sorted_lines: Vec<u32>,
@@ -42,7 +56,7 @@ struct Exemptions {
 }
 
 impl Exemptions {
-    fn exempts(&self, rule: Rule, line: u32) -> bool {
+    pub(crate) fn exempts(&self, rule: Rule, line: u32) -> bool {
         if self.allow_file.contains(&rule) {
             return true;
         }
@@ -72,32 +86,49 @@ pub fn check_source(path: &str, src: &str, scope: FileScope) -> FileReport {
     let tokens = strip_test_code(lexed.tokens);
     let mut report = FileReport::default();
     let exemptions = parse_directives(path, &lexed.lint_comments, &mut report.findings);
+    check_tokens(path, &tokens, &exemptions, scope, &mut report);
+    report
+}
 
+/// The per-file rule passes over an already-lexed token stream
+/// (directive findings are produced separately by [`parse_directives`]).
+pub(crate) fn check_tokens(
+    path: &str,
+    tokens: &[Tok],
+    exemptions: &Exemptions,
+    scope: FileScope,
+    report: &mut FileReport,
+) {
     if scope.d1 {
-        rule_d1(path, &tokens, &exemptions, &mut report.findings);
+        rule_d1(path, tokens, exemptions, &mut report.findings);
     }
     if scope.d2 {
-        rule_d2(path, &tokens, &exemptions, &mut report.findings);
+        rule_d2(path, tokens, exemptions, &mut report.findings);
     }
     if scope.n1 {
-        rule_n1(path, &tokens, &exemptions, &mut report.findings);
+        rule_n1(path, tokens, exemptions, &mut report.findings);
     }
     if scope.p1 {
-        let (count, first_line) = rule_p1(&tokens);
+        let (count, first_line) = rule_p1(tokens);
         report.p1_count = count;
         report.p1_first_line = first_line;
     }
     if scope.s1 {
-        rule_s1(path, &tokens, &exemptions, &mut report.findings);
+        rule_s1(path, tokens, exemptions, &mut report.findings);
     }
     if scope.s2 {
-        rule_s2(path, &tokens, &exemptions, &mut report.findings);
+        rule_s2(path, tokens, exemptions, &mut report.findings);
     }
-    report
+    if scope.c1 {
+        rule_c1(path, tokens, exemptions, &mut report.findings);
+    }
+    if scope.v1 {
+        rule_v1(path, tokens, exemptions, &mut report.findings);
+    }
 }
 
 /// Parses `// lint:` directives, reporting malformed ones as findings.
-fn parse_directives(
+pub(crate) fn parse_directives(
     path: &str,
     comments: &[LintComment],
     findings: &mut Vec<Finding>,
@@ -138,15 +169,30 @@ fn parse_directives(
             match name {
                 "D1" => rules.push(Rule::D1),
                 "D2" => rules.push(Rule::D2),
+                "D3" => rules.push(Rule::D3),
                 "N1" => rules.push(Rule::N1),
                 "S1" => rules.push(Rule::S1),
                 "S2" => rules.push(Rule::S2),
-                "P1" => {
+                "C1" => rules.push(Rule::C1),
+                "V1" => rules.push(Rule::V1),
+                "H2" => rules.push(Rule::H2),
+                "P1" | "H1" => {
                     findings.push(Finding::directive(
                         path,
                         c.line,
-                        "P1 is governed by the baseline ratchet, not exemption comments \
-                         (lower lint-baseline.toml instead)",
+                        format!(
+                            "{name} is governed by the baseline ratchet, not exemption \
+                             comments (lower lint-baseline.toml instead)"
+                        ),
+                    ));
+                    bad = true;
+                }
+                "B1" => {
+                    findings.push(Finding::directive(
+                        path,
+                        c.line,
+                        "B1 marks stale baseline entries; fix it with --prune-baseline \
+                         (or --update-baseline), not an exemption",
                     ));
                     bad = true;
                 }
@@ -348,44 +394,51 @@ const ENV_READS: [&str; 6] = ["var", "var_os", "vars", "vars_os", "args", "args_
 /// simulation results must be pure functions of their inputs; timing and
 /// configuration belong in `pandia-obs`, `pandia-harness`, or the CLI.
 fn rule_d2(path: &str, tokens: &[Tok], ex: &Exemptions, findings: &mut Vec<Finding>) {
-    let n = tokens.len();
-    for i in 0..n {
-        let t = &tokens[i];
-        if t.kind != TokKind::Ident {
-            continue;
-        }
-        let message = if t.text == "Instant" || t.text == "SystemTime" {
-            Some(format!(
-                "`{}` reads the wall clock; result-producing code must be a pure \
-                 function of its inputs (move timing to pandia-obs or the harness)",
-                t.text
-            ))
-        } else if t.text == "thread"
-            && i + 2 < n
-            && tokens[i + 1].is_punct("::")
-            && tokens[i + 2].is_ident("current")
-        {
-            Some("`thread::current()` leaks scheduler state into results".to_string())
-        } else if t.text == "env"
-            && i + 2 < n
-            && tokens[i + 1].is_punct("::")
-            && tokens[i + 2].kind == TokKind::Ident
-            && ENV_READS.contains(&tokens[i + 2].text.as_str())
-        {
-            Some(format!(
-                "`env::{}` makes results depend on ambient process state; read \
-                 configuration in the harness or CLI and pass it down",
-                tokens[i + 2].text
-            ))
-        } else {
-            None
-        };
-        if let Some(message) = message {
-            if !ex.exempts(Rule::D2, t.line) {
-                findings.push(Finding::new(Rule::D2, path, t.line, message));
+    for i in 0..tokens.len() {
+        if let Some(message) = d2_match(tokens, i) {
+            if !ex.exempts(Rule::D2, tokens[i].line) {
+                findings.push(Finding::new(Rule::D2, path, tokens[i].line, message));
             }
         }
     }
+}
+
+/// Whether the token at `i` starts a D2-banned construct; returns the
+/// explanation when it does. Shared with the D3 taint-source detector
+/// in [`crate::graph`].
+pub(crate) fn d2_match(tokens: &[Tok], i: usize) -> Option<String> {
+    let n = tokens.len();
+    let t = &tokens[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    if t.text == "Instant" || t.text == "SystemTime" {
+        return Some(format!(
+            "`{}` reads the wall clock; result-producing code must be a pure \
+             function of its inputs (move timing to pandia-obs or the harness)",
+            t.text
+        ));
+    }
+    if t.text == "thread"
+        && i + 2 < n
+        && tokens[i + 1].is_punct("::")
+        && tokens[i + 2].is_ident("current")
+    {
+        return Some("`thread::current()` leaks scheduler state into results".to_string());
+    }
+    if t.text == "env"
+        && i + 2 < n
+        && tokens[i + 1].is_punct("::")
+        && tokens[i + 2].kind == TokKind::Ident
+        && ENV_READS.contains(&tokens[i + 2].text.as_str())
+    {
+        return Some(format!(
+            "`env::{}` makes results depend on ambient process state; read \
+             configuration in the harness or CLI and pass it down",
+            tokens[i + 2].text
+        ));
+    }
+    None
 }
 
 /// N1: flags NaN-swallowing float comparisons — the
@@ -632,28 +685,282 @@ const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"
 /// deliberately not counted: they document invariants rather than skip
 /// error handling.
 fn rule_p1(tokens: &[Tok]) -> (u32, u32) {
-    let n = tokens.len();
     let mut count = 0u32;
     let mut first_line = 0u32;
-    for i in 0..n {
-        let t = &tokens[i];
-        if t.kind != TokKind::Ident {
-            continue;
-        }
-        let is_site = ((t.text == "unwrap" || t.text == "expect")
-            && i > 0
-            && tokens[i - 1].is_punct(".")
-            && i + 1 < n
-            && tokens[i + 1].is_punct("("))
-            || (PANIC_MACROS.contains(&t.text.as_str())
-                && i + 1 < n
-                && tokens[i + 1].is_punct("!"));
-        if is_site {
+    for i in 0..tokens.len() {
+        if is_p1_site(tokens, i) {
             count += 1;
             if first_line == 0 {
-                first_line = t.line;
+                first_line = tokens[i].line;
             }
         }
     }
     (count, first_line)
+}
+
+/// Whether the token at `i` is a panic-capable call site. Shared with
+/// the H1 hot-path counter in [`crate::graph`].
+pub(crate) fn is_p1_site(tokens: &[Tok], i: usize) -> bool {
+    let n = tokens.len();
+    let t = &tokens[i];
+    if t.kind != TokKind::Ident {
+        return false;
+    }
+    ((t.text == "unwrap" || t.text == "expect")
+        && i > 0
+        && tokens[i - 1].is_punct(".")
+        && i + 1 < n
+        && tokens[i + 1].is_punct("("))
+        || (PANIC_MACROS.contains(&t.text.as_str()) && i + 1 < n && tokens[i + 1].is_punct("!"))
+}
+
+/// Methods that return a lock guard when they end a chain.
+const GUARD_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Chained methods that unwrap a `LockResult` without releasing the
+/// guard. Any *other* method after `.lock()` (a `.get(..)`, `.len()`,
+/// ...) consumes the guard inside the statement, making the binding an
+/// ordinary value whose temporary guard is dropped at the `;`.
+const UNWRAP_ADAPTERS: [&str; 5] =
+    ["unwrap", "expect", "unwrap_or_else", "into_inner", "unwrap_or_default"];
+
+/// C1: a `let` binding that holds a lock guard must not stay live
+/// across a call that spawns or fans out to threads (`parallel_map`,
+/// `.spawn(..)`, `thread::scope(..)`): workers contending on a lock the
+/// coordinator still holds is a deadlock-by-construction pattern, and at
+/// best serializes the fan-out. The guard's liveness ends at an explicit
+/// `drop(guard)` or the close of its enclosing block.
+fn rule_c1(path: &str, tokens: &[Tok], ex: &Exemptions, findings: &mut Vec<Finding>) {
+    let n = tokens.len();
+    let mut i = 0;
+    while i < n {
+        if !tokens[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < n && tokens[j].is_ident("mut") {
+            j += 1;
+        }
+        if j >= n || tokens[j].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = tokens[j].text.clone();
+        // The binding is a guard iff the initializer ends in a
+        // `.lock()`/`.read()`/`.write()` chain followed only by unwrap
+        // adapters (and `?`) before the statement ends.
+        let mut is_guard = false;
+        let mut stmt_end = j + 1;
+        let mut depth = 0usize;
+        let mut k = j + 1;
+        while k < n {
+            let t = &tokens[k];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                if depth == 0 {
+                    stmt_end = k;
+                    break;
+                }
+                depth -= 1;
+            } else if t.is_punct(";") && depth == 0 {
+                stmt_end = k;
+                break;
+            } else if depth == 0
+                && t.is_punct(".")
+                && k + 2 < n
+                && tokens[k + 1].kind == TokKind::Ident
+                && GUARD_METHODS.contains(&tokens[k + 1].text.as_str())
+                && tokens[k + 2].is_punct("(")
+            {
+                // Walk the rest of the chain from after the call's `)`.
+                let mut m = skip_balanced(tokens, k + 2);
+                let mut chain_ok = true;
+                loop {
+                    if m >= n || tokens[m].is_punct(";") {
+                        break;
+                    }
+                    if tokens[m].is_punct("?") {
+                        m += 1;
+                        continue;
+                    }
+                    if tokens[m].is_punct(".")
+                        && m + 2 < n
+                        && tokens[m + 1].kind == TokKind::Ident
+                        && UNWRAP_ADAPTERS.contains(&tokens[m + 1].text.as_str())
+                        && tokens[m + 2].is_punct("(")
+                    {
+                        m = skip_balanced(tokens, m + 2);
+                        continue;
+                    }
+                    chain_ok = false;
+                    break;
+                }
+                if chain_ok {
+                    is_guard = true;
+                    // Keep scanning for the statement end.
+                    k = m;
+                    continue;
+                }
+            }
+            k += 1;
+            stmt_end = k;
+        }
+        if !is_guard {
+            i = j;
+            continue;
+        }
+        // Liveness scan: from the statement end to `drop(name)` or the
+        // close of the enclosing block.
+        let mut depth = 0usize;
+        let mut m = stmt_end + 1;
+        while m < n {
+            let t = &tokens[m];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                if depth == 0 {
+                    break; // guard's scope closed
+                }
+                depth -= 1;
+            } else if t.is_ident("drop")
+                && m + 2 < n
+                && tokens[m + 1].is_punct("(")
+                && tokens[m + 2].is_ident(&name)
+            {
+                break;
+            } else if let Some(what) = c1_spawn_at(tokens, m) {
+                if !ex.exempts(Rule::C1, t.line) {
+                    findings.push(Finding::new(
+                        Rule::C1,
+                        path,
+                        t.line,
+                        format!(
+                            "lock guard `{name}` is still live across {what}; workers \
+                             blocking on a lock the coordinator holds serializes (or \
+                             deadlocks) the fan-out — `drop({name})` first, or narrow \
+                             the guard to its own block"
+                        ),
+                    ));
+                }
+                break; // one finding per guard
+            }
+            m += 1;
+        }
+        i = stmt_end + 1;
+    }
+}
+
+/// Whether the token at `m` begins a thread-spawning call C1 cares
+/// about; returns its display name when it does.
+fn c1_spawn_at(tokens: &[Tok], m: usize) -> Option<&'static str> {
+    let n = tokens.len();
+    let t = &tokens[m];
+    if t.kind != TokKind::Ident || m + 1 >= n {
+        return None;
+    }
+    if t.text == "parallel_map" && tokens[m + 1].is_punct("(") {
+        return Some("`parallel_map(..)`");
+    }
+    if t.text == "spawn" && tokens[m + 1].is_punct("(") {
+        return Some("`spawn(..)`");
+    }
+    if t.text == "thread"
+        && m + 3 < n
+        && tokens[m + 1].is_punct("::")
+        && tokens[m + 2].is_ident("scope")
+        && tokens[m + 3].is_punct("(")
+    {
+        return Some("`thread::scope(..)`");
+    }
+    None
+}
+
+/// For the `(` at index `open`, the index one past its matching `)`
+/// (all bracket kinds counted).
+fn skip_balanced(tokens: &[Tok], open: usize) -> usize {
+    let n = tokens.len();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < n {
+        let t = &tokens[i];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// The one file allowed to define schema version strings.
+pub const SCHEMA_REGISTRY_PATH: &str = "crates/pandia-obs/src/schema.rs";
+
+/// V1: any string literal containing a schema version tag (the
+/// `pandia-<name>-v<N>` shape) outside the registry module is a
+/// drift hazard: two crates "sharing" a format by retyping its tag can
+/// version-skew silently. Tags must be the registry constants from
+/// `pandia_obs::schema` (re-exported at the crate root), interpolated
+/// where needed.
+fn rule_v1(path: &str, tokens: &[Tok], ex: &Exemptions, findings: &mut Vec<Finding>) {
+    if path == SCHEMA_REGISTRY_PATH {
+        return;
+    }
+    for t in tokens {
+        if t.kind != TokKind::Str {
+            continue;
+        }
+        if let Some(tag) = find_schema_tag(&t.text) {
+            if !ex.exempts(Rule::V1, t.line) {
+                findings.push(Finding::new(
+                    Rule::V1,
+                    path,
+                    t.line,
+                    format!(
+                        "schema tag \"{tag}\" is retyped as a literal; use the \
+                         registry constant from pandia_obs::schema ({}) so format \
+                         versions cannot skew between writer and reader",
+                        SCHEMA_REGISTRY_PATH
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Finds a `pandia-<segments>-v<digits>` schema tag as a substring of a
+/// string literal (tags are embedded in larger JSON fragments in some
+/// writers, so whole-string matching is not enough).
+fn find_schema_tag(s: &str) -> Option<String> {
+    let mut search = 0;
+    while let Some(rel) = s[search..].find("pandia-") {
+        let start = search + rel;
+        let mut end = start;
+        for (i, c) in s[start..].char_indices() {
+            if c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' {
+                end = start + i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        let candidate = &s[start..end];
+        // Versioned suffix: a final `-v<digits>` with a nonempty name
+        // between the prefix and the version.
+        if let Some(dash) = candidate.rfind("-v") {
+            let digits = &candidate[dash + 2..];
+            if dash > "pandia-".len()
+                && !digits.is_empty()
+                && digits.chars().all(|c| c.is_ascii_digit())
+            {
+                return Some(candidate.to_string());
+            }
+        }
+        search = end.max(start + 1);
+    }
+    None
 }

@@ -5,12 +5,15 @@
 //!
 //! * **Result-producing crates** (`pandia-sim`, `pandia-core`,
 //!   `pandia-topology`, `pandia-workloads`, `pandia-daemon`): all rules
-//!   (D1, D2, N1, P1, S1, S2).
-//! * **`pandia-harness`**: N1 + P1 + S1 + S2 — its reports feed the
-//!   figures, but it legitimately reads clocks and the environment.
-//! * **`pandia-lint`** and the facade `src/`: P1, S1, and S2.
-//! * **`pandia-obs`**: P1 and S1 only — the recorder *is* the
-//!   sanctioned home for wall-clock reads and raw recorder writes.
+//!   (D1, D2, D3, N1, P1, S1, S2, C1, V1) plus hot-set membership for
+//!   H1/H2.
+//! * **`pandia-harness`**: N1 + P1 + S1 + S2 + C1 + V1 — its reports
+//!   feed the figures, but it legitimately reads clocks and the
+//!   environment (which is exactly why D3 taints calls *into* it).
+//! * **`pandia-lint`** and the facade `src/`: P1, S1, S2, V1.
+//! * **`pandia-obs`**: P1, S1, V1 only — the recorder *is* the
+//!   sanctioned home for wall-clock reads and raw recorder writes, and
+//!   its `schema.rs` is the one file V1 lets define schema tags.
 //! * **Skipped entirely**: `pandia-cli` and `pandia-bench` (bin/bench
 //!   crates may panic on bad input), `src/bin/` subtrees, `tests/`,
 //!   `examples/`, `benches/`, and `vendor/`.
@@ -39,14 +42,33 @@ pub struct LintFile {
 /// the crate is out of scope.
 fn crate_scope(name: &str) -> Option<FileScope> {
     if RESULT_CRATES.contains(&name) {
-        Some(FileScope { d1: true, d2: true, n1: true, p1: true, s1: true, s2: true })
+        Some(FileScope {
+            d1: true,
+            d2: true,
+            n1: true,
+            p1: true,
+            s1: true,
+            s2: true,
+            c1: true,
+            v1: true,
+            d3: true,
+            hot: true,
+        })
     } else if name == "pandia-harness" {
-        Some(FileScope { d1: false, d2: false, n1: true, p1: true, s1: true, s2: true })
+        Some(FileScope {
+            n1: true,
+            p1: true,
+            s1: true,
+            s2: true,
+            c1: true,
+            v1: true,
+            ..FileScope::default()
+        })
     } else if name == "pandia-obs" {
         // The recorder is the sanctioned home for raw writes: no S2.
-        Some(FileScope { d1: false, d2: false, n1: false, p1: true, s1: true, s2: false })
+        Some(FileScope { p1: true, s1: true, v1: true, ..FileScope::default() })
     } else if name == "pandia-lint" {
-        Some(FileScope { d1: false, d2: false, n1: false, p1: true, s1: true, s2: true })
+        Some(FileScope { p1: true, s1: true, s2: true, v1: true, ..FileScope::default() })
     } else {
         None
     }
@@ -80,7 +102,8 @@ pub fn collect(root: &Path) -> Result<Vec<LintFile>, String> {
     // The facade package's own sources (src/lib.rs and friends).
     let facade_src = root.join("src");
     if facade_src.is_dir() {
-        let scope = FileScope { d1: false, d2: false, n1: false, p1: true, s1: true, s2: true };
+        let scope =
+            FileScope { p1: true, s1: true, s2: true, v1: true, ..FileScope::default() };
         walk_sources(&facade_src, root, scope, &mut files)?;
     }
 

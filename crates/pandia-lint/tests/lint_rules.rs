@@ -5,9 +5,19 @@ use pandia_lint::lexer::{lex, TokKind};
 use pandia_lint::report::Rule;
 use pandia_lint::rules::{check_source, FileScope};
 
-/// Scope with every rule on, as in result-producing crates.
-const ALL: FileScope =
-    FileScope { d1: true, d2: true, n1: true, p1: true, s1: true, s2: true };
+/// Scope with every per-file rule on, as in result-producing crates.
+const ALL: FileScope = FileScope {
+    d1: true,
+    d2: true,
+    n1: true,
+    p1: true,
+    s1: true,
+    s2: true,
+    c1: true,
+    v1: true,
+    d3: true,
+    hot: true,
+};
 
 fn findings_of(src: &str, scope: FileScope) -> Vec<(Rule, u32)> {
     check_source("test.rs", src, scope).findings.iter().map(|f| (f.rule, f.line)).collect()
@@ -210,7 +220,7 @@ fn d2_exemption_and_scope() {
     ";
     assert!(findings_of(exempt, ALL).is_empty());
     // Out of scope (e.g. pandia-obs): no D2 findings at all.
-    let scope = FileScope { d1: false, d2: false, n1: false, p1: true, s1: false, s2: false };
+    let scope = FileScope { p1: true, ..FileScope::default() };
     let src = "fn f() { let t0 = std::time::Instant::now(); }";
     assert!(findings_of(src, scope).is_empty());
 }
@@ -483,7 +493,7 @@ fn update_baseline_writes_current_counts() {
     let (outcome, root) = run_in_temp_workspace(src, None, true);
     let new_baseline = outcome.updated_baseline.expect("update requested");
     let parsed = pandia_lint::baseline::parse(&new_baseline).expect("regenerated parses");
-    assert_eq!(parsed.get("crates/pandia-sim/src/lib.rs"), Some(&1));
+    assert_eq!(parsed.p1.get("crates/pandia-sim/src/lib.rs"), Some(&1));
     std::fs::remove_dir_all(root).ok();
 }
 
@@ -497,7 +507,7 @@ fn json_output_is_escaped_and_schema_tagged() {
         ..Default::default()
     };
     let json = full.render_json();
-    assert!(json.starts_with("{\"schema\":\"pandia-lint-v1\""));
+    assert!(json.starts_with("{\"schema\":\"pandia-lint-v2\""));
     assert!(json.contains("\\\"quotes\\\""), "path quotes must be escaped: {json}");
     assert!(json.contains("\"rule\":\"D1\""));
 }

@@ -41,13 +41,15 @@
 //! ```
 
 mod recorder;
+pub mod schema;
 mod sink;
 
 pub use recorder::{
     ArgValue, Counter, HistogramSnapshot, MetricsSnapshot, Recorder, Span, SpanEvent, Track,
     HISTOGRAM_BUCKET_BOUNDS,
 };
-pub use sink::{EventsStream, EVENTS_SCHEMA, METRICS_SCHEMA, SNAPSHOT_SCHEMA, TRACE_SCHEMA};
+pub use schema::{EVENTS_SCHEMA, METRICS_SCHEMA, SNAPSHOT_SCHEMA, TRACE_SCHEMA};
+pub use sink::EventsStream;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

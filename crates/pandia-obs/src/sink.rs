@@ -5,17 +5,7 @@
 //! any JSON parser accept.
 
 use crate::recorder::{ArgValue, Recorder, Track, HISTOGRAM_BUCKET_BOUNDS};
-
-/// Schema tag written into every trace file's `otherData`.
-pub const TRACE_SCHEMA: &str = "pandia-trace-v1";
-/// Schema tag written into the first line of every metrics JSONL file.
-pub const METRICS_SCHEMA: &str = "pandia-metrics-v1";
-/// Schema tag written into the first line of every events JSONL file.
-pub const EVENTS_SCHEMA: &str = "pandia-events-v1";
-/// Schema tag carried by every periodic metrics-snapshot JSONL line
-/// (each heartbeat line is self-describing, so a stream can be tailed
-/// from any point).
-pub const SNAPSHOT_SCHEMA: &str = "pandia-metrics-snapshot-v1";
+use crate::schema::{EVENTS_SCHEMA, METRICS_SCHEMA, TRACE_SCHEMA};
 
 /// Chrome trace-event `pid` used for wall-clock spans.
 const PID_WALL: u32 = 1;
@@ -241,7 +231,8 @@ impl Recorder {
     }
 
     /// Renders the live registry state as a JSON *fragment* (no
-    /// surrounding braces) for embedding into a [`SNAPSHOT_SCHEMA`]
+    /// surrounding braces) for embedding into a
+    /// [`SNAPSHOT_SCHEMA`](crate::schema::SNAPSHOT_SCHEMA)
     /// heartbeat line: every counter and gauge by name, each histogram's
     /// count plus estimated p50/p99 (see
     /// [`HistogramSnapshot::quantile`](crate::HistogramSnapshot::quantile)
@@ -388,6 +379,7 @@ impl EventsStream {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schema::SNAPSHOT_SCHEMA;
     use crate::recorder::Recorder;
     use serde::Value;
 

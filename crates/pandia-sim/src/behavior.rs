@@ -239,6 +239,7 @@ impl Behavior {
             (self.growth_per_thread, "growth"),
         ] {
             if v < 0.0 || !v.is_finite() {
+                // lint: allow(H2): error path — the message is only built when validation fails
                 return Err(format!("{}: {what} demand must be non-negative", self.name));
             }
         }

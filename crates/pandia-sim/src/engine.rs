@@ -363,6 +363,7 @@ fn run_multi_impl(
                 group: g,
                 core: spec.core_of_ctx(ctx),
                 socket,
+                // lint: allow(H2): one-time entity construction per run, not per step
                 behavior: behavior.clone(),
                 dram_split: dram_split(policy, spec, socket, &threads_per_socket, n_threads),
                 private_work: if is_active { static_share } else { 0.0 },
@@ -657,6 +658,7 @@ fn run_multi_impl(
             // Relaxation rounds: lock queueing + communication latency feed
             // back into intrinsic rates.
             let mut round_rates: Vec<f64> = runnable.iter().map(|&i| prev_rates[i]).collect();
+            // lint: allow(H2): Vec::new allocates nothing; the buffer is local to the segment
             let mut last_loads: Vec<f64> = Vec::new();
             for _ in 0..config.relaxation_rounds {
                 // Per-group lock utilization from the latest rates.
@@ -752,6 +754,7 @@ fn run_multi_impl(
             };
 
             CachedSegment {
+                // lint: allow(H2): the cache entry must own its key
                 key: seg_key.clone(),
                 rates,
                 group_rate,
@@ -820,6 +823,7 @@ fn run_multi_impl(
             trace.segments.push(TraceSegment {
                 start: elapsed,
                 dt,
+                // lint: allow(H2): opt-in trace path only; no allocation when tracing is off
                 group_rates: seg.group_rate.clone(),
                 hottest: seg.hottest,
                 runnable: runnable.len(),

@@ -285,6 +285,7 @@ impl IncrementalSolver {
             dst.demands.extend_from_slice(&src.demands);
         }
         for src in &entities[keep..] {
+            // lint: allow(H2): clones only the entities beyond the memoized prefix
             st.entities.push(src.clone());
         }
         fill_pristine(

@@ -150,6 +150,7 @@ impl SimMachine {
         for job in &req.jobs {
             if job.workload.requires_avx && !self.spec.has_avx {
                 return Err(PlatformError::Unsupported {
+                    // lint: allow(H2): error path — the message is only built on rejection
                     reason: format!(
                         "{} requires AVX, which {} does not implement",
                         job.workload.name, self.spec.name

@@ -185,6 +185,7 @@ impl PlacementEnumerator {
             if remaining != usize::MAX && used + opt_total > remaining {
                 continue;
             }
+            // lint: allow(H2): one-shot enumeration emits owned rows
             current.push(opt.clone());
             self.gen_rec(i, remaining, current, emit);
             current.pop();

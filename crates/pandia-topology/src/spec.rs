@@ -235,13 +235,13 @@ impl MachineSpec {
             "SMT burst-collision cost must be in [0, 2]",
         )?;
         for (v, what) in [
-            (self.l1_bw_per_core, "L1 bandwidth"),
-            (self.l2_bw_per_core, "L2 bandwidth"),
-            (self.l3_bw_per_link, "L3 link bandwidth"),
-            (self.l3_bw_aggregate, "L3 aggregate bandwidth"),
-            (self.dram_bw_per_socket, "DRAM bandwidth"),
+            (self.l1_bw_per_core, "L1 bandwidth must be positive and finite"),
+            (self.l2_bw_per_core, "L2 bandwidth must be positive and finite"),
+            (self.l3_bw_per_link, "L3 link bandwidth must be positive and finite"),
+            (self.l3_bw_aggregate, "L3 aggregate bandwidth must be positive and finite"),
+            (self.dram_bw_per_socket, "DRAM bandwidth must be positive and finite"),
         ] {
-            check(v > 0.0 && v.is_finite(), &format!("{what} must be positive and finite"))?;
+            check(v > 0.0 && v.is_finite(), what)?;
         }
         check(
             self.sockets == 1 || self.interconnect_bw_per_link > 0.0,
