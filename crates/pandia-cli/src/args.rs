@@ -43,8 +43,12 @@ commands:
   submit <log> <job> <class> [-n MACHINES]
                                    append a submission to a daemon event
                                    log and show where it lands
-  status <log> [-n MACHINES]       replay a daemon event log and show
-                                   job/queue/fleet status
+  status <log> [-n MACHINES] [--high-water N]
+                                   replay a daemon event log and show
+                                   job/queue/fleet status; exits 0 when
+                                   healthy, 1 when degraded (overload
+                                   mode; --high-water bounds the replay
+                                   queue), 2 when the log is unreachable
   drain <log> [-n MACHINES]        complete every live job in the log
                                    (appends the completion events)
   help                             show this message
@@ -253,12 +257,20 @@ pub enum Command {
         /// Synthetic fleet size used to replay the log.
         machines: usize,
     },
-    /// `pandiactl status <log> [-n MACHINES]`
+    /// `pandiactl status <log> [-n MACHINES] [--high-water N]`
+    ///
+    /// Exits 0 when the replayed daemon is healthy, 1 when it is in
+    /// degraded (overload) mode, and 2 when the log is unreachable —
+    /// missing, unreadable, or corrupt.
     Status {
         /// Event log path.
         log: String,
         /// Synthetic fleet size used to replay the log.
         machines: usize,
+        /// Optional queue high-water mark for the replay: engages
+        /// overload shedding/degraded mode so health is judged under a
+        /// bounded policy (`None` = unbounded, never degraded).
+        high_water: Option<usize>,
     },
     /// `pandiactl drain <log> [-n MACHINES]`
     Drain {
@@ -365,7 +377,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "status" => {
             let (positional, options) = split_options(&rest)?;
             let [log] = positional_exactly::<1>(&positional, "status <log>")?;
-            Ok(Command::Status { log, machines: machines_option(&options)? })
+            let high_water = match option_value(&options, "--high-water")? {
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("invalid high-water mark '{v}' (expected >= 1)"))?,
+                ),
+                None => None,
+            };
+            Ok(Command::Status { log, machines: machines_option(&options)?, high_water })
         }
         "drain" => {
             let (positional, options) = split_options(&rest)?;
@@ -609,8 +630,13 @@ mod tests {
         );
         assert_eq!(
             parse(&argv("status d.jsonl -n 2")).unwrap(),
-            Command::Status { log: "d.jsonl".into(), machines: 2 }
+            Command::Status { log: "d.jsonl".into(), machines: 2, high_water: None }
         );
+        assert_eq!(
+            parse(&argv("status d.jsonl --high-water 8")).unwrap(),
+            Command::Status { log: "d.jsonl".into(), machines: 4, high_water: Some(8) }
+        );
+        assert!(parse(&argv("status d.jsonl --high-water 0")).is_err());
         assert_eq!(
             parse(&argv("drain d.jsonl")).unwrap(),
             Command::Drain { log: "d.jsonl".into(), machines: 4 }

@@ -1,5 +1,6 @@
 //! Command implementations for the `pandia` CLI.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use pandia_core::{
@@ -62,17 +63,20 @@ fn note_wrote(path: &str, quiet: bool) {
 ///
 /// `quiet` silences the stderr progress notes (sweep timings, cache
 /// stats, "wrote ..." lines); stdout results are unaffected.
+///
+/// Returns the process exit code. Every command exits 0 on success;
+/// `status` additionally encodes daemon health (see [`Command::Status`]).
 pub fn run(
     command: Command,
     exec: &ExecContext,
     quiet: bool,
     opts: ProfileOpts,
-) -> Result<(), Box<dyn std::error::Error>> {
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let _span = pandia_obs::span("cli", "run").arg("command", command_name(&command));
     match command {
         Command::Help => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Machines => {
             println!("{:<22} {:>8} {:>12} {:>10} {:>9} {:>6}", "machine", "sockets", "cores/socket", "threads", "adaptive", "AVX");
@@ -87,7 +91,7 @@ pub fn run(
                     if spec.has_avx { "yes" } else { "no" },
                 );
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Workloads => {
             println!("{:<11} {:<10} {:<12} description", "workload", "suite", "set");
@@ -100,7 +104,7 @@ pub fn run(
                     w.description
                 );
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Describe { machine, output } => {
             let (_, description) = machine_context(&machine, opts)?;
@@ -109,7 +113,7 @@ pub fn run(
                 std::fs::write(&path, description.to_json()?)?;
                 note_wrote(&path, quiet);
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Profile { machine, workload, output } => {
             let (mut platform, description) = machine_context(&machine, opts)?;
@@ -146,7 +150,7 @@ pub fn run(
                 std::fs::write(&path, d.to_json()?)?;
                 note_wrote(&path, quiet);
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Predict { machine, workload, placement } => {
             let (mut platform, description) = machine_context(&machine, opts)?;
@@ -172,7 +176,7 @@ pub fn run(
             } else {
                 println!("bottlenecks: {}", bottlenecks.into_iter().collect::<Vec<_>>().join(", "));
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Best { machine, workload, tolerance } => {
             let (mut platform, description) = machine_context(&machine, opts)?;
@@ -207,7 +211,7 @@ pub fn run(
                 ),
                 None => println!("no smaller placement stays within the tolerance"),
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Plan { machine, workload, target } => {
             let (mut platform, description) = machine_context(&machine, opts)?;
@@ -243,7 +247,7 @@ pub fn run(
                 ),
                 None => println!("target is NOT achievable on this machine"),
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Explore { machine, workload } => {
             let ctx = MachineContext::by_name(&machine)?;
@@ -260,7 +264,7 @@ pub fn run(
                 stats.median_error_pct,
                 metrics::best_placement_gap(&curve)
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::CoSchedule { machine, first, second } => {
             let (mut platform, description) = machine_context(&machine, opts)?;
@@ -283,11 +287,11 @@ pub fn run(
                     p.predicted_time
                 );
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Submit { log, job, class, machines } => {
             let mut events = read_event_log(&log)?;
-            events.push(pandia_daemon::Event::Submit { job: job.clone(), class });
+            events.push(pandia_daemon::Event::Submit { job: job.clone(), class, priority: 0 });
             let daemon = replay(&events, machines, exec)?;
             std::fs::write(&log, pandia_daemon::render_log(&events))?;
             note_wrote(&log, quiet);
@@ -297,13 +301,34 @@ pub fn run(
             for line in daemon.transcript().lines().filter(|l| l.starts_with(&marker)) {
                 println!("{line}");
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        Command::Status { log, machines } => {
-            let events = read_event_log(&log)?;
-            let daemon = replay(&events, machines, exec)?;
+        Command::Status { log, machines, high_water } => {
+            // Exit-code contract (scriptable health checks):
+            //   0 = healthy, 1 = degraded (overload mode engaged),
+            //   2 = unreachable (log missing, unreadable, or corrupt).
+            let queue = match high_water {
+                Some(mark) => pandia_daemon::QueuePolicy {
+                    high_water: mark,
+                    ..pandia_daemon::QueuePolicy::default()
+                },
+                None => pandia_daemon::QueuePolicy::default(),
+            };
+            let replayed = std::fs::read_to_string(&log)
+                .map_err(|e| e.to_string())
+                .and_then(|text| pandia_daemon::parse_log(&text).map_err(|e| e.to_string()))
+                .and_then(|events| {
+                    replay_with(&events, machines, exec, queue).map_err(|e| e.to_string())
+                });
+            let daemon = match replayed {
+                Ok(daemon) => daemon,
+                Err(e) => {
+                    eprintln!("status: daemon log '{log}' unreachable: {e}");
+                    return Ok(ExitCode::from(2));
+                }
+            };
             print!("{}", daemon.status_report());
-            Ok(())
+            Ok(ExitCode::from(daemon.health()))
         }
         Command::Drain { log, machines } => {
             let mut events = read_event_log(&log)?;
@@ -321,7 +346,7 @@ pub fn run(
                 "drained: {} completed, {} failed, {} retries",
                 audit.completed, audit.failed, audit.retries
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
     }
 }
@@ -341,9 +366,23 @@ fn replay(
     machines: usize,
     exec: &ExecContext,
 ) -> Result<pandia_daemon::Daemon, Box<dyn std::error::Error>> {
+    replay_with(events, machines, exec, pandia_daemon::QueuePolicy::default())
+}
+
+/// [`replay`] under an explicit queue policy (used by `status
+/// --high-water` to judge health under a bounded queue).
+fn replay_with(
+    events: &[pandia_daemon::Event],
+    machines: usize,
+    exec: &ExecContext,
+    queue: pandia_daemon::QueuePolicy,
+) -> Result<pandia_daemon::Daemon, Box<dyn std::error::Error>> {
     let preset = pandia_daemon::synthetic(machines);
-    let config =
-        pandia_daemon::DaemonConfig { exec: exec.clone(), ..pandia_daemon::DaemonConfig::default() };
+    let config = pandia_daemon::DaemonConfig {
+        exec: exec.clone(),
+        queue,
+        ..pandia_daemon::DaemonConfig::default()
+    };
     let mut daemon = pandia_daemon::Daemon::new(preset.machines, preset.catalog, config)?;
     daemon.run(events)?;
     Ok(daemon)

@@ -71,7 +71,7 @@ fn main() -> ExitCode {
         Ok(command) => match std::panic::catch_unwind(|| {
             commands::run(command, &exec, quiet, opts)
         }) {
-            Ok(Ok(())) => ExitCode::SUCCESS,
+            Ok(Ok(code)) => code,
             Ok(Err(e)) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE

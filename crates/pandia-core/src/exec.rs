@@ -28,7 +28,7 @@
 //! the sweep-invariant inputs once, then extend the fingerprint with
 //! each placement's context list per call.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -106,6 +106,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently stored.
     pub entries: usize,
+    /// Entries evicted to stay under the capacity bound.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -125,38 +127,85 @@ impl CacheStats {
 /// be reduced with a mask.
 const SHARD_COUNT: usize = 16;
 
-/// A sharded, thread-safe memo table from prediction fingerprints to
-/// prediction results.
+/// Default total entry budget across all shards. Generous enough that
+/// the committed sweeps never evict, small enough that a long-lived
+/// daemon's prediction memory stays bounded.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
+
+/// One memoized prediction vector plus its last-touched stamp (for LRU
+/// victim selection).
+#[derive(Debug)]
+struct CacheEntry {
+    predictions: Vec<Prediction>,
+    stamp: u64,
+}
+
+/// A sharded, thread-safe, bounded memo table from prediction
+/// fingerprints to prediction results.
 ///
 /// Values are stored as `Vec<Prediction>` so single-workload predictions
 /// (length 1) and joint co-schedule predictions (one per job) share one
 /// table. Sharding keeps lock contention negligible when many workers
 /// look up predictions concurrently.
+///
+/// Each shard holds at most `capacity / SHARD_COUNT` entries; inserting
+/// past that bound evicts the least-recently-used entry in the shard
+/// (counted in [`CacheStats::evictions`] and the `cache.evictions`
+/// telemetry counter). Eviction only ever discards memoized work — the
+/// cache is a pure memo, so results are bit-identical at any capacity.
+/// Shards are `BTreeMap`s so the eviction scan iterates in deterministic
+/// key order (ties on the stamp cannot introduce nondeterminism).
 #[derive(Debug)]
 pub struct PredictionCache {
-    shards: [Mutex<HashMap<u128, Vec<Prediction>>>; SHARD_COUNT],
+    shards: [Mutex<BTreeMap<u128, CacheEntry>>; SHARD_COUNT],
+    /// Per-shard entry budget.
+    shard_capacity: usize,
+    /// Monotonic recency clock shared by all shards.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl PredictionCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity bound.
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Creates an empty cache bounded to roughly `capacity` total
+    /// entries (rounded up to a multiple of the shard count).
+    pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            shard_capacity: capacity.div_ceil(SHARD_COUNT).max(1),
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: u128) -> &Mutex<HashMap<u128, Vec<Prediction>>> {
+    /// The total entry budget across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * SHARD_COUNT
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<BTreeMap<u128, CacheEntry>> {
         &self.shards[(key as usize) & (SHARD_COUNT - 1)]
     }
 
     /// Looks a key up, counting the hit or miss (both locally and, when
-    /// telemetry is on, in the global metrics registry).
+    /// telemetry is on, in the global metrics registry). A hit refreshes
+    /// the entry's recency stamp.
     pub fn lookup(&self, key: u128) -> Option<Vec<Prediction>> {
-        let found = self.shard(key).lock().unwrap_or_else(PoisonError::into_inner).get(&key).cloned();
+        let found = {
+            let mut shard = self.shard(key).lock().unwrap_or_else(PoisonError::into_inner);
+            shard.get_mut(&key).map(|entry| {
+                entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                entry.predictions.clone()
+            })
+        };
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             pandia_obs::count("predict.cache.hits", 1);
@@ -167,9 +216,23 @@ impl PredictionCache {
         found
     }
 
-    /// Stores predictions under a key.
+    /// Stores predictions under a key, evicting the shard's
+    /// least-recently-used entry first when the shard is full.
     pub fn store(&self, key: u128, predictions: Vec<Prediction>) {
-        self.shard(key).lock().unwrap_or_else(PoisonError::into_inner).insert(key, predictions);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock().unwrap_or_else(PoisonError::into_inner);
+        if shard.len() >= self.shard_capacity && !shard.contains_key(&key) {
+            // LRU victim: smallest stamp; BTreeMap order breaks ties
+            // deterministically.
+            if let Some(victim) =
+                shard.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k)
+            {
+                shard.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                pandia_obs::count("cache.evictions", 1);
+            }
+        }
+        shard.insert(key, CacheEntry { predictions, stamp });
     }
 
     /// Number of stored entries.
@@ -185,12 +248,13 @@ impl PredictionCache {
         self.len() == 0
     }
 
-    /// Current hit/miss counters and size.
+    /// Current hit/miss/eviction counters and size.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -241,6 +305,14 @@ impl ExecContext {
     /// Enables (fresh cache) or disables memoization.
     pub fn with_cache(mut self, enabled: bool) -> Self {
         self.cache = if enabled { Some(Arc::new(PredictionCache::new())) } else { None };
+        self
+    }
+
+    /// Replaces the cache with a fresh one bounded to roughly
+    /// `capacity` entries. Eviction discards memoized work only, never
+    /// answers — results are bit-identical at any capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = Some(Arc::new(PredictionCache::with_capacity(capacity)));
         self
     }
 
@@ -550,6 +622,32 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.entries, 1);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        // Capacity SHARD_COUNT = one entry per shard; keys 0, 16, 32
+        // all land in shard 0.
+        let cache = PredictionCache::with_capacity(SHARD_COUNT);
+        assert_eq!(cache.capacity(), SHARD_COUNT);
+        cache.store(0, Vec::new());
+        cache.store(16, Vec::new());
+        assert!(cache.lookup(0).is_none(), "oldest entry must be evicted");
+        assert!(cache.lookup(16).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+
+        // Two entries per shard: a lookup refreshes recency, so the
+        // *unrefreshed* entry is the victim.
+        let cache = PredictionCache::with_capacity(2 * SHARD_COUNT);
+        cache.store(0, Vec::new());
+        cache.store(16, Vec::new());
+        assert!(cache.lookup(0).is_some()); // refresh key 0
+        cache.store(32, Vec::new()); // evicts key 16, not 0
+        assert!(cache.lookup(0).is_some());
+        assert!(cache.lookup(16).is_none());
+        assert!(cache.lookup(32).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

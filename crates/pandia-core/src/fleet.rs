@@ -235,6 +235,82 @@ pub struct FleetStats {
     /// Machine co-schedules answered from the resident-set memo instead
     /// of being recomputed.
     pub resolves_skipped: u64,
+    /// Memo entries evicted to stay under the capacity bound.
+    pub memo_evictions: u64,
+}
+
+/// Default entry budget for the class-set memo. Each entry holds one
+/// machine co-schedule; a long-lived daemon over a churning class mix
+/// would otherwise grow the memo without bound.
+pub const DEFAULT_MEMO_CAPACITY: usize = 512;
+
+/// One memoized machine co-schedule plus its last-touched stamp.
+#[derive(Debug)]
+struct MemoEntry {
+    schedule: CoSchedule,
+    stamp: u64,
+}
+
+/// A bounded LRU memo of machine co-schedules keyed by
+/// `(machine, resident class set)`. Eviction discards memoized work
+/// only — [`CoScheduler`] is pure, so a re-solve after eviction is
+/// bit-identical to the evicted answer.
+#[derive(Debug)]
+struct SolveMemo {
+    entries: BTreeMap<SolveKey, MemoEntry>,
+    /// Monotonic recency clock.
+    tick: u64,
+    capacity: usize,
+}
+
+impl SolveMemo {
+    fn new(capacity: usize) -> Self {
+        Self { entries: BTreeMap::new(), tick: 0, capacity: capacity.max(1) }
+    }
+
+    /// Recalls a memoized schedule, refreshing its recency stamp.
+    fn get(&mut self, key: &SolveKey) -> Option<&CoSchedule> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|entry| {
+            entry.stamp = tick;
+            &entry.schedule
+        })
+    }
+
+    /// Inserts a schedule, evicting least-recently-used entries while
+    /// over capacity. Returns how many entries were evicted.
+    fn insert(&mut self, key: SolveKey, schedule: CoSchedule) -> u64 {
+        self.tick += 1;
+        self.entries.insert(key, MemoEntry { schedule, stamp: self.tick });
+        self.evict_to(self.capacity)
+    }
+
+    /// Shrinks (or grows) the capacity bound, evicting down to it.
+    /// Returns how many entries were evicted.
+    fn set_capacity(&mut self, capacity: usize) -> u64 {
+        self.capacity = capacity.max(1);
+        self.evict_to(self.capacity)
+    }
+
+    /// Evicts LRU entries until at most `cap` remain. BTreeMap order
+    /// breaks stamp ties deterministically.
+    fn evict_to(&mut self, cap: usize) -> u64 {
+        let mut evicted = 0;
+        while self.entries.len() > cap {
+            let Some(victim) =
+                self.entries.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.entries.remove(&victim);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            pandia_obs::count("fleet.memo_evictions", evicted);
+        }
+        evicted
+    }
 }
 
 /// The placement an [`IncrementalFleet::admit`] call decided on.
@@ -296,7 +372,7 @@ pub struct IncrementalFleet {
     residents: Vec<Vec<usize>>,
     /// The current co-schedule per machine (`None` when idle).
     current: Vec<Option<CoSchedule>>,
-    cache: BTreeMap<SolveKey, CoSchedule>,
+    memo: SolveMemo,
     stats: FleetStats,
 }
 
@@ -319,9 +395,32 @@ impl IncrementalFleet {
             jobs: Vec::new(),
             residents: vec![Vec::new(); n],
             current: vec![None; n],
-            cache: BTreeMap::new(),
+            memo: SolveMemo::new(DEFAULT_MEMO_CAPACITY),
             stats: FleetStats::default(),
         })
+    }
+
+    /// Sets the memo's entry budget (minimum 1), evicting down to it.
+    pub fn with_memo_capacity(mut self, capacity: usize) -> Self {
+        self.set_memo_capacity(capacity);
+        self
+    }
+
+    /// Re-bounds the memo at runtime (the daemon's degraded mode halves
+    /// it under overload), evicting least-recently-used entries down to
+    /// the new bound.
+    pub fn set_memo_capacity(&mut self, capacity: usize) {
+        self.stats.memo_evictions += self.memo.set_capacity(capacity);
+    }
+
+    /// The memo's current entry budget.
+    pub fn memo_capacity(&self) -> usize {
+        self.memo.capacity
+    }
+
+    /// Number of entries currently memoized.
+    pub fn memo_len(&self) -> usize {
+        self.memo.entries.len()
     }
 
     /// Sets the execution context used for co-schedule searches. Results
@@ -369,7 +468,7 @@ impl IncrementalFleet {
     /// after a reprofile invalidates what the fleet believed about a
     /// machine's residents.
     pub fn invalidate_machine(&mut self, machine_index: usize) {
-        self.cache.retain(|(m, _), _| *m != machine_index);
+        self.memo.entries.retain(|(m, _), _| *m != machine_index);
         pandia_obs::count("fleet.invalidations", 1);
     }
 
@@ -382,13 +481,13 @@ impl IncrementalFleet {
         machine: &MachineDescription,
         exec: &ExecContext,
         incremental: bool,
-        cache: &mut BTreeMap<SolveKey, CoSchedule>,
+        memo: &mut SolveMemo,
         stats: &mut FleetStats,
         key: Vec<String>,
         descs: &[&WorkloadDescription],
     ) -> Result<CoSchedule, PandiaError> {
         if incremental {
-            if let Some(hit) = cache.get(&(machine_index, key.clone())) {
+            if let Some(hit) = memo.get(&(machine_index, key.clone())) {
                 stats.resolves_skipped += 1;
                 pandia_obs::count("fleet.resolves_skipped", 1);
                 return Ok(hit.clone());
@@ -404,7 +503,7 @@ impl IncrementalFleet {
         stats.resolves += 1;
         pandia_obs::count("fleet.resolves", 1);
         if incremental {
-            cache.insert((machine_index, key), schedule.clone());
+            stats.memo_evictions += memo.insert((machine_index, key), schedule.clone());
         }
         Ok(schedule)
     }
@@ -450,7 +549,7 @@ impl IncrementalFleet {
                 &self.machines[m],
                 &self.exec,
                 self.incremental,
-                &mut self.cache,
+                &mut self.memo,
                 &mut self.stats,
                 key,
                 &descs,
@@ -501,7 +600,7 @@ impl IncrementalFleet {
                 &self.machines[m],
                 &self.exec,
                 self.incremental,
-                &mut self.cache,
+                &mut self.memo,
                 &mut self.stats,
                 key,
                 &descs,
@@ -536,6 +635,58 @@ impl IncrementalFleet {
         self.current[m] = Some(schedule);
         self.refresh()?;
         Ok(Some(admission))
+    }
+
+    /// Rebuilds an empty fleet from checkpointed live jobs.
+    ///
+    /// `live` lists the surviving jobs **in their original slot order**
+    /// (which is also per-machine arrival order) as
+    /// `(name, class, machine_index, descriptions)`. Jobs are re-seated
+    /// compactly — slot ids restart at 0 — and every occupied machine is
+    /// re-solved fresh, so the resulting schedules are bit-identical to
+    /// the pre-crash fleet ([`CoScheduler`] is a pure function of the
+    /// resident descriptions) while solve *counters* restart. Returns
+    /// the new slot id of each job, in input order.
+    pub fn restore_jobs(
+        &mut self,
+        live: Vec<(String, String, usize, Vec<WorkloadDescription>)>,
+    ) -> Result<Vec<usize>, PandiaError> {
+        if !self.jobs.is_empty() {
+            return Err(PandiaError::Mismatch {
+                reason: "restore_jobs requires an empty fleet".into(),
+            });
+        }
+        let mut slots = Vec::with_capacity(live.len());
+        for (name, class, machine, descriptions) in live {
+            if machine >= self.machines.len() {
+                return Err(PandiaError::Mismatch {
+                    reason: format!(
+                        "restored job '{name}' names machine {machine} of {}",
+                        self.machines.len()
+                    ),
+                });
+            }
+            if descriptions.len() != self.machines.len() {
+                return Err(PandiaError::Mismatch {
+                    reason: format!(
+                        "restored job '{name}' carries {} descriptions for {} machines",
+                        descriptions.len(),
+                        self.machines.len()
+                    ),
+                });
+            }
+            if self.residents[machine].len() >= MAX_JOBS_PER_MACHINE {
+                return Err(PandiaError::Mismatch {
+                    reason: format!("restored machine {machine} is over-assigned"),
+                });
+            }
+            let slot = self.jobs.len();
+            self.jobs.push(Some(FleetJob { name, class, descriptions, machine }));
+            self.residents[machine].push(slot);
+            slots.push(slot);
+        }
+        self.refresh()?;
+        Ok(slots)
     }
 
     /// Removes a job (completion or failure), re-solving only its
@@ -778,6 +929,82 @@ mod tests {
         let after = fleet.stats();
         assert!(after.resolves > before.resolves, "no fresh solve after invalidation");
         let _ = s0;
+    }
+
+    #[test]
+    fn memo_capacity_is_enforced_and_counted() {
+        // Capacity 1: every distinct resident class set displaces the
+        // previous memo entry, so repeated admissions of *alternating*
+        // classes never hit the memo while a stable class set would.
+        let mut fleet = IncrementalFleet::new(vec![small_machine()])
+            .unwrap()
+            .with_memo_capacity(1);
+        assert_eq!(fleet.memo_capacity(), 1);
+        let a = job("a", 4.0, 1.0, 60.0);
+        let b = job("b", 2.0, 3.0, 80.0);
+        let s0 = fleet.admit("j0", "a", everywhere(&a, 1)).unwrap().unwrap();
+        let s1 = fleet.admit("j1", "b", everywhere(&b, 1)).unwrap().unwrap();
+        // {a} then {a,b}: the second solve evicts the first.
+        assert_eq!(fleet.memo_len(), 1);
+        assert!(fleet.stats().memo_evictions >= 1, "{:?}", fleet.stats());
+        fleet.depart(s1.slot).unwrap();
+        fleet.depart(s0.slot).unwrap();
+
+        // Shrinking capacity evicts down immediately and counts it.
+        let mut wide = IncrementalFleet::new(vec![small_machine(), big_machine()])
+            .unwrap()
+            .with_memo_capacity(8);
+        let _ = wide.admit("j0", "a", everywhere(&a, 2)).unwrap().unwrap();
+        let _ = wide.admit("j1", "b", everywhere(&b, 2)).unwrap().unwrap();
+        let before = wide.stats().memo_evictions;
+        let len = wide.memo_len();
+        assert!(len >= 2, "expected at least two memo entries, got {len}");
+        wide.set_memo_capacity(1);
+        assert_eq!(wide.memo_len(), 1);
+        assert_eq!(wide.stats().memo_evictions, before + (len as u64 - 1));
+    }
+
+    #[test]
+    fn restore_rebuilds_bit_identical_schedules() {
+        let machines = vec![small_machine(), big_machine()];
+        let classes =
+            [job("heavy", 6.0, 1.0, 400.0), job("light", 6.0, 1.0, 50.0)];
+        let mut fleet = IncrementalFleet::new(machines.clone()).unwrap();
+        let mut live: Vec<(usize, String, String)> = Vec::new();
+        for step in 0..6usize {
+            let class = &classes[step % classes.len()];
+            let name = format!("j{step}");
+            let a = fleet
+                .admit(&name, &class.name, everywhere(class, 2))
+                .unwrap()
+                .expect("capacity available");
+            live.push((a.slot, name, class.name.clone()));
+        }
+        // Drop the middle two so restored slots must compact.
+        for (slot, _, _) in live.drain(2..4) {
+            fleet.depart(slot).unwrap();
+        }
+        let want = fleet.schedule().unwrap();
+
+        let mut restored = IncrementalFleet::new(machines.clone()).unwrap();
+        let payload: Vec<_> = live
+            .iter()
+            .map(|(slot, name, class)| {
+                let desc = classes.iter().find(|c| &c.name == class).unwrap();
+                (
+                    name.clone(),
+                    class.clone(),
+                    fleet.job_machine(*slot).unwrap(),
+                    everywhere(desc, 2),
+                )
+            })
+            .collect();
+        let slots = restored.restore_jobs(payload).unwrap();
+        assert_eq!(slots, vec![0, 1, 2, 3], "restored slots must compact");
+        assert_schedules_bits_eq(&want, &restored.schedule().unwrap());
+
+        // A second restore on a non-empty fleet is rejected.
+        assert!(restored.restore_jobs(Vec::new()).is_err());
     }
 
     #[test]

@@ -48,9 +48,13 @@ pub mod workload_desc;
 pub use coschedule::{CoSchedule, CoScheduler, JobAssignment, Objective};
 pub use description::MachineDescription;
 pub use error::PandiaError;
-pub use exec::{CacheStats, ExecContext, JointSession, PredictSession, PredictionCache};
+pub use exec::{
+    CacheStats, ExecContext, JointSession, PredictSession, PredictionCache,
+    DEFAULT_CACHE_CAPACITY,
+};
 pub use fleet::{
     Admission, FleetAssignment, FleetSchedule, FleetScheduler, FleetStats, IncrementalFleet,
+    DEFAULT_MEMO_CAPACITY,
 };
 pub use machine_gen::{describe_machine, MachineDescriptionGenerator, MachineGenConfig};
 pub use online::{DriftPolicy, OnlineConfig, OnlineController, OnlineReport};

@@ -25,13 +25,34 @@
 //!   --metrics-interval N  emit a pandia-metrics-snapshot-v1 heartbeat
 //!                         every N events (plus one final snapshot)
 //!   --snapshots-out FILE  append heartbeats to FILE (default: stderr)
+//!
+//! Durability and overload control:
+//!
+//!   --journal FILE        write-ahead journal: every event is appended
+//!                         (and batch-fsync'd) before it is applied
+//!   --journal-sync N      fsync the journal every N records (default 16)
+//!   --checkpoint FILE     write pandia-checkpoint-v1 state snapshots
+//!                         (atomic tmp+rename)
+//!   --checkpoint-interval N  checkpoint every N events (default 64)
+//!   --recover             restore from --checkpoint + --journal tail,
+//!                         then continue the stream from where it left off
+//!   --crash-at N          abort() just after journaling event N — the
+//!                         deterministic SIGKILL for recovery tests
+//!   --queue-depth N       admission control: reject submissions once N
+//!                         jobs are queued
+//!   --high-water N        shed down to N queued jobs; crossing N enters
+//!                         degraded mode (memo capacity halves)
+//!   --deadline N          shed queued jobs waiting more than N events
+//!   --backoff-base N      first faulted-retry delay, in events (default 1)
+//!   --backoff-cap N       max backoff delay, in events (default 8)
 //! ```
 
 use std::process::ExitCode;
 
 use pandia_core::{DriftPolicy, ExecContext};
 use pandia_daemon::{
-    generate_events, parse_log, presets, Daemon, DaemonConfig, FleetPreset,
+    generate_events, parse_journal, parse_log, presets, write_checkpoint, Daemon, DaemonConfig,
+    FleetPreset, Journal, QueuePolicy, RetryPolicy,
 };
 use pandia_sim::FaultPlan;
 
@@ -56,6 +77,17 @@ struct Options {
     events_out: Option<String>,
     metrics_interval: Option<usize>,
     snapshots_out: Option<String>,
+    journal: Option<String>,
+    journal_sync: usize,
+    checkpoint: Option<String>,
+    checkpoint_interval: usize,
+    recover: bool,
+    crash_at: Option<usize>,
+    queue_depth: Option<usize>,
+    high_water: Option<usize>,
+    deadline: Option<u64>,
+    backoff_base: Option<u64>,
+    backoff_cap: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -79,6 +111,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         events_out: None,
         metrics_interval: None,
         snapshots_out: None,
+        journal: None,
+        journal_sync: 16,
+        checkpoint: None,
+        checkpoint_interval: 64,
+        recover: false,
+        crash_at: None,
+        queue_depth: None,
+        high_water: None,
+        deadline: None,
+        backoff_base: None,
+        backoff_cap: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -177,6 +220,68 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.snapshots_out = Some(value(args, i, "--snapshots-out")?);
                 i += 2;
             }
+            "--journal" => {
+                opts.journal = Some(value(args, i, "--journal")?);
+                i += 2;
+            }
+            "--journal-sync" => {
+                let v = value(args, i, "--journal-sync")?;
+                opts.journal_sync =
+                    v.parse().map_err(|_| format!("bad --journal-sync '{v}'"))?;
+                i += 2;
+            }
+            "--checkpoint" => {
+                opts.checkpoint = Some(value(args, i, "--checkpoint")?);
+                i += 2;
+            }
+            "--checkpoint-interval" => {
+                let v = value(args, i, "--checkpoint-interval")?;
+                let n: usize =
+                    v.parse().map_err(|_| format!("bad --checkpoint-interval '{v}'"))?;
+                if n == 0 {
+                    return Err("--checkpoint-interval must be at least 1".into());
+                }
+                opts.checkpoint_interval = n;
+                i += 2;
+            }
+            "--recover" => {
+                opts.recover = true;
+                i += 1;
+            }
+            "--crash-at" => {
+                let v = value(args, i, "--crash-at")?;
+                opts.crash_at = Some(v.parse().map_err(|_| format!("bad --crash-at '{v}'"))?);
+                i += 2;
+            }
+            "--queue-depth" => {
+                let v = value(args, i, "--queue-depth")?;
+                opts.queue_depth =
+                    Some(v.parse().map_err(|_| format!("bad --queue-depth '{v}'"))?);
+                i += 2;
+            }
+            "--high-water" => {
+                let v = value(args, i, "--high-water")?;
+                opts.high_water =
+                    Some(v.parse().map_err(|_| format!("bad --high-water '{v}'"))?);
+                i += 2;
+            }
+            "--deadline" => {
+                let v = value(args, i, "--deadline")?;
+                opts.deadline = Some(v.parse().map_err(|_| format!("bad --deadline '{v}'"))?);
+                i += 2;
+            }
+            "--backoff-base" => {
+                let v = value(args, i, "--backoff-base")?;
+                opts.backoff_base =
+                    Some(v.parse().map_err(|_| format!("bad --backoff-base '{v}'"))?);
+                i += 2;
+            }
+            "--backoff-cap" => {
+                let v = value(args, i, "--backoff-cap")?;
+                opts.backoff_cap =
+                    Some(v.parse().map_err(|_| format!("bad --backoff-cap '{v}'"))?);
+                i += 2;
+            }
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -263,6 +368,21 @@ fn run(opts: &Options) -> Result<(), String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
 
+    let mut queue = QueuePolicy::default();
+    if let Some(depth) = opts.queue_depth {
+        queue.max_depth = depth;
+    }
+    if let Some(high) = opts.high_water {
+        queue.high_water = high;
+    }
+    queue.deadline = opts.deadline;
+    let mut retry = RetryPolicy::default();
+    if let Some(base) = opts.backoff_base {
+        retry.backoff_base = base;
+    }
+    if let Some(cap) = opts.backoff_cap {
+        retry.backoff_cap = cap;
+    }
     let config = DaemonConfig {
         seed: opts.seed,
         faults: if opts.faults > 0.0 {
@@ -274,12 +394,96 @@ fn run(opts: &Options) -> Result<(), String> {
         drift: if opts.drift { DriftPolicy::reactive() } else { DriftPolicy::default() },
         incremental: !opts.batch,
         exec: ExecContext::new(opts.jobs),
+        queue,
+        retry,
+        ..DaemonConfig::default()
     };
-    let mut daemon =
-        Daemon::new(preset.machines, preset.catalog, config).map_err(|e| format!("{e:?}"))?;
 
-    for (i, event) in events.iter().enumerate() {
+    // Recovery: newest checkpoint (if any), then the journal tail past
+    // it, then the rest of the driving stream. The daemon's determinism
+    // makes the journal tail and the stream interchangeable for the
+    // events both carry — replay simply starts from the restored clock.
+    let mut daemon = match (opts.recover, &opts.checkpoint) {
+        (true, Some(path)) if std::path::Path::new(path).exists() => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read --checkpoint {path}: {e}"))?;
+            Daemon::restore(preset.machines, preset.catalog, config, &text)
+                .map_err(|e| format!("restore {path}: {e:?}"))?
+        }
+        _ => Daemon::new(preset.machines, preset.catalog, config)
+            .map_err(|e| format!("{e:?}"))?,
+    };
+    if opts.recover {
+        if let Some(path) = &opts.journal {
+            if std::path::Path::new(path).exists() {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read --journal {path}: {e}"))?;
+                for (seq, event) in
+                    parse_journal(&text).map_err(|e| format!("journal {path}: {e:?}"))?
+                {
+                    if seq < daemon.clock() {
+                        continue; // already covered by the checkpoint
+                    }
+                    if seq != daemon.clock() {
+                        return Err(format!(
+                            "journal {path}: tail starts at seq {seq}, daemon clock is {}",
+                            daemon.clock()
+                        ));
+                    }
+                    daemon.apply(&event).map_err(|e| format!("journal seq {seq}: {e:?}"))?;
+                }
+            }
+        }
+    }
+
+    // (Re)create the journal after recovery: the old journal's work is
+    // folded into the fresh checkpoint below, so the new journal starts
+    // clean rather than appending past a possibly-torn tail.
+    let mut journal = match &opts.journal {
+        Some(path) => Some(
+            Journal::create(std::path::Path::new(path), opts.journal_sync)
+                .map_err(|e| format!("cannot create --journal {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let take_checkpoint = |daemon: &mut Daemon| -> Result<(), String> {
+        if let Some(path) = &opts.checkpoint {
+            let seq = daemon.clock();
+            write_checkpoint(std::path::Path::new(path), &daemon.checkpoint())
+                .map_err(|e| format!("cannot write --checkpoint {path}: {e}"))?;
+            daemon.note_checkpoint(seq);
+        }
+        Ok(())
+    };
+    if opts.recover {
+        take_checkpoint(&mut daemon)?;
+    }
+
+    let start = daemon.clock() as usize;
+    if start > events.len() {
+        return Err(format!(
+            "recovered clock {start} is past the {}-event stream — wrong --replay file?",
+            events.len()
+        ));
+    }
+    for (i, event) in events.iter().enumerate().skip(start) {
+        if let Some(journal) = journal.as_mut() {
+            journal
+                .append(daemon.clock(), event)
+                .map_err(|e| format!("journal append: {e}"))?;
+        }
+        if opts.crash_at == Some(i) {
+            // The deterministic SIGKILL: skip Drop handlers and exit
+            // without syncing, exactly like a kill -9 after the
+            // write-ahead append. Recovery must reach the same state the
+            // uninterrupted run does.
+            eprintln!("pandiad: --crash-at {i}: aborting");
+            std::process::abort();
+        }
         daemon.apply(event).map_err(|e| format!("event {i}: {e:?}"))?;
+        if daemon.clock() % opts.checkpoint_interval as u64 == 0 {
+            take_checkpoint(&mut daemon)?;
+        }
         if let (Some(stream), Some(recorder)) = (stream.as_mut(), pandia_obs::global()) {
             stream.poll(recorder).map_err(|e| format!("--events-out: {e}"))?;
         }
@@ -289,6 +493,10 @@ fn run(opts: &Options) -> Result<(), String> {
             }
         }
     }
+    if let Some(journal) = journal.as_mut() {
+        journal.sync().map_err(|e| format!("journal sync: {e}"))?;
+    }
+    take_checkpoint(&mut daemon)?;
     // A final heartbeat so short streams (fewer events than the
     // interval) still produce at least one snapshot.
     if let Some(sink) = snapshots.as_mut() {
@@ -301,7 +509,7 @@ fn run(opts: &Options) -> Result<(), String> {
         let stats = daemon.fleet_stats();
         println!(
             "audit: events={} submitted={} placed={} completed={} failed={} retries={} \
-             faulted={} reprofiles={}",
+             faulted={} reprofiles={} rejected={} shed={}",
             audit.events,
             audit.submitted,
             audit.placed,
@@ -309,7 +517,9 @@ fn run(opts: &Options) -> Result<(), String> {
             audit.failed,
             audit.retries,
             audit.faulted,
-            audit.reprofiles
+            audit.reprofiles,
+            audit.rejected,
+            audit.shed
         );
         println!(
             "fleet: resolves={} skipped={} ({:.1}% skipped)",

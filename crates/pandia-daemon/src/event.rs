@@ -28,6 +28,10 @@ pub enum Event {
         job: String,
         /// Workload class (catalog key).
         class: String,
+        /// Shedding priority: higher survives longer under overload.
+        /// Zero (the default, omitted from the log) marks best-effort
+        /// work that load shedding drops first.
+        priority: u8,
     },
     /// A job finished. `elapsed` optionally reports the observed logical
     /// runtime, which feeds drift detection when it disagrees with the
@@ -63,12 +67,22 @@ impl Event {
     /// Renders the event as one JSONL line (no trailing newline).
     pub fn render(&self) -> String {
         match self {
-            Event::Submit { job, class } => {
-                format!(
-                    "{{\"event\":\"submit\",\"job\":{},\"class\":{}}}",
-                    json_string(job),
-                    json_string(class)
-                )
+            Event::Submit { job, class, priority } => {
+                // Priority 0 is omitted so logs written before the field
+                // existed render (and re-render) byte-identically.
+                if *priority == 0 {
+                    format!(
+                        "{{\"event\":\"submit\",\"job\":{},\"class\":{}}}",
+                        json_string(job),
+                        json_string(class)
+                    )
+                } else {
+                    format!(
+                        "{{\"event\":\"submit\",\"job\":{},\"class\":{},\"priority\":{priority}}}",
+                        json_string(job),
+                        json_string(class)
+                    )
+                }
             }
             Event::Complete { job, elapsed } => match elapsed {
                 Some(t) => format!(
@@ -90,7 +104,7 @@ impl Event {
 
 /// JSON string escaping for the tiny subset of strings job names and
 /// classes use (quotes, backslashes, control characters).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -133,18 +147,52 @@ pub fn render_log(events: &[Event]) -> String {
 }
 
 /// Looks up a member of a JSON object value by key.
-fn field<'a>(value: &'a serde_json::Value, key: &str) -> Option<&'a serde_json::Value> {
+pub(crate) fn field<'a>(value: &'a serde_json::Value, key: &str) -> Option<&'a serde_json::Value> {
     value.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
 /// A string field of a JSON object, or an error naming what was wrong.
-fn str_field(value: &serde_json::Value, key: &str, line: usize) -> Result<String, PandiaError> {
+pub(crate) fn str_field(value: &serde_json::Value, key: &str, line: usize) -> Result<String, PandiaError> {
     field(value, key)
         .and_then(|v| v.as_str())
         .map(|s| s.to_string())
         .ok_or_else(|| PandiaError::Serde {
             message: format!("event log line {line}: missing string field '{key}'"),
         })
+}
+
+/// Parses one already-decoded event object (`{"event":...}`); `line` is
+/// the 1-based source line for diagnostics. Shared by the event-log
+/// parser and the write-ahead journal, whose records embed the same
+/// object shape.
+pub(crate) fn parse_event(value: &serde_json::Value, line: usize) -> Result<Event, PandiaError> {
+    let kind = str_field(value, "event", line)?;
+    match kind.as_str() {
+        "submit" => Ok(Event::Submit {
+            job: str_field(value, "job", line)?,
+            class: str_field(value, "class", line)?,
+            priority: match field(value, "priority") {
+                None => 0,
+                Some(v) => v
+                    .as_u64()
+                    .filter(|p| *p <= u8::MAX as u64)
+                    .ok_or_else(|| PandiaError::Serde {
+                        message: format!(
+                            "event log line {line}: 'priority' must be an integer in 0..=255"
+                        ),
+                    })? as u8,
+            },
+        }),
+        "complete" => Ok(Event::Complete {
+            job: str_field(value, "job", line)?,
+            elapsed: field(value, "elapsed").and_then(|v| v.as_f64()),
+        }),
+        "fail" => Ok(Event::Fail { job: str_field(value, "job", line)? }),
+        "query" => Ok(Event::Query),
+        other => Err(PandiaError::Serde {
+            message: format!("event log line {line}: unknown event '{other}'"),
+        }),
+    }
 }
 
 /// Parses an event log rendered by [`render_log`]. The first line must
@@ -173,25 +221,7 @@ pub fn parse_log(text: &str) -> Result<Vec<Event>, PandiaError> {
             saw_schema = true;
             continue;
         }
-        let kind = str_field(&value, "event", i + 1)?;
-        let event = match kind.as_str() {
-            "submit" => Event::Submit {
-                job: str_field(&value, "job", i + 1)?,
-                class: str_field(&value, "class", i + 1)?,
-            },
-            "complete" => Event::Complete {
-                job: str_field(&value, "job", i + 1)?,
-                elapsed: field(&value, "elapsed").and_then(|v| v.as_f64()),
-            },
-            "fail" => Event::Fail { job: str_field(&value, "job", i + 1)? },
-            "query" => Event::Query,
-            other => {
-                return Err(PandiaError::Serde {
-                    message: format!("event log line {}: unknown event '{other}'", i + 1),
-                })
-            }
-        };
-        events.push(event);
+        events.push(parse_event(&value, i + 1)?);
     }
     if !saw_schema {
         return Err(PandiaError::Serde { message: "event log is empty (no schema line)".into() });
@@ -206,17 +236,32 @@ mod tests {
     #[test]
     fn log_round_trips_through_render_and_parse() {
         let events = vec![
-            Event::Submit { job: "j0".into(), class: "EP".into() },
+            Event::Submit { job: "j0".into(), class: "EP".into(), priority: 0 },
             Event::Complete { job: "j0".into(), elapsed: Some(123.5) },
-            Event::Submit { job: "j\"1".into(), class: "CG".into() },
+            Event::Submit { job: "j\"1".into(), class: "CG".into(), priority: 3 },
             Event::Fail { job: "j\"1".into() },
             Event::Complete { job: "j\"1".into(), elapsed: None },
             Event::Query,
         ];
         let text = render_log(&events);
         assert!(text.starts_with("{\"schema\":\"pandia-eventlog-v1\"}\n"));
+        assert!(
+            text.contains("\"job\":\"j0\",\"class\":\"EP\"}"),
+            "priority 0 must stay off the wire: {text}"
+        );
+        assert!(text.contains("\"priority\":3"), "{text}");
         let parsed = parse_log(&text).unwrap();
         assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn out_of_range_priority_is_rejected() {
+        let log = "{\"schema\":\"pandia-eventlog-v1\"}\n\
+                   {\"event\":\"submit\",\"job\":\"a\",\"class\":\"c\",\"priority\":256}\n";
+        assert!(parse_log(log).is_err());
+        let neg = "{\"schema\":\"pandia-eventlog-v1\"}\n\
+                   {\"event\":\"submit\",\"job\":\"a\",\"class\":\"c\",\"priority\":-1}\n";
+        assert!(parse_log(neg).is_err());
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub enum JobStatus {
     Completed,
     /// Exhausted its attempt budget.
     Failed,
+    /// Never admitted: the submission queue was full, or load shedding
+    /// dropped it before placement. Terminal, like `Failed`, but
+    /// distinguishable so callers can resubmit rather than debug.
+    Rejected,
 }
 
 impl JobStatus {
@@ -27,6 +31,19 @@ impl JobStatus {
             JobStatus::Running => "running",
             JobStatus::Completed => "completed",
             JobStatus::Failed => "failed",
+            JobStatus::Rejected => "rejected",
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag), for checkpoint parsing.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "queued" => Some(JobStatus::Queued),
+            "running" => Some(JobStatus::Running),
+            "completed" => Some(JobStatus::Completed),
+            "failed" => Some(JobStatus::Failed),
+            "rejected" => Some(JobStatus::Rejected),
+            _ => None,
         }
     }
 }
@@ -49,6 +66,14 @@ pub struct JobRecord {
     pub machine: Option<usize>,
     /// Predicted completion time at the most recent placement.
     pub predicted_time: Option<f64>,
+    /// Shedding priority from the submit event (higher survives longer).
+    pub priority: u8,
+    /// Logical clock at which the job last entered the queue (submission
+    /// or backoff re-queue); deadline shedding measures waiting from here.
+    pub enqueued_at: u64,
+    /// Earliest logical clock at which a backoff-delayed retry may be
+    /// dispatched. Zero means immediately eligible.
+    pub not_before: u64,
 }
 
 impl JobRecord {
@@ -62,6 +87,9 @@ impl JobRecord {
             slot: None,
             machine: None,
             predicted_time: None,
+            priority: 0,
+            enqueued_at: 0,
+            not_before: 0,
         }
     }
 

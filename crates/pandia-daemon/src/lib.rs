@@ -25,15 +25,26 @@
 //! The `pandiad` binary replays or generates a stream and emits the
 //! transcript plus optional telemetry (`--trace-out`, `--metrics-out`,
 //! and live `--events-out` span streaming).
+//!
+//! The daemon is crash-safe and overload-safe: a write-ahead [`Journal`]
+//! plus periodic checkpoints ([`Daemon::checkpoint`] /
+//! [`Daemon::restore`], schemas `pandia-journal-v1` /
+//! `pandia-checkpoint-v1`) let a killed `pandiad` restart into a
+//! byte-identical state, while [`QueuePolicy`] bounds the submission
+//! queue (explicit rejections, deadline and overflow shedding, degraded
+//! mode halving the fleet memo) and [`RetryPolicy`] spreads faulted
+//! placements over capped exponential backoff in event time.
 
 pub mod event;
 pub mod job;
+pub mod journal;
 pub mod presets;
 pub mod service;
 pub mod stream;
 
 pub use event::{parse_log, render_log, Event, EVENTLOG_SCHEMA};
 pub use job::{JobRecord, JobStatus};
+pub use journal::{parse_journal, write_checkpoint, Journal, CHECKPOINT_SCHEMA, JOURNAL_SCHEMA};
 pub use presets::{profiled, synthetic, synthetic_small, FleetPreset, SYNTHETIC_CLASSES};
-pub use service::{ClassCatalog, Daemon, DaemonAudit, DaemonConfig};
-pub use stream::generate_events;
+pub use service::{ClassCatalog, Daemon, DaemonAudit, DaemonConfig, QueuePolicy, RetryPolicy};
+pub use stream::{generate_events, generate_events_with_rate};

@@ -31,6 +31,64 @@ use crate::job::{JobRecord, JobStatus};
 /// incremental scheduler answer repeated resident sets from its memo.
 pub type ClassCatalog = BTreeMap<String, Vec<WorkloadDescription>>;
 
+/// Admission-control and load-shedding policy for the submission queue.
+///
+/// The defaults are fully permissive (unbounded queue, no deadline, no
+/// high-water mark), which reproduces the pre-policy daemon byte for
+/// byte — overload protection is strictly opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuePolicy {
+    /// Maximum queued (not running) jobs; submissions beyond this are
+    /// rejected at the door with an explicit `rejected` transition.
+    pub max_depth: usize,
+    /// Queue depth above which (a) overflow shedding drops the
+    /// lowest-priority queued jobs back down to the mark and (b) the
+    /// daemon enters degraded mode, halving the fleet memo capacity.
+    pub high_water: usize,
+    /// Maximum logical-clock ticks a job may wait in the queue before
+    /// deadline shedding drops it. `None` disables deadline shedding.
+    pub deadline: Option<u64>,
+}
+
+impl Default for QueuePolicy {
+    fn default() -> Self {
+        Self { max_depth: usize::MAX, high_water: usize::MAX, deadline: None }
+    }
+}
+
+/// Capped exponential backoff for faulted placements, measured in
+/// logical event time: attempt `k` (1-based) waits
+/// `min(cap, base << (k-1))` ticks (at least 1) before redispatch.
+/// Replaces the old same-event "retry storm", which burned the whole
+/// attempt budget inside a single fault burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-retry delay in events.
+    pub backoff_base: u64,
+    /// Upper bound on any single delay, in events.
+    pub backoff_cap: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { backoff_base: 1, backoff_cap: 8 }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before redispatching attempt `attempt` (1-based), in events.
+    /// Deterministic — the backoff schedule is a pure function of the
+    /// attempt number, so journal replay reproduces it bit for bit.
+    pub fn delay(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(63);
+        self.backoff_base
+            .checked_shl(shift)
+            .unwrap_or(self.backoff_cap)
+            .min(self.backoff_cap)
+            .max(1)
+    }
+}
+
 /// Tunables for a daemon instance.
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
@@ -47,6 +105,12 @@ pub struct DaemonConfig {
     pub incremental: bool,
     /// Execution context for co-schedule searches.
     pub exec: ExecContext,
+    /// Admission control and load shedding.
+    pub queue: QueuePolicy,
+    /// Backoff schedule for faulted placements.
+    pub retry: RetryPolicy,
+    /// Fleet solve-memo capacity (halved while degraded).
+    pub memo_capacity: usize,
 }
 
 impl Default for DaemonConfig {
@@ -58,6 +122,9 @@ impl Default for DaemonConfig {
             drift: DriftPolicy::default(),
             incremental: true,
             exec: ExecContext::serial(),
+            queue: QueuePolicy::default(),
+            retry: RetryPolicy::default(),
+            memo_capacity: pandia_core::DEFAULT_MEMO_CAPACITY,
         }
     }
 }
@@ -82,6 +149,10 @@ pub struct DaemonAudit {
     pub faulted: u64,
     /// Machine reprofiles triggered by drift detection.
     pub reprofiles: u64,
+    /// Submissions refused at the door (queue at `max_depth`).
+    pub rejected: u64,
+    /// Queued jobs dropped by deadline or overflow shedding.
+    pub shed: u64,
 }
 
 /// `pandiad`: the event-driven placement service.
@@ -98,6 +169,8 @@ pub struct Daemon {
     clock: u64,
     drift_streak: Vec<usize>,
     reprofiles_done: usize,
+    degraded: bool,
+    last_checkpoint: Option<u64>,
 }
 
 /// A uniform draw in `[0, 1)` from a splitmix64 hash of the seed, the
@@ -138,7 +211,8 @@ impl Daemon {
         }
         let fleet = IncrementalFleet::new(machines)?
             .with_exec(config.exec.clone())
-            .with_incremental(config.incremental);
+            .with_incremental(config.incremental)
+            .with_memo_capacity(config.memo_capacity);
         Ok(Self {
             config,
             fleet,
@@ -151,6 +225,8 @@ impl Daemon {
             clock: 0,
             drift_streak: vec![0; n],
             reprofiles_done: 0,
+            degraded: false,
+            last_checkpoint: None,
         })
     }
 
@@ -185,6 +261,43 @@ impl Daemon {
         self.fleet.active_jobs()
     }
 
+    /// The logical clock: how many events have been applied.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Whether the daemon is in degraded (overload) mode.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Sequence number of the most recent checkpoint, if any was taken.
+    pub fn last_checkpoint_seq(&self) -> Option<u64> {
+        self.last_checkpoint
+    }
+
+    /// Records that a checkpoint covering everything up to `seq` was
+    /// durably written (the driver owns the file I/O).
+    pub fn note_checkpoint(&mut self, seq: u64) {
+        self.last_checkpoint = Some(seq);
+    }
+
+    /// Live entry count of the fleet's solve memo.
+    pub fn memo_len(&self) -> usize {
+        self.fleet.memo_len()
+    }
+
+    /// Current capacity of the fleet's solve memo (halved while
+    /// degraded).
+    pub fn memo_capacity(&self) -> usize {
+        self.fleet.memo_capacity()
+    }
+
+    /// Lifecycle state of a job by name, if the daemon has seen it.
+    pub fn job_status(&self, name: &str) -> Option<JobStatus> {
+        self.index.get(name).map(|&id| self.jobs[id].status)
+    }
+
     /// Renders one `pandia-metrics-snapshot-v1` heartbeat line (no
     /// trailing newline): the daemon's own state — logical clock, queue
     /// depth, running jobs, audit counts, fleet skip ratio — which is
@@ -202,6 +315,8 @@ impl Daemon {
         let mut line = format!(
             "{{\"schema\":\"{}\",\"clock\":{},\"events\":{},\"queued\":{},\"running\":{},\
              \"completed\":{},\"failed\":{},\"retries\":{},\"faulted\":{},\
+             \"rejected\":{},\"shed\":{},\"degraded\":{},\
+             \"memo_len\":{},\"memo_capacity\":{},\"last_checkpoint_seq\":{},\
              \"fleet_resolves\":{},\"fleet_skip_ratio\":{:.6}",
             pandia_obs::SNAPSHOT_SCHEMA,
             self.clock,
@@ -212,6 +327,15 @@ impl Daemon {
             self.audit.failed,
             self.audit.retries,
             self.audit.faulted,
+            self.audit.rejected,
+            self.audit.shed,
+            u8::from(self.degraded),
+            self.fleet.memo_len(),
+            self.fleet.memo_capacity(),
+            match self.last_checkpoint {
+                Some(seq) => seq as i64,
+                None => -1,
+            },
             stats.resolves,
             skip_ratio,
         );
@@ -236,11 +360,19 @@ impl Daemon {
         pandia_obs::count("daemon.events", 1);
         self.audit.events += 1;
         match event {
-            Event::Submit { job, class } => self.on_submit(job, class)?,
+            Event::Submit { job, class, priority } => self.on_submit(job, class, *priority)?,
             Event::Complete { job, elapsed } => self.on_complete(job, *elapsed)?,
             Event::Fail { job } => self.on_fail(job)?,
             Event::Query => self.on_query()?,
         }
+        // A per-event dispatch pass so backoff-delayed jobs whose
+        // `not_before` just expired get retried even when the event
+        // itself (e.g. a query) moved no fleet state. Without backoff in
+        // play this is a no-op: jobs only wait in the queue while the
+        // fleet is out of capacity.
+        self.dispatch()?;
+        self.update_overload_mode();
+        self.shed()?;
         pandia_obs::gauge("daemon.queue_depth", self.queue.len() as f64);
         pandia_obs::gauge("daemon.running", self.fleet.active_jobs() as f64);
         self.clock += 1;
@@ -255,7 +387,7 @@ impl Daemon {
         Ok(())
     }
 
-    fn on_submit(&mut self, job: &str, class: &str) -> Result<(), PandiaError> {
+    fn on_submit(&mut self, job: &str, class: &str, priority: u8) -> Result<(), PandiaError> {
         if self.index.contains_key(job) {
             return Err(PandiaError::Mismatch {
                 reason: format!("duplicate submission of job '{job}'"),
@@ -267,7 +399,26 @@ impl Daemon {
             });
         }
         let id = self.jobs.len();
-        self.jobs.push(JobRecord::new(job, class));
+        let mut record = JobRecord::new(job, class);
+        record.priority = priority;
+        record.enqueued_at = self.clock;
+        // Admission control: a full queue rejects at the door. The job is
+        // still recorded (terminal `Rejected`) so the audit trail accounts
+        // for it and later complete/fail events degrade to no-ops instead
+        // of unknown-job errors.
+        if self.queue.len() >= self.config.queue.max_depth {
+            record.status = JobStatus::Rejected;
+            let depth = self.queue.len();
+            self.jobs.push(record);
+            self.index.insert(job.to_string(), id);
+            pandia_obs::count("daemon.rejected", 1);
+            self.audit.rejected += 1;
+            self.say(&format!(
+                "reject {job} class={class} reason=queue_full depth={depth} -> rejected"
+            ));
+            return Ok(());
+        }
+        self.jobs.push(record);
         self.index.insert(job.to_string(), id);
         self.queue.push_back(id);
         pandia_obs::count("daemon.submitted", 1);
@@ -325,6 +476,7 @@ impl Daemon {
                     ));
                 } else {
                     self.jobs[id].status = JobStatus::Queued;
+                    self.jobs[id].enqueued_at = self.clock;
                     self.queue.push_back(id);
                     pandia_obs::count("daemon.retries", 1);
                     self.audit.retries += 1;
@@ -362,67 +514,157 @@ impl Daemon {
         Ok(())
     }
 
-    /// Places queued jobs (FIFO) while the fleet has capacity, drawing a
-    /// fault per placement attempt. A faulted placement departs
-    /// immediately and retries within the same event until it lands or
-    /// the attempt budget runs out — the deterministic "retry storm".
+    /// Places queued jobs (FIFO among the eligible) while the fleet has
+    /// capacity, drawing a fault per placement attempt. A faulted
+    /// placement departs immediately and re-queues at the back under the
+    /// [`RetryPolicy`]'s capped exponential backoff — the job becomes
+    /// eligible again only once the logical clock reaches its
+    /// `not_before`, so one fault burst no longer burns the whole
+    /// attempt budget within a single event ("retry storm"). Jobs still
+    /// inside their backoff window are scanned past, not reordered.
     fn dispatch(&mut self) -> Result<(), PandiaError> {
-        while let Some(&id) = self.queue.front() {
+        let mut scan = 0;
+        while scan < self.queue.len() {
             if !self.fleet.has_capacity() {
                 break;
+            }
+            let id = self.queue[scan];
+            if self.jobs[id].not_before > self.clock {
+                scan += 1;
+                continue;
             }
             let name = self.jobs[id].name.clone();
             let class = self.jobs[id].class.clone();
             let descs = self.catalog.get(&class).cloned().ok_or_else(|| {
                 PandiaError::Mismatch { reason: format!("class '{class}' left the catalog") }
             })?;
-            let mut landed = false;
-            while self.jobs[id].attempts < self.config.max_attempts {
-                let Some(admission) = self.fleet.admit(&name, &class, descs.clone())? else {
-                    // Lost capacity mid-retry; leave the job queued.
-                    return Ok(());
-                };
-                self.jobs[id].attempts += 1;
-                let roll = fault_roll(self.config.seed, &name, self.jobs[id].attempts);
-                if roll < self.config.faults.transient_rate {
-                    self.fleet.depart(admission.slot)?;
-                    pandia_obs::count("daemon.faulted", 1);
-                    self.audit.faulted += 1;
+            let Some(admission) = self.fleet.admit(&name, &class, descs)? else {
+                // Capacity raced away between the check and the admit;
+                // leave the queue as it stands.
+                break;
+            };
+            self.jobs[id].attempts += 1;
+            let roll = fault_roll(self.config.seed, &name, self.jobs[id].attempts);
+            if roll < self.config.faults.transient_rate {
+                self.fleet.depart(admission.slot)?;
+                pandia_obs::count("daemon.faulted", 1);
+                self.audit.faulted += 1;
+                self.queue.remove(scan);
+                if self.jobs[id].attempts >= self.config.max_attempts {
+                    self.jobs[id].status = JobStatus::Failed;
+                    pandia_obs::count("daemon.failed", 1);
+                    self.audit.failed += 1;
                     self.say(&format!(
-                        "fault {name} attempt={} machine={} -> retry",
+                        "fail {name} after {} faulted attempts -> failed",
+                        self.jobs[id].attempts
+                    ));
+                } else {
+                    let delay = self.config.retry.delay(self.jobs[id].attempts);
+                    self.jobs[id].not_before = self.clock + delay;
+                    self.jobs[id].enqueued_at = self.clock;
+                    self.queue.push_back(id);
+                    pandia_obs::count("daemon.retries", 1);
+                    self.audit.retries += 1;
+                    self.say(&format!(
+                        "fault {name} attempt={} machine={} backoff={delay} -> queued",
                         self.jobs[id].attempts, admission.machine
                     ));
-                    if self.jobs[id].attempts < self.config.max_attempts {
-                        pandia_obs::count("daemon.retries", 1);
-                        self.audit.retries += 1;
-                    }
-                    continue;
                 }
-                self.jobs[id].status = JobStatus::Running;
-                self.jobs[id].slot = Some(admission.slot);
-                self.jobs[id].machine = Some(admission.machine_index);
-                self.jobs[id].predicted_time = Some(admission.predicted_time);
-                pandia_obs::count("daemon.placed", 1);
-                self.audit.placed += 1;
-                self.say(&format!(
-                    "place {name} machine={} threads={} predicted={:.6} -> running",
-                    admission.machine, admission.n_threads, admission.predicted_time
-                ));
-                landed = true;
-                break;
+                continue;
             }
-            self.queue.pop_front();
-            if !landed {
-                self.jobs[id].status = JobStatus::Failed;
-                pandia_obs::count("daemon.failed", 1);
-                self.audit.failed += 1;
-                self.say(&format!(
-                    "fail {name} after {} faulted attempts -> failed",
-                    self.jobs[id].attempts
-                ));
-            }
+            self.jobs[id].status = JobStatus::Running;
+            self.jobs[id].slot = Some(admission.slot);
+            self.jobs[id].machine = Some(admission.machine_index);
+            self.jobs[id].predicted_time = Some(admission.predicted_time);
+            pandia_obs::count("daemon.placed", 1);
+            self.audit.placed += 1;
+            self.say(&format!(
+                "place {name} machine={} threads={} predicted={:.6} -> running",
+                admission.machine, admission.n_threads, admission.predicted_time
+            ));
+            self.queue.remove(scan);
         }
         Ok(())
+    }
+
+    /// Degraded-mode hysteresis: entering overload (queue depth above the
+    /// high-water mark) halves the fleet solve-memo capacity so memory
+    /// shrinks exactly when the machine is busiest; recovery (depth back
+    /// at or below half the mark) restores it. Transitions are logged so
+    /// transcripts pin when the daemon changed shape.
+    fn update_overload_mode(&mut self) {
+        let high = self.config.queue.high_water;
+        if high == usize::MAX {
+            return;
+        }
+        let depth = self.queue.len();
+        if !self.degraded && depth > high {
+            self.degraded = true;
+            let halved = (self.config.memo_capacity / 2).max(1);
+            self.fleet.set_memo_capacity(halved);
+            pandia_obs::count("daemon.degraded_entries", 1);
+            self.say(&format!(
+                "degrade queue={depth} high_water={high} memo_capacity={halved}"
+            ));
+        } else if self.degraded && depth <= high / 2 {
+            self.degraded = false;
+            let full = self.config.memo_capacity;
+            self.fleet.set_memo_capacity(full);
+            self.say(&format!(
+                "restore queue={depth} high_water={high} memo_capacity={full}"
+            ));
+        }
+    }
+
+    /// Load shedding, run after every event: first drop queued jobs whose
+    /// waiting time exceeded the deadline, then — while the queue is
+    /// still above the high-water mark — drop the lowest-priority queued
+    /// job (oldest first, then lowest id, so the victim is deterministic).
+    /// Running jobs are never candidates: only queue members are scanned,
+    /// and by construction those hold no fleet slot.
+    fn shed(&mut self) -> Result<(), PandiaError> {
+        if let Some(deadline) = self.config.queue.deadline {
+            let clock = self.clock;
+            let expired: Vec<usize> = self
+                .queue
+                .iter()
+                .copied()
+                .filter(|&id| clock.saturating_sub(self.jobs[id].enqueued_at) > deadline)
+                .collect();
+            for id in expired {
+                let waited = clock.saturating_sub(self.jobs[id].enqueued_at);
+                self.shed_job(id, &format!("reason=deadline waited={waited}"));
+            }
+        }
+        let high = self.config.queue.high_water;
+        while self.queue.len() > high {
+            // min_by_key on (priority, enqueued_at, id): lowest priority
+            // first; among equals the longest-waiting (it has burned the
+            // most of its deadline already), then smallest id.
+            let Some(victim) = self
+                .queue
+                .iter()
+                .copied()
+                .min_by_key(|&id| (self.jobs[id].priority, self.jobs[id].enqueued_at, id))
+            else {
+                break; // unreachable: the queue is non-empty above high water
+            };
+            let priority = self.jobs[victim].priority;
+            self.shed_job(victim, &format!("reason=overflow priority={priority}"));
+        }
+        // Shedding freed queue slots, never fleet slots, so no dispatch
+        // pass is needed afterwards.
+        Ok(())
+    }
+
+    /// Removes one queued job and marks it rejected (shed).
+    fn shed_job(&mut self, id: usize, detail: &str) {
+        self.queue.retain(|&q| q != id);
+        self.jobs[id].status = JobStatus::Rejected;
+        let name = self.jobs[id].name.clone();
+        pandia_obs::count("daemon.shed", 1);
+        self.audit.shed += 1;
+        self.say(&format!("shed {name} {detail} -> rejected"));
     }
 
     /// Drift handling: consecutive completions on one machine whose
@@ -465,19 +707,36 @@ impl Daemon {
     /// A human-readable status report for `pandiactl status`.
     pub fn status_report(&self) -> String {
         let mut out = String::new();
-        let counts = self.jobs.iter().fold([0usize; 4], |mut acc, j| {
+        let counts = self.jobs.iter().fold([0usize; 5], |mut acc, j| {
             match j.status {
                 JobStatus::Queued => acc[0] += 1,
                 JobStatus::Running => acc[1] += 1,
                 JobStatus::Completed => acc[2] += 1,
                 JobStatus::Failed => acc[3] += 1,
+                JobStatus::Rejected => acc[4] += 1,
             }
             acc
         });
         let _ = writeln!(
             out,
-            "jobs: {} queued, {} running, {} completed, {} failed",
-            counts[0], counts[1], counts[2], counts[3]
+            "jobs: {} queued, {} running, {} completed, {} failed, {} rejected",
+            counts[0], counts[1], counts[2], counts[3], counts[4]
+        );
+        let _ = writeln!(
+            out,
+            "queue: depth={} rejected={} shed={} degraded={}",
+            self.queue.len(),
+            self.audit.rejected,
+            self.audit.shed,
+            if self.degraded { "yes" } else { "no" }
+        );
+        let _ = writeln!(
+            out,
+            "checkpoint: {}",
+            match self.last_checkpoint {
+                Some(seq) => format!("last_seq={seq}"),
+                None => "none".to_string(),
+            }
         );
         let stats = self.fleet.stats();
         let _ = writeln!(
@@ -520,6 +779,258 @@ impl Daemon {
         }
         Ok(())
     }
+
+    /// Health for the `pandiactl status` exit-code contract: 0 healthy,
+    /// 1 degraded (overload mode active).
+    pub fn health(&self) -> u8 {
+        u8::from(self.degraded)
+    }
+
+    /// Serializes the daemon's full logical state as a
+    /// `pandia-checkpoint-v1` document (JSONL: schema+seq line, meta
+    /// line, one line per job record, transcript line).
+    ///
+    /// The fleet's schedules are deliberately *not* serialized: the
+    /// co-scheduler is a pure function of the resident descriptions, so
+    /// [`restore`](Self::restore) re-derives bit-identical schedules by
+    /// re-solving each occupied machine. Fleet solve *counters* restart
+    /// from zero after a restore — the audit ledger, transcript, and
+    /// schedule bits are the recovery contract, not profiling stats.
+    pub fn checkpoint(&self) -> String {
+        use crate::event::json_string;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"schema\":\"{}\",\"seq\":{}}}",
+            pandia_obs::schema::CHECKPOINT_SCHEMA,
+            self.clock
+        );
+        let a = &self.audit;
+        let queue: Vec<String> = self.queue.iter().map(|id| id.to_string()).collect();
+        let streaks: Vec<String> =
+            self.drift_streak.iter().map(|s| s.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "{{\"clock\":{},\"events\":{},\"submitted\":{},\"placed\":{},\
+             \"completed\":{},\"failed\":{},\"retries\":{},\"faulted\":{},\
+             \"reprofiles\":{},\"rejected\":{},\"shed\":{},\
+             \"reprofiles_done\":{},\"degraded\":{},\
+             \"drift_streak\":[{}],\"queue\":[{}]}}",
+            self.clock,
+            a.events,
+            a.submitted,
+            a.placed,
+            a.completed,
+            a.failed,
+            a.retries,
+            a.faulted,
+            a.reprofiles,
+            a.rejected,
+            a.shed,
+            self.reprofiles_done,
+            self.degraded,
+            streaks.join(","),
+            queue.join(",")
+        );
+        for job in &self.jobs {
+            let mut line = format!(
+                "{{\"job\":{},\"class\":{},\"status\":\"{}\",\"attempts\":{},\
+                 \"priority\":{},\"enqueued_at\":{},\"not_before\":{}",
+                json_string(&job.name),
+                json_string(&job.class),
+                job.status.tag(),
+                job.attempts,
+                job.priority,
+                job.enqueued_at,
+                job.not_before
+            );
+            if let Some(slot) = job.slot {
+                let _ = write!(line, ",\"slot\":{slot}");
+            }
+            if let Some(machine) = job.machine {
+                let _ = write!(line, ",\"machine\":{machine}");
+            }
+            if let Some(t) = job.predicted_time {
+                // Bit pattern, not decimal: predictions must survive the
+                // round trip exactly or post-recovery drift checks skew.
+                let _ = write!(line, ",\"predicted_bits\":{}", t.to_bits());
+            }
+            line.push('}');
+            out.push_str(&line);
+            out.push('\n');
+        }
+        let _ = writeln!(out, "{{\"transcript\":{}}}", json_string(&self.transcript));
+        out
+    }
+
+    /// Reconstructs a daemon from a checkpoint document plus the same
+    /// machines/catalog/config it was created with. Running jobs are
+    /// re-seated in slot order (slots compact to `0..k`, preserving the
+    /// schedule-relative order that transcripts depend on) and every
+    /// occupied machine is re-solved, yielding schedules bit-identical
+    /// to the checkpointed daemon's.
+    pub fn restore(
+        machines: Vec<MachineDescription>,
+        catalog: ClassCatalog,
+        config: DaemonConfig,
+        text: &str,
+    ) -> Result<Self, PandiaError> {
+        use crate::event::{field, str_field};
+        let bad = |message: String| PandiaError::Serde { message };
+        let uint = |value: &serde_json::Value, key: &str, line: usize| {
+            field(value, key).and_then(|v| v.as_u64()).ok_or_else(|| PandiaError::Serde {
+                message: format!("checkpoint line {line}: missing integer field '{key}'"),
+            })
+        };
+
+        let mut daemon = Daemon::new(machines, catalog, config)?;
+        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let parse = |raw: (usize, &str)| -> Result<(usize, serde_json::Value), PandiaError> {
+            let (i, line) = raw;
+            serde_json::from_str(line.trim())
+                .map(|v| (i + 1, v))
+                .map_err(|e| bad(format!("checkpoint line {}: {e}", i + 1)))
+        };
+
+        let (line, header) =
+            parse(lines.next().ok_or_else(|| bad("checkpoint is empty".into()))?)?;
+        let schema = str_field(&header, "schema", line)?;
+        if schema != pandia_obs::schema::CHECKPOINT_SCHEMA {
+            return Err(bad(format!(
+                "checkpoint schema mismatch: expected '{}', got '{schema}'",
+                pandia_obs::schema::CHECKPOINT_SCHEMA
+            )));
+        }
+        let seq = uint(&header, "seq", line)?;
+
+        let (line, meta) =
+            parse(lines.next().ok_or_else(|| bad("checkpoint has no meta line".into()))?)?;
+        let clock = uint(&meta, "clock", line)?;
+        if clock != seq {
+            return Err(bad(format!(
+                "checkpoint seq {seq} disagrees with clock {clock}"
+            )));
+        }
+        daemon.clock = clock;
+        daemon.audit = DaemonAudit {
+            events: uint(&meta, "events", line)?,
+            submitted: uint(&meta, "submitted", line)?,
+            placed: uint(&meta, "placed", line)?,
+            completed: uint(&meta, "completed", line)?,
+            failed: uint(&meta, "failed", line)?,
+            retries: uint(&meta, "retries", line)?,
+            faulted: uint(&meta, "faulted", line)?,
+            reprofiles: uint(&meta, "reprofiles", line)?,
+            rejected: uint(&meta, "rejected", line)?,
+            shed: uint(&meta, "shed", line)?,
+        };
+        daemon.reprofiles_done = uint(&meta, "reprofiles_done", line)? as usize;
+        let degraded = field(&meta, "degraded")
+            .and_then(|v| v.as_bool())
+            .ok_or_else(|| bad(format!("checkpoint line {line}: missing 'degraded'")))?;
+        let streaks = field(&meta, "drift_streak")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| bad(format!("checkpoint line {line}: missing 'drift_streak'")))?;
+        if streaks.len() != daemon.drift_streak.len() {
+            return Err(bad(format!(
+                "checkpoint carries {} drift streaks for {} machines",
+                streaks.len(),
+                daemon.drift_streak.len()
+            )));
+        }
+        for (i, s) in streaks.iter().enumerate() {
+            daemon.drift_streak[i] = s
+                .as_u64()
+                .ok_or_else(|| bad(format!("checkpoint line {line}: bad drift streak")))?
+                as usize;
+        }
+        let queue_ids: Vec<usize> = field(&meta, "queue")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| bad(format!("checkpoint line {line}: missing 'queue'")))?
+            .iter()
+            .map(|v| v.as_u64().map(|n| n as usize))
+            .collect::<Option<Vec<usize>>>()
+            .ok_or_else(|| bad(format!("checkpoint line {line}: bad queue id")))?;
+
+        // Job lines until the trailing transcript line.
+        let mut transcript: Option<String> = None;
+        let mut old_slots: Vec<(usize, usize)> = Vec::new(); // (old slot, job id)
+        for raw in lines {
+            let (line, value) = parse(raw)?;
+            if let Some(t) = field(&value, "transcript") {
+                let t = t
+                    .as_str()
+                    .ok_or_else(|| bad(format!("checkpoint line {line}: bad transcript")))?;
+                transcript = Some(t.to_string());
+                continue;
+            }
+            let name = str_field(&value, "job", line)?;
+            let class = str_field(&value, "class", line)?;
+            if !daemon.catalog.contains_key(&class) {
+                return Err(bad(format!(
+                    "checkpoint job '{name}' names unknown class '{class}'"
+                )));
+            }
+            let status = str_field(&value, "status", line)?;
+            let status = JobStatus::from_tag(&status)
+                .ok_or_else(|| bad(format!("checkpoint line {line}: bad status '{status}'")))?;
+            let mut record = JobRecord::new(&name, &class);
+            record.status = status;
+            record.attempts = uint(&value, "attempts", line)? as u32;
+            record.priority = uint(&value, "priority", line)? as u8;
+            record.enqueued_at = uint(&value, "enqueued_at", line)?;
+            record.not_before = uint(&value, "not_before", line)?;
+            record.machine = field(&value, "machine").and_then(|v| v.as_u64()).map(|m| m as usize);
+            record.predicted_time =
+                field(&value, "predicted_bits").and_then(|v| v.as_u64()).map(f64::from_bits);
+            let id = daemon.jobs.len();
+            if status == JobStatus::Running {
+                let slot = uint(&value, "slot", line)? as usize;
+                old_slots.push((slot, id));
+            }
+            daemon.index.insert(name, id);
+            daemon.jobs.push(record);
+        }
+        let transcript =
+            transcript.ok_or_else(|| bad("checkpoint has no transcript line".into()))?;
+
+        for &id in &queue_ids {
+            if id >= daemon.jobs.len() || daemon.jobs[id].status != JobStatus::Queued {
+                return Err(bad(format!("checkpoint queue names non-queued job id {id}")));
+            }
+        }
+        daemon.queue = queue_ids.into();
+
+        // Re-seat running jobs in old-slot order: slots compact to 0..k
+        // but their relative order — which fixes per-machine resident
+        // order and therefore the solved schedules — is preserved.
+        old_slots.sort_unstable();
+        let payload: Vec<(String, String, usize, Vec<WorkloadDescription>)> = old_slots
+            .iter()
+            .map(|&(_, id)| {
+                let job = &daemon.jobs[id];
+                let machine = job.machine.ok_or_else(|| {
+                    bad(format!("checkpoint running job '{}' has no machine", job.name))
+                })?;
+                let descs = daemon.catalog.get(&job.class).cloned().ok_or_else(|| {
+                    bad(format!("class '{}' left the catalog", job.class))
+                })?;
+                Ok((job.name.clone(), job.class.clone(), machine, descs))
+            })
+            .collect::<Result<_, PandiaError>>()?;
+        let new_slots = daemon.fleet.restore_jobs(payload)?;
+        for (&(_, id), &slot) in old_slots.iter().zip(&new_slots) {
+            daemon.jobs[id].slot = Some(slot);
+        }
+
+        if degraded {
+            daemon.degraded = true;
+            daemon.fleet.set_memo_capacity((daemon.config.memo_capacity / 2).max(1));
+        }
+        daemon.transcript = transcript;
+        daemon.last_checkpoint = Some(seq);
+        Ok(daemon)
+    }
 }
 
 #[cfg(test)]
@@ -535,7 +1046,7 @@ mod tests {
     #[test]
     fn submit_place_complete_transitions() {
         let mut d = daemon(DaemonConfig::default());
-        d.apply(&Event::Submit { job: "a".into(), class: "cpu".into() }).unwrap();
+        d.apply(&Event::Submit { job: "a".into(), class: "cpu".into(), priority: 0 }).unwrap();
         assert_eq!(d.running(), 1);
         assert_eq!(d.queued(), 0);
         d.apply(&Event::Complete { job: "a".into(), elapsed: None }).unwrap();
@@ -552,7 +1063,7 @@ mod tests {
         let mut d = daemon(DaemonConfig::default());
         // 2 synthetic machines x 3 slots = capacity 6.
         for i in 0..7 {
-            d.apply(&Event::Submit { job: format!("j{i}"), class: "cpu".into() }).unwrap();
+            d.apply(&Event::Submit { job: format!("j{i}"), class: "cpu".into(), priority: 0 }).unwrap();
         }
         assert_eq!(d.running(), 6);
         assert_eq!(d.queued(), 1);
@@ -565,12 +1076,12 @@ mod tests {
     fn unknown_jobs_and_classes_are_errors() {
         let mut d = daemon(DaemonConfig::default());
         assert!(d
-            .apply(&Event::Submit { job: "a".into(), class: "no-such".into() })
+            .apply(&Event::Submit { job: "a".into(), class: "no-such".into(), priority: 0 })
             .is_err());
         assert!(d.apply(&Event::Complete { job: "ghost".into(), elapsed: None }).is_err());
-        d.apply(&Event::Submit { job: "a".into(), class: "cpu".into() }).unwrap();
+        d.apply(&Event::Submit { job: "a".into(), class: "cpu".into(), priority: 0 }).unwrap();
         assert!(
-            d.apply(&Event::Submit { job: "a".into(), class: "cpu".into() }).is_err(),
+            d.apply(&Event::Submit { job: "a".into(), class: "cpu".into(), priority: 0 }).is_err(),
             "duplicate submit must fail"
         );
     }
@@ -578,7 +1089,7 @@ mod tests {
     #[test]
     fn external_failures_retry_then_exhaust() {
         let mut d = daemon(DaemonConfig { max_attempts: 2, ..DaemonConfig::default() });
-        d.apply(&Event::Submit { job: "a".into(), class: "cpu".into() }).unwrap();
+        d.apply(&Event::Submit { job: "a".into(), class: "cpu".into(), priority: 0 }).unwrap();
         d.apply(&Event::Fail { job: "a".into() }).unwrap();
         // attempts=1 < 2, so it re-queues and re-places immediately.
         assert_eq!(d.running(), 1);
@@ -593,7 +1104,7 @@ mod tests {
     fn drain_completes_running_and_queued_jobs() {
         let mut d = daemon(DaemonConfig::default());
         for i in 0..8 {
-            d.apply(&Event::Submit { job: format!("j{i}"), class: "mem".into() }).unwrap();
+            d.apply(&Event::Submit { job: format!("j{i}"), class: "mem".into(), priority: 0 }).unwrap();
         }
         d.drain().unwrap();
         assert_eq!(d.running(), 0);
@@ -609,7 +1120,7 @@ mod tests {
         };
         let mut d = daemon(config);
         for i in 0..4 {
-            d.apply(&Event::Submit { job: format!("j{i}"), class: "cpu".into() }).unwrap();
+            d.apply(&Event::Submit { job: format!("j{i}"), class: "cpu".into(), priority: 0 }).unwrap();
         }
         // Complete jobs with observed times far from prediction; two
         // consecutive drifted completions on one machine reprofile it.
@@ -625,10 +1136,226 @@ mod tests {
         assert!(d.transcript().contains("reprofile machine="));
     }
 
+    fn submit(job: &str, class: &str, priority: u8) -> Event {
+        Event::Submit { job: job.into(), class: class.into(), priority }
+    }
+
+    #[test]
+    fn full_queue_rejects_at_the_door() {
+        // 2 synthetic machines x 3 slots = capacity 6; queue bounded at 2.
+        let config = DaemonConfig {
+            queue: QueuePolicy { max_depth: 2, ..QueuePolicy::default() },
+            ..DaemonConfig::default()
+        };
+        let mut d = daemon(config);
+        for i in 0..9 {
+            d.apply(&submit(&format!("j{i}"), "cpu", 0)).unwrap();
+        }
+        assert_eq!(d.running(), 6);
+        assert_eq!(d.queued(), 2);
+        assert_eq!(d.audit().rejected, 1);
+        assert_eq!(d.job_status("j8"), Some(JobStatus::Rejected));
+        assert!(d.transcript().contains("reject j8 class=cpu reason=queue_full depth=2"));
+        // A completion and failure aimed at the rejected job are no-ops,
+        // not errors.
+        d.apply(&Event::Complete { job: "j8".into(), elapsed: None }).unwrap();
+        d.apply(&Event::Fail { job: "j8".into() }).unwrap();
+        assert_eq!(d.job_status("j8"), Some(JobStatus::Rejected));
+        // ...and audit still reconciles: submitted excludes rejections.
+        assert_eq!(d.audit().submitted, 8);
+    }
+
+    #[test]
+    fn overflow_shedding_drops_lowest_priority_queued_jobs_only() {
+        let config = DaemonConfig {
+            queue: QueuePolicy { high_water: 1, ..QueuePolicy::default() },
+            ..DaemonConfig::default()
+        };
+        let mut d = daemon(config);
+        // Fill all 6 slots, then queue three more at mixed priorities.
+        for i in 0..6 {
+            d.apply(&submit(&format!("r{i}"), "cpu", 0)).unwrap();
+        }
+        d.apply(&submit("low", "cpu", 0)).unwrap();
+        d.apply(&submit("high", "cpu", 3)).unwrap();
+        // queue is now [low, high] = 2 > high_water 1: "low" is shed.
+        assert_eq!(d.queued(), 1);
+        assert_eq!(d.job_status("low"), Some(JobStatus::Rejected));
+        assert_eq!(d.job_status("high"), Some(JobStatus::Queued));
+        assert!(d.transcript().contains("shed low reason=overflow priority=0"));
+        // No running job was touched.
+        assert_eq!(d.running(), 6);
+        for i in 0..6 {
+            assert_eq!(d.job_status(&format!("r{i}")), Some(JobStatus::Running));
+        }
+        assert_eq!(d.audit().shed, 1);
+    }
+
+    #[test]
+    fn deadline_shedding_expires_stale_queued_jobs() {
+        let config = DaemonConfig {
+            queue: QueuePolicy { deadline: Some(2), ..QueuePolicy::default() },
+            ..DaemonConfig::default()
+        };
+        let mut d = daemon(config);
+        for i in 0..7 {
+            d.apply(&submit(&format!("j{i}"), "cpu", 0)).unwrap();
+        }
+        assert_eq!(d.queued(), 1, "j6 should be waiting");
+        // Three queries tick the clock past j6's deadline.
+        for _ in 0..3 {
+            d.apply(&Event::Query).unwrap();
+        }
+        assert_eq!(d.queued(), 0);
+        assert_eq!(d.job_status("j6"), Some(JobStatus::Rejected));
+        assert!(d.transcript().contains("shed j6 reason=deadline waited=3"), "{}", d.transcript());
+        assert_eq!(d.audit().shed, 1);
+    }
+
+    #[test]
+    fn degraded_mode_halves_memo_capacity_with_hysteresis() {
+        let config = DaemonConfig {
+            queue: QueuePolicy { high_water: 4, ..QueuePolicy::default() },
+            memo_capacity: 64,
+            ..DaemonConfig::default()
+        };
+        let mut d = daemon(config);
+        assert_eq!(d.memo_capacity(), 64);
+        // 6 running + 5 queued crosses the high-water mark of 4...
+        for i in 0..11 {
+            d.apply(&submit(&format!("j{i}"), "cpu", 0)).unwrap();
+        }
+        // ...but shedding trims the queue back to 4, so depth stays at
+        // the mark while the daemon is already degraded.
+        assert!(d.degraded());
+        assert_eq!(d.health(), 1);
+        assert_eq!(d.memo_capacity(), 32);
+        assert!(d.transcript().contains("degrade queue=5 high_water=4 memo_capacity=32"));
+        // Draining below high_water/2 restores the full capacity.
+        for i in 0..6 {
+            d.apply(&Event::Complete { job: format!("j{i}"), elapsed: None }).unwrap();
+        }
+        assert!(!d.degraded());
+        assert_eq!(d.health(), 0);
+        assert_eq!(d.memo_capacity(), 64);
+        assert!(d.transcript().contains("memo_capacity=64"), "{}", d.transcript());
+    }
+
+    #[test]
+    fn faulted_placements_back_off_in_event_time() {
+        let config = DaemonConfig {
+            // transient_rate 1.0: every placement faults.
+            faults: FaultPlan { transient_rate: 1.0, ..FaultPlan::none() },
+            max_attempts: 3,
+            ..DaemonConfig::default()
+        };
+        let mut d = daemon(config);
+        d.apply(&submit("a", "cpu", 0)).unwrap();
+        // Attempt 1 faults; the retry waits out its backoff instead of
+        // burning the budget inside the submit event.
+        assert_eq!(d.audit().faulted, 1);
+        assert_eq!(d.job_status("a"), Some(JobStatus::Queued));
+        assert_eq!(d.queued(), 1);
+        let transcript_before = d.transcript().to_string();
+        assert!(transcript_before.contains("fault a attempt=1"), "{transcript_before}");
+        // Tick the clock: each query may dispatch the job once its
+        // backoff expires; with delay(1)=1, delay(2)=2 it exhausts after
+        // a few ticks.
+        for _ in 0..8 {
+            d.apply(&Event::Query).unwrap();
+        }
+        assert_eq!(d.job_status("a"), Some(JobStatus::Failed));
+        assert_eq!(d.audit().faulted, 3);
+        assert!(d.transcript().contains("after 3 faulted attempts -> failed"));
+    }
+
+    #[test]
+    fn backoff_delay_schedule_is_capped_exponential() {
+        let retry = RetryPolicy { backoff_base: 2, backoff_cap: 16 };
+        let delays: Vec<u64> = (1..=7).map(|a| retry.delay(a)).collect();
+        assert_eq!(delays, vec![2, 4, 8, 16, 16, 16, 16]);
+        // Degenerate base still advances the clock.
+        assert_eq!(RetryPolicy { backoff_base: 0, backoff_cap: 4 }.delay(1), 1);
+        // Huge attempt numbers must not overflow.
+        assert_eq!(RetryPolicy::default().delay(u32::MAX), 8);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_bit_identically() {
+        let preset = synthetic(2);
+        let config = DaemonConfig {
+            queue: QueuePolicy { high_water: 8, deadline: Some(50), ..QueuePolicy::default() },
+            ..DaemonConfig::default()
+        };
+        let mut d =
+            Daemon::new(preset.machines.clone(), preset.catalog.clone(), config.clone()).unwrap();
+        for i in 0..9 {
+            d.apply(&submit(&format!("j{i}"), if i % 2 == 0 { "cpu" } else { "mem" }, (i % 4) as u8))
+                .unwrap();
+        }
+        d.apply(&Event::Complete { job: "j1".into(), elapsed: Some(100.0) }).unwrap();
+        d.apply(&Event::Fail { job: "j2".into() }).unwrap();
+        d.apply(&Event::Query).unwrap();
+
+        let text = d.checkpoint();
+        assert!(text.starts_with("{\"schema\":\"pandia-checkpoint-v1\",\"seq\":12}"), "{text}");
+        let r = Daemon::restore(preset.machines, preset.catalog, config, &text).unwrap();
+
+        assert_eq!(r.clock(), d.clock());
+        assert_eq!(r.audit(), d.audit());
+        assert_eq!(r.transcript(), d.transcript());
+        assert_eq!(r.queued(), d.queued());
+        assert_eq!(r.running(), d.running());
+        assert_eq!(r.last_checkpoint_seq(), Some(12));
+        let (a, b) = (d.schedule().unwrap(), r.schedule().unwrap());
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.placements, b.placements);
+        for (x, y) in a.assignments.iter().zip(&b.assignments) {
+            assert_eq!(x.workload, y.workload);
+            assert_eq!(x.machine_index, y.machine_index);
+            assert_eq!(x.n_threads, y.n_threads);
+            assert_eq!(x.predicted_time.to_bits(), y.predicted_time.to_bits());
+        }
+
+        // Continuing both daemons produces identical transcripts.
+        let mut d2 = d;
+        let mut r2 = r;
+        let tail =
+            vec![submit("k0", "balanced", 1), Event::Query, Event::Complete {
+                job: "j3".into(),
+                elapsed: None,
+            }];
+        for e in &tail {
+            d2.apply(e).unwrap();
+            r2.apply(e).unwrap();
+        }
+        assert_eq!(d2.transcript(), r2.transcript());
+        assert_eq!(d2.audit(), r2.audit());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_checkpoints() {
+        let preset = synthetic(2);
+        let mk = || (preset.machines.clone(), preset.catalog.clone(), DaemonConfig::default());
+        let (m, c, cfg) = mk();
+        assert!(Daemon::restore(m, c, cfg, "").is_err());
+        let (m, c, cfg) = mk();
+        assert!(Daemon::restore(m, c, cfg, "{\"schema\":\"pandia-eventlog-v1\"}\n").is_err());
+        // Valid header but a seq/clock mismatch.
+        let (m, c, cfg) = mk();
+        let bad = "{\"schema\":\"pandia-checkpoint-v1\",\"seq\":5}\n\
+                   {\"clock\":4,\"events\":0,\"submitted\":0,\"placed\":0,\"completed\":0,\
+                    \"failed\":0,\"retries\":0,\"faulted\":0,\"reprofiles\":0,\"rejected\":0,\
+                    \"shed\":0,\"reprofiles_done\":0,\"degraded\":false,\
+                    \"drift_streak\":[0,0],\"queue\":[]}\n\
+                   {\"transcript\":\"\"}\n";
+        assert!(Daemon::restore(m, c, cfg, bad).is_err());
+    }
+
     #[test]
     fn query_snapshots_the_schedule_into_the_transcript() {
         let mut d = daemon(DaemonConfig::default());
-        d.apply(&Event::Submit { job: "a".into(), class: "mem".into() }).unwrap();
+        d.apply(&Event::Submit { job: "a".into(), class: "mem".into(), priority: 0 }).unwrap();
         d.apply(&Event::Query).unwrap();
         let t = d.transcript();
         assert!(t.contains("query makespan="), "{t}");

@@ -38,23 +38,44 @@ impl Rng {
 /// submissions, 35% completions, 5% failures, 5% queries — biased toward
 /// arrivals so the fleet stays loaded, with completions picking a random
 /// live job (completions/failures are only emitted while jobs are live).
+/// Each submission draws a shedding priority in `0..4`.
 pub fn generate_events(seed: u64, n: usize, classes: &[&str]) -> Vec<Event> {
+    generate_events_with_rate(seed, n, classes, 0.55)
+}
+
+/// [`generate_events`] with an explicit submission bias: `submit_bias`
+/// is the probability mass given to arrivals (the remainder splits
+/// 35:5:5-proportionally among completions, failures, and queries).
+/// Raising the bias past the fleet's service rate is how the overload
+/// experiment (`fig17_overload`) drives the daemon past sustainable load.
+pub fn generate_events_with_rate(
+    seed: u64,
+    n: usize,
+    classes: &[&str],
+    submit_bias: f64,
+) -> Vec<Event> {
+    let submit_bias = submit_bias.clamp(0.0, 1.0);
+    // Split the non-submission mass in the historical 35:5:5 proportion.
+    let rest = 1.0 - submit_bias;
+    let complete_cut = submit_bias + rest * (35.0 / 45.0);
+    let fail_cut = submit_bias + rest * (40.0 / 45.0);
     let mut rng = Rng::new(seed);
     let mut events = Vec::with_capacity(n);
     let mut live: Vec<String> = Vec::new();
     let mut next_id = 0usize;
     while events.len() < n {
         let roll = rng.f64();
-        if live.is_empty() || roll < 0.55 {
+        if live.is_empty() || roll < submit_bias {
             let class = classes[rng.usize_below(classes.len())];
+            let priority = rng.usize_below(4) as u8;
             let job = format!("j{next_id}");
             next_id += 1;
             live.push(job.clone());
-            events.push(Event::Submit { job, class: class.to_string() });
-        } else if roll < 0.90 {
+            events.push(Event::Submit { job, class: class.to_string(), priority });
+        } else if roll < complete_cut {
             let job = live.swap_remove(rng.usize_below(live.len()));
             events.push(Event::Complete { job, elapsed: None });
-        } else if roll < 0.95 {
+        } else if roll < fail_cut {
             // External failure: the daemon may retry it, so the job stays
             // live from the generator's point of view until completed.
             let job = live[rng.usize_below(live.len())].clone();
@@ -93,5 +114,23 @@ mod tests {
         }
         let submits = a.iter().filter(|e| matches!(e, Event::Submit { .. })).count();
         assert!(submits > 50, "stream should be arrival-heavy, got {submits}");
+    }
+
+    #[test]
+    fn submit_bias_shifts_the_arrival_rate() {
+        let arrivals = |bias: f64| {
+            generate_events_with_rate(7, 400, &["cpu"], bias)
+                .iter()
+                .filter(|e| matches!(e, Event::Submit { .. }))
+                .count()
+        };
+        let low = arrivals(0.3);
+        let high = arrivals(0.9);
+        assert!(high > low + 100, "bias 0.9 vs 0.3: {high} vs {low}");
+        assert_eq!(
+            generate_events(11, 150, &["cpu", "mem"]),
+            generate_events_with_rate(11, 150, &["cpu", "mem"], 0.55),
+            "default generator must be the 0.55-bias stream"
+        );
     }
 }

@@ -1,0 +1,52 @@
+//! Figure 17 (beyond the paper): the placement service under overload —
+//! throughput, tail latency, and bounded-memory counters, naive
+//! (unbounded queue) vs. shedding (admission control + backpressure),
+//! vs. arrival rate.
+//!
+//! `cargo run --release -p pandia-harness --bin fig17_overload [--quick]
+//! [--jobs N] [--no-cache] [machines] [seed]`
+
+use std::time::Instant;
+
+use pandia_harness::{
+    experiments::{
+        exec_from_args, overload, positional_args, quiet_from_args, report_exec,
+        telemetry_from_args, Coverage,
+    },
+    report,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _telemetry = telemetry_from_args();
+    let quiet = quiet_from_args();
+    let exec = exec_from_args();
+    let positional = positional_args();
+    let machines: usize = positional.first().and_then(|s| s.parse().ok()).unwrap_or(4).max(1);
+    let seed: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(0xF17);
+    let (events, biases): (usize, &[f64]) = match Coverage::from_args() {
+        Coverage::Quick => (250, &[0.55, 0.90]),
+        Coverage::Paper => (1000, &overload::ARRIVAL_BIASES),
+    };
+    if !quiet {
+        eprintln!(
+            "overload sweep: {} synthetic machines, {} events/stream, biases {:?}, 2 policies (jobs={})",
+            machines,
+            events,
+            biases,
+            exec.jobs()
+        );
+    }
+
+    let start = Instant::now();
+    let result = overload::run(&exec, machines, events, biases, seed)?;
+    report_exec(&exec, "overload", start, quiet);
+
+    let text = overload::render(&result);
+    print!("{text}");
+    report::write_result("fig17/overload.csv", &overload::to_csv(&result))?;
+    let path = report::write_result("fig17/overload.txt", &text)?;
+    if !quiet {
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}

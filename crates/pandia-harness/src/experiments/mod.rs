@@ -15,6 +15,7 @@
 //! | [`robustness`] | accuracy over random synthetic workloads |
 //! | [`chaos`] | Figure 15: profiling under fault injection |
 //! | [`service`] | Figure 16: the placement service under load |
+//! | [`overload`] | Figure 17: overload — admission, shedding, bounded memory |
 
 pub mod ablation;
 pub mod chaos;
@@ -23,6 +24,7 @@ pub mod curves;
 pub mod errors;
 pub mod four_socket;
 pub mod limits;
+pub mod overload;
 pub mod robustness;
 pub mod service;
 pub mod summary;

@@ -511,3 +511,47 @@ fn json_output_is_escaped_and_schema_tagged() {
     assert!(json.contains("\\\"quotes\\\""), "path quotes must be escaped: {json}");
     assert!(json.contains("\"rule\":\"D1\""));
 }
+
+// ---------------------------------------------------------------- V1
+
+#[test]
+fn v1_flags_retyped_durability_schema_tags() {
+    // The journal and checkpoint formats added for crash recovery are
+    // exactly the kind of tag V1 exists for: a writer in pandia-daemon
+    // and a reader in tooling must never disagree on the version. A
+    // retyped literal — bare or embedded in a JSON fragment — is
+    // flagged at the right line.
+    let src = concat!(
+        "fn write_header() -> String {\n",
+        "    format!(\"{{\\\"schema\\\":\\\"pandia-journal-v1\\\"}}\")\n",
+        "}\n",
+        "const CKPT: &str = \"pandia-checkpoint-v1\";\n",
+    );
+    let findings = findings_of(src, ALL);
+    assert_eq!(
+        findings,
+        vec![(Rule::V1, 2), (Rule::V1, 4)],
+        "both durability tags must be flagged"
+    );
+    // The registry module itself is the one place allowed to spell the
+    // tags out.
+    let registry = check_source(pandia_lint::rules::SCHEMA_REGISTRY_PATH, src, ALL);
+    assert!(
+        registry.findings.iter().all(|f| f.rule != Rule::V1),
+        "registry must be exempt: {:?}",
+        registry.findings
+    );
+}
+
+#[test]
+fn v1_ignores_unversioned_pandia_strings() {
+    // Prose mentioning the project, or hyphenated names without a
+    // `-vN` suffix, are not schema tags.
+    let src = concat!(
+        "const A: &str = \"pandia-journal\";\n",
+        "const B: &str = \"the pandia-daemon crate\";\n",
+        "const C: &str = \"pandia-v\";\n",
+    );
+    let findings = findings_of(src, ALL);
+    assert!(findings.iter().all(|(r, _)| *r != Rule::V1), "{findings:?}");
+}

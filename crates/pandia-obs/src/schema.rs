@@ -32,6 +32,16 @@ pub const SNAPSHOT_SCHEMA: &str = "pandia-metrics-snapshot-v1";
 /// first line.
 pub const EVENTLOG_SCHEMA: &str = "pandia-eventlog-v1";
 
+/// Write-ahead journal files (`pandiad --journal`), first line. Each
+/// subsequent line pairs an event with its sequence number so a crashed
+/// daemon can replay the tail past its last checkpoint.
+pub const JOURNAL_SCHEMA: &str = "pandia-journal-v1";
+
+/// Periodic fleet-state checkpoints (`pandiad --checkpoint`), first
+/// line. A checkpoint plus the journal tail reconstructs a byte-identical
+/// daemon state after a crash.
+pub const CHECKPOINT_SCHEMA: &str = "pandia-checkpoint-v1";
+
 /// Offline attribution reports (`pandia_report --json`), top-level
 /// `schema` field.
 pub const REPORT_SCHEMA: &str = "pandia-report-v1";
@@ -48,6 +58,8 @@ mod tests {
             super::EVENTS_SCHEMA,
             super::SNAPSHOT_SCHEMA,
             super::EVENTLOG_SCHEMA,
+            super::JOURNAL_SCHEMA,
+            super::CHECKPOINT_SCHEMA,
             super::REPORT_SCHEMA,
         ];
         for (i, a) in all.iter().enumerate() {

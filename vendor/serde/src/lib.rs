@@ -96,6 +96,23 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The number as a `u64`, if this is a non-negative integer
+    /// (full 64-bit precision, unlike [`as_f64`](Self::as_f64)).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::Number(Number::PosInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// Error produced when a [`Value`] cannot be converted to the requested
