@@ -29,7 +29,7 @@
 //! each placement's context list per call.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use pandia_topology::Placement;
@@ -340,15 +340,39 @@ impl ExecContext {
     /// Applies `f` to every item, fanning the work across the configured
     /// workers, and returns the results in input order.
     ///
-    /// Workers pull items off a shared atomic counter, so the dynamic
-    /// schedule balances uneven item costs; results are stitched back by
-    /// index, so the output is identical to `items.iter().map(f)` no
-    /// matter how many workers run.
+    /// Equivalent to [`ExecContext::parallel_map_sized`] with a uniform
+    /// size hint: every item is assumed equally expensive, so the chunk
+    /// plan degenerates to balanced round-robin dealing. Results are
+    /// stitched back by index, so the output is identical to
+    /// `items.iter().map(f)` no matter how many workers run.
     pub fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(&T) -> R + Sync,
+    {
+        self.parallel_map_sized(items, |_| 1.0, f)
+    }
+
+    /// Applies `f` to every item with a per-item cost hint steering the
+    /// assignment of items to workers, and returns the results in input
+    /// order.
+    ///
+    /// Items are dealt to workers by a deterministic serpentine plan over
+    /// the size-ranked indices (see [`chunk_plan`]): per-worker task
+    /// counts never differ by more than one — fixing the task-count
+    /// imbalance the old grab-next-item schedule showed in
+    /// `exec.worker_tasks` — while expensive items still spread across
+    /// workers. The plan depends only on the hints, never on thread
+    /// timing, and results are stitched back by index, so the output is
+    /// identical to `items.iter().map(f)` for any worker count and any
+    /// hint function.
+    pub fn parallel_map_sized<T, R, F, S>(&self, items: &[T], size_hint: S, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+        S: Fn(&T) -> f64,
     {
         let workers = self.jobs.min(items.len());
         if workers <= 1 {
@@ -361,20 +385,18 @@ impl ExecContext {
             .arg("items", items.len())
             .arg("workers", workers);
         pandia_obs::gauge("exec.queue_depth", items.len() as f64);
-        let next = AtomicUsize::new(0);
+        let sizes: Vec<f64> = items.iter().map(&size_hint).collect();
+        let plan = chunk_plan(&sizes, workers);
         let mut pairs: Vec<(usize, R)> = std::thread::scope(|scope| {
             let f = &f;
-            let next = &next;
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
+            let handles: Vec<_> = plan
+                .iter()
+                .enumerate()
+                .map(|(w, mine)| {
                     scope.spawn(move || {
                         let _wspan = pandia_obs::span("exec", "worker").arg("worker", w);
-                        let mut out = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= items.len() {
-                                break;
-                            }
+                        let mut out = Vec::with_capacity(mine.len());
+                        for &i in mine {
                             out.push((i, f(&items[i])));
                         }
                         pandia_obs::observe("exec.worker_tasks", out.len() as f64);
@@ -397,6 +419,32 @@ impl ExecContext {
         pairs.sort_by_key(|&(i, _)| i);
         pairs.into_iter().map(|(_, r)| r).collect()
     }
+}
+
+/// Deterministic serpentine (boustrophedon) assignment of items to
+/// workers: indices are ranked by descending size hint (ties broken by
+/// index) and dealt in rounds, alternating direction each round so the
+/// worker that drew the largest item of one round draws the smallest of
+/// the next.
+///
+/// Two guarantees follow. *Counts:* each round hands every worker at
+/// most one item, so per-worker task counts differ by at most one for
+/// any hint distribution. *Sizes:* the alternation pairs large with
+/// small across rounds, keeping total assigned size roughly level
+/// without a cost model. The plan is a pure function of `(sizes,
+/// workers)` — no timing, no randomness — so a run's work assignment is
+/// reproducible.
+fn chunk_plan(sizes: &[f64], workers: usize) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by(|&a, &b| sizes[b].total_cmp(&sizes[a]).then(a.cmp(&b)));
+    let mut plan: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    for (round, chunk) in order.chunks(workers).enumerate() {
+        for (lane, &idx) in chunk.iter().enumerate() {
+            let w = if round % 2 == 0 { lane } else { workers - 1 - lane };
+            plan[w].push(idx);
+        }
+    }
+    plan
 }
 
 impl Default for ExecContext {
@@ -550,6 +598,64 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(exec.parallel_map(&empty, |&x| x).is_empty());
         assert_eq!(exec.parallel_map(&[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn chunk_plan_covers_every_index_exactly_once() {
+        for n in [0usize, 1, 3, 7, 16, 101] {
+            for workers in [1usize, 2, 4, 5] {
+                let sizes: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64).collect();
+                let plan = chunk_plan(&sizes, workers);
+                assert_eq!(plan.len(), workers);
+                let mut seen: Vec<usize> = plan.iter().flatten().copied().collect();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..n).collect::<Vec<_>>(), "n={n} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_plan_task_counts_spread_at_most_one_on_skewed_sizes() {
+        // A pathological distribution: one huge item, a heavy head, a
+        // long tail of near-zero items. The old grab-next schedule let a
+        // fast worker take nearly the whole tail; the serpentine plan
+        // keeps counts within one of each other regardless of skew.
+        let mut sizes: Vec<f64> = vec![1e9, 500.0, 400.0, 300.0];
+        sizes.extend(std::iter::repeat_n(0.001, 29));
+        for workers in [2usize, 3, 4, 8] {
+            let plan = chunk_plan(&sizes, workers);
+            let max = plan.iter().map(Vec::len).max().unwrap();
+            let min = plan.iter().map(Vec::len).min().unwrap();
+            assert!(max - min <= 1, "workers={workers} counts={:?}", plan.iter().map(Vec::len).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn chunk_plan_is_deterministic_and_serpentine() {
+        let sizes = [5.0, 4.0, 3.0, 2.0, 1.0, 0.5];
+        let plan = chunk_plan(&sizes, 2);
+        assert_eq!(plan, chunk_plan(&sizes, 2), "pure function of inputs");
+        // Descending rank order is 0,1,2,3,4,5; rounds of two dealt
+        // forward then backward: (0→w0, 1→w1), (2→w1, 3→w0), (4→w0, 5→w1).
+        assert_eq!(plan[0], vec![0, 3, 4]);
+        assert_eq!(plan[1], vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn parallel_map_sized_is_bit_identical_across_jobs() {
+        // Skewed hints with result values that depend on float math: any
+        // scheduling leak into results would break equality across jobs.
+        let items: Vec<usize> = (0..57).collect();
+        let hint = |&i: &usize| if i == 0 { 1e6 } else { 1.0 / (i as f64) };
+        let baseline: Vec<f64> =
+            items.iter().map(|&i| (i as f64).sqrt() * 1.000000119 + 0.25).collect();
+        for jobs in [1usize, 2, 4] {
+            let exec = ExecContext::new(jobs);
+            let out =
+                exec.parallel_map_sized(&items, hint, |&i| (i as f64).sqrt() * 1.000000119 + 0.25);
+            let same = out.iter().zip(&baseline).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "jobs={jobs} must match serial bits");
+        }
     }
 
     #[test]

@@ -88,16 +88,22 @@ pub fn placement_report_with(
         .arg("workload", workload.name.as_str())
         .arg("candidates", candidates.len());
     let session = PredictSession::new(exec, machine, workload, config)?;
-    let evaluated = exec.parallel_map(candidates, |c| -> Result<PlacementOutcome, PandiaError> {
-        let placement = c.instantiate(machine)?;
-        let pred = session.predict(&placement)?;
-        Ok(PlacementOutcome {
-            placement: c.clone(),
-            n_threads: pred.n_threads,
-            speedup: pred.speedup,
-            predicted_time: pred.predicted_time,
-        })
-    });
+    // Thread count is the dominant cost driver of a prediction (entity
+    // count sizes every equilibrium solve), so it steers the chunk plan.
+    let evaluated = exec.parallel_map_sized(
+        candidates,
+        |c| c.total_threads() as f64,
+        |c| -> Result<PlacementOutcome, PandiaError> {
+            let placement = c.instantiate(machine)?;
+            let pred = session.predict(&placement)?;
+            Ok(PlacementOutcome {
+                placement: c.clone(),
+                n_threads: pred.n_threads,
+                speedup: pred.speedup,
+                predicted_time: pred.predicted_time,
+            })
+        },
+    );
     let mut outcomes = Vec::with_capacity(evaluated.len());
     for outcome in evaluated {
         outcomes.push(outcome?);

@@ -11,7 +11,9 @@
 //!
 //! `--naive-sim` disables the simulator's incremental fast path (solve
 //! reuse + steady-segment coalescing) so CI can assert both engine paths
-//! emit byte-identical results.
+//! emit byte-identical results. `--legacy-soa` likewise falls back to the
+//! per-entity-struct segment walk so the structure-of-arrays hot path can
+//! be `cmp`'d against its reference on the full sweep.
 
 use std::time::Instant;
 
@@ -30,13 +32,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let coverage = Coverage::from_args();
     let exec = exec_from_args();
     let naive = std::env::args().any(|a| a == "--naive-sim");
+    let legacy_soa = std::env::args().any(|a| a == "--legacy-soa");
     let machine = positional_args().into_iter().next().unwrap_or_else(|| "x5-2".into());
     let mut ctx = MachineContext::by_name(&machine)?;
-    if naive {
-        ctx.platform = SimMachine::with_config(
-            ctx.spec.clone(),
-            SimConfig::default().with_incremental(false),
-        );
+    if naive || legacy_soa {
+        let mut config = SimConfig::default();
+        if naive {
+            config = config.with_incremental(false);
+        }
+        if legacy_soa {
+            config = config.with_soa(false);
+        }
+        ctx.platform = SimMachine::with_config(ctx.spec.clone(), config);
     }
     let placements = coverage.placements(&ctx);
     let workloads = runnable_workloads(&ctx, pandia_workloads::paper_suite());

@@ -97,11 +97,15 @@ pub fn run(
     // Ground truth once per workload: the clean machine, no faults.
     let mut truths = Vec::with_capacity(workloads.len());
     for w in &workloads {
-        let measured = exec.parallel_map(&placements, |canon| -> Result<f64, PandiaError> {
-            let placement = canon.instantiate(&shape)?;
-            let mut clean = ctx.platform.clone();
-            Ok(clean.run(&RunRequest::new(w.behavior.clone(), placement))?.elapsed)
-        });
+        let measured = exec.parallel_map_sized(
+            &placements,
+            |canon| canon.total_threads() as f64,
+            |canon| -> Result<f64, PandiaError> {
+                let placement = canon.instantiate(&shape)?;
+                let mut clean = ctx.platform.clone();
+                Ok(clean.run(&RunRequest::new(w.behavior.clone(), placement))?.elapsed)
+            },
+        );
         let mut times = Vec::with_capacity(measured.len());
         for t in measured {
             times.push(t?);
@@ -179,11 +183,14 @@ pub fn run(
                         &report.description,
                         &predictor,
                     )?;
-                    let predictions =
-                        exec.parallel_map(&placements, |canon| -> Result<f64, PandiaError> {
+                    let predictions = exec.parallel_map_sized(
+                        &placements,
+                        |canon| canon.total_threads() as f64,
+                        |canon| -> Result<f64, PandiaError> {
                             let placement = canon.instantiate(&shape)?;
                             Ok(session.predict(&placement)?.predicted_time)
-                        });
+                        },
+                    );
                     let mut errors = Vec::with_capacity(predictions.len());
                     for (k, p) in predictions.into_iter().enumerate() {
                         let predicted = p?;

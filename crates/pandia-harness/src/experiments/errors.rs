@@ -134,20 +134,24 @@ fn measure_on(
     let shape = ctx.description.shape();
     let config = PredictorConfig::default();
     let session = PredictSession::new(exec, &ctx.description, desc, &config)?;
-    let evaluated = exec.parallel_map(placements, |canon| -> ExpResult<CurvePoint> {
-        let placement = canon.instantiate(&shape)?;
-        let mut platform = ctx.platform.clone();
-        let measured = platform
-            .run(&RunRequest::new(workload.behavior.clone(), placement.clone()))?
-            .elapsed;
-        let predicted = session.predict(&placement)?.predicted_time;
-        Ok(CurvePoint {
-            placement: canon.clone(),
-            n_threads: placement.n_threads(),
-            measured,
-            predicted,
-        })
-    });
+    let evaluated = exec.parallel_map_sized(
+        placements,
+        |canon| canon.total_threads() as f64,
+        |canon| -> ExpResult<CurvePoint> {
+            let placement = canon.instantiate(&shape)?;
+            let mut platform = ctx.platform.clone();
+            let measured = platform
+                .run(&RunRequest::new(workload.behavior.clone(), placement.clone()))?
+                .elapsed;
+            let predicted = session.predict(&placement)?.predicted_time;
+            Ok(CurvePoint {
+                placement: canon.clone(),
+                n_threads: placement.n_threads(),
+                measured,
+                predicted,
+            })
+        },
+    );
     let mut points = Vec::with_capacity(evaluated.len());
     for point in evaluated {
         points.push(point?);

@@ -103,19 +103,25 @@ pub fn measure_curve_with(
         .arg("placements", placements.len());
     let shape = ctx.description.shape();
     let session = PredictSession::new(exec, &ctx.description, description, config)?;
-    let evaluated = exec.parallel_map(placements, |canon| -> Result<CurvePoint, PandiaError> {
-        let placement = canon.instantiate(&shape)?;
-        let mut platform = ctx.platform.clone();
-        let measured =
-            platform.run(&RunRequest::new(behavior.clone(), placement.clone()))?.elapsed;
-        let predicted = session.predict(&placement)?.predicted_time;
-        Ok(CurvePoint {
-            placement: canon.clone(),
-            n_threads: placement.n_threads(),
-            measured,
-            predicted,
-        })
-    });
+    // A point's cost scales with its thread count (entity count sizes
+    // the simulated run and the prediction), so it steers the chunk plan.
+    let evaluated = exec.parallel_map_sized(
+        placements,
+        |canon| canon.total_threads() as f64,
+        |canon| -> Result<CurvePoint, PandiaError> {
+            let placement = canon.instantiate(&shape)?;
+            let mut platform = ctx.platform.clone();
+            let measured =
+                platform.run(&RunRequest::new(behavior.clone(), placement.clone()))?.elapsed;
+            let predicted = session.predict(&placement)?.predicted_time;
+            Ok(CurvePoint {
+                placement: canon.clone(),
+                n_threads: placement.n_threads(),
+                measured,
+                predicted,
+            })
+        },
+    );
     let mut points = Vec::with_capacity(evaluated.len());
     for point in evaluated {
         points.push(point?);

@@ -8,7 +8,7 @@
 use pandia_topology::{CoreId, MachineSpec};
 
 /// The frequency operating point of each socket.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DvfsState {
     /// Current frequency of each socket in GHz.
     pub socket_ghz: Vec<f64>,
@@ -44,6 +44,30 @@ impl DvfsState {
         let socket_scale =
             socket_ghz.iter().map(|g| g / spec.turbo.nominal_ghz).collect();
         Self { socket_ghz, socket_scale }
+    }
+
+    /// Recomputes the operating point in place, reusing this state's
+    /// buffers. Bit-identical to [`DvfsState::compute`] on the same
+    /// inputs: the per-socket expressions are the same, only the storage
+    /// is reused instead of collected fresh.
+    pub fn compute_into(
+        &mut self,
+        spec: &MachineSpec,
+        active_cores_per_socket: &[usize],
+        turbo: bool,
+        fill_background: bool,
+    ) {
+        self.socket_ghz.clear();
+        self.socket_ghz.extend((0..spec.sockets).map(|s| {
+            let active = if fill_background {
+                spec.cores_per_socket
+            } else {
+                active_cores_per_socket.get(s).copied().unwrap_or(0).max(1)
+            };
+            spec.turbo.frequency_ghz(active, spec.cores_per_socket, turbo)
+        }));
+        self.socket_scale.clear();
+        self.socket_scale.extend(self.socket_ghz.iter().map(|g| g / spec.turbo.nominal_ghz));
     }
 
     /// Frequency scale for the socket owning a core.

@@ -18,7 +18,8 @@
 //!   and activity of peers, weighted by the machine's inter-socket latency
 //!   for peers on other sockets (the ground truth behind the paper's `os`).
 
-use std::collections::{btree_map::Entry, BTreeMap};
+use std::collections::{hash_map::Entry, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use pandia_topology::{
     Counters, CoreId, CtxId, DataPlacement, MachineSpec, Placement, ResourceTable, RunResult,
@@ -27,7 +28,7 @@ use pandia_topology::{
 
 use crate::{
     behavior::Behavior,
-    cache::SocketSpill,
+    cache::{spill_fraction, SocketSpill},
     dvfs::DvfsState,
     equilibrium::{self, EntityDemand},
     fault::{FaultPlan, SimError},
@@ -69,6 +70,16 @@ pub struct EngineConfig {
     /// shortcuts are bit-identical to the naive loop; this switch exists
     /// so tests can run both and assert equivalence.
     pub incremental: bool,
+    /// Enables the structure-of-arrays segment middle: the per-entity
+    /// fields the hot path reads are laid out as contiguous per-field
+    /// arrays built once per run, and every per-segment working buffer
+    /// (occupancy, spill, interference, demand bundles, relaxation state)
+    /// is reused across segments instead of reallocated. The arithmetic —
+    /// every operand, in the same order — is identical to the legacy
+    /// per-entity-struct walk, so results are bit-identical; this switch
+    /// exists so the differential oracle suite can run both layouts and
+    /// assert equivalence.
+    pub soa: bool,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +93,7 @@ impl Default for EngineConfig {
             max_segments: 20_000,
             faults: FaultPlan::none(),
             incremental: true,
+            soa: true,
         }
     }
 }
@@ -99,6 +111,11 @@ pub struct SimStats {
     pub solves: u64,
     /// Equilibrium solves answered from the solver's input cache.
     pub solves_skipped: u64,
+    /// Equilibrium solves that reused the solver's entire pristine
+    /// contributor state — the batched fast path, where one prefix build
+    /// fans out across every solve sharing the same demand bundles (only
+    /// rate caps or capacities moved between them).
+    pub solves_batched: u64,
 }
 
 /// One memoized segment middle: everything the full per-segment
@@ -121,6 +138,28 @@ struct CachedSegment {
 /// every segment, hit or miss, so it is the hot edge of the memo. It
 /// only has to make collisions rare, not impossible — exactness comes
 /// from the full-key verification on every probe.
+/// Pass-through hasher for the segment memo: the map key *is* a 128-bit
+/// fingerprint, already uniformly distributed, so rehashing it per probe
+/// would be pure overhead. The two words are folded with a rotate so both
+/// drive bucket selection. (Nothing ever iterates the memo, so the
+/// unordered map cannot perturb results.)
+#[derive(Default)]
+struct FpHasher(u64);
+
+impl Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+    fn write_u64(&mut self, i: u64) {
+        self.0 = self.0.rotate_left(32) ^ i;
+    }
+}
+
 fn seg_fingerprint(words: &[u64]) -> (u64, u64) {
     const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
     let mut a = 0xCBF2_9CE4_8422_2325_u64;
@@ -229,10 +268,20 @@ fn dram_split(
 /// varies with the seed. Phases modulate *instantaneous demand* only;
 /// counters charge each completed work unit its average demand, as a
 /// hardware counter would.
+const PHI_CONJUGATE: f64 = 0.618_033_988_749_895;
+
+/// Per-entity phase offset for the burst draw: a pure function of the
+/// seed and entity index, hoisted out of the segment loop by the engine
+/// (the per-segment draw is `(offset + segment · φ⁻¹).fract()`).
+fn burst_offset(seed: u64, entity: usize) -> f64 {
+    rng::unit_f64(rng::mix(seed, entity as u64, 0, 0xB))
+}
+
+/// Reference form of the per-segment burst draw. The segment loop uses
+/// the hoisted-offset equivalent; a unit test pins the two together.
+#[cfg(test)]
 fn burst_draw(seed: u64, entity: usize, segment: usize) -> f64 {
-    const PHI_CONJUGATE: f64 = 0.618_033_988_749_895;
-    let offset = rng::unit_f64(rng::mix(seed, entity as u64, 0, 0xB));
-    (offset + segment as f64 * PHI_CONJUGATE).fract()
+    (burst_offset(seed, entity) + segment as f64 * PHI_CONJUGATE).fract()
 }
 
 /// One co-scheduled workload: a behavior plus its thread pinning.
@@ -327,6 +376,162 @@ pub fn run_multi_stats(
     run_multi_impl(inputs, config, None)
 }
 
+/// Structure-of-arrays image of the per-entity constants the segment
+/// middle reads, plus the resource-id lookups the demand build needs —
+/// all resolved once per run so the per-segment loops touch contiguous
+/// arrays and never chase a `Behavior` struct or a `ResourceTable`
+/// method. Pure reorganization of existing values: every number in here
+/// is bitwise the field it mirrors.
+struct SoaEntities {
+    is_worker: Vec<bool>,
+    group: Vec<usize>,
+    core: Vec<usize>,
+    socket: Vec<usize>,
+    /// `socket_of_core(core)` per entity: the socket whose DVFS scale
+    /// applies (kept separate from `socket` so the SoA path matches
+    /// `DvfsState::scale_for_core` exactly on any topology).
+    dvfs_socket: Vec<usize>,
+    working_set_mib: Vec<f64>,
+    seq_fraction: Vec<f64>,
+    comm_factor: Vec<f64>,
+    intra_socket_comm: Vec<f64>,
+    d_instr: Vec<f64>,
+    d_l1: Vec<f64>,
+    d_l2: Vec<f64>,
+    d_l3: Vec<f64>,
+    d_dram: Vec<f64>,
+    /// Flattened per-entity DRAM split, stride = sockets.
+    dram_split: Vec<f64>,
+    res_issue: Vec<usize>,
+    res_l1: Vec<usize>,
+    res_l2: Vec<usize>,
+    res_l3_link: Vec<usize>,
+    res_l3_agg: Vec<usize>,
+    /// Owning socket per core id (machine-level).
+    core_home: Vec<usize>,
+    /// DRAM resource id per node (machine-level).
+    res_dram: Vec<usize>,
+    /// Interconnect link id for `(socket, node)`, stride = sockets
+    /// (machine-level; `None` on the diagonal and on linkless machines).
+    res_link: Vec<Option<usize>>,
+    /// Nominal capacity per hardware resource, in table order: the
+    /// per-segment refill is one `memcpy` of this plus DVFS/SMT scaling
+    /// of the cores that are actually occupied. Idle cores keep their
+    /// nominal capacities — their pools carry no demand, so the solve is
+    /// bitwise unaffected.
+    base_caps: Vec<f64>,
+}
+
+impl SoaEntities {
+    fn build(entities: &[Entity], spec: &MachineSpec, table: &ResourceTable) -> Self {
+        let s = spec.sockets;
+        let mut soa = Self {
+            is_worker: Vec::with_capacity(entities.len()),
+            group: Vec::with_capacity(entities.len()),
+            core: Vec::with_capacity(entities.len()),
+            socket: Vec::with_capacity(entities.len()),
+            dvfs_socket: Vec::with_capacity(entities.len()),
+            working_set_mib: Vec::with_capacity(entities.len()),
+            seq_fraction: Vec::with_capacity(entities.len()),
+            comm_factor: Vec::with_capacity(entities.len()),
+            intra_socket_comm: Vec::with_capacity(entities.len()),
+            d_instr: Vec::with_capacity(entities.len()),
+            d_l1: Vec::with_capacity(entities.len()),
+            d_l2: Vec::with_capacity(entities.len()),
+            d_l3: Vec::with_capacity(entities.len()),
+            d_dram: Vec::with_capacity(entities.len()),
+            dram_split: Vec::with_capacity(entities.len() * s),
+            res_issue: Vec::with_capacity(entities.len()),
+            res_l1: Vec::with_capacity(entities.len()),
+            res_l2: Vec::with_capacity(entities.len()),
+            res_l3_link: Vec::with_capacity(entities.len()),
+            res_l3_agg: Vec::with_capacity(entities.len()),
+            core_home: (0..spec.total_cores()).map(|c| spec.socket_of_core(CoreId(c)).0).collect(),
+            res_dram: (0..s).map(|node| table.dram(SocketId(node)).0).collect(),
+            res_link: Vec::with_capacity(s * s),
+            base_caps: table.resources().iter().map(|r| r.capacity).collect(),
+        };
+        for from in 0..s {
+            for to in 0..s {
+                soa.res_link.push(
+                    table.interconnect(SocketId(from), SocketId(to)).map(|id| id.0),
+                );
+            }
+        }
+        for e in entities {
+            soa.is_worker.push(e.is_worker());
+            soa.group.push(e.group);
+            soa.core.push(e.core.0);
+            soa.socket.push(e.socket.0);
+            soa.dvfs_socket.push(spec.socket_of_core(e.core).0);
+            soa.working_set_mib.push(e.behavior.working_set_mib);
+            soa.seq_fraction.push(e.behavior.seq_fraction);
+            soa.comm_factor.push(e.behavior.comm_factor);
+            soa.intra_socket_comm.push(e.behavior.intra_socket_comm);
+            let d = e.behavior.demand;
+            soa.d_instr.push(d.instr);
+            soa.d_l1.push(d.l1);
+            soa.d_l2.push(d.l2);
+            soa.d_l3.push(d.l3);
+            soa.d_dram.push(d.dram);
+            for node in 0..s {
+                soa.dram_split.push(e.dram_split.get(node).copied().unwrap_or(0.0));
+            }
+            soa.res_issue.push(table.core_issue(e.core).0);
+            soa.res_l1.push(table.l1(e.core).0);
+            soa.res_l2.push(table.l2(e.core).0);
+            soa.res_l3_link.push(table.l3_link(e.core).0);
+            soa.res_l3_agg.push(table.l3_aggregate(e.socket).0);
+        }
+        soa
+    }
+}
+
+/// Per-segment working buffers for the SoA middle, allocated on first use
+/// and reused across every subsequent segment of the run.
+#[derive(Default)]
+struct SegScratch {
+    active_cores: Vec<usize>,
+    core_occupancy: Vec<u32>,
+    socket_ws: Vec<f64>,
+    socket_residents: Vec<usize>,
+    spill_frac_socket: Vec<f64>,
+    interference: Vec<f64>,
+    /// Runnable indices sharing each core, ascending (SMT interference).
+    core_members: Vec<Vec<usize>>,
+    /// Same-group worker runnable indices, ascending (communication).
+    group_members: Vec<Vec<usize>>,
+    /// `comm_factor · (intra_socket_comm · interconnect_latency)` per
+    /// runnable thread — the same-socket per-peer term's constant part.
+    cf_lat_intra: Vec<f64>,
+    /// `comm_factor · (1.0 · interconnect_latency)` per runnable thread.
+    cf_lat_cross: Vec<f64>,
+    /// Per-(socket, peer) communication weight for the current round,
+    /// stride = runnable count.
+    peer_weight: Vec<f64>,
+    /// Structural inputs of the last fully computed middle: the runnable
+    /// set and the burst multiplier bits. When both recur, the whole
+    /// prologue (DVFS → spill → interference → capacities → demands) is
+    /// still resident in the buffers above, bit for bit.
+    prev_runnable: Vec<usize>,
+    prev_multipliers: Vec<u64>,
+    structure_valid: bool,
+    instr_demands: Vec<f64>,
+    rho: Vec<f64>,
+    queue_delay: Vec<f64>,
+    round_rates: Vec<f64>,
+    last_loads: Vec<f64>,
+    dvfs: DvfsState,
+}
+
+/// Sparse-demand push with the same positivity gate as the legacy
+/// closure: zero-demand terms never enter the bundle.
+fn push_demand(v: &mut Vec<(usize, f64)>, id: usize, amt: f64) {
+    if amt > 0.0 {
+        v.push((id, amt));
+    }
+}
+
 fn run_multi_impl(
     inputs: &MultiRunInputs<'_>,
     config: &EngineConfig,
@@ -414,8 +619,13 @@ fn run_multi_impl(
     let mut demands: Vec<EntityDemand> = Vec::new();
     let mut runnable: Vec<usize> = Vec::new();
     let mut group_remaining = vec![0.0_f64; n_groups];
+    let mut pool_draw = vec![0.0_f64; n_groups];
     let mut solver = equilibrium::IncrementalSolver::new();
     let mut stats = SimStats::default();
+    // SoA image of the entity constants plus reusable per-segment
+    // buffers. Built once per run; the legacy path carries neither.
+    let soa = if config.soa { Some(SoaEntities::build(&entities, spec, &table)) } else { None };
+    let mut seg_scratch = SegScratch::default();
 
     // Segment coalescer. The expensive middle of a segment (DVFS, spill,
     // burst interference, demand build, relaxation, equilibrium) is a pure
@@ -436,11 +646,12 @@ fn run_multi_impl(
     //
     // The map is keyed by a 128-bit fingerprint of the key words (the
     // full key can run to a couple of kilobytes on a wide machine, and
-    // comparing it at every BTreeMap node would cost more than some
+    // comparing it at every probe step would cost more than some
     // middles); the exact key lives in the entry and is verified on
     // every hit.
     let coalescing_allowed = config.incremental && config.faults.is_none();
-    let mut seg_cache: BTreeMap<(u64, u64), CachedSegment> = BTreeMap::new();
+    let mut seg_cache: HashMap<(u64, u64), CachedSegment, BuildHasherDefault<FpHasher>> =
+        HashMap::default();
     let mut seg_key: Vec<u64> = Vec::new();
     let mut multipliers: Vec<f64> = Vec::new();
     // Per-entity high-phase multiplier bits. `BurstProfile::multiplier`
@@ -452,6 +663,18 @@ fn run_multi_impl(
         .iter()
         .map(|e| e.behavior.burst.multiplier(0.0).to_bits())
         .collect();
+    // Burst-profile constants, hoisted out of the segment loop: the draw
+    // offset depends only on (seed, entity), and a profile's duty plus
+    // high/low multipliers are fixed for the run — `low_multiplier`
+    // divides, so evaluating it per segment per entity was the single
+    // most repeated piece of arithmetic in the engine. The per-segment
+    // draw collapses to one multiply-add, a `fract`, and a compare.
+    let burst_off: Vec<f64> =
+        (0..entities.len()).map(|i| burst_offset(inputs.seed, i)).collect();
+    let burst_duty: Vec<f64> = entities.iter().map(|e| e.behavior.burst.duty).collect();
+    let burst_amp: Vec<f64> =
+        entities.iter().map(|e| e.behavior.burst.effective_amplitude()).collect();
+    let burst_lo: Vec<f64> = entities.iter().map(|e| e.behavior.burst.low_multiplier()).collect();
     // Backstop for degenerate runs whose key never recurs: stop inserting
     // (but keep probing) once the memo is clearly not paying for itself.
     const SEG_CACHE_CAP: usize = 4096;
@@ -496,8 +719,19 @@ fn run_multi_impl(
         // work unit for every SMT sibling j currently in its high-demand
         // phase — the ground truth behind the paper's b, §2.3.)
         multipliers.clear();
+        let seg_phase = segment as f64 * PHI_CONJUGATE;
         multipliers.extend(runnable.iter().map(|&i| {
-            entities[i].behavior.burst.multiplier(burst_draw(inputs.seed, i, segment))
+            // Inlined `burst.multiplier(burst_draw(seed, i, segment))`
+            // over the hoisted constants: identical arithmetic, with the
+            // per-entity hash and the low-phase division paid once per
+            // run instead of once per segment.
+            if burst_duty[i] >= 1.0 {
+                1.0
+            } else if (burst_off[i] + seg_phase).fract() < burst_duty[i] {
+                burst_amp[i]
+            } else {
+                burst_lo[i]
+            }
         }));
 
         // Probe the segment memo under the middle's complete input set:
@@ -535,6 +769,388 @@ fn run_multi_impl(
         };
 
         let mut full_middle = || -> CachedSegment {
+            if let Some(soa) = soa.as_ref() {
+                let scratch = &mut seg_scratch;
+
+                // Everything between here and the relaxation rounds is a
+                // pure function of (runnable set, multipliers): DVFS,
+                // spill, interference, capacities, and the demand bundles
+                // never read the relaxation warm start. When both match
+                // the previous *fully computed* middle bit for bit, those
+                // buffers still hold exactly the values a recompute would
+                // produce (memo replays touch none of them), so the whole
+                // prologue is skipped and only the rounds — whose warm
+                // start did change — run. This is the common shape of a
+                // memo miss: a steady structure whose rates are still
+                // converging.
+                let runnable_same = scratch.structure_valid && scratch.prev_runnable == runnable;
+                let structure_same = runnable_same
+                    && scratch
+                        .prev_multipliers
+                        .iter()
+                        .zip(&multipliers)
+                        .all(|(&p, m)| p == m.to_bits());
+                let nk = runnable.len();
+                // With the runnable set unchanged, the solver's longest
+                // compatible prefix is known without walking the demand
+                // bundles: a bundle moves exactly when its entity's
+                // multiplier bits moved AND the bundle carries
+                // multiplier-scaled entries (the lock term is unscaled,
+                // and the spill inputs are fixed by the runnable set).
+                // The old bundles still sit in `demands`; a positive old
+                // multiplier shows the scaled sparsity directly, while an
+                // exactly-0.0 low phase hides it — then the build's own
+                // positivity gates answer from the per-entity constants.
+                // Captured before the snapshot below overwrites the
+                // previous middle's bits.
+                let prefix_hint = if runnable_same && !structure_same {
+                    Some(
+                        (0..nk)
+                            .find(|&k| {
+                                if scratch.prev_multipliers[k] == multipliers[k].to_bits() {
+                                    return false;
+                                }
+                                let i = runnable[k];
+                                let lock = soa.is_worker[i] && soa.seq_fraction[i] > 0.0;
+                                if f64::from_bits(scratch.prev_multipliers[k]) > 0.0 {
+                                    demands[k].demands.len() > lock as usize
+                                } else {
+                                    soa.d_instr[i] > 0.0
+                                        || soa.d_l1[i] > 0.0
+                                        || soa.d_l2[i] > 0.0
+                                        || soa.d_l3[i] > 0.0
+                                        || (soa.d_dram[i] > 0.0
+                                            && (0..spec.sockets).any(|node| {
+                                                soa.dram_split[i * spec.sockets + node] > 0.0
+                                            }))
+                                }
+                            })
+                            .unwrap_or(nk),
+                    )
+                } else {
+                    None
+                };
+                if !structure_same {
+                    // DVFS point from the cores that are actually busy.
+                    scratch.core_occupancy.clear();
+                    scratch.core_occupancy.resize(spec.total_cores(), 0);
+                    for &i in &runnable {
+                        scratch.core_occupancy[soa.core[i]] += 1;
+                    }
+                    scratch.active_cores.clear();
+                    scratch.active_cores.resize(spec.sockets, 0);
+                    for (c, &occ) in scratch.core_occupancy.iter().enumerate() {
+                        if occ > 0 {
+                            scratch.active_cores[soa.core_home[c]] += 1;
+                        }
+                    }
+                    scratch.dvfs.compute_into(
+                        spec,
+                        &scratch.active_cores,
+                        inputs.turbo,
+                        inputs.fill_background,
+                    );
+
+                    // Cache spill per socket from resident working sets, with
+                    // the non-adaptive thrash amplification folded in. Same
+                    // two-factor product per socket as the legacy path.
+                    scratch.socket_ws.clear();
+                    scratch.socket_ws.resize(spec.sockets, 0.0);
+                    scratch.socket_residents.clear();
+                    scratch.socket_residents.resize(spec.sockets, 0);
+                    for &i in &runnable {
+                        scratch.socket_ws[soa.socket[i]] += soa.working_set_mib[i];
+                        scratch.socket_residents[soa.socket[i]] += 1;
+                    }
+                    scratch.spill_frac_socket.clear();
+                    for s in 0..spec.sockets {
+                        let spill =
+                            spill_fraction(scratch.socket_ws[s], spec.l3_mib, spec.adaptive_llc);
+                        let thrash = if spec.adaptive_llc {
+                            1.0
+                        } else {
+                            1.0 + 0.35 * scratch.socket_residents[s].saturating_sub(1) as f64
+                                / spec.cores_per_socket as f64
+                        };
+                        scratch.spill_frac_socket.push(spill * thrash);
+                    }
+
+                    // Latency interference from co-resident bursting peers.
+                    // Grouping the runnable set by core turns the all-pairs
+                    // scan into per-core pair walks — only SMT-shared cores
+                    // produce interference, and within a core the member
+                    // list preserves ascending runnable order, so each
+                    // thread accumulates the same additions in the same
+                    // sequence as the legacy all-pairs loop.
+                    scratch.interference.clear();
+                    scratch.interference.resize(runnable.len(), 0.0);
+                    if spec.smt_burst_collision > 0.0 {
+                        scratch.core_members.resize_with(spec.total_cores(), Vec::new);
+                        for list in &mut scratch.core_members {
+                            list.clear();
+                        }
+                        for (k, &i) in runnable.iter().enumerate() {
+                            scratch.core_members[soa.core[i]].push(k);
+                        }
+                        for members in &scratch.core_members {
+                            if members.len() < 2 {
+                                continue;
+                            }
+                            for &k in members {
+                                for &k2 in members {
+                                    if k2 != k {
+                                        scratch.interference[k] += (multipliers[k2] - 1.0).max(0.0)
+                                            * spec.smt_burst_collision;
+                                    }
+                                }
+                            }
+                        }
+                    }
+
+                    // Capacities for this segment: one memcpy of the nominal
+                    // table, then DVFS/SMT scaling of occupied cores only. An
+                    // idle core's pools carry no demand this segment, so
+                    // leaving them nominal cannot move the solve.
+                    capacities[..soa.base_caps.len()].copy_from_slice(&soa.base_caps);
+                    for (c, &occ) in scratch.core_occupancy.iter().enumerate() {
+                        if occ == 0 {
+                            continue;
+                        }
+                        let scale = scratch.dvfs.socket_scale[soa.core_home[c]];
+                        let smt = if occ >= 2 { spec.smt_frontend_factor } else { 1.0 };
+                        let issue = table.core_issue(CoreId(c));
+                        capacities[issue.0] = table.get(issue).capacity * scale * smt;
+                        let l1 = table.l1(CoreId(c));
+                        capacities[l1.0] = table.get(l1).capacity * scale;
+                        let l2 = table.l2(CoreId(c));
+                        capacities[l2.0] = table.get(l2).capacity * scale;
+                    }
+                    for g in 0..n_groups {
+                        capacities[lock_base + g] = 1.0;
+                    }
+
+                    // Build demand bundles (burst- and spill-adjusted) into
+                    // reused slots: the sparse buffers from previous segments
+                    // are cleared and refilled, never reallocated.
+                    demands.truncate(runnable.len());
+                    scratch.instr_demands.clear();
+                    for (k, &i) in runnable.iter().enumerate() {
+                        let m = multipliers[k];
+                        let spill_frac = scratch.spill_frac_socket[soa.socket[i]];
+                        let extra_dram = soa.d_l3[i] * spill_frac;
+                        if k == demands.len() {
+                            // lint: allow(H2): first-touch slot growth; every later segment reuses the slot's buffer
+                            demands.push(EntityDemand { demands: Vec::with_capacity(10), max_rate: 1.0 });
+                        }
+                        let slot = &mut demands[k];
+                        slot.max_rate = 1.0;
+                        let sparse = &mut slot.demands;
+                        sparse.clear();
+                        push_demand(sparse, soa.res_issue[i], soa.d_instr[i] * m);
+                        push_demand(sparse, soa.res_l1[i], soa.d_l1[i] * m);
+                        push_demand(sparse, soa.res_l2[i], soa.d_l2[i] * m);
+                        if soa.d_l3[i] > 0.0 {
+                            push_demand(sparse, soa.res_l3_link[i], soa.d_l3[i] * m);
+                            push_demand(sparse, soa.res_l3_agg[i], soa.d_l3[i] * m);
+                        }
+                        let dram_total = (soa.d_dram[i] + extra_dram) * m;
+                        if dram_total > 0.0 {
+                            for node in 0..spec.sockets {
+                                let frac = soa.dram_split[i * spec.sockets + node];
+                                if frac <= 0.0 {
+                                    continue;
+                                }
+                                push_demand(sparse, soa.res_dram[node], dram_total * frac);
+                                if node != soa.socket[i] {
+                                    if let Some(link) = soa.res_link[soa.socket[i] * spec.sockets + node]
+                                    {
+                                        push_demand(sparse, link, dram_total * frac);
+                                    }
+                                }
+                            }
+                        }
+                        if soa.is_worker[i] && soa.seq_fraction[i] > 0.0 {
+                            sparse.push((lock_base + soa.group[i], soa.seq_fraction[i]));
+                        }
+                        scratch.instr_demands.push(soa.d_instr[i] * m);
+                    }
+
+                    // Communication constants per runnable thread, hoisted out
+                    // of the relaxation rounds: the `comm_factor · latency`
+                    // products are fixed for the segment (two per thread, for
+                    // same- and cross-socket peers — the same two multiplies
+                    // the per-pair form performs, in the same order), and the
+                    // same-group worker lists bound each thread's peer scan to
+                    // its actual peers in ascending runnable order.
+                    scratch.cf_lat_intra.clear();
+                    scratch.cf_lat_cross.clear();
+                    for &i in &runnable {
+                        let cf = soa.comm_factor[i];
+                        scratch
+                            .cf_lat_intra
+                            .push(cf * (soa.intra_socket_comm[i] * spec.interconnect_latency));
+                        scratch.cf_lat_cross.push(cf * (1.0 * spec.interconnect_latency));
+                    }
+                    scratch.group_members.resize_with(n_groups, Vec::new);
+                    for list in &mut scratch.group_members {
+                        list.clear();
+                    }
+                    for (k, &i) in runnable.iter().enumerate() {
+                        if soa.is_worker[i] {
+                            scratch.group_members[soa.group[i]].push(k);
+                        }
+                    }
+
+                    // Snapshot the structural inputs so the next full middle
+                    // can recognise an unchanged prologue.
+                    scratch.prev_runnable.clear();
+                    scratch.prev_runnable.extend_from_slice(&runnable);
+                    scratch.prev_multipliers.clear();
+                    scratch.prev_multipliers.extend(multipliers.iter().map(|m| m.to_bits()));
+                    scratch.structure_valid = true;
+                }
+
+                // Relaxation rounds: lock queueing + communication latency
+                // feed back into intrinsic rates. The round buffers live
+                // in the scratch; the solver's result is copied out, so a
+                // steady segment stream performs no per-round allocation.
+                scratch.round_rates.clear();
+                scratch.round_rates.extend(runnable.iter().map(|&i| prev_rates[i]));
+                scratch.last_loads.clear();
+                for round in 0..config.relaxation_rounds {
+                    scratch.rho.clear();
+                    scratch.rho.resize(n_groups, 0.0);
+                    for (k, &i) in runnable.iter().enumerate() {
+                        if soa.is_worker[i] && soa.seq_fraction[i] > 0.0 {
+                            scratch.rho[soa.group[i]] +=
+                                scratch.round_rates[k] * soa.seq_fraction[i];
+                        }
+                    }
+                    scratch.queue_delay.clear();
+                    scratch.queue_delay.extend(scratch.rho.iter().map(|&r| {
+                        let r = r.min(config.max_lock_rho);
+                        r / (1.0 - r)
+                    }));
+
+                    // Peer weights cached per (socket, peer): the weight
+                    // divides the peer's round rate by the *observer's*
+                    // socket scale, of which there are only `sockets`
+                    // distinct values — so the divisions drop from one
+                    // per pair to one per (socket, peer). Same
+                    // expression, same bits.
+                    scratch.peer_weight.clear();
+                    scratch.peer_weight.resize(spec.sockets * nk, 0.0);
+                    for s in 0..spec.sockets {
+                        let scale = scratch.dvfs.socket_scale[s];
+                        let row = &mut scratch.peer_weight[s * nk..(s + 1) * nk];
+                        for (k2, slot) in row.iter_mut().enumerate() {
+                            *slot = (scratch.round_rates[k2] / scale.max(1e-9)).min(1.0);
+                        }
+                    }
+
+                    for (k, &i) in runnable.iter().enumerate() {
+                        let scale = scratch.dvfs.socket_scale[soa.dvfs_socket[i]];
+                        let max_rate = if soa.is_worker[i] {
+                            let mut comm = 0.0;
+                            if soa.comm_factor[i] > 0.0 {
+                                let base = soa.dvfs_socket[i] * nk;
+                                for &k2 in &scratch.group_members[soa.group[i]] {
+                                    if k2 == k {
+                                        continue;
+                                    }
+                                    let j = runnable[k2];
+                                    let cf_lat = if soa.socket[j] == soa.socket[i] {
+                                        scratch.cf_lat_intra[k]
+                                    } else {
+                                        scratch.cf_lat_cross[k]
+                                    };
+                                    comm += cf_lat * scratch.peer_weight[base + k2];
+                                }
+                            }
+                            let queue = soa.seq_fraction[i] * scratch.queue_delay[soa.group[i]];
+                            scale / (1.0 + queue + comm + scratch.interference[k])
+                        } else {
+                            scale / (1.0 + scratch.interference[k])
+                        };
+                        let max_rate = if scratch.instr_demands[k] > 0.0 {
+                            let ilp_cap = spec.single_thread_ilp * spec.core_ipc_rate * scale
+                                / scratch.instr_demands[k];
+                            max_rate.min(ilp_cap)
+                        } else {
+                            max_rate
+                        };
+                        demands[k].max_rate = max_rate;
+                    }
+                    if config.incremental {
+                        // Round 0 re-primes the solver on this segment's
+                        // demand bundles; later rounds rewrite only the
+                        // rate caps, so the prefix walk's outcome is
+                        // known and skipped. An unchanged structure
+                        // extends that to round 0 too: the solver's last
+                        // call already holds these exact bundles.
+                        let alloc = if round == 0 && !structure_same {
+                            match prefix_hint {
+                                Some(lcp) => {
+                                    solver.solve_with_prefix_hint(&demands, &capacities, lcp)
+                                }
+                                None => solver.solve(&demands, &capacities),
+                            }
+                        } else {
+                            solver.solve_same_demands(&demands, &capacities)
+                        };
+                        scratch.round_rates.clear();
+                        scratch.round_rates.extend_from_slice(&alloc.rates);
+                        scratch.last_loads.clear();
+                        scratch.last_loads.extend_from_slice(&alloc.loads);
+                    } else {
+                        stats.solves += 1;
+                        let alloc = equilibrium::solve(&demands, &capacities);
+                        scratch.round_rates.clear();
+                        scratch.round_rates.extend_from_slice(&alloc.rates);
+                        scratch.last_loads.clear();
+                        scratch.last_loads.extend_from_slice(&alloc.loads);
+                    }
+                }
+
+                let mut group_rate = vec![0.0_f64; n_groups];
+                for (k, &i) in runnable.iter().enumerate() {
+                    if soa.is_worker[i] {
+                        group_rate[soa.group[i]] += scratch.round_rates[k];
+                    }
+                }
+
+                let hottest = if trace.is_some() {
+                    // Hottest *hardware* resource this segment (locks excluded).
+                    scratch
+                        .last_loads
+                        .iter()
+                        .take(table.len())
+                        .enumerate()
+                        .map(|(r, &load)| (r, load / capacities[r].max(1e-12)))
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                        .filter(|&(_, util)| util > 0.0)
+                        .map(|(r, util)| {
+                            (table.get(pandia_topology::ResourceId(r)).kind, util.min(1.0))
+                        })
+                } else {
+                    None
+                };
+
+                return CachedSegment {
+                    // lint: allow(H2): the cache entry must own its key
+                    key: seg_key.clone(),
+                    // lint: allow(H2): the cache entry owns its rates; the scratch buffer is reused next segment
+                    rates: scratch.round_rates.clone(),
+                    group_rate,
+                    hottest,
+                    // lint: allow(H2): the cache entry owns its outputs; the scratch buffer is reused next segment
+                    spill_frac_socket: scratch.spill_frac_socket.clone(),
+                };
+            }
+
+            // Legacy per-entity-struct walk: the reference path of the
+            // differential oracle suite (`SimConfig::with_soa(false)`),
+            // kept verbatim so equivalence failures bisect cleanly.
             // DVFS point from the cores that are actually busy.
             let mut active_cores = vec![0usize; spec.sockets];
             let mut core_occupancy = vec![0u32; spec.total_cores()];
@@ -719,7 +1335,8 @@ fn run_multi_impl(
                     demands[k].max_rate = max_rate;
                 }
                 let alloc = if config.incremental {
-                    solver.solve(&demands, &capacities)
+                    // lint: allow(H2): legacy oracle path clones the borrowed allocation once per solve; the SoA path keeps the borrow
+                    solver.solve(&demands, &capacities).clone()
                 } else {
                     stats.solves += 1;
                     equilibrium::solve(&demands, &capacities)
@@ -831,7 +1448,7 @@ fn run_multi_impl(
         }
 
         // Progress work and accumulate counters.
-        let mut pool_draw = vec![0.0_f64; n_groups];
+        pool_draw.fill(0.0);
         for (k, &i) in runnable.iter().enumerate() {
             let e = &mut entities[i];
             if !e.is_worker() {
@@ -912,6 +1529,7 @@ fn run_multi_impl(
     stats.segments = segment as u64;
     stats.solves += solver_stats.solves + solver_stats.delta_solves;
     stats.solves_skipped += solver_stats.solves_skipped;
+    stats.solves_batched += solver_stats.prefix_solves;
 
     // Aggregate telemetry once per run, outside the segment loop, so the
     // hot path carries no per-segment instrumentation.
@@ -920,6 +1538,7 @@ fn run_multi_impl(
         pandia_obs::count("sim.segments_coalesced", stats.segments_coalesced);
         pandia_obs::count("sim.solves", stats.solves);
         pandia_obs::count("sim.solves_skipped", stats.solves_skipped);
+        pandia_obs::count("sim.solves_batched", stats.solves_batched);
         pandia_obs::observe("sim.segments_per_run", segment as f64);
         pandia_obs::observe("sim.entities_per_run", entities.len() as f64);
     }
@@ -1046,6 +1665,35 @@ pub fn sibling_ctx(spec: &MachineSpec, ctx: CtxId) -> Option<CtxId> {
 mod tests {
     use super::*;
     use pandia_topology::{Placement, StressKind};
+
+    /// The segment loop hoists the burst draw's per-entity offset and the
+    /// profile's duty/high/low multipliers out of the loop; this pins the
+    /// hoisted evaluation to the original per-segment computation bit for
+    /// bit (including the low-phase division in `low_multiplier`).
+    #[test]
+    fn hoisted_burst_constants_match_per_segment_draws() {
+        let profile = crate::behavior::BurstProfile::bursty(0.3, 2.5);
+        for seed in [1u64, 42, 977] {
+            for entity in 0..5usize {
+                let off = burst_offset(seed, entity);
+                for segment in 0..64usize {
+                    let draw = burst_draw(seed, entity, segment);
+                    let seg_phase = segment as f64 * PHI_CONJUGATE;
+                    let hoisted = (off + seg_phase).fract();
+                    assert_eq!(draw.to_bits(), hoisted.to_bits());
+                    let want = profile.multiplier(draw);
+                    let got = if profile.duty >= 1.0 {
+                        1.0
+                    } else if hoisted < profile.duty {
+                        profile.effective_amplitude()
+                    } else {
+                        profile.low_multiplier()
+                    };
+                    assert_eq!(want.to_bits(), got.to_bits());
+                }
+            }
+        }
+    }
 
     fn run_simple(
         spec: &MachineSpec,

@@ -44,6 +44,15 @@ impl SimConfig {
         self.engine.incremental = incremental;
         self
     }
+
+    /// Returns this configuration with the engine's structure-of-arrays
+    /// segment middle toggled. On by default; `with_soa(false)` selects
+    /// the legacy per-entity-struct walk so the differential oracle suite
+    /// can assert both layouts produce bit-identical results.
+    pub fn with_soa(mut self, soa: bool) -> Self {
+        self.engine.soa = soa;
+        self
+    }
 }
 
 /// A simulated machine implementing the platform interface.

@@ -6,7 +6,7 @@
 //! splitmix64 generator: every case is reproducible from its printed
 //! seed.
 
-use pandia_sim::equilibrium::{solve, Allocation, EntityDemand, IncrementalSolver};
+use pandia_sim::equilibrium::{solve, solve_batch, Allocation, EntityDemand, IncrementalSolver};
 
 const CASES: u64 = 48;
 
@@ -168,20 +168,125 @@ fn incremental_matches_from_scratch_bitwise() {
         let (mut entities, capacities) = random_instance(&mut rng);
         let mut solver = IncrementalSolver::new();
 
-        let cold = solver.solve(&entities, &capacities);
+        let cold = solver.solve(&entities, &capacities).clone();
         assert_bits_eq(&cold, &solve(&entities, &capacities), "cold", seed);
-        let hit = solver.solve(&entities, &capacities);
+        let hit = solver.solve(&entities, &capacities).clone();
         assert_bits_eq(&hit, &cold, "cache hit", seed);
 
         while !entities.is_empty() {
             let victim = rng.usize_in(0, entities.len() - 1);
             entities.remove(victim);
             let warm = solver.solve(&entities, &capacities);
-            assert_bits_eq(&warm, &solve(&entities, &capacities), "delta", seed);
+            assert_bits_eq(warm, &solve(&entities, &capacities), "delta", seed);
         }
         let stats = solver.stats();
         assert_eq!(stats.solves_skipped, 1, "one exact repeat per case: {stats:?}");
         assert!(stats.delta_solves > 0 || stats.solves > 1, "deltas never exercised: {stats:?}");
+    }
+}
+
+/// Asserts `solve_batch` over `candidates` is bitwise the independent
+/// solve of each candidate, and that at least `min_fast` of the batch's
+/// solver calls avoided a from-scratch rebuild when sharing was present.
+fn assert_batch_matches_independent(
+    candidates: &[Vec<EntityDemand>],
+    capacities: &[f64],
+    what: &str,
+    seed: u64,
+) {
+    let batched = solve_batch(candidates, capacities);
+    assert_eq!(batched.len(), candidates.len(), "{what} (seed {seed})");
+    for (c, (got, cand)) in batched.iter().zip(candidates).enumerate() {
+        let independent = solve(cand, capacities);
+        assert_bits_eq(got, &independent, &format!("{what} candidate {c}"), seed);
+    }
+}
+
+#[test]
+fn batched_solves_match_independent_when_all_candidates_share() {
+    // All-share: every candidate has the same demand bundles and only the
+    // rate caps move — the pure prefix fan-out case. One contributor
+    // build must serve the whole batch without changing a single bit.
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let (base, capacities) = random_instance(&mut rng);
+        let candidates: Vec<Vec<EntityDemand>> = (0..5)
+            .map(|_| {
+                base.iter()
+                    .map(|e| EntityDemand {
+                        demands: e.demands.clone(),
+                        max_rate: rng.f64_in(0.1, 3.0),
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_batch_matches_independent(&candidates, &capacities, "all-share", seed);
+    }
+}
+
+#[test]
+fn batched_solves_match_independent_when_no_candidates_share() {
+    // None-share: unrelated instances back to back. The batch degenerates
+    // to from-scratch solves and must still be exact.
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let n_pools = rng.usize_in(2, 8);
+        let capacities: Vec<f64> = (0..n_pools).map(|_| rng.f64_in(0.5, 20.0)).collect();
+        let candidates: Vec<Vec<EntityDemand>> = (0..5)
+            .map(|_| {
+                (0..rng.usize_in(1, 8))
+                    .map(|_| {
+                        let touched = rng.usize_in(1, n_pools);
+                        let mut demands = Vec::with_capacity(touched);
+                        for _ in 0..touched {
+                            demands.push((rng.usize_in(0, n_pools - 1), rng.f64_in(0.05, 6.0)));
+                        }
+                        EntityDemand { demands, max_rate: rng.f64_in(0.1, 3.0) }
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_batch_matches_independent(&candidates, &capacities, "none-share", seed);
+    }
+}
+
+#[test]
+fn batched_solves_match_independent_on_nested_prefixes() {
+    // Nested prefixes: candidate k is the first k+1 entities of a common
+    // list, swept longest → shortest → longest so the batch exercises
+    // rewinds (journaled slope bits restored) and re-pushes in both
+    // directions.
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let (base, capacities) = random_instance(&mut rng);
+        let mut candidates: Vec<Vec<EntityDemand>> =
+            (0..base.len()).rev().map(|k| base[..=k].to_vec()).collect();
+        candidates.extend((0..base.len()).map(|k| base[..=k].to_vec()));
+        assert_batch_matches_independent(&candidates, &capacities, "nested", seed);
+    }
+}
+
+#[test]
+fn batched_prefix_reuse_survives_capacity_changes() {
+    // The pristine contributor state is independent of capacities, so a
+    // batch whose candidates share demands but see different capacity
+    // vectors must still fan one prefix build across all of them. Driven
+    // through the solver directly since `solve_batch` fixes capacities.
+    for seed in 0..CASES {
+        let mut rng = Rng::new(seed);
+        let (base, capacities) = random_instance(&mut rng);
+        let mut solver = IncrementalSolver::new();
+        for step in 0..4 {
+            let caps: Vec<f64> = capacities.iter().map(|c| c * (1.0 + 0.1 * step as f64)).collect();
+            let got = solver.solve(&base, &caps);
+            assert_bits_eq(got, &solve(&base, &caps), "capacity sweep", seed);
+        }
+        let stats = solver.stats();
+        assert_eq!(stats.solves, 1, "only the first call builds state: {stats:?}");
+        assert_eq!(
+            stats.prefix_solves, 3,
+            "capacity-only changes must ride the batched path: {stats:?}"
+        );
     }
 }
 
@@ -196,9 +301,9 @@ fn incremental_survives_interleaved_input_changes() {
         let mut solver = IncrementalSolver::new();
         for _ in 0..3 {
             let a = solver.solve(&a_entities, &a_caps);
-            assert_bits_eq(&a, &solve(&a_entities, &a_caps), "interleaved a", seed);
+            assert_bits_eq(a, &solve(&a_entities, &a_caps), "interleaved a", seed);
             let b = solver.solve(&b_entities, &b_caps);
-            assert_bits_eq(&b, &solve(&b_entities, &b_caps), "interleaved b", seed);
+            assert_bits_eq(b, &solve(&b_entities, &b_caps), "interleaved b", seed);
         }
     }
 }
